@@ -1,0 +1,98 @@
+// E9 — Ablation for the paper's introduction claim: a hardware-controlled
+// cache only exploits *local* access locality with a replacement policy
+// that "only uses knowledge about previous accesses", while the
+// compile-time copy decision exploits *future* reuse. We compare, at equal
+// capacity, LRU (one-pass Mattson stack distances) against Belady-OPT and
+// against the analytic copy-candidate transfers on the motion estimation
+// kernel.
+
+#include "bench_util.h"
+
+#include "analytic/pair_analysis.h"
+#include "kernels/motion_estimation.h"
+#include "simcore/buffer_sim.h"
+#include "simcore/lru_stack.h"
+#include "support/dataset.h"
+#include "trace/walker.h"
+
+namespace {
+
+using dr::support::i64;
+
+void printFigureData() {
+  dr::bench::heading(
+      "Ablation  |  Hardware LRU cache vs compile-time copies (equal "
+      "capacity)");
+
+  dr::kernels::MotionEstimationParams mp;
+  if (dr::bench::smallScale()) {
+    mp.H = 32;
+    mp.W = 32;
+    mp.n = 4;
+    mp.m = 4;
+  }
+  auto p = dr::kernels::motionEstimation(mp);
+  dr::trace::AddressMap map(p);
+  auto trace = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  auto m = dr::analytic::analyzePair(
+      p.nests[0], p.nests[0].body[dr::kernels::oldAccessIndex()], 3);
+
+  dr::simcore::LruStackDistances lru(trace);
+  auto nextUse = dr::simcore::computeNextUse(trace);
+
+  std::vector<i64> caps = {m.AMax / 2, m.AMax, 4 * m.AMax, 16 * m.AMax,
+                           64 * m.AMax};
+  dr::support::DataSet ds(
+      "misses at equal capacity: LRU vs Belady-OPT vs FIFO",
+      {"capacity", "lru_misses", "fifo_misses", "opt_misses",
+       "lru_over_opt"});
+  for (i64 cap : caps) {
+    if (cap < 1) continue;
+    i64 lruMisses = lru.missesAt(cap);
+    i64 fifoMisses = dr::simcore::simulateFifo(trace, cap).misses;
+    i64 optMisses = dr::simcore::simulateOpt(trace, cap, nextUse).misses;
+    ds.addRow({static_cast<double>(cap), static_cast<double>(lruMisses),
+               static_cast<double>(fifoMisses),
+               static_cast<double>(optMisses),
+               static_cast<double>(lruMisses) /
+                   static_cast<double>(optMisses)});
+  }
+  dr::bench::emitDataSet(ds, "ablation_lru_vs_opt");
+
+  std::printf("analytic copy-candidate at A_Max=%lld: C_j = %lld writes — "
+              "identical to OPT at that capacity per iteration of the "
+              "outer loops\n",
+              static_cast<long long>(m.AMax),
+              static_cast<long long>(m.CjTotal()));
+  std::printf("\npaper:    compile-time analysis checks *future* reuse, "
+              "which a cache replacement policy cannot\n");
+  std::printf("measured: at the copy-candidate sizes above, LRU needs the "
+              "ratio shown more background traffic than the planned copy\n");
+}
+
+void BM_LruStackOnePass(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  for (auto _ : state) {
+    dr::simcore::LruStackDistances lru(t);
+    benchmark::DoNotOptimize(lru.coldMisses());
+  }
+}
+BENCHMARK(BM_LruStackOnePass)->Unit(benchmark::kMillisecond);
+
+void BM_LruDirectSimulation(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  for (auto _ : state) {
+    auto r = dr::simcore::simulateLru(t, state.range(0));
+    benchmark::DoNotOptimize(r.misses);
+  }
+}
+BENCHMARK(BM_LruDirectSimulation)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DR_BENCH_MAIN(printFigureData)

@@ -1,0 +1,132 @@
+// E3/E4 — Paper Fig. 10: analytically computed points for the inner
+// (i4-i5-i6) loop nest of motion estimation, overlaid on (a) the simulated
+// data reuse factor curve and (b) the simulated power-memory Pareto curve.
+// The analytic maximum (Section 6.3 closed forms F_RMax = 128/23,
+// A_Max = 56) and the partial-reuse points with and without bypass
+// (eqs. (16)-(22)) must lie on or below the Belady curve, with the bypass
+// points dominating in power.
+
+#include "bench_util.h"
+
+#include "analytic/pair_analysis.h"
+#include "analytic/partial.h"
+#include "hierarchy/enumerate.h"
+#include "hierarchy/pareto.h"
+#include "kernels/motion_estimation.h"
+#include "power/memory_model.h"
+#include "simcore/buffer_sim.h"
+#include "simcore/reuse_curve.h"
+#include "support/dataset.h"
+#include "trace/walker.h"
+
+namespace {
+
+using dr::support::i64;
+
+void printFigureData() {
+  dr::bench::heading(
+      "Fig. 10  |  Motion estimation inner (i4-i5-i6) nest: analytic "
+      "points on the simulated curves");
+
+  dr::kernels::MotionEstimationParams mp;  // H=144 W=176 n=m=8
+  auto p = dr::kernels::motionEstimation(mp);
+  int oldIdx = dr::kernels::oldAccessIndex();
+  auto m = dr::analytic::analyzePair(p.nests[0], p.nests[0].body[oldIdx], 3);
+  std::printf("analysis: %s\n\n", m.str().c_str());
+
+  // The inner nest trace: one steady (i1,i2,i3) iteration.
+  auto inner = p;
+  inner.nests[0].loops[0].begin = inner.nests[0].loops[0].end = 1;
+  inner.nests[0].loops[1].begin = inner.nests[0].loops[1].end = 1;
+  inner.nests[0].loops[2].begin = inner.nests[0].loops[2].end = 0;
+  dr::trace::AddressMap map(inner);
+  auto trace = dr::trace::readTrace(inner, map, inner.findSignal("Old"));
+
+  // (a) simulated curve + analytic overlay.
+  std::vector<i64> sizes = dr::simcore::sizeGrid(trace.distinctCount(), 64);
+  auto curve = dr::simcore::simulateReuseCurve(trace, sizes);
+  dr::support::DataSet sim("Fig. 10a: simulated reuse factor (Belady)",
+                           {"size", "FR_simulated"});
+  for (const auto& pt : curve.points)
+    sim.addRow({static_cast<double>(pt.size), pt.reuseFactor});
+  dr::bench::emitDataSet(sim, "fig10a_simulated");
+
+  dr::support::DataSet ana(
+      "Fig. 10a: analytically computed points (eqs. 12-22)",
+      {"size", "FR_analytic", "FR_simulated_at_size", "gamma", "bypass"});
+  auto nextUse = dr::simcore::computeNextUse(trace);
+  auto addPoint = [&](i64 size, double fr, i64 gamma, bool bypass) {
+    auto simAt = dr::simcore::simulateOpt(trace, size, nextUse);
+    ana.addRow({static_cast<double>(size), fr, simAt.reuseFactor(),
+                static_cast<double>(gamma), bypass ? 1.0 : 0.0});
+  };
+  auto range = dr::analytic::gammaRange(m);
+  for (i64 g = range.lo; g <= range.hi; ++g) {
+    auto pt = dr::analytic::partialPoint(m, g, false);
+    addPoint(pt.A, pt.FR.toDouble(), g, false);
+    auto bp = dr::analytic::partialPoint(m, g, true);
+    addPoint(bp.A, bp.FR.toDouble(), g, true);
+  }
+  addPoint(m.AMax, m.FRmax.toDouble(), -1, false);
+  ana.sortByColumn(0);
+  dr::bench::emitDataSet(ana, "fig10a_analytic");
+
+  // (b) power/size points: single-level chains from each design point,
+  // normalized against the all-background baseline of the inner nest.
+  auto lib = dr::power::MemoryLibrary::standard();
+  dr::support::DataSet pareto(
+      "Fig. 10b: power vs size (single-level chains, normalized)",
+      {"size", "normalized_power", "gamma", "bypass"});
+  auto addChain = [&](i64 size, i64 writes, i64 copyReads, i64 bypassReads,
+                      i64 gamma, bool bypass) {
+    dr::hierarchy::CandidatePoint c{size, writes, copyReads, bypassReads,
+                                    "pt"};
+    auto chain = dr::hierarchy::buildChain(trace.length(), {c});
+    auto cost = dr::hierarchy::evaluateChain(chain, lib, 8);
+    pareto.addRow({static_cast<double>(size), cost.normalizedPower,
+                   static_cast<double>(gamma), bypass ? 1.0 : 0.0});
+  };
+  for (i64 g = range.lo; g <= range.hi; ++g) {
+    auto pt = dr::analytic::partialPoint(m, g, false);
+    addChain(pt.A, pt.missesPerOuter, pt.CtotCopyPerOuter, 0, g, false);
+    auto bp = dr::analytic::partialPoint(m, g, true);
+    addChain(bp.A, bp.missesPerOuter, bp.CtotCopyPerOuter,
+             bp.CtotBypassPerOuter, g, true);
+  }
+  addChain(m.AMax, m.missesPerOuter, m.CtotPerOuter, 0, -1, false);
+  pareto.sortByColumn(0);
+  dr::bench::emitDataSet(pareto, "fig10b_power_size");
+
+  std::printf(
+      "paper:    F_RMax = 128/23 = 5.57 at A_Max = 56; bypass points give "
+      "higher F_R and lower power at equal gamma\n");
+  std::printf("measured: F_RMax = %s = %.2f at A_Max = %lld; see bypass "
+              "column above\n",
+              m.FRmax.str().c_str(), m.FRmax.toDouble(),
+              static_cast<long long>(m.AMax));
+}
+
+void BM_PairAnalysis(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({});
+  for (auto _ : state) {
+    auto m = dr::analytic::analyzePair(
+        p.nests[0], p.nests[0].body[dr::kernels::oldAccessIndex()], 3);
+    benchmark::DoNotOptimize(m.AMax);
+  }
+}
+BENCHMARK(BM_PairAnalysis);
+
+void BM_PartialCurve(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({});
+  auto m = dr::analytic::analyzePair(
+      p.nests[0], p.nests[0].body[dr::kernels::oldAccessIndex()], 3);
+  for (auto _ : state) {
+    auto pts = dr::analytic::partialCurve(m, 1, true);
+    benchmark::DoNotOptimize(pts.size());
+  }
+}
+BENCHMARK(BM_PartialCurve);
+
+}  // namespace
+
+DR_BENCH_MAIN(printFigureData)

@@ -1,0 +1,88 @@
+// E7 — Paper Fig. 1: "exploiting data reuse local in time to save power".
+// Over the whole frame every element of Old is read (it must live in the
+// big background memory), but inside small time-frames only a small
+// working set is touched — exactly the data worth copying into a smaller,
+// less power-hungry memory.
+
+#include "bench_util.h"
+
+#include "kernels/motion_estimation.h"
+#include "support/dataset.h"
+#include "trace/lifetime.h"
+#include "trace/timeframe.h"
+#include "trace/walker.h"
+
+namespace {
+
+void printFigureData() {
+  dr::bench::heading(
+      "Fig. 1  |  Time-frame locality of the Old-frame reads (motion "
+      "estimation)");
+
+  dr::kernels::MotionEstimationParams mp;
+  if (dr::bench::smallScale()) {
+    mp.H = 32;
+    mp.W = 32;
+    mp.n = 4;
+    mp.m = 4;
+  }
+  auto p = dr::kernels::motionEstimation(mp);
+  dr::trace::AddressMap map(p);
+  auto trace = dr::trace::readTrace(p, map, p.findSignal("Old"));
+
+  for (int frames : {4, 16, 64, 256}) {
+    auto rep = dr::trace::analyzeTimeFrames(trace, frames);
+    dr::support::DataSet ds(
+        "working set per time-frame (" + std::to_string(frames) + " frames)",
+        {"frame", "accesses", "distinct", "reuse_per_element"});
+    // Print at most 16 representative frames to keep the table readable.
+    std::size_t stride = rep.frames.size() > 16 ? rep.frames.size() / 16 : 1;
+    for (std::size_t i = 0; i < rep.frames.size(); i += stride) {
+      const auto& f = rep.frames[i];
+      ds.addRow({static_cast<double>(i), static_cast<double>(f.accessCount),
+                 static_cast<double>(f.distinctElements),
+                 f.reusePerElement});
+    }
+    dr::bench::emitDataSet(ds, "fig1_frames_" + std::to_string(frames));
+    std::printf("frames=%3d: total distinct %lld, max frame working set "
+                "%.0f (%.1f%% of total), avg %.0f\n\n",
+                frames, static_cast<long long>(rep.totalDistinct),
+                rep.maxFrameDistinct,
+                100.0 * rep.maxFrameDistinct /
+                    static_cast<double>(rep.totalDistinct),
+                rep.avgFrameDistinct);
+  }
+
+  auto stats = dr::trace::analyzeLifetimes(trace);
+  std::printf("lifetime analysis: max simultaneously-live elements %lld, "
+              "time-avg %.0f, longest lifetime %lld accesses\n",
+              static_cast<long long>(stats.maxLive), stats.avgLive,
+              static_cast<long long>(stats.maxLifetime));
+}
+
+void BM_TimeFrameAnalysis(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  for (auto _ : state) {
+    auto rep = dr::trace::analyzeTimeFrames(t, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(rep.maxFrameDistinct);
+  }
+}
+BENCHMARK(BM_TimeFrameAnalysis)->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LifetimeAnalysis(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  for (auto _ : state) {
+    auto stats = dr::trace::analyzeLifetimes(t);
+    benchmark::DoNotOptimize(stats.maxLive);
+  }
+}
+BENCHMARK(BM_LifetimeAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DR_BENCH_MAIN(printFigureData)

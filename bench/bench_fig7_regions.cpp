@@ -1,0 +1,120 @@
+// E8 — Paper Fig. 7: the copy-candidate size variation in steady state.
+// The four regions I-IV of Section 6.1 describe exactly which elements are
+// resident at time t(j,k); their sizes vary with k and peak at
+// A_Max = c'*(kRANGE - b'). The region model is cross-checked against the
+// template executor's measured occupancy.
+
+#include "bench_util.h"
+
+#include "analytic/pair_analysis.h"
+#include "analytic/regions.h"
+#include "codegen/executor.h"
+#include "loopir/program.h"
+#include "loopir/validate.h"
+#include "support/dataset.h"
+#include "trace/address_map.h"
+
+namespace {
+
+using dr::support::i64;
+
+dr::loopir::Program generic(i64 b, i64 c, i64 jR, i64 kR) {
+  dr::loopir::Program p;
+  p.name = "generic";
+  i64 span = 1 + b * (jR - 1) + c * (kR - 1);
+  int sig = dr::loopir::addSignal(p, "A", {span}, 8);
+  dr::loopir::LoopNest nest;
+  nest.loops = {dr::loopir::Loop{"j", 0, jR - 1, 1},
+                dr::loopir::Loop{"k", 0, kR - 1, 1}};
+  dr::loopir::ArrayAccess acc;
+  acc.signal = sig;
+  acc.kind = dr::loopir::AccessKind::Read;
+  dr::loopir::AffineExpr e;
+  e.setCoeff(0, b);
+  e.setCoeff(1, c);
+  acc.indices = {e};
+  nest.body.push_back(acc);
+  p.nests.push_back(nest);
+  dr::loopir::validateOrThrow(p);
+  return p;
+}
+
+void printFigureData() {
+  dr::bench::heading(
+      "Fig. 7  |  Copy-candidate size variation in steady state "
+      "(regions I-IV)");
+
+  // The paper's steady-state setting: kRANGE > 2b', jRANGE > 2c'.
+  const i64 b = 2, c = 3, jR = 20, kR = 12;
+  auto p = generic(b, c, jR, kR);
+  auto m = dr::analytic::analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  std::printf("%s\n\n", m.str().c_str());
+
+  dr::analytic::RegionParams rp;
+  rp.bprime = m.cls.vec.bprime;
+  rp.cprime = m.cls.vec.cprime;
+  rp.jL = 0;
+  rp.jU = jR - 1;
+  rp.kL = 0;
+  rp.kU = kR - 1;
+
+  i64 steadyJ = jR / 2;
+  dr::support::DataSet ds(
+      "region sizes over k at steady-state j=" + std::to_string(steadyJ),
+      {"k", "region_I", "region_II", "region_III", "region_IV", "total"});
+  for (i64 k = 0; k < kR; ++k) {
+    auto s = dr::analytic::regionSizesAt(rp, steadyJ, k);
+    ds.addRow({static_cast<double>(k), static_cast<double>(s.regionI),
+               static_cast<double>(s.regionII),
+               static_cast<double>(s.regionIII),
+               static_cast<double>(s.regionIV),
+               static_cast<double>(s.total())});
+  }
+  dr::bench::emitDataSet(ds, "fig7_region_sizes");
+
+  i64 peak = dr::analytic::maxOccupancy(rp);
+  dr::trace::AddressMap map(p);
+  auto counts = dr::codegen::executeCopyTemplate(p, 0, 0, m, {}, map);
+  std::printf("paper:    A_Max = c'*(kRANGE - b') = %lld\n",
+              static_cast<long long>(rp.cprime * (kR - rp.bprime)));
+  std::printf("measured: region-model peak %lld, template-executor peak "
+              "%lld, values correct: %s\n",
+              static_cast<long long>(peak),
+              static_cast<long long>(counts.maxOccupancy),
+              counts.valuesCorrect ? "yes" : "NO");
+}
+
+void BM_RegionSizes(benchmark::State& state) {
+  dr::analytic::RegionParams rp;
+  rp.bprime = 2;
+  rp.cprime = 3;
+  rp.jL = 0;
+  rp.jU = 99;
+  rp.kL = 0;
+  rp.kU = 99;
+  for (auto _ : state) {
+    i64 total = 0;
+    for (i64 k = 0; k < 100; ++k)
+      total += dr::analytic::regionSizesAt(rp, 50, k).total();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_RegionSizes);
+
+void BM_MaxOccupancy(benchmark::State& state) {
+  dr::analytic::RegionParams rp;
+  rp.bprime = 2;
+  rp.cprime = 3;
+  rp.jL = 0;
+  rp.jU = 999;
+  rp.kL = 0;
+  rp.kU = 999;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dr::analytic::maxOccupancy(rp));
+  }
+}
+BENCHMARK(BM_MaxOccupancy);
+
+}  // namespace
+
+DR_BENCH_MAIN(printFigureData)

@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared helpers for the figure-regeneration benchmarks. Every bench
+// binary prints the paper artifact it reproduces (the actual figure data,
+// at full paper scale) and then runs google-benchmark timings of the
+// machinery involved (at reduced scale, so a full bench sweep stays
+// fast on one core).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "support/dataset.h"
+
+namespace dr::bench {
+
+/// True when DR_BENCH_SMALL is set: figure data is produced at reduced
+/// scale (useful in CI smoke runs).
+inline bool smallScale() { return std::getenv("DR_BENCH_SMALL") != nullptr; }
+
+/// Print a dataset as an aligned table, and persist it as a gnuplot .dat
+/// file when DR_BENCH_DATADIR is set (mirroring the paper prototype's
+/// gnuplot output).
+inline void emitDataSet(const dr::support::DataSet& ds,
+                        const std::string& fileStem, int precision = 4) {
+  std::printf("%s\n", ds.toTable(precision).c_str());
+  if (const char* dir = std::getenv("DR_BENCH_DATADIR")) {
+    std::string path = std::string(dir) + "/" + fileStem + ".dat";
+    dr::support::DataSet::writeFile(path, ds.toGnuplot());
+    std::printf("(wrote %s)\n\n", path.c_str());
+  }
+}
+
+inline void heading(const char* title) {
+  std::printf("\n================================================================\n"
+              "%s\n"
+              "================================================================\n\n",
+              title);
+}
+
+}  // namespace dr::bench
+
+/// Standard main: figure data first, then the registered timings.
+#define DR_BENCH_MAIN(printFigureData)                       \
+  int main(int argc, char** argv) {                          \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                              \
+    printFigureData();                                       \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }

@@ -1,0 +1,155 @@
+// Generic exploration tool — the library equivalent of the paper's
+// prototype ("the tool will be extended in the future for automatic input
+// parameter extraction and transformation of the source code"; this tool
+// does both: it parses a kernel file and can emit the transformed code).
+//
+//   $ ./examples/explore_kernel --kernel path/to/kernel.krn
+//                               [--signal NAME] [--no-sim] [--emit-code]
+//                               [--report] [--orderings BUDGET]
+//
+// Without --kernel it runs on a built-in 2-D convolution example. The
+// kernel language grammar is documented in src/frontend/parser.h.
+
+#include <cstdio>
+
+#include "analytic/pair_analysis.h"
+#include "codegen/templates.h"
+#include "explorer/explorer.h"
+#include "frontend/frontend.h"
+#include "kernels/conv2d.h"
+#include "loopir/printer.h"
+#include "report/report.h"
+#include "support/cli.h"
+#include "support/strings.h"
+
+namespace {
+
+void exploreOne(const dr::loopir::Program& p, int signal,
+                const dr::explorer::ExploreOptions& opts, bool emitCode,
+                bool fullReport, long long orderingsBudget) {
+  auto ex = dr::explorer::exploreSignal(p, signal, opts);
+  if (fullReport) {
+    std::printf("%s\n", dr::report::signalReport(p, ex).c_str());
+    return;
+  }
+  if (orderingsBudget > 0) {
+    auto results =
+        dr::explorer::orderingSweep(p, signal, orderingsBudget);
+    std::printf("---- signal '%s': loop orderings under a %lld-word "
+                "budget ----\n",
+                ex.signalName.c_str(), orderingsBudget);
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, results.size());
+         ++i) {
+      const auto& r = results[i];
+      if (!r.feasible) continue;
+      std::vector<std::string> names;
+      for (int l : r.perm)
+        names.push_back(p.nests[0].loops[static_cast<std::size_t>(l)].name);
+      std::printf("  (%s): size %lld, %lld transfers, F_R %.2f\n",
+                  dr::support::join(names, ",").c_str(),
+                  static_cast<long long>(r.bestSize),
+                  static_cast<long long>(r.bestMisses), r.bestFR);
+    }
+    std::printf("\n");
+  }
+  std::printf("---- signal '%s': C_tot %lld, distinct %lld ----\n",
+              ex.signalName.c_str(), static_cast<long long>(ex.Ctot),
+              static_cast<long long>(ex.distinctElements));
+
+  if (ex.combinedPoints.empty()) {
+    std::printf("  no reuse found by the pair model at any loop level\n\n");
+    return;
+  }
+  for (const auto& pt : ex.combinedPoints)
+    std::printf("  %-22s size %6lld  F_R %10.3f%s\n", pt.label.c_str(),
+                static_cast<long long>(pt.size), pt.FR,
+                pt.exact ? "" : "  (approximate)");
+
+  std::printf("  Pareto front (size, normalized power):\n");
+  std::size_t stride =
+      ex.pareto.size() > 24 ? (ex.pareto.size() + 23) / 24 : 1;
+  for (std::size_t i = 0; i < ex.pareto.size(); ++i) {
+    if (i % stride != 0 && i + 1 != ex.pareto.size()) continue;
+    const auto& d = ex.pareto[i];
+    std::printf("    %7lld  %.4f  |  %s\n",
+                static_cast<long long>(d.cost.onChipSize),
+                d.cost.normalizedPower, d.label.c_str());
+  }
+  if (stride > 1)
+    std::printf("    (%zu Pareto points, subsampled)\n", ex.pareto.size());
+
+  if (emitCode) {
+    // Emit the maximum-reuse template for the first canonical access.
+    for (const auto& acc : ex.accesses) {
+      const auto& nest = p.nests[static_cast<std::size_t>(acc.nest)];
+      for (int level = nest.depth() - 2; level >= 0; --level) {
+        auto m = dr::analytic::analyzePair(
+            nest, nest.body[static_cast<std::size_t>(acc.accessIndex)],
+            level);
+        if (!m.hasReuse || m.cls.kind != dr::analytic::ReuseKind::Vector ||
+            m.cls.vec.cprime < 1 || m.cls.vec.flippedK ||
+            m.reuseRepeat != 1)
+          continue;
+        auto code = dr::codegen::generateCopyTemplate(p, acc.nest,
+                                                      acc.accessIndex, m);
+        std::printf("\n  transformed code (nest %d, access %d, level %d):\n"
+                    "%s\n",
+                    acc.nest, acc.accessIndex, level,
+                    code.transformedCode.c_str());
+        return;  // one template is enough for the report
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dr::support::CliOptions cli(argc, argv);
+  std::string kernelPath = cli.getString("kernel", "");
+  std::string signalName = cli.getString("signal", "");
+  dr::explorer::ExploreOptions opts;
+  opts.runSimulation = !cli.getBool("no-sim", false);
+  bool emitCode = cli.getBool("emit-code", false);
+  bool fullReport = cli.getBool("report", false);
+  long long orderingsBudget = cli.getInt("orderings", 0);
+  for (const auto& name : cli.unusedNames())
+    std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
+
+  dr::loopir::Program p;
+  try {
+    p = kernelPath.empty()
+            ? dr::kernels::conv2d({})
+            : dr::frontend::compileKernelFile(kernelPath);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("%s\n", dr::loopir::programToString(p).c_str());
+
+  if (!signalName.empty()) {
+    int sig = p.findSignal(signalName);
+    if (sig < 0) {
+      std::fprintf(stderr, "error: no signal named '%s'\n",
+                   signalName.c_str());
+      return 1;
+    }
+    exploreOne(p, sig, opts, emitCode, fullReport, orderingsBudget);
+    return 0;
+  }
+  for (std::size_t s = 0; s < p.signals.size(); ++s) {
+    // Only read signals are explored (the data reuse step analyzes reads).
+    bool hasReads = false;
+    for (const auto& nest : p.nests)
+      for (const auto& acc : nest.body)
+        if (acc.signal == static_cast<int>(s) &&
+            acc.kind == dr::loopir::AccessKind::Read)
+          hasReads = true;
+    if (hasReads)
+      exploreOne(p, static_cast<int>(s), opts, emitCode, fullReport,
+                 orderingsBudget);
+  }
+  return 0;
+}

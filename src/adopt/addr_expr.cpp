@@ -1,0 +1,168 @@
+#include "adopt/addr_expr.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace dr::adopt {
+
+using dr::support::checkedAdd;
+using dr::support::checkedMul;
+
+AddrExpr::AddrExpr(Kind k, i64 value, int iter, std::vector<AddrExprPtr> ops,
+                   i64 divisor)
+    : kind_(k), value_(value), iter_(iter), operands_(std::move(ops)),
+      divisor_(divisor) {}
+
+i64 AddrExpr::value() const {
+  DR_REQUIRE(kind_ == Kind::Const);
+  return value_;
+}
+
+int AddrExpr::iter() const {
+  DR_REQUIRE(kind_ == Kind::Iter);
+  return iter_;
+}
+
+i64 AddrExpr::divisor() const {
+  DR_REQUIRE(kind_ == Kind::FloorDiv || kind_ == Kind::Mod);
+  return divisor_;
+}
+
+AddrExprPtr AddrExpr::constant(i64 v) {
+  return AddrExprPtr(new AddrExpr(Kind::Const, v, -1, {}, 1));
+}
+
+AddrExprPtr AddrExpr::iter(int index) {
+  DR_REQUIRE(index >= 0);
+  return AddrExprPtr(new AddrExpr(Kind::Iter, 0, index, {}, 1));
+}
+
+AddrExprPtr AddrExpr::add(std::vector<AddrExprPtr> terms) {
+  for (const auto& t : terms) DR_REQUIRE(t != nullptr);
+  if (terms.empty()) return constant(0);
+  if (terms.size() == 1) return terms.front();
+  return AddrExprPtr(new AddrExpr(Kind::Add, 0, -1, std::move(terms), 1));
+}
+
+AddrExprPtr AddrExpr::mul(std::vector<AddrExprPtr> factors) {
+  for (const auto& f : factors) DR_REQUIRE(f != nullptr);
+  if (factors.empty()) return constant(1);
+  if (factors.size() == 1) return factors.front();
+  return AddrExprPtr(new AddrExpr(Kind::Mul, 0, -1, std::move(factors), 1));
+}
+
+AddrExprPtr AddrExpr::floorDiv(AddrExprPtr e, i64 n) {
+  DR_REQUIRE(e != nullptr);
+  DR_REQUIRE_MSG(n > 0, "divisor must be positive");
+  return AddrExprPtr(new AddrExpr(Kind::FloorDiv, 0, -1, {std::move(e)}, n));
+}
+
+AddrExprPtr AddrExpr::mod(AddrExprPtr e, i64 n) {
+  DR_REQUIRE(e != nullptr);
+  DR_REQUIRE_MSG(n > 0, "modulus must be positive");
+  return AddrExprPtr(new AddrExpr(Kind::Mod, 0, -1, {std::move(e)}, n));
+}
+
+AddrExprPtr AddrExpr::fromAffine(const loopir::AffineExpr& e) {
+  std::vector<AddrExprPtr> terms;
+  for (int i = 0; i <= e.maxIterator(); ++i) {
+    i64 k = e.coeff(i);
+    if (k == 0) continue;
+    if (k == 1)
+      terms.push_back(iter(i));
+    else
+      terms.push_back(mul({constant(k), iter(i)}));
+  }
+  if (e.constantTerm() != 0 || terms.empty())
+    terms.push_back(constant(e.constantTerm()));
+  return add(std::move(terms));
+}
+
+i64 AddrExpr::evaluate(const std::vector<i64>& iters) const {
+  switch (kind_) {
+    case Kind::Const:
+      return value_;
+    case Kind::Iter:
+      DR_REQUIRE_MSG(iter_ < static_cast<int>(iters.size()),
+                     "iterator value missing");
+      return iters[static_cast<std::size_t>(iter_)];
+    case Kind::Add: {
+      i64 s = 0;
+      for (const auto& op : operands_) s = checkedAdd(s, op->evaluate(iters));
+      return s;
+    }
+    case Kind::Mul: {
+      i64 p = 1;
+      for (const auto& op : operands_) p = checkedMul(p, op->evaluate(iters));
+      return p;
+    }
+    case Kind::FloorDiv:
+      return dr::support::floorDiv(operands_[0]->evaluate(iters), divisor_);
+    case Kind::Mod:
+      return dr::support::mod(operands_[0]->evaluate(iters), divisor_);
+  }
+  DR_UNREACHABLE("bad AddrExpr kind");
+}
+
+bool AddrExpr::equals(const AddrExpr& o) const {
+  if (kind_ != o.kind_ || value_ != o.value_ || iter_ != o.iter_ ||
+      divisor_ != o.divisor_ || operands_.size() != o.operands_.size())
+    return false;
+  for (std::size_t i = 0; i < operands_.size(); ++i)
+    if (!operands_[i]->equals(*o.operands_[i])) return false;
+  return true;
+}
+
+int AddrExpr::maxIterator() const {
+  int best = kind_ == Kind::Iter ? iter_ : -1;
+  for (const auto& op : operands_) best = std::max(best, op->maxIterator());
+  return best;
+}
+
+int AddrExpr::divModCount() const {
+  int n = (kind_ == Kind::FloorDiv || kind_ == Kind::Mod) ? 1 : 0;
+  for (const auto& op : operands_) n += op->divModCount();
+  return n;
+}
+
+int AddrExpr::nodeCount() const {
+  int n = 1;
+  for (const auto& op : operands_) n += op->nodeCount();
+  return n;
+}
+
+std::string AddrExpr::str(const std::vector<std::string>& iterNames) const {
+  switch (kind_) {
+    case Kind::Const:
+      return std::to_string(value_);
+    case Kind::Iter:
+      DR_REQUIRE(iter_ < static_cast<int>(iterNames.size()));
+      return iterNames[static_cast<std::size_t>(iter_)];
+    case Kind::Add: {
+      std::string s = "(";
+      for (std::size_t i = 0; i < operands_.size(); ++i) {
+        if (i) s += " + ";
+        s += operands_[i]->str(iterNames);
+      }
+      return s + ")";
+    }
+    case Kind::Mul: {
+      std::string s;
+      for (std::size_t i = 0; i < operands_.size(); ++i) {
+        if (i) s += "*";
+        s += operands_[i]->str(iterNames);
+      }
+      return s;
+    }
+    case Kind::FloorDiv:
+      return "DIV(" + operands_[0]->str(iterNames) + ", " +
+             std::to_string(divisor_) + ")";
+    case Kind::Mod:
+      return "MOD(" + operands_[0]->str(iterNames) + ", " +
+             std::to_string(divisor_) + ")";
+  }
+  DR_UNREACHABLE("bad AddrExpr kind");
+}
+
+}  // namespace dr::adopt

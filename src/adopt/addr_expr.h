@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loopir/affine.h"
+#include "support/intmath.h"
+
+/// \file addr_expr.h
+/// Address-expression IR for the ADOPT-style address optimization stage
+/// (paper Section 6.1: "The addressing looks rather complicated, but can
+/// be linearized and greatly simplified by the ADOPT tools [20] for
+/// address optimization, a stage following the DTSE stage").
+///
+/// The copy-candidate templates of Fig. 8 index their buffers with
+/// expressions like MOD(kk + (jj/c')*b', kR-b'), i.e. affine parts mixed
+/// with floor division and modulo by positive constants. This IR models
+/// exactly that class: Const | Iter | Add | Mul | FloorDiv | Mod, with
+/// division and modulo restricted to positive constant divisors.
+
+namespace dr::adopt {
+
+using dr::support::i64;
+
+class AddrExpr;
+using AddrExprPtr = std::shared_ptr<const AddrExpr>;
+
+/// Immutable address expression node.
+class AddrExpr {
+ public:
+  enum class Kind { Const, Iter, Add, Mul, FloorDiv, Mod };
+
+  Kind kind() const noexcept { return kind_; }
+  i64 value() const;               ///< Const only
+  int iter() const;                ///< Iter only
+  const std::vector<AddrExprPtr>& operands() const noexcept {
+    return operands_;
+  }
+  i64 divisor() const;             ///< FloorDiv/Mod only, always > 0
+
+  static AddrExprPtr constant(i64 v);
+  static AddrExprPtr iter(int index);
+  /// n-ary sum; empty -> 0, singleton -> the operand itself.
+  static AddrExprPtr add(std::vector<AddrExprPtr> terms);
+  /// n-ary product; empty -> 1, singleton -> the operand itself.
+  static AddrExprPtr mul(std::vector<AddrExprPtr> factors);
+  /// floor(e / n), n > 0 (mathematical floor, as support::floorDiv).
+  static AddrExprPtr floorDiv(AddrExprPtr e, i64 n);
+  /// e mod n in [0, n), n > 0 (mathematical, as support::mod).
+  static AddrExprPtr mod(AddrExprPtr e, i64 n);
+
+  /// Lift a loopir affine expression into this IR.
+  static AddrExprPtr fromAffine(const loopir::AffineExpr& e);
+
+  /// Evaluate with concrete iterator values.
+  i64 evaluate(const std::vector<i64>& iters) const;
+
+  /// Deep structural equality.
+  bool equals(const AddrExpr& o) const;
+
+  /// Highest iterator index referenced, -1 if none.
+  int maxIterator() const;
+
+  /// Number of div/mod operations in the tree — the cost metric the
+  /// optimizer drives down.
+  int divModCount() const;
+
+  /// Total node count.
+  int nodeCount() const;
+
+  /// Render with iterator names, C syntax (MOD()/DIV() helpers).
+  std::string str(const std::vector<std::string>& iterNames) const;
+
+ private:
+  AddrExpr(Kind k, i64 value, int iter, std::vector<AddrExprPtr> ops,
+           i64 divisor);
+
+  Kind kind_;
+  i64 value_ = 0;
+  int iter_ = -1;
+  std::vector<AddrExprPtr> operands_;
+  i64 divisor_ = 1;
+};
+
+}  // namespace dr::adopt

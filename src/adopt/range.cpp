@@ -1,0 +1,69 @@
+#include "adopt/range.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace dr::adopt {
+
+using dr::support::floorDiv;
+using dr::support::mod;
+
+Interval iterRange(const loopir::LoopNest& nest, int level) {
+  DR_REQUIRE(level >= 0 && level < nest.depth());
+  const loopir::Loop& loop = nest.loops[static_cast<std::size_t>(level)];
+  DR_REQUIRE(loop.tripCount() >= 1);
+  i64 first = loop.begin;
+  i64 last = loop.valueAt(loop.tripCount() - 1);
+  return Interval{std::min(first, last), std::max(first, last)};
+}
+
+Interval exprRange(const AddrExpr& expr, const loopir::LoopNest& nest) {
+  switch (expr.kind()) {
+    case AddrExpr::Kind::Const:
+      return Interval{expr.value(), expr.value()};
+    case AddrExpr::Kind::Iter:
+      return iterRange(nest, expr.iter());
+    case AddrExpr::Kind::Add: {
+      Interval out{0, 0};
+      for (const auto& op : expr.operands()) {
+        Interval r = exprRange(*op, nest);
+        out.lo = dr::support::checkedAdd(out.lo, r.lo);
+        out.hi = dr::support::checkedAdd(out.hi, r.hi);
+      }
+      return out;
+    }
+    case AddrExpr::Kind::Mul: {
+      Interval out{1, 1};
+      for (const auto& op : expr.operands()) {
+        Interval r = exprRange(*op, nest);
+        i64 candidates[] = {
+            dr::support::checkedMul(out.lo, r.lo),
+            dr::support::checkedMul(out.lo, r.hi),
+            dr::support::checkedMul(out.hi, r.lo),
+            dr::support::checkedMul(out.hi, r.hi)};
+        out.lo = *std::min_element(std::begin(candidates),
+                                   std::end(candidates));
+        out.hi = *std::max_element(std::begin(candidates),
+                                   std::end(candidates));
+      }
+      return out;
+    }
+    case AddrExpr::Kind::FloorDiv: {
+      Interval r = exprRange(*expr.operands()[0], nest);
+      return Interval{floorDiv(r.lo, expr.divisor()),
+                      floorDiv(r.hi, expr.divisor())};
+    }
+    case AddrExpr::Kind::Mod: {
+      Interval r = exprRange(*expr.operands()[0], nest);
+      i64 n = expr.divisor();
+      // Tight when the argument stays within one modulus period.
+      if (floorDiv(r.lo, n) == floorDiv(r.hi, n))
+        return Interval{mod(r.lo, n), mod(r.hi, n)};
+      return Interval{0, n - 1};
+    }
+  }
+  DR_UNREACHABLE("bad AddrExpr kind");
+}
+
+}  // namespace dr::adopt

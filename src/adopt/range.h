@@ -1,0 +1,30 @@
+#pragma once
+
+#include "adopt/addr_expr.h"
+#include "loopir/program.h"
+
+/// \file range.h
+/// Interval analysis over address expressions: the exact value range of an
+/// AddrExpr when its iterators run over a (normalized or not) loop nest.
+/// Sound and, for the expression class the templates emit (affine parts
+/// under one div/mod), tight. The simplifier relies on it to discharge
+/// modulo/division operations whose argument provably stays in range.
+
+namespace dr::adopt {
+
+struct Interval {
+  i64 lo = 0;
+  i64 hi = 0;
+
+  i64 width() const { return hi - lo + 1; }
+  bool contains(i64 v) const { return v >= lo && v <= hi; }
+};
+
+/// Value range of iterator `level` of `nest` (min/max over the trip).
+Interval iterRange(const loopir::LoopNest& nest, int level);
+
+/// Sound interval for `expr` over all iterations of `nest`.
+/// Precondition: every iterator referenced by `expr` is a level of `nest`.
+Interval exprRange(const AddrExpr& expr, const loopir::LoopNest& nest);
+
+}  // namespace dr::adopt

@@ -1,0 +1,266 @@
+#include "adopt/simplify.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/contracts.h"
+
+namespace dr::adopt {
+
+using Kind = AddrExpr::Kind;
+using dr::support::checkedAdd;
+using dr::support::checkedMul;
+using dr::support::floorDiv;
+using dr::support::mod;
+
+std::string structuralKey(const AddrExpr& expr) {
+  switch (expr.kind()) {
+    case Kind::Const:
+      return "c" + std::to_string(expr.value());
+    case Kind::Iter:
+      return "i" + std::to_string(expr.iter());
+    case Kind::Add: {
+      std::string s = "(+";
+      for (const auto& op : expr.operands()) s += " " + structuralKey(*op);
+      return s + ")";
+    }
+    case Kind::Mul: {
+      std::string s = "(*";
+      for (const auto& op : expr.operands()) s += " " + structuralKey(*op);
+      return s + ")";
+    }
+    case Kind::FloorDiv:
+      return "(/ " + structuralKey(*expr.operands()[0]) + " " +
+             std::to_string(expr.divisor()) + ")";
+    case Kind::Mod:
+      return "(% " + structuralKey(*expr.operands()[0]) + " " +
+             std::to_string(expr.divisor()) + ")";
+  }
+  DR_UNREACHABLE("bad AddrExpr kind");
+}
+
+namespace {
+
+/// One term of a canonical sum: coefficient * body (body == nullptr means
+/// the constant term).
+struct Term {
+  i64 coeff = 0;
+  AddrExprPtr body;  ///< never Const; nullptr for the constant term
+};
+
+class Simplifier {
+ public:
+  explicit Simplifier(const loopir::LoopNest& nest) : nest_(nest) {}
+
+  AddrExprPtr run(const AddrExprPtr& expr) {
+    AddrExprPtr cur = expr;
+    for (int round = 0; round < 8; ++round) {
+      AddrExprPtr next = rewrite(cur);
+      if (next->equals(*cur)) return next;
+      cur = next;
+    }
+    return cur;
+  }
+
+ private:
+  /// Split a (rewritten) expression into coefficient and body.
+  static Term asTerm(const AddrExprPtr& e) {
+    if (e->kind() == Kind::Const) return Term{e->value(), nullptr};
+    if (e->kind() == Kind::Mul) {
+      i64 coeff = 1;
+      std::vector<AddrExprPtr> rest;
+      for (const auto& op : e->operands()) {
+        if (op->kind() == Kind::Const)
+          coeff = checkedMul(coeff, op->value());
+        else
+          rest.push_back(op);
+      }
+      if (rest.empty()) return Term{coeff, nullptr};
+      return Term{coeff, AddrExpr::mul(std::move(rest))};
+    }
+    return Term{1, e};
+  }
+
+  static AddrExprPtr fromTerm(const Term& t) {
+    if (!t.body) return AddrExpr::constant(t.coeff);
+    if (t.coeff == 1) return t.body;
+    return AddrExpr::mul({AddrExpr::constant(t.coeff), t.body});
+  }
+
+  /// Canonical flattened sum of `e` as terms (merging like bodies).
+  static std::vector<Term> sumTerms(const AddrExprPtr& e) {
+    std::vector<AddrExprPtr> flat;
+    if (e->kind() == Kind::Add)
+      flat = e->operands();
+    else
+      flat = {e};
+
+    std::map<std::string, Term> merged;  // key "" = constant term
+    for (const auto& op : flat) {
+      Term t = asTerm(op);
+      std::string key = t.body ? structuralKey(*t.body) : "";
+      auto [it, inserted] = merged.try_emplace(key, t);
+      if (!inserted) it->second.coeff = checkedAdd(it->second.coeff, t.coeff);
+    }
+    std::vector<Term> out;
+    for (auto& [key, t] : merged)
+      if (t.coeff != 0 || !t.body) out.push_back(std::move(t));
+    // Drop a zero constant term unless it is the only term.
+    if (out.size() > 1)
+      out.erase(std::remove_if(out.begin(), out.end(),
+                               [](const Term& t) {
+                                 return !t.body && t.coeff == 0;
+                               }),
+                out.end());
+    return out;
+  }
+
+  AddrExprPtr rewriteAdd(const AddrExprPtr& e) {
+    // Flatten nested sums first.
+    std::vector<AddrExprPtr> flat;
+    for (const auto& op : e->operands()) {
+      if (op->kind() == Kind::Add)
+        flat.insert(flat.end(), op->operands().begin(), op->operands().end());
+      else
+        flat.push_back(op);
+    }
+    std::vector<Term> terms = sumTerms(AddrExpr::add(std::move(flat)));
+    if (terms.empty()) return AddrExpr::constant(0);
+    std::vector<AddrExprPtr> out;
+    out.reserve(terms.size());
+    for (const Term& t : terms) out.push_back(fromTerm(t));
+    return AddrExpr::add(std::move(out));
+  }
+
+  AddrExprPtr rewriteMul(const AddrExprPtr& e) {
+    std::vector<AddrExprPtr> flat;
+    i64 coeff = 1;
+    for (const auto& op : e->operands()) {
+      if (op->kind() == Kind::Mul) {
+        for (const auto& inner : op->operands()) {
+          if (inner->kind() == Kind::Const)
+            coeff = checkedMul(coeff, inner->value());
+          else
+            flat.push_back(inner);
+        }
+      } else if (op->kind() == Kind::Const) {
+        coeff = checkedMul(coeff, op->value());
+      } else {
+        flat.push_back(op);
+      }
+    }
+    if (coeff == 0) return AddrExpr::constant(0);
+    // Distribute the constant (and single remaining factor set) over a sum
+    // to reach the canonical sum-of-products form.
+    if (flat.size() == 1 && flat[0]->kind() == Kind::Add) {
+      std::vector<AddrExprPtr> terms;
+      for (const auto& t : flat[0]->operands())
+        terms.push_back(AddrExpr::mul({AddrExpr::constant(coeff), t}));
+      return rewriteAdd(AddrExpr::add(std::move(terms)));
+    }
+    std::sort(flat.begin(), flat.end(),
+              [](const AddrExprPtr& a, const AddrExprPtr& b) {
+                return structuralKey(*a) < structuralKey(*b);
+              });
+    if (coeff != 1)
+      flat.insert(flat.begin(), AddrExpr::constant(coeff));
+    return AddrExpr::mul(std::move(flat));
+  }
+
+  /// Split the terms of `arg` into multiples of n and a remainder.
+  static void splitDivisible(const AddrExprPtr& arg, i64 n,
+                             std::vector<AddrExprPtr>& multiples,
+                             std::vector<AddrExprPtr>& remainder) {
+    for (const Term& t : sumTerms(arg)) {
+      if (t.coeff % n == 0 && t.coeff != 0) {
+        Term quotient{t.coeff / n, t.body};
+        multiples.push_back(fromTerm(quotient));
+      } else {
+        remainder.push_back(fromTerm(t));
+      }
+    }
+  }
+
+  AddrExprPtr rewriteFloorDiv(const AddrExprPtr& e) {
+    const AddrExprPtr& arg = e->operands()[0];
+    i64 n = e->divisor();
+    if (n == 1) return arg;
+    if (arg->kind() == Kind::Const)
+      return AddrExpr::constant(floorDiv(arg->value(), n));
+    // DIV(a*n + r, n) = a + DIV(r, n).
+    std::vector<AddrExprPtr> multiples, remainder;
+    splitDivisible(arg, n, multiples, remainder);
+    AddrExprPtr rem = AddrExpr::add(remainder);
+    Interval r = exprRange(*rem, nest_);
+    AddrExprPtr divided;
+    if (floorDiv(r.lo, n) == floorDiv(r.hi, n))
+      divided = AddrExpr::constant(floorDiv(r.lo, n));
+    else
+      divided = AddrExpr::floorDiv(rem, n);
+    if (multiples.empty()) return divided;
+    multiples.push_back(divided);
+    return rewriteAdd(AddrExpr::add(std::move(multiples)));
+  }
+
+  AddrExprPtr rewriteMod(const AddrExprPtr& e) {
+    const AddrExprPtr& arg = e->operands()[0];
+    i64 n = e->divisor();
+    if (n == 1) return AddrExpr::constant(0);
+    if (arg->kind() == Kind::Const)
+      return AddrExpr::constant(mod(arg->value(), n));
+    // MOD(MOD(x, m), n) = MOD(x, n) when n divides m.
+    if (arg->kind() == Kind::Mod && arg->divisor() % n == 0)
+      return rewriteMod(AddrExpr::mod(arg->operands()[0], n));
+    // MOD(a*n + r, n) = MOD(r, n).
+    std::vector<AddrExprPtr> multiples, remainder;
+    splitDivisible(arg, n, multiples, remainder);
+    AddrExprPtr rem = AddrExpr::add(remainder);
+    Interval r = exprRange(*rem, nest_);
+    if (r.lo >= 0 && r.hi < n) return rem;  // provably in range
+    if (floorDiv(r.lo, n) == floorDiv(r.hi, n)) {
+      // One period: MOD(rem, n) = rem - floor(lo/n)*n.
+      i64 offset = checkedMul(floorDiv(r.lo, n), n);
+      if (offset != 0)
+        return rewriteAdd(AddrExpr::add(
+            {rem, AddrExpr::constant(-offset)}));
+      return rem;
+    }
+    return AddrExpr::mod(rem, n);
+  }
+
+  AddrExprPtr rewrite(const AddrExprPtr& e) {
+    switch (e->kind()) {
+      case Kind::Const:
+      case Kind::Iter:
+        return e;
+      case Kind::Add: {
+        std::vector<AddrExprPtr> ops;
+        for (const auto& op : e->operands()) ops.push_back(rewrite(op));
+        return rewriteAdd(AddrExpr::add(std::move(ops)));
+      }
+      case Kind::Mul: {
+        std::vector<AddrExprPtr> ops;
+        for (const auto& op : e->operands()) ops.push_back(rewrite(op));
+        return rewriteMul(AddrExpr::mul(std::move(ops)));
+      }
+      case Kind::FloorDiv:
+        return rewriteFloorDiv(
+            AddrExpr::floorDiv(rewrite(e->operands()[0]), e->divisor()));
+      case Kind::Mod:
+        return rewriteMod(
+            AddrExpr::mod(rewrite(e->operands()[0]), e->divisor()));
+    }
+    DR_UNREACHABLE("bad AddrExpr kind");
+  }
+
+  const loopir::LoopNest& nest_;
+};
+
+}  // namespace
+
+AddrExprPtr simplify(const AddrExprPtr& expr, const loopir::LoopNest& nest) {
+  DR_REQUIRE(expr != nullptr);
+  return Simplifier(nest).run(expr);
+}
+
+}  // namespace dr::adopt

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "adopt/addr_expr.h"
+#include "adopt/range.h"
+
+/// \file simplify.h
+/// Algebraic simplification of address expressions, in the spirit of the
+/// ADOPT address-optimization stage the paper defers to. The rewriter
+/// works bottom-up to a fixpoint over:
+///
+///   * constant folding, neutral/absorbing elements (x+0, x*1, x*0),
+///   * flattening and canonical ordering of sums and products,
+///   * like-term merging (3*x + 5*x -> 8*x),
+///   * distribution of constant factors over sums,
+///   * exact division splitting: DIV(a*n + r, n) -> a + DIV(r, n),
+///   * modulo absorption: MOD(a*n + r, n) -> MOD(r, n),
+///   * range-based discharge (uses the loop bounds): MOD(e, n) -> e when
+///     the value of e provably stays inside [0, n), DIV(e, n) -> const
+///     when e stays inside one division period, MOD(MOD(e, m), n) ->
+///     MOD(e, n) when n divides m.
+///
+/// All rewrites are exact over the given nest: simplify(e) evaluates to
+/// the same value as e at every iteration (pinned by property tests).
+
+namespace dr::adopt {
+
+/// Simplify `expr` over `nest` (bounds feed the range analysis).
+AddrExprPtr simplify(const AddrExprPtr& expr, const loopir::LoopNest& nest);
+
+/// Structural sort key (used for canonical ordering; exposed for tests).
+std::string structuralKey(const AddrExpr& expr);
+
+}  // namespace dr::adopt

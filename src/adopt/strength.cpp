@@ -1,0 +1,145 @@
+#include "adopt/strength.h"
+
+#include "support/contracts.h"
+
+namespace dr::adopt {
+
+using Kind = AddrExpr::Kind;
+using dr::support::mod;
+
+namespace {
+
+/// Rebuild `e` with iterator `level` replaced by `repl`.
+AddrExprPtr substitute(const AddrExprPtr& e, int level,
+                       const AddrExprPtr& repl) {
+  switch (e->kind()) {
+    case Kind::Const:
+      return e;
+    case Kind::Iter:
+      return e->iter() == level ? repl : e;
+    case Kind::Add: {
+      std::vector<AddrExprPtr> ops;
+      for (const auto& op : e->operands())
+        ops.push_back(substitute(op, level, repl));
+      return AddrExpr::add(std::move(ops));
+    }
+    case Kind::Mul: {
+      std::vector<AddrExprPtr> ops;
+      for (const auto& op : e->operands())
+        ops.push_back(substitute(op, level, repl));
+      return AddrExpr::mul(std::move(ops));
+    }
+    case Kind::FloorDiv:
+      return AddrExpr::floorDiv(substitute(e->operands()[0], level, repl),
+                                e->divisor());
+    case Kind::Mod:
+      return AddrExpr::mod(substitute(e->operands()[0], level, repl),
+                           e->divisor());
+  }
+  DR_UNREACHABLE("bad AddrExpr kind");
+}
+
+/// Constant per-iteration delta of `e` along `level`, if provable.
+std::optional<i64> constantDelta(const AddrExprPtr& e,
+                                 const loopir::LoopNest& nest, int level,
+                                 i64 stepSize) {
+  AddrExprPtr shifted = substitute(
+      e, level,
+      AddrExpr::add({AddrExpr::iter(level), AddrExpr::constant(stepSize)}));
+  AddrExprPtr delta = simplify(
+      AddrExpr::add({shifted, AddrExpr::mul({AddrExpr::constant(-1), e})}),
+      nest);
+  if (delta->kind() == Kind::Const) return delta->value();
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string InductionPlan::updateStatement(const std::string& var) const {
+  if (step == 0 && modulus == 0) return "";
+  std::string s;
+  if (step != 0)
+    s = var + " += " + std::to_string(step) + ";";
+  if (modulus > 0) {
+    if (!s.empty()) s += " ";
+    s += "if (" + var + " >= " + std::to_string(modulus) + ") " + var +
+         " -= " + std::to_string(modulus) + ";";
+  }
+  return s;
+}
+
+std::optional<InductionPlan> makeInductionPlan(const AddrExprPtr& expr,
+                                               const loopir::LoopNest& nest,
+                                               int level) {
+  DR_REQUIRE(expr != nullptr);
+  DR_REQUIRE(level >= 0 && level < nest.depth());
+  if (expr->maxIterator() > level) return std::nullopt;  // deeper loops vary
+  const loopir::Loop& loop = nest.loops[static_cast<std::size_t>(level)];
+
+  InductionPlan plan;
+  plan.level = level;
+
+  if (expr->kind() == Kind::Mod) {
+    // Wrap counter: the modulo argument must advance by a constant.
+    auto delta = constantDelta(expr->operands()[0], nest, level, loop.step);
+    if (!delta) return std::nullopt;
+    plan.modulus = expr->divisor();
+    plan.step = mod(*delta, plan.modulus);
+  } else {
+    auto delta = constantDelta(expr, nest, level, loop.step);
+    if (!delta) return std::nullopt;
+    plan.modulus = 0;
+    plan.step = *delta;
+  }
+
+  plan.init = simplify(
+      substitute(expr, level, AddrExpr::constant(loop.begin)), nest);
+  if (plan.init->maxIterator() >= level) return std::nullopt;
+  return plan;
+}
+
+i64 verifyInductionPlan(const AddrExprPtr& expr, const loopir::LoopNest& nest,
+                        const InductionPlan& plan) {
+  DR_REQUIRE(plan.init != nullptr);
+  DR_REQUIRE(plan.level >= 0 && plan.level < nest.depth());
+  const int depth = nest.depth();
+  std::vector<i64> iter(static_cast<std::size_t>(depth));
+  std::vector<i64> trip(static_cast<std::size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    iter[static_cast<std::size_t>(d)] =
+        nest.loops[static_cast<std::size_t>(d)].begin;
+    trip[static_cast<std::size_t>(d)] =
+        nest.loops[static_cast<std::size_t>(d)].tripCount();
+  }
+  std::vector<i64> k(static_cast<std::size_t>(depth), 0);
+
+  i64 mismatches = 0;
+  i64 var = plan.init->evaluate(iter);
+  for (;;) {
+    if (var != expr->evaluate(iter)) ++mismatches;
+
+    int d = depth - 1;
+    for (; d >= 0; --d) {
+      auto ud = static_cast<std::size_t>(d);
+      if (++k[ud] < trip[ud]) {
+        iter[ud] += nest.loops[ud].step;
+        break;
+      }
+      k[ud] = 0;
+      iter[ud] = nest.loops[ud].begin;
+    }
+    if (d < 0) break;
+    if (d == plan.level) {
+      // The driving loop advanced: incremental update.
+      var += plan.step;
+      if (plan.modulus > 0 && var >= plan.modulus) var -= plan.modulus;
+    } else if (d < plan.level) {
+      // An outer loop advanced: re-initialize.
+      var = plan.init->evaluate(iter);
+    }
+    // Deeper loops advancing leave the variable untouched.
+  }
+  return mismatches;
+}
+
+}  // namespace dr::adopt

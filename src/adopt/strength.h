@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "adopt/simplify.h"
+
+/// \file strength.h
+/// Induction-variable strength reduction — the core ADOPT transformation:
+/// replace a per-iteration address computation by an incrementally updated
+/// counter. For the copy-candidate templates this turns
+///
+///     col = MOD(kk + DIV(jj, c)*b, N)          (recomputed every access)
+/// into
+///     col += step; if (col >= N) col -= N;     (one add + one compare)
+///
+/// A plan is derived for one loop level: the expression must decompose as
+/// affine(iterators) or MOD(affine, N), in which case the per-iteration
+/// delta of the chosen iterator is a compile-time constant and the wrap
+/// correction is a single conditional subtract.
+
+namespace dr::adopt {
+
+/// Incremental update recipe for one expression along one loop level.
+struct InductionPlan {
+  int level = -1;      ///< the loop whose iterations drive the update
+  i64 step = 0;        ///< value delta per iteration of that loop
+  i64 modulus = 0;     ///< 0: plain counter; >0: wrap into [0, modulus)
+  /// Value at the first iteration of `level`, as an expression over the
+  /// *outer* iterators only (levels < level).
+  AddrExprPtr init;
+
+  /// C statement performing the update of variable `var`.
+  std::string updateStatement(const std::string& var) const;
+};
+
+/// Try to derive an induction plan for `expr` along loop `level`.
+/// `expr` should be pre-simplified; returns nullopt when the expression is
+/// not of the supported affine / MOD(affine, N) shape, when its delta is
+/// not constant, or when deeper loops than `level` influence the value.
+std::optional<InductionPlan> makeInductionPlan(const AddrExprPtr& expr,
+                                               const loopir::LoopNest& nest,
+                                               int level);
+
+/// Replay the plan across the whole nest and compare against direct
+/// evaluation; returns the number of mismatching iterations (0 = the plan
+/// is exact). Used by tests and by callers that want a safety net before
+/// emitting optimized code.
+i64 verifyInductionPlan(const AddrExprPtr& expr, const loopir::LoopNest& nest,
+                        const InductionPlan& plan);
+
+}  // namespace dr::adopt

@@ -1,0 +1,161 @@
+#include "analytic/curve.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/contracts.h"
+#include "support/strings.h"
+#include "trace/walker.h"
+
+namespace dr::analytic {
+
+using dr::support::i64;
+
+namespace {
+
+AnalyticPoint fromMax(const MaxReuse& max) {
+  AnalyticPoint pt;
+  pt.size = max.AMax;
+  pt.FRExact = max.FRmax;
+  pt.FR = max.FRmax.toDouble();
+  pt.CjTotal = max.CjTotal();
+  pt.CtotCopyTotal = max.CtotTotal();
+  pt.CtotBypassTotal = 0;
+  pt.level = max.pairOuterLevel;
+  pt.gamma = -1;
+  pt.bypass = false;
+  pt.exact = max.exact;
+  pt.label = "L" + std::to_string(max.pairOuterLevel) + " max";
+  return pt;
+}
+
+AnalyticPoint fromPartial(const MaxReuse& max, const PartialPoint& pp) {
+  AnalyticPoint pt;
+  pt.size = pp.A;
+  pt.FRExact = pp.FR;
+  pt.FR = pp.FR.toDouble();
+  pt.CjTotal =
+      dr::support::checkedMul(pp.missesPerOuter, max.outerIterations);
+  pt.CtotCopyTotal =
+      dr::support::checkedMul(pp.CtotCopyPerOuter, max.outerIterations);
+  pt.CtotBypassTotal =
+      dr::support::checkedMul(pp.CtotBypassPerOuter, max.outerIterations);
+  pt.level = max.pairOuterLevel;
+  pt.gamma = pp.gamma;
+  pt.bypass = pp.bypass;
+  pt.exact = max.exact;
+  pt.label = "L" + std::to_string(max.pairOuterLevel) +
+             " g=" + std::to_string(pp.gamma) + (pp.bypass ? " bypass" : "");
+  return pt;
+}
+
+}  // namespace
+
+std::vector<AnalyticPoint> analyticReusePoints(
+    const LoopNest& nest, const ArrayAccess& access,
+    const AnalyticCurveOptions& opts) {
+  DR_REQUIRE(opts.partialStride >= 1);
+  DR_REQUIRE(opts.maxPartialPointsPerLevel >= 1);
+  std::vector<AnalyticPoint> out;
+  for (int p = nest.depth() - 2; p >= 0; --p) {
+    MaxReuse max = analyzePair(nest, access, p);
+    if (!max.hasReuse) continue;
+    out.push_back(fromMax(max));
+    GammaRange range = gammaRange(max);
+    if (range.empty() || max.reuseRepeat != 1) continue;
+    i64 stride = opts.partialStride;
+    while ((range.count() + stride - 1) / stride >
+           opts.maxPartialPointsPerLevel)
+      ++stride;
+    for (const PartialPoint& pp :
+         partialCurve(max, stride, opts.withBypass))
+      out.push_back(fromPartial(max, pp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AnalyticPoint& a, const AnalyticPoint& b) {
+              if (a.size != b.size) return a.size < b.size;
+              return a.FR < b.FR;
+            });
+  return out;
+}
+
+std::vector<LevelKnee> workingSetKnees(const loopir::Program& p,
+                                       const dr::trace::AddressMap& map,
+                                       int nestIdx,
+                                       const std::vector<int>& accessIndices) {
+  DR_REQUIRE(nestIdx >= 0 && nestIdx < static_cast<int>(p.nests.size()));
+  DR_REQUIRE(!accessIndices.empty());
+  const loopir::LoopNest& nest = p.nests[static_cast<std::size_t>(nestIdx)];
+  const int depth = nest.depth();
+
+  // One window set per level: the working set of loops [level..innermost]
+  // for the current iteration of the loops above. Level 0's window is the
+  // whole execution.
+  std::vector<std::unordered_set<i64>> window(
+      static_cast<std::size_t>(depth));
+  std::vector<LevelKnee> knees(static_cast<std::size_t>(depth));
+  for (int l = 0; l < depth; ++l) knees[static_cast<std::size_t>(l)].level = l;
+
+  // Walk this nest only, tracking the odometer ourselves so we can see
+  // which loop level advanced (trace::walk does not expose it).
+  std::vector<i64> iter(static_cast<std::size_t>(depth));
+  std::vector<i64> trip(static_cast<std::size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    iter[static_cast<std::size_t>(d)] =
+        nest.loops[static_cast<std::size_t>(d)].begin;
+    trip[static_cast<std::size_t>(d)] =
+        nest.loops[static_cast<std::size_t>(d)].tripCount();
+  }
+  std::vector<i64> k(static_cast<std::size_t>(depth), 0);
+
+  auto flushWindows = [&](int fromLevel) {
+    // Loops at `fromLevel` and deeper got a new outer iteration: record
+    // the finished windows and clear them.
+    for (int l = fromLevel; l < depth; ++l) {
+      auto ul = static_cast<std::size_t>(l);
+      knees[ul].workingSetMax = std::max(
+          knees[ul].workingSetMax, static_cast<i64>(window[ul].size()));
+      window[ul].clear();
+    }
+  };
+
+  std::vector<i64> index;
+  for (;;) {
+    for (int a : accessIndices) {
+      DR_REQUIRE(a >= 0 && a < static_cast<int>(nest.body.size()));
+      const loopir::ArrayAccess& acc =
+          nest.body[static_cast<std::size_t>(a)];
+      index.clear();
+      for (const loopir::AffineExpr& e : acc.indices)
+        index.push_back(e.evaluate(iter));
+      i64 addr = map.address(acc.signal, index);
+      for (int l = 0; l < depth; ++l) {
+        auto ul = static_cast<std::size_t>(l);
+        ++knees[ul].Ctot;
+        if (window[ul].insert(addr).second) ++knees[ul].misses;
+      }
+    }
+    int d = depth - 1;
+    for (; d >= 0; --d) {
+      auto ud = static_cast<std::size_t>(d);
+      if (++k[ud] < trip[ud]) {
+        iter[ud] += nest.loops[ud].step;
+        break;
+      }
+      k[ud] = 0;
+      iter[ud] = nest.loops[ud].begin;
+    }
+    if (d < 0) break;
+    // Levels deeper than d start fresh windows.
+    flushWindows(d + 1);
+  }
+  flushWindows(0);
+
+  for (LevelKnee& knee : knees)
+    knee.FR = knee.misses == 0 ? static_cast<double>(knee.Ctot)
+                               : static_cast<double>(knee.Ctot) /
+                                     static_cast<double>(knee.misses);
+  return knees;
+}
+
+}  // namespace dr::analytic

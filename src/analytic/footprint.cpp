@@ -1,0 +1,158 @@
+#include "analytic/footprint.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/contracts.h"
+
+namespace dr::analytic {
+
+using dr::support::checkedAdd;
+using dr::support::checkedMul;
+using loopir::AffineExpr;
+using loopir::ArrayAccess;
+using loopir::LoopNest;
+
+i64 DimShape::overlapWithShift(i64 delta) const {
+  if (delta < 0) delta = -delta;
+  if (delta >= span) return 0;
+  i64 n = 0;
+  for (i64 i = 0; i + delta < span; ++i)
+    if (reachable[static_cast<std::size_t>(i)] &&
+        reachable[static_cast<std::size_t>(i + delta)])
+      ++n;
+  return n;
+}
+
+DimShape dimShape(const AffineExpr& expr, const LoopNest& nest, int level) {
+  DR_REQUIRE(level >= 0 && level <= nest.depth());
+  for (const loopir::Loop& l : nest.loops) DR_REQUIRE(l.isNormalized());
+
+  // Offsets Σ |c_d| * x_d, x_d in [0, trip_d - 1]; the sign of c_d only
+  // mirrors the set, which changes neither counts nor shifted overlaps.
+  i64 span = 1;
+  std::vector<std::pair<i64, i64>> terms;  // (|coeff|, trip)
+  for (int d = level; d < nest.depth(); ++d) {
+    i64 c = expr.coeff(d);
+    if (c == 0) continue;
+    if (c < 0) c = -c;
+    i64 trip = nest.loops[static_cast<std::size_t>(d)].tripCount();
+    span = checkedAdd(span, checkedMul(c, trip - 1));
+    terms.emplace_back(c, trip);
+  }
+
+  DimShape shape;
+  shape.span = span;
+  shape.reachable.assign(static_cast<std::size_t>(span), false);
+  shape.reachable[0] = true;
+  for (auto [c, trip] : terms) {
+    std::vector<bool> next(static_cast<std::size_t>(span), false);
+    for (i64 x = 0; x < trip; ++x) {
+      i64 shift = c * x;
+      if (shift >= span) break;
+      for (i64 i = 0; i + shift < span; ++i)
+        if (shape.reachable[static_cast<std::size_t>(i)])
+          next[static_cast<std::size_t>(i + shift)] = true;
+    }
+    shape.reachable = std::move(next);
+  }
+  shape.count = static_cast<i64>(
+      std::count(shape.reachable.begin(), shape.reachable.end(), true));
+  shape.contiguous = shape.count == shape.span;
+  DR_ENSURE(shape.reachable.front() && shape.reachable.back());
+  return shape;
+}
+
+std::vector<MultiLevelPoint> multiLevelPoints(const LoopNest& nest,
+                                              const ArrayAccess& access) {
+  for (const loopir::Loop& l : nest.loops) DR_REQUIRE(l.isNormalized());
+  const int depth = nest.depth();
+  const i64 Ctot = nest.iterationCount();
+  const std::size_t dims = access.indices.size();
+
+  std::vector<MultiLevelPoint> out;
+  for (int level = 0; level < depth; ++level) {
+    MultiLevelPoint pt;
+    pt.level = level;
+    pt.Ctot = Ctot;
+
+    // The per-dimension factorization needs every inner iterator to drive
+    // at most one dimension.
+    for (int d = level; d < depth; ++d) {
+      int users = 0;
+      for (const AffineExpr& e : access.indices)
+        if (e.dependsOn(d)) ++users;
+      if (users > 1) pt.exact = false;
+    }
+
+    std::vector<DimShape> shapes;
+    shapes.reserve(dims);
+    pt.size = 1;
+    for (const AffineExpr& e : access.indices) {
+      shapes.push_back(dimShape(e, nest, level));
+      pt.size = checkedMul(pt.size, shapes.back().count);
+    }
+
+    if (level == 0) {
+      pt.misses = pt.size;  // one fill of the whole footprint
+    } else {
+      // Walk the outer tuples; per dimension the footprint keeps its shape
+      // and translates by the change of the outer contribution.
+      std::vector<i64> iter(static_cast<std::size_t>(level));
+      std::vector<i64> k(static_cast<std::size_t>(level), 0);
+      for (int d = 0; d < level; ++d)
+        iter[static_cast<std::size_t>(d)] =
+            nest.loops[static_cast<std::size_t>(d)].begin;
+
+      auto outerBase = [&](const AffineExpr& e) {
+        i64 v = 0;
+        for (int d = 0; d < level; ++d)
+          v += e.coeff(d) * iter[static_cast<std::size_t>(d)];
+        return v;
+      };
+
+      std::vector<i64> prevBase(dims);
+      std::vector<std::map<i64, i64>> overlapCache(dims);
+      bool first = true;
+      pt.misses = 0;
+      for (;;) {
+        if (first) {
+          pt.misses += pt.size;
+          for (std::size_t d = 0; d < dims; ++d)
+            prevBase[d] = outerBase(access.indices[d]);
+          first = false;
+        } else {
+          i64 overlap = 1;
+          for (std::size_t d = 0; d < dims; ++d) {
+            i64 base = outerBase(access.indices[d]);
+            i64 delta = base - prevBase[d];
+            prevBase[d] = base;
+            auto [it, inserted] = overlapCache[d].try_emplace(delta, 0);
+            if (inserted) it->second = shapes[d].overlapWithShift(delta);
+            overlap = checkedMul(overlap, it->second);
+          }
+          pt.misses += pt.size - overlap;
+        }
+        int d = level - 1;
+        for (; d >= 0; --d) {
+          auto ud = static_cast<std::size_t>(d);
+          if (++k[ud] <
+              nest.loops[ud].tripCount()) {
+            iter[ud] += 1;
+            break;
+          }
+          k[ud] = 0;
+          iter[ud] = nest.loops[ud].begin;
+        }
+        if (d < 0) break;
+      }
+    }
+
+    DR_CHECK(pt.misses >= 1);
+    pt.FR = dr::support::Rational(pt.Ctot, pt.misses);
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+}  // namespace dr::analytic

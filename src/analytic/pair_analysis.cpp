@@ -1,0 +1,169 @@
+#include "analytic/pair_analysis.h"
+
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::analytic {
+
+using dr::support::checkedMul;
+using dr::support::i64;
+
+i64 MaxReuse::CtotTotal() const {
+  return checkedMul(CtotPerOuter, outerIterations);
+}
+
+i64 MaxReuse::CjTotal() const {
+  return checkedMul(missesPerOuter, outerIterations);
+}
+
+std::string MaxReuse::str() const {
+  std::string s = "pair(p=" + std::to_string(pairOuterLevel) +
+                  ", q=" + std::to_string(pairInnerLevel) + "): ";
+  switch (cls.kind) {
+    case ReuseKind::None: s += "rank(B)=2, no reuse"; return s;
+    case ReuseKind::Scalar: s += "rank(B)=0 scalar"; break;
+    case ReuseKind::Vector:
+      s += "rank(B)=1 b'=" + std::to_string(cls.vec.bprime) +
+           " c'=" + std::to_string(cls.vec.cprime);
+      break;
+  }
+  s += hasReuse ? ", FRmax=" + FRmax.str() + " (" +
+                      dr::support::fmtDouble(FRmax.toDouble(), 2) +
+                      "), AMax=" + std::to_string(AMax)
+                : ", no profitable reuse";
+  return s;
+}
+
+namespace {
+
+/// True when the repeat-factor decomposition is exact: every array
+/// dimension is driven by at most one group among {the (p,q) pair, each
+/// individual intermediate loop}.
+bool checkExact(const ArrayAccess& access, int p, int q) {
+  for (const loopir::AffineExpr& e : access.indices) {
+    int users = 0;
+    if (e.coeff(p) != 0 || e.coeff(q) != 0) ++users;
+    for (int r = p + 1; r < q; ++r)
+      if (e.coeff(r) != 0) ++users;
+    if (users > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MaxReuse analyzePair(const LoopNest& nest, const ArrayAccess& access,
+                     int outerLevel) {
+  int depth = nest.depth();
+  DR_REQUIRE_MSG(depth >= 2, "pair analysis needs a nest of depth >= 2");
+  DR_REQUIRE(outerLevel >= 0 && outerLevel < depth - 1);
+  for (const loopir::Loop& l : nest.loops)
+    DR_REQUIRE_MSG(l.isNormalized(),
+                   "pair analysis requires a normalized nest "
+                   "(loopir::normalized)");
+
+  const int p = outerLevel;
+  const int q = depth - 1;
+
+  MaxReuse out;
+  out.pairOuterLevel = p;
+  out.pairInnerLevel = q;
+  out.jRange = nest.loops[static_cast<std::size_t>(p)].tripCount();
+  out.kRange = nest.loops[static_cast<std::size_t>(q)].tripCount();
+
+  std::vector<PairCoeffs> dims;
+  dims.reserve(access.indices.size());
+  for (const loopir::AffineExpr& e : access.indices)
+    dims.push_back(PairCoeffs{e.coeff(p), e.coeff(q)});
+  out.cls = classifyPair(dims);
+
+  for (int l = 0; l < p; ++l)
+    out.outerIterations = checkedMul(
+        out.outerIterations,
+        nest.loops[static_cast<std::size_t>(l)].tripCount());
+
+  for (int r = p + 1; r < q; ++r) {
+    i64 trip = nest.loops[static_cast<std::size_t>(r)].tripCount();
+    bool depends = false;
+    for (const loopir::AffineExpr& e : access.indices)
+      if (e.dependsOn(r)) depends = true;
+    if (depends)
+      out.sizeRepeat = checkedMul(out.sizeRepeat, trip);
+    else
+      out.reuseRepeat = checkedMul(out.reuseRepeat, trip);
+  }
+
+  out.exact = checkExact(access, p, q);
+
+  const i64 jR = out.jRange;
+  const i64 kR = out.kRange;
+  const i64 pairAccesses = checkedMul(jR, kR);
+  out.CtotPerOuter = checkedMul(checkedMul(pairAccesses, out.sizeRepeat),
+                                out.reuseRepeat);
+
+  switch (out.cls.kind) {
+    case ReuseKind::None: {
+      // rank(B) = 2: every (j,k) iteration addresses a new element; any
+      // reuse is carried by other loop levels and shows up when they are
+      // chosen as the pair's outer loop.
+      out.hasReuse = false;
+      out.missesPerOuter = out.CtotPerOuter;
+      out.CRPerOuter = 0;
+      out.FRmax = 1;
+      out.AMax = 0;
+      return out;
+    }
+    case ReuseKind::Scalar: {
+      // rank(B) = 0: the whole (j,k) space reads one element per
+      // intermediate combination (paper footnotes 2 and 3).
+      out.missesPerOuter = out.sizeRepeat;
+      out.CRPerOuter = out.CtotPerOuter - out.missesPerOuter;
+      out.FRmax = dr::support::Rational(out.CtotPerOuter, out.missesPerOuter);
+      out.AMax = out.sizeRepeat;
+      out.hasReuse = out.CRPerOuter > 0;
+      return out;
+    }
+    case ReuseKind::Vector: {
+      const i64 bp = out.cls.vec.bprime;
+      const i64 cp = out.cls.vec.cprime;
+      // Reuse needs the dependency vector to fit inside the iteration box
+      // (paper Section 6: "reuse is only possible when (jRANGE > c') and
+      // (kRANGE > b')").
+      if (jR <= cp || kR <= bp) {
+        out.hasReuse = false;
+        out.missesPerOuter =
+            checkedMul(pairAccesses, out.sizeRepeat);  // reuseRepeat hits
+        out.CRPerOuter = out.CtotPerOuter - out.missesPerOuter;
+        out.FRmax = dr::support::Rational(out.CtotPerOuter,
+                                          out.missesPerOuter);
+        out.AMax = 0;
+        return out;
+      }
+      const i64 CRpair = checkedMul(jR - cp, kR - bp);  // eq. (14)
+      out.missesPerOuter = checkedMul(pairAccesses - CRpair, out.sizeRepeat);
+      out.CRPerOuter = out.CtotPerOuter - out.missesPerOuter;
+      out.FRmax =
+          dr::support::Rational(out.CtotPerOuter, out.missesPerOuter);
+      // eq. (15); c' = 0 degenerates to a single register. Two geometries
+      // need b' extra slots over the canonical steady-state bound: the
+      // flipped-k case (reuse vector (c', +b'): the b' new elements of a
+      // row arrive at its *start*, while the previous window is still
+      // live) and the reuse-repeat case (the whole current row must stay
+      // resident for the later intermediate iterations while the new
+      // elements stream in).
+      i64 AMaxPair;
+      if (cp == 0) {
+        AMaxPair = 1;
+      } else {
+        AMaxPair = checkedMul(cp, kR - bp);
+        if (out.cls.vec.flippedK || out.reuseRepeat > 1) AMaxPair += bp;
+      }
+      out.AMax = checkedMul(AMaxPair, out.sizeRepeat);
+      out.hasReuse = true;
+      return out;
+    }
+  }
+  DR_UNREACHABLE("bad reuse kind");
+}
+
+}  // namespace dr::analytic

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <string>
+
+#include "analytic/reuse_vector.h"
+#include "loopir/program.h"
+#include "support/intmath.h"
+
+/// \file pair_analysis.h
+/// Maximum-reuse analysis of one access in the loop pair (p, innermost)
+/// of a nest — the paper's Section 6.1 formulas, generalized the way the
+/// paper's own motion-estimation test vehicle needs (Section 6.3): loops
+/// *between* the pair contribute multiplicative repeat factors, either to
+/// the copy-candidate size (when the access depends on them: each
+/// intermediate iteration drags its own element set — the "additional
+/// factor equal to the range of loop (5)") or to the reuse factor (when it
+/// does not: the same elements are re-read every intermediate iteration).
+
+namespace dr::analytic {
+
+using dr::support::Rational;
+using loopir::ArrayAccess;
+using loopir::LoopNest;
+
+/// Result of the maximum-reuse analysis (eqs. (12)-(15) plus repeats).
+struct MaxReuse {
+  ReuseClass cls;                  ///< rank(B)-based classification
+  int pairOuterLevel = -1;         ///< p: the loop carrying the reuse
+  int pairInnerLevel = -1;         ///< q: the innermost loop
+  dr::support::i64 jRange = 0;     ///< trip count of loop p
+  dr::support::i64 kRange = 0;     ///< trip count of loop q
+
+  /// True when introducing a copy-candidate at this level saves accesses.
+  bool hasReuse = false;
+
+  /// F_RMax including the reuse repeat factor (exact rational, eq. (12)).
+  Rational FRmax = 1;
+
+  /// Copy-candidate size for maximum reuse, elements, including the size
+  /// repeat factor (eq. (15); the c'=0 and scalar special cases need 1).
+  dr::support::i64 AMax = 0;
+
+  /// Counts per single iteration of the loops outside p; the totals over
+  /// the whole nest are these times outerIterations.
+  dr::support::i64 CtotPerOuter = 0;   ///< reads arriving at the level
+  dr::support::i64 CRPerOuter = 0;     ///< reads served from the copy
+  dr::support::i64 missesPerOuter = 0; ///< writes C_j into the copy
+
+  dr::support::i64 outerIterations = 1;
+  dr::support::i64 sizeRepeat = 1;   ///< intermediate trips the access depends on
+  dr::support::i64 reuseRepeat = 1;  ///< intermediate trips it does not
+
+  /// False when the repeat-factor decomposition is only an approximation
+  /// (overlapping footprints between the pair and an intermediate loop —
+  /// beyond the paper's model; see analyzePair() docs).
+  bool exact = true;
+
+  /// Total reads of this access over the whole nest (C_tot of eq. (1)).
+  dr::support::i64 CtotTotal() const;
+  /// Total writes into the copy-candidate over the whole nest (C_j).
+  dr::support::i64 CjTotal() const;
+
+  std::string str() const;
+};
+
+/// Analyze `access` in nest with the pair (outerLevel, innermost).
+///
+/// Preconditions: the nest is normalized (all steps == 1; run
+/// loopir::normalized() first), 0 <= outerLevel < depth-1, and the access
+/// belongs to this nest.
+///
+/// Exactness: the closed forms are exact whenever every array dimension is
+/// driven by at most one "group" among {the (p,q) pair, each intermediate
+/// loop} and the intermediate coefficients are injective over their box
+/// (always true in the paper's test vehicles). Otherwise the result is
+/// flagged !exact: it is the paper's model applied outside its domain, and
+/// callers should fall back to simulation (paper Section 5.1: "for other
+/// kind of expressions we will rely on simulation").
+MaxReuse analyzePair(const LoopNest& nest, const ArrayAccess& access,
+                     int outerLevel);
+
+}  // namespace dr::analytic

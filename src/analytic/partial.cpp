@@ -1,0 +1,83 @@
+#include "analytic/partial.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace dr::analytic {
+
+using dr::support::checkedMul;
+using dr::support::i64;
+
+GammaRange gammaRange(const MaxReuse& max) {
+  GammaRange r;
+  if (!max.hasReuse || max.cls.kind != ReuseKind::Vector ||
+      max.cls.vec.cprime < 1)
+    return r;  // empty: partial reuse needs a c' >= 1 vector dependency
+  // gamma >= b' per the paper; gamma = 0 (possible when b' = 0) would be
+  // a size-0 copy with no transfers, so the range starts at 1.
+  r.lo = std::max<dr::support::i64>(max.cls.vec.bprime, 1);
+  r.hi = max.kRange - max.cls.vec.bprime - 1;
+  return r;
+}
+
+PartialPoint partialPoint(const MaxReuse& max, i64 gamma, bool bypass) {
+  DR_REQUIRE_MSG(max.hasReuse && max.cls.kind == ReuseKind::Vector &&
+                     max.cls.vec.cprime >= 1,
+                 "partial reuse needs a c' >= 1 vector dependency");
+  DR_REQUIRE_MSG(max.reuseRepeat == 1,
+                 "partial-reuse model covers size repeat factors only "
+                 "(paper Section 6.3)");
+  GammaRange range = gammaRange(max);
+  DR_REQUIRE_MSG(gamma >= range.lo && gamma <= range.hi,
+                 "gamma outside [b', kRANGE - b' - 1]");
+
+  const i64 bp = max.cls.vec.bprime;
+  const i64 cp = max.cls.vec.cprime;
+  const i64 jR = max.jRange;
+  const i64 kR = max.kRange;
+  const i64 S = max.sizeRepeat;
+  // Flipped-k geometry needs b' extra slots (see pair_analysis.cpp).
+  const i64 flipPad = max.cls.vec.flippedK ? bp : 0;
+
+  PartialPoint pt;
+  pt.gamma = gamma;
+  pt.bypass = bypass;
+
+  const i64 CRpair = checkedMul(gamma, jR - cp);       // eq. (17)
+  const i64 CtotPair = checkedMul(jR, kR);
+  pt.CRPerOuter = checkedMul(CRpair, S);
+
+  if (!bypass) {
+    pt.A = checkedMul(checkedMul(cp, gamma) + flipPad, S) + 1;  // eq. (18)
+    pt.CtotCopyPerOuter = checkedMul(CtotPair, S);
+    pt.CtotBypassPerOuter = 0;
+  } else {
+    pt.A = checkedMul(checkedMul(cp, gamma) + flipPad, S);      // eq. (22)
+    const i64 CtotCopyPair = checkedMul(gamma + bp, jR);  // eq. (20)
+    pt.CtotCopyPerOuter = checkedMul(CtotCopyPair, S);
+    pt.CtotBypassPerOuter =
+        checkedMul(CtotPair, S) - pt.CtotCopyPerOuter;    // eq. (21)
+    DR_CHECK(pt.CtotBypassPerOuter >= 0);
+  }
+
+  pt.missesPerOuter = pt.CtotCopyPerOuter - pt.CRPerOuter;
+  DR_CHECK(pt.missesPerOuter > 0);
+  pt.FR = Rational(pt.CtotCopyPerOuter, pt.missesPerOuter);  // eqs. (16)/(19)
+  return pt;
+}
+
+std::vector<PartialPoint> partialCurve(const MaxReuse& max, i64 stride,
+                                       bool withBypass) {
+  DR_REQUIRE(stride >= 1);
+  std::vector<PartialPoint> out;
+  GammaRange range = gammaRange(max);
+  if (range.empty() || max.reuseRepeat != 1) return out;
+  for (i64 g = range.lo; g <= range.hi; g += stride) {
+    out.push_back(partialPoint(max, g, false));
+    if (withBypass) out.push_back(partialPoint(max, g, true));
+  }
+  return out;
+}
+
+}  // namespace dr::analytic

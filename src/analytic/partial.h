@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "analytic/pair_analysis.h"
+
+/// \file partial.h
+/// Partial data reuse for Pareto trade-offs (paper Section 6.2). The
+/// iteration space is split at a threshold gamma: iterations with
+/// k > kU - gamma - b' enjoy complete reuse, the rest none. Two variants:
+/// without bypass (eqs. (16)-(18)) the non-reused data still flows through
+/// the copy-candidate; with bypass (eqs. (19)-(22)) it goes straight to the
+/// next level and the copy-candidate both shrinks by one element and is
+/// written less — information that pure simulation could not provide,
+/// "since the actual data elements present in the copy-candidate were not
+/// known".
+
+namespace dr::analytic {
+
+/// One partial-reuse design point.
+struct PartialPoint {
+  dr::support::i64 gamma = 0;
+  bool bypass = false;
+
+  /// Copy-candidate size in elements, incl. the size repeat factor:
+  /// A(gamma) = repeat*c'*gamma + 1 (eq. (18)), A'(gamma) = repeat*c'*gamma
+  /// (eq. (22)).
+  dr::support::i64 A = 0;
+
+  /// Reuse factor of the copy level: F_R (eq. (16)) or F'_R (eq. (19)).
+  Rational FR = 1;
+
+  /// Reads that arrive at the copy level per outer iteration: all of
+  /// C_tot without bypass, C'_tot with bypass (eq. (20)).
+  dr::support::i64 CtotCopyPerOuter = 0;
+
+  /// Reads bypassed directly to the next level per outer iteration:
+  /// C''_tot (eq. (21)); zero without bypass.
+  dr::support::i64 CtotBypassPerOuter = 0;
+
+  /// Writes into the copy-candidate per outer iteration.
+  dr::support::i64 missesPerOuter = 0;
+
+  /// Reads served from the copy per outer iteration (C_R(gamma), eq. (17)).
+  dr::support::i64 CRPerOuter = 0;
+};
+
+/// Valid gamma range for partial reuse: b' <= gamma < kRANGE - b'
+/// (empty when the pair carries no vector reuse with c' >= 1).
+struct GammaRange {
+  dr::support::i64 lo = 0;
+  dr::support::i64 hi = -1;  ///< inclusive; lo > hi means empty
+
+  bool empty() const noexcept { return lo > hi; }
+  dr::support::i64 count() const noexcept { return empty() ? 0 : hi - lo + 1; }
+};
+
+GammaRange gammaRange(const MaxReuse& max);
+
+/// The design point for one gamma. Preconditions: max.hasReuse, vector
+/// reuse with cprime >= 1, gamma inside gammaRange(max).
+PartialPoint partialPoint(const MaxReuse& max, dr::support::i64 gamma,
+                          bool bypass);
+
+/// All points for gamma = lo, lo+stride, ... (both variants interleaved
+/// when `withBypass`). Returns an empty vector when the range is empty.
+std::vector<PartialPoint> partialCurve(const MaxReuse& max,
+                                       dr::support::i64 stride = 1,
+                                       bool withBypass = true);
+
+}  // namespace dr::analytic

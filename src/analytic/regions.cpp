@@ -1,0 +1,82 @@
+#include "analytic/regions.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace dr::analytic {
+
+namespace {
+
+void checkParams(const RegionParams& p) {
+  DR_REQUIRE(p.cprime >= 1);
+  DR_REQUIRE(p.bprime >= 0);
+  DR_REQUIRE(p.jL <= p.jU && p.kL <= p.kU);
+}
+
+void checkInside(const RegionParams& p, i64 j, i64 k) {
+  DR_REQUIRE(j >= p.jL && j <= p.jU);
+  DR_REQUIRE(k >= p.kL && k <= p.kU);
+}
+
+}  // namespace
+
+int regionOf(const RegionParams& p, i64 j, i64 k, i64 jc, i64 kc) {
+  checkParams(p);
+  checkInside(p, j, k);
+  checkInside(p, jc, kc);
+  if (jc == j && kc == k) return 4;
+  if (jc == j) {
+    if (j >= p.jL + p.cprime && kc >= k + 1 && kc <= p.kU - p.bprime)
+      return 2;
+    if (j <= p.jU - p.cprime && kc >= p.kL + p.bprime && kc <= k - 1)
+      return 3;
+    return 0;
+  }
+  i64 lo = std::max(p.jL, j - p.cprime + 1);
+  i64 hi = std::min(p.jU - p.cprime, j - 1);
+  if (jc >= lo && jc <= hi && kc >= p.kL + p.bprime && kc <= p.kU) return 1;
+  return 0;
+}
+
+bool inCopyCandidate(const RegionParams& p, i64 j, i64 k, i64 jc, i64 kc) {
+  return regionOf(p, j, k, jc, kc) != 0;
+}
+
+RegionSizes regionSizesAt(const RegionParams& p, i64 j, i64 k) {
+  checkParams(p);
+  checkInside(p, j, k);
+  RegionSizes s;
+  i64 lo = std::max(p.jL, j - p.cprime + 1);
+  i64 hi = std::min(p.jU - p.cprime, j - 1);
+  i64 jCount = std::max<i64>(0, hi - lo + 1);
+  i64 kCount = std::max<i64>(0, p.kU - (p.kL + p.bprime) + 1);
+  s.regionI = jCount * kCount;
+  if (j >= p.jL + p.cprime)
+    s.regionII = std::max<i64>(0, (p.kU - p.bprime) - (k + 1) + 1);
+  if (j <= p.jU - p.cprime)
+    s.regionIII = std::max<i64>(0, (k - 1) - (p.kL + p.bprime) + 1);
+  return s;
+}
+
+i64 maxOccupancy(const RegionParams& p) {
+  checkParams(p);
+  i64 best = 0;
+  for (i64 j = p.jL; j <= p.jU; ++j) {
+    // The occupancy is piecewise linear in k; evaluating the breakpoints
+    // (and the interval ends) covers the maximum.
+    i64 candidates[] = {p.kL, std::min(p.kU, p.kL + p.bprime),
+                        std::max(p.kL, p.kU - p.bprime), p.kU};
+    for (i64 k : candidates)
+      best = std::max(best, regionSizesAt(p, j, k).total());
+  }
+  return best;
+}
+
+bool isFirstAccess(const RegionParams& p, i64 j, i64 k) {
+  checkParams(p);
+  checkInside(p, j, k);
+  return k >= p.kU - p.bprime + 1 || j <= p.jL + p.cprime - 1;
+}
+
+}  // namespace dr::analytic

@@ -1,0 +1,69 @@
+#pragma once
+
+#include "support/intmath.h"
+
+/// \file regions.h
+/// The copy-candidate content model of paper Section 6.1: at time instance
+/// t(j,k), the buffer holds exactly the elements whose previous and next
+/// accesses straddle t. Working out the inequality yields four regions of
+/// "accessed at iteration (jc,kc)" classes (Fig. 7):
+///
+///   I.   jc in [max(jL, j-c'+1), min(jU-c', j-1)], kc in [kL+b', kU]
+///   II.  jc = j (only if j >= jL+c'),              kc in [k+1, kU-b']
+///   III. jc = j (only if j <= jU-c'),              kc in [kL+b', k-1]
+///   IV.  jc = j, kc = k
+///
+/// This is the part of the analytical model that simulation cannot give:
+/// it identifies *which* elements must be resident, enabling the bypass
+/// decision and the Fig. 8 code template. Stated for the canonical
+/// geometry (b >= 0, c > 0, unit steps); flipped-sign accesses map onto it
+/// by reversing the k axis (see reuse_vector.h).
+
+namespace dr::analytic {
+
+using dr::support::i64;
+
+/// Canonical pair geometry: normalized dependency (b', c') with c' >= 1
+/// and inclusive iteration bounds.
+struct RegionParams {
+  i64 bprime = 0;
+  i64 cprime = 1;
+  i64 jL = 0, jU = 0;  ///< j in [jL, jU]
+  i64 kL = 0, kU = 0;  ///< k in [kL, kU]
+
+  i64 jRange() const { return jU - jL + 1; }
+  i64 kRange() const { return kU - kL + 1; }
+};
+
+/// Per-region occupancy at time instance t(j,k).
+struct RegionSizes {
+  i64 regionI = 0;
+  i64 regionII = 0;
+  i64 regionIII = 0;
+  i64 regionIV = 1;
+
+  i64 total() const { return regionI + regionII + regionIII + regionIV; }
+};
+
+/// Which region (1..4) the element accessed at (jc,kc) occupies at time
+/// t(j,k); 0 when it is not in the copy-candidate. Preconditions: all four
+/// iterator values inside the bounds.
+int regionOf(const RegionParams& p, i64 j, i64 k, i64 jc, i64 kc);
+
+/// True when the element accessed at (jc,kc) is resident at time t(j,k)
+/// under the maximum-reuse policy.
+bool inCopyCandidate(const RegionParams& p, i64 j, i64 k, i64 jc, i64 kc);
+
+/// Exact region sizes at time t(j,k) (the Fig. 7 profile).
+RegionSizes regionSizesAt(const RegionParams& p, i64 j, i64 k);
+
+/// Maximum of regionSizesAt().total() over the whole iteration space —
+/// the exact required copy-candidate size (equals eq. (15)'s
+/// c'*(kRANGE-b') in steady state, smaller in boundary-dominated cases).
+i64 maxOccupancy(const RegionParams& p);
+
+/// Is (j,k) in the first-access domain (the gray zone of Fig. 6):
+/// k in [kU-b'+1, kU] or j in [jL, jL+c'-1]?
+bool isFirstAccess(const RegionParams& p, i64 j, i64 k);
+
+}  // namespace dr::analytic

@@ -1,0 +1,72 @@
+#include "analytic/reuse_vector.h"
+
+#include "support/contracts.h"
+#include "support/matrix.h"
+
+namespace dr::analytic {
+
+using dr::support::gcd;
+using dr::support::IntMatrix;
+
+std::string ReuseVector::str() const {
+  std::string s = "(dj=" + std::to_string(cprime) + ", dk=";
+  i64 dk = flippedK ? bprime : -bprime;
+  s += std::to_string(dk) + ")";
+  return s;
+}
+
+ReuseVector normalizeVector(i64 b, i64 c) {
+  DR_REQUIRE_MSG(b != 0 || c != 0, "scalar case has no reuse vector");
+  ReuseVector v;
+  // Opposite signs flip the k axis (paper: "analogous formulas for b<0
+  // and/or c<=0 can be straightforwardly derived"); same-sign pairs are
+  // brought to b >= 0, c >= 0 by negating the whole equation.
+  v.flippedK = (b > 0 && c < 0) || (b < 0 && c > 0);
+  i64 ab = b < 0 ? -b : b;
+  i64 ac = c < 0 ? -c : c;
+  i64 g = gcd(ab, ac);
+  DR_CHECK(g > 0);
+  v.bprime = ab / g;
+  v.cprime = ac / g;
+  return v;
+}
+
+ReuseClass classifyPair(const std::vector<PairCoeffs>& dims) {
+  ReuseClass out;
+  // Build B = [[b_1, -c_1], ..., [b_n, -c_n]] (eq. (9)).
+  IntMatrix B(static_cast<int>(dims.size()), 2);
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    B.at(static_cast<int>(i), 0) = dims[i].b;
+    B.at(static_cast<int>(i), 1) = -dims[i].c;
+  }
+  int rank = B.rank();
+  DR_CHECK(rank >= 0 && rank <= 2);
+  if (rank == 2) {
+    out.kind = ReuseKind::None;
+    return out;
+  }
+  if (rank == 0) {
+    out.kind = ReuseKind::Scalar;
+    return out;
+  }
+  out.kind = ReuseKind::Vector;
+  // rank(B) == 1: all non-zero rows are proportional, hence normalize to
+  // the same primitive vector; take it from the first non-zero row and
+  // assert consistency (paper: "all non-zero rows of B result in the same
+  // (b',c') pair").
+  bool found = false;
+  for (const PairCoeffs& d : dims) {
+    if (d.b == 0 && d.c == 0) continue;
+    ReuseVector v = normalizeVector(d.b, d.c);
+    if (!found) {
+      out.vec = v;
+      found = true;
+    } else {
+      DR_CHECK(v == out.vec);
+    }
+  }
+  DR_CHECK(found);
+  return out;
+}
+
+}  // namespace dr::analytic

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/intmath.h"
+
+/// \file reuse_vector.h
+/// Data-reuse dependency vectors for an access inside a pair of loops
+/// (j, k) — paper Section 5.2/5.3.
+///
+/// For a one-dimensional index y = b*j + c*k + const, two iterations touch
+/// the same element iff b*Δj + c*Δk = 0, whose primitive solution is the
+/// uniformly generated reuse dependency vector (c', -b') with
+/// b' = b/gcd(b,c), c' = c/gcd(b,c) (eqs. (4)-(8)). For an n-dimensional
+/// signal the per-dimension equations stack into the n x 2 matrix B of
+/// eq. (9); reuse exists iff rank(B) <= 1.
+
+namespace dr::analytic {
+
+using dr::support::i64;
+
+/// Coefficients of one index dimension in the analysed pair:
+/// y = b*j + c*k + (terms constant within the pair).
+struct PairCoeffs {
+  i64 b = 0;
+  i64 c = 0;
+};
+
+/// Classification of the reuse an access carries inside a loop pair.
+enum class ReuseKind {
+  None,    ///< rank(B) = 2: every (j,k) iteration touches a new element
+  Scalar,  ///< rank(B) = 0: every (j,k) iteration touches the same element
+  Vector,  ///< rank(B) = 1: reuse along one dependency direction
+};
+
+/// Normalized reuse dependency for ReuseKind::Vector.
+///
+/// bprime/cprime are the non-negative primitive coefficients
+/// (gcd(bprime,cprime) == 1); the iteration-space vector connecting
+/// consecutive accesses of an element is
+///   (Δj, Δk) = (cprime, -bprime)   when !flippedK  (b, c same sign)
+///   (Δj, Δk) = (cprime, +bprime)   when  flippedK  (b, c opposite sign)
+/// The flipped case maps onto the paper's canonical b >= 0, c > 0 geometry
+/// by reversing the k axis, leaving all counts (F_R, A) unchanged.
+struct ReuseVector {
+  i64 bprime = 0;
+  i64 cprime = 0;
+  bool flippedK = false;
+
+  bool operator==(const ReuseVector& o) const noexcept {
+    return bprime == o.bprime && cprime == o.cprime && flippedK == o.flippedK;
+  }
+
+  std::string str() const;
+};
+
+/// Result of classifying one access in one loop pair.
+struct ReuseClass {
+  ReuseKind kind = ReuseKind::None;
+  ReuseVector vec;  ///< valid only when kind == Vector
+};
+
+/// Normalize one dimension's coefficients to a reuse vector.
+/// Precondition: not both zero (that is the Scalar case, handled by
+/// classifyPair). Examples: (b,c)=(2,4) -> (1,2); (0,c) -> (0,1) as in the
+/// paper's footnote 1; (b,0) -> (1,0); (3,-6) -> (1,2) flipped.
+ReuseVector normalizeVector(i64 b, i64 c);
+
+/// Classify a multi-dimensional access from its per-dimension pair
+/// coefficients (paper Section 5.3). Empty input classifies as Scalar.
+ReuseClass classifyPair(const std::vector<PairCoeffs>& dims);
+
+}  // namespace dr::analytic

@@ -1,0 +1,173 @@
+#include "codegen/executor.h"
+
+#include <map>
+#include <vector>
+
+#include "analytic/partial.h"
+#include "support/contracts.h"
+#include "support/intmath.h"
+
+namespace dr::codegen {
+
+using analytic::MaxReuse;
+using dr::support::i64;
+using dr::support::mod;
+using loopir::ArrayAccess;
+using loopir::LoopNest;
+
+namespace {
+
+/// One copy-candidate instance: rows x cols slots holding flat addresses.
+struct Buffer {
+  std::vector<i64> slots;  ///< -1 = empty
+  i64 filled = 0;
+
+  Buffer(i64 rows, i64 cols)
+      : slots(static_cast<std::size_t>(rows * cols), -1) {}
+
+  i64& at(i64 row, i64 cols, i64 col) {
+    return slots[static_cast<std::size_t>(row * cols + col)];
+  }
+};
+
+}  // namespace
+
+ExecutorCounts executeCopyTemplate(const loopir::Program& p, int nestIdx,
+                                   int accessIdx, const MaxReuse& max,
+                                   const TemplateSpec& spec,
+                                   const dr::trace::AddressMap& map) {
+  DR_REQUIRE(nestIdx >= 0 && nestIdx < static_cast<int>(p.nests.size()));
+  const LoopNest& nest = p.nests[static_cast<std::size_t>(nestIdx)];
+  DR_REQUIRE(accessIdx >= 0 &&
+             accessIdx < static_cast<int>(nest.body.size()));
+  const ArrayAccess& access =
+      nest.body[static_cast<std::size_t>(accessIdx)];
+  DR_REQUIRE_MSG(max.hasReuse &&
+                     max.cls.kind == analytic::ReuseKind::Vector &&
+                     max.cls.vec.cprime >= 1 && !max.cls.vec.flippedK,
+                 "executor needs canonical vector reuse");
+  DR_REQUIRE(max.reuseRepeat == 1);
+  for (const loopir::Loop& l : nest.loops) DR_REQUIRE(l.isNormalized());
+
+  const i64 bp = max.cls.vec.bprime;
+  const i64 cp = max.cls.vec.cprime;
+  const int pLvl = max.pairOuterLevel;
+  const int qLvl = max.pairInnerLevel;
+  const i64 kR = max.kRange;
+  const i64 jBegin = nest.loops[static_cast<std::size_t>(pLvl)].begin;
+  const i64 kBegin = nest.loops[static_cast<std::size_t>(qLvl)].begin;
+  const bool partial = spec.gamma.has_value();
+  const i64 gamma = partial ? *spec.gamma : 0;
+  if (partial) {
+    analytic::GammaRange range = analytic::gammaRange(max);
+    DR_REQUIRE(gamma >= range.lo && gamma <= range.hi);
+  }
+  const i64 cols = partial ? gamma : kR - bp;
+
+  std::vector<int> repeatLoops;
+  for (int r = pLvl + 1; r < qLvl; ++r) {
+    bool depends = false;
+    for (const loopir::AffineExpr& e : access.indices)
+      if (e.dependsOn(r)) depends = true;
+    if (depends) repeatLoops.push_back(r);
+  }
+
+  ExecutorCounts counts;
+  std::map<std::vector<i64>, Buffer> buffers;
+  bool streamFilled = false;
+  i64 currentOccupancy = 0;
+
+  const int depth = nest.depth();
+  std::vector<i64> iter(static_cast<std::size_t>(depth));
+  std::vector<i64> trip(static_cast<std::size_t>(depth));
+  for (int d = 0; d < depth; ++d) {
+    iter[static_cast<std::size_t>(d)] =
+        nest.loops[static_cast<std::size_t>(d)].begin;
+    trip[static_cast<std::size_t>(d)] =
+        nest.loops[static_cast<std::size_t>(d)].tripCount();
+  }
+  std::vector<i64> k(static_cast<std::size_t>(depth), 0);
+
+  std::vector<i64> index;
+  std::vector<i64> repeatKey;
+  for (;;) {
+    // Evaluate the tracked access at this iteration.
+    index.clear();
+    for (const loopir::AffineExpr& e : access.indices)
+      index.push_back(e.evaluate(iter));
+    i64 addr = map.address(access.signal, index);
+    ++counts.datapathReads;
+
+    i64 jj = iter[static_cast<std::size_t>(pLvl)] - jBegin;
+    i64 kk = iter[static_cast<std::size_t>(qLvl)] - kBegin;
+    bool inReuse = !partial || kk > kR - 1 - gamma - bp;
+
+    if (!inReuse) {
+      if (spec.bypass) {
+        ++counts.bypassReads;
+        ++counts.backgroundReads;
+      } else {
+        // Streamed through the one extra slot of eq. (18).
+        ++counts.copyWrites;
+        ++counts.backgroundReads;
+        ++counts.copyReads;
+        if (!streamFilled) {
+          streamFilled = true;
+          ++currentOccupancy;
+        }
+      }
+    } else {
+      repeatKey.clear();
+      for (int r : repeatLoops)
+        repeatKey.push_back(iter[static_cast<std::size_t>(r)]);
+      auto [it, inserted] = buffers.try_emplace(repeatKey, cp, cols);
+      Buffer& buf = it->second;
+
+      i64 row = mod(jj, cp);
+      i64 col = partial ? mod(kk - (kR - gamma - bp) + (jj / cp) * bp, cols)
+                        : mod(kk + (jj / cp) * bp, cols);
+      i64& slot = buf.at(row, cols, col);
+      bool first = jj < cp || kk > kR - 1 - bp;
+      if (first) {
+        ++counts.copyWrites;
+        ++counts.backgroundReads;
+        if (slot == -1) {
+          ++buf.filled;
+          ++currentOccupancy;
+        }
+        slot = addr;
+      } else if (slot != addr && counts.valuesCorrect) {
+        counts.valuesCorrect = false;
+        counts.firstError =
+            "copy slot (" + std::to_string(row) + "," + std::to_string(col) +
+            ") holds address " + std::to_string(slot) + ", original nest "
+            "reads " + std::to_string(addr) + " at jj=" + std::to_string(jj) +
+            " kk=" + std::to_string(kk);
+      }
+      ++counts.copyReads;
+      counts.maxOccupancy = std::max(counts.maxOccupancy, currentOccupancy);
+    }
+
+    // Advance the odometer.
+    int d = depth - 1;
+    for (; d >= 0; --d) {
+      auto ud = static_cast<std::size_t>(d);
+      if (++k[ud] < trip[ud]) {
+        iter[ud] += 1;
+        break;
+      }
+      k[ud] = 0;
+      iter[ud] = nest.loops[ud].begin;
+    }
+    if (d < 0) break;
+    if (d < pLvl) {
+      // New outer iteration: the copy-candidate starts empty.
+      buffers.clear();
+      streamFilled = false;
+      currentOccupancy = 0;
+    }
+  }
+  return counts;
+}
+
+}  // namespace dr::codegen

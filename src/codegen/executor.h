@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "analytic/pair_analysis.h"
+#include "codegen/templates.h"
+#include "trace/address_map.h"
+
+/// \file executor.h
+/// IR-level execution of the Fig. 8 copy-candidate templates. Instead of
+/// compiling the generated C text, the executor replays the template's
+/// replacement policy over the real iteration space, checking that every
+/// read served from the copy finds exactly the element the original nest
+/// would have read, and counting the level transfers so the analytical
+/// cost parameters (eqs. (12)-(22)) can be verified access-for-access.
+
+namespace dr::codegen {
+
+/// Transfer counts and verification result of one template execution.
+struct ExecutorCounts {
+  dr::support::i64 datapathReads = 0;   ///< C_tot of the access
+  dr::support::i64 copyWrites = 0;      ///< C_j: writes into the copy
+  dr::support::i64 copyReads = 0;       ///< reads served from the copy
+  dr::support::i64 bypassReads = 0;     ///< reads bypassing the copy (C''_tot)
+  dr::support::i64 backgroundReads = 0; ///< reads from the next-outer level
+  dr::support::i64 maxOccupancy = 0;    ///< peak filled copy slots
+
+  /// True when every copy read found the element the original nest reads.
+  bool valuesCorrect = true;
+  std::string firstError;  ///< diagnostic for the first mismatch
+};
+
+/// Execute the template policy for `access` of nest `nestIdx`.
+/// Preconditions as generateCopyTemplate(): canonical vector reuse
+/// (c' >= 1, no k flip), reuseRepeat == 1, normalized nest.
+ExecutorCounts executeCopyTemplate(const loopir::Program& p, int nestIdx,
+                                   int accessIdx,
+                                   const analytic::MaxReuse& max,
+                                   const TemplateSpec& spec,
+                                   const dr::trace::AddressMap& map);
+
+}  // namespace dr::codegen

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "codegen/templates.h"
+
+/// \file optimized.h
+/// ADOPT-optimized emission of the Fig. 8 copy-candidate templates: the
+/// per-access modulo addressing
+///
+///     row = MOD(jj, c');  col = MOD(kk + DIV(jj, c')*b', N)
+///
+/// is strength-reduced to incrementally updated counters,
+///
+///     col += 1; if (col == N) col = 0;              (per k iteration)
+///     row += 1; if (row == c') row = 0;             (per j iteration)
+///     if (row == 0) { colBase += b'; ... wrap ... }  (per c' j iterations)
+///
+/// exactly the address-optimization step the paper delegates to the ADOPT
+/// tools [20]. The emitted update rules are verified against the closed
+/// modulo forms over the full iteration space before the code is returned
+/// (see verifyOptimizedAddressing).
+
+namespace dr::codegen {
+
+/// As generateCopyTemplate(), but with induction-variable addressing.
+/// Supports the maximum-reuse template and the partial-reuse variants
+/// (with and without bypass); the single-assignment variant keeps plain
+/// addressing and is rejected here. Preconditions as
+/// generateCopyTemplate().
+GeneratedCode generateOptimizedTemplate(const loopir::Program& p,
+                                        int nestIdx, int accessIdx,
+                                        const analytic::MaxReuse& max,
+                                        const TemplateSpec& spec = {});
+
+/// Replays the optimized update rules over the whole iteration space and
+/// counts iterations where (row, col) diverge from the reference modulo
+/// forms. 0 means the optimized code addresses identically.
+dr::support::i64 verifyOptimizedAddressing(const loopir::Program& p,
+                                           int nestIdx, int accessIdx,
+                                           const analytic::MaxReuse& max,
+                                           const TemplateSpec& spec = {});
+
+}  // namespace dr::codegen

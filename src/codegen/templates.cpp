@@ -1,0 +1,182 @@
+#include "codegen/templates.h"
+
+#include "analytic/partial.h"
+#include "loopir/printer.h"
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::codegen {
+
+using analytic::MaxReuse;
+using dr::support::i64;
+using loopir::AccessKind;
+using loopir::ArrayAccess;
+using loopir::LoopNest;
+using loopir::Program;
+
+namespace {
+
+std::string pad(int level) {
+  return std::string(static_cast<std::size_t>(2 * level), ' ');
+}
+
+}  // namespace
+
+GeneratedCode generateCopyTemplate(const Program& p, int nestIdx,
+                                   int accessIdx, const MaxReuse& max,
+                                   const TemplateSpec& spec) {
+  DR_REQUIRE(nestIdx >= 0 && nestIdx < static_cast<int>(p.nests.size()));
+  const LoopNest& nest = p.nests[static_cast<std::size_t>(nestIdx)];
+  DR_REQUIRE(accessIdx >= 0 &&
+             accessIdx < static_cast<int>(nest.body.size()));
+  const ArrayAccess& access =
+      nest.body[static_cast<std::size_t>(accessIdx)];
+  DR_REQUIRE_MSG(max.hasReuse &&
+                     max.cls.kind == analytic::ReuseKind::Vector &&
+                     max.cls.vec.cprime >= 1 && !max.cls.vec.flippedK,
+                 "template generation needs canonical vector reuse");
+  DR_REQUIRE_MSG(max.reuseRepeat == 1,
+                 "reuse-repeat factors are handled by level selection, not "
+                 "by this template");
+  if (spec.gamma) {
+    analytic::GammaRange range = analytic::gammaRange(max);
+    DR_REQUIRE_MSG(*spec.gamma >= range.lo && *spec.gamma <= range.hi,
+                   "gamma outside the partial-reuse range");
+    DR_REQUIRE_MSG(!spec.singleAssignment,
+                   "single-assignment variant applies to maximum reuse");
+  }
+
+  const i64 bp = max.cls.vec.bprime;
+  const i64 cp = max.cls.vec.cprime;
+  const int pLvl = max.pairOuterLevel;
+  const int qLvl = max.pairInnerLevel;
+  const loopir::Loop& jLoop = nest.loops[static_cast<std::size_t>(pLvl)];
+  const loopir::Loop& kLoop = nest.loops[static_cast<std::size_t>(qLvl)];
+  const i64 kR = max.kRange;
+  const std::string& sigName = p.signalOf(access).name;
+
+  GeneratedCode out;
+  out.originalCode = loopir::nestToString(p, nest);
+  out.copyName = sigName + "_sub";
+  out.copyRows = cp;
+  if (spec.gamma)
+    out.copyCols = *spec.gamma;
+  else if (spec.singleAssignment)
+    out.copyCols = ((max.jRange - 1) / cp) * bp + kR;
+  else
+    out.copyCols = kR - bp;
+
+  std::string ref = loopir::accessToString(p, nest, access);
+  std::vector<std::string> names = nest.iteratorNames();
+
+  // Copy declaration: one leading dimension per intermediate loop the
+  // access depends on (the size repeat factor of Section 6.3).
+  std::vector<int> repeatLoops;
+  for (int r = pLvl + 1; r < qLvl; ++r) {
+    bool depends = false;
+    for (const loopir::AffineExpr& e : access.indices)
+      if (e.dependsOn(r)) depends = true;
+    if (depends) repeatLoops.push_back(r);
+  }
+
+  std::string& code = out.transformedCode;
+  code += "/* copy-candidate for " + ref + "\n";
+  code += "   reuse dependency (c',-b') = (" + std::to_string(cp) + ",-" +
+          std::to_string(bp) + "), pair loops (" + jLoop.name + ", " +
+          kLoop.name + ")";
+  if (spec.gamma)
+    code += ", partial reuse gamma=" + std::to_string(*spec.gamma) +
+            (spec.bypass ? " with bypass" : "");
+  code += " */\n";
+  code += "#define MOD(a, n) (((a) % (n) + (n)) % (n))\n";
+  code += "int " + out.copyName;
+  for (int r : repeatLoops)
+    code += "[" + std::to_string(
+                      nest.loops[static_cast<std::size_t>(r)].tripCount()) +
+            "]";
+  code += "[" + std::to_string(out.copyRows) + "]" + "[" +
+          std::to_string(out.copyCols) + "]";
+  if (spec.gamma && !spec.bypass)
+    code += ", " + out.copyName + "_stream";  // the "+1" slot of eq. (18)
+  code += ";\n\n";
+
+  int level = 0;
+  for (const loopir::Loop& loop : nest.loops) {
+    code += pad(level) + loopir::loopToString(loop) + " {\n";
+    ++level;
+  }
+
+  // Normalized pair offsets.
+  std::string jj = "(" + jLoop.name + " - (" + std::to_string(jLoop.begin) +
+                   "))";
+  std::string kk = "(" + kLoop.name + " - (" + std::to_string(kLoop.begin) +
+                   "))";
+
+  // Copy slot subscripts shared by all variants.
+  std::string repeatSubs;
+  for (int r : repeatLoops) {
+    const loopir::Loop& loop = nest.loops[static_cast<std::size_t>(r)];
+    repeatSubs += "[" + loop.name + " - (" + std::to_string(loop.begin) +
+                  ")]";
+  }
+  std::string rowSub = "[MOD(" + jj + ", " + std::to_string(cp) + ")]";
+
+  for (std::size_t a = 0; a < nest.body.size(); ++a) {
+    const ArrayAccess& acc = nest.body[a];
+    std::string accRef = loopir::accessToString(p, nest, acc);
+    if (static_cast<int>(a) != accessIdx) {
+      code += pad(level);
+      code += acc.kind == AccessKind::Read ? ("use(" + accRef + ");")
+                                           : (accRef + " = ...;");
+      code += "\n";
+      continue;
+    }
+
+    std::string shift = "(" + jj + " / " + std::to_string(cp) + ") * " +
+                        std::to_string(bp);
+    if (!spec.gamma) {
+      std::string colExpr =
+          spec.singleAssignment
+              ? kk + " + " + shift
+              : "MOD(" + kk + " + " + shift + ", " +
+                    std::to_string(out.copyCols) + ")";
+      std::string slot =
+          out.copyName + repeatSubs + rowSub + "[" + colExpr + "]";
+      // First access (the gray zone of Fig. 6): fill the copy.
+      code += pad(level) + "if (" + jj + " < " + std::to_string(cp) +
+              " || " + kk + " > " + std::to_string(kR - 1 - bp) + ")\n";
+      code += pad(level + 1) + slot + " = " + accRef + ";\n";
+      code += pad(level) + "use(" + slot + ");\n";
+    } else {
+      const i64 gamma = *spec.gamma;
+      // Reused iterations: k above the split of Fig. 9a.
+      std::string inReuse =
+          kk + " > " + std::to_string(kR - 1 - gamma - bp);
+      std::string colExpr = "MOD(" + kk + " - " +
+                            std::to_string(kR - gamma - bp) + " + " + shift +
+                            ", " + std::to_string(gamma) + ")";
+      std::string slot =
+          out.copyName + repeatSubs + rowSub + "[" + colExpr + "]";
+      code += pad(level) + "if (" + inReuse + ") {\n";
+      code += pad(level + 1) + "if (" + jj + " < " + std::to_string(cp) +
+              " || " + kk + " > " + std::to_string(kR - 1 - bp) + ")\n";
+      code += pad(level + 2) + slot + " = " + accRef + ";\n";
+      code += pad(level + 1) + "use(" + slot + ");\n";
+      code += pad(level) + "} else {\n";
+      if (spec.bypass) {
+        code += pad(level + 1) + "use(" + accRef + ");  /* bypass */\n";
+      } else {
+        code += pad(level + 1) + out.copyName + "_stream = " + accRef +
+                ";\n";
+        code += pad(level + 1) + "use(" + out.copyName + "_stream);\n";
+      }
+      code += pad(level) + "}\n";
+    }
+  }
+
+  for (--level; level >= 0; --level) code += pad(level) + "}\n";
+  (void)names;
+  return out;
+}
+
+}  // namespace dr::codegen

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analytic/pair_analysis.h"
+#include "loopir/program.h"
+
+/// \file templates.h
+/// Generation of the transformed-code templates of paper Section 6.1
+/// (Fig. 8) and their partial-reuse / bypass variants (Section 6.2/6.3):
+/// a copy A_sub of size c' x (kRANGE - b') is introduced with the rotating
+/// replacement policy derived from the reuse dependency (c', -b') — the
+/// elements accessed in iteration j and j - c' are partly the same,
+/// translated by -b' in the k direction, so each row of the copy is a ring
+/// buffer whose origin advances by b' every c' iterations of j.
+///
+/// The addressing "looks rather complicated, but can be linearized and
+/// greatly simplified by the ADOPT tools for address optimization" — as in
+/// the paper, we emit the plain modulo form and leave strength reduction
+/// to later stages.
+
+namespace dr::codegen {
+
+/// Which template variant to emit.
+struct TemplateSpec {
+  /// Partial-reuse threshold; nullopt = maximum reuse (Fig. 8 itself).
+  std::optional<dr::support::i64> gamma;
+  /// With gamma: bypass the copy for the not-reused iterations (Fig. 9b).
+  bool bypass = false;
+  /// Emit the enlarged single-assignment copy (Section 6.1 end): the copy
+  /// second dimension becomes ((jU-jL)/c')*b' + kRANGE and the modulo on k
+  /// disappears, giving the SCBD step full freedom to schedule updates.
+  bool singleAssignment = false;
+};
+
+/// Result of template generation.
+struct GeneratedCode {
+  std::string originalCode;     ///< the untransformed nest (Fig. 8 left)
+  std::string transformedCode;  ///< nest with the copy-candidate
+  std::string copyName;         ///< name of the introduced buffer
+  dr::support::i64 copyRows = 0;
+  dr::support::i64 copyCols = 0;
+};
+
+/// Generate the transformed code for `access` of nest `nestIdx` using the
+/// pair analysis `max` (which must have been computed on the same access
+/// with hasReuse, a Vector dependency, c' >= 1 and no k flip — the
+/// canonical geometry; flipped accesses are normalized by the caller).
+GeneratedCode generateCopyTemplate(const loopir::Program& p, int nestIdx,
+                                   int accessIdx,
+                                   const analytic::MaxReuse& max,
+                                   const TemplateSpec& spec = {});
+
+}  // namespace dr::codegen

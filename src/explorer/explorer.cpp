@@ -1,0 +1,373 @@
+#include "explorer/explorer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "loopir/normalize.h"
+#include "loopir/permute.h"
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::explorer {
+
+using analytic::AnalyticPoint;
+using dr::support::Rational;
+using loopir::AccessKind;
+using loopir::Program;
+
+namespace {
+
+/// Effective "reuse fraction" key for aligning points of different
+/// accesses: partial points use their gamma; the maximum-reuse point sits
+/// above every gamma of its access (kRange - b').
+i64 effectiveGamma(const AccessAnalysis& acc, const AnalyticPoint& pt) {
+  (void)acc;
+  return pt.gamma >= 0 ? pt.gamma : std::numeric_limits<i64>::max();
+}
+
+/// The point of `list` with the largest effective gamma <= g among points
+/// with the requested bypass flavour; falls back to the smallest point.
+const AnalyticPoint* pickAtGamma(const AccessAnalysis& acc, i64 g,
+                                 bool bypass) {
+  const AnalyticPoint* best = nullptr;
+  const AnalyticPoint* smallest = nullptr;
+  for (const AnalyticPoint& pt : acc.points) {
+    if (pt.bypass != bypass) continue;
+    if (!smallest || pt.size < smallest->size) smallest = &pt;
+    i64 eg = effectiveGamma(acc, pt);
+    if (eg <= g && (!best || effectiveGamma(acc, *best) < eg)) best = &pt;
+  }
+  return best ? best : smallest;
+}
+
+}  // namespace
+
+std::vector<AnalyticPoint> combineAccessPoints(
+    const std::vector<AccessAnalysis>& accesses) {
+  std::vector<const AccessAnalysis*> usable;
+  for (const AccessAnalysis& a : accesses)
+    if (!a.points.empty()) usable.push_back(&a);
+  if (usable.empty()) return {};
+  if (usable.size() == 1) return usable.front()->points;
+
+  // Alignment grid: every gamma occurring anywhere, plus "max".
+  std::vector<i64> gammas;
+  for (const AccessAnalysis* a : usable)
+    for (const AnalyticPoint& pt : a->points)
+      gammas.push_back(effectiveGamma(*a, pt));
+  std::sort(gammas.begin(), gammas.end());
+  gammas.erase(std::unique(gammas.begin(), gammas.end()), gammas.end());
+
+  std::vector<AnalyticPoint> out;
+  for (i64 g : gammas) {
+    for (bool bypass : {false, true}) {
+      AnalyticPoint combined;
+      combined.bypass = bypass;
+      combined.gamma = g == std::numeric_limits<i64>::max() ? -1 : g;
+      combined.level = -1;
+      bool any = false;
+      for (const AccessAnalysis* a : usable) {
+        const AnalyticPoint* pt = pickAtGamma(*a, g, bypass);
+        if (!pt) {
+          // This access has no point of that flavour (e.g. no bypass
+          // variant): the whole combination is skipped for consistency.
+          any = false;
+          break;
+        }
+        any = true;
+        combined.size += pt->size;
+        combined.CjTotal += pt->CjTotal;
+        combined.CtotCopyTotal += pt->CtotCopyTotal;
+        combined.CtotBypassTotal += pt->CtotBypassTotal;
+        combined.exact = combined.exact && pt->exact;
+      }
+      if (!any || combined.CjTotal == 0) continue;
+      combined.FRExact = Rational(combined.CtotCopyTotal, combined.CjTotal);
+      combined.FR = combined.FRExact.toDouble();
+      combined.label =
+          std::string("combined ") +
+          (combined.gamma < 0 ? "max" : "g=" + std::to_string(combined.gamma)) +
+          (bypass ? " bypass" : "");
+      out.push_back(std::move(combined));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AnalyticPoint& a, const AnalyticPoint& b) {
+              if (a.size != b.size) return a.size < b.size;
+              return a.FR < b.FR;
+            });
+  return out;
+}
+
+std::vector<hierarchy::CandidatePoint> toCandidates(
+    const std::vector<AnalyticPoint>& points, i64 Ctot) {
+  std::vector<hierarchy::CandidatePoint> out;
+  out.reserve(points.size());
+  for (const AnalyticPoint& pt : points) {
+    DR_REQUIRE_MSG(pt.CtotCopyTotal + pt.CtotBypassTotal <= Ctot,
+                   "point models more reads than the signal has");
+    hierarchy::CandidatePoint c;
+    c.size = pt.size;
+    c.writes = pt.CjTotal;
+    c.copyReads = pt.CtotCopyTotal;
+    c.bypassReads = pt.CtotBypassTotal;
+    c.label = pt.label;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+SignalExploration exploreSignal(const Program& p, int signal,
+                                const ExploreOptions& opts) {
+  DR_REQUIRE(signal >= 0 && signal < static_cast<int>(p.signals.size()));
+  SignalExploration result;
+  result.signal = signal;
+  result.signalName = p.signals[static_cast<std::size_t>(signal)].name;
+
+  const Program pn = loopir::normalized(p);
+  dr::trace::AddressMap map(pn);
+
+  // 1. Trace.
+  dr::trace::Trace trace = dr::trace::readTrace(pn, map, signal);
+  result.Ctot = trace.length();
+  result.distinctElements = trace.distinctCount();
+  DR_REQUIRE_MSG(result.Ctot > 0, "signal is never read");
+
+  // 2. Analytic points per read access; accesses with identical index
+  // expressions share one copy-candidate (paper Section 6.4), so they are
+  // merged: the copy is filled once (C_j unchanged) and every duplicate
+  // read hits it (reads scale with the occurrence count).
+  for (std::size_t n = 0; n < pn.nests.size(); ++n) {
+    const loopir::LoopNest& nest = pn.nests[n];
+    for (std::size_t a = 0; a < nest.body.size(); ++a) {
+      const loopir::ArrayAccess& acc = nest.body[a];
+      if (acc.signal != signal || acc.kind != AccessKind::Read) continue;
+      // Merge into an earlier identical access of the same nest.
+      bool merged = false;
+      for (AccessAnalysis& prev : result.accesses) {
+        if (prev.nest != static_cast<int>(n)) continue;
+        const loopir::ArrayAccess& first =
+            nest.body[static_cast<std::size_t>(prev.accessIndex)];
+        if (first.indices != acc.indices) continue;
+        ++prev.occurrences;
+        prev.Ctot += nest.iterationCount();
+        merged = true;
+        break;
+      }
+      if (merged) continue;
+      AccessAnalysis analysis;
+      analysis.nest = static_cast<int>(n);
+      analysis.accessIndex = static_cast<int>(a);
+      analysis.Ctot = nest.iterationCount();
+      if (nest.depth() >= 2)
+        analysis.points =
+            analytic::analyticReusePoints(nest, acc, opts.analyticOptions);
+      analysis.multiLevel = analytic::multiLevelPoints(nest, acc);
+      result.accesses.push_back(std::move(analysis));
+    }
+  }
+  // Scale the merged groups' read counts: the copy content and fills are
+  // those of one occurrence, the served reads multiply.
+  for (AccessAnalysis& a : result.accesses) {
+    if (a.occurrences == 1) continue;
+    for (analytic::AnalyticPoint& pt : a.points) {
+      pt.CtotCopyTotal *= a.occurrences;
+      pt.CtotBypassTotal *= a.occurrences;
+      pt.FRExact = dr::support::Rational(pt.CtotCopyTotal, pt.CjTotal);
+      pt.FR = pt.FRExact.toDouble();
+    }
+    for (analytic::MultiLevelPoint& pt : a.multiLevel) {
+      pt.Ctot *= a.occurrences;
+      pt.FR = dr::support::Rational(pt.Ctot, pt.misses);
+    }
+  }
+  result.combinedPoints = combineAccessPoints(result.accesses);
+
+  // 3. Working-set knees per nest that reads the signal.
+  if (opts.includeWorkingSetKnees) {
+    for (std::size_t n = 0; n < pn.nests.size(); ++n) {
+      std::vector<int> indices;
+      for (std::size_t a = 0; a < pn.nests[n].body.size(); ++a)
+        if (pn.nests[n].body[a].signal == signal &&
+            pn.nests[n].body[a].kind == AccessKind::Read)
+          indices.push_back(static_cast<int>(a));
+      if (!indices.empty())
+        result.kneesPerNest.push_back(
+            analytic::workingSetKnees(pn, map, static_cast<int>(n), indices));
+    }
+  }
+
+  // 4. Simulated Belady curve over grid + analytic sizes + knee sizes.
+  if (opts.runSimulation) {
+    std::vector<i64> sizes =
+        simcore::sizeGrid(std::max<i64>(1, result.distinctElements),
+                          opts.denseGridUpTo);
+    for (const AnalyticPoint& pt : result.combinedPoints)
+      if (pt.size > 0) sizes.push_back(pt.size);
+    for (const auto& knees : result.kneesPerNest)
+      for (const analytic::LevelKnee& knee : knees)
+        if (knee.workingSetMax > 0) sizes.push_back(knee.workingSetMax);
+    for (const AccessAnalysis& a : result.accesses)
+      for (const analytic::MultiLevelPoint& pt : a.multiLevel)
+        if (pt.size > 0) sizes.push_back(pt.size);
+    sizes.insert(sizes.end(), opts.extraSizes.begin(), opts.extraSizes.end());
+    result.simulatedCurve = simcore::simulateReuseCurve(trace, sizes);
+  }
+
+  // 5. Chains: analytic candidates, plus working-set knee candidates when
+  // the signal lives in a single nest (the knee counts then correspond to
+  // one coherent copy per level).
+  i64 modeledCtot = 0;
+  for (const AccessAnalysis& a : result.accesses)
+    if (!a.points.empty()) modeledCtot += a.Ctot;
+  std::vector<hierarchy::CandidatePoint> candidates;
+  if (modeledCtot > 0)
+    candidates = toCandidates(result.combinedPoints, modeledCtot);
+  hierarchy::EnumerateOptions chainOpts = opts.chainOptions;
+  chainOpts.directBackgroundReads = result.Ctot - modeledCtot;
+
+  if (result.kneesPerNest.size() == 1 && modeledCtot == result.Ctot) {
+    for (const analytic::LevelKnee& knee : result.kneesPerNest.front()) {
+      if (knee.workingSetMax <= 0 || knee.misses <= 0) continue;
+      hierarchy::CandidatePoint c;
+      c.size = knee.workingSetMax;
+      c.writes = knee.misses;
+      c.copyReads = result.Ctot;
+      c.bypassReads = 0;
+      c.label = "WS L" + std::to_string(knee.level);
+      candidates.push_back(std::move(c));
+    }
+  }
+
+  // Closed-form multi-level footprint points (the analytical A_1..A_3
+  // knees): exact only for single-read-access signals, where the
+  // per-access totals are the signal totals.
+  if (result.accesses.size() == 1 && modeledCtot == result.Ctot &&
+      result.accesses.front().Ctot == result.Ctot) {
+    for (const analytic::MultiLevelPoint& pt :
+         result.accesses.front().multiLevel) {
+      if (!pt.exact || pt.misses >= pt.Ctot || pt.size <= 0) continue;
+      hierarchy::CandidatePoint c;
+      c.size = pt.size;
+      c.writes = pt.misses;
+      c.copyReads = result.Ctot;
+      c.bypassReads = 0;
+      c.label = "ML L" + std::to_string(pt.level);
+      candidates.push_back(std::move(c));
+    }
+  }
+
+  // Selected simulated-curve points (the paper's Fig. 4b combines "points
+  // on the data reuse factor curve"): subsample at roughly equal reuse
+  // ratios so the candidate count stays bounded. Only meaningful when the
+  // simulated counts cover the whole signal (they always do: the trace is
+  // the signal's full read stream).
+  if (opts.includeSimulatedCandidates && opts.runSimulation &&
+      chainOpts.directBackgroundReads == 0 &&
+      !result.simulatedCurve.points.empty()) {
+    double maxFr = result.simulatedCurve.maxReuseFactor();
+    double lastKept = 1.0;
+    std::vector<const simcore::ReusePoint*> picked;
+    for (const simcore::ReusePoint& pt : result.simulatedCurve.points) {
+      if (pt.writes <= 0 || pt.reuseFactor <= 1.0) continue;
+      bool saturated = pt.reuseFactor >= maxFr * (1.0 - 1e-9);
+      if (pt.reuseFactor >= lastKept * 1.4 || saturated) {
+        picked.push_back(&pt);
+        lastKept = pt.reuseFactor;
+        if (saturated) break;  // smallest saturating size is enough
+      }
+    }
+    while (static_cast<i64>(picked.size()) > opts.maxSimulatedCandidates)
+      picked.erase(picked.begin() + 1);  // keep the extremes
+    for (const simcore::ReusePoint* pt : picked) {
+      hierarchy::CandidatePoint c;
+      c.size = pt->size;
+      c.writes = pt->writes;
+      c.copyReads = result.Ctot;
+      c.bypassReads = 0;
+      c.label = "sim A=" + std::to_string(pt->size);
+      candidates.push_back(std::move(c));
+    }
+  }
+
+  if (chainOpts.directBackgroundReads < result.Ctot && !candidates.empty()) {
+    int bits = p.signals[static_cast<std::size_t>(signal)].elementBits;
+    result.chains = hierarchy::enumerateChains(result.Ctot, candidates,
+                                               opts.library, bits, chainOpts);
+    result.pareto = hierarchy::paretoChains(result.chains);
+  }
+  return result;
+}
+
+}  // namespace dr::explorer
+
+namespace dr::explorer {
+
+std::vector<OrderingResult> orderingSweep(const Program& p, int signal,
+                                          i64 sizeBudget, int fixedPrefix) {
+  DR_REQUIRE(signal >= 0 && signal < static_cast<int>(p.signals.size()));
+  DR_REQUIRE(sizeBudget >= 1);
+  const Program pn = loopir::normalized(p);
+
+  // The signal must be read in exactly one nest.
+  int nestIdx = -1;
+  std::vector<int> accessIndices;
+  for (std::size_t n = 0; n < pn.nests.size(); ++n)
+    for (std::size_t a = 0; a < pn.nests[n].body.size(); ++a) {
+      const loopir::ArrayAccess& acc = pn.nests[n].body[a];
+      if (acc.signal != signal || acc.kind != AccessKind::Read) continue;
+      DR_REQUIRE_MSG(nestIdx < 0 || nestIdx == static_cast<int>(n),
+                     "orderingSweep needs the signal read in a single nest");
+      nestIdx = static_cast<int>(n);
+      accessIndices.push_back(static_cast<int>(a));
+    }
+  DR_REQUIRE_MSG(nestIdx >= 0, "signal is never read");
+  const loopir::LoopNest& nest = pn.nests[static_cast<std::size_t>(nestIdx)];
+  DR_REQUIRE(fixedPrefix >= 0 && fixedPrefix <= nest.depth());
+
+  std::vector<OrderingResult> out;
+  for (const std::vector<int>& perm :
+       loopir::loopOrderings(nest.depth(), fixedPrefix)) {
+    loopir::LoopNest reordered = loopir::permuted(nest, perm);
+    OrderingResult r;
+    r.perm = perm;
+
+    // Combined closed-form level points: one copy per access, coexisting.
+    std::vector<std::vector<analytic::MultiLevelPoint>> perAccess;
+    for (int a : accessIndices)
+      perAccess.push_back(analytic::multiLevelPoints(
+          reordered, reordered.body[static_cast<std::size_t>(a)]));
+    for (int level = 0; level < reordered.depth(); ++level) {
+      i64 size = 0, misses = 0, Ctot = 0;
+      bool exact = true;
+      for (const auto& pts : perAccess) {
+        const analytic::MultiLevelPoint& pt =
+            pts[static_cast<std::size_t>(level)];
+        size += pt.size;
+        misses += pt.misses;
+        Ctot += pt.Ctot;
+        exact = exact && pt.exact;
+      }
+      if (size > sizeBudget) continue;
+      if (!r.feasible || misses < r.bestMisses) {
+        r.feasible = true;
+        r.bestSize = size;
+        r.bestMisses = misses;
+        r.bestFR = static_cast<double>(Ctot) / static_cast<double>(misses);
+        r.exact = exact;
+      }
+    }
+    out.push_back(std::move(r));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const OrderingResult& a, const OrderingResult& b) {
+              if (a.feasible != b.feasible) return a.feasible;
+              if (a.bestMisses != b.bestMisses)
+                return a.bestMisses < b.bestMisses;
+              return a.bestSize < b.bestSize;
+            });
+  return out;
+}
+
+}  // namespace dr::explorer

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytic/curve.h"
+#include "analytic/footprint.h"
+#include "hierarchy/enumerate.h"
+#include "hierarchy/pareto.h"
+#include "simcore/reuse_curve.h"
+#include "trace/walker.h"
+
+/// \file explorer.h
+/// The top-level data-reuse exploration flow — the library equivalent of
+/// the paper's prototype tool ("computes, based on the loop and index
+/// expression parameters as input, the data reuse factor and power/memory
+/// size Pareto curve points with and without bypass", Section 6.3):
+///
+///   1. collect the read trace of a signal,
+///   2. produce the simulated (Belady) reuse-factor curve,
+///   3. produce the analytical curve points per access (max + partial +
+///      bypass) and the working-set knees per loop level,
+///   4. enumerate copy-candidate chains over those points and
+///   5. Pareto-filter power vs on-chip size.
+///
+/// Accesses in different nests (SUSAN's series of loops) are combined by
+/// aligning their partial-reuse fractions, as the paper's "combined"
+/// curves do; accesses with identical index expressions share one
+/// copy-candidate ("the copy-candidates of accesses with identical index
+/// expressions are merged").
+
+namespace dr::explorer {
+
+using dr::support::i64;
+
+struct ExploreOptions {
+  bool runSimulation = true;  ///< Belady sweep (skip for analytic-only runs)
+  std::vector<i64> extraSizes;  ///< extra sizes for the simulated sweep
+  i64 denseGridUpTo = 64;
+  analytic::AnalyticCurveOptions analyticOptions;
+  hierarchy::EnumerateOptions chainOptions;
+  dr::power::MemoryLibrary library = dr::power::MemoryLibrary::standard();
+  bool includeWorkingSetKnees = true;
+  /// Also feed selected points of the simulated Belady curve into the
+  /// chain enumeration — the paper's Fig. 4b builds its Pareto curve from
+  /// exactly those points. Points are subsampled at roughly equal reuse
+  /// ratios; requires runSimulation.
+  bool includeSimulatedCandidates = true;
+  i64 maxSimulatedCandidates = 12;
+};
+
+/// One access's analytic results. Accesses of the same nest with
+/// *identical index expressions* share one copy-candidate (paper Section
+/// 6.4: "the copy-candidates of accesses with identical index expressions
+/// are merged"): one AccessAnalysis represents the whole group, with
+/// `occurrences` > 1 and all read counts scaled — the copy is filled once
+/// and every duplicate read hits it.
+struct AccessAnalysis {
+  int nest = 0;
+  int accessIndex = 0;  ///< first access of the merged group
+  int occurrences = 1;  ///< identical-expression accesses merged in
+  std::vector<analytic::AnalyticPoint> points;
+  /// Closed-form multi-level footprint points (one per loop level; the
+  /// outer knees A_1..A_3 of Fig. 4a in analytical form).
+  std::vector<analytic::MultiLevelPoint> multiLevel;
+  i64 Ctot = 0;  ///< total reads of the group (occurrences included)
+};
+
+struct SignalExploration {
+  int signal = -1;
+  std::string signalName;
+  i64 Ctot = 0;           ///< total reads of the signal
+  i64 distinctElements = 0;
+
+  simcore::ReuseCurve simulatedCurve;  ///< empty when !runSimulation
+  std::vector<AccessAnalysis> accesses;
+  /// Combined analytic curve over all accesses (sizes and transfer counts
+  /// summed at aligned reuse fractions).
+  std::vector<analytic::AnalyticPoint> combinedPoints;
+  /// Working-set knees per nest touching the signal.
+  std::vector<std::vector<analytic::LevelKnee>> kneesPerNest;
+
+  std::vector<hierarchy::ChainDesign> chains;  ///< all enumerated designs
+  std::vector<hierarchy::ChainDesign> pareto;  ///< non-dominated designs
+};
+
+/// Run the full flow for every read access to `signal`.
+SignalExploration exploreSignal(const loopir::Program& p, int signal,
+                                const ExploreOptions& opts = {});
+
+/// Combine per-access analytic points into signal-level candidate points
+/// by aligning partial-reuse fractions (exposed for tests and benches).
+std::vector<analytic::AnalyticPoint> combineAccessPoints(
+    const std::vector<AccessAnalysis>& accesses);
+
+/// Convert analytic points to chain candidate points for `Ctot` total
+/// signal reads (bypassReads filled from the point's bypass totals).
+std::vector<hierarchy::CandidatePoint> toCandidates(
+    const std::vector<analytic::AnalyticPoint>& points, i64 Ctot);
+
+/// One evaluated loop ordering of the nest reading a signal.
+struct OrderingResult {
+  std::vector<int> perm;  ///< new level l runs old loop perm[l]
+  /// Best copy-candidate fitting the size budget under this ordering
+  /// (closed-form multi-level points, summed over the signal's accesses).
+  i64 bestSize = 0;
+  i64 bestMisses = 0;  ///< background transfers with that copy
+  double bestFR = 1.0;
+  bool exact = true;
+  bool feasible = false;  ///< some level fits the budget
+};
+
+/// Evaluate every loop ordering of the (single) nest reading `signal`
+/// with the outer `fixedPrefix` loops pinned — the per-ordering reuse
+/// decision of paper Section 3, step 3 ("the optimal memory hierarchy
+/// cost for each of the signals and each loop nest ordering separately").
+/// Results are sorted best (fewest background transfers) first.
+/// Preconditions: the signal is read in exactly one nest; sizeBudget >= 1.
+std::vector<OrderingResult> orderingSweep(const loopir::Program& p,
+                                          int signal, i64 sizeBudget,
+                                          int fixedPrefix = 0);
+
+}  // namespace dr::explorer

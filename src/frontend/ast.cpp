@@ -1,0 +1,38 @@
+#include "frontend/ast.h"
+
+namespace dr::frontend {
+
+ExprPtr Expr::intLit(SourceLoc loc, i64 v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::IntLit;
+  e->loc = loc;
+  e->value = v;
+  return e;
+}
+
+ExprPtr Expr::ref(SourceLoc loc, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Ref;
+  e->loc = loc;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::unary(SourceLoc loc, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Neg;
+  e->loc = loc;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::binary(Kind k, SourceLoc loc, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = k;
+  e->loc = loc;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+}  // namespace dr::frontend

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+
+/// \file ast.h
+/// Abstract syntax tree produced by the parser, consumed by sema.
+/// Expressions are kept as general trees here; sema lowers them to either
+/// constants (loop bounds, parameters) or affine forms (index expressions).
+
+namespace dr::frontend {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Integer expression tree node.
+struct Expr {
+  enum class Kind { IntLit, Ref, Neg, Add, Sub, Mul, Div, Mod };
+
+  Kind kind;
+  SourceLoc loc;
+  i64 value = 0;     ///< IntLit
+  std::string name;  ///< Ref (parameter or iterator)
+  ExprPtr lhs;       ///< unary operand / left operand
+  ExprPtr rhs;       ///< right operand (binary only)
+
+  static ExprPtr intLit(SourceLoc loc, i64 v);
+  static ExprPtr ref(SourceLoc loc, std::string name);
+  static ExprPtr unary(SourceLoc loc, ExprPtr operand);
+  static ExprPtr binary(Kind k, SourceLoc loc, ExprPtr lhs, ExprPtr rhs);
+};
+
+struct ParamDecl {
+  SourceLoc loc;
+  std::string name;
+  ExprPtr value;
+};
+
+struct ArrayDecl {
+  SourceLoc loc;
+  std::string name;
+  std::vector<ExprPtr> dims;
+  ExprPtr bits;  ///< optional; null means default (8)
+};
+
+struct AccessStmt {
+  SourceLoc loc;
+  bool isWrite = false;
+  std::string array;
+  std::vector<ExprPtr> indices;
+};
+
+struct LoopStmt {
+  SourceLoc loc;
+  std::string iterator;
+  ExprPtr begin;
+  ExprPtr end;
+  ExprPtr step;  ///< optional; null means 1
+  std::unique_ptr<LoopStmt> innerLoop;  ///< perfect nesting: loop XOR body
+  std::vector<AccessStmt> body;
+};
+
+struct KernelDecl {
+  SourceLoc loc;
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::vector<ArrayDecl> arrays;
+  std::vector<std::unique_ptr<LoopStmt>> nests;
+};
+
+}  // namespace dr::frontend

@@ -1,0 +1,28 @@
+#include "frontend/frontend.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "loopir/validate.h"
+#include "support/contracts.h"
+
+namespace dr::frontend {
+
+loopir::Program compileKernel(const std::string& source) {
+  KernelDecl ast = parseKernel(source);
+  loopir::Program p = lowerKernel(ast);
+  loopir::validateOrThrow(p);
+  return p;
+}
+
+loopir::Program compileKernelFile(const std::string& path) {
+  std::ifstream f(path);
+  DR_REQUIRE_MSG(f.good(), "cannot open kernel file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return compileKernel(ss.str());
+}
+
+}  // namespace dr::frontend

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "loopir/program.h"
+
+/// \file frontend.h
+/// One-call frontend: kernel-language source text in, validated
+/// loopir::Program out. See parser.h for the grammar. Example:
+///
+///   kernel motion_estimation {
+///     param H = 144;  param W = 176;  param n = 8;  param m = 8;
+///     array Old[H][W] bits 8;
+///     loop i1 = 0 .. H/n - 1 {
+///       loop i2 = 0 .. W/n - 1 {
+///         loop i3 = -m .. m - 1 {
+///           loop i4 = -m .. m - 1 {
+///             loop i5 = 0 .. n - 1 {
+///               loop i6 = 0 .. n - 1 {
+///                 read Old[n*i1 + i3 + i5][n*i2 + i4 + i6];
+///               } } } } } }
+///   }
+
+namespace dr::frontend {
+
+/// Parse + lower + validate. Throws ParseError / SemaError /
+/// ContractViolation with location-tagged diagnostics on bad input.
+loopir::Program compileKernel(const std::string& source);
+
+/// compileKernel() on the contents of `path`.
+loopir::Program compileKernelFile(const std::string& path);
+
+}  // namespace dr::frontend

@@ -1,0 +1,180 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <limits>
+#include <map>
+
+namespace dr::frontend {
+
+const char* tokKindName(TokKind k) {
+  switch (k) {
+    case TokKind::End: return "end of input";
+    case TokKind::Ident: return "identifier";
+    case TokKind::Int: return "integer";
+    case TokKind::KwKernel: return "'kernel'";
+    case TokKind::KwParam: return "'param'";
+    case TokKind::KwArray: return "'array'";
+    case TokKind::KwBits: return "'bits'";
+    case TokKind::KwLoop: return "'loop'";
+    case TokKind::KwStep: return "'step'";
+    case TokKind::KwRead: return "'read'";
+    case TokKind::KwWrite: return "'write'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::Semicolon: return "';'";
+    case TokKind::Assign: return "'='";
+    case TokKind::DotDot: return "'..'";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Percent: return "'%'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokKind>& keywords() {
+  static const std::map<std::string, TokKind> kw = {
+      {"kernel", TokKind::KwKernel}, {"param", TokKind::KwParam},
+      {"array", TokKind::KwArray},   {"bits", TokKind::KwBits},
+      {"loop", TokKind::KwLoop},     {"step", TokKind::KwStep},
+      {"read", TokKind::KwRead},     {"write", TokKind::KwWrite},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skipSpaceAndComments();
+      Token t = next();
+      out.push_back(t);
+      if (t.kind == TokKind::End) break;
+    }
+    return out;
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.column = 1;
+    } else {
+      ++loc_.column;
+    }
+    return c;
+  }
+
+  void skipSpaceAndComments() {
+    for (;;) {
+      if (pos_ < src_.size() &&
+          std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      } else if (peek() == '#' || (peek() == '/' && peek(1) == '/')) {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token next() {
+    Token t;
+    t.loc = loc_;
+    if (pos_ >= src_.size()) {
+      t.kind = TokKind::End;
+      return t;
+    }
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+      return identifier();
+    if (std::isdigit(static_cast<unsigned char>(c))) return integer();
+    advance();
+    switch (c) {
+      case '{': t.kind = TokKind::LBrace; return t;
+      case '}': t.kind = TokKind::RBrace; return t;
+      case '[': t.kind = TokKind::LBracket; return t;
+      case ']': t.kind = TokKind::RBracket; return t;
+      case '(': t.kind = TokKind::LParen; return t;
+      case ')': t.kind = TokKind::RParen; return t;
+      case ';': t.kind = TokKind::Semicolon; return t;
+      case '=': t.kind = TokKind::Assign; return t;
+      case '+': t.kind = TokKind::Plus; return t;
+      case '-': t.kind = TokKind::Minus; return t;
+      case '*': t.kind = TokKind::Star; return t;
+      case '/': t.kind = TokKind::Slash; return t;
+      case '%': t.kind = TokKind::Percent; return t;
+      case '.':
+        if (peek() == '.') {
+          advance();
+          t.kind = TokKind::DotDot;
+          return t;
+        }
+        throw ParseError(t.loc, "stray '.' (did you mean '..'?)");
+      default:
+        throw ParseError(t.loc,
+                         std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token identifier() {
+    Token t;
+    t.loc = loc_;
+    std::string s;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_'))
+      s += advance();
+    auto it = keywords().find(s);
+    if (it != keywords().end()) {
+      t.kind = it->second;
+    } else {
+      t.kind = TokKind::Ident;
+      t.text = s;
+    }
+    return t;
+  }
+
+  Token integer() {
+    Token t;
+    t.loc = loc_;
+    t.kind = TokKind::Int;
+    i64 v = 0;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(peek()))) {
+      int digit = advance() - '0';
+      if (v > (std::numeric_limits<i64>::max() - digit) / 10)
+        throw ParseError(t.loc, "integer literal too large");
+      v = v * 10 + digit;
+    }
+    t.value = v;
+    return t;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  return Lexer(source).run();
+}
+
+}  // namespace dr::frontend

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+
+/// \file lexer.h
+/// Tokenizer for the kernel description language. Comments run from '#' or
+/// "//" to end of line. Throws ParseError (see parser.h) on invalid input.
+
+namespace dr::frontend {
+
+/// Thrown by lexer and parser on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(SourceLoc loc, const std::string& message)
+      : std::runtime_error(loc.str() + ": " + message), loc_(loc) {}
+
+  SourceLoc loc() const noexcept { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Tokenize the entire input; the result always ends with a TokKind::End.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace dr::frontend

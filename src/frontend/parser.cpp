@@ -1,0 +1,184 @@
+#include "frontend/parser.h"
+
+namespace dr::frontend {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  KernelDecl run() {
+    KernelDecl k = kernel();
+    expect(TokKind::End);
+    return k;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+
+  bool at(TokKind k) const { return cur().kind == k; }
+
+  Token take() { return tokens_[pos_++]; }
+
+  Token expect(TokKind k) {
+    if (!at(k))
+      throw ParseError(cur().loc, std::string("expected ") + tokKindName(k) +
+                                      ", found " + tokKindName(cur().kind));
+    return take();
+  }
+
+  KernelDecl kernel() {
+    KernelDecl k;
+    k.loc = cur().loc;
+    expect(TokKind::KwKernel);
+    k.name = expect(TokKind::Ident).text;
+    expect(TokKind::LBrace);
+    while (!at(TokKind::RBrace)) {
+      if (at(TokKind::KwParam)) {
+        k.params.push_back(param());
+      } else if (at(TokKind::KwArray)) {
+        k.arrays.push_back(array());
+      } else if (at(TokKind::KwLoop)) {
+        k.nests.push_back(loop());
+      } else {
+        throw ParseError(cur().loc,
+                         std::string("expected 'param', 'array' or 'loop', "
+                                     "found ") +
+                             tokKindName(cur().kind));
+      }
+    }
+    expect(TokKind::RBrace);
+    return k;
+  }
+
+  ParamDecl param() {
+    ParamDecl p;
+    p.loc = expect(TokKind::KwParam).loc;
+    p.name = expect(TokKind::Ident).text;
+    expect(TokKind::Assign);
+    p.value = expr();
+    expect(TokKind::Semicolon);
+    return p;
+  }
+
+  ArrayDecl array() {
+    ArrayDecl a;
+    a.loc = expect(TokKind::KwArray).loc;
+    a.name = expect(TokKind::Ident).text;
+    if (!at(TokKind::LBracket))
+      throw ParseError(cur().loc, "array needs at least one dimension");
+    while (at(TokKind::LBracket)) {
+      take();
+      a.dims.push_back(expr());
+      expect(TokKind::RBracket);
+    }
+    if (at(TokKind::KwBits)) {
+      take();
+      a.bits = expr();
+    }
+    expect(TokKind::Semicolon);
+    return a;
+  }
+
+  std::unique_ptr<LoopStmt> loop() {
+    auto l = std::make_unique<LoopStmt>();
+    l->loc = expect(TokKind::KwLoop).loc;
+    l->iterator = expect(TokKind::Ident).text;
+    expect(TokKind::Assign);
+    l->begin = expr();
+    expect(TokKind::DotDot);
+    l->end = expr();
+    if (at(TokKind::KwStep)) {
+      take();
+      l->step = expr();
+    }
+    expect(TokKind::LBrace);
+    if (at(TokKind::KwLoop)) {
+      l->innerLoop = loop();
+    } else {
+      while (at(TokKind::KwRead) || at(TokKind::KwWrite))
+        l->body.push_back(access());
+      if (l->body.empty())
+        throw ParseError(cur().loc,
+                         "loop body must contain a nested loop or at least "
+                         "one read/write access");
+    }
+    expect(TokKind::RBrace);
+    return l;
+  }
+
+  AccessStmt access() {
+    AccessStmt a;
+    a.loc = cur().loc;
+    a.isWrite = at(TokKind::KwWrite);
+    take();  // read / write keyword
+    a.array = expect(TokKind::Ident).text;
+    if (!at(TokKind::LBracket))
+      throw ParseError(cur().loc, "access needs at least one index");
+    while (at(TokKind::LBracket)) {
+      take();
+      a.indices.push_back(expr());
+      expect(TokKind::RBracket);
+    }
+    expect(TokKind::Semicolon);
+    return a;
+  }
+
+  ExprPtr expr() {
+    ExprPtr e = term();
+    while (at(TokKind::Plus) || at(TokKind::Minus)) {
+      Token op = take();
+      e = Expr::binary(op.kind == TokKind::Plus ? Expr::Kind::Add
+                                                : Expr::Kind::Sub,
+                       op.loc, std::move(e), term());
+    }
+    return e;
+  }
+
+  ExprPtr term() {
+    ExprPtr e = factor();
+    while (at(TokKind::Star) || at(TokKind::Slash) || at(TokKind::Percent)) {
+      Token op = take();
+      Expr::Kind k = op.kind == TokKind::Star    ? Expr::Kind::Mul
+                     : op.kind == TokKind::Slash ? Expr::Kind::Div
+                                                 : Expr::Kind::Mod;
+      e = Expr::binary(k, op.loc, std::move(e), factor());
+    }
+    return e;
+  }
+
+  ExprPtr factor() {
+    if (at(TokKind::Int)) {
+      Token t = take();
+      return Expr::intLit(t.loc, t.value);
+    }
+    if (at(TokKind::Ident)) {
+      Token t = take();
+      return Expr::ref(t.loc, t.text);
+    }
+    if (at(TokKind::Minus)) {
+      Token t = take();
+      return Expr::unary(t.loc, factor());
+    }
+    if (at(TokKind::LParen)) {
+      take();
+      ExprPtr e = expr();
+      expect(TokKind::RParen);
+      return e;
+    }
+    throw ParseError(cur().loc, std::string("expected an expression, found ") +
+                                    tokKindName(cur().kind));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+KernelDecl parseKernel(const std::string& source) {
+  return Parser(tokenize(source)).run();
+}
+
+}  // namespace dr::frontend

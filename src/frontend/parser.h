@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+/// \file parser.h
+/// Recursive-descent parser for the kernel description language.
+///
+/// Grammar (EBNF):
+///   kernel  := 'kernel' IDENT '{' item* '}'
+///   item    := param | array | loop
+///   param   := 'param' IDENT '=' expr ';'
+///   array   := 'array' IDENT ('[' expr ']')+ ['bits' expr] ';'
+///   loop    := 'loop' IDENT '=' expr '..' expr ['step' expr]
+///              '{' ( loop | access+ ) '}'
+///   access  := ('read' | 'write') IDENT ('[' expr ']')+ ';'
+///   expr    := term (('+' | '-') term)*
+///   term    := factor (('*' | '/' | '%') factor)*
+///   factor  := INT | IDENT | '-' factor | '(' expr ')'
+///
+/// Loop bodies are perfectly nested: a loop contains either exactly one
+/// inner loop or a non-empty list of accesses.
+
+namespace dr::frontend {
+
+/// Parse one kernel; throws ParseError on malformed input.
+KernelDecl parseKernel(const std::string& source);
+
+}  // namespace dr::frontend

@@ -1,0 +1,230 @@
+#include "frontend/sema.h"
+
+#include <map>
+
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::frontend {
+
+using loopir::AffineExpr;
+using loopir::Program;
+using dr::support::checkedAdd;
+using dr::support::checkedMul;
+using dr::support::checkedSub;
+using dr::support::floorDiv;
+using dr::support::mod;
+
+SemaError::SemaError(std::vector<std::string> diags)
+    : std::runtime_error(dr::support::join(diags, "\n")),
+      diags_(std::move(diags)) {}
+
+namespace {
+
+class Sema {
+ public:
+  explicit Sema(const KernelDecl& k) : kernel_(k) {}
+
+  Program run() {
+    Program p;
+    p.name = kernel_.name;
+    lowerParams(p);
+    lowerArrays(p);
+    for (const auto& nest : kernel_.nests) lowerNest(p, *nest);
+    if (!diags_.empty()) throw SemaError(std::move(diags_));
+    return p;
+  }
+
+ private:
+  void error(SourceLoc loc, const std::string& msg) {
+    diags_.push_back(loc.str() + ": " + msg);
+  }
+
+  /// Constant evaluation over parameters only; returns 0 on error (an
+  /// error diagnostic has been emitted, result is never used for output).
+  i64 evalConst(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return e.value;
+      case Expr::Kind::Ref: {
+        auto it = params_.find(e.name);
+        if (it == params_.end()) {
+          error(e.loc, "unknown parameter '" + e.name +
+                           "' (iterators are not allowed here)");
+          return 0;
+        }
+        return it->second;
+      }
+      case Expr::Kind::Neg:
+        return checkedSub(0, evalConst(*e.lhs));
+      case Expr::Kind::Add:
+        return checkedAdd(evalConst(*e.lhs), evalConst(*e.rhs));
+      case Expr::Kind::Sub:
+        return checkedSub(evalConst(*e.lhs), evalConst(*e.rhs));
+      case Expr::Kind::Mul:
+        return checkedMul(evalConst(*e.lhs), evalConst(*e.rhs));
+      case Expr::Kind::Div: {
+        i64 l = evalConst(*e.lhs), r = evalConst(*e.rhs);
+        if (r == 0) {
+          error(e.loc, "division by zero in constant expression");
+          return 0;
+        }
+        return floorDiv(l, r);
+      }
+      case Expr::Kind::Mod: {
+        i64 l = evalConst(*e.lhs), r = evalConst(*e.rhs);
+        if (r == 0) {
+          error(e.loc, "modulo by zero in constant expression");
+          return 0;
+        }
+        return mod(l, r);
+      }
+    }
+    DR_UNREACHABLE("bad expression kind");
+  }
+
+  /// Lower an index expression to affine form over the iterators currently
+  /// in scope (iters_). Emits a diagnostic and returns a constant 0
+  /// expression when the expression is not affine.
+  AffineExpr evalAffine(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return AffineExpr::constant(e.value);
+      case Expr::Kind::Ref: {
+        auto it = iters_.find(e.name);
+        if (it != iters_.end()) return AffineExpr::iterator(it->second);
+        auto pit = params_.find(e.name);
+        if (pit != params_.end()) return AffineExpr::constant(pit->second);
+        error(e.loc, "unknown name '" + e.name + "' in index expression");
+        return AffineExpr::constant(0);
+      }
+      case Expr::Kind::Neg:
+        return evalAffine(*e.lhs).scaled(-1);
+      case Expr::Kind::Add:
+        return evalAffine(*e.lhs) + evalAffine(*e.rhs);
+      case Expr::Kind::Sub:
+        return evalAffine(*e.lhs) - evalAffine(*e.rhs);
+      case Expr::Kind::Mul: {
+        AffineExpr l = evalAffine(*e.lhs);
+        AffineExpr r = evalAffine(*e.rhs);
+        if (l.isConstant()) return r.scaled(l.constantTerm());
+        if (r.isConstant()) return l.scaled(r.constantTerm());
+        error(e.loc,
+              "index expression is not affine: product of two "
+              "iterator-dependent terms");
+        return AffineExpr::constant(0);
+      }
+      case Expr::Kind::Div:
+      case Expr::Kind::Mod: {
+        AffineExpr l = evalAffine(*e.lhs);
+        AffineExpr r = evalAffine(*e.rhs);
+        if (!l.isConstant() || !r.isConstant()) {
+          error(e.loc,
+                "index expression is not affine: division/modulo on an "
+                "iterator-dependent term");
+          return AffineExpr::constant(0);
+        }
+        if (r.constantTerm() == 0) {
+          error(e.loc, "division by zero in index expression");
+          return AffineExpr::constant(0);
+        }
+        i64 v = e.kind == Expr::Kind::Div
+                    ? floorDiv(l.constantTerm(), r.constantTerm())
+                    : mod(l.constantTerm(), r.constantTerm());
+        return AffineExpr::constant(v);
+      }
+    }
+    DR_UNREACHABLE("bad expression kind");
+  }
+
+  void lowerParams(Program& p) {
+    for (const ParamDecl& d : kernel_.params) {
+      if (params_.count(d.name)) {
+        error(d.loc, "duplicate parameter '" + d.name + "'");
+        continue;
+      }
+      params_[d.name] = evalConst(*d.value);
+      p.params[d.name] = params_[d.name];
+    }
+  }
+
+  void lowerArrays(Program& p) {
+    for (const ArrayDecl& d : kernel_.arrays) {
+      if (p.findSignal(d.name) >= 0 || params_.count(d.name)) {
+        error(d.loc, "duplicate name '" + d.name + "'");
+        continue;
+      }
+      std::vector<i64> dims;
+      for (const ExprPtr& dim : d.dims) {
+        i64 v = evalConst(*dim);
+        if (v <= 0) error(dim->loc, "array dimension must be positive");
+        dims.push_back(v);
+      }
+      i64 bits = d.bits ? evalConst(*d.bits) : 8;
+      if (bits <= 0 || bits > 256) {
+        error(d.loc, "element width must be in [1, 256] bits");
+        bits = 8;
+      }
+      loopir::addSignal(p, d.name, std::move(dims), static_cast<int>(bits));
+    }
+  }
+
+  void lowerNest(Program& p, const LoopStmt& top) {
+    loopir::LoopNest nest;
+    const LoopStmt* cur = &top;
+    for (;;) {
+      if (iters_.count(cur->iterator) || params_.count(cur->iterator))
+        error(cur->loc, "iterator '" + cur->iterator + "' shadows another "
+                        "name");
+      loopir::Loop loop;
+      loop.name = cur->iterator;
+      loop.begin = evalConst(*cur->begin);
+      loop.end = evalConst(*cur->end);
+      loop.step = cur->step ? evalConst(*cur->step) : 1;
+      if (loop.step == 0) {
+        error(cur->loc, "loop step must be non-zero");
+        loop.step = 1;
+      }
+      if (loop.tripCount() == 0)
+        error(cur->loc, "loop '" + loop.name + "' has an empty range");
+      iters_[loop.name] = nest.depth();
+      nest.loops.push_back(std::move(loop));
+      if (!cur->innerLoop) break;
+      cur = cur->innerLoop.get();
+    }
+
+    for (const AccessStmt& a : cur->body) {
+      loopir::ArrayAccess acc;
+      acc.kind = a.isWrite ? loopir::AccessKind::Write
+                           : loopir::AccessKind::Read;
+      acc.signal = p.findSignal(a.array);
+      if (acc.signal < 0) {
+        error(a.loc, "unknown array '" + a.array + "'");
+        continue;
+      }
+      const loopir::ArraySignal& sig = p.signals[acc.signal];
+      if (a.indices.size() != sig.dims.size())
+        error(a.loc, "array '" + a.array + "' has " +
+                         std::to_string(sig.dims.size()) +
+                         " dimensions but is accessed with " +
+                         std::to_string(a.indices.size()) + " indices");
+      for (const ExprPtr& idx : a.indices)
+        acc.indices.push_back(evalAffine(*idx));
+      nest.body.push_back(std::move(acc));
+    }
+
+    iters_.clear();
+    p.nests.push_back(std::move(nest));
+  }
+
+  const KernelDecl& kernel_;
+  std::map<std::string, i64> params_;
+  std::map<std::string, int> iters_;  ///< iterator name -> depth
+  std::vector<std::string> diags_;
+};
+
+}  // namespace
+
+Program lowerKernel(const KernelDecl& kernel) { return Sema(kernel).run(); }
+
+}  // namespace dr::frontend

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "loopir/program.h"
+
+/// \file sema.h
+/// Semantic analysis: lowers the parsed AST to the loopir::Program the
+/// analyses operate on. Checks name resolution, constant-evaluates
+/// parameters / bounds / dimensions, and verifies that every index
+/// expression is *affine* in the loop iterators (the application-domain
+/// restriction of paper §5.1) — products of two iterator-dependent
+/// subexpressions are rejected.
+
+namespace dr::frontend {
+
+/// Carries all semantic diagnostics (one per line in what()).
+class SemaError : public std::runtime_error {
+ public:
+  explicit SemaError(std::vector<std::string> diags);
+
+  const std::vector<std::string>& diagnostics() const noexcept {
+    return diags_;
+  }
+
+ private:
+  std::vector<std::string> diags_;
+};
+
+/// Lower one kernel to IR; throws SemaError listing all problems found.
+loopir::Program lowerKernel(const KernelDecl& kernel);
+
+}  // namespace dr::frontend

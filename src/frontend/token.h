@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+
+#include "support/intmath.h"
+
+/// \file token.h
+/// Token definitions for the kernel description language (see
+/// frontend/frontend.h for the grammar).
+
+namespace dr::frontend {
+
+using dr::support::i64;
+
+enum class TokKind {
+  End,
+  Ident,
+  Int,
+  // keywords
+  KwKernel,
+  KwParam,
+  KwArray,
+  KwBits,
+  KwLoop,
+  KwStep,
+  KwRead,
+  KwWrite,
+  // punctuation
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Semicolon,
+  Assign,
+  DotDot,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+};
+
+/// 1-based source position.
+struct SourceLoc {
+  int line = 1;
+  int column = 1;
+
+  std::string str() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  SourceLoc loc;
+  std::string text;  ///< identifier spelling
+  i64 value = 0;     ///< integer literal value
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char* tokKindName(TokKind k);
+
+}  // namespace dr::frontend

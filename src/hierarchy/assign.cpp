@@ -1,0 +1,86 @@
+#include "hierarchy/assign.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace dr::hierarchy {
+
+namespace {
+
+/// One DP state: a non-dominated (size, power) with back-pointers.
+struct State {
+  i64 size = 0;
+  double power = 0.0;
+  std::vector<int> choice;
+};
+
+/// Keep only non-dominated states (min size, min power).
+std::vector<State> paretoStates(std::vector<State> states) {
+  std::sort(states.begin(), states.end(), [](const State& a, const State& b) {
+    if (a.size != b.size) return a.size < b.size;
+    return a.power < b.power;
+  });
+  std::vector<State> keep;
+  double bestPower = std::numeric_limits<double>::infinity();
+  for (State& s : states) {
+    if (s.power < bestPower) {
+      bestPower = s.power;
+      keep.push_back(std::move(s));
+    }
+  }
+  return keep;
+}
+
+}  // namespace
+
+AssignmentResult assignLayers(
+    const std::vector<std::vector<SignalOption>>& optionsPerSignal,
+    i64 sizeBudget) {
+  DR_REQUIRE(sizeBudget >= 0);
+  for (const auto& options : optionsPerSignal)
+    DR_REQUIRE_MSG(!options.empty(), "every signal needs at least one option");
+
+  std::vector<State> states(1);  // empty assignment
+  for (const auto& options : optionsPerSignal) {
+    std::vector<State> next;
+    for (const State& s : states) {
+      for (const SignalOption& o : options) {
+        DR_REQUIRE(o.size >= 0 && o.power >= 0.0);
+        i64 size = s.size + o.size;
+        if (size > sizeBudget) continue;
+        State n;
+        n.size = size;
+        n.power = s.power + o.power;
+        n.choice = s.choice;
+        n.choice.push_back(o.designIndex);
+        next.push_back(std::move(n));
+      }
+    }
+    states = paretoStates(std::move(next));
+    if (states.empty()) break;  // infeasible under this budget
+  }
+
+  AssignmentResult result;
+  if (states.empty()) return result;
+  const State* best = &states.front();
+  for (const State& s : states)
+    if (s.power < best->power) best = &s;
+  result.feasible = true;
+  result.choice = best->choice;
+  result.totalPower = best->power;
+  result.totalSize = best->size;
+  return result;
+}
+
+std::vector<AssignmentResult> assignmentSweep(
+    const std::vector<std::vector<SignalOption>>& optionsPerSignal,
+    const std::vector<i64>& budgets) {
+  std::vector<AssignmentResult> out;
+  out.reserve(budgets.size());
+  for (i64 b : budgets) out.push_back(assignLayers(optionsPerSignal, b));
+  return out;
+}
+
+}  // namespace dr::hierarchy

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "hierarchy/enumerate.h"
+
+/// \file assign.h
+/// Global hierarchy layer assignment (paper Section 3, step 3): the data
+/// reuse step produces per-signal Pareto sets; "a global decision
+/// optimizing the total memory hierarchy including all signals" then picks
+/// one chain per signal. We solve the canonical formulation: minimize
+/// total power subject to a total on-chip size budget, by stage-wise
+/// Pareto dynamic programming over (used size, total power) states —
+/// exact, and polynomial because dominated states are discarded at every
+/// stage.
+
+namespace dr::hierarchy {
+
+/// One selectable design for one signal.
+struct SignalOption {
+  double power = 0.0;
+  i64 size = 0;      ///< on-chip words this option occupies
+  int designIndex = 0;  ///< caller's index into its own design list
+};
+
+struct AssignmentResult {
+  bool feasible = false;
+  std::vector<int> choice;  ///< per signal: chosen designIndex
+  double totalPower = 0.0;
+  i64 totalSize = 0;
+};
+
+/// Choose one option per signal minimizing total power with total size
+/// <= sizeBudget. Every signal must offer at least one option (include a
+/// size-0 "flat" option to make any budget feasible).
+AssignmentResult assignLayers(
+    const std::vector<std::vector<SignalOption>>& optionsPerSignal,
+    i64 sizeBudget);
+
+/// Sweep of budgets -> (best power, used size): the system-level
+/// power/size Pareto curve across all signals.
+std::vector<AssignmentResult> assignmentSweep(
+    const std::vector<std::vector<SignalOption>>& optionsPerSignal,
+    const std::vector<i64>& budgets);
+
+}  // namespace dr::hierarchy

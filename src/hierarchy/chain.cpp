@@ -1,0 +1,64 @@
+#include "hierarchy/chain.h"
+
+#include "support/contracts.h"
+
+namespace dr::hierarchy {
+
+Rational ChainLevel::reuseFactor(i64 Ctot) const {
+  DR_REQUIRE(writes > 0);
+  return Rational(Ctot, writes);
+}
+
+i64 CopyChain::readsFromLevel(int j) const {
+  DR_REQUIRE(j >= 0 && j <= depth());
+  if (j == 0) {
+    i64 reads = backgroundDirectReads;
+    if (!levels.empty()) reads += levels.front().writes;
+    return reads;
+  }
+  const ChainLevel& level = levels[static_cast<std::size_t>(j - 1)];
+  i64 reads = level.directReads;
+  if (j < depth()) reads += levels[static_cast<std::size_t>(j)].writes;
+  return reads;
+}
+
+i64 CopyChain::onChipSize() const {
+  i64 total = 0;
+  for (const ChainLevel& l : levels) total += l.size;
+  return total;
+}
+
+std::vector<std::string> CopyChain::validate() const {
+  std::vector<std::string> problems;
+  if (Ctot <= 0) problems.push_back("Ctot must be positive");
+  i64 prevSize = 0;
+  i64 datapathReads = backgroundDirectReads;
+  for (std::size_t j = 0; j < levels.size(); ++j) {
+    const ChainLevel& l = levels[j];
+    std::string name = "level " + std::to_string(j + 1);
+    if (l.size <= 0) problems.push_back(name + ": size must be positive");
+    if (l.writes <= 0) problems.push_back(name + ": writes must be positive");
+    if (l.directReads < 0)
+      problems.push_back(name + ": directReads must be >= 0");
+    if (j > 0 && prevSize <= l.size)
+      problems.push_back(name + ": sizes must strictly decrease inward");
+    prevSize = l.size;
+    datapathReads += l.directReads;
+  }
+  if (backgroundDirectReads < 0)
+    problems.push_back("backgroundDirectReads must be >= 0");
+  if (datapathReads != Ctot)
+    problems.push_back(
+        "datapath read conservation violated: direct reads sum to " +
+        std::to_string(datapathReads) + ", C_tot is " + std::to_string(Ctot));
+  return problems;
+}
+
+CopyChain CopyChain::flat(i64 Ctot) {
+  CopyChain c;
+  c.Ctot = Ctot;
+  c.backgroundDirectReads = Ctot;
+  return c;
+}
+
+}  // namespace dr::hierarchy

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/intmath.h"
+
+/// \file chain.h
+/// Copy-candidate chains (paper Fig. 2): a background memory (level 0)
+/// plus n copy levels of decreasing size A_j. Writes into level j (C_j)
+/// equal reads from level j-1; the datapath reads C_tot values in total,
+/// normally all from level n, or partly from shallower levels when deeper
+/// levels are bypassed for not-reused data (Fig. 9b).
+
+namespace dr::hierarchy {
+
+using dr::support::i64;
+using dr::support::Rational;
+
+/// One copy level. `directReads` are reads served by this level straight
+/// to the datapath (non-zero only with bypass below, or at the last
+/// level which always serves the datapath).
+struct ChainLevel {
+  i64 size = 0;        ///< A_j in words
+  i64 writes = 0;      ///< C_j
+  i64 directReads = 0; ///< reads to the datapath from this level
+  std::string label;   ///< provenance, e.g. "L4 g=3 bypass"
+
+  /// F_Rj = C_tot / C_j (paper eq. (1)).
+  Rational reuseFactor(i64 Ctot) const;
+};
+
+/// A complete chain for one signal's reads.
+struct CopyChain {
+  i64 Ctot = 0;                  ///< total datapath reads of the signal
+  i64 backgroundDirectReads = 0; ///< datapath reads served by level 0
+  std::vector<ChainLevel> levels;  ///< ordered outer (largest) to inner
+
+  /// Number of copy levels n.
+  int depth() const noexcept { return static_cast<int>(levels.size()); }
+
+  /// Reads from level j in the chain (j = 0 is background): writes of the
+  /// next level plus this level's direct reads.
+  i64 readsFromLevel(int j) const;
+
+  /// Sum of on-chip sizes (background excluded).
+  i64 onChipSize() const;
+
+  /// Structural problems: sizes not strictly decreasing, datapath read
+  /// conservation violated, non-positive counts. Empty when valid.
+  std::vector<std::string> validate() const;
+
+  /// The degenerate chain: every read from the background memory.
+  static CopyChain flat(i64 Ctot);
+};
+
+}  // namespace dr::hierarchy

@@ -1,0 +1,56 @@
+#include "hierarchy/collapse.h"
+
+#include "support/contracts.h"
+
+namespace dr::hierarchy {
+
+int PhysicalHierarchy::smallestFitting(i64 size) const {
+  int best = -1;
+  for (std::size_t i = 0; i < layerSizes.size(); ++i) {
+    DR_REQUIRE(layerSizes[i] > 0);
+    if (i > 0)
+      DR_REQUIRE_MSG(layerSizes[i] < layerSizes[i - 1],
+                     "physical layers must strictly decrease");
+    if (layerSizes[i] >= size) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+CopyChain collapseOnto(const CopyChain& virtualChain,
+                       const PhysicalHierarchy& phys) {
+  DR_REQUIRE_MSG(virtualChain.validate().empty(), "invalid virtual chain");
+  CopyChain out;
+  out.Ctot = virtualChain.Ctot;
+  out.backgroundDirectReads = virtualChain.backgroundDirectReads;
+
+  int prevLayer = -1;
+  for (const ChainLevel& level : virtualChain.levels) {
+    int layer = phys.smallestFitting(level.size);
+    if (layer < 0) {
+      // No physical layer fits: this level's traffic stays in the
+      // background memory. Its datapath reads move there too.
+      out.backgroundDirectReads += level.directReads;
+      continue;
+    }
+    if (!out.levels.empty() && layer == prevLayer) {
+      // Collapse into the already-mapped layer: data enters it once (the
+      // outer level's writes are kept) and it serves both levels' reads.
+      out.levels.back().directReads += level.directReads;
+      out.levels.back().label += " & " + level.label;
+      continue;
+    }
+    DR_REQUIRE_MSG(layer > prevLayer || out.levels.empty(),
+                   "virtual chain maps outward; sizes not collapsible");
+    ChainLevel mapped;
+    mapped.size = phys.layerSizes[static_cast<std::size_t>(layer)];
+    mapped.writes = level.writes;
+    mapped.directReads = level.directReads;
+    mapped.label = level.label;
+    out.levels.push_back(std::move(mapped));
+    prevLayer = layer;
+  }
+  DR_ENSURE(out.validate().empty());
+  return out;
+}
+
+}  // namespace dr::hierarchy

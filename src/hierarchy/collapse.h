@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "hierarchy/chain.h"
+
+/// \file collapse.h
+/// Mapping a virtual copy-candidate chain onto a *predefined* memory
+/// hierarchy (paper Section 1: for software-controlled mapping on
+/// processors, "several of the virtual layers in the global copy-candidate
+/// chain ... can be collapsed to match the available memory layers").
+///
+/// Each virtual level is placed in the smallest physical layer that fits
+/// it; virtual levels landing in the same physical layer collapse into
+/// one (the data enters the layer once — the outermost level's writes —
+/// and all merged levels' datapath reads are served from it). Virtual
+/// levels larger than every physical layer are dropped: their traffic is
+/// served by the background memory.
+
+namespace dr::hierarchy {
+
+/// Physical on-chip layer sizes, strictly decreasing (outer to inner).
+/// The background memory is implicit above the first layer.
+struct PhysicalHierarchy {
+  std::vector<i64> layerSizes;
+
+  /// Index of the smallest layer with size >= `size`; -1 when none fits.
+  int smallestFitting(i64 size) const;
+};
+
+/// Collapse `virtualChain` onto `phys`. The result's level sizes are
+/// physical layer sizes; its counts are conserved (same datapath reads).
+CopyChain collapseOnto(const CopyChain& virtualChain,
+                       const PhysicalHierarchy& phys);
+
+}  // namespace dr::hierarchy

@@ -1,0 +1,50 @@
+#include "hierarchy/cost.h"
+
+#include "support/contracts.h"
+
+namespace dr::hierarchy {
+
+double chainEnergyPerFrame(const CopyChain& chain,
+                           const dr::power::MemoryLibrary& lib, int bits) {
+  DR_REQUIRE_MSG(chain.validate().empty(), "invalid chain");
+  double energy = 0.0;
+
+  // Background memory (level 0): pays every read out of it.
+  energy += static_cast<double>(chain.readsFromLevel(0)) *
+            lib.background.readEnergy;
+
+  // Copy levels: pay their fill writes and every read out of them.
+  for (int j = 1; j <= chain.depth(); ++j) {
+    const ChainLevel& level = chain.levels[static_cast<std::size_t>(j - 1)];
+    energy += static_cast<double>(level.writes) *
+              lib.onChip.writeEnergy(level.size, bits);
+    energy += static_cast<double>(chain.readsFromLevel(j)) *
+              lib.onChip.readEnergy(level.size, bits);
+  }
+  return energy;
+}
+
+ChainCost evaluateChain(const CopyChain& chain,
+                        const dr::power::MemoryLibrary& lib, int bits,
+                        const CostWeights& weights) {
+  ChainCost cost;
+  cost.energyPerFrame = chainEnergyPerFrame(chain, lib, bits);
+  cost.power = cost.energyPerFrame * weights.frameRate;
+  double flat = chainEnergyPerFrame(CopyChain::flat(chain.Ctot), lib, bits) *
+                weights.frameRate;
+  DR_CHECK(flat > 0.0);
+  cost.normalizedPower = cost.power / flat;
+  cost.onChipSize = chain.onChipSize();
+  for (const ChainLevel& level : chain.levels)
+    cost.onChipArea += lib.onChip.area(level.size, bits);
+  cost.weighted = weights.alpha * cost.power +
+                  weights.beta * static_cast<double>(cost.onChipSize);
+  return cost;
+}
+
+bool isUselessLevel(const ChainLevel& level, i64 Ctot,
+                    double minReuseFactor) {
+  return level.reuseFactor(Ctot).toDouble() < minReuseFactor;
+}
+
+}  // namespace dr::hierarchy

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "hierarchy/chain.h"
+#include "power/memory_model.h"
+
+/// \file cost.h
+/// Evaluation of the paper's cost functions over a copy-candidate chain:
+/// the chain power of eq. (3) — every level pays its reads and writes at
+/// its own per-access energy — and the combined weighted cost
+/// F_c = alpha * sum P_j + beta * sum A_j of eq. (2).
+
+namespace dr::hierarchy {
+
+/// Evaluated cost of one chain.
+struct ChainCost {
+  double energyPerFrame = 0.0;  ///< sum of eq. (3), energy units per frame
+  double power = 0.0;           ///< energyPerFrame * frameRate
+  double normalizedPower = 0.0; ///< power / flat-chain power (paper figs.)
+  i64 onChipSize = 0;           ///< sum A_j, words
+  double onChipArea = 0.0;      ///< model area units
+  double weighted = 0.0;        ///< alpha*power + beta*size (eq. (2))
+};
+
+struct CostWeights {
+  double alpha = 1.0;   ///< power weight
+  double beta = 0.0;    ///< memory-size weight
+  double frameRate = 30.0;  ///< F_frame: accesses per frame -> power
+};
+
+/// Chain energy per frame per eq. (3):
+///   sum_j C_j * (P_{j-1}^r + P_j^w) + C_tot_served_by_each_level^r.
+/// `bits` is the element width of the signal.
+double chainEnergyPerFrame(const CopyChain& chain,
+                           const dr::power::MemoryLibrary& lib, int bits);
+
+/// Full cost evaluation; `normalizedPower` divides by the cost of
+/// CopyChain::flat(chain.Ctot), matching the paper's normalization
+/// ("normalised to the cost when all accesses for this signal are
+/// external memory accesses").
+ChainCost evaluateChain(const CopyChain& chain,
+                        const dr::power::MemoryLibrary& lib, int bits,
+                        const CostWeights& weights = {});
+
+/// Level-pruning predicate (paper Section 3): a sub-level is useless when
+/// its reuse factor is 1 or below `minReuseFactor` — it would only add
+/// size and transfers. True when the level should be pruned.
+bool isUselessLevel(const ChainLevel& level, i64 Ctot,
+                    double minReuseFactor = 1.0 + 1e-9);
+
+}  // namespace dr::hierarchy

@@ -1,0 +1,132 @@
+#include "hierarchy/enumerate.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::hierarchy {
+
+CopyChain buildChain(i64 Ctot, const std::vector<CandidatePoint>& points,
+                     i64 directBackgroundReads) {
+  DR_REQUIRE(!points.empty());
+  DR_REQUIRE(directBackgroundReads >= 0 && directBackgroundReads < Ctot);
+  CopyChain chain;
+  chain.Ctot = Ctot;
+  chain.backgroundDirectReads = directBackgroundReads;
+  const i64 modeledReads = Ctot - directBackgroundReads;
+  i64 prevSize = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CandidatePoint& p = points[i];
+    bool last = i + 1 == points.size();
+    DR_REQUIRE_MSG(i == 0 || p.size < prevSize,
+                   "chain sizes must strictly decrease inward");
+    DR_REQUIRE_MSG(last || p.bypassReads == 0,
+                   "bypass points may only be the innermost level");
+    prevSize = p.size;
+
+    ChainLevel level;
+    level.size = p.size;
+    level.writes = p.writes;
+    level.label = p.label;
+    if (last) {
+      DR_REQUIRE_MSG(p.copyReads + p.bypassReads == modeledReads,
+                     "last level must account for all modeled reads");
+      level.directReads = p.copyReads;
+      // The bypassed reads are served by the next-outer level (or the
+      // background memory when this is the only level), Fig. 9b.
+      if (points.size() >= 2)
+        chain.levels.back().directReads += p.bypassReads;
+      else
+        chain.backgroundDirectReads += p.bypassReads;
+    }
+    chain.levels.push_back(std::move(level));
+  }
+  DR_REQUIRE_MSG(chain.validate().empty(), "assembled chain is invalid");
+  return chain;
+}
+
+namespace {
+
+void extendChains(i64 Ctot, const std::vector<CandidatePoint>& sorted,
+                  const dr::power::MemoryLibrary& lib, int bits,
+                  const EnumerateOptions& opts,
+                  std::vector<CandidatePoint>& prefix, std::size_t from,
+                  std::vector<ChainDesign>& out) {
+  for (std::size_t i = from; i < sorted.size(); ++i) {
+    const CandidatePoint& p = sorted[i];
+    if (!prefix.empty()) {
+      const CandidatePoint& prev = prefix.back();
+      if (p.size >= prev.size) continue;
+      // Writes grow inward (C_1 < C_2 < ... — each deeper level's writes
+      // are reads out of the level above). Useless-level pruning (paper
+      // Section 3): the outer level prev must be read meaningfully more
+      // often than it is written; with a bypass inner level, prev also
+      // serves the bypassed datapath reads.
+      if (static_cast<double>(p.writes + p.bypassReads) <
+          static_cast<double>(prev.writes) * opts.minWriteImprovement)
+        continue;
+    }
+    // The innermost level is useless when its own reuse factor
+    // (reads served / writes) does not beat the threshold.
+    if (static_cast<double>(p.copyReads) <
+        static_cast<double>(p.writes) * opts.minWriteImprovement)
+      continue;
+    prefix.push_back(p);
+    // Close the chain here (p as the innermost level).
+    {
+      ChainDesign design;
+      design.chain = buildChain(Ctot, prefix, opts.directBackgroundReads);
+      design.cost = evaluateChain(design.chain, lib, bits, opts.weights);
+      std::vector<std::string> labels;
+      for (const CandidatePoint& q : prefix) labels.push_back(q.label);
+      design.label = dr::support::join(labels, " + ");
+      out.push_back(std::move(design));
+    }
+    // Or extend it deeper — but never below a bypass point.
+    if (static_cast<int>(prefix.size()) < opts.maxLevels &&
+        p.bypassReads == 0)
+      extendChains(Ctot, sorted, lib, bits, opts, prefix, i + 1, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<ChainDesign> enumerateChains(
+    i64 Ctot, const std::vector<CandidatePoint>& points,
+    const dr::power::MemoryLibrary& lib, int bits,
+    const EnumerateOptions& opts) {
+  DR_REQUIRE(Ctot > 0);
+  DR_REQUIRE(opts.maxLevels >= 1);
+  DR_REQUIRE(opts.directBackgroundReads >= 0 &&
+             opts.directBackgroundReads < Ctot);
+  for (const CandidatePoint& p : points) {
+    DR_REQUIRE(p.size > 0 && p.writes > 0);
+    DR_REQUIRE(p.copyReads >= 0 && p.bypassReads >= 0);
+    DR_REQUIRE_MSG(
+        p.copyReads + p.bypassReads == Ctot - opts.directBackgroundReads,
+        "candidate point read conservation violated");
+  }
+
+  std::vector<CandidatePoint> sorted = points;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CandidatePoint& a, const CandidatePoint& b) {
+              if (a.size != b.size) return a.size > b.size;
+              return a.writes < b.writes;
+            });
+
+  std::vector<ChainDesign> out;
+  {
+    ChainDesign flat;
+    flat.chain = CopyChain::flat(Ctot);
+    flat.cost = evaluateChain(flat.chain, lib, bits, opts.weights);
+    flat.label = "flat";
+    out.push_back(std::move(flat));
+  }
+  std::vector<CandidatePoint> prefix;
+  extendChains(Ctot, sorted, lib, bits, opts, prefix, 0, out);
+  return out;
+}
+
+}  // namespace dr::hierarchy

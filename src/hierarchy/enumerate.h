@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hierarchy/cost.h"
+
+/// \file enumerate.h
+/// Chain enumeration over copy-candidate design points (paper Section 4:
+/// "a Pareto curve for power and memory size is obtained by considering
+/// all possible hierarchies combining points on the data reuse factor
+/// curve"). Design points come from the analytical model (analytic/) or
+/// from simulation (simcore/); useless combinations are pruned with the
+/// Section 3 rule (a level whose reuse factor does not improve on its
+/// outer neighbour only adds size and transfers).
+
+namespace dr::hierarchy {
+
+/// One candidate copy level, as produced by either analysis path.
+struct CandidatePoint {
+  i64 size = 0;        ///< A, words
+  i64 writes = 0;      ///< C_j when this level is present
+  i64 copyReads = 0;   ///< reads served by this level when it is last
+  i64 bypassReads = 0; ///< reads bypassing it when it is last (Fig. 9b)
+  std::string label;
+};
+
+/// A fully evaluated chain design.
+struct ChainDesign {
+  CopyChain chain;
+  ChainCost cost;
+  std::string label;  ///< "+"-joined level labels; "flat" for no hierarchy
+};
+
+struct EnumerateOptions {
+  int maxLevels = 3;
+  /// A deeper level must cut the writes of its outer neighbour by at
+  /// least this ratio, or it is pruned as useless.
+  double minWriteImprovement = 1.05;
+  CostWeights weights;
+  /// Datapath reads that every design serves straight from the background
+  /// memory (accesses no candidate point models, e.g. reuse-free ones).
+  i64 directBackgroundReads = 0;
+};
+
+/// Assemble a chain from points ordered outer (largest) to inner; bypass
+/// points may only appear as the last level. Precondition: sizes strictly
+/// decreasing and the last point's copyReads + bypassReads must equal
+/// Ctot - directBackgroundReads.
+CopyChain buildChain(i64 Ctot, const std::vector<CandidatePoint>& points,
+                     i64 directBackgroundReads = 0);
+
+/// All pruned chain combinations (including the flat baseline), evaluated
+/// against `lib`. Bypass points are considered only in the innermost
+/// position, where the not-reused data is served by the next-outer level.
+std::vector<ChainDesign> enumerateChains(
+    i64 Ctot, const std::vector<CandidatePoint>& points,
+    const dr::power::MemoryLibrary& lib, int bits,
+    const EnumerateOptions& opts = {});
+
+}  // namespace dr::hierarchy

@@ -1,0 +1,42 @@
+#include "hierarchy/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dr::hierarchy {
+
+std::vector<std::size_t> paretoFilter(
+    const std::vector<std::pair<double, double>>& points) {
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].first != points[b].first)
+      return points[a].first < points[b].first;
+    return points[a].second < points[b].second;
+  });
+
+  // After the (x asc, y asc) sort, a point is non-dominated iff its y is
+  // strictly below every y seen so far.
+  std::vector<std::size_t> keep;
+  double bestY = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : order) {
+    if (points[idx].second < bestY) {
+      keep.push_back(idx);
+      bestY = points[idx].second;
+    }
+  }
+  return keep;
+}
+
+std::vector<ChainDesign> paretoChains(
+    const std::vector<ChainDesign>& designs) {
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(designs.size());
+  for (const ChainDesign& d : designs)
+    pts.emplace_back(static_cast<double>(d.cost.onChipSize), d.cost.power);
+  std::vector<ChainDesign> out;
+  for (std::size_t idx : paretoFilter(pts)) out.push_back(designs[idx]);
+  return out;
+}
+
+}  // namespace dr::hierarchy

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "hierarchy/enumerate.h"
+
+/// \file pareto.h
+/// Pareto filtering for power / memory-size trade-offs (paper Fig. 4b:
+/// "A good solution should be chosen on this Pareto curve because all
+/// points above it are suboptimal and below only infeasible points
+/// exist"). Both objectives are minimized.
+
+namespace dr::hierarchy {
+
+/// Indices of the non-dominated points of (x, y) pairs under
+/// minimize-both semantics, sorted by ascending x. Ties: a point is kept
+/// only if no other point is <= in both coordinates and < in one.
+std::vector<std::size_t> paretoFilter(
+    const std::vector<std::pair<double, double>>& points);
+
+/// Pareto-optimal chain designs by (onChipSize, power).
+std::vector<ChainDesign> paretoChains(const std::vector<ChainDesign>& designs);
+
+}  // namespace dr::hierarchy

@@ -1,0 +1,87 @@
+#include "inplace/inplace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/contracts.h"
+#include "trace/lifetime.h"
+
+namespace dr::inplace {
+
+namespace {
+
+struct Span {
+  i64 first = 0;
+  i64 last = 0;
+};
+
+/// Lifetime span per address, plus the overall address range.
+std::unordered_map<i64, Span> lifetimeSpans(const Trace& trace, i64& lo,
+                                            i64& hi) {
+  std::unordered_map<i64, Span> spans;
+  spans.reserve(trace.addresses.size() / 4 + 1);
+  lo = hi = trace.addresses.empty() ? 0 : trace.addresses.front();
+  for (i64 t = 0; t < trace.length(); ++t) {
+    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
+    lo = std::min(lo, addr);
+    hi = std::max(hi, addr);
+    auto [it, inserted] = spans.try_emplace(addr, Span{t, t});
+    if (!inserted) it->second.last = t;
+  }
+  return spans;
+}
+
+}  // namespace
+
+bool isLegalWindow(const Trace& trace, i64 window) {
+  DR_REQUIRE(window >= 1);
+  i64 lo = 0, hi = 0;
+  auto spans = lifetimeSpans(trace, lo, hi);
+
+  // Sweep the trace; a slot (residue class) may hold only one live
+  // element at a time. Elements enter at their first access and leave
+  // after their last.
+  std::unordered_map<i64, i64> slotOwner;  // residue -> address
+  slotOwner.reserve(static_cast<std::size_t>(window) * 2 + 16);
+  for (i64 t = 0; t < trace.length(); ++t) {
+    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
+    const Span& span = spans.at(addr);
+    if (span.first == t) {
+      i64 slot = dr::support::mod(addr - lo, window);
+      auto [it, inserted] = slotOwner.try_emplace(slot, addr);
+      if (!inserted) return false;  // collision with a live element
+    }
+    if (span.last == t)
+      slotOwner.erase(dr::support::mod(addr - lo, window));
+  }
+  return true;
+}
+
+InplaceResult minModuloWindow(const Trace& trace, i64 maxWindow) {
+  InplaceResult result;
+  if (trace.length() == 0) {
+    result.window = 1;
+    result.maxLive = 0;
+    result.addressRange = 0;
+    return result;
+  }
+  i64 lo = 0, hi = 0;
+  lifetimeSpans(trace, lo, hi);
+  result.addressRange = hi - lo + 1;
+  result.maxLive = dr::trace::analyzeLifetimes(trace).maxLive;
+  if (maxWindow <= 0) maxWindow = result.addressRange;
+  DR_REQUIRE(maxWindow >= 1);
+
+  for (i64 w = std::max<i64>(result.maxLive, 1); w <= maxWindow; ++w) {
+    if (isLegalWindow(trace, w)) {
+      result.window = w;
+      return result;
+    }
+  }
+  // The full address range is always legal (identity mapping).
+  result.window = result.addressRange;
+  DR_ENSURE(isLegalWindow(trace, result.window));
+  return result;
+}
+
+}  // namespace dr::inplace

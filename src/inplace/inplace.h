@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "trace/walker.h"
+
+/// \file inplace.h
+/// Intra-signal in-place mapping — DTSE step 6 (paper Section 3: "the
+/// inplace mapping step exploits the limited life-time of signals to
+/// further decrease the storage size requirements").
+///
+/// A single-assignment signal whose elements have bounded lifetimes can be
+/// stored in a window much smaller than its address range by mapping
+/// address a to a mod W. The mapping is legal when no two simultaneously
+/// live elements collide, i.e. no conflicting address pair (a, b) has
+/// W | (a - b). The classic lower bound is the peak number of
+/// simultaneously live elements; this module computes both the bound and
+/// the smallest *legal* modulo window for a given access trace (the copy
+/// templates of codegen/ use exactly such windows for the copy-candidate
+/// rows).
+
+namespace dr::inplace {
+
+using dr::support::i64;
+using dr::trace::Trace;
+
+struct InplaceResult {
+  i64 addressRange = 0;   ///< hi - lo + 1 over the trace
+  i64 maxLive = 0;        ///< lower bound on any legal window
+  i64 window = 0;         ///< smallest legal modulo window
+  /// window / addressRange: the storage reduction in-place mapping buys.
+  double compression() const {
+    return addressRange == 0 ? 1.0
+                             : static_cast<double>(window) /
+                                   static_cast<double>(addressRange);
+  }
+};
+
+/// True when mapping a -> a mod `window` never collides two live elements
+/// of `trace` (each element live from its first to its last access).
+/// Precondition: window >= 1.
+bool isLegalWindow(const Trace& trace, i64 window);
+
+/// Smallest legal modulo window, found by scanning upward from the
+/// max-live lower bound. `maxWindow` caps the search (0 = address range;
+/// the range itself is always legal).
+InplaceResult minModuloWindow(const Trace& trace, i64 maxWindow = 0);
+
+}  // namespace dr::inplace

@@ -1,0 +1,77 @@
+#include "kernels/conv2d.h"
+
+#include "loopir/validate.h"
+#include "support/contracts.h"
+
+namespace dr::kernels {
+
+using loopir::AccessKind;
+using loopir::AffineExpr;
+using loopir::ArrayAccess;
+using loopir::Loop;
+using loopir::LoopNest;
+using loopir::Program;
+using dr::support::i64;
+
+Program conv2d(const Conv2dParams& p) {
+  DR_REQUIRE(p.R >= 1);
+  DR_REQUIRE(p.H > 2 * p.R && p.W > 2 * p.R);
+  Program prog;
+  prog.name = "conv2d";
+  prog.params = {{"H", p.H}, {"W", p.W}, {"R", p.R}};
+  int img = loopir::addSignal(prog, "img", {p.H, p.W}, 8);
+  int w = loopir::addSignal(prog, "w", {2 * p.R + 1, 2 * p.R + 1}, 16);
+
+  LoopNest nest;
+  nest.loops = {Loop{"y", p.R, p.H - 1 - p.R, 1},
+                Loop{"x", p.R, p.W - 1 - p.R, 1},
+                Loop{"dy", -p.R, p.R, 1}, Loop{"dx", -p.R, p.R, 1}};
+
+  ArrayAccess imgAcc;
+  imgAcc.signal = img;
+  imgAcc.kind = AccessKind::Read;
+  AffineExpr rowE;
+  rowE.setCoeff(0, 1);
+  rowE.setCoeff(2, 1);  // y + dy
+  AffineExpr colE;
+  colE.setCoeff(1, 1);
+  colE.setCoeff(3, 1);  // x + dx
+  imgAcc.indices = {rowE, colE};
+  nest.body.push_back(imgAcc);
+
+  ArrayAccess wAcc;
+  wAcc.signal = w;
+  wAcc.kind = AccessKind::Read;
+  AffineExpr wRow(p.R);
+  wRow.setCoeff(2, 1);  // dy + R
+  AffineExpr wCol(p.R);
+  wCol.setCoeff(3, 1);  // dx + R
+  wAcc.indices = {wRow, wCol};
+  nest.body.push_back(wAcc);
+
+  prog.nests.push_back(std::move(nest));
+  loopir::validateOrThrow(prog);
+  return prog;
+}
+
+std::string conv2dSource(const Conv2dParams& p) {
+  DR_REQUIRE(p.R >= 1);
+  std::string s;
+  s += "# 2-D convolution over a (2R+1)^2 window\n";
+  s += "kernel conv2d {\n";
+  s += "  param H = " + std::to_string(p.H) + ";\n";
+  s += "  param W = " + std::to_string(p.W) + ";\n";
+  s += "  param R = " + std::to_string(p.R) + ";\n";
+  s += "  array img[H][W] bits 8;\n";
+  s += "  array w[2*R + 1][2*R + 1] bits 16;\n";
+  s += "  loop y = R .. H - 1 - R {\n";
+  s += "    loop x = R .. W - 1 - R {\n";
+  s += "      loop dy = -R .. R {\n";
+  s += "        loop dx = -R .. R {\n";
+  s += "          read img[y + dy][x + dx];\n";
+  s += "          read w[dy + R][dx + R];\n";
+  s += "        }\n      }\n    }\n  }\n}\n";
+  return s;
+}
+
+}  // namespace dr::kernels

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "loopir/program.h"
+
+/// \file conv2d.h
+/// 2-D convolution kernel — a further loop-dominated test vehicle of the
+/// class the paper targets (image filters). Reads img[y+dy][x+dx] and the
+/// coefficient array w[dy+R][dx+R] over a (2R+1)^2 window:
+///
+///   for (y) for (x) for (dy) for (dx)
+///     ... img[y+dy][x+dx] * w[dy+R][dx+R] ...
+///
+/// The img access carries b'=c'=1 reuse in the (x, dx) pair with a size
+/// repeat over dy; the w access is Scalar in (x, dx)-outer pairs (the
+/// whole coefficient array is reused at every pixel).
+
+namespace dr::kernels {
+
+struct Conv2dParams {
+  dr::support::i64 H = 64;
+  dr::support::i64 W = 64;
+  dr::support::i64 R = 1;  ///< window radius (kernel is (2R+1)^2)
+};
+
+/// Build the kernel as IR: one nest, body = {img read, w read}.
+loopir::Program conv2d(const Conv2dParams& params = {});
+
+/// The same kernel in the kernel description language.
+std::string conv2dSource(const Conv2dParams& params = {});
+
+}  // namespace dr::kernels

@@ -1,0 +1,70 @@
+#include "kernels/matmul.h"
+
+#include "loopir/validate.h"
+#include "support/contracts.h"
+
+namespace dr::kernels {
+
+using loopir::AccessKind;
+using loopir::AffineExpr;
+using loopir::ArrayAccess;
+using loopir::Loop;
+using loopir::LoopNest;
+using loopir::Program;
+
+Program matmul(const MatmulParams& p) {
+  DR_REQUIRE(p.N >= 2 && p.K >= 2);
+  Program prog;
+  prog.name = "matmul";
+  prog.params = {{"N", p.N}, {"K", p.K}};
+  int a = loopir::addSignal(prog, "A", {p.N, p.K}, 32);
+  int b = loopir::addSignal(prog, "B", {p.K, p.N}, 32);
+
+  LoopNest nest;
+  nest.loops = {Loop{"i", 0, p.N - 1, 1}, Loop{"j", 0, p.N - 1, 1},
+                Loop{"k", 0, p.K - 1, 1}};
+
+  ArrayAccess aAcc;
+  aAcc.signal = a;
+  aAcc.kind = AccessKind::Read;
+  AffineExpr ai;
+  ai.setCoeff(0, 1);
+  AffineExpr ak;
+  ak.setCoeff(2, 1);
+  aAcc.indices = {ai, ak};
+  nest.body.push_back(aAcc);
+
+  ArrayAccess bAcc;
+  bAcc.signal = b;
+  bAcc.kind = AccessKind::Read;
+  AffineExpr bk;
+  bk.setCoeff(2, 1);
+  AffineExpr bj;
+  bj.setCoeff(1, 1);
+  bAcc.indices = {bk, bj};
+  nest.body.push_back(bAcc);
+
+  prog.nests.push_back(std::move(nest));
+  loopir::validateOrThrow(prog);
+  return prog;
+}
+
+std::string matmulSource(const MatmulParams& p) {
+  DR_REQUIRE(p.N >= 2 && p.K >= 2);
+  std::string s;
+  s += "# Dense matrix multiply C = A * B (reads only)\n";
+  s += "kernel matmul {\n";
+  s += "  param N = " + std::to_string(p.N) + ";\n";
+  s += "  param K = " + std::to_string(p.K) + ";\n";
+  s += "  array A[N][K] bits 32;\n";
+  s += "  array B[K][N] bits 32;\n";
+  s += "  loop i = 0 .. N - 1 {\n";
+  s += "    loop j = 0 .. N - 1 {\n";
+  s += "      loop k = 0 .. K - 1 {\n";
+  s += "        read A[i][k];\n";
+  s += "        read B[k][j];\n";
+  s += "      }\n    }\n  }\n}\n";
+  return s;
+}
+
+}  // namespace dr::kernels

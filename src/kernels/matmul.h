@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "loopir/program.h"
+
+/// \file matmul.h
+/// Dense matrix multiply C = A * B — the classic loop-dominated kernel
+/// with two differently shaped reuse patterns: in the (j, k) pair, A[i][k]
+/// carries b'=0, c'=1 reuse (one row of A reused across all j), while
+/// B[k][j] carries reuse only at the outer i level (the whole B reused
+/// every i iteration, a size repeat over j).
+
+namespace dr::kernels {
+
+struct MatmulParams {
+  dr::support::i64 N = 32;  ///< C is N x N
+  dr::support::i64 K = 32;  ///< inner dimension
+};
+
+/// Loops (i, j, k); body = {A read, B read}.
+loopir::Program matmul(const MatmulParams& params = {});
+
+/// The same kernel in the kernel description language.
+std::string matmulSource(const MatmulParams& params = {});
+
+}  // namespace dr::kernels

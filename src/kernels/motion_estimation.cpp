@@ -1,0 +1,113 @@
+#include "kernels/motion_estimation.h"
+
+#include "loopir/validate.h"
+#include "support/contracts.h"
+
+namespace dr::kernels {
+
+using loopir::AccessKind;
+using loopir::AffineExpr;
+using loopir::ArrayAccess;
+using loopir::Loop;
+using loopir::LoopNest;
+using loopir::Program;
+using dr::support::i64;
+
+namespace {
+
+void checkParams(const MotionEstimationParams& p) {
+  DR_REQUIRE(p.n >= 1 && p.m >= 1);
+  DR_REQUIRE_MSG(p.H % p.n == 0 && p.W % p.n == 0,
+                 "frame dimensions must be block multiples");
+}
+
+}  // namespace
+
+int newAccessIndex() { return 0; }
+int oldAccessIndex() { return 1; }
+
+Program motionEstimation(const MotionEstimationParams& p) {
+  checkParams(p);
+  Program prog;
+  prog.name = "motion_estimation";
+  prog.params = {{"H", p.H}, {"W", p.W}, {"n", p.n}, {"m", p.m}};
+
+  int newSig = loopir::addSignal(prog, "New", {p.H, p.W}, 8);
+  int oldSig = loopir::addSignal(prog, "Old", {p.H, p.W}, 8);
+  int distSig = -1;
+  if (p.includeAccumulatorWrites)
+    distSig = loopir::addSignal(
+        prog, "Dist", {p.H / p.n, p.W / p.n, 2 * p.m, 2 * p.m}, 16);
+
+  LoopNest nest;
+  nest.loops = {
+      Loop{"i1", 0, p.H / p.n - 1, 1}, Loop{"i2", 0, p.W / p.n - 1, 1},
+      Loop{"i3", -p.m, p.m - 1, 1},    Loop{"i4", -p.m, p.m - 1, 1},
+      Loop{"i5", 0, p.n - 1, 1},       Loop{"i6", 0, p.n - 1, 1},
+  };
+
+  auto expr = [&](std::initializer_list<std::pair<int, i64>> terms,
+                  i64 constant = 0) {
+    AffineExpr e(constant);
+    for (auto [iter, coeff] : terms) e.setCoeff(iter, coeff);
+    return e;
+  };
+
+  // New[n*i1 + i5][n*i2 + i6]
+  ArrayAccess newAcc;
+  newAcc.signal = newSig;
+  newAcc.kind = AccessKind::Read;
+  newAcc.indices = {expr({{0, p.n}, {4, 1}}), expr({{1, p.n}, {5, 1}})};
+  nest.body.push_back(newAcc);
+
+  // Old[n*i1 + i3 + i5][n*i2 + i4 + i6] — note the coefficient pattern the
+  // paper quotes: Old[..+0*i4+1*i5+0*i6][..+1*i4+0*i5+1*i6].
+  ArrayAccess oldAcc;
+  oldAcc.signal = oldSig;
+  oldAcc.kind = AccessKind::Read;
+  oldAcc.indices = {expr({{0, p.n}, {2, 1}, {4, 1}}),
+                    expr({{1, p.n}, {3, 1}, {5, 1}})};
+  nest.body.push_back(oldAcc);
+
+  if (p.includeAccumulatorWrites) {
+    ArrayAccess dist;
+    dist.signal = distSig;
+    dist.kind = AccessKind::Write;
+    dist.indices = {expr({{0, 1}}), expr({{1, 1}}), expr({{2, 1}}, p.m),
+                    expr({{3, 1}}, p.m)};
+    nest.body.push_back(dist);
+  }
+
+  prog.nests.push_back(std::move(nest));
+  loopir::validateOrThrow(prog);
+  return prog;
+}
+
+std::string motionEstimationSource(const MotionEstimationParams& p) {
+  checkParams(p);
+  std::string s;
+  s += "# Full-search full-pixel motion estimation (paper Fig. 3)\n";
+  s += "kernel motion_estimation {\n";
+  s += "  param H = " + std::to_string(p.H) + ";\n";
+  s += "  param W = " + std::to_string(p.W) + ";\n";
+  s += "  param n = " + std::to_string(p.n) + ";\n";
+  s += "  param m = " + std::to_string(p.m) + ";\n";
+  s += "  array New[H][W] bits 8;\n";
+  s += "  array Old[H][W] bits 8;\n";
+  if (p.includeAccumulatorWrites)
+    s += "  array Dist[H/n][W/n][2*m][2*m] bits 16;\n";
+  s += "  loop i1 = 0 .. H/n - 1 {\n";
+  s += "    loop i2 = 0 .. W/n - 1 {\n";
+  s += "      loop i3 = -m .. m - 1 {\n";
+  s += "        loop i4 = -m .. m - 1 {\n";
+  s += "          loop i5 = 0 .. n - 1 {\n";
+  s += "            loop i6 = 0 .. n - 1 {\n";
+  s += "              read New[n*i1 + i5][n*i2 + i6];\n";
+  s += "              read Old[n*i1 + i3 + i5][n*i2 + i4 + i6];\n";
+  if (p.includeAccumulatorWrites)
+    s += "              write Dist[i1][i2][i3 + m][i4 + m];\n";
+  s += "            }\n          }\n        }\n      }\n    }\n  }\n}\n";
+  return s;
+}
+
+}  // namespace dr::kernels

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+#include "loopir/program.h"
+
+/// \file motion_estimation.h
+/// The paper's primary test vehicle (Fig. 3): "full-search full-pixel"
+/// block motion estimation [Komarek-Pirsch]. For every n x n block of the
+/// New frame, all (2m)^2 candidate displacements of the Old frame window
+/// are evaluated:
+///
+///   for (i1 = 0; i1 < H/n; i1++)        /* block row */
+///    for (i2 = 0; i2 < W/n; i2++)       /* block column */
+///     for (i3 = -m; i3 < m; i3++)       /* vertical displacement */
+///      for (i4 = -m; i4 < m; i4++)      /* horizontal displacement */
+///       for (i5 = 0; i5 < n; i5++)      /* pixel row */
+///        for (i6 = 0; i6 < n; i6++)     /* pixel column */
+///          ... New[n*i1+i5][n*i2+i6], Old[n*i1+i3+i5][n*i2+i4+i6] ...
+///
+/// The Old access is the paper's analysis subject: in the (i5,i6) pair it
+/// carries no reuse (rank(B)=2), while the (i4,...,i6) pair carries
+/// rank(B)=1 reuse with b'=c'=1 repeated over i5 (Section 6.3).
+///
+/// Border handling: the search window runs over the frame edge
+/// (Old row index in [-m, H+m-2]); the IR models the padded frame
+/// explicitly, as single-assignment preprocessing would materialize it.
+
+namespace dr::kernels {
+
+struct MotionEstimationParams {
+  dr::support::i64 H = 144;  ///< frame height (QCIF: 144)
+  dr::support::i64 W = 176;  ///< frame width (QCIF: 176)
+  dr::support::i64 n = 8;    ///< block size
+  dr::support::i64 m = 8;    ///< maximum displacement
+  /// Also emit the accumulator-style distance writes of a realistic
+  /// implementation. These *violate* single assignment (each distance is
+  /// updated n*n times) — useful for exercising the DTSE pre-processing
+  /// check, not for reuse analysis.
+  bool includeAccumulatorWrites = false;
+};
+
+/// Build the kernel as IR. The Old access is body index 1 of nest 0
+/// (see oldAccessIndex()).
+loopir::Program motionEstimation(const MotionEstimationParams& params = {});
+
+/// The same kernel in the kernel description language (frontend input).
+std::string motionEstimationSource(const MotionEstimationParams& params = {});
+
+/// Index of the Old-frame read in the nest body.
+int oldAccessIndex();
+/// Index of the New-frame read in the nest body.
+int newAccessIndex();
+
+}  // namespace dr::kernels

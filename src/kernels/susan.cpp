@@ -1,0 +1,82 @@
+#include "kernels/susan.h"
+
+#include "loopir/validate.h"
+#include "support/contracts.h"
+
+namespace dr::kernels {
+
+using loopir::AccessKind;
+using loopir::AffineExpr;
+using loopir::ArrayAccess;
+using loopir::Loop;
+using loopir::LoopNest;
+using loopir::Program;
+using dr::support::i64;
+
+const std::vector<i64>& susanMaskHalfWidths() {
+  // dy = -3..3; row widths 3,5,7,7,7,5,3 -> half-widths below.
+  static const std::vector<i64> half = {1, 2, 3, 3, 3, 2, 1};
+  return half;
+}
+
+Program susan(const SusanParams& p) {
+  DR_REQUIRE(p.H >= 8 && p.W >= 8);
+  Program prog;
+  prog.name = "susan";
+  prog.params = {{"H", p.H}, {"W", p.W}};
+  int image = loopir::addSignal(prog, "image", {p.H, p.W}, 8);
+
+  const std::vector<i64>& half = susanMaskHalfWidths();
+  const i64 radius = 3;
+  for (std::size_t row = 0; row < half.size(); ++row) {
+    i64 dy = static_cast<i64>(row) - radius;
+    i64 hw = half[row];
+
+    LoopNest nest;
+    // The reference pixel stays where the full mask fits.
+    nest.loops = {Loop{"y", radius, p.H - 1 - radius, 1},
+                  Loop{"x", radius, p.W - 1 - radius, 1},
+                  Loop{"dx", -hw, hw, 1}};
+
+    ArrayAccess acc;
+    acc.signal = image;
+    acc.kind = AccessKind::Read;
+    AffineExpr rowExpr(dy);
+    rowExpr.setCoeff(0, 1);  // y + dy
+    AffineExpr colExpr;
+    colExpr.setCoeff(1, 1);  // x + dx
+    colExpr.setCoeff(2, 1);
+    acc.indices = {rowExpr, colExpr};
+    nest.body.push_back(std::move(acc));
+    prog.nests.push_back(std::move(nest));
+  }
+  loopir::validateOrThrow(prog);
+  return prog;
+}
+
+std::string susanSource(const SusanParams& p) {
+  DR_REQUIRE(p.H >= 8 && p.W >= 8);
+  std::string s;
+  s += "# SUSAN principle: circular-mask image accesses (paper Section 6.4)\n";
+  s += "kernel susan {\n";
+  s += "  param H = " + std::to_string(p.H) + ";\n";
+  s += "  param W = " + std::to_string(p.W) + ";\n";
+  s += "  array image[H][W] bits 8;\n";
+  const std::vector<i64>& half = susanMaskHalfWidths();
+  const i64 radius = 3;
+  for (std::size_t row = 0; row < half.size(); ++row) {
+    i64 dy = static_cast<i64>(row) - radius;
+    s += "  loop y = 3 .. H - 4 {\n";
+    s += "    loop x = 3 .. W - 4 {\n";
+    s += "      loop dx = -" + std::to_string(half[row]) + " .. " +
+         std::to_string(half[row]) + " {\n";
+    std::string dyTerm = dy == 0 ? "" :
+        (dy > 0 ? " + " + std::to_string(dy) : " - " + std::to_string(-dy));
+    s += "        read image[y" + dyTerm + "][x + dx];\n";
+    s += "      }\n    }\n  }\n";
+  }
+  s += "}\n";
+  return s;
+}
+
+}  // namespace dr::kernels

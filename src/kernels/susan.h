@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loopir/program.h"
+
+/// \file susan.h
+/// The paper's second test vehicle (Section 6.4): the SUSAN low-level
+/// image processing principle [27]. A reference pixel moves over the
+/// image; at every position the 37-pixel circular mask around it is read
+/// and compared. As in the paper, "the original unfolded pointer-based
+/// loop body first has been pre-processed to a series of loops with
+/// different accesses to an array image": one loop nest per mask row
+/// (y, x, dx), each reading image[y + dy][x + dx] over that row's width.
+///
+/// The 37-pixel mask rows (dy = -3..3) have widths {3, 5, 7, 7, 7, 5, 3}.
+/// The middle row contains the reference pixel itself; the conditional
+/// skipping it is ignored exactly like the paper does ("an approximate
+/// solution is found when a conditional is present").
+
+namespace dr::kernels {
+
+struct SusanParams {
+  dr::support::i64 H = 144;  ///< image height
+  dr::support::i64 W = 176;  ///< image width
+};
+
+/// Mask row half-widths for dy = -3..3 (37 pixels total).
+const std::vector<dr::support::i64>& susanMaskHalfWidths();
+
+/// Build the kernel: one nest per mask row, all reading signal "image"
+/// (each nest body has exactly one access, index 0).
+loopir::Program susan(const SusanParams& params = {});
+
+/// The same kernel in the kernel description language.
+std::string susanSource(const SusanParams& params = {});
+
+}  // namespace dr::kernels

@@ -1,0 +1,59 @@
+#include "kernels/wavelet.h"
+
+#include "loopir/validate.h"
+#include "support/contracts.h"
+
+namespace dr::kernels {
+
+using loopir::AccessKind;
+using loopir::AffineExpr;
+using loopir::ArrayAccess;
+using loopir::Loop;
+using loopir::LoopNest;
+using loopir::Program;
+
+loopir::Program waveletLifting(const WaveletParams& p) {
+  DR_REQUIRE(p.H >= 1 && p.W >= 4);
+  DR_REQUIRE_MSG(p.W % 2 == 0, "row length must be even");
+  Program prog;
+  prog.name = "wavelet_lifting";
+  prog.params = {{"H", p.H}, {"W", p.W}};
+  int x = loopir::addSignal(prog, "x", {p.H, p.W}, 16);
+
+  LoopNest nest;
+  nest.loops = {Loop{"y", 0, p.H - 1, 1}, Loop{"i", 0, p.W / 2 - 2, 1}};
+
+  for (dr::support::i64 offset : {0, 1, 2}) {
+    ArrayAccess acc;
+    acc.signal = x;
+    acc.kind = AccessKind::Read;
+    AffineExpr row;
+    row.setCoeff(0, 1);
+    AffineExpr col(offset);
+    col.setCoeff(1, 2);
+    acc.indices = {row, col};
+    nest.body.push_back(std::move(acc));
+  }
+  prog.nests.push_back(std::move(nest));
+  loopir::validateOrThrow(prog);
+  return prog;
+}
+
+std::string waveletLiftingSource(const WaveletParams& p) {
+  DR_REQUIRE(p.H >= 1 && p.W >= 4 && p.W % 2 == 0);
+  std::string s;
+  s += "# 1-D wavelet lifting predict step over image rows\n";
+  s += "kernel wavelet_lifting {\n";
+  s += "  param H = " + std::to_string(p.H) + ";\n";
+  s += "  param W = " + std::to_string(p.W) + ";\n";
+  s += "  array x[H][W] bits 16;\n";
+  s += "  loop y = 0 .. H - 1 {\n";
+  s += "    loop i = 0 .. W/2 - 2 {\n";
+  s += "      read x[y][2*i];\n";
+  s += "      read x[y][2*i + 1];\n";
+  s += "      read x[y][2*i + 2];\n";
+  s += "    }\n  }\n}\n";
+  return s;
+}
+
+}  // namespace dr::kernels

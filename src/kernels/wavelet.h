@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "loopir/program.h"
+
+/// \file wavelet.h
+/// 1-D wavelet lifting step over image rows — a further loop-dominated
+/// kernel in the paper's application domain (video/image codecs). The
+/// predict step reads the even neighbours of every odd sample:
+///
+///   for (y) for (i)           /* i indexes odd samples */
+///     ... x[y][2*i], x[y][2*i + 1], x[y][2*i + 2] ...
+///
+/// The strided (coefficient 2) accesses exercise loop normalization and
+/// give a reuse vector with b' = 2, c' = 1 shapes after analysis: each
+/// even sample x[2i+2] is re-read as x[2(i+1)] in the next iteration.
+
+namespace dr::kernels {
+
+struct WaveletParams {
+  dr::support::i64 H = 64;  ///< rows
+  dr::support::i64 W = 64;  ///< samples per row (even)
+};
+
+/// Loops (y, i); body reads x[y][2i], x[y][2i+1], x[y][2i+2].
+loopir::Program waveletLifting(const WaveletParams& params = {});
+
+/// The same kernel in the kernel description language.
+std::string waveletLiftingSource(const WaveletParams& params = {});
+
+}  // namespace dr::kernels

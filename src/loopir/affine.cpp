@@ -1,0 +1,117 @@
+#include "loopir/affine.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace dr::loopir {
+
+using dr::support::checkedAdd;
+using dr::support::checkedMul;
+
+AffineExpr AffineExpr::iterator(int index) {
+  AffineExpr e;
+  e.setCoeff(index, 1);
+  return e;
+}
+
+i64 AffineExpr::coeff(int index) const noexcept {
+  if (index < 0 || index >= static_cast<int>(coeffs_.size())) return 0;
+  return coeffs_[static_cast<std::size_t>(index)];
+}
+
+void AffineExpr::setCoeff(int index, i64 value) {
+  DR_REQUIRE(index >= 0);
+  if (index >= static_cast<int>(coeffs_.size()))
+    coeffs_.resize(static_cast<std::size_t>(index) + 1, 0);
+  coeffs_[static_cast<std::size_t>(index)] = value;
+}
+
+int AffineExpr::maxIterator() const noexcept {
+  for (int i = static_cast<int>(coeffs_.size()) - 1; i >= 0; --i)
+    if (coeffs_[static_cast<std::size_t>(i)] != 0) return i;
+  return -1;
+}
+
+i64 AffineExpr::evaluate(const std::vector<i64>& iterValues) const {
+  DR_REQUIRE_MSG(maxIterator() < static_cast<int>(iterValues.size()),
+                 "iterator values do not cover this expression");
+  i64 v = constant_;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i)
+    if (coeffs_[i] != 0) v = checkedAdd(v, checkedMul(coeffs_[i], iterValues[i]));
+  return v;
+}
+
+AffineExpr AffineExpr::substituted(int index, const AffineExpr& repl) const {
+  i64 k = coeff(index);
+  AffineExpr out = *this;
+  out.setCoeff(index, 0);
+  if (k != 0) out = out + repl.scaled(k);
+  return out;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
+  AffineExpr out = *this;
+  out.constant_ = checkedAdd(out.constant_, o.constant_);
+  for (std::size_t i = 0; i < o.coeffs_.size(); ++i)
+    if (o.coeffs_[i] != 0)
+      out.setCoeff(static_cast<int>(i),
+                   checkedAdd(out.coeff(static_cast<int>(i)), o.coeffs_[i]));
+  return out;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& o) const {
+  return *this + o.scaled(-1);
+}
+
+AffineExpr AffineExpr::scaled(i64 factor) const {
+  AffineExpr out;
+  out.constant_ = checkedMul(constant_, factor);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i)
+    if (coeffs_[i] != 0)
+      out.setCoeff(static_cast<int>(i), checkedMul(coeffs_[i], factor));
+  return out;
+}
+
+bool AffineExpr::operator==(const AffineExpr& o) const noexcept {
+  if (constant_ != o.constant_) return false;
+  std::size_t n = std::max(coeffs_.size(), o.coeffs_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (coeff(static_cast<int>(i)) != o.coeff(static_cast<int>(i)))
+      return false;
+  return true;
+}
+
+std::string AffineExpr::str(const std::vector<std::string>& iterNames) const {
+  std::string s;
+  auto append = [&s](i64 k, const std::string& term) {
+    if (k == 0) return;
+    if (s.empty()) {
+      if (k == -1 && !term.empty())
+        s += "-";
+      else if (k != 1 || term.empty())
+        s += std::to_string(k) + (term.empty() ? "" : "*");
+    } else {
+      s += (k > 0) ? " + " : " - ";
+      i64 a = k > 0 ? k : -k;
+      if (a != 1 || term.empty()) s += std::to_string(a) + (term.empty() ? "" : "*");
+    }
+    s += term;
+  };
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0) continue;
+    DR_REQUIRE_MSG(i < iterNames.size(), "missing iterator name");
+    append(coeffs_[i], iterNames[i]);
+  }
+  if (constant_ != 0 || s.empty()) {
+    if (s.empty())
+      s = std::to_string(constant_);
+    else {
+      s += (constant_ > 0) ? " + " : " - ";
+      s += std::to_string(constant_ > 0 ? constant_ : -constant_);
+    }
+  }
+  return s;
+}
+
+}  // namespace dr::loopir

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/intmath.h"
+
+/// \file affine.h
+/// Affine functions of loop iterators: the index-expression class the
+/// paper's whole analytical model is built on (Section 5.1: "a large
+/// application domain is covered when considering accesses with affine
+/// index expressions of the loop iterators").
+
+namespace dr::loopir {
+
+using dr::support::i64;
+
+/// y = sum_i coeff(i) * iter_i + constant, iterators identified by their
+/// position (depth) in the enclosing LoopNest.
+class AffineExpr {
+ public:
+  /// The zero expression.
+  AffineExpr() = default;
+
+  /// Constant expression.
+  explicit AffineExpr(i64 constant) : constant_(constant) {}
+
+  /// Expression equal to a single iterator: 1 * iter_index.
+  static AffineExpr iterator(int index);
+
+  /// Constant expression (alias for the constructor, reads better at call
+  /// sites mixing the two factories).
+  static AffineExpr constant(i64 value) { return AffineExpr(value); }
+
+  /// Coefficient of iterator `index`; 0 for any iterator never set.
+  i64 coeff(int index) const noexcept;
+
+  /// Set the coefficient of iterator `index`.
+  void setCoeff(int index, i64 value);
+
+  i64 constantTerm() const noexcept { return constant_; }
+  void setConstantTerm(i64 v) noexcept { constant_ = v; }
+
+  /// Highest iterator index with a non-zero coefficient, or -1 if constant.
+  int maxIterator() const noexcept;
+
+  /// True if no iterator has a non-zero coefficient.
+  bool isConstant() const noexcept { return maxIterator() < 0; }
+
+  /// True if the expression depends on iterator `index`.
+  bool dependsOn(int index) const noexcept { return coeff(index) != 0; }
+
+  /// Evaluate given concrete iterator values (values.size() must cover all
+  /// non-zero coefficients).
+  i64 evaluate(const std::vector<i64>& iterValues) const;
+
+  /// Substitute iterator `index` with the affine expression `repl`
+  /// (used by loop normalization: j -> lower + step * j').
+  AffineExpr substituted(int index, const AffineExpr& repl) const;
+
+  AffineExpr operator+(const AffineExpr& o) const;
+  AffineExpr operator-(const AffineExpr& o) const;
+  AffineExpr scaled(i64 factor) const;
+
+  bool operator==(const AffineExpr& o) const noexcept;
+  bool operator!=(const AffineExpr& o) const noexcept { return !(*this == o); }
+
+  /// Render with iterator names, e.g. "8*i1 + i3 + i5 - 2".
+  std::string str(const std::vector<std::string>& iterNames) const;
+
+ private:
+  std::vector<i64> coeffs_;  // dense, index = iterator depth
+  i64 constant_ = 0;
+};
+
+}  // namespace dr::loopir

@@ -1,0 +1,63 @@
+#include "loopir/emit_source.h"
+
+#include "loopir/validate.h"
+#include "support/contracts.h"
+
+namespace dr::loopir {
+
+namespace {
+
+std::string pad(int level) {
+  return std::string(static_cast<std::size_t>(2 * (level + 1)), ' ');
+}
+
+/// A constant as a DSL expression (parenthesized when negative so it can
+/// follow ".." or "step" unambiguously).
+std::string lit(i64 v) {
+  if (v >= 0) return std::to_string(v);
+  return "(0 - " + std::to_string(-v) + ")";
+}
+
+}  // namespace
+
+std::string toKernelSource(const Program& p) {
+  validateOrThrow(p);
+  std::string s = "kernel " + (p.name.empty() ? "unnamed" : p.name) + " {\n";
+  // Parameters are informational (all uses are already folded); skip any
+  // whose name would shadow an iterator or signal in the emitted text.
+  for (const auto& [name, value] : p.params) {
+    bool shadows = p.findSignal(name) >= 0;
+    for (const LoopNest& nest : p.nests)
+      for (const Loop& loop : nest.loops)
+        if (loop.name == name) shadows = true;
+    if (!shadows) s += "  param " + name + " = " + lit(value) + ";\n";
+  }
+  for (const ArraySignal& sig : p.signals) {
+    s += "  array " + sig.name;
+    for (i64 d : sig.dims) s += "[" + std::to_string(d) + "]";
+    s += " bits " + std::to_string(sig.elementBits) + ";\n";
+  }
+  for (const LoopNest& nest : p.nests) {
+    std::vector<std::string> names = nest.iteratorNames();
+    for (int l = 0; l < nest.depth(); ++l) {
+      const Loop& loop = nest.loops[static_cast<std::size_t>(l)];
+      s += pad(l) + "loop " + loop.name + " = " + lit(loop.begin) + " .. " +
+           lit(loop.end);
+      if (loop.step != 1) s += " step " + lit(loop.step);
+      s += " {\n";
+    }
+    for (const ArrayAccess& acc : nest.body) {
+      s += pad(nest.depth());
+      s += acc.kind == AccessKind::Read ? "read " : "write ";
+      s += p.signalOf(acc).name;
+      for (const AffineExpr& idx : acc.indices)
+        s += "[" + idx.str(names) + "]";
+      s += ";\n";
+    }
+    for (int l = nest.depth() - 1; l >= 0; --l) s += pad(l) + "}\n";
+  }
+  s += "}\n";
+  return s;
+}
+
+}  // namespace dr::loopir

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "loopir/program.h"
+
+/// \file emit_source.h
+/// Serializes an IR Program back to kernel description language text
+/// (the inverse of frontend::compileKernel). Round-tripping is exact up
+/// to parameter symbolification: the emitted text uses the evaluated
+/// constants, and compiling it again yields a program with identical
+/// signals, loops and access traces (pinned by property tests). Used to
+/// save transformed kernels (permuted orderings, scaled variants) as
+/// .krn files.
+
+namespace dr::loopir {
+
+/// Kernel-language source for `p`. Precondition: p validates cleanly.
+std::string toKernelSource(const Program& p);
+
+}  // namespace dr::loopir

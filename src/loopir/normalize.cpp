@@ -1,0 +1,55 @@
+#include "loopir/normalize.h"
+
+#include "support/contracts.h"
+
+namespace dr::loopir {
+
+bool isNormalized(const Program& p) {
+  for (const LoopNest& nest : p.nests)
+    for (const Loop& loop : nest.loops)
+      if (!loop.isNormalized()) return false;
+  return true;
+}
+
+namespace {
+
+LoopNest normalizedNest(const LoopNest& nest) {
+  LoopNest out;
+  out.loops.reserve(nest.loops.size());
+  out.body = nest.body;
+  for (int d = 0; d < nest.depth(); ++d) {
+    const Loop& loop = nest.loops[static_cast<std::size_t>(d)];
+    DR_REQUIRE(loop.step != 0);
+    if (loop.isNormalized()) {
+      out.loops.push_back(loop);
+      continue;
+    }
+    // j = begin + step * j', j' in [0, tripCount-1].
+    Loop repl;
+    repl.name = loop.name;
+    repl.begin = 0;
+    repl.end = loop.tripCount() - 1;
+    repl.step = 1;
+    out.loops.push_back(repl);
+
+    AffineExpr subst = AffineExpr::iterator(d).scaled(loop.step) +
+                       AffineExpr::constant(loop.begin);
+    for (ArrayAccess& acc : out.body)
+      for (AffineExpr& idx : acc.indices) idx = idx.substituted(d, subst);
+  }
+  return out;
+}
+
+}  // namespace
+
+Program normalized(const Program& p) {
+  Program out;
+  out.name = p.name;
+  out.signals = p.signals;
+  out.params = p.params;
+  out.nests.reserve(p.nests.size());
+  for (const LoopNest& nest : p.nests) out.nests.push_back(normalizedNest(nest));
+  return out;
+}
+
+}  // namespace dr::loopir

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "loopir/program.h"
+
+/// \file normalize.h
+/// Loop normalization (paper §5.1): the analytical model is stated for
+/// incremental unit-step loops; "the theory ... is easily extended to loops
+/// with incremental step sizes larger than 1, by (temporarily) transforming
+/// the loop nest to a loop nest with a step size equal to 1", and
+/// "analogous formulas can be derived for decremental loops". We implement
+/// the transformation itself: every loop becomes
+///   for (j' = 0; j' <= tripCount-1; j'++)        with j = begin + step*j'
+/// substituted into all index expressions. The access *trace* of the
+/// normalized program is identical element-for-element, so all reuse
+/// analyses are unaffected (this is pinned by tests).
+
+namespace dr::loopir {
+
+/// True when every loop in every nest is already incremental unit-step
+/// (step == 1). Note normalized loops may still start at begin != 0.
+bool isNormalized(const Program& p);
+
+/// Returns the step-1 incremental equivalent of `p`. Idempotent.
+Program normalized(const Program& p);
+
+}  // namespace dr::loopir

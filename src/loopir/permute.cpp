@@ -1,0 +1,55 @@
+#include "loopir/permute.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/contracts.h"
+
+namespace dr::loopir {
+
+bool isPermutation(const std::vector<int>& perm, int n) {
+  if (static_cast<int>(perm.size()) != n) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (int v : perm) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+LoopNest permuted(const LoopNest& nest, const std::vector<int>& perm) {
+  DR_REQUIRE_MSG(isPermutation(perm, nest.depth()),
+                 "perm must be a permutation of the nest levels");
+  LoopNest out;
+  out.loops.reserve(nest.loops.size());
+  for (int l = 0; l < nest.depth(); ++l)
+    out.loops.push_back(
+        nest.loops[static_cast<std::size_t>(perm[static_cast<std::size_t>(l)])]);
+
+  out.body = nest.body;
+  for (ArrayAccess& acc : out.body) {
+    for (AffineExpr& idx : acc.indices) {
+      AffineExpr remapped(idx.constantTerm());
+      for (int l = 0; l < nest.depth(); ++l) {
+        i64 c = idx.coeff(perm[static_cast<std::size_t>(l)]);
+        if (c != 0) remapped.setCoeff(l, c);
+      }
+      idx = remapped;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> loopOrderings(int depth, int fixedPrefix) {
+  DR_REQUIRE(depth >= 1);
+  DR_REQUIRE(fixedPrefix >= 0 && fixedPrefix <= depth);
+  std::vector<int> perm(static_cast<std::size_t>(depth));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<std::vector<int>> out;
+  do {
+    out.push_back(perm);
+  } while (std::next_permutation(perm.begin() + fixedPrefix, perm.end()));
+  return out;
+}
+
+}  // namespace dr::loopir

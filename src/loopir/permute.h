@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "loopir/program.h"
+
+/// \file permute.h
+/// Loop interchange on rectangular nests. The DTSE flow reaches the data
+/// reuse step with "a certain freedom in loop nest ordering still
+/// available" (paper Section 3, step 2), and the reuse decision is made
+/// "for each loop nest ordering separately" (step 3). This transform
+/// realizes one ordering; explorer::orderingSweep() evaluates them all.
+///
+/// Interchange is always legal here: the IR carries perfectly nested
+/// rectangular loops whose bodies are bare array accesses with no
+/// loop-carried dependences modelled (single-assignment reads).
+
+namespace dr::loopir {
+
+/// True when `perm` is a permutation of 0..n-1.
+bool isPermutation(const std::vector<int>& perm, int n);
+
+/// Nest with loops reordered so that new level l runs the old loop
+/// perm[l]; access coefficients are remapped accordingly. Precondition:
+/// perm is a permutation of the nest's levels.
+LoopNest permuted(const LoopNest& nest, const std::vector<int>& perm);
+
+/// All permutations of the levels [fixedPrefix, depth) with the outer
+/// `fixedPrefix` levels left in place (the partially fixed execution
+/// ordering of the size-estimation literature the paper cites [12]).
+std::vector<std::vector<int>> loopOrderings(int depth, int fixedPrefix = 0);
+
+}  // namespace dr::loopir

@@ -1,0 +1,66 @@
+#include "loopir/printer.h"
+
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::loopir {
+
+std::string accessToString(const Program& p, const LoopNest& nest,
+                           const ArrayAccess& access) {
+  const ArraySignal& sig = p.signalOf(access);
+  std::vector<std::string> names = nest.iteratorNames();
+  std::string s = sig.name;
+  for (const AffineExpr& idx : access.indices) s += "[" + idx.str(names) + "]";
+  return s;
+}
+
+std::string loopToString(const Loop& loop) {
+  DR_REQUIRE(loop.step != 0);
+  std::string s = "for (" + loop.name + " = " + std::to_string(loop.begin) +
+                  "; " + loop.name;
+  if (loop.step > 0) {
+    s += " <= " + std::to_string(loop.end) + "; " + loop.name;
+    s += (loop.step == 1) ? "++" : (" += " + std::to_string(loop.step));
+  } else {
+    s += " >= " + std::to_string(loop.end) + "; " + loop.name;
+    s += (loop.step == -1) ? "--" : (" -= " + std::to_string(-loop.step));
+  }
+  return s + ")";
+}
+
+std::string nestToString(const Program& p, const LoopNest& nest) {
+  std::string out;
+  int level = 0;
+  for (const Loop& loop : nest.loops) {
+    out += std::string(static_cast<std::size_t>(2 * level), ' ') +
+           loopToString(loop) + " {\n";
+    ++level;
+  }
+  std::string pad(static_cast<std::size_t>(2 * level), ' ');
+  for (const ArrayAccess& acc : nest.body) {
+    std::string ref = accessToString(p, nest, acc);
+    out += pad;
+    out += (acc.kind == AccessKind::Read) ? ("use(" + ref + ");")
+                                          : (ref + " = ...;");
+    out += '\n';
+  }
+  for (--level; level >= 0; --level)
+    out += std::string(static_cast<std::size_t>(2 * level), ' ') + "}\n";
+  return out;
+}
+
+std::string programToString(const Program& p) {
+  std::string out = "/* kernel " + p.name + " */\n";
+  for (const ArraySignal& sig : p.signals) {
+    out += "int" + std::to_string(sig.elementBits) + "_t " + sig.name;
+    for (i64 d : sig.dims) out += "[" + std::to_string(d) + "]";
+    out += ";\n";
+  }
+  for (const LoopNest& nest : p.nests) {
+    out += "\n";
+    out += nestToString(p, nest);
+  }
+  return out;
+}
+
+}  // namespace dr::loopir

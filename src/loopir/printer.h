@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "loopir/program.h"
+
+/// \file printer.h
+/// Renders IR programs back to C-like source text. Used for the "original
+/// code" half of the paper's code templates (Fig. 3 / Fig. 8 left) and for
+/// diagnostics.
+
+namespace dr::loopir {
+
+/// One access as source text, e.g. "Old[8*i1 + i3 + i5][8*i2 + i4 + i6]".
+std::string accessToString(const Program& p, const LoopNest& nest,
+                           const ArrayAccess& access);
+
+/// One loop header line, e.g. "for (i3 = -8; i3 <= 7; i3++)".
+std::string loopToString(const Loop& loop);
+
+/// The whole nest as C-like text with indentation; reads become
+/// "use(expr);" and writes "expr = ...;" so generated code compiles
+/// conceptually even without statement-level semantics in the IR.
+std::string nestToString(const Program& p, const LoopNest& nest);
+
+/// All nests, preceded by signal declarations.
+std::string programToString(const Program& p);
+
+}  // namespace dr::loopir

@@ -1,0 +1,73 @@
+#include "loopir/program.h"
+
+#include "support/contracts.h"
+
+namespace dr::loopir {
+
+using dr::support::checkedMul;
+using dr::support::floorDiv;
+
+i64 Loop::tripCount() const {
+  DR_REQUIRE(step != 0);
+  if (step > 0) {
+    if (begin > end) return 0;
+    return floorDiv(end - begin, step) + 1;
+  }
+  if (begin < end) return 0;
+  return floorDiv(begin - end, -step) + 1;
+}
+
+i64 Loop::valueAt(i64 k) const {
+  DR_REQUIRE(k >= 0 && k < tripCount());
+  return begin + k * step;
+}
+
+i64 ArraySignal::elementCount() const {
+  i64 n = 1;
+  for (i64 d : dims) n = checkedMul(n, d);
+  return n;
+}
+
+i64 LoopNest::iterationCount() const {
+  i64 n = 1;
+  for (const Loop& l : loops) n = checkedMul(n, l.tripCount());
+  return n;
+}
+
+std::vector<std::string> LoopNest::iteratorNames() const {
+  std::vector<std::string> names;
+  names.reserve(loops.size());
+  for (const Loop& l : loops) names.push_back(l.name);
+  return names;
+}
+
+int Program::findSignal(const std::string& sigName) const {
+  for (std::size_t i = 0; i < signals.size(); ++i)
+    if (signals[i].name == sigName) return static_cast<int>(i);
+  return -1;
+}
+
+const ArraySignal& Program::signalOf(const ArrayAccess& a) const {
+  DR_REQUIRE(a.signal >= 0 && a.signal < static_cast<int>(signals.size()));
+  return signals[static_cast<std::size_t>(a.signal)];
+}
+
+i64 Program::totalAccessCount() const {
+  i64 total = 0;
+  for (const LoopNest& nest : nests)
+    total += checkedMul(nest.iterationCount(),
+                        static_cast<i64>(nest.body.size()));
+  return total;
+}
+
+int addSignal(Program& p, std::string name, std::vector<i64> dims,
+              int elementBits) {
+  ArraySignal s;
+  s.name = std::move(name);
+  s.dims = std::move(dims);
+  s.elementBits = elementBits;
+  p.signals.push_back(std::move(s));
+  return static_cast<int>(p.signals.size()) - 1;
+}
+
+}  // namespace dr::loopir

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loopir/affine.h"
+#include "support/intmath.h"
+
+/// \file program.h
+/// The loop-nest intermediate representation consumed by every analysis in
+/// this library: rectangular loop nests over multi-dimensional array
+/// signals with affine accesses (the application domain of paper §5.1).
+///
+/// A Program is a *sequence* of perfectly nested loop nests over a shared
+/// set of array signals — exactly the shape the paper's SUSAN test vehicle
+/// is pre-processed into ("a series of loops with different accesses to an
+/// array image", §6.4).
+
+namespace dr::loopir {
+
+using dr::support::i64;
+
+/// One loop level: for (name = begin; step > 0 ? name <= end : name >= end;
+/// name += step). Bounds are inclusive and constant (rectangular nests —
+/// non-rectangular patterns are listed as future work in the paper, §5.1).
+struct Loop {
+  std::string name;
+  i64 begin = 0;
+  i64 end = 0;
+  i64 step = 1;  ///< non-zero; negative for decremental loops
+
+  /// Number of iterations executed (0 if the range is empty).
+  i64 tripCount() const;
+
+  /// Value of the iterator at iteration `k` in [0, tripCount()).
+  i64 valueAt(i64 k) const;
+
+  /// True when begin <= end with step == 1 — the canonical form the
+  /// analytical model is stated in (paper Fig. 5).
+  bool isNormalized() const noexcept { return step == 1; }
+};
+
+enum class AccessKind { Read, Write };
+
+/// One array reference A[e1][e2]...[en] inside the innermost loop body.
+struct ArrayAccess {
+  int signal = -1;  ///< index into Program::signals
+  AccessKind kind = AccessKind::Read;
+  std::vector<AffineExpr> indices;  ///< one expression per array dimension
+};
+
+/// A declared multi-dimensional array signal.
+struct ArraySignal {
+  std::string name;
+  std::vector<i64> dims;  ///< extent per dimension, all > 0
+  int elementBits = 8;    ///< word width, used by the power model
+
+  /// Total number of declared elements.
+  i64 elementCount() const;
+};
+
+/// A perfectly nested rectangular loop nest with an ordered list of
+/// accesses in the innermost body (paper Fig. 5 generalized to any depth).
+struct LoopNest {
+  std::vector<Loop> loops;          ///< outermost first
+  std::vector<ArrayAccess> body;    ///< program order within one iteration
+
+  int depth() const noexcept { return static_cast<int>(loops.size()); }
+
+  /// Product of all trip counts.
+  i64 iterationCount() const;
+
+  /// Names of the iterators, outermost first.
+  std::vector<std::string> iteratorNames() const;
+};
+
+/// A full kernel: signals plus a sequence of loop nests executed in order.
+struct Program {
+  std::string name;
+  std::vector<ArraySignal> signals;
+  std::vector<LoopNest> nests;
+  std::map<std::string, i64> params;  ///< symbolic parameters, for reporting
+
+  /// Index of the signal called `name`; -1 when absent.
+  int findSignal(const std::string& name) const;
+
+  /// The signal for an access. Precondition: access.signal is valid.
+  const ArraySignal& signalOf(const ArrayAccess& a) const;
+
+  /// Total accesses (reads+writes) executed by the whole program.
+  i64 totalAccessCount() const;
+};
+
+/// Builder helper: appends a signal, returns its index.
+int addSignal(Program& p, std::string name, std::vector<i64> dims,
+              int elementBits = 8);
+
+}  // namespace dr::loopir

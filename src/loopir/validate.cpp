@@ -1,0 +1,87 @@
+#include "loopir/validate.h"
+
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::loopir {
+
+namespace {
+
+void validateNest(const Program& p, const LoopNest& nest, std::size_t nestIdx,
+                  std::vector<std::string>& out) {
+  auto where = [&](const std::string& what) {
+    return "nest #" + std::to_string(nestIdx) + ": " + what;
+  };
+
+  if (nest.loops.empty()) out.push_back(where("loop nest has no loops"));
+  for (std::size_t l = 0; l < nest.loops.size(); ++l) {
+    const Loop& loop = nest.loops[l];
+    if (loop.name.empty())
+      out.push_back(where("loop #" + std::to_string(l) + " has no name"));
+    if (loop.step == 0)
+      out.push_back(where("loop '" + loop.name + "' has step 0"));
+    else if (loop.tripCount() == 0)
+      out.push_back(where("loop '" + loop.name + "' has an empty range"));
+    for (std::size_t m = 0; m < l; ++m)
+      if (nest.loops[m].name == loop.name)
+        out.push_back(where("duplicate iterator name '" + loop.name + "'"));
+  }
+
+  if (nest.body.empty())
+    out.push_back(where("loop nest body has no accesses"));
+  for (std::size_t a = 0; a < nest.body.size(); ++a) {
+    const ArrayAccess& acc = nest.body[a];
+    auto accWhere = [&](const std::string& what) {
+      return where("access #" + std::to_string(a) + ": " + what);
+    };
+    if (acc.signal < 0 || acc.signal >= static_cast<int>(p.signals.size())) {
+      out.push_back(accWhere("references an unknown signal"));
+      continue;
+    }
+    const ArraySignal& sig = p.signalOf(acc);
+    if (acc.indices.size() != sig.dims.size())
+      out.push_back(accWhere("has " + std::to_string(acc.indices.size()) +
+                             " indices but signal '" + sig.name + "' has " +
+                             std::to_string(sig.dims.size()) +
+                             " dimensions"));
+    for (const AffineExpr& e : acc.indices)
+      if (e.maxIterator() >= nest.depth())
+        out.push_back(accWhere(
+            "index expression references an iterator outside the nest"));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const Program& p) {
+  std::vector<std::string> out;
+  if (p.signals.empty()) out.push_back("program declares no signals");
+  for (std::size_t s = 0; s < p.signals.size(); ++s) {
+    const ArraySignal& sig = p.signals[s];
+    if (sig.name.empty())
+      out.push_back("signal #" + std::to_string(s) + " has no name");
+    if (sig.dims.empty())
+      out.push_back("signal '" + sig.name + "' has no dimensions");
+    for (i64 d : sig.dims)
+      if (d <= 0)
+        out.push_back("signal '" + sig.name + "' has a non-positive extent");
+    if (sig.elementBits <= 0 || sig.elementBits > 256)
+      out.push_back("signal '" + sig.name + "' has an invalid element width");
+    for (std::size_t t = 0; t < s; ++t)
+      if (p.signals[t].name == sig.name)
+        out.push_back("duplicate signal name '" + sig.name + "'");
+  }
+  if (p.nests.empty()) out.push_back("program has no loop nests");
+  for (std::size_t n = 0; n < p.nests.size(); ++n)
+    validateNest(p, p.nests[n], n, out);
+  return out;
+}
+
+void validateOrThrow(const Program& p) {
+  std::vector<std::string> problems = validate(p);
+  DR_REQUIRE_MSG(problems.empty(),
+                 "invalid program '" + p.name + "': " +
+                     dr::support::join(problems, "; "));
+}
+
+}  // namespace dr::loopir

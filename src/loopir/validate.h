@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loopir/program.h"
+
+/// \file validate.h
+/// Structural validation of the IR. Analyses assume a validated Program;
+/// validate() returns human-readable diagnostics instead of throwing so the
+/// frontend can report all problems at once.
+
+namespace dr::loopir {
+
+/// All problems found in `p`; empty means valid.
+std::vector<std::string> validate(const Program& p);
+
+/// Convenience: throws ContractViolation listing all problems if invalid.
+void validateOrThrow(const Program& p);
+
+}  // namespace dr::loopir

@@ -1,0 +1,48 @@
+#include "power/memory_model.h"
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace dr::power {
+
+MemoryModel::MemoryModel(const MemoryModelParams& params) : params_(params) {
+  DR_REQUIRE(params.readBase >= 0 && params.readScale >= 0);
+  DR_REQUIRE(params.writeBase >= 0 && params.writeScale >= 0);
+  DR_REQUIRE(params.exponent > 0 && params.exponent <= 1.0);
+  DR_REQUIRE(params.referenceBits > 0);
+  DR_REQUIRE(params.areaPerBit > 0);
+}
+
+double MemoryModel::capacityFactor(i64 words, int bits) const {
+  DR_REQUIRE(words >= 1);
+  DR_REQUIRE(bits >= 1);
+  double capacity = static_cast<double>(words) * static_cast<double>(bits) /
+                    params_.referenceBits;
+  return std::pow(capacity, params_.exponent);
+}
+
+double MemoryModel::readEnergy(i64 words, int bits) const {
+  return params_.readBase + params_.readScale * capacityFactor(words, bits);
+}
+
+double MemoryModel::writeEnergy(i64 words, int bits) const {
+  return params_.writeBase + params_.writeScale * capacityFactor(words, bits);
+}
+
+double MemoryModel::area(i64 words, int bits) const {
+  DR_REQUIRE(words >= 1);
+  DR_REQUIRE(bits >= 1);
+  return params_.areaPerBit * (static_cast<double>(words) *
+                                   static_cast<double>(bits) +
+                               params_.areaOverheadBits);
+}
+
+MemoryLibrary MemoryLibrary::standard() {
+  MemoryLibrary lib;
+  lib.onChip = MemoryModel(MemoryModelParams{});
+  lib.background = BackgroundMemory{};
+  return lib;
+}
+
+}  // namespace dr::power

@@ -1,0 +1,97 @@
+#include "report/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::report {
+
+namespace {
+
+double axisValue(double v, bool log) { return log ? std::log10(v) : v; }
+
+}  // namespace
+
+std::string asciiPlot(const std::vector<Series>& series,
+                      const PlotOptions& options) {
+  DR_REQUIRE(options.width >= 8 && options.height >= 4);
+
+  // Gather plottable points and the axis ranges.
+  double xMin = 0, xMax = 0, yMin = 0, yMax = 0;
+  bool any = false;
+  for (const Series& s : series)
+    for (auto [x, y] : s.points) {
+      if ((options.logX && x <= 0) || (options.logY && y <= 0)) continue;
+      double ax = axisValue(x, options.logX);
+      double ay = axisValue(y, options.logY);
+      if (!any) {
+        xMin = xMax = ax;
+        yMin = yMax = ay;
+        any = true;
+      } else {
+        xMin = std::min(xMin, ax);
+        xMax = std::max(xMax, ax);
+        yMin = std::min(yMin, ay);
+        yMax = std::max(yMax, ay);
+      }
+    }
+  if (!any) return "";
+  if (xMax == xMin) xMax = xMin + 1;
+  if (yMax == yMin) yMax = yMin + 1;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(options.height),
+      std::string(static_cast<std::size_t>(options.width), ' '));
+  for (const Series& s : series) {
+    for (auto [x, y] : s.points) {
+      if ((options.logX && x <= 0) || (options.logY && y <= 0)) continue;
+      double fx = (axisValue(x, options.logX) - xMin) / (xMax - xMin);
+      double fy = (axisValue(y, options.logY) - yMin) / (yMax - yMin);
+      int col = static_cast<int>(std::lround(fx * (options.width - 1)));
+      int row = options.height - 1 -
+                static_cast<int>(std::lround(fy * (options.height - 1)));
+      char& cell = grid[static_cast<std::size_t>(row)]
+                       [static_cast<std::size_t>(col)];
+      // First-drawn series wins collisions; mark overlaps distinctly.
+      cell = (cell == ' ' || cell == s.mark) ? s.mark : '#';
+    }
+  }
+
+  auto yLabel = [&](int row) {
+    double fy = 1.0 - static_cast<double>(row) / (options.height - 1);
+    double v = yMin + fy * (yMax - yMin);
+    if (options.logY) v = std::pow(10.0, v);
+    return dr::support::fmtDouble(v, 1);
+  };
+
+  std::string out;
+  for (int row = 0; row < options.height; ++row) {
+    std::string label =
+        (row == 0 || row == options.height - 1 ||
+         row == options.height / 2)
+            ? yLabel(row)
+            : "";
+    out += std::string(9 - std::min<std::size_t>(9, label.size()), ' ') +
+           label + " |" + grid[static_cast<std::size_t>(row)] + "\n";
+  }
+  out += std::string(10, ' ') + "+" +
+         std::string(static_cast<std::size_t>(options.width), '-') + "\n";
+  double x0 = options.logX ? std::pow(10.0, xMin) : xMin;
+  double x1 = options.logX ? std::pow(10.0, xMax) : xMax;
+  std::string left = dr::support::fmtDouble(x0, 0);
+  std::string right = dr::support::fmtDouble(x1, 0);
+  out += std::string(11, ' ') + left +
+         std::string(std::max<std::size_t>(
+                         1, static_cast<std::size_t>(options.width) -
+                                left.size() - right.size()),
+                     ' ') +
+         right + (options.logX ? "  (log x)" : "") + "\n";
+  for (const Series& s : series)
+    if (!s.name.empty())
+      out += std::string(11, ' ') + s.mark + " " + s.name + "\n";
+  return out;
+}
+
+}  // namespace dr::report

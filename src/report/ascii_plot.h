@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file ascii_plot.h
+/// Terminal rendering of the exploration curves. The paper's prototype
+/// tool shipped its reuse-factor and Pareto curves to gnuplot; the bench
+/// harness still writes gnuplot .dat files, and this renderer puts the
+/// same curves directly into the report/terminal output.
+
+namespace dr::report {
+
+struct Series {
+  std::vector<std::pair<double, double>> points;
+  char mark = '*';
+  std::string name;
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot area columns (axis labels excluded)
+  int height = 16;   ///< plot area rows
+  bool logX = false; ///< log10 x axis (sizes span decades)
+  bool logY = false;
+};
+
+/// Render one or more series into a character grid with axis annotations
+/// and a legend. Points with non-positive coordinates are dropped on log
+/// axes. Returns "" when nothing is plottable.
+std::string asciiPlot(const std::vector<Series>& series,
+                      const PlotOptions& options = {});
+
+}  // namespace dr::report

@@ -1,0 +1,119 @@
+#include "report/report.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "report/ascii_plot.h"
+#include "support/strings.h"
+
+namespace dr::report {
+
+using dr::explorer::SignalExploration;
+using dr::support::fmtDouble;
+using dr::support::i64;
+
+namespace {
+
+std::string num(i64 v) { return std::to_string(v); }
+
+template <typename Row>
+void subsampled(const std::vector<Row>& rows, std::size_t maxRows,
+                const std::function<void(const Row&)>& emit) {
+  std::size_t stride = rows.size() > maxRows ? (rows.size() + maxRows - 1) / maxRows : 1;
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    if (i % stride == 0 || i + 1 == rows.size()) emit(rows[i]);
+}
+
+}  // namespace
+
+std::string signalReport(const loopir::Program& program,
+                         const SignalExploration& ex,
+                         const ReportOptions& options) {
+  std::string s;
+  s += "# Data reuse exploration: signal `" + ex.signalName + "` of `" +
+       program.name + "`\n\n";
+  s += "* reads C_tot: " + num(ex.Ctot) + "\n";
+  s += "* distinct elements: " + num(ex.distinctElements) + "\n";
+  s += "* maximum reuse factor: " +
+       fmtDouble(static_cast<double>(ex.Ctot) /
+                     static_cast<double>(std::max<i64>(1, ex.distinctElements)),
+                 2) +
+       "\n\n";
+
+  s += "## Analytic copy-candidate points\n\n";
+  if (ex.combinedPoints.empty()) {
+    s += "(the pair model finds no reuse at any loop level)\n\n";
+  } else {
+    s += "| point | size (words) | F_R | bypassed reads |\n";
+    s += "|---|---|---|---|\n";
+    subsampled<dr::analytic::AnalyticPoint>(
+        ex.combinedPoints, options.maxTableRows,
+        [&s](const dr::analytic::AnalyticPoint& pt) {
+          s += "| " + pt.label + " | " + num(pt.size) + " | " +
+               fmtDouble(pt.FR, 3) + " | " + num(pt.CtotBypassTotal) +
+               " |\n";
+        });
+    s += "\n";
+  }
+
+  if (!ex.accesses.empty() && !ex.accesses.front().multiLevel.empty()) {
+    s += "## Closed-form multi-level footprints (first access)\n\n";
+    s += "| loop level | footprint | background transfers | F_R |\n";
+    s += "|---|---|---|---|\n";
+    for (const auto& pt : ex.accesses.front().multiLevel)
+      s += "| L" + num(pt.level) + " | " + num(pt.size) + " | " +
+           num(pt.misses) + " | " + fmtDouble(pt.FR.toDouble(), 2) +
+           (pt.exact ? "" : " (approx.)") + " |\n";
+    s += "\n";
+  }
+
+  if (options.includePlots && !ex.simulatedCurve.points.empty()) {
+    s += "## Reuse factor vs copy size (Belady `.`, analytic `o`)\n\n```\n";
+    Series sim;
+    sim.mark = '.';
+    sim.name = "Belady-optimal simulation";
+    for (const auto& pt : ex.simulatedCurve.points)
+      sim.points.emplace_back(static_cast<double>(pt.size), pt.reuseFactor);
+    Series ana;
+    ana.mark = 'o';
+    ana.name = "analytic points";
+    for (const auto& pt : ex.combinedPoints)
+      ana.points.emplace_back(static_cast<double>(pt.size), pt.FR);
+    PlotOptions popts;
+    popts.logX = true;
+    s += asciiPlot({sim, ana}, popts);
+    s += "```\n\n";
+  }
+
+  if (options.includeChainTable && !ex.pareto.empty()) {
+    s += "## Pareto-optimal hierarchies (power normalized to "
+         "no-hierarchy)\n\n";
+    s += "| on-chip words | normalized power | design |\n";
+    s += "|---|---|---|\n";
+    subsampled<dr::hierarchy::ChainDesign>(
+        ex.pareto, options.maxTableRows,
+        [&s](const dr::hierarchy::ChainDesign& d) {
+          s += "| " + num(d.cost.onChipSize) + " | " +
+               fmtDouble(d.cost.normalizedPower, 4) + " | " + d.label +
+               " |\n";
+        });
+    s += "\n";
+    if (options.includePlots) {
+      s += "## Power vs on-chip size (Pareto front)\n\n```\n";
+      Series front;
+      front.mark = '*';
+      front.name = "Pareto front";
+      for (const auto& d : ex.pareto)
+        front.points.emplace_back(
+            std::max(1.0, static_cast<double>(d.cost.onChipSize)),
+            d.cost.normalizedPower);
+      PlotOptions popts;
+      popts.logX = true;
+      s += asciiPlot({front}, popts);
+      s += "```\n";
+    }
+  }
+  return s;
+}
+
+}  // namespace dr::report

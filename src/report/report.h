@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "explorer/explorer.h"
+
+/// \file report.h
+/// Human-readable exploration reports: everything the paper's prototype
+/// tool printed/plotted for one signal (reuse-factor curve with analytic
+/// overlays, Pareto front, per-access analysis), rendered as markdown
+/// with embedded ASCII plots. Used by the example applications; the
+/// figure data itself lives in bench/ (with gnuplot output).
+
+namespace dr::report {
+
+struct ReportOptions {
+  bool includePlots = true;
+  bool includeChainTable = true;
+  std::size_t maxTableRows = 24;  ///< long tables are subsampled
+};
+
+/// Markdown report for one explored signal.
+std::string signalReport(const loopir::Program& program,
+                         const explorer::SignalExploration& exploration,
+                         const ReportOptions& options = {});
+
+}  // namespace dr::report

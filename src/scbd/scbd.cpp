@@ -1,0 +1,83 @@
+#include "scbd/scbd.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace dr::scbd {
+
+using dr::support::ceilDiv;
+
+i64 LevelLoad::requiredPorts(i64 cycleBudget) const {
+  DR_REQUIRE(cycleBudget >= 1);
+  return std::max<i64>(1, ceilDiv(accesses(), cycleBudget));
+}
+
+i64 LevelLoad::requiredCycles(i64 ports) const {
+  DR_REQUIRE(ports >= 1);
+  return ceilDiv(accesses(), ports);
+}
+
+std::vector<LevelLoad> chainLoads(const CopyChain& chain) {
+  DR_REQUIRE_MSG(chain.validate().empty(), "invalid chain");
+  std::vector<LevelLoad> loads;
+  loads.reserve(static_cast<std::size_t>(chain.depth()) + 1);
+
+  LevelLoad bg;
+  bg.level = 0;
+  bg.reads = chain.readsFromLevel(0);
+  bg.writes = 0;
+  loads.push_back(bg);
+
+  for (int j = 1; j <= chain.depth(); ++j) {
+    const dr::hierarchy::ChainLevel& level =
+        chain.levels[static_cast<std::size_t>(j - 1)];
+    LevelLoad load;
+    load.level = j;
+    load.size = level.size;
+    load.reads = chain.readsFromLevel(j);
+    load.writes = level.writes;
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+i64 minimalCycleBudget(const CopyChain& chain,
+                       const std::vector<i64>& portsPerLevel) {
+  std::vector<LevelLoad> loads = chainLoads(chain);
+  DR_REQUIRE_MSG(portsPerLevel.size() == loads.size(),
+                 "one port count per level (background included)");
+  i64 budget = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    budget = std::max(budget, loads[i].requiredCycles(portsPerLevel[i]));
+  return budget;
+}
+
+bool feasible(const CopyChain& chain, const std::vector<i64>& portsPerLevel,
+              i64 cycleBudget) {
+  DR_REQUIRE(cycleBudget >= 1);
+  return minimalCycleBudget(chain, portsPerLevel) <= cycleBudget;
+}
+
+std::vector<TimingOption> timingOptions(const CopyChain& chain, int level) {
+  DR_REQUIRE(level >= 1 && level <= chain.depth());
+  const dr::hierarchy::ChainLevel& l =
+      chain.levels[static_cast<std::size_t>(level - 1)];
+  i64 reads = chain.readsFromLevel(level);
+
+  TimingOption inline_;
+  inline_.doubleBuffered = false;
+  inline_.copySize = l.size;
+  inline_.kernelCycles = reads + l.writes;  // fills share the kernel path
+  inline_.prefetchCycles = 0;
+
+  TimingOption doubled;
+  doubled.doubleBuffered = true;
+  doubled.copySize = 2 * l.size;
+  doubled.kernelCycles = reads;       // only the datapath reads remain
+  doubled.prefetchCycles = l.writes;  // fills hidden behind the kernel
+
+  return {inline_, doubled};
+}
+
+}  // namespace dr::scbd

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "hierarchy/chain.h"
+
+/// \file scbd.h
+/// Storage cycle budget distribution — DTSE step 4 (paper Section 3: "the
+/// bandwidth/latency requirements and the balancing of the available
+/// cycle budget over the different memory accesses ... are determined").
+///
+/// For a copy-candidate chain this means: every level must fit its
+/// per-frame accesses into the cycle budget, which fixes the number of
+/// ports its memory needs; and the copy updates can be scheduled either
+/// in-line (the Fig. 8 conditional inside the kernel) or ahead of time
+/// with double buffering — the trade-off the paper points at when it
+/// enlarges the copy for the single-assignment variant ("The SCBD can
+/// then trade off a larger final copy-candidate size with better
+/// timings").
+
+namespace dr::scbd {
+
+using dr::hierarchy::CopyChain;
+using dr::support::i64;
+
+/// Per-frame access load of one chain level (0 = background memory).
+struct LevelLoad {
+  int level = 0;          ///< 0 = background, 1..n = copy levels
+  i64 size = 0;           ///< words (0 for the background)
+  i64 reads = 0;          ///< reads out of this level per frame
+  i64 writes = 0;         ///< writes into this level per frame
+  i64 accesses() const { return reads + writes; }
+
+  /// Ports needed to fit `accesses` single-port-cycle transfers into
+  /// `cycleBudget` cycles. Precondition: cycleBudget >= 1.
+  i64 requiredPorts(i64 cycleBudget) const;
+
+  /// Cycles needed with `ports` parallel ports. Precondition: ports >= 1.
+  i64 requiredCycles(i64 ports) const;
+};
+
+/// Loads of all levels, background first.
+std::vector<LevelLoad> chainLoads(const CopyChain& chain);
+
+/// Smallest cycle budget for which every level fits with the given
+/// per-level port counts (same order as chainLoads). Levels transfer in
+/// parallel — each is a separate memory — so the chain budget is the
+/// maximum over levels.
+i64 minimalCycleBudget(const CopyChain& chain,
+                       const std::vector<i64>& portsPerLevel);
+
+/// True when every level fits in `cycleBudget` with its port count.
+bool feasible(const CopyChain& chain, const std::vector<i64>& portsPerLevel,
+              i64 cycleBudget);
+
+/// Copy-update scheduling options for one level (the in-kernel conditional
+/// vs prefetching into a double buffer).
+struct TimingOption {
+  bool doubleBuffered = false;
+  i64 copySize = 0;        ///< words, doubled when double-buffered
+  i64 kernelCycles = 0;    ///< accesses on the critical kernel path
+  i64 prefetchCycles = 0;  ///< transfers movable off the critical path
+};
+
+/// The two options for copy level `level` (1-based) of `chain`, assuming
+/// one port per memory: in-line updates keep the fill writes on the
+/// kernel path; double buffering moves them off it but doubles the copy.
+std::vector<TimingOption> timingOptions(const CopyChain& chain, int level);
+
+}  // namespace dr::scbd

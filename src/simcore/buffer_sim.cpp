@@ -1,0 +1,148 @@
+#include "simcore/buffer_sim.h"
+
+#include <deque>
+#include <list>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/contracts.h"
+
+namespace dr::simcore {
+
+std::vector<i64> computeNextUse(const Trace& trace) {
+  i64 n = trace.length();
+  std::vector<i64> nextUse(static_cast<std::size_t>(n));
+  std::unordered_map<i64, i64> lastSeen;
+  lastSeen.reserve(static_cast<std::size_t>(n) / 4 + 1);
+  for (i64 t = n - 1; t >= 0; --t) {
+    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
+    auto it = lastSeen.find(addr);
+    nextUse[static_cast<std::size_t>(t)] = it == lastSeen.end() ? n : it->second;
+    lastSeen[addr] = t;
+  }
+  return nextUse;
+}
+
+SimResult simulateOpt(const Trace& trace, i64 capacity) {
+  return simulateOpt(trace, capacity, computeNextUse(trace));
+}
+
+SimResult simulateOpt(const Trace& trace, i64 capacity,
+                      const std::vector<i64>& nextUse) {
+  DR_REQUIRE(capacity >= 0);
+  DR_REQUIRE(nextUse.size() == trace.addresses.size());
+  SimResult r;
+  r.capacity = capacity;
+  r.accesses = trace.length();
+  if (capacity == 0) {
+    r.misses = r.accesses;
+    return r;
+  }
+
+  // resident maps address -> its current next-use time; the heap holds
+  // (nextUse, address) pairs with lazy invalidation (an entry is stale when
+  // resident[address] no longer equals its recorded next-use).
+  std::unordered_map<i64, i64> resident;
+  resident.reserve(static_cast<std::size_t>(capacity) * 2 + 16);
+  using Entry = std::pair<i64, i64>;  // (nextUse, address), max-heap
+  std::priority_queue<Entry> heap;
+
+  for (i64 t = 0; t < trace.length(); ++t) {
+    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
+    i64 nu = nextUse[static_cast<std::size_t>(t)];
+    auto it = resident.find(addr);
+    if (it != resident.end()) {
+      ++r.hits;
+      it->second = nu;
+      heap.emplace(nu, addr);
+      continue;
+    }
+    ++r.misses;
+    resident.emplace(addr, nu);
+    heap.emplace(nu, addr);
+    while (static_cast<i64>(resident.size()) > capacity) {
+      DR_CHECK(!heap.empty());
+      auto [hnu, haddr] = heap.top();
+      heap.pop();
+      auto rit = resident.find(haddr);
+      if (rit != resident.end() && rit->second == hnu) resident.erase(rit);
+      // else: stale heap entry, skip.
+    }
+  }
+  DR_ENSURE(r.hits + r.misses == r.accesses);
+  return r;
+}
+
+SimResult simulateLru(const Trace& trace, i64 capacity) {
+  DR_REQUIRE(capacity >= 0);
+  SimResult r;
+  r.capacity = capacity;
+  r.accesses = trace.length();
+  if (capacity == 0) {
+    r.misses = r.accesses;
+    return r;
+  }
+
+  std::list<i64> order;  // front = most recently used
+  std::unordered_map<i64, std::list<i64>::iterator> where;
+  where.reserve(static_cast<std::size_t>(capacity) * 2 + 16);
+  for (i64 addr : trace.addresses) {
+    auto it = where.find(addr);
+    if (it != where.end()) {
+      ++r.hits;
+      order.splice(order.begin(), order, it->second);
+      continue;
+    }
+    ++r.misses;
+    order.push_front(addr);
+    where[addr] = order.begin();
+    if (static_cast<i64>(order.size()) > capacity) {
+      where.erase(order.back());
+      order.pop_back();
+    }
+  }
+  DR_ENSURE(r.hits + r.misses == r.accesses);
+  return r;
+}
+
+SimResult simulateFifo(const Trace& trace, i64 capacity) {
+  DR_REQUIRE(capacity >= 0);
+  SimResult r;
+  r.capacity = capacity;
+  r.accesses = trace.length();
+  if (capacity == 0) {
+    r.misses = r.accesses;
+    return r;
+  }
+
+  std::deque<i64> order;  // front = oldest
+  std::unordered_set<i64> resident;
+  resident.reserve(static_cast<std::size_t>(capacity) * 2 + 16);
+  for (i64 addr : trace.addresses) {
+    if (resident.count(addr)) {
+      ++r.hits;
+      continue;
+    }
+    ++r.misses;
+    resident.insert(addr);
+    order.push_back(addr);
+    if (static_cast<i64>(resident.size()) > capacity) {
+      resident.erase(order.front());
+      order.pop_front();
+    }
+  }
+  DR_ENSURE(r.hits + r.misses == r.accesses);
+  return r;
+}
+
+SimResult simulate(const Trace& trace, i64 capacity, Policy policy) {
+  switch (policy) {
+    case Policy::Opt: return simulateOpt(trace, capacity);
+    case Policy::Lru: return simulateLru(trace, capacity);
+    case Policy::Fifo: return simulateFifo(trace, capacity);
+  }
+  DR_UNREACHABLE("bad policy");
+}
+
+}  // namespace dr::simcore

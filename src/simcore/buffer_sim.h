@@ -1,0 +1,73 @@
+#pragma once
+
+#include <vector>
+
+#include "support/intmath.h"
+#include "trace/walker.h"
+
+/// \file buffer_sim.h
+/// Copy-candidate buffer simulation over an access trace — the simulation
+/// prototype of [29] that the paper's Section 4 uses to produce the data
+/// reuse factor curve, plus the hardware-cache baselines (LRU, FIFO) the
+/// introduction contrasts against.
+///
+/// Counting model (paper eq. (1)): every access that misses in the
+/// copy-candidate is a write C_j to it (equivalently a read from level
+/// j-1); the data reuse factor is F_Rj = C_tot / C_j.
+
+namespace dr::simcore {
+
+using dr::support::i64;
+using dr::trace::Trace;
+
+enum class Policy {
+  Opt,   ///< Belady's optimal replacement [3]; allows bypass (MIN)
+  Lru,   ///< least recently used — the hardware-cache baseline
+  Fifo,  ///< first-in first-out
+};
+
+/// Result of simulating one buffer size over one trace.
+struct SimResult {
+  i64 capacity = 0;
+  i64 accesses = 0;  ///< C_tot
+  i64 misses = 0;    ///< C_j: writes to the copy-candidate
+  i64 hits = 0;
+
+  /// F_R = C_tot / C_j (eq. (1)); capacity 0 gives F_R = 1.
+  double reuseFactor() const {
+    return misses == 0 ? static_cast<double>(accesses)
+                       : static_cast<double>(accesses) /
+                             static_cast<double>(misses);
+  }
+
+  dr::support::Rational reuseFactorExact() const {
+    return misses == 0 ? dr::support::Rational(accesses)
+                       : dr::support::Rational(accesses, misses);
+  }
+};
+
+/// Next-use indices for a trace: nextUse[t] is the position of the next
+/// access to the same address, or trace.length() when there is none.
+std::vector<i64> computeNextUse(const Trace& trace);
+
+/// Belady-optimal simulation of a fully associative buffer of `capacity`
+/// elements. Capacity 0 means every access misses. The variant simulated
+/// is MIN (bypass allowed): an element whose next use is farther than all
+/// residents' is not inserted, which never increases the miss count.
+SimResult simulateOpt(const Trace& trace, i64 capacity);
+
+/// As simulateOpt but with precomputed next-use indices (reuse across a
+/// size sweep). `nextUse` must come from computeNextUse(trace).
+SimResult simulateOpt(const Trace& trace, i64 capacity,
+                      const std::vector<i64>& nextUse);
+
+/// LRU simulation of a fully associative buffer.
+SimResult simulateLru(const Trace& trace, i64 capacity);
+
+/// FIFO simulation of a fully associative buffer.
+SimResult simulateFifo(const Trace& trace, i64 capacity);
+
+/// Dispatch on `policy`.
+SimResult simulate(const Trace& trace, i64 capacity, Policy policy);
+
+}  // namespace dr::simcore

@@ -1,0 +1,79 @@
+#include "simcore/chain_sim.h"
+
+#include <queue>
+#include <unordered_map>
+
+#include "support/contracts.h"
+
+namespace dr::simcore {
+
+SimResult simulateOptWithMissStream(const Trace& trace, i64 capacity,
+                                    const std::vector<i64>& nextUse,
+                                    Trace& missStream) {
+  DR_REQUIRE(capacity >= 1);
+  DR_REQUIRE(nextUse.size() == trace.addresses.size());
+  SimResult r;
+  r.capacity = capacity;
+  r.accesses = trace.length();
+  missStream.addresses.clear();
+
+  std::unordered_map<i64, i64> resident;
+  resident.reserve(static_cast<std::size_t>(capacity) * 2 + 16);
+  using Entry = std::pair<i64, i64>;
+  std::priority_queue<Entry> heap;
+
+  for (i64 t = 0; t < trace.length(); ++t) {
+    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
+    i64 nu = nextUse[static_cast<std::size_t>(t)];
+    auto it = resident.find(addr);
+    if (it != resident.end()) {
+      ++r.hits;
+      it->second = nu;
+      heap.emplace(nu, addr);
+      continue;
+    }
+    ++r.misses;
+    missStream.addresses.push_back(addr);
+    resident.emplace(addr, nu);
+    heap.emplace(nu, addr);
+    while (static_cast<i64>(resident.size()) > capacity) {
+      DR_CHECK(!heap.empty());
+      auto [hnu, haddr] = heap.top();
+      heap.pop();
+      auto rit = resident.find(haddr);
+      if (rit != resident.end() && rit->second == hnu) resident.erase(rit);
+    }
+  }
+  DR_ENSURE(r.hits + r.misses == r.accesses);
+  DR_ENSURE(static_cast<i64>(missStream.addresses.size()) == r.misses);
+  return r;
+}
+
+ChainSimResult simulateOptChain(const Trace& trace,
+                                const std::vector<i64>& capacities) {
+  DR_REQUIRE(!capacities.empty());
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    DR_REQUIRE(capacities[i] >= 1);
+    if (i > 0)
+      DR_REQUIRE_MSG(capacities[i] < capacities[i - 1],
+                     "chain capacities must strictly decrease inward");
+  }
+
+  ChainSimResult out;
+  out.datapathReads = trace.length();
+  out.perLevel.resize(capacities.size());
+
+  // Innermost level first: it sees the raw datapath trace; each level's
+  // miss stream becomes the request stream of the next level out.
+  Trace requests = trace;
+  for (std::size_t rev = capacities.size(); rev-- > 0;) {
+    Trace misses;
+    std::vector<i64> nextUse = computeNextUse(requests);
+    out.perLevel[rev] = simulateOptWithMissStream(
+        requests, capacities[rev], nextUse, misses);
+    requests = std::move(misses);
+  }
+  return out;
+}
+
+}  // namespace dr::simcore

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "simcore/buffer_sim.h"
+
+/// \file chain_sim.h
+/// Hierarchical simulation of a whole copy-candidate chain: the datapath
+/// trace feeds the innermost buffer, its miss stream feeds the next level
+/// out, and so on up to the background memory (paper Fig. 2, all levels
+/// under Belady-optimal management).
+///
+/// This machinery exists to *verify* the paper's composability claim
+/// (Section 3): "The number of writes C_j is a constant for level j,
+/// independent from the presence of other levels in the hierarchy". The
+/// chain cost function (eq. (3)) builds on that property. Empirically
+/// (see the tests and bench_chain_composability): on the loop-dominated
+/// traces the paper targets, at working-set knee capacities, the in-chain
+/// miss counts match the standalone ones *exactly*; on unstructured
+/// (random) traces the inner level's filtering can only reduce the outer
+/// level's misses, so eq. (3) is a safe upper bound there.
+
+namespace dr::simcore {
+
+/// Belady simulation that also materializes the miss stream: the sequence
+/// of addresses fetched from the next-outer level, in time order.
+SimResult simulateOptWithMissStream(const Trace& trace, i64 capacity,
+                                    const std::vector<i64>& nextUse,
+                                    Trace& missStream);
+
+struct ChainSimResult {
+  /// Per level, outer (largest) to inner, the simulation against the
+  /// request stream that actually reaches it in the chain.
+  std::vector<SimResult> perLevel;
+  i64 datapathReads = 0;
+};
+
+/// Simulate the chain with capacities ordered outer (largest) to inner.
+/// Preconditions: capacities strictly decreasing, all >= 1.
+ChainSimResult simulateOptChain(const Trace& trace,
+                                const std::vector<i64>& capacities);
+
+}  // namespace dr::simcore

@@ -1,0 +1,90 @@
+#include "simcore/lru_stack.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/contracts.h"
+
+namespace dr::simcore {
+
+namespace {
+
+/// Fenwick tree over time positions holding 0/1 marks.
+class Bit {
+ public:
+  explicit Bit(i64 n) : tree_(static_cast<std::size_t>(n) + 1, 0) {}
+
+  void add(i64 pos, i64 delta) {
+    for (i64 i = pos + 1; i < static_cast<i64>(tree_.size());
+         i += i & (-i))
+      tree_[static_cast<std::size_t>(i)] += delta;
+  }
+
+  /// Sum of marks at positions [0, pos].
+  i64 prefix(i64 pos) const {
+    i64 s = 0;
+    for (i64 i = pos + 1; i > 0; i -= i & (-i))
+      s += tree_[static_cast<std::size_t>(i)];
+    return s;
+  }
+
+ private:
+  std::vector<i64> tree_;
+};
+
+}  // namespace
+
+LruStackDistances::LruStackDistances(const Trace& trace) {
+  accesses_ = trace.length();
+  i64 n = accesses_;
+  Bit marks(n);  // position p marked iff p is the most recent access of its address
+  std::unordered_map<i64, i64> lastPos;
+  lastPos.reserve(static_cast<std::size_t>(n) / 4 + 1);
+
+  for (i64 t = 0; t < n; ++t) {
+    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
+    auto it = lastPos.find(addr);
+    if (it == lastPos.end()) {
+      ++coldMisses_;
+    } else {
+      // Stack distance = number of distinct addresses accessed in
+      // (lastPos, t], which is the marked positions after lastPos plus the
+      // element itself.
+      i64 prev = it->second;
+      i64 between = marks.prefix(t - 1) - marks.prefix(prev);
+      i64 dist = between + 1;
+      if (dist >= static_cast<i64>(histogram_.size()))
+        histogram_.resize(static_cast<std::size_t>(dist) + 1, 0);
+      ++histogram_[static_cast<std::size_t>(dist)];
+      marks.add(prev, -1);
+    }
+    marks.add(t, +1);
+    lastPos[addr] = t;
+  }
+
+  cumulativeHits_.resize(histogram_.size(), 0);
+  i64 running = 0;
+  for (std::size_t d = 0; d < histogram_.size(); ++d) {
+    running += histogram_[d];
+    cumulativeHits_[d] = running;
+  }
+}
+
+i64 LruStackDistances::missesAt(i64 capacity) const {
+  DR_REQUIRE(capacity >= 0);
+  if (cumulativeHits_.empty() || capacity == 0) return accesses_;
+  std::size_t idx = std::min(static_cast<std::size_t>(capacity),
+                             cumulativeHits_.size() - 1);
+  return accesses_ - cumulativeHits_[idx];
+}
+
+SimResult LruStackDistances::resultAt(i64 capacity) const {
+  SimResult r;
+  r.capacity = capacity;
+  r.accesses = accesses_;
+  r.misses = missesAt(capacity);
+  r.hits = r.accesses - r.misses;
+  return r;
+}
+
+}  // namespace dr::simcore

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "simcore/buffer_sim.h"
+
+/// \file lru_stack.h
+/// One-pass Mattson stack-distance analysis for LRU. Because LRU is a
+/// stack algorithm, a single pass yields the exact hit count for *every*
+/// capacity at once — the cheap way to draw the full hardware-cache
+/// baseline curve that the paper's introduction contrasts with
+/// compile-time-steered copies.
+
+namespace dr::simcore {
+
+class LruStackDistances {
+ public:
+  /// Runs the one-pass analysis (O(n log n) via a Fenwick tree over time).
+  explicit LruStackDistances(const Trace& trace);
+
+  /// Number of accesses with stack distance exactly d (d >= 1); the
+  /// distance counts the accessed element itself, so a hit needs
+  /// capacity >= d. Index 0 of the histogram is unused (always 0).
+  const std::vector<i64>& histogram() const noexcept { return histogram_; }
+
+  /// First-time accesses (infinite distance — compulsory misses).
+  i64 coldMisses() const noexcept { return coldMisses_; }
+
+  i64 accesses() const noexcept { return accesses_; }
+
+  /// Exact LRU miss count for a buffer of `capacity` elements.
+  i64 missesAt(i64 capacity) const;
+
+  /// SimResult equivalent to simulateLru(trace, capacity).
+  SimResult resultAt(i64 capacity) const;
+
+ private:
+  std::vector<i64> histogram_;
+  std::vector<i64> cumulativeHits_;  ///< hits at capacity c = cumulativeHits_[min(c, maxd)]
+  i64 coldMisses_ = 0;
+  i64 accesses_ = 0;
+};
+
+}  // namespace dr::simcore

@@ -1,0 +1,92 @@
+#include "simcore/reuse_curve.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace dr::simcore {
+
+double ReuseCurve::maxReuseFactor() const {
+  double best = 1.0;
+  for (const ReusePoint& p : points) best = std::max(best, p.reuseFactor);
+  return best;
+}
+
+i64 ReuseCurve::smallestSizeReaching(double factor, double tol) const {
+  for (const ReusePoint& p : points)
+    if (p.reuseFactor >= factor * (1.0 - tol)) return p.size;
+  return -1;
+}
+
+std::vector<i64> sizeGrid(i64 maxSize, i64 denseUpTo, double growth) {
+  DR_REQUIRE(maxSize >= 1);
+  DR_REQUIRE(denseUpTo >= 1);
+  DR_REQUIRE(growth > 1.0);
+  std::vector<i64> sizes;
+  for (i64 s = 1; s <= std::min(denseUpTo, maxSize); ++s) sizes.push_back(s);
+  double s = static_cast<double>(std::min(denseUpTo, maxSize));
+  while (static_cast<i64>(s) < maxSize) {
+    s *= growth;
+    sizes.push_back(std::min(maxSize, static_cast<i64>(s)));
+  }
+  sizes.push_back(maxSize);
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  return sizes;
+}
+
+ReuseCurve simulateReuseCurve(const Trace& trace, std::vector<i64> sizes,
+                              Policy policy) {
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  DR_REQUIRE(sizes.empty() || sizes.front() >= 0);
+
+  ReuseCurve curve;
+  std::vector<i64> nextUse;
+  if (policy == Policy::Opt) nextUse = computeNextUse(trace);
+  for (i64 size : sizes) {
+    SimResult r = policy == Policy::Opt
+                      ? simulateOpt(trace, size, nextUse)
+                      : simulate(trace, size, policy);
+    ReusePoint p;
+    p.size = size;
+    p.writes = r.misses;
+    p.reads = r.accesses;
+    p.reuseFactor = r.reuseFactor();
+    curve.points.push_back(p);
+  }
+  return curve;
+}
+
+i64 optSaturationSize(const Trace& trace) {
+  std::vector<i64> nextUse = computeNextUse(trace);
+  i64 distinct = trace.distinctCount();
+  if (distinct == 0) return 0;
+  i64 compulsory = distinct;
+
+  // OPT obeys inclusion (misses non-increasing in capacity), so binary
+  // search for the smallest capacity whose miss count equals the
+  // compulsory minimum.
+  i64 lo = 1, hi = distinct;
+  while (lo < hi) {
+    i64 mid = lo + (hi - lo) / 2;
+    if (simulateOpt(trace, mid, nextUse).misses == compulsory)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+std::vector<std::size_t> findKnees(const ReuseCurve& curve, double jumpRatio) {
+  DR_REQUIRE(jumpRatio > 1.0);
+  std::vector<std::size_t> knees;
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    double prev = curve.points[i - 1].reuseFactor;
+    double cur = curve.points[i].reuseFactor;
+    if (prev > 0 && cur / prev >= jumpRatio) knees.push_back(i);
+  }
+  return knees;
+}
+
+}  // namespace dr::simcore

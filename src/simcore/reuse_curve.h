@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "simcore/buffer_sim.h"
+
+/// \file reuse_curve.h
+/// Data-reuse-factor curves: F_R as a function of the copy-candidate size
+/// (paper Fig. 4a / Fig. 10a), produced by sweeping the buffer simulator,
+/// plus knee (discontinuity) detection — the A_1..A_4 sizes where maximum
+/// reuse is reached for a subset of inner loops.
+
+namespace dr::simcore {
+
+/// One point of a reuse-factor curve.
+struct ReusePoint {
+  i64 size = 0;            ///< copy-candidate size A_j, in elements
+  i64 writes = 0;          ///< C_j: writes into the copy-candidate
+  i64 reads = 0;           ///< C_tot
+  double reuseFactor = 1;  ///< F_Rj = C_tot / C_j
+};
+
+struct ReuseCurve {
+  std::vector<ReusePoint> points;  ///< sorted ascending by size
+
+  /// Largest reuse factor over all points.
+  double maxReuseFactor() const;
+
+  /// Smallest size reaching `factor` (within relative `tol`); -1 if none.
+  i64 smallestSizeReaching(double factor, double tol = 1e-9) const;
+};
+
+/// Logarithmic-ish size grid from 1 to maxSize inclusive: all sizes up to
+/// `denseUpTo`, then multiplicative steps of `growth`.
+std::vector<i64> sizeGrid(i64 maxSize, i64 denseUpTo = 64,
+                          double growth = 1.25);
+
+/// Simulate the curve at the given sizes (deduplicated, sorted).
+ReuseCurve simulateReuseCurve(const Trace& trace, std::vector<i64> sizes,
+                              Policy policy = Policy::Opt);
+
+/// Smallest capacity at which OPT reaches its saturation reuse factor
+/// (all misses compulsory). Uses the inclusion property of OPT for a
+/// binary search. Returns the capacity.
+i64 optSaturationSize(const Trace& trace);
+
+/// Knees: points where the reuse factor jumps by more than `jumpRatio`
+/// relative to the previous grid point (paper Fig. 4a's A_1..A_4 are such
+/// discontinuities). Returns indices into curve.points.
+std::vector<std::size_t> findKnees(const ReuseCurve& curve,
+                                   double jumpRatio = 1.2);
+
+}  // namespace dr::simcore

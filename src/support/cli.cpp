@@ -1,0 +1,80 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::support {
+
+CliOptions::CliOptions(int argc, const char* const* argv) {
+  DR_REQUIRE(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    DR_REQUIRE_MSG(startsWith(arg, "--"),
+                   "unexpected positional argument: " + arg);
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // bare flag
+    }
+  }
+}
+
+bool CliOptions::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string CliOptions::getString(const std::string& name,
+                                  const std::string& fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+i64 CliOptions::getInt(const std::string& name, i64 fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  i64 v = std::strtoll(it->second.c_str(), &end, 10);
+  DR_REQUIRE_MSG(end && *end == '\0' && !it->second.empty(),
+                 "option --" + name + " expects an integer, got '" +
+                     it->second + "'");
+  return v;
+}
+
+double CliOptions::getDouble(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  DR_REQUIRE_MSG(end && *end == '\0' && !it->second.empty(),
+                 "option --" + name + " expects a number, got '" +
+                     it->second + "'");
+  return v;
+}
+
+bool CliOptions::getBool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return v.empty() || v == "1" || v == "true" || v == "yes";
+}
+
+std::vector<std::string> CliOptions::unusedNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_)
+    if (!queried_.count(name)) out.push_back(name);
+  return out;
+}
+
+}  // namespace dr::support

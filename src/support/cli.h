@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/intmath.h"
+
+/// \file cli.h
+/// Minimal command-line option parser for the example applications and
+/// benchmark harnesses: `--name=value` / `--name value` / `--flag`.
+
+namespace dr::support {
+
+class CliOptions {
+ public:
+  /// Parse argv; throws ContractViolation on malformed input
+  /// (e.g. a non-option positional argument).
+  CliOptions(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Value of --name; `fallback` when absent.
+  std::string getString(const std::string& name,
+                        const std::string& fallback) const;
+
+  /// Integer value of --name; throws when present but non-numeric.
+  i64 getInt(const std::string& name, i64 fallback) const;
+
+  /// Double value of --name; throws when present but non-numeric.
+  double getDouble(const std::string& name, double fallback) const;
+
+  /// Boolean: present-without-value or "true"/"1" => true.
+  bool getBool(const std::string& name, bool fallback) const;
+
+  const std::string& programName() const noexcept { return program_; }
+
+  /// Names that were supplied but never queried — typo detection aid.
+  std::vector<std::string> unusedNames() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace dr::support

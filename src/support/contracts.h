@@ -1,0 +1,83 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file contracts.h
+/// Lightweight precondition / invariant checking used across the library.
+///
+/// Violations throw dr::support::ContractViolation rather than aborting so
+/// that library users (and the test suite) can observe and handle misuse.
+
+namespace dr::support {
+
+/// Thrown when a DR_REQUIRE / DR_ENSURE / DR_CHECK condition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* cond, const char* file,
+                    int line, const std::string& msg)
+      : std::logic_error(format(kind, cond, file, line, msg)) {}
+
+ private:
+  static std::string format(const char* kind, const char* cond,
+                            const char* file, int line,
+                            const std::string& msg) {
+    std::string s;
+    s += kind;
+    s += " failed: ";
+    s += cond;
+    s += " at ";
+    s += file;
+    s += ":";
+    s += std::to_string(line);
+    if (!msg.empty()) {
+      s += " (";
+      s += msg;
+      s += ")";
+    }
+    return s;
+  }
+};
+
+[[noreturn]] inline void raiseContract(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg = {}) {
+  throw ContractViolation(kind, cond, file, line, msg);
+}
+
+}  // namespace dr::support
+
+/// Precondition check: argument/state validation at function entry.
+#define DR_REQUIRE(cond)                                                    \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dr::support::raiseContract("precondition", #cond, __FILE__,         \
+                                   __LINE__);                               \
+  } while (0)
+
+/// Precondition check with an explanatory message.
+#define DR_REQUIRE_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dr::support::raiseContract("precondition", #cond, __FILE__,         \
+                                   __LINE__, (msg));                        \
+  } while (0)
+
+/// Internal invariant check: "this cannot happen" conditions.
+#define DR_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dr::support::raiseContract("invariant", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+/// Postcondition check at function exit.
+#define DR_ENSURE(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dr::support::raiseContract("postcondition", #cond, __FILE__,        \
+                                   __LINE__);                               \
+  } while (0)
+
+/// Marks unreachable code paths.
+#define DR_UNREACHABLE(msg)                                                 \
+  ::dr::support::raiseContract("unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,95 @@
+#include "support/dataset.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/contracts.h"
+#include "support/strings.h"
+
+namespace dr::support {
+
+DataSet::DataSet(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  DR_REQUIRE(!columns_.empty());
+}
+
+const std::vector<double>& DataSet::row(std::size_t i) const {
+  DR_REQUIRE(i < rows_.size());
+  return rows_[i];
+}
+
+void DataSet::addRow(std::vector<double> values) {
+  DR_REQUIRE_MSG(values.size() == columns_.size(),
+                 "row width does not match column count");
+  rows_.push_back(std::move(values));
+}
+
+void DataSet::sortByColumn(std::size_t col) {
+  DR_REQUIRE(col < columns_.size());
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [col](const auto& a, const auto& b) {
+                     return a[col] < b[col];
+                   });
+}
+
+std::string DataSet::toTable(int precision) const {
+  std::vector<std::vector<std::string>> cells;
+  cells.push_back(columns_);
+  for (const auto& r : rows_) {
+    std::vector<std::string> line;
+    line.reserve(r.size());
+    for (double v : r) line.push_back(fmtDouble(v, precision));
+    cells.push_back(std::move(line));
+  }
+  std::vector<std::size_t> width(columns_.size(), 0);
+  for (const auto& line : cells)
+    for (std::size_t c = 0; c < line.size(); ++c)
+      width[c] = std::max(width[c], line[c].size());
+
+  std::size_t total = width.empty() ? 0 : 2 * (width.size() - 1);
+  for (std::size_t w : width) total += w;
+
+  std::string out = "== " + title_ + " ==\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t c = 0; c < cells[i].size(); ++c) {
+      const std::string& cell = cells[i][c];
+      out += std::string(width[c] - cell.size(), ' ');
+      out += cell;
+      if (c + 1 < cells[i].size()) out += "  ";
+    }
+    out += '\n';
+    if (i == 0) out += std::string(total, '-') + "\n";
+  }
+  return out;
+}
+
+std::string DataSet::toCsv(int precision) const {
+  std::string out = join(columns_, ",") + "\n";
+  for (const auto& r : rows_) {
+    std::vector<std::string> line;
+    line.reserve(r.size());
+    for (double v : r) line.push_back(fmtDouble(v, precision));
+    out += join(line, ",") + "\n";
+  }
+  return out;
+}
+
+std::string DataSet::toGnuplot(int precision) const {
+  std::string out = "# " + title_ + "\n# " + join(columns_, " ") + "\n";
+  for (const auto& r : rows_) {
+    std::vector<std::string> line;
+    line.reserve(r.size());
+    for (double v : r) line.push_back(fmtDouble(v, precision));
+    out += join(line, " ") + "\n";
+  }
+  return out;
+}
+
+void DataSet::writeFile(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  DR_REQUIRE_MSG(f.good(), "cannot open output file: " + path);
+  f << text;
+  DR_REQUIRE_MSG(f.good(), "write failed: " + path);
+}
+
+}  // namespace dr::support

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file dataset.h
+/// Tabular result series used by the benchmark harness to print the paper's
+/// figure data (reuse-factor curves, Pareto curves) and optionally persist
+/// them as gnuplot-ready .dat files / CSV — mirroring the paper's prototype
+/// tool, which emitted its curves "with graphical output using gnuplot".
+
+namespace dr::support {
+
+/// A named table of double-valued columns with equal-length rows.
+class DataSet {
+ public:
+  DataSet(std::string title, std::vector<std::string> columns);
+
+  const std::string& title() const noexcept { return title_; }
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+  const std::vector<double>& row(std::size_t i) const;
+
+  /// Append one row; must match the column count.
+  void addRow(std::vector<double> values);
+
+  /// Rows sorted ascending by column `col` (stable).
+  void sortByColumn(std::size_t col);
+
+  /// Render as an aligned text table (for stdout reports).
+  std::string toTable(int precision = 4) const;
+
+  /// Render as CSV with a header line.
+  std::string toCsv(int precision = 6) const;
+
+  /// Render as a gnuplot data block: "# title", "# col col ...", rows.
+  std::string toGnuplot(int precision = 6) const;
+
+  /// Write `text` to `path`; throws ContractViolation on I/O failure.
+  static void writeFile(const std::string& path, const std::string& text);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace dr::support

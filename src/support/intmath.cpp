@@ -1,0 +1,129 @@
+#include "support/intmath.h"
+
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace dr::support {
+
+namespace {
+constexpr i64 kMax = std::numeric_limits<i64>::max();
+constexpr i64 kMin = std::numeric_limits<i64>::min();
+}  // namespace
+
+i64 gcd(i64 a, i64 b) noexcept {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+i64 lcm(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  i64 g = gcd(a, b);
+  return checkedMul(a / g, b);
+}
+
+i64 floorDiv(i64 a, i64 b) {
+  DR_REQUIRE(b != 0);
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+i64 ceilDiv(i64 a, i64 b) {
+  DR_REQUIRE(b != 0);
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+
+i64 mod(i64 a, i64 b) {
+  DR_REQUIRE(b != 0);
+  i64 r = a % b;
+  if (r < 0) r += (b < 0 ? -b : b);
+  return r;
+}
+
+i64 checkedAdd(i64 a, i64 b) {
+  i64 r;
+  DR_REQUIRE_MSG(!__builtin_add_overflow(a, b, &r), "integer overflow in add");
+  return r;
+}
+
+i64 checkedSub(i64 a, i64 b) {
+  i64 r;
+  DR_REQUIRE_MSG(!__builtin_sub_overflow(a, b, &r), "integer overflow in sub");
+  return r;
+}
+
+i64 checkedMul(i64 a, i64 b) {
+  i64 r;
+  DR_REQUIRE_MSG(!__builtin_mul_overflow(a, b, &r), "integer overflow in mul");
+  return r;
+}
+
+Rational::Rational(i64 n, i64 d) : num_(n), den_(d) {
+  DR_REQUIRE(d != 0);
+  DR_REQUIRE_MSG(n != kMin && d != kMin, "rational operand out of range");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  i64 g = gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  (void)kMax;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  i64 g = gcd(den_, o.den_);
+  i64 dl = den_ / g;
+  i64 dr = o.den_ / g;
+  return Rational(checkedAdd(checkedMul(num_, dr), checkedMul(o.num_, dl)),
+                  checkedMul(den_, dr));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce first to keep intermediates small.
+  i64 g1 = gcd(num_, o.den_);
+  i64 g2 = gcd(o.num_, den_);
+  return Rational(checkedMul(num_ / g1, o.num_ / g2),
+                  checkedMul(den_ / g2, o.den_ / g1));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  DR_REQUIRE(o.num_ != 0);
+  return *this * Rational(o.den_, o.num_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // num_/den_ < o.num_/o.den_  <=>  num_*o.den_ < o.num_*den_ (dens > 0).
+  return checkedMul(num_, o.den_) < checkedMul(o.num_, den_);
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace dr::support

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file intmath.h
+/// Exact integer arithmetic helpers used by the analytical reuse model:
+/// gcd/lcm, floor/ceil division with mathematically correct behaviour for
+/// negative operands, overflow-checked multiply/add, and an exact Rational
+/// type for reuse factors (which are ratios of access counts, eq. (1)).
+
+namespace dr::support {
+
+using i64 = std::int64_t;
+
+/// Greatest common divisor; gcd(0,0) == 0, result is always >= 0.
+i64 gcd(i64 a, i64 b) noexcept;
+
+/// Least common multiple; lcm(0,x) == 0. Precondition: no overflow.
+i64 lcm(i64 a, i64 b);
+
+/// Floor division: floorDiv(-7, 2) == -4. Precondition: b != 0.
+i64 floorDiv(i64 a, i64 b);
+
+/// Ceiling division: ceilDiv(-7, 2) == -3. Precondition: b != 0.
+i64 ceilDiv(i64 a, i64 b);
+
+/// Mathematical modulo with result in [0, |b|): mod(-7, 3) == 2.
+i64 mod(i64 a, i64 b);
+
+/// Overflow-checked arithmetic; throw ContractViolation on overflow.
+i64 checkedAdd(i64 a, i64 b);
+i64 checkedSub(i64 a, i64 b);
+i64 checkedMul(i64 a, i64 b);
+
+/// Exact rational number with canonical form (gcd-reduced, denominator > 0).
+///
+/// Data reuse factors F_R = C_tot / C_j (paper eq. (1)) are exact rationals;
+/// keeping them exact lets the test suite compare analytic and simulated
+/// factors without floating-point tolerance.
+class Rational {
+ public:
+  /// Value 0/1.
+  constexpr Rational() = default;
+
+  /// Value n/1.
+  Rational(i64 n) : num_(n) {}  // NOLINT(google-explicit-constructor)
+
+  /// Value n/d, reduced. Precondition: d != 0.
+  Rational(i64 n, i64 d);
+
+  i64 num() const noexcept { return num_; }
+  i64 den() const noexcept { return den_; }
+
+  double toDouble() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  bool isInteger() const noexcept { return den_ == 1; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Precondition: o != 0.
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const;
+
+  bool operator==(const Rational& o) const noexcept {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const noexcept { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  /// "7/2" or "7" when the denominator is 1.
+  std::string str() const;
+
+ private:
+  i64 num_ = 0;
+  i64 den_ = 1;
+};
+
+}  // namespace dr::support

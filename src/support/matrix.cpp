@@ -1,0 +1,108 @@
+#include "support/matrix.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/contracts.h"
+
+namespace dr::support {
+
+IntMatrix::IntMatrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  DR_REQUIRE(rows >= 0 && cols >= 0);
+  data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+               0);
+}
+
+IntMatrix::IntMatrix(std::initializer_list<std::initializer_list<i64>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(rows.begin()->size());
+  data_.reserve(static_cast<std::size_t>(rows_) *
+                static_cast<std::size_t>(cols_));
+  for (const auto& row : rows) {
+    DR_REQUIRE_MSG(static_cast<int>(row.size()) == cols_,
+                   "ragged initializer for IntMatrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+i64& IntMatrix::at(int r, int c) {
+  DR_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+i64 IntMatrix::at(int r, int c) const {
+  DR_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+bool IntMatrix::isZero() const noexcept {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](i64 v) { return v == 0; });
+}
+
+IntMatrix IntMatrix::transposed() const {
+  IntMatrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+int IntMatrix::rank() const {
+  // Bareiss fraction-free elimination: all intermediate values stay integer
+  // and divisions are exact, so the rank decision is exact as well. To keep
+  // intermediates small for the hand-sized matrices we see (n x 2 coefficient
+  // matrices), rows are gcd-reduced after each elimination round.
+  IntMatrix m = *this;
+  int rank = 0;
+  i64 prev = 1;
+  for (int col = 0; col < m.cols_ && rank < m.rows_; ++col) {
+    // Find a pivot row at or below `rank` with the smallest non-zero |entry|
+    // (keeps growth down).
+    int pivot = -1;
+    for (int r = rank; r < m.rows_; ++r) {
+      if (m.at(r, col) == 0) continue;
+      if (pivot == -1 ||
+          std::llabs(m.at(r, col)) < std::llabs(m.at(pivot, col)))
+        pivot = r;
+    }
+    if (pivot == -1) continue;
+    if (pivot != rank)
+      for (int c = 0; c < m.cols_; ++c) std::swap(m.at(pivot, c), m.at(rank, c));
+    for (int r = rank + 1; r < m.rows_; ++r) {
+      for (int c = col + 1; c < m.cols_; ++c) {
+        i64 v = checkedSub(checkedMul(m.at(rank, col), m.at(r, c)),
+                           checkedMul(m.at(r, col), m.at(rank, c)));
+        DR_CHECK(v % prev == 0);  // Bareiss division is exact.
+        m.at(r, c) = v / prev;
+      }
+      m.at(r, col) = 0;
+      // gcd-reduce the row: scaling a row does not change rank.
+      i64 g = 0;
+      for (int c = col + 1; c < m.cols_; ++c) g = gcd(g, m.at(r, c));
+      if (g > 1)
+        for (int c = col + 1; c < m.cols_; ++c) m.at(r, c) /= g;
+    }
+    prev = m.at(rank, col);
+    // After row reduction the Bareiss denominator bookkeeping is no longer
+    // exact across rounds; reset it (still correct for rank, each round is a
+    // plain integer cross-multiplication elimination).
+    prev = 1;
+    ++rank;
+  }
+  return rank;
+}
+
+std::string IntMatrix::str() const {
+  std::string s;
+  for (int r = 0; r < rows_; ++r) {
+    s += "[";
+    for (int c = 0; c < cols_; ++c) {
+      if (c) s += ", ";
+      s += std::to_string(at(r, c));
+    }
+    s += "]\n";
+  }
+  return s;
+}
+
+}  // namespace dr::support

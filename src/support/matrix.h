@@ -1,0 +1,57 @@
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "support/intmath.h"
+
+/// \file matrix.h
+/// Dense integer matrices with exact rank computation.
+///
+/// The analytical reuse model (paper Section 5.3) classifies a
+/// multi-dimensional affine access by the rank of the n x 2 coefficient
+/// matrix B: rank 0 means every iteration touches the same element, rank 1
+/// means reuse along a unique dependency direction, rank 2 means every
+/// iteration touches a distinct element. Rank must be exact (no floating
+/// point), so we use fraction-free Bareiss elimination.
+
+namespace dr::support {
+
+/// Row-major dense matrix of 64-bit integers.
+class IntMatrix {
+ public:
+  /// rows x cols zero matrix.
+  IntMatrix(int rows, int cols);
+
+  /// From nested initializer lists; all rows must have equal length.
+  IntMatrix(std::initializer_list<std::initializer_list<i64>> rows);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+
+  i64& at(int r, int c);
+  i64 at(int r, int c) const;
+
+  /// Exact rank via fraction-free (Bareiss) Gaussian elimination.
+  int rank() const;
+
+  /// True if every entry is zero.
+  bool isZero() const noexcept;
+
+  IntMatrix transposed() const;
+
+  bool operator==(const IntMatrix& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  /// Human-readable multi-line rendering, for diagnostics.
+  std::string str() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<i64> data_;
+};
+
+}  // namespace dr::support

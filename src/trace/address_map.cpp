@@ -1,0 +1,111 @@
+#include "trace/address_map.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace dr::trace {
+
+using dr::support::checkedAdd;
+using dr::support::checkedMul;
+using loopir::AffineExpr;
+using loopir::ArrayAccess;
+using loopir::Loop;
+using loopir::LoopNest;
+
+ValueRange affineRange(const AffineExpr& expr, const LoopNest& nest) {
+  i64 lo = expr.constantTerm();
+  i64 hi = expr.constantTerm();
+  for (int d = 0; d < nest.depth(); ++d) {
+    i64 k = expr.coeff(d);
+    if (k == 0) continue;
+    const Loop& loop = nest.loops[static_cast<std::size_t>(d)];
+    DR_REQUIRE_MSG(loop.tripCount() >= 1, "empty loop in affineRange");
+    i64 first = loop.begin;
+    i64 last = loop.valueAt(loop.tripCount() - 1);
+    i64 vmin = std::min(first, last);
+    i64 vmax = std::max(first, last);
+    if (k > 0) {
+      lo = checkedAdd(lo, checkedMul(k, vmin));
+      hi = checkedAdd(hi, checkedMul(k, vmax));
+    } else {
+      lo = checkedAdd(lo, checkedMul(k, vmax));
+      hi = checkedAdd(hi, checkedMul(k, vmin));
+    }
+  }
+  return ValueRange{lo, hi};
+}
+
+AddressMap::AddressMap(const Program& p) {
+  signals_.resize(p.signals.size());
+  // Start from the declared extents so untouched signals still linearize.
+  for (std::size_t s = 0; s < p.signals.size(); ++s) {
+    auto& per = signals_[s];
+    per.range.reserve(p.signals[s].dims.size());
+    for (i64 d : p.signals[s].dims) per.range.push_back(ValueRange{0, d - 1});
+  }
+  // Widen by every access's exact affine range.
+  for (const LoopNest& nest : p.nests) {
+    for (const ArrayAccess& acc : nest.body) {
+      auto& per = signals_[static_cast<std::size_t>(acc.signal)];
+      DR_CHECK(acc.indices.size() == per.range.size());
+      for (std::size_t d = 0; d < acc.indices.size(); ++d) {
+        ValueRange r = affineRange(acc.indices[d], nest);
+        per.range[d].min = std::min(per.range[d].min, r.min);
+        per.range[d].max = std::max(per.range[d].max, r.max);
+      }
+    }
+  }
+  // Row-major strides over padded extents; disjoint bases per signal.
+  i64 nextBase = 0;
+  for (auto& per : signals_) {
+    per.stride.assign(per.range.size(), 1);
+    for (int d = static_cast<int>(per.range.size()) - 2; d >= 0; --d)
+      per.stride[static_cast<std::size_t>(d)] =
+          checkedMul(per.stride[static_cast<std::size_t>(d) + 1],
+                     per.range[static_cast<std::size_t>(d) + 1].extent());
+    per.size = per.range.empty()
+                   ? 0
+                   : checkedMul(per.stride[0], per.range[0].extent());
+    per.base = nextBase;
+    nextBase = checkedAdd(nextBase, per.size);
+  }
+}
+
+i64 AddressMap::address(int signal, const std::vector<i64>& index) const {
+  DR_REQUIRE(signal >= 0 && signal < static_cast<int>(signals_.size()));
+  const PerSignal& per = signals_[static_cast<std::size_t>(signal)];
+  DR_REQUIRE(index.size() == per.range.size());
+  i64 addr = per.base;
+  for (std::size_t d = 0; d < index.size(); ++d) {
+    DR_REQUIRE_MSG(index[d] >= per.range[d].min && index[d] <= per.range[d].max,
+                   "index outside the padded range");
+    addr += (index[d] - per.range[d].min) * per.stride[d];
+  }
+  return addr;
+}
+
+const std::vector<ValueRange>& AddressMap::paddedRange(int signal) const {
+  DR_REQUIRE(signal >= 0 && signal < static_cast<int>(signals_.size()));
+  return signals_[static_cast<std::size_t>(signal)].range;
+}
+
+i64 AddressMap::paddedElementCount(int signal) const {
+  DR_REQUIRE(signal >= 0 && signal < static_cast<int>(signals_.size()));
+  return signals_[static_cast<std::size_t>(signal)].size;
+}
+
+i64 AddressMap::base(int signal) const {
+  DR_REQUIRE(signal >= 0 && signal < static_cast<int>(signals_.size()));
+  return signals_[static_cast<std::size_t>(signal)].base;
+}
+
+int AddressMap::signalOf(i64 address) const {
+  for (std::size_t s = 0; s < signals_.size(); ++s)
+    if (address >= signals_[s].base &&
+        address < signals_[s].base + signals_[s].size)
+      return static_cast<int>(s);
+  return -1;
+}
+
+}  // namespace dr::trace

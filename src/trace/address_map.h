@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "loopir/program.h"
+
+/// \file address_map.h
+/// Injective mapping from (signal, multi-dimensional index) to a flat
+/// 64-bit address, shared by all trace consumers.
+///
+/// Kernels like motion estimation read a halo around the declared frame
+/// (Old[n*i1+i3+i5] with i3 in [-m, m-1] runs below 0 and above H-1).
+/// Linearizing with the *declared* extents would alias distinct elements
+/// (row r, column W+5 collides with row r+1, column 5), so the map first
+/// computes, per signal and dimension, the exact min/max index value any
+/// access in the program can produce (exact for affine expressions over
+/// rectangular nests) and linearizes with those padded extents.
+
+namespace dr::trace {
+
+using loopir::i64;
+using loopir::Program;
+
+/// Exact value range of an affine expression over one nest's iteration box.
+struct ValueRange {
+  i64 min = 0;
+  i64 max = 0;
+
+  i64 extent() const { return max - min + 1; }
+};
+
+/// Range of `expr` over all iterations of `nest`. Precondition: every loop
+/// in `nest` has tripCount() >= 1.
+ValueRange affineRange(const loopir::AffineExpr& expr,
+                       const loopir::LoopNest& nest);
+
+class AddressMap {
+ public:
+  /// Analyses all accesses in `p` to size the padded index space.
+  explicit AddressMap(const Program& p);
+
+  /// Flat address of one element. Precondition: `index` is inside the
+  /// padded range computed at construction.
+  i64 address(int signal, const std::vector<i64>& index) const;
+
+  /// Padded extents of `signal` (declared extents widened by halo use).
+  const std::vector<ValueRange>& paddedRange(int signal) const;
+
+  /// Number of addressable elements of `signal` in the padded space
+  /// (an upper bound on the distinct elements the program can touch).
+  i64 paddedElementCount(int signal) const;
+
+  /// First address assigned to `signal`; signals occupy disjoint ranges.
+  i64 base(int signal) const;
+
+  /// Signal that owns `address`, or -1 when out of every range.
+  int signalOf(i64 address) const;
+
+ private:
+  struct PerSignal {
+    std::vector<ValueRange> range;  ///< per dimension
+    std::vector<i64> stride;        ///< row-major over padded extents
+    i64 base = 0;
+    i64 size = 0;
+  };
+  std::vector<PerSignal> signals_;
+};
+
+}  // namespace dr::trace

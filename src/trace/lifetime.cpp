@@ -1,0 +1,62 @@
+#include "trace/lifetime.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dr::trace {
+
+namespace {
+
+struct Span {
+  i64 first = 0;
+  i64 last = 0;
+};
+
+std::unordered_map<i64, Span> spans(const Trace& trace) {
+  std::unordered_map<i64, Span> out;
+  out.reserve(trace.addresses.size() / 4 + 1);
+  for (i64 t = 0; t < trace.length(); ++t) {
+    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
+    auto [it, inserted] = out.try_emplace(addr, Span{t, t});
+    if (!inserted) it->second.last = t;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<i64> liveProfile(const Trace& trace) {
+  std::unordered_map<i64, Span> sp = spans(trace);
+  // +1 at first access, -1 just after last access.
+  std::vector<i64> delta(static_cast<std::size_t>(trace.length()) + 1, 0);
+  for (const auto& [addr, s] : sp) {
+    ++delta[static_cast<std::size_t>(s.first)];
+    --delta[static_cast<std::size_t>(s.last) + 1];
+  }
+  std::vector<i64> live(static_cast<std::size_t>(trace.length()));
+  i64 cur = 0;
+  for (i64 t = 0; t < trace.length(); ++t) {
+    cur += delta[static_cast<std::size_t>(t)];
+    live[static_cast<std::size_t>(t)] = cur;
+  }
+  return live;
+}
+
+LifetimeStats analyzeLifetimes(const Trace& trace) {
+  LifetimeStats stats;
+  std::unordered_map<i64, Span> sp = spans(trace);
+  stats.distinctElements = static_cast<i64>(sp.size());
+  for (const auto& [addr, s] : sp)
+    stats.maxLifetime = std::max(stats.maxLifetime, s.last - s.first + 1);
+
+  std::vector<i64> live = liveProfile(trace);
+  double sum = 0.0;
+  for (i64 v : live) {
+    stats.maxLive = std::max(stats.maxLive, v);
+    sum += static_cast<double>(v);
+  }
+  if (!live.empty()) stats.avgLive = sum / static_cast<double>(live.size());
+  return stats;
+}
+
+}  // namespace dr::trace

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "trace/walker.h"
+
+/// \file lifetime.h
+/// Element lifetime analysis over an access trace. An element is live from
+/// its first to its last access; the maximum number of simultaneously live
+/// elements is the storage a fully associative buffer needs to never evict
+/// live data. This is the trace-level equivalent of the system-level size
+/// estimation the paper cites for bounding copy-candidate sizes ([12],
+/// Section 4: "more realistic upper and lower bounds on sizes ... can be
+/// produced by a system-level memory size estimation tool").
+
+namespace dr::trace {
+
+struct LifetimeStats {
+  i64 distinctElements = 0;
+  i64 maxLive = 0;        ///< peak number of simultaneously live elements
+  double avgLive = 0.0;   ///< time-averaged live count
+  i64 maxLifetime = 0;    ///< longest first-to-last span (in accesses)
+};
+
+/// Computes lifetime statistics of `trace` (every address live from its
+/// first to its last occurrence, inclusive).
+LifetimeStats analyzeLifetimes(const Trace& trace);
+
+/// Live-element count just after each access (size trace.length()).
+std::vector<i64> liveProfile(const Trace& trace);
+
+}  // namespace dr::trace

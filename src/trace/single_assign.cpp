@@ -1,0 +1,45 @@
+#include "trace/single_assign.h"
+
+#include <unordered_map>
+
+#include "trace/walker.h"
+
+namespace dr::trace {
+
+std::vector<SingleAssignmentViolation> checkSingleAssignment(
+    const Program& p, const AddressMap& map) {
+  std::unordered_map<i64, i64> writeCount;
+  TraceFilter f;
+  f.includeReads = false;
+  f.includeWrites = true;
+  walk(p, map, f, [&writeCount](const AccessEvent& ev) {
+    ++writeCount[ev.address];
+  });
+
+  std::vector<SingleAssignmentViolation> out;
+  for (const auto& [addr, count] : writeCount) {
+    if (count <= 1) continue;
+    SingleAssignmentViolation v;
+    v.signal = map.signalOf(addr);
+    v.address = addr;
+    v.writeCount = count;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::string describeViolations(
+    const Program& p, const std::vector<SingleAssignmentViolation>& v) {
+  std::string s;
+  for (const auto& viol : v) {
+    std::string sigName = viol.signal >= 0
+                              ? p.signals[static_cast<std::size_t>(viol.signal)].name
+                              : "?";
+    s += "signal '" + sigName + "' element at flat address " +
+         std::to_string(viol.address) + " written " +
+         std::to_string(viol.writeCount) + " times\n";
+  }
+  return s;
+}
+
+}  // namespace dr::trace

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/address_map.h"
+
+/// \file single_assign.h
+/// DTSE pre-processing check (paper Section 3, step 1): "we assume the code
+/// has been pre-processed to single assignment code, where every array
+/// value can only be written once but read several times". We verify the
+/// property dynamically over the full write trace.
+
+namespace dr::trace {
+
+struct SingleAssignmentViolation {
+  int signal = -1;
+  i64 address = 0;
+  i64 writeCount = 0;
+};
+
+/// All elements written more than once; empty means single-assignment.
+std::vector<SingleAssignmentViolation> checkSingleAssignment(
+    const Program& p, const AddressMap& map);
+
+/// Human-readable report of the violations (empty string when clean).
+std::string describeViolations(
+    const Program& p, const std::vector<SingleAssignmentViolation>& v);
+
+}  // namespace dr::trace

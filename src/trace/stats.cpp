@@ -1,0 +1,41 @@
+#include "trace/stats.h"
+
+#include <unordered_set>
+
+#include "trace/walker.h"
+
+#include "support/contracts.h"
+
+namespace dr::trace {
+
+std::vector<SignalStats> signalStats(const Program& p, const AddressMap& map) {
+  std::vector<SignalStats> out(p.signals.size());
+  std::vector<std::unordered_set<i64>> readSets(p.signals.size());
+  std::vector<std::unordered_set<i64>> writeSets(p.signals.size());
+  for (std::size_t s = 0; s < out.size(); ++s)
+    out[s].signal = static_cast<int>(s);
+
+  TraceFilter f;
+  f.includeReads = true;
+  f.includeWrites = true;
+  walk(p, map, f, [&](const AccessEvent& ev) {
+    int s = map.signalOf(ev.address);
+    DR_CHECK(s >= 0);
+    auto us = static_cast<std::size_t>(s);
+    if (ev.isWrite) {
+      ++out[us].writes;
+      writeSets[us].insert(ev.address);
+    } else {
+      ++out[us].reads;
+      readSets[us].insert(ev.address);
+    }
+  });
+
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s].distinctRead = static_cast<i64>(readSets[s].size());
+    out[s].distinctWritten = static_cast<i64>(writeSets[s].size());
+  }
+  return out;
+}
+
+}  // namespace dr::trace

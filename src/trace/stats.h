@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "trace/address_map.h"
+
+/// \file stats.h
+/// Per-signal access totals. C_tot — "the total number of reads from the
+/// signal in the lowest level in the hierarchy" (paper eq. (1)) — comes
+/// from here for trace-based analyses.
+
+namespace dr::trace {
+
+struct SignalStats {
+  int signal = -1;
+  i64 reads = 0;
+  i64 writes = 0;
+  i64 distinctRead = 0;     ///< distinct elements read at least once
+  i64 distinctWritten = 0;  ///< distinct elements written at least once
+};
+
+/// Statistics for every signal in the program.
+std::vector<SignalStats> signalStats(const Program& p, const AddressMap& map);
+
+}  // namespace dr::trace

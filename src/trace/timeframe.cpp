@@ -1,0 +1,49 @@
+#include "trace/timeframe.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/contracts.h"
+
+namespace dr::trace {
+
+TimeFrameReport analyzeTimeFrames(const Trace& trace, int frameCount) {
+  DR_REQUIRE(frameCount >= 1);
+  TimeFrameReport report;
+  report.totalAccesses = trace.length();
+  report.totalDistinct = trace.distinctCount();
+
+  i64 n = trace.length();
+  i64 frameLen = (n + frameCount - 1) / frameCount;
+  if (frameLen == 0) frameLen = 1;
+
+  std::unordered_set<i64> seen;
+  for (i64 start = 0; start < n; start += frameLen) {
+    i64 stop = std::min(n, start + frameLen);
+    seen.clear();
+    for (i64 t = start; t < stop; ++t)
+      seen.insert(trace.addresses[static_cast<std::size_t>(t)]);
+    TimeFrame f;
+    f.firstAccess = start;
+    f.accessCount = stop - start;
+    f.distinctElements = static_cast<i64>(seen.size());
+    f.reusePerElement = f.distinctElements == 0
+                            ? 0.0
+                            : static_cast<double>(f.accessCount) /
+                                  static_cast<double>(f.distinctElements);
+    report.frames.push_back(f);
+  }
+
+  double sum = 0.0;
+  for (const TimeFrame& f : report.frames) {
+    report.maxFrameDistinct =
+        std::max(report.maxFrameDistinct,
+                 static_cast<double>(f.distinctElements));
+    sum += static_cast<double>(f.distinctElements);
+  }
+  if (!report.frames.empty())
+    report.avgFrameDistinct = sum / static_cast<double>(report.frames.size());
+  return report;
+}
+
+}  // namespace dr::trace

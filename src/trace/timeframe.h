@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "trace/walker.h"
+
+/// \file timeframe.h
+/// Time-frame locality analysis behind the paper's Fig. 1: over a very
+/// large time-frame all data values of an array are touched, but inside
+/// small time-frames only a fraction is — which is exactly the fraction
+/// that needs to fit in a smaller, less power-hungry memory.
+
+namespace dr::trace {
+
+/// Statistics of one time window of the trace.
+struct TimeFrame {
+  i64 firstAccess = 0;  ///< index of the first access in this frame
+  i64 accessCount = 0;
+  i64 distinctElements = 0;  ///< working set of the frame
+  double reusePerElement = 0.0;  ///< accessCount / distinctElements
+};
+
+struct TimeFrameReport {
+  std::vector<TimeFrame> frames;
+  i64 totalAccesses = 0;
+  i64 totalDistinct = 0;
+  double maxFrameDistinct = 0.0;
+  double avgFrameDistinct = 0.0;
+};
+
+/// Split `trace` into `frameCount` equal windows (the last may be shorter)
+/// and compute the per-frame working sets. Precondition: frameCount >= 1.
+TimeFrameReport analyzeTimeFrames(const Trace& trace, int frameCount);
+
+}  // namespace dr::trace

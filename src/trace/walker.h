@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "loopir/program.h"
+#include "trace/address_map.h"
+
+/// \file walker.h
+/// Executes a Program's iteration space in program order and reports every
+/// matching access occurrence. This is the trace generator behind the
+/// simulation prototype of [29] (paper Section 4).
+
+namespace dr::trace {
+
+/// Selects which access occurrences to report.
+struct TraceFilter {
+  int signal = -1;  ///< restrict to one signal; -1 = all signals
+  bool includeReads = true;
+  bool includeWrites = false;
+  /// Restrict to one access slot of one nest; both or neither must be set.
+  std::optional<int> nest;
+  std::optional<int> accessIndex;
+
+  bool matches(const loopir::ArrayAccess& a, int nestIdx, int accIdx) const;
+};
+
+/// One reported occurrence.
+struct AccessEvent {
+  i64 address = 0;  ///< flat address from the AddressMap
+  bool isWrite = false;
+  int nest = 0;         ///< index of the loop nest
+  int accessIndex = 0;  ///< index of the access within the nest body
+};
+
+/// Visit matching occurrences in time order. The callback may not be null.
+void walk(const Program& p, const AddressMap& map, const TraceFilter& filter,
+          const std::function<void(const AccessEvent&)>& callback);
+
+/// Flat in-memory trace: addresses in time order (metadata dropped).
+struct Trace {
+  std::vector<i64> addresses;
+
+  i64 length() const { return static_cast<i64>(addresses.size()); }
+
+  /// Number of distinct addresses in the trace.
+  i64 distinctCount() const;
+};
+
+/// Materialize the matching trace. For the read-reuse analyses this is
+/// typically called with {signal = s, reads only}.
+Trace collectTrace(const Program& p, const AddressMap& map,
+                   const TraceFilter& filter);
+
+/// Convenience: read-only trace of one signal (the paper's unit of
+/// analysis: "all read operations to a given array A", Section 1).
+Trace readTrace(const Program& p, const AddressMap& map, int signal);
+
+}  // namespace dr::trace

@@ -1,0 +1,109 @@
+#pragma once
+
+// Shared builders for the test suite: the paper's generic double loop of
+// Fig. 5 with an affine access, in 1-D and multi-dimensional variants.
+
+#include <vector>
+
+#include "loopir/program.h"
+#include "loopir/validate.h"
+
+namespace dr::test {
+
+using dr::support::i64;
+using loopir::AffineExpr;
+using loopir::ArrayAccess;
+using loopir::Loop;
+using loopir::LoopNest;
+using loopir::Program;
+
+/// Bounds of the (j,k) pair.
+struct PairBox {
+  i64 jL = 0, jU = 0;
+  i64 kL = 0, kU = 0;
+};
+
+/// One dimension's coefficients for the generic access
+/// A[b*j + c*k + d]...
+struct DimCoeffs {
+  i64 b = 0;
+  i64 c = 0;
+  i64 d = 0;
+};
+
+/// Generic double loop (paper Fig. 5) with one read of a (possibly
+/// multi-dimensional) signal A. The signal is declared just large enough
+/// for the index ranges (the AddressMap pads anyway).
+inline Program genericDoubleLoop(const PairBox& box,
+                                 const std::vector<DimCoeffs>& dims) {
+  Program prog;
+  prog.name = "generic";
+  std::vector<i64> extents;
+  for (const DimCoeffs& dc : dims) {
+    i64 span = 1;
+    span += (dc.b >= 0 ? dc.b : -dc.b) * (box.jU - box.jL);
+    span += (dc.c >= 0 ? dc.c : -dc.c) * (box.kU - box.kL);
+    extents.push_back(span);
+  }
+  int sig = loopir::addSignal(prog, "A", extents, 8);
+
+  LoopNest nest;
+  nest.loops = {Loop{"j", box.jL, box.jU, 1}, Loop{"k", box.kL, box.kU, 1}};
+  ArrayAccess acc;
+  acc.signal = sig;
+  acc.kind = loopir::AccessKind::Read;
+  for (const DimCoeffs& dc : dims) {
+    AffineExpr e(dc.d);
+    e.setCoeff(0, dc.b);
+    e.setCoeff(1, dc.c);
+    acc.indices.push_back(e);
+  }
+  nest.body.push_back(std::move(acc));
+  prog.nests.push_back(std::move(nest));
+  loopir::validateOrThrow(prog);
+  return prog;
+}
+
+/// 1-D convenience overload.
+inline Program genericDoubleLoop(const PairBox& box, i64 b, i64 c,
+                                 i64 d = 0) {
+  return genericDoubleLoop(box, std::vector<DimCoeffs>{{b, c, d}});
+}
+
+/// Triple loop with an intermediate level between the reuse pair, for the
+/// Section 6.3 repeat-factor cases: loops (j, r, k); the access is
+/// A[e*r + dr][b*j + c*k + d] when `dependsOnR`, else A[b*j + c*k + d]
+/// with r absent.
+inline Program tripleLoopWithIntermediate(const PairBox& box, i64 rTrip,
+                                          i64 b, i64 c, bool dependsOnR) {
+  Program prog;
+  prog.name = "triple";
+  std::vector<i64> extents;
+  i64 span = 1 + (b >= 0 ? b : -b) * (box.jU - box.jL) +
+             (c >= 0 ? c : -c) * (box.kU - box.kL);
+  if (dependsOnR) extents.push_back(rTrip);
+  extents.push_back(span);
+  int sig = loopir::addSignal(prog, "A", extents, 8);
+
+  LoopNest nest;
+  nest.loops = {Loop{"j", box.jL, box.jU, 1}, Loop{"r", 0, rTrip - 1, 1},
+                Loop{"k", box.kL, box.kU, 1}};
+  ArrayAccess acc;
+  acc.signal = sig;
+  acc.kind = loopir::AccessKind::Read;
+  if (dependsOnR) {
+    AffineExpr re;
+    re.setCoeff(1, 1);
+    acc.indices.push_back(re);
+  }
+  AffineExpr e;
+  e.setCoeff(0, b);
+  e.setCoeff(2, c);
+  acc.indices.push_back(e);
+  nest.body.push_back(std::move(acc));
+  prog.nests.push_back(std::move(nest));
+  loopir::validateOrThrow(prog);
+  return prog;
+}
+
+}  // namespace dr::test

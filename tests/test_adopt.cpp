@@ -1,0 +1,403 @@
+// Tests for the ADOPT-style address optimization stage: the address
+// expression IR, interval analysis, the algebraic simplifier (with the
+// exactness property: simplified expressions evaluate identically over
+// the whole iteration space), induction-variable strength reduction, and
+// the optimized code templates.
+
+#include <gtest/gtest.h>
+
+#include "adopt/addr_expr.h"
+#include "adopt/range.h"
+#include "adopt/simplify.h"
+#include "adopt/strength.h"
+#include "codegen/optimized.h"
+#include "helpers.h"
+#include "kernels/motion_estimation.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+
+#include <functional>
+#include <tuple>
+
+namespace {
+
+using namespace dr::adopt;
+namespace loopir = dr::loopir;
+using dr::support::i64;
+using dr::test::PairBox;
+
+loopir::LoopNest twoLoops(i64 jR, i64 kR) {
+  loopir::LoopNest nest;
+  nest.loops = {loopir::Loop{"j", 0, jR - 1, 1},
+                loopir::Loop{"k", 0, kR - 1, 1}};
+  return nest;
+}
+
+/// Evaluate `e` at every iteration of `nest` and compare against `f`.
+void expectEquivalent(const AddrExprPtr& e, const AddrExprPtr& f,
+                      const loopir::LoopNest& nest) {
+  std::vector<i64> iters(static_cast<std::size_t>(nest.depth()));
+  std::function<void(int)> walk = [&](int d) {
+    if (d == nest.depth()) {
+      ASSERT_EQ(e->evaluate(iters), f->evaluate(iters));
+      return;
+    }
+    const loopir::Loop& loop = nest.loops[static_cast<std::size_t>(d)];
+    for (i64 t = 0; t < loop.tripCount(); ++t) {
+      iters[static_cast<std::size_t>(d)] = loop.valueAt(t);
+      walk(d + 1);
+    }
+  };
+  walk(0);
+}
+
+TEST(AddrExprTest, FactoriesAndEvaluate) {
+  auto e = AddrExpr::add({AddrExpr::mul({AddrExpr::constant(3),
+                                         AddrExpr::iter(0)}),
+                          AddrExpr::iter(1), AddrExpr::constant(-2)});
+  EXPECT_EQ(e->evaluate({4, 5}), 3 * 4 + 5 - 2);
+  EXPECT_EQ(e->maxIterator(), 1);
+  EXPECT_EQ(e->divModCount(), 0);
+  auto m = AddrExpr::mod(e, 7);
+  EXPECT_EQ(m->evaluate({4, 5}), (3 * 4 + 5 - 2) % 7);
+  EXPECT_EQ(m->divModCount(), 1);
+  EXPECT_THROW(AddrExpr::mod(e, 0), dr::support::ContractViolation);
+  EXPECT_THROW(AddrExpr::floorDiv(e, -2), dr::support::ContractViolation);
+}
+
+TEST(AddrExprTest, MathematicalModAndDiv) {
+  auto e = AddrExpr::add({AddrExpr::iter(0), AddrExpr::constant(-10)});
+  auto m = AddrExpr::mod(e, 3);
+  EXPECT_EQ(m->evaluate({0}), 2);  // mod(-10, 3) = 2, not -1
+  auto d = AddrExpr::floorDiv(e, 3);
+  EXPECT_EQ(d->evaluate({0}), -4);  // floor(-10/3) = -4
+}
+
+TEST(AddrExprTest, FromAffine) {
+  loopir::AffineExpr a(7);
+  a.setCoeff(0, 2);
+  a.setCoeff(2, -1);
+  auto e = AddrExpr::fromAffine(a);
+  EXPECT_EQ(e->evaluate({3, 99, 4}), 2 * 3 - 4 + 7);
+}
+
+TEST(AddrExprTest, EqualityAndPrinting) {
+  auto a = AddrExpr::add({AddrExpr::iter(0), AddrExpr::constant(1)});
+  auto b = AddrExpr::add({AddrExpr::iter(0), AddrExpr::constant(1)});
+  auto c = AddrExpr::add({AddrExpr::iter(0), AddrExpr::constant(2)});
+  EXPECT_TRUE(a->equals(*b));
+  EXPECT_FALSE(a->equals(*c));
+  EXPECT_EQ(AddrExpr::mod(a, 5)->str({"x"}), "MOD((x + 1), 5)");
+}
+
+TEST(RangeAnalysis, ExactForTemplateShapes) {
+  auto nest = twoLoops(10, 6);
+  // kk + DIV(jj, 2)*3: jj in [0,9] -> DIV in [0,4]; kk in [0,5].
+  auto e = AddrExpr::add(
+      {AddrExpr::iter(1),
+       AddrExpr::mul({AddrExpr::floorDiv(AddrExpr::iter(0), 2),
+                      AddrExpr::constant(3)})});
+  Interval r = exprRange(*e, nest);
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 5 + 4 * 3);
+}
+
+TEST(RangeAnalysis, ModWithinOnePeriodIsTight) {
+  auto nest = twoLoops(4, 4);
+  auto e = AddrExpr::mod(
+      AddrExpr::add({AddrExpr::iter(1), AddrExpr::constant(10)}), 20);
+  Interval r = exprRange(*e, nest);
+  EXPECT_EQ(r.lo, 10);
+  EXPECT_EQ(r.hi, 13);
+}
+
+TEST(RangeAnalysis, NegativeProducts) {
+  auto nest = twoLoops(5, 5);
+  auto e = AddrExpr::mul({AddrExpr::constant(-3), AddrExpr::iter(0)});
+  Interval r = exprRange(*e, nest);
+  EXPECT_EQ(r.lo, -12);
+  EXPECT_EQ(r.hi, 0);
+}
+
+TEST(Simplify, BasicIdentities) {
+  auto nest = twoLoops(8, 8);
+  auto x = AddrExpr::iter(0);
+  // x*1 + 0 -> x
+  auto e = simplify(AddrExpr::add({AddrExpr::mul({x, AddrExpr::constant(1)}),
+                                   AddrExpr::constant(0)}),
+                    nest);
+  EXPECT_TRUE(e->equals(*x));
+  // x*0 -> 0
+  e = simplify(AddrExpr::mul({x, AddrExpr::constant(0)}), nest);
+  EXPECT_EQ(e->kind(), AddrExpr::Kind::Const);
+  EXPECT_EQ(e->value(), 0);
+  // MOD(e, 1) -> 0, DIV(e, 1) -> e
+  EXPECT_EQ(simplify(AddrExpr::mod(x, 1), nest)->value(), 0);
+  EXPECT_TRUE(simplify(AddrExpr::floorDiv(x, 1), nest)->equals(*x));
+}
+
+TEST(Simplify, LikeTermsMerge) {
+  auto nest = twoLoops(8, 8);
+  auto x = AddrExpr::iter(0);
+  auto e = simplify(
+      AddrExpr::add({AddrExpr::mul({AddrExpr::constant(3), x}),
+                     AddrExpr::mul({AddrExpr::constant(5), x})}),
+      nest);
+  // 3x + 5x -> 8x
+  EXPECT_EQ(e->kind(), AddrExpr::Kind::Mul);
+  expectEquivalent(
+      e, AddrExpr::mul({AddrExpr::constant(8), x}), nest);
+  // 3x - 3x -> 0
+  e = simplify(AddrExpr::add({AddrExpr::mul({AddrExpr::constant(3), x}),
+                              AddrExpr::mul({AddrExpr::constant(-3), x})}),
+               nest);
+  EXPECT_EQ(e->kind(), AddrExpr::Kind::Const);
+  EXPECT_EQ(e->value(), 0);
+}
+
+TEST(Simplify, RangeDischargesMod) {
+  auto nest = twoLoops(8, 6);
+  auto k = AddrExpr::iter(1);  // in [0, 5]
+  // MOD(k, 8) -> k (argument provably in range).
+  EXPECT_TRUE(simplify(AddrExpr::mod(k, 8), nest)->equals(*k));
+  // MOD(k + 16, 8) -> k (multiples of 8 absorbed).
+  auto e = simplify(
+      AddrExpr::mod(AddrExpr::add({k, AddrExpr::constant(16)}), 8), nest);
+  EXPECT_TRUE(e->equals(*k));
+  // MOD(k, 4) cannot be discharged (k reaches 5).
+  e = simplify(AddrExpr::mod(k, 4), nest);
+  EXPECT_EQ(e->kind(), AddrExpr::Kind::Mod);
+}
+
+TEST(Simplify, DivisionSplitting) {
+  auto nest = twoLoops(8, 6);
+  auto j = AddrExpr::iter(0);
+  auto k = AddrExpr::iter(1);
+  // DIV(8*j + k, 8) -> j (k in [0,5] contributes 0).
+  auto e = simplify(
+      AddrExpr::floorDiv(
+          AddrExpr::add({AddrExpr::mul({AddrExpr::constant(8), j}), k}), 8),
+      nest);
+  EXPECT_TRUE(e->equals(*j));
+  // DIV(8*j + k + 9, 8) -> j + 1.
+  e = simplify(
+      AddrExpr::floorDiv(
+          AddrExpr::add({AddrExpr::mul({AddrExpr::constant(8), j}), k,
+                         AddrExpr::constant(9)}),
+          8),
+      nest);
+  expectEquivalent(e, AddrExpr::add({j, AddrExpr::constant(1)}), nest);
+  EXPECT_EQ(e->divModCount(), 0);
+}
+
+TEST(Simplify, NestedModCollapse) {
+  auto nest = twoLoops(30, 6);
+  auto j = AddrExpr::iter(0);
+  // MOD(MOD(j, 12), 4) -> MOD(j, 4).
+  auto e = simplify(AddrExpr::mod(AddrExpr::mod(j, 12), 4), nest);
+  EXPECT_EQ(e->kind(), AddrExpr::Kind::Mod);
+  EXPECT_EQ(e->divisor(), 4);
+  EXPECT_EQ(e->divModCount(), 1);
+  expectEquivalent(e, AddrExpr::mod(j, 4), nest);
+}
+
+TEST(Simplify, TemplateColumnExpression) {
+  // The Fig. 8 column subscript MOD(kk + DIV(jj, c)*b, N) for c=1
+  // simplifies: DIV(jj, 1) -> jj, leaving MOD(kk + jj*b, N).
+  auto nest = twoLoops(10, 5);
+  auto jj = AddrExpr::iter(0);
+  auto kk = AddrExpr::iter(1);
+  auto col = AddrExpr::mod(
+      AddrExpr::add({kk, AddrExpr::mul({AddrExpr::floorDiv(jj, 1),
+                                        AddrExpr::constant(1)})}),
+      4);
+  auto e = simplify(col, nest);
+  EXPECT_EQ(e->divModCount(), 1);  // the DIV disappeared
+  expectEquivalent(e, col, nest);
+}
+
+/// Property: simplification never changes the value anywhere.
+class SimplifyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplifyProperty, ExactOverIterationSpace) {
+  dr::support::Rng rng(GetParam());
+  auto nest = twoLoops(rng.uniform(2, 12), rng.uniform(2, 12));
+
+  // Random expression tree over {j, k} with div/mod sprinkled in.
+  std::function<AddrExprPtr(int)> gen = [&](int budget) -> AddrExprPtr {
+    if (budget <= 1) {
+      switch (rng.uniform(0, 2)) {
+        case 0: return AddrExpr::constant(rng.uniform(-9, 9));
+        case 1: return AddrExpr::iter(0);
+        default: return AddrExpr::iter(1);
+      }
+    }
+    switch (rng.uniform(0, 3)) {
+      case 0:
+        return AddrExpr::add({gen(budget / 2), gen(budget / 2)});
+      case 1:
+        return AddrExpr::mul(
+            {AddrExpr::constant(rng.uniform(-4, 4)), gen(budget - 1)});
+      case 2:
+        return AddrExpr::floorDiv(gen(budget - 1), rng.uniform(1, 6));
+      default:
+        return AddrExpr::mod(gen(budget - 1), rng.uniform(1, 8));
+    }
+  };
+  for (int i = 0; i < 20; ++i) {
+    AddrExprPtr e = gen(8);
+    AddrExprPtr s = simplify(e, nest);
+    expectEquivalent(e, s, nest);
+    EXPECT_LE(s->divModCount(), e->divModCount());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Strength, PlainAffineCounter) {
+  auto nest = twoLoops(10, 6);
+  // addr = 6*j + k: along k the delta is 1; along j it is 6.
+  auto e = AddrExpr::add(
+      {AddrExpr::mul({AddrExpr::constant(6), AddrExpr::iter(0)}),
+       AddrExpr::iter(1)});
+  auto planK = makeInductionPlan(simplify(e, nest), nest, 1);
+  ASSERT_TRUE(planK.has_value());
+  EXPECT_EQ(planK->step, 1);
+  EXPECT_EQ(planK->modulus, 0);
+  EXPECT_EQ(verifyInductionPlan(e, nest, *planK), 0);
+
+  // Along j the expression depends on the deeper k: not reducible there.
+  EXPECT_FALSE(makeInductionPlan(e, nest, 0).has_value());
+}
+
+TEST(Strength, ModWrapCounter) {
+  auto nest = twoLoops(10, 6);
+  auto e = AddrExpr::mod(
+      AddrExpr::add({AddrExpr::iter(1),
+                     AddrExpr::mul({AddrExpr::constant(2),
+                                    AddrExpr::iter(0)})}),
+      5);
+  // Not reducible along j (deeper k varies), reducible along k.
+  auto plan = makeInductionPlan(e, nest, 1);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->step, 1);
+  EXPECT_EQ(plan->modulus, 5);
+  EXPECT_EQ(verifyInductionPlan(e, nest, *plan), 0);
+  EXPECT_EQ(plan->updateStatement("col"),
+            "col += 1; if (col >= 5) col -= 5;");
+}
+
+TEST(Strength, RowRingAlongOuterLoop) {
+  auto nest = twoLoops(12, 6);
+  // row = MOD(j, 3): constant across k, wrap-3 counter along j.
+  auto e = AddrExpr::mod(AddrExpr::iter(0), 3);
+  auto plan = makeInductionPlan(e, nest, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->step, 1);
+  EXPECT_EQ(plan->modulus, 3);
+  EXPECT_EQ(verifyInductionPlan(e, nest, *plan), 0);
+}
+
+TEST(Strength, DivAlongDrivingLoopNotReducible) {
+  auto nest = twoLoops(12, 6);
+  // DIV(j, 3) has a non-constant per-j delta (0,0,1,0,0,1,...).
+  auto e = AddrExpr::floorDiv(AddrExpr::iter(0), 3);
+  EXPECT_FALSE(makeInductionPlan(e, nest, 0).has_value());
+}
+
+TEST(Strength, StridedLoopDelta) {
+  loopir::LoopNest nest;
+  nest.loops = {loopir::Loop{"j", 0, 20, 4}};  // step 4
+  auto e = AddrExpr::mul({AddrExpr::constant(3), AddrExpr::iter(0)});
+  auto plan = makeInductionPlan(e, nest, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->step, 12);  // 3 * loop step
+  EXPECT_EQ(verifyInductionPlan(e, nest, *plan), 0);
+}
+
+TEST(OptimizedTemplate, AddressingVerifiesOnME) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  int oldIdx = dr::kernels::oldAccessIndex();
+  auto m = dr::analytic::analyzePair(p.nests[0], p.nests[0].body[oldIdx], 3);
+  EXPECT_EQ(dr::codegen::verifyOptimizedAddressing(p, 0, oldIdx, m), 0);
+  for (i64 g : {1, 2}) {
+    for (bool bypass : {false, true}) {
+      dr::codegen::TemplateSpec spec;
+      spec.gamma = g;
+      spec.bypass = bypass;
+      EXPECT_EQ(dr::codegen::verifyOptimizedAddressing(p, 0, oldIdx, m, spec),
+                0)
+          << "gamma " << g << " bypass " << bypass;
+    }
+  }
+}
+
+TEST(OptimizedTemplate, AddressingVerifiesOnGenericSweep) {
+  for (auto [b, c, jR, kR] :
+       {std::tuple<i64, i64, i64, i64>{1, 1, 10, 5},
+        {2, 3, 12, 11},
+        {1, 2, 9, 7},
+        {3, 2, 12, 11},
+        {2, 4, 9, 13}}) {
+    auto p = dr::test::genericDoubleLoop({0, jR - 1, 0, kR - 1}, b, c);
+    auto m = dr::analytic::analyzePair(p.nests[0], p.nests[0].body[0], 0);
+    if (!m.hasReuse) continue;
+    EXPECT_EQ(dr::codegen::verifyOptimizedAddressing(p, 0, 0, m), 0)
+        << "b=" << b << " c=" << c;
+  }
+}
+
+TEST(OptimizedTemplate, EmitsInductionUpdates) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  int oldIdx = dr::kernels::oldAccessIndex();
+  auto m = dr::analytic::analyzePair(p.nests[0], p.nests[0].body[oldIdx], 3);
+  auto code = dr::codegen::generateOptimizedTemplate(p, 0, oldIdx, m);
+  // No per-access modulo left; counters instead.
+  EXPECT_EQ(code.transformedCode.find("MOD("), std::string::npos);
+  EXPECT_NE(code.transformedCode.find("col += 1;"), std::string::npos);
+  EXPECT_NE(code.transformedCode.find("row += 1;"), std::string::npos);
+  EXPECT_NE(code.transformedCode.find("colBase += 1;"), std::string::npos);
+  // The copy keeps its repeat dimension.
+  EXPECT_NE(code.transformedCode.find("int Old_sub[4][1][3]"),
+            std::string::npos);
+}
+
+TEST(OptimizedTemplate, RejectsSingleAssignmentVariant) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  int oldIdx = dr::kernels::oldAccessIndex();
+  auto m = dr::analytic::analyzePair(p.nests[0], p.nests[0].body[oldIdx], 3);
+  dr::codegen::TemplateSpec spec;
+  spec.singleAssignment = true;
+  EXPECT_THROW(dr::codegen::generateOptimizedTemplate(p, 0, oldIdx, m, spec),
+               dr::support::ContractViolation);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(Strength, DecrementalLoopDelta) {
+  dr::loopir::LoopNest nest;
+  nest.loops = {dr::loopir::Loop{"j", 20, 0, -4}};  // 20,16,...,0
+  auto e = AddrExpr::mul({AddrExpr::constant(3), AddrExpr::iter(0)});
+  auto plan = makeInductionPlan(e, nest, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->step, -12);  // 3 * (-4)
+  EXPECT_EQ(verifyInductionPlan(e, nest, *plan), 0);
+}
+
+TEST(Strength, InitUsesOuterIterators) {
+  auto nest = twoLoops(6, 8);
+  // addr = 10*j + k: along k, the init is 10*j (outer-dependent).
+  auto e = AddrExpr::add(
+      {AddrExpr::mul({AddrExpr::constant(10), AddrExpr::iter(0)}),
+       AddrExpr::iter(1)});
+  auto plan = makeInductionPlan(e, nest, 1);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->init->maxIterator(), 0);
+  EXPECT_EQ(plan->init->evaluate({4}), 40);
+  EXPECT_EQ(verifyInductionPlan(e, nest, *plan), 0);
+}
+
+}  // namespace

@@ -1,0 +1,418 @@
+// Unit tests for the analytical model itself: reuse-vector normalization
+// (eqs. (5)-(8)), the rank(B) classification (eq. (9)), the maximum-reuse
+// formulas (eqs. (12)-(15)) including the paper's motion-estimation closed
+// forms (Section 6.3), partial reuse and bypass (eqs. (16)-(22)), and the
+// region model of Fig. 7.
+
+#include <gtest/gtest.h>
+
+#include "analytic/curve.h"
+#include "analytic/pair_analysis.h"
+#include "analytic/partial.h"
+#include "analytic/regions.h"
+#include "analytic/reuse_vector.h"
+#include "helpers.h"
+#include "kernels/motion_estimation.h"
+#include "support/contracts.h"
+
+namespace {
+
+using namespace dr::analytic;
+using dr::support::i64;
+using dr::support::Rational;
+using dr::test::DimCoeffs;
+using dr::test::PairBox;
+
+TEST(ReuseVectorTest, GcdNormalization) {
+  ReuseVector v = normalizeVector(2, 4);
+  EXPECT_EQ(v.bprime, 1);
+  EXPECT_EQ(v.cprime, 2);
+  EXPECT_FALSE(v.flippedK);
+  v = normalizeVector(6, 9);
+  EXPECT_EQ(v.bprime, 2);
+  EXPECT_EQ(v.cprime, 3);
+}
+
+TEST(ReuseVectorTest, FootnoteOneCases) {
+  // Paper footnote 1: b=0, c>0 -> b'=0, c'=1.
+  ReuseVector v = normalizeVector(0, 5);
+  EXPECT_EQ(v.bprime, 0);
+  EXPECT_EQ(v.cprime, 1);
+  // Symmetric: b>0, c=0 -> b'=1, c'=0.
+  v = normalizeVector(7, 0);
+  EXPECT_EQ(v.bprime, 1);
+  EXPECT_EQ(v.cprime, 0);
+}
+
+TEST(ReuseVectorTest, SignHandling) {
+  // Same sign (both negative): plain negation, no flip.
+  ReuseVector v = normalizeVector(-2, -4);
+  EXPECT_EQ(v.bprime, 1);
+  EXPECT_EQ(v.cprime, 2);
+  EXPECT_FALSE(v.flippedK);
+  // Opposite signs: the k axis flips.
+  v = normalizeVector(3, -6);
+  EXPECT_EQ(v.bprime, 1);
+  EXPECT_EQ(v.cprime, 2);
+  EXPECT_TRUE(v.flippedK);
+  v = normalizeVector(-3, 6);
+  EXPECT_TRUE(v.flippedK);
+  EXPECT_THROW(normalizeVector(0, 0), dr::support::ContractViolation);
+}
+
+TEST(Classify, RankTrichotomy) {
+  EXPECT_EQ(classifyPair({{0, 0}, {0, 0}}).kind, ReuseKind::Scalar);
+  EXPECT_EQ(classifyPair({{1, 0}, {0, 1}}).kind, ReuseKind::None);
+  ReuseClass c = classifyPair({{2, 4}, {1, 2}});
+  EXPECT_EQ(c.kind, ReuseKind::Vector);
+  EXPECT_EQ(c.vec.bprime, 1);
+  EXPECT_EQ(c.vec.cprime, 2);
+}
+
+TEST(Classify, ProportionalWithNegation) {
+  // Rows (1,1) and (-2,-2) are proportional: rank 1, same vector.
+  ReuseClass c = classifyPair({{1, 1}, {-2, -2}});
+  EXPECT_EQ(c.kind, ReuseKind::Vector);
+  EXPECT_EQ(c.vec.bprime, 1);
+  EXPECT_EQ(c.vec.cprime, 1);
+  EXPECT_FALSE(c.vec.flippedK);
+}
+
+TEST(Classify, MotionEstimationPairs) {
+  // Paper Section 6.3 verbatim: (i5,i6) -> rank 2; (i4,..,i6) -> rank 1
+  // with b'=1, c'=1.
+  EXPECT_EQ(classifyPair({{1, 0}, {0, 1}}).kind, ReuseKind::None);
+  ReuseClass c = classifyPair({{0, 0}, {1, 1}});
+  EXPECT_EQ(c.kind, ReuseKind::Vector);
+  EXPECT_EQ(c.vec.bprime, 1);
+  EXPECT_EQ(c.vec.cprime, 1);
+}
+
+TEST(Classify, ZeroRowsIgnored) {
+  ReuseClass c = classifyPair({{0, 0}, {0, 3}});
+  EXPECT_EQ(c.kind, ReuseKind::Vector);
+  EXPECT_EQ(c.vec.bprime, 0);
+  EXPECT_EQ(c.vec.cprime, 1);
+}
+
+TEST(MaxReuseFormulas, SimpleWindow) {
+  // A[j + k], j in [0,9], k in [0,4]: b'=c'=1, C_tot=50,
+  // C_R=(10-1)*(5-1)=36, F=50/14, A=1*(5-1)=4.
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 1);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  EXPECT_TRUE(m.hasReuse);
+  EXPECT_TRUE(m.exact);
+  EXPECT_EQ(m.FRmax, Rational(50, 14));
+  EXPECT_EQ(m.AMax, 4);
+  EXPECT_EQ(m.CtotPerOuter, 50);
+  EXPECT_EQ(m.missesPerOuter, 14);
+  EXPECT_EQ(m.outerIterations, 1);
+}
+
+TEST(MaxReuseFormulas, BZeroIsRowReuse) {
+  // A[k]: reused across every j iteration; A = kRANGE.
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 0, 1);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  EXPECT_TRUE(m.hasReuse);
+  EXPECT_EQ(m.FRmax, Rational(10));
+  EXPECT_EQ(m.AMax, 5);
+}
+
+TEST(MaxReuseFormulas, CZeroIsSingleRegister) {
+  // A[j]: each element re-read within one j iteration; one register.
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 0);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  EXPECT_TRUE(m.hasReuse);
+  EXPECT_EQ(m.FRmax, Rational(5));
+  EXPECT_EQ(m.AMax, 1);
+}
+
+TEST(MaxReuseFormulas, ScalarFootnotes) {
+  // Paper footnotes 2 and 3: b=c=0 -> F = jR*kR, A = 1.
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 0, 0, 3);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  EXPECT_TRUE(m.hasReuse);
+  EXPECT_EQ(m.cls.kind, ReuseKind::Scalar);
+  EXPECT_EQ(m.FRmax, Rational(50));
+  EXPECT_EQ(m.AMax, 1);
+}
+
+TEST(MaxReuseFormulas, NoReuseWhenVectorExceedsBox) {
+  // c' = 12 > jRANGE: the dependency does not fit (Section 6 condition).
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 12);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  EXPECT_FALSE(m.hasReuse);
+}
+
+TEST(MaxReuseFormulas, RankTwoNoReuse) {
+  auto p = dr::test::genericDoubleLoop(
+      {0, 9, 0, 4}, std::vector<DimCoeffs>{{1, 0, 0}, {0, 1, 0}});
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  EXPECT_EQ(m.cls.kind, ReuseKind::None);
+  EXPECT_FALSE(m.hasReuse);
+  EXPECT_EQ(m.FRmax, Rational(1));
+}
+
+TEST(MaxReuseFormulas, MotionEstimationClosedForms) {
+  // Section 6.3 verbatim:
+  //   F_RMax = (2m*n) / ((2m*n) - (2m-1)(n-1)),  A_Max = n * 1 * (n-1).
+  dr::kernels::MotionEstimationParams mp;  // H=144 W=176 n=m=8
+  auto p = dr::kernels::motionEstimation(mp);
+  const auto& nest = p.nests[0];
+  const auto& oldAcc = nest.body[dr::kernels::oldAccessIndex()];
+
+  // Pair (i5, i6): rank 2, no reuse.
+  MaxReuse inner = analyzePair(nest, oldAcc, 4);
+  EXPECT_EQ(inner.cls.kind, ReuseKind::None);
+
+  // Pair (i4, .., i6): b'=c'=1, repeat over i5.
+  MaxReuse outer = analyzePair(nest, oldAcc, 3);
+  EXPECT_TRUE(outer.hasReuse);
+  EXPECT_TRUE(outer.exact);
+  EXPECT_EQ(outer.cls.vec.bprime, 1);
+  EXPECT_EQ(outer.cls.vec.cprime, 1);
+  EXPECT_EQ(outer.sizeRepeat, 8);   // range of loop i5
+  EXPECT_EQ(outer.reuseRepeat, 1);
+  EXPECT_EQ(outer.FRmax, Rational(16 * 8, 16 * 8 - 15 * 7));  // 128/23
+  EXPECT_EQ(outer.AMax, 8 * 1 * 7);                           // n*(n-1) = 56
+  EXPECT_EQ(outer.outerIterations, 18 * 22 * 16);
+  EXPECT_EQ(outer.CtotTotal(), 18LL * 22 * 16 * 16 * 8 * 8);
+}
+
+TEST(MaxReuseFormulas, ReuseRepeatMultipliesFactor) {
+  // Intermediate loop the access ignores: same elements re-read every r.
+  auto p = dr::test::tripleLoopWithIntermediate({0, 9, 0, 4}, 6, 1, 1,
+                                                /*dependsOnR=*/false);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  EXPECT_TRUE(m.hasReuse);
+  EXPECT_EQ(m.reuseRepeat, 6);
+  EXPECT_EQ(m.sizeRepeat, 1);
+  EXPECT_EQ(m.FRmax, Rational(50 * 6, 14));
+  // The whole current row must stay resident across the repeated r
+  // iterations: c'*(kR-b') + b' = 5 (not the adjacent-pair bound 4).
+  EXPECT_EQ(m.AMax, 5);
+}
+
+TEST(MaxReuseFormulas, RequiresNormalizedNest) {
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 1);
+  p.nests[0].loops[0].step = 2;
+  EXPECT_THROW(analyzePair(p.nests[0], p.nests[0].body[0], 0),
+               dr::support::ContractViolation);
+}
+
+TEST(MaxReuseFormulas, ExactnessFlag) {
+  // Intermediate loop and pair driving the same dimension: beyond the
+  // paper's model, flagged approximate.
+  dr::loopir::Program p;
+  int sig = dr::loopir::addSignal(p, "A", {100}, 8);
+  dr::loopir::LoopNest nest;
+  nest.loops = {dr::loopir::Loop{"j", 0, 5, 1}, dr::loopir::Loop{"r", 0, 3, 1},
+                dr::loopir::Loop{"k", 0, 5, 1}};
+  dr::loopir::ArrayAccess acc;
+  acc.signal = sig;
+  acc.kind = dr::loopir::AccessKind::Read;
+  dr::loopir::AffineExpr e;
+  e.setCoeff(0, 1);
+  e.setCoeff(1, 2);  // r shares the single dimension with the pair
+  e.setCoeff(2, 1);
+  acc.indices = {e};
+  nest.body.push_back(acc);
+  p.nests.push_back(nest);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  EXPECT_FALSE(m.exact);
+}
+
+TEST(Partial, GammaRangeAndPoints) {
+  // b'=1, c'=1, kR=5: gamma in [1, 3].
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 1);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  GammaRange range = gammaRange(m);
+  EXPECT_EQ(range.lo, 1);
+  EXPECT_EQ(range.hi, 3);
+
+  PartialPoint pt = partialPoint(m, 2, /*bypass=*/false);
+  // eq. (17): C_R = 2*(10-1) = 18; eq. (16): F = 50/32; eq. (18): A = 3.
+  EXPECT_EQ(pt.CRPerOuter, 18);
+  EXPECT_EQ(pt.FR, Rational(50, 32));
+  EXPECT_EQ(pt.A, 3);
+  EXPECT_EQ(pt.CtotBypassPerOuter, 0);
+
+  PartialPoint bp = partialPoint(m, 2, /*bypass=*/true);
+  // eq. (20): C'_tot = (2+1)*10 = 30; eq. (19): F' = 30/12; eq. (22): A=2.
+  EXPECT_EQ(bp.CtotCopyPerOuter, 30);
+  EXPECT_EQ(bp.CtotBypassPerOuter, 20);
+  EXPECT_EQ(bp.FR, Rational(30, 12));
+  EXPECT_EQ(bp.A, 2);
+  EXPECT_GT(bp.FR, pt.FR);  // bypass always improves the copy's F_R
+}
+
+TEST(Partial, GammaBoundsEnforced) {
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 1);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  EXPECT_THROW(partialPoint(m, 0, false), dr::support::ContractViolation);
+  EXPECT_THROW(partialPoint(m, 4, false), dr::support::ContractViolation);
+}
+
+TEST(Partial, ConnectsToMaxReuse) {
+  // At gamma = kR - b' (one past the partial range) the counts equal the
+  // maximum-reuse point; the largest allowed gamma stays strictly below.
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 6}, 2, 3);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  ASSERT_TRUE(m.hasReuse);
+  GammaRange range = gammaRange(m);
+  PartialPoint last = partialPoint(m, range.hi, false);
+  EXPECT_LT(last.CRPerOuter, m.CRPerOuter);
+  EXPECT_LT(last.FR, m.FRmax);
+  EXPECT_LE(last.A, m.AMax + 1);
+}
+
+TEST(Partial, MotionEstimationClosedForms) {
+  // Section 6.3: F_R(g) = 2m*n / (2m*n - g*(2m-1)), A(g) = n*g + 1.
+  auto p = dr::kernels::motionEstimation({});
+  MaxReuse m = analyzePair(p.nests[0],
+                           p.nests[0].body[dr::kernels::oldAccessIndex()], 3);
+  for (i64 g = 1; g <= 6; ++g) {
+    PartialPoint pt = partialPoint(m, g, false);
+    EXPECT_EQ(pt.FR, Rational(128, 128 - g * 15)) << "gamma " << g;
+    EXPECT_EQ(pt.A, 8 * g + 1) << "gamma " << g;
+    PartialPoint bp = partialPoint(m, g, true);
+    EXPECT_EQ(bp.A, 8 * g) << "gamma " << g;
+    EXPECT_EQ(bp.FR, Rational((g + 1) * 16, (g + 1) * 16 - g * 15));
+  }
+}
+
+TEST(Partial, CurveGeneration) {
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 8}, 1, 1);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  auto pts = partialCurve(m, 1, true);
+  EXPECT_EQ(pts.size(), 2u * 7u);  // gamma in [1,7], two flavours each
+  auto noBypass = partialCurve(m, 2, false);
+  EXPECT_EQ(noBypass.size(), 4u);  // gamma 1,3,5,7
+}
+
+TEST(Regions, MembershipMatchesDefinition) {
+  RegionParams rp;
+  rp.bprime = 1;
+  rp.cprime = 2;
+  rp.jL = 0;
+  rp.jU = 9;
+  rp.kL = 0;
+  rp.kU = 6;
+  // Steady-state j.
+  i64 j = 5, k = 3;
+  EXPECT_EQ(regionOf(rp, j, k, j, k), 4);
+  EXPECT_EQ(regionOf(rp, j, k, j, k + 1), 2);   // future k, current j
+  EXPECT_EQ(regionOf(rp, j, k, j, k - 1), 3);   // past k, current j
+  EXPECT_EQ(regionOf(rp, j, k, j - 1, 2), 1);   // previous j iteration
+  EXPECT_EQ(regionOf(rp, j, k, j - 2, 2), 0);   // too old (c'-1 = 1 back)
+  EXPECT_EQ(regionOf(rp, j, k, j - 1, 0), 0);   // k below kL + b'
+}
+
+TEST(Regions, SteadyStateTotalEqualsAMax) {
+  RegionParams rp;
+  rp.bprime = 2;
+  rp.cprime = 3;
+  rp.jL = 0;
+  rp.jU = 20;
+  rp.kL = 0;
+  rp.kU = 10;
+  // Paper: the maximum of the occupancy equals c'*(kRANGE - b').
+  EXPECT_EQ(maxOccupancy(rp), 3 * (11 - 2));
+  // At steady state and k = kL, regions II+IV peak (Fig. 7 shape).
+  RegionSizes s = regionSizesAt(rp, 10, 0);
+  EXPECT_EQ(s.total(), 3 * (11 - 2));
+}
+
+TEST(Regions, FirstAccessDomain) {
+  RegionParams rp;
+  rp.bprime = 1;
+  rp.cprime = 2;
+  rp.jL = 0;
+  rp.jU = 9;
+  rp.kL = 0;
+  rp.kU = 6;
+  // Gray zone of Fig. 6: k in [kU-b'+1, kU] or j in [jL, jL+c'-1].
+  EXPECT_TRUE(isFirstAccess(rp, 0, 3));
+  EXPECT_TRUE(isFirstAccess(rp, 1, 3));
+  EXPECT_TRUE(isFirstAccess(rp, 5, 6));
+  EXPECT_FALSE(isFirstAccess(rp, 5, 5));
+  // Count over the whole space must equal C_tot - C_R.
+  i64 firsts = 0;
+  for (i64 j = rp.jL; j <= rp.jU; ++j)
+    for (i64 k = rp.kL; k <= rp.kU; ++k)
+      if (isFirstAccess(rp, j, k)) ++firsts;
+  EXPECT_EQ(firsts, 10 * 7 - (10 - 2) * (7 - 1));
+}
+
+TEST(AnalyticCurve, PointsSortedAndLabelled) {
+  auto p = dr::kernels::motionEstimation({});
+  AnalyticCurveOptions opts;
+  auto pts = analyticReusePoints(p.nests[0],
+                                 p.nests[0].body[dr::kernels::oldAccessIndex()],
+                                 opts);
+  ASSERT_FALSE(pts.empty());
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LE(pts[i - 1].size, pts[i].size);
+  // The maximum-reuse point of level 3 must be present with A = 56.
+  bool found = false;
+  for (const auto& pt : pts)
+    if (pt.level == 3 && pt.gamma == -1 && pt.size == 56) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(AnalyticCurve, PartialPointCap) {
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 200}, 1, 1);
+  AnalyticCurveOptions opts;
+  opts.maxPartialPointsPerLevel = 10;
+  auto pts = analyticReusePoints(p.nests[0], p.nests[0].body[0], opts);
+  std::size_t partials = 0;
+  for (const auto& pt : pts)
+    if (pt.gamma >= 0 && !pt.bypass) ++partials;
+  EXPECT_LE(partials, 10u);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Decremental loops (paper Section 5.1: "Analogous formulas can be
+// derived for decremental loops"): normalization first, then the standard
+// model; the counts must match the incremental twin.
+
+#include "loopir/normalize.h"
+
+namespace {
+
+TEST(Decremental, NormalizedAnalysisMatchesIncrementalTwin) {
+  using dr::test::PairBox;
+  auto inc = dr::test::genericDoubleLoop(PairBox{0, 9, 0, 4}, 1, 1);
+
+  auto dec = inc;
+  dec.nests[0].loops[1] = dr::loopir::Loop{"k", 4, 0, -1};
+  auto norm = dr::loopir::normalized(dec);
+
+  MaxReuse a = analyzePair(inc.nests[0], inc.nests[0].body[0], 0);
+  MaxReuse b = analyzePair(norm.nests[0], norm.nests[0].body[0], 0);
+  ASSERT_TRUE(a.hasReuse);
+  ASSERT_TRUE(b.hasReuse);
+  // The decremental twin flips the k axis: same primitive vector sizes,
+  // flipped geometry, identical reuse factor, A_Max grows by b'.
+  EXPECT_EQ(b.cls.vec.bprime, a.cls.vec.bprime);
+  EXPECT_EQ(b.cls.vec.cprime, a.cls.vec.cprime);
+  EXPECT_TRUE(b.cls.vec.flippedK);
+  EXPECT_EQ(b.FRmax, a.FRmax);
+  EXPECT_EQ(b.missesPerOuter, a.missesPerOuter);
+  EXPECT_EQ(b.AMax, a.AMax + a.cls.vec.bprime);
+}
+
+TEST(Decremental, StridedDecrementalViaNormalization) {
+  auto p = dr::test::genericDoubleLoop(dr::test::PairBox{0, 9, 0, 9}, 1, 1);
+  p.nests[0].loops[1] = dr::loopir::Loop{"k", 9, 0, -3};  // k = 9,6,3,0
+  auto norm = dr::loopir::normalized(p);
+  MaxReuse m = analyzePair(norm.nests[0], norm.nests[0].body[0], 0);
+  // Index becomes j - 3k' + 9: b'=1, c'=3 flipped; reuse needs jR > 3.
+  EXPECT_TRUE(m.hasReuse);
+  EXPECT_EQ(m.cls.vec.cprime, 3);
+  EXPECT_EQ(m.cls.vec.bprime, 1);
+}
+
+}  // namespace

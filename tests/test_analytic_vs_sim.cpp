@@ -1,0 +1,220 @@
+// Property tests pinning the paper's central claim: the analytical model
+// (Sections 5-6) agrees with Belady-optimal simulation of the real access
+// trace. Parameterized sweeps over coefficients, signs and box shapes
+// check, for every configuration:
+//   * C_tot - C_R equals the number of distinct elements (eqs. (13)-(14)),
+//   * OPT at capacity A_Max reaches exactly the compulsory miss count,
+//     i.e. the simulated reuse factor equals F_RMax (eq. (12) vs [3]),
+//   * partial-reuse points are feasible: OPT at capacity A(gamma) misses
+//     no more than the analytic C_j (eqs. (16)-(18) are achievable),
+//   * the region model's occupancy bound matches OPT's saturation size.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analytic/pair_analysis.h"
+#include "analytic/partial.h"
+#include "helpers.h"
+#include "kernels/motion_estimation.h"
+#include "simcore/buffer_sim.h"
+#include "simcore/reuse_curve.h"
+#include "trace/walker.h"
+
+namespace {
+
+using namespace dr::analytic;
+using dr::simcore::simulateOpt;
+using dr::support::i64;
+using dr::test::PairBox;
+using dr::trace::AddressMap;
+using dr::trace::Trace;
+
+struct Config {
+  i64 b, c, jR, kR;
+};
+
+class AnalyticVsOpt : public ::testing::TestWithParam<Config> {};
+
+TEST_P(AnalyticVsOpt, MaxReuseMatchesBelady) {
+  const Config cfg = GetParam();
+  PairBox box{0, cfg.jR - 1, 0, cfg.kR - 1};
+  auto p = dr::test::genericDoubleLoop(box, cfg.b, cfg.c);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+
+  AddressMap map(p);
+  Trace t = dr::trace::readTrace(p, map, 0);
+  ASSERT_EQ(t.length(), m.CtotPerOuter);
+
+  // Eqs. (13)-(14): first accesses == distinct elements.
+  EXPECT_EQ(t.distinctCount(), m.missesPerOuter)
+      << "b=" << cfg.b << " c=" << cfg.c;
+
+  if (!m.hasReuse) {
+    if (m.cls.kind == ReuseKind::None) {
+      EXPECT_EQ(t.distinctCount(), t.length());
+    }
+    return;
+  }
+
+  // Eq. (12) vs Belady: capacity A_Max suffices for compulsory-only
+  // misses, so the simulated reuse factor equals F_RMax exactly.
+  auto sim = simulateOpt(t, m.AMax);
+  EXPECT_EQ(sim.misses, m.missesPerOuter)
+      << "b=" << cfg.b << " c=" << cfg.c << " AMax=" << m.AMax;
+  EXPECT_EQ(sim.reuseFactorExact(), m.FRmax);
+}
+
+TEST_P(AnalyticVsOpt, PartialPointsFeasible) {
+  const Config cfg = GetParam();
+  PairBox box{0, cfg.jR - 1, 0, cfg.kR - 1};
+  auto p = dr::test::genericDoubleLoop(box, cfg.b, cfg.c);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  GammaRange range = gammaRange(m);
+  if (range.empty()) return;
+
+  AddressMap map(p);
+  Trace t = dr::trace::readTrace(p, map, 0);
+  auto nextUse = dr::simcore::computeNextUse(t);
+  for (i64 g = range.lo; g <= range.hi; ++g) {
+    PartialPoint pt = partialPoint(m, g, false);
+    // OPT with the same buffer size can only do better (fewer fills).
+    auto sim = simulateOpt(t, pt.A, nextUse);
+    EXPECT_LE(sim.misses, pt.missesPerOuter)
+        << "b=" << cfg.b << " c=" << cfg.c << " gamma=" << g;
+    // And the analytic point can never beat maximum reuse.
+    EXPECT_GE(pt.missesPerOuter, m.missesPerOuter);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoefficientSweep, AnalyticVsOpt,
+    ::testing::Values(
+        // canonical b>=0, c>0 shapes
+        Config{1, 1, 10, 5}, Config{1, 1, 5, 10}, Config{1, 2, 10, 7},
+        Config{2, 1, 10, 7}, Config{2, 3, 12, 11}, Config{3, 2, 12, 11},
+        Config{2, 4, 9, 13}, Config{4, 2, 9, 13}, Config{1, 3, 20, 9},
+        Config{5, 1, 8, 16}, Config{1, 5, 16, 8}, Config{3, 3, 10, 10},
+        // footnote cases: b=0 / c=0 / both 0
+        Config{0, 1, 10, 5}, Config{0, 3, 10, 6}, Config{1, 0, 10, 5},
+        Config{4, 0, 7, 9}, Config{0, 0, 10, 5},
+        // negative coefficients: same-sign and flipped-k geometries
+        Config{-1, -1, 10, 5}, Config{-2, -3, 12, 11}, Config{1, -1, 10, 5},
+        Config{-1, 1, 10, 5}, Config{2, -3, 12, 11}, Config{-3, 2, 12, 11},
+        Config{0, -2, 10, 6}, Config{-4, 0, 7, 9},
+        // boundary regimes: kRANGE < 2*b', jRANGE < 2*c'
+        Config{3, 1, 10, 4}, Config{1, 3, 4, 10}, Config{3, 1, 10, 5},
+        Config{5, 2, 6, 7}, Config{2, 5, 7, 6},
+        // no-reuse regimes: dependency does not fit the box
+        Config{1, 12, 10, 5}, Config{12, 1, 5, 10}, Config{7, 9, 6, 6}));
+
+/// Multi-dimensional accesses: rank(B) decides everything (Section 5.3).
+struct MultiDimConfig {
+  dr::test::DimCoeffs d0, d1;
+  i64 jR, kR;
+};
+
+class MultiDimVsOpt : public ::testing::TestWithParam<MultiDimConfig> {};
+
+TEST_P(MultiDimVsOpt, CountsMatchSimulation) {
+  const MultiDimConfig cfg = GetParam();
+  PairBox box{0, cfg.jR - 1, 0, cfg.kR - 1};
+  auto p = dr::test::genericDoubleLoop(
+      box, std::vector<dr::test::DimCoeffs>{cfg.d0, cfg.d1});
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+
+  AddressMap map(p);
+  Trace t = dr::trace::readTrace(p, map, 0);
+  EXPECT_EQ(t.distinctCount(), m.missesPerOuter);
+  if (m.hasReuse) {
+    auto sim = simulateOpt(t, m.AMax);
+    EXPECT_EQ(sim.misses, m.missesPerOuter);
+    EXPECT_EQ(sim.reuseFactorExact(), m.FRmax);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultiDimVsOpt,
+    ::testing::Values(
+        // rank 1: proportional rows
+        MultiDimConfig{{1, 1, 0}, {2, 2, 0}, 10, 6},
+        MultiDimConfig{{1, 2, 0}, {2, 4, 3}, 12, 9},
+        MultiDimConfig{{0, 0, 5}, {1, 1, 0}, 10, 6},
+        MultiDimConfig{{1, -1, 0}, {-2, 2, 0}, 10, 6},
+        // rank 2: no reuse
+        MultiDimConfig{{1, 0, 0}, {0, 1, 0}, 8, 8},
+        MultiDimConfig{{1, 1, 0}, {1, -1, 0}, 8, 8},
+        // rank 0: scalar
+        MultiDimConfig{{0, 0, 2}, {0, 0, 3}, 8, 8}));
+
+/// The Section 6.3 repeat factors against simulation.
+class RepeatFactorVsOpt
+    : public ::testing::TestWithParam<std::tuple<i64, bool>> {};
+
+TEST_P(RepeatFactorVsOpt, TripleLoopMatches) {
+  auto [rTrip, dependsOnR] = GetParam();
+  auto p = dr::test::tripleLoopWithIntermediate({0, 9, 0, 5}, rTrip, 1, 1,
+                                                dependsOnR);
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  ASSERT_TRUE(m.hasReuse);
+  ASSERT_TRUE(m.exact);
+
+  AddressMap map(p);
+  Trace t = dr::trace::readTrace(p, map, 0);
+  EXPECT_EQ(t.length(), m.CtotPerOuter);
+  EXPECT_EQ(t.distinctCount(), m.missesPerOuter);
+  auto sim = simulateOpt(t, m.AMax);
+  EXPECT_EQ(sim.misses, m.missesPerOuter);
+  EXPECT_EQ(sim.reuseFactorExact(), m.FRmax);
+}
+
+INSTANTIATE_TEST_SUITE_P(Repeats, RepeatFactorVsOpt,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                                            ::testing::Bool()));
+
+TEST(MotionEstimationVsOpt, InnerNestMatchesAnalytics) {
+  // Scaled-down ME (one outer iteration's inner nest): the analytic
+  // (i4..i6) point must sit exactly on the simulated curve.
+  dr::kernels::MotionEstimationParams mp;
+  mp.H = 16;
+  mp.W = 16;
+  mp.n = 4;
+  mp.m = 2;
+  auto p = dr::kernels::motionEstimation(mp);
+  const auto& nest = p.nests[0];
+  const auto& oldAcc = nest.body[dr::kernels::oldAccessIndex()];
+  MaxReuse m = analyzePair(nest, oldAcc, 3);
+  ASSERT_TRUE(m.hasReuse);
+
+  // Trace of the inner (i4,i5,i6) nest for one (i1,i2,i3) iteration:
+  // restrict the outer loops to a single steady iteration.
+  auto inner = p;
+  inner.nests[0].loops[0].end = inner.nests[0].loops[0].begin = 1;
+  inner.nests[0].loops[1].end = inner.nests[0].loops[1].begin = 1;
+  inner.nests[0].loops[2].end = inner.nests[0].loops[2].begin = 0;
+  AddressMap map(inner);
+  Trace t = dr::trace::readTrace(inner, map, inner.findSignal("Old"));
+  ASSERT_EQ(t.length(), m.CtotPerOuter);
+  EXPECT_EQ(t.distinctCount(), m.missesPerOuter);
+  auto sim = simulateOpt(t, m.AMax);
+  EXPECT_EQ(sim.misses, m.missesPerOuter);
+  EXPECT_EQ(sim.reuseFactorExact(), m.FRmax);
+}
+
+TEST(SaturationVsAMax, OptNeedsNoMoreThanAMax) {
+  // OPT's saturation size never exceeds the analytic A_Max (the template
+  // policy is one feasible policy; Belady may do better, footnote 4).
+  for (const Config cfg : {Config{1, 1, 10, 6}, Config{2, 3, 12, 11},
+                           Config{1, 2, 9, 7}, Config{0, 1, 10, 5}}) {
+    PairBox box{0, cfg.jR - 1, 0, cfg.kR - 1};
+    auto p = dr::test::genericDoubleLoop(box, cfg.b, cfg.c);
+    MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+    ASSERT_TRUE(m.hasReuse);
+    AddressMap map(p);
+    Trace t = dr::trace::readTrace(p, map, 0);
+    i64 sat = dr::simcore::optSaturationSize(t);
+    EXPECT_LE(sat, m.AMax) << "b=" << cfg.b << " c=" << cfg.c;
+  }
+}
+
+}  // namespace

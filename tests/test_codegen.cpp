@@ -1,0 +1,239 @@
+// Tests for the Fig. 8 code templates and the IR-level executor that
+// verifies them: the generated policy must read exactly the values the
+// original nest reads, with exactly the transfer counts the analytical
+// model predicts (eqs. (12)-(22)).
+
+#include <gtest/gtest.h>
+
+#include "analytic/pair_analysis.h"
+#include "analytic/partial.h"
+#include "codegen/executor.h"
+#include "codegen/templates.h"
+#include "helpers.h"
+#include "kernels/motion_estimation.h"
+#include "support/contracts.h"
+#include "trace/address_map.h"
+
+namespace {
+
+using namespace dr::codegen;
+using dr::analytic::analyzePair;
+using dr::analytic::GammaRange;
+using dr::analytic::MaxReuse;
+using dr::analytic::PartialPoint;
+using dr::analytic::partialPoint;
+using dr::support::i64;
+using dr::test::PairBox;
+
+MaxReuse analyzed(const dr::loopir::Program& p, int level = 0,
+                  int access = 0) {
+  return analyzePair(p.nests[0], p.nests[0].body[access], level);
+}
+
+TEST(Templates, MaxReuseTextShape) {
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 1);
+  MaxReuse m = analyzed(p);
+  GeneratedCode code = generateCopyTemplate(p, 0, 0, m);
+  EXPECT_EQ(code.copyName, "A_sub");
+  EXPECT_EQ(code.copyRows, 1);
+  EXPECT_EQ(code.copyCols, 4);  // kRANGE - b'
+  EXPECT_NE(code.originalCode.find("use(A[j + k]);"), std::string::npos);
+  EXPECT_NE(code.transformedCode.find("int A_sub[1][4];"), std::string::npos);
+  EXPECT_NE(code.transformedCode.find("#define MOD"), std::string::npos);
+  // First-access condition: j < c' or k > kU - b'.
+  EXPECT_NE(code.transformedCode.find("< 1 || "), std::string::npos);
+  EXPECT_NE(code.transformedCode.find("use(A_sub"), std::string::npos);
+}
+
+TEST(Templates, PartialAndBypassVariants) {
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 7}, 1, 1);
+  MaxReuse m = analyzed(p);
+  TemplateSpec spec;
+  spec.gamma = 3;
+  GeneratedCode noBypass = generateCopyTemplate(p, 0, 0, m, spec);
+  EXPECT_EQ(noBypass.copyCols, 3);
+  EXPECT_NE(noBypass.transformedCode.find("A_sub_stream"),
+            std::string::npos);  // the +1 slot of eq. (18)
+  spec.bypass = true;
+  GeneratedCode bypass = generateCopyTemplate(p, 0, 0, m, spec);
+  EXPECT_NE(bypass.transformedCode.find("/* bypass */"), std::string::npos);
+  EXPECT_EQ(bypass.transformedCode.find("A_sub_stream"), std::string::npos);
+}
+
+TEST(Templates, SingleAssignmentVariant) {
+  // Section 6.1: the enlarged copy removes the modulo on k.
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 1);
+  MaxReuse m = analyzed(p);
+  TemplateSpec spec;
+  spec.singleAssignment = true;
+  GeneratedCode code = generateCopyTemplate(p, 0, 0, m, spec);
+  EXPECT_EQ(code.copyCols, ((10 - 1) / 1) * 1 + 5);  // ((jU-jL)/c')*b' + kR
+  spec.gamma = 2;
+  EXPECT_THROW(generateCopyTemplate(p, 0, 0, m, spec),
+               dr::support::ContractViolation);
+}
+
+TEST(Templates, MotionEstimationRepeatDimension) {
+  auto p = dr::kernels::motionEstimation({});
+  MaxReuse m = analyzePair(p.nests[0],
+                           p.nests[0].body[dr::kernels::oldAccessIndex()], 3);
+  GeneratedCode code = generateCopyTemplate(
+      p, 0, dr::kernels::oldAccessIndex(), m);
+  // Copy carries the i5 repeat dimension: Old_sub[8][1][7].
+  EXPECT_NE(code.transformedCode.find("int Old_sub[8][1][7];"),
+            std::string::npos);
+}
+
+TEST(Templates, RejectsNonCanonical) {
+  auto none = dr::test::genericDoubleLoop(
+      {0, 5, 0, 5},
+      std::vector<dr::test::DimCoeffs>{{1, 0, 0}, {0, 1, 0}});
+  MaxReuse m = analyzed(none);
+  EXPECT_THROW(generateCopyTemplate(none, 0, 0, m),
+               dr::support::ContractViolation);
+  auto flipped = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, -1);
+  MaxReuse mf = analyzed(flipped);
+  EXPECT_THROW(generateCopyTemplate(flipped, 0, 0, mf),
+               dr::support::ContractViolation);
+}
+
+struct ExecCase {
+  i64 b, c, jR, kR;
+};
+
+class ExecutorSweep : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(ExecutorSweep, MaxReuseCountsAndValues) {
+  const ExecCase cfg = GetParam();
+  auto p = dr::test::genericDoubleLoop({0, cfg.jR - 1, 0, cfg.kR - 1},
+                                       cfg.b, cfg.c);
+  MaxReuse m = analyzed(p);
+  if (!m.hasReuse || m.cls.kind != dr::analytic::ReuseKind::Vector ||
+      m.cls.vec.cprime < 1 || m.cls.vec.flippedK)
+    GTEST_SKIP() << "non-canonical configuration";
+
+  dr::trace::AddressMap map(p);
+  ExecutorCounts counts = executeCopyTemplate(p, 0, 0, m, {}, map);
+  EXPECT_TRUE(counts.valuesCorrect) << counts.firstError;
+  EXPECT_EQ(counts.datapathReads, m.CtotPerOuter);
+  EXPECT_EQ(counts.copyWrites, m.missesPerOuter);   // C_j, eq. (12)-(14)
+  EXPECT_EQ(counts.copyReads, m.CtotPerOuter);      // everything via copy
+  EXPECT_EQ(counts.backgroundReads, m.missesPerOuter);
+  EXPECT_EQ(counts.bypassReads, 0);
+  EXPECT_LE(counts.maxOccupancy, m.AMax);           // eq. (15) is an upper
+  // In steady regimes the bound is tight.
+  if (cfg.jR >= 2 * m.cls.vec.cprime && cfg.kR >= 2 * m.cls.vec.bprime) {
+    EXPECT_EQ(counts.maxOccupancy, m.AMax);
+  }
+}
+
+TEST_P(ExecutorSweep, PartialCountsAndValues) {
+  const ExecCase cfg = GetParam();
+  auto p = dr::test::genericDoubleLoop({0, cfg.jR - 1, 0, cfg.kR - 1},
+                                       cfg.b, cfg.c);
+  MaxReuse m = analyzed(p);
+  if (!m.hasReuse || m.cls.kind != dr::analytic::ReuseKind::Vector ||
+      m.cls.vec.cprime < 1 || m.cls.vec.flippedK)
+    GTEST_SKIP() << "non-canonical configuration";
+  GammaRange range = dr::analytic::gammaRange(m);
+  if (range.empty()) GTEST_SKIP() << "no partial range";
+
+  dr::trace::AddressMap map(p);
+  for (i64 g : {range.lo, (range.lo + range.hi) / 2, range.hi}) {
+    for (bool bypass : {false, true}) {
+      PartialPoint pt = partialPoint(m, g, bypass);
+      TemplateSpec spec;
+      spec.gamma = g;
+      spec.bypass = bypass;
+      ExecutorCounts counts = executeCopyTemplate(p, 0, 0, m, spec, map);
+      EXPECT_TRUE(counts.valuesCorrect) << counts.firstError;
+      EXPECT_EQ(counts.copyWrites, pt.missesPerOuter)
+          << "g=" << g << " bypass=" << bypass;
+      EXPECT_EQ(counts.copyReads, pt.CtotCopyPerOuter);
+      EXPECT_EQ(counts.bypassReads, pt.CtotBypassPerOuter);
+      EXPECT_LE(counts.maxOccupancy, pt.A);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExecutorSweep,
+    ::testing::Values(ExecCase{1, 1, 10, 5}, ExecCase{1, 1, 5, 10},
+                      ExecCase{1, 2, 10, 7}, ExecCase{2, 1, 10, 7},
+                      ExecCase{2, 3, 12, 11}, ExecCase{3, 2, 12, 11},
+                      ExecCase{2, 4, 9, 13}, ExecCase{1, 3, 20, 9},
+                      ExecCase{0, 1, 10, 5}, ExecCase{0, 3, 10, 9},
+                      ExecCase{3, 1, 10, 5}, ExecCase{1, 1, 3, 3}));
+
+TEST(Executor, MotionEstimationInnerLevel) {
+  // The full ME kernel: the executor must reproduce the Section 6.3
+  // totals over all outer iterations.
+  dr::kernels::MotionEstimationParams mp;
+  mp.H = 32;
+  mp.W = 32;
+  mp.n = 4;
+  mp.m = 4;
+  auto p = dr::kernels::motionEstimation(mp);
+  int oldIdx = dr::kernels::oldAccessIndex();
+  MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[oldIdx], 3);
+  ASSERT_TRUE(m.hasReuse);
+
+  dr::trace::AddressMap map(p);
+  ExecutorCounts counts = executeCopyTemplate(p, 0, oldIdx, m, {}, map);
+  EXPECT_TRUE(counts.valuesCorrect) << counts.firstError;
+  EXPECT_EQ(counts.datapathReads, m.CtotTotal());
+  EXPECT_EQ(counts.copyWrites, m.CjTotal());
+  EXPECT_EQ(counts.maxOccupancy, m.AMax);
+}
+
+TEST(Executor, RejectsBadSpecs) {
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 1);
+  MaxReuse m = analyzed(p);
+  dr::trace::AddressMap map(p);
+  TemplateSpec spec;
+  spec.gamma = 99;
+  EXPECT_THROW(executeCopyTemplate(p, 0, 0, m, spec, map),
+               dr::support::ContractViolation);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Golden-file check: the exact Fig. 8 template text for a small motion
+// estimation instance. Guards the emitter against silent regressions;
+// update deliberately when the template format changes.
+
+namespace {
+
+TEST(Templates, MotionEstimationGolden) {
+  auto p = dr::kernels::motionEstimation({16, 16, 4, 2});
+  int oldIdx = dr::kernels::oldAccessIndex();
+  auto m = analyzePair(p.nests[0], p.nests[0].body[oldIdx], 3);
+  auto code = generateCopyTemplate(p, 0, oldIdx, m);
+  const char* expected =
+      R"(/* copy-candidate for Old[4*i1 + i3 + i5][4*i2 + i4 + i6]
+   reuse dependency (c',-b') = (1,-1), pair loops (i4, i6) */
+#define MOD(a, n) (((a) % (n) + (n)) % (n))
+int Old_sub[4][1][3];
+
+for (i1 = 0; i1 <= 3; i1++) {
+  for (i2 = 0; i2 <= 3; i2++) {
+    for (i3 = -2; i3 <= 1; i3++) {
+      for (i4 = -2; i4 <= 1; i4++) {
+        for (i5 = 0; i5 <= 3; i5++) {
+          for (i6 = 0; i6 <= 3; i6++) {
+            use(New[4*i1 + i5][4*i2 + i6]);
+            if ((i4 - (-2)) < 1 || (i6 - (0)) > 2)
+              Old_sub[i5 - (0)][MOD((i4 - (-2)), 1)][MOD((i6 - (0)) + ((i4 - (-2)) / 1) * 1, 3)] = Old[4*i1 + i3 + i5][4*i2 + i4 + i6];
+            use(Old_sub[i5 - (0)][MOD((i4 - (-2)), 1)][MOD((i6 - (0)) + ((i4 - (-2)) / 1) * 1, 3)]);
+          }
+        }
+      }
+    }
+  }
+}
+)";
+  EXPECT_EQ(code.transformedCode, expected);
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Tests for the closed-form multi-level footprint model (the paper's
+// "multiple level hierarchies" extension): per-dimension reachable-offset
+// shapes, shifted-overlap counting, and the multi-level design points
+// validated against Belady simulation.
+
+#include <gtest/gtest.h>
+
+#include "analytic/footprint.h"
+#include "helpers.h"
+#include "kernels/conv2d.h"
+#include "kernels/motion_estimation.h"
+#include "simcore/buffer_sim.h"
+#include "support/rng.h"
+#include "trace/walker.h"
+
+namespace {
+
+using namespace dr::analytic;
+namespace loopir = dr::loopir;
+using dr::support::i64;
+using dr::test::PairBox;
+
+loopir::LoopNest simpleNest(std::vector<std::pair<i64, i64>> ranges) {
+  loopir::LoopNest nest;
+  int i = 0;
+  for (auto [lo, hi] : ranges)
+    nest.loops.push_back(loopir::Loop{"i" + std::to_string(i++), lo, hi, 1});
+  return nest;
+}
+
+TEST(DimShapeTest, ContiguousWindow) {
+  auto nest = simpleNest({{0, 4}});
+  loopir::AffineExpr e;
+  e.setCoeff(0, 1);
+  DimShape s = dimShape(e, nest, 0);
+  EXPECT_EQ(s.span, 5);
+  EXPECT_EQ(s.count, 5);
+  EXPECT_TRUE(s.contiguous);
+  EXPECT_EQ(s.overlapWithShift(0), 5);
+  EXPECT_EQ(s.overlapWithShift(2), 3);
+  EXPECT_EQ(s.overlapWithShift(-2), 3);
+  EXPECT_EQ(s.overlapWithShift(5), 0);
+}
+
+TEST(DimShapeTest, GappyStride) {
+  // 2*x, x in [0,2]: offsets {0, 2, 4}.
+  auto nest = simpleNest({{0, 2}});
+  loopir::AffineExpr e;
+  e.setCoeff(0, 2);
+  DimShape s = dimShape(e, nest, 0);
+  EXPECT_EQ(s.span, 5);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_FALSE(s.contiguous);
+  EXPECT_EQ(s.overlapWithShift(2), 2);  // {2,4} overlap {0,2}
+  EXPECT_EQ(s.overlapWithShift(1), 0);  // odd shift misses entirely
+}
+
+TEST(DimShapeTest, TwoLoopsCombine) {
+  // x + 4*y, x in [0,2], y in [0,1]: {0,1,2,4,5,6}.
+  auto nest = simpleNest({{0, 1}, {0, 2}});
+  loopir::AffineExpr e;
+  e.setCoeff(0, 4);
+  e.setCoeff(1, 1);
+  DimShape s = dimShape(e, nest, 0);
+  EXPECT_EQ(s.span, 7);
+  EXPECT_EQ(s.count, 6);
+  EXPECT_FALSE(s.contiguous);
+  // Restricting to the inner loop only: {0,1,2}.
+  DimShape inner = dimShape(e, nest, 1);
+  EXPECT_EQ(inner.count, 3);
+  EXPECT_TRUE(inner.contiguous);
+}
+
+TEST(DimShapeTest, NegativeCoefficientsMirror) {
+  auto nest = simpleNest({{0, 2}});
+  loopir::AffineExpr pos;
+  pos.setCoeff(0, 2);
+  loopir::AffineExpr neg;
+  neg.setCoeff(0, -2);
+  DimShape a = dimShape(pos, nest, 0);
+  DimShape b = dimShape(neg, nest, 0);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.span, b.span);
+  EXPECT_EQ(a.overlapWithShift(2), b.overlapWithShift(2));
+}
+
+TEST(MultiLevel, MotionEstimationClosedForms) {
+  // Full paper-scale kernel: the closed forms must reproduce the measured
+  // curve values (EXPERIMENTS.md): footprint of one block row of windows
+  // is (2m+n-1) x (W+2m-1) = 23*191 = 4393 with 30369 fills (= the
+  // distinct element count: perfect inter-row overlap accounting).
+  auto p = dr::kernels::motionEstimation({});
+  auto pts = multiLevelPoints(p.nests[0],
+                              p.nests[0].body[dr::kernels::oldAccessIndex()]);
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[0].size, 159 * 191);
+  EXPECT_EQ(pts[0].misses, 159 * 191);
+  EXPECT_EQ(pts[1].size, 23 * 191);   // A_1 knee
+  EXPECT_EQ(pts[1].misses, 159 * 191);  // exact overlap: compulsory only
+  EXPECT_EQ(pts[2].size, 23 * 23);    // A_2 knee
+  EXPECT_EQ(pts[3].size, 8 * 23);     // A_3 knee
+  EXPECT_EQ(pts[4].size, 8 * 8);
+  for (const auto& pt : pts) EXPECT_TRUE(pt.exact);
+  // Reuse factors decrease monotonically with level.
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LE(pts[i].FR.toDouble(), pts[i - 1].FR.toDouble() + 1e-9);
+}
+
+TEST(MultiLevel, PointsAreFeasibleAgainstBelady) {
+  // Property: a buffer of the footprint size can achieve the predicted
+  // fill count, so OPT at that size can only do better.
+  dr::kernels::MotionEstimationParams mp{32, 32, 4, 4};
+  auto p = dr::kernels::motionEstimation(mp);
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  auto nu = dr::simcore::computeNextUse(t);
+  auto pts = multiLevelPoints(p.nests[0],
+                              p.nests[0].body[dr::kernels::oldAccessIndex()]);
+  for (const auto& pt : pts) {
+    auto sim = dr::simcore::simulateOpt(t, pt.size, nu);
+    EXPECT_LE(sim.misses, pt.misses) << "level " << pt.level;
+    EXPECT_GE(pt.misses, t.distinctCount()) << "level " << pt.level;
+  }
+  // Level 1's overlap accounting is exact here (monotone row scans).
+  EXPECT_EQ(pts[1].misses,
+            dr::simcore::simulateOpt(t, pts[1].size, nu).misses);
+}
+
+class FootprintVsOpt : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FootprintVsOpt, RandomAffineAccesses) {
+  dr::support::Rng rng(GetParam());
+  PairBox box{0, rng.uniform(3, 10), 0, rng.uniform(3, 10)};
+  auto p = dr::test::genericDoubleLoop(
+      box, std::vector<dr::test::DimCoeffs>{
+               {rng.uniform(-2, 2), rng.uniform(-2, 2), 0},
+               {rng.uniform(-2, 2), rng.uniform(-2, 2), 0}});
+  auto pts = multiLevelPoints(p.nests[0], p.nests[0].body[0]);
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, 0);
+  for (const auto& pt : pts) {
+    if (!pt.exact) continue;
+    EXPECT_EQ(pt.Ctot, t.length());
+    auto sim = dr::simcore::simulateOpt(t, std::max<i64>(pt.size, 1));
+    EXPECT_LE(sim.misses, pt.misses)
+        << "level " << pt.level << " size " << pt.size;
+    EXPECT_GE(pt.misses, t.distinctCount());
+  }
+  // Level 0 is always the whole footprint = the distinct element count
+  // when the dimension factorization applies.
+  if (pts[0].exact) {
+    EXPECT_EQ(pts[0].size, t.distinctCount());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FootprintVsOpt,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(MultiLevel, SharedIteratorFlagsApproximate) {
+  // A[j+k][k]: both dimensions driven by k -> the product factorization
+  // does not hold and the points must be flagged.
+  auto p = dr::test::genericDoubleLoop(
+      {0, 5, 0, 5},
+      std::vector<dr::test::DimCoeffs>{{1, 1, 0}, {0, 1, 0}});
+  auto pts = multiLevelPoints(p.nests[0], p.nests[0].body[0]);
+  EXPECT_FALSE(pts[0].exact);
+  // The innermost level's windows only involve k in both dims too.
+  EXPECT_FALSE(pts[1].exact);
+}
+
+TEST(MultiLevel, Conv2dFootprints) {
+  dr::kernels::Conv2dParams cp{16, 16, 1};
+  auto p = dr::kernels::conv2d(cp);
+  auto pts = multiLevelPoints(p.nests[0], p.nests[0].body[0]);  // img
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0].size, 16 * 16);   // whole image
+  EXPECT_EQ(pts[1].size, 3 * 16);    // three rows per y
+  EXPECT_EQ(pts[2].size, 3 * 3);     // window per (y,x)
+  // Coefficient array: scalar footprint of the whole 3x3 at every level.
+  auto wpts = multiLevelPoints(p.nests[0], p.nests[0].body[1]);
+  EXPECT_EQ(wpts[0].size, 9);
+  EXPECT_EQ(wpts[1].size, 9);
+  EXPECT_EQ(wpts[2].size, 9);
+  EXPECT_EQ(wpts[3].size, 3);
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Unit tests for the kernel-language frontend: lexer, parser, semantic
+// analysis and the one-call compileKernel entry point.
+
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "support/contracts.h"
+
+namespace {
+
+using namespace dr::frontend;
+
+TEST(Lexer, TokenKinds) {
+  auto toks = tokenize("kernel k { param n = 8; } # comment");
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_EQ(toks[0].kind, TokKind::KwKernel);
+  EXPECT_EQ(toks[1].kind, TokKind::Ident);
+  EXPECT_EQ(toks[1].text, "k");
+  EXPECT_EQ(toks[2].kind, TokKind::LBrace);
+  EXPECT_EQ(toks[3].kind, TokKind::KwParam);
+  EXPECT_EQ(toks[5].kind, TokKind::Assign);
+  EXPECT_EQ(toks[6].kind, TokKind::Int);
+  EXPECT_EQ(toks[6].value, 8);
+  EXPECT_EQ(toks.back().kind, TokKind::End);
+}
+
+TEST(Lexer, OperatorsAndRange) {
+  auto toks = tokenize("0 .. n - 1 * / % ( ) [ ]");
+  EXPECT_EQ(toks[1].kind, TokKind::DotDot);
+  EXPECT_EQ(toks[3].kind, TokKind::Minus);
+  EXPECT_EQ(toks[5].kind, TokKind::Star);
+  EXPECT_EQ(toks[6].kind, TokKind::Slash);
+  EXPECT_EQ(toks[7].kind, TokKind::Percent);
+}
+
+TEST(Lexer, CommentsBothStyles) {
+  auto toks = tokenize("# hash comment\n// slash comment\nread");
+  EXPECT_EQ(toks[0].kind, TokKind::KwRead);
+}
+
+TEST(Lexer, TracksLocations) {
+  auto toks = tokenize("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.column, 3);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(tokenize("a . b"), ParseError);
+  EXPECT_THROW(tokenize("a $ b"), ParseError);
+  EXPECT_THROW(tokenize("999999999999999999999999"), ParseError);
+}
+
+const char* kMini = R"(
+kernel mini {
+  param N = 4;
+  array A[N][N];
+  loop i = 0 .. N - 1 {
+    loop j = 0 .. N - 1 {
+      read A[i][j];
+      write A[j][i];
+    }
+  }
+}
+)";
+
+TEST(Parser, MiniKernelShape) {
+  KernelDecl k = parseKernel(kMini);
+  EXPECT_EQ(k.name, "mini");
+  ASSERT_EQ(k.params.size(), 1u);
+  EXPECT_EQ(k.params[0].name, "N");
+  ASSERT_EQ(k.arrays.size(), 1u);
+  EXPECT_EQ(k.arrays[0].dims.size(), 2u);
+  ASSERT_EQ(k.nests.size(), 1u);
+  ASSERT_TRUE(k.nests[0]->innerLoop);
+  EXPECT_EQ(k.nests[0]->innerLoop->body.size(), 2u);
+  EXPECT_FALSE(k.nests[0]->innerLoop->body[0].isWrite);
+  EXPECT_TRUE(k.nests[0]->innerLoop->body[1].isWrite);
+}
+
+TEST(Parser, StepClause) {
+  KernelDecl k = parseKernel(
+      "kernel s { array A[10]; loop i = 0 .. 9 step 2 { read A[i]; } }");
+  ASSERT_TRUE(k.nests[0]->step);
+}
+
+TEST(Parser, ErrorsWithLocation) {
+  EXPECT_THROW(parseKernel("kernel {}"), ParseError);                // no name
+  EXPECT_THROW(parseKernel("kernel k { loop i = 0 .. 3 { } }"),      // empty body
+               ParseError);
+  EXPECT_THROW(parseKernel("kernel k { array A; }"), ParseError);    // no dims
+  EXPECT_THROW(parseKernel("kernel k { read A[0]; }"), ParseError);  // stray stmt
+  EXPECT_THROW(parseKernel("kernel k { param x = ; }"), ParseError);
+  try {
+    parseKernel("kernel k {\n  param x = ;\n}");
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.loc().line, 2);
+  }
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  // 2 + 3 * 4 must parse as 2 + (3*4): check via sema evaluation.
+  auto p = dr::frontend::compileKernel(
+      "kernel e { param v = 2 + 3 * 4; array A[v]; "
+      "loop i = 0 .. v - 1 { read A[i]; } }");
+  EXPECT_EQ(p.params.at("v"), 14);
+  EXPECT_EQ(p.signals[0].dims[0], 14);
+}
+
+TEST(Sema, ParamsEvaluateInOrder) {
+  auto p = compileKernel(
+      "kernel k { param a = 3; param b = a * a - 1; array A[b]; "
+      "loop i = 0 .. b - 1 { read A[i]; } }");
+  EXPECT_EQ(p.params.at("b"), 8);
+}
+
+TEST(Sema, NegativeBoundsAndUnary) {
+  auto p = compileKernel(
+      "kernel k { param m = 8; array A[2*m]; "
+      "loop i = -m .. m - 1 { read A[i + m]; } }");
+  EXPECT_EQ(p.nests[0].loops[0].begin, -8);
+  EXPECT_EQ(p.nests[0].loops[0].end, 7);
+  EXPECT_EQ(p.nests[0].body[0].indices[0].constantTerm(), 8);
+}
+
+TEST(Sema, AffineLowering) {
+  auto p = compileKernel(
+      "kernel k { param n = 8; array A[64][64]; "
+      "loop i = 0 .. 7 { loop j = 0 .. 7 { read A[n*i + j][2*j - i]; } } }");
+  const auto& idx = p.nests[0].body[0].indices;
+  EXPECT_EQ(idx[0].coeff(0), 8);
+  EXPECT_EQ(idx[0].coeff(1), 1);
+  EXPECT_EQ(idx[1].coeff(0), -1);
+  EXPECT_EQ(idx[1].coeff(1), 2);
+}
+
+TEST(Sema, RejectsNonAffine) {
+  EXPECT_THROW(compileKernel("kernel k { array A[64]; "
+                             "loop i = 0 .. 7 { loop j = 0 .. 7 { "
+                             "read A[i * j]; } } }"),
+               SemaError);
+  EXPECT_THROW(compileKernel("kernel k { array A[64]; "
+                             "loop i = 1 .. 7 { read A[8 / i]; } }"),
+               SemaError);
+}
+
+TEST(Sema, CollectsMultipleErrors) {
+  try {
+    compileKernel(
+        "kernel k { array A[4]; loop i = 0 .. 3 { read B[i]; read C[i]; } }");
+    FAIL() << "should have thrown";
+  } catch (const SemaError& e) {
+    EXPECT_EQ(e.diagnostics().size(), 2u);
+  }
+}
+
+TEST(Sema, NameErrors) {
+  EXPECT_THROW(compileKernel("kernel k { param a = 1; param a = 2; "
+                             "array A[4]; loop i = 0 .. 3 { read A[i]; } }"),
+               SemaError);
+  EXPECT_THROW(compileKernel("kernel k { param a = 1; array A[4]; "
+                             "loop a = 0 .. 3 { read A[a]; } }"),
+               SemaError);  // iterator shadows param
+  EXPECT_THROW(compileKernel("kernel k { array A[unknown]; "
+                             "loop i = 0 .. 3 { read A[i]; } }"),
+               SemaError);
+}
+
+TEST(Sema, BoundErrors) {
+  EXPECT_THROW(compileKernel("kernel k { array A[4]; "
+                             "loop i = 3 .. 0 { read A[i]; } }"),
+               SemaError);  // empty range
+  EXPECT_THROW(compileKernel("kernel k { array A[4]; "
+                             "loop i = 0 .. 3 step 0 { read A[i]; } }"),
+               SemaError);
+  EXPECT_THROW(compileKernel("kernel k { array A[0]; "
+                             "loop i = 0 .. 3 { read A[i]; } }"),
+               SemaError);  // zero-extent array
+}
+
+TEST(Sema, DimensionArity) {
+  EXPECT_THROW(compileKernel("kernel k { array A[4][4]; "
+                             "loop i = 0 .. 3 { read A[i]; } }"),
+               SemaError);
+}
+
+TEST(Sema, BitsClause) {
+  auto p = compileKernel("kernel k { array A[4] bits 16; "
+                         "loop i = 0 .. 3 { read A[i]; } }");
+  EXPECT_EQ(p.signals[0].elementBits, 16);
+  EXPECT_THROW(compileKernel("kernel k { array A[4] bits 0; "
+                             "loop i = 0 .. 3 { read A[i]; } }"),
+               SemaError);
+}
+
+TEST(Sema, DecrementalStep) {
+  auto p = compileKernel("kernel k { array A[8]; "
+                         "loop i = 7 .. 0 step 0 - 1 { read A[i]; } }");
+  EXPECT_EQ(p.nests[0].loops[0].step, -1);
+  EXPECT_EQ(p.nests[0].loops[0].tripCount(), 8);
+}
+
+TEST(Frontend, MultipleNests) {
+  auto p = compileKernel(
+      "kernel k { array A[8]; "
+      "loop i = 0 .. 7 { read A[i]; } "
+      "loop j = 0 .. 3 { read A[2*j]; } }");
+  EXPECT_EQ(p.nests.size(), 2u);
+  EXPECT_EQ(p.totalAccessCount(), 12);
+}
+
+TEST(Frontend, CompileKernelFileMissing) {
+  EXPECT_THROW(compileKernelFile("/nonexistent/file.krn"),
+               dr::support::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Tests for the in-place mapping step (DTSE step 6) and the kernel-source
+// emitter (Program -> .krn round trip).
+
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "helpers.h"
+#include "inplace/inplace.h"
+#include "kernels/conv2d.h"
+#include "kernels/matmul.h"
+#include "kernels/motion_estimation.h"
+#include "kernels/susan.h"
+#include "kernels/wavelet.h"
+#include "loopir/emit_source.h"
+#include "loopir/permute.h"
+#include "support/contracts.h"
+#include "trace/walker.h"
+
+namespace {
+
+using dr::inplace::InplaceResult;
+using dr::inplace::isLegalWindow;
+using dr::inplace::minModuloWindow;
+using dr::support::i64;
+using dr::trace::Trace;
+
+Trace makeTrace(std::initializer_list<i64> addrs) {
+  Trace t;
+  t.addresses = addrs;
+  return t;
+}
+
+TEST(Inplace, SlidingWindowCompresses) {
+  // A[x + dx], dx in [0, 2]: element x dies at (x, 0), before x+2 is
+  // born at (x, 2), so only two elements are ever live together and two
+  // slots store the whole 22-element address range.
+  auto p = dr::test::genericDoubleLoop({0, 19, 0, 2}, 1, 1);
+  dr::trace::AddressMap map(p);
+  Trace t = dr::trace::readTrace(p, map, 0);
+  InplaceResult r = minModuloWindow(t);
+  EXPECT_EQ(r.addressRange, 22);
+  EXPECT_EQ(r.maxLive, 2);
+  EXPECT_EQ(r.window, 2);
+  EXPECT_LT(r.compression(), 0.2);
+  EXPECT_TRUE(isLegalWindow(t, 2));
+  EXPECT_FALSE(isLegalWindow(t, 1));
+}
+
+TEST(Inplace, WindowCanExceedMaxLive) {
+  // Two elements at distance 4 live simultaneously: windows 1, 2 and 4
+  // collide (4 mod W == 0); the smallest legal window is 3.
+  Trace t = makeTrace({0, 4, 0, 4});
+  InplaceResult r = minModuloWindow(t);
+  EXPECT_EQ(r.maxLive, 2);
+  EXPECT_EQ(r.window, 3);
+  EXPECT_FALSE(isLegalWindow(t, 2));
+  EXPECT_FALSE(isLegalWindow(t, 4));
+  EXPECT_TRUE(isLegalWindow(t, 5));
+}
+
+TEST(Inplace, SequentialScanNeedsOneSlot) {
+  Trace t;
+  for (i64 i = 0; i < 50; ++i) t.addresses.push_back(i * 3);
+  InplaceResult r = minModuloWindow(t);
+  EXPECT_EQ(r.maxLive, 1);
+  EXPECT_EQ(r.window, 1);
+}
+
+TEST(Inplace, FullyLiveSignalGetsNoCompression) {
+  // First and last access of every element straddle the whole trace.
+  Trace t = makeTrace({0, 1, 2, 3, 0, 1, 2, 3});
+  InplaceResult r = minModuloWindow(t);
+  EXPECT_EQ(r.window, 4);
+  EXPECT_DOUBLE_EQ(r.compression(), 1.0);
+}
+
+TEST(Inplace, EmptyAndBounds) {
+  Trace empty;
+  InplaceResult r = minModuloWindow(empty);
+  EXPECT_EQ(r.window, 1);
+  EXPECT_THROW(isLegalWindow(empty, 0), dr::support::ContractViolation);
+}
+
+TEST(Inplace, LegalWindowMonotoneAboveResult) {
+  // Not every window above the minimum is legal (divisor collisions), but
+  // the address range always is, and the found window always is.
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 2);
+  dr::trace::AddressMap map(p);
+  Trace t = dr::trace::readTrace(p, map, 0);
+  InplaceResult r = minModuloWindow(t);
+  EXPECT_TRUE(isLegalWindow(t, r.window));
+  EXPECT_TRUE(isLegalWindow(t, r.addressRange));
+  EXPECT_GE(r.window, r.maxLive);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-source round trips.
+
+void expectRoundTrip(const dr::loopir::Program& p) {
+  std::string src = dr::loopir::toKernelSource(p);
+  dr::loopir::Program q = dr::frontend::compileKernel(src);
+  ASSERT_EQ(q.signals.size(), p.signals.size()) << src;
+  ASSERT_EQ(q.nests.size(), p.nests.size()) << src;
+  for (std::size_t s = 0; s < p.signals.size(); ++s) {
+    EXPECT_EQ(q.signals[s].name, p.signals[s].name);
+    EXPECT_EQ(q.signals[s].dims, p.signals[s].dims);
+    EXPECT_EQ(q.signals[s].elementBits, p.signals[s].elementBits);
+  }
+  dr::trace::AddressMap mp(p), mq(q);
+  for (std::size_t s = 0; s < p.signals.size(); ++s) {
+    dr::trace::TraceFilter f;
+    f.signal = static_cast<int>(s);
+    f.includeReads = true;
+    f.includeWrites = true;
+    Trace tp = dr::trace::collectTrace(p, mp, f);
+    Trace tq = dr::trace::collectTrace(q, mq, f);
+    ASSERT_EQ(tp.length(), tq.length()) << src;
+    for (i64 i = 0; i < tp.length(); ++i)
+      ASSERT_EQ(tp.addresses[static_cast<std::size_t>(i)],
+                tq.addresses[static_cast<std::size_t>(i)])
+          << src;
+  }
+}
+
+TEST(EmitSource, BuiltinKernelsRoundTrip) {
+  expectRoundTrip(dr::kernels::motionEstimation({16, 16, 4, 2}));
+  expectRoundTrip(dr::kernels::motionEstimation({16, 16, 4, 2, true}));
+  expectRoundTrip(dr::kernels::susan({16, 16}));
+  expectRoundTrip(dr::kernels::conv2d({12, 12, 1}));
+  expectRoundTrip(dr::kernels::matmul({5, 7}));
+  expectRoundTrip(dr::kernels::waveletLifting({3, 12}));
+}
+
+TEST(EmitSource, NegativeBoundsAndStrides) {
+  auto p = dr::test::genericDoubleLoop({-3, 5, -2, 2}, 2, -3, -7);
+  p.nests[0].loops[0].step = 2;
+  p.nests[0].loops[0].end = 5;
+  expectRoundTrip(p);
+  // Decremental loop.
+  auto q = dr::test::genericDoubleLoop({0, 4, 0, 4}, 1, 1);
+  q.nests[0].loops[1] = dr::loopir::Loop{"k", 4, 0, -1};
+  expectRoundTrip(q);
+}
+
+TEST(EmitSource, PermutedNestRoundTrips) {
+  auto p = dr::kernels::matmul({4, 6});
+  p.nests[0] = dr::loopir::permuted(p.nests[0], {2, 0, 1});
+  expectRoundTrip(p);
+}
+
+TEST(EmitSource, TextShape) {
+  auto p = dr::kernels::matmul({4, 6});
+  std::string src = dr::loopir::toKernelSource(p);
+  EXPECT_NE(src.find("kernel matmul {"), std::string::npos);
+  EXPECT_NE(src.find("array A[4][6] bits 32;"), std::string::npos);
+  EXPECT_NE(src.find("loop i = 0 .. 3 {"), std::string::npos);
+  EXPECT_NE(src.find("read B[k][j];"), std::string::npos);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DTSE step 6 closing the loop on the Fig. 8 single-assignment variant:
+// "the final copy-candidate size and implementation is determined by the
+// Inplace mapping step afterwards" (paper Section 6.1). The enlarged
+// single-assignment copy A_sub[c'][((jU-jL)/c')*b' + kRANGE] must be
+// compressible back to (about) the ring size by modulo in-place mapping.
+
+#include "analytic/pair_analysis.h"
+#include "codegen/templates.h"
+
+namespace {
+
+TEST(Inplace, CompressesSingleAssignmentCopyBackToRing) {
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 4}, 1, 1);
+  auto m = dr::analytic::analyzePair(p.nests[0], p.nests[0].body[0], 0);
+  ASSERT_TRUE(m.hasReuse);
+
+  dr::codegen::TemplateSpec spec;
+  spec.singleAssignment = true;
+  auto code = dr::codegen::generateCopyTemplate(p, 0, 0, m, spec);
+  // Enlarged copy: ((jU-jL)/c')*b' + kRANGE columns, written once per slot.
+  EXPECT_EQ(code.copyCols, 9 + 5);
+
+  // Slot trace of the enlarged copy: col = kk + (jj/c')*b' (no modulo).
+  Trace slots;
+  for (i64 j = 0; j <= 9; ++j)
+    for (i64 k = 0; k <= 4; ++k) slots.addresses.push_back(k + j);
+
+  InplaceResult r = minModuloWindow(slots);
+  EXPECT_EQ(r.addressRange, code.copyCols);
+  // In-place mapping recovers a buffer no larger than the analytic ring
+  // (+1 boundary slot), an order of magnitude below the enlarged copy.
+  EXPECT_LE(r.window, m.AMax + 1);
+  EXPECT_GE(r.window, r.maxLive);
+}
+
+}  // namespace

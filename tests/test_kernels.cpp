@@ -1,0 +1,230 @@
+// Tests for the built-in test vehicles: structure, paper-quoted
+// properties, and equivalence between the C++ builders and their
+// kernel-language sources (the frontend must produce the same traces).
+
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "kernels/conv2d.h"
+#include "kernels/matmul.h"
+#include "kernels/motion_estimation.h"
+#include "kernels/susan.h"
+#include "loopir/validate.h"
+#include "support/contracts.h"
+#include "trace/address_map.h"
+#include "trace/walker.h"
+
+namespace {
+
+using dr::support::i64;
+using dr::trace::AddressMap;
+using dr::trace::readTrace;
+using dr::trace::Trace;
+
+void expectSameReadTrace(const dr::loopir::Program& a,
+                         const dr::loopir::Program& b,
+                         const std::string& signal) {
+  AddressMap ma(a), mb(b);
+  Trace ta = readTrace(a, ma, a.findSignal(signal));
+  Trace tb = readTrace(b, mb, b.findSignal(signal));
+  ASSERT_EQ(ta.length(), tb.length()) << signal;
+  for (i64 i = 0; i < ta.length(); ++i)
+    ASSERT_EQ(ta.addresses[static_cast<std::size_t>(i)],
+              tb.addresses[static_cast<std::size_t>(i)])
+        << signal << " diverges at access " << i;
+}
+
+TEST(MotionEstimationKernel, Structure) {
+  auto p = dr::kernels::motionEstimation({});
+  EXPECT_TRUE(dr::loopir::validate(p).empty());
+  ASSERT_EQ(p.nests.size(), 1u);
+  EXPECT_EQ(p.nests[0].depth(), 6);
+  EXPECT_EQ(p.nests[0].iterationCount(), 18LL * 22 * 16 * 16 * 8 * 8);
+  EXPECT_EQ(p.signals.size(), 2u);
+  // The paper-quoted coefficient pattern for Old:
+  const auto& oldAcc = p.nests[0].body[dr::kernels::oldAccessIndex()];
+  EXPECT_EQ(oldAcc.indices[0].coeff(3), 0);  // 0*i4
+  EXPECT_EQ(oldAcc.indices[0].coeff(4), 1);  // 1*i5
+  EXPECT_EQ(oldAcc.indices[0].coeff(5), 0);  // 0*i6
+  EXPECT_EQ(oldAcc.indices[1].coeff(3), 1);  // 1*i4
+  EXPECT_EQ(oldAcc.indices[1].coeff(4), 0);  // 0*i5
+  EXPECT_EQ(oldAcc.indices[1].coeff(5), 1);  // 1*i6
+}
+
+TEST(MotionEstimationKernel, ParamValidation) {
+  dr::kernels::MotionEstimationParams bad;
+  bad.H = 10;  // not a block multiple of n=8
+  EXPECT_THROW(dr::kernels::motionEstimation(bad),
+               dr::support::ContractViolation);
+}
+
+TEST(MotionEstimationKernel, SourceMatchesBuilder) {
+  dr::kernels::MotionEstimationParams mp;
+  mp.H = 16;
+  mp.W = 24;
+  mp.n = 4;
+  mp.m = 2;
+  auto built = dr::kernels::motionEstimation(mp);
+  auto compiled =
+      dr::frontend::compileKernel(dr::kernels::motionEstimationSource(mp));
+  EXPECT_EQ(compiled.params.at("H"), 16);
+  expectSameReadTrace(built, compiled, "Old");
+  expectSameReadTrace(built, compiled, "New");
+}
+
+TEST(MotionEstimationKernel, AccumulatorVariantCompiles) {
+  dr::kernels::MotionEstimationParams mp;
+  mp.H = 16;
+  mp.W = 16;
+  mp.n = 4;
+  mp.m = 2;
+  mp.includeAccumulatorWrites = true;
+  auto built = dr::kernels::motionEstimation(mp);
+  auto compiled =
+      dr::frontend::compileKernel(dr::kernels::motionEstimationSource(mp));
+  EXPECT_EQ(built.signals.size(), 3u);
+  EXPECT_EQ(compiled.signals.size(), 3u);
+}
+
+TEST(SusanKernel, MaskIs37Pixels) {
+  const auto& half = dr::kernels::susanMaskHalfWidths();
+  i64 total = 0;
+  for (i64 hw : half) total += 2 * hw + 1;
+  EXPECT_EQ(total, 37);  // the SUSAN circular mask
+  EXPECT_EQ(half.size(), 7u);
+}
+
+TEST(SusanKernel, SeriesOfLoops) {
+  auto p = dr::kernels::susan({});
+  EXPECT_TRUE(dr::loopir::validate(p).empty());
+  EXPECT_EQ(p.nests.size(), 7u);  // one nest per mask row
+  for (const auto& nest : p.nests) {
+    EXPECT_EQ(nest.depth(), 3);
+    EXPECT_EQ(nest.body.size(), 1u);
+  }
+  // Total reads = 37 per reference-pixel position.
+  AddressMap map(p);
+  Trace t = readTrace(p, map, p.findSignal("image"));
+  EXPECT_EQ(t.length(), 37LL * (144 - 6) * (176 - 6));
+  // Every access stays inside the declared image (no halo).
+  EXPECT_EQ(map.paddedRange(0)[0].extent(), 144);
+  EXPECT_EQ(map.paddedRange(0)[1].extent(), 176);
+  // The 4 extreme corner pixels of the top/bottom two rows are never
+  // covered by the narrow mask rows: 8 missing in rows 0/H-1, 4 in rows
+  // 1/H-2.
+  EXPECT_EQ(t.distinctCount(), 144LL * 176 - 12);
+}
+
+TEST(SusanKernel, SourceMatchesBuilder) {
+  dr::kernels::SusanParams sp;
+  sp.H = 24;
+  sp.W = 32;
+  auto built = dr::kernels::susan(sp);
+  auto compiled = dr::frontend::compileKernel(dr::kernels::susanSource(sp));
+  expectSameReadTrace(built, compiled, "image");
+}
+
+TEST(Conv2dKernel, StructureAndTrace) {
+  dr::kernels::Conv2dParams cp;
+  cp.H = 16;
+  cp.W = 16;
+  cp.R = 2;
+  auto p = dr::kernels::conv2d(cp);
+  EXPECT_TRUE(dr::loopir::validate(p).empty());
+  EXPECT_EQ(p.nests[0].depth(), 4);
+  AddressMap map(p);
+  Trace img = readTrace(p, map, p.findSignal("img"));
+  i64 positions = (16 - 4) * (16 - 4);
+  EXPECT_EQ(img.length(), positions * 25);
+  Trace w = readTrace(p, map, p.findSignal("w"));
+  EXPECT_EQ(w.length(), positions * 25);
+  EXPECT_EQ(w.distinctCount(), 25);
+}
+
+TEST(Conv2dKernel, SourceMatchesBuilder) {
+  dr::kernels::Conv2dParams cp;
+  cp.H = 12;
+  cp.W = 12;
+  cp.R = 1;
+  auto built = dr::kernels::conv2d(cp);
+  auto compiled = dr::frontend::compileKernel(dr::kernels::conv2dSource(cp));
+  expectSameReadTrace(built, compiled, "img");
+  expectSameReadTrace(built, compiled, "w");
+}
+
+TEST(MatmulKernel, StructureAndTrace) {
+  dr::kernels::MatmulParams mp;
+  mp.N = 8;
+  mp.K = 6;
+  auto p = dr::kernels::matmul(mp);
+  EXPECT_TRUE(dr::loopir::validate(p).empty());
+  AddressMap map(p);
+  Trace a = readTrace(p, map, p.findSignal("A"));
+  EXPECT_EQ(a.length(), 8LL * 8 * 6);
+  EXPECT_EQ(a.distinctCount(), 8 * 6);
+  Trace b = readTrace(p, map, p.findSignal("B"));
+  EXPECT_EQ(b.distinctCount(), 6 * 8);
+}
+
+TEST(MatmulKernel, SourceMatchesBuilder) {
+  dr::kernels::MatmulParams mp;
+  mp.N = 5;
+  mp.K = 7;
+  auto built = dr::kernels::matmul(mp);
+  auto compiled = dr::frontend::compileKernel(dr::kernels::matmulSource(mp));
+  expectSameReadTrace(built, compiled, "A");
+  expectSameReadTrace(built, compiled, "B");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wavelet lifting kernel (strided accesses).
+
+#include "kernels/wavelet.h"
+#include "loopir/normalize.h"
+#include "analytic/pair_analysis.h"
+
+namespace {
+
+TEST(WaveletKernel, StructureAndTrace) {
+  dr::kernels::WaveletParams wp;
+  wp.H = 4;
+  wp.W = 16;
+  auto p = dr::kernels::waveletLifting(wp);
+  EXPECT_TRUE(dr::loopir::validate(p).empty());
+  AddressMap map(p);
+  Trace t = readTrace(p, map, 0);
+  EXPECT_EQ(t.length(), 3LL * 4 * 7);
+  // Every sample except column W-1 is touched.
+  EXPECT_EQ(t.distinctCount(), 4LL * 15);
+}
+
+TEST(WaveletKernel, SourceMatchesBuilder) {
+  dr::kernels::WaveletParams wp;
+  wp.H = 3;
+  wp.W = 12;
+  auto built = dr::kernels::waveletLifting(wp);
+  auto compiled =
+      dr::frontend::compileKernel(dr::kernels::waveletLiftingSource(wp));
+  expectSameReadTrace(built, compiled, "x");
+}
+
+TEST(WaveletKernel, EvenSampleCarriesReuse) {
+  // x[y][2i+2] is re-read as x[y][2(i+1)]: in the (y, i) pair the even
+  // accesses have (b, c) = (0, 2) per dimension-1 -> b'=0, c'=1 reuse
+  // along y? No — the reuse is between access *slots*, which the
+  // per-access pair model sees as rank-2 within one access. The combined
+  // trace still reuses: OPT at 2 slots already beats the flat baseline.
+  auto p = dr::kernels::waveletLifting({4, 16});
+  AddressMap map(p);
+  Trace t = readTrace(p, map, 0);
+  EXPECT_LT(t.distinctCount(), t.length());  // inter-access reuse exists
+}
+
+TEST(WaveletKernel, RejectsOddWidth) {
+  EXPECT_THROW(dr::kernels::waveletLifting({4, 15}),
+               dr::support::ContractViolation);
+}
+
+}  // namespace

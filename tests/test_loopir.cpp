@@ -1,0 +1,200 @@
+// Unit tests for the loop-nest IR: affine expressions, loops, programs,
+// validation, normalization and printing.
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "loopir/normalize.h"
+#include "loopir/printer.h"
+#include "loopir/program.h"
+#include "loopir/validate.h"
+#include "support/contracts.h"
+
+namespace {
+
+using namespace dr::loopir;
+using dr::support::ContractViolation;
+using dr::support::i64;
+
+TEST(AffineExpr, CoefficientsAndConstant) {
+  AffineExpr e(5);
+  EXPECT_TRUE(e.isConstant());
+  e.setCoeff(2, 3);
+  EXPECT_EQ(e.coeff(2), 3);
+  EXPECT_EQ(e.coeff(0), 0);
+  EXPECT_EQ(e.coeff(99), 0);  // beyond storage reads as 0
+  EXPECT_EQ(e.maxIterator(), 2);
+  EXPECT_FALSE(e.isConstant());
+  EXPECT_TRUE(e.dependsOn(2));
+  EXPECT_FALSE(e.dependsOn(1));
+}
+
+TEST(AffineExpr, Evaluate) {
+  AffineExpr e(1);
+  e.setCoeff(0, 2);
+  e.setCoeff(1, -3);
+  EXPECT_EQ(e.evaluate({4, 5}), 2 * 4 - 3 * 5 + 1);
+  EXPECT_THROW(e.evaluate({4}), ContractViolation);
+}
+
+TEST(AffineExpr, Arithmetic) {
+  AffineExpr a = AffineExpr::iterator(0);
+  AffineExpr b = AffineExpr::iterator(1).scaled(2) + AffineExpr::constant(7);
+  AffineExpr sum = a + b;
+  EXPECT_EQ(sum.coeff(0), 1);
+  EXPECT_EQ(sum.coeff(1), 2);
+  EXPECT_EQ(sum.constantTerm(), 7);
+  AffineExpr diff = sum - b;
+  EXPECT_EQ(diff, a);
+}
+
+TEST(AffineExpr, Substitution) {
+  // j -> 3 + 2*j' in  y = 5*j + k:  y = 10*j' + k + 15.
+  AffineExpr y;
+  y.setCoeff(0, 5);
+  y.setCoeff(1, 1);
+  AffineExpr repl = AffineExpr::iterator(0).scaled(2) + AffineExpr::constant(3);
+  AffineExpr out = y.substituted(0, repl);
+  EXPECT_EQ(out.coeff(0), 10);
+  EXPECT_EQ(out.coeff(1), 1);
+  EXPECT_EQ(out.constantTerm(), 15);
+}
+
+TEST(AffineExpr, Render) {
+  AffineExpr e(-2);
+  e.setCoeff(0, 8);
+  e.setCoeff(2, 1);
+  EXPECT_EQ(e.str({"i", "j", "k"}), "8*i + k - 2");
+  EXPECT_EQ(AffineExpr::constant(0).str({}), "0");
+  AffineExpr neg;
+  neg.setCoeff(1, -1);
+  EXPECT_EQ(neg.str({"i", "j"}), "-j");
+}
+
+TEST(Loop, TripCountIncremental) {
+  EXPECT_EQ((Loop{"i", 0, 9, 1}).tripCount(), 10);
+  EXPECT_EQ((Loop{"i", -8, 7, 1}).tripCount(), 16);
+  EXPECT_EQ((Loop{"i", 0, 9, 3}).tripCount(), 4);   // 0,3,6,9
+  EXPECT_EQ((Loop{"i", 0, 10, 3}).tripCount(), 4);  // 0,3,6,9
+  EXPECT_EQ((Loop{"i", 5, 4, 1}).tripCount(), 0);
+}
+
+TEST(Loop, TripCountDecremental) {
+  EXPECT_EQ((Loop{"i", 9, 0, -1}).tripCount(), 10);
+  EXPECT_EQ((Loop{"i", 9, 0, -4}).tripCount(), 3);  // 9,5,1
+  EXPECT_EQ((Loop{"i", 0, 9, -1}).tripCount(), 0);
+}
+
+TEST(Loop, ValueAt) {
+  Loop l{"i", 2, 10, 3};
+  EXPECT_EQ(l.valueAt(0), 2);
+  EXPECT_EQ(l.valueAt(2), 8);
+  EXPECT_THROW(l.valueAt(3), ContractViolation);
+  Loop d{"i", 9, 1, -4};
+  EXPECT_EQ(d.valueAt(2), 1);
+}
+
+TEST(Program, CountsAndLookup) {
+  dr::test::PairBox box{0, 4, 0, 3};
+  Program p = dr::test::genericDoubleLoop(box, 1, 1);
+  EXPECT_EQ(p.nests[0].iterationCount(), 20);
+  EXPECT_EQ(p.totalAccessCount(), 20);
+  EXPECT_EQ(p.findSignal("A"), 0);
+  EXPECT_EQ(p.findSignal("nope"), -1);
+  EXPECT_EQ(p.signalOf(p.nests[0].body[0]).name, "A");
+}
+
+TEST(Validate, AcceptsGoodProgram) {
+  Program p = dr::test::genericDoubleLoop({0, 3, 0, 3}, 2, 1);
+  EXPECT_TRUE(validate(p).empty());
+}
+
+TEST(Validate, RejectsBrokenPrograms) {
+  Program p = dr::test::genericDoubleLoop({0, 3, 0, 3}, 2, 1);
+
+  Program noSignals = p;
+  noSignals.signals.clear();
+  EXPECT_FALSE(validate(noSignals).empty());
+
+  Program emptyLoop = p;
+  emptyLoop.nests[0].loops[0].end = -10;
+  EXPECT_FALSE(validate(emptyLoop).empty());
+
+  Program zeroStep = p;
+  zeroStep.nests[0].loops[1].step = 0;
+  EXPECT_FALSE(validate(zeroStep).empty());
+
+  Program dupIter = p;
+  dupIter.nests[0].loops[1].name = "j";
+  EXPECT_FALSE(validate(dupIter).empty());
+
+  Program badSignal = p;
+  badSignal.nests[0].body[0].signal = 7;
+  EXPECT_FALSE(validate(badSignal).empty());
+
+  Program dimMismatch = p;
+  dimMismatch.nests[0].body[0].indices.push_back(AffineExpr(0));
+  EXPECT_FALSE(validate(dimMismatch).empty());
+
+  Program outOfNest = p;
+  outOfNest.nests[0].body[0].indices[0].setCoeff(5, 1);
+  EXPECT_FALSE(validate(outOfNest).empty());
+
+  EXPECT_THROW(validateOrThrow(outOfNest), ContractViolation);
+}
+
+TEST(Normalize, StepGreaterThanOne) {
+  Program p = dr::test::genericDoubleLoop({0, 9, 0, 5}, 1, 1);
+  p.nests[0].loops[0].step = 3;  // j in {0,3,6,9}
+  Program n = normalized(p);
+  EXPECT_TRUE(isNormalized(n));
+  EXPECT_EQ(n.nests[0].loops[0].tripCount(), 4);
+  // Index expression now multiplies the normalized iterator by 3.
+  EXPECT_EQ(n.nests[0].body[0].indices[0].coeff(0), 3);
+  EXPECT_EQ(p.nests[0].iterationCount(), n.nests[0].iterationCount());
+}
+
+TEST(Normalize, DecrementalLoop) {
+  Program p = dr::test::genericDoubleLoop({0, 4, 0, 4}, 1, 2);
+  p.nests[0].loops[1] = Loop{"k", 4, 0, -1};
+  Program n = normalized(p);
+  EXPECT_TRUE(isNormalized(n));
+  EXPECT_EQ(n.nests[0].loops[1].tripCount(), 5);
+  // k = 4 - k': coefficient flips, constant absorbs 2*4.
+  EXPECT_EQ(n.nests[0].body[0].indices[0].coeff(1), -2);
+  EXPECT_EQ(n.nests[0].body[0].indices[0].constantTerm(), 8);
+}
+
+TEST(Normalize, Idempotent) {
+  Program p = dr::test::genericDoubleLoop({0, 9, 0, 5}, 1, 1);
+  p.nests[0].loops[0].step = 2;
+  Program once = normalized(p);
+  Program twice = normalized(once);
+  EXPECT_EQ(once.nests[0].body[0].indices[0], twice.nests[0].body[0].indices[0]);
+  EXPECT_EQ(once.nests[0].loops[0].tripCount(),
+            twice.nests[0].loops[0].tripCount());
+}
+
+TEST(Printer, LoopHeaders) {
+  EXPECT_EQ(loopToString(Loop{"i", 0, 9, 1}), "for (i = 0; i <= 9; i++)");
+  EXPECT_EQ(loopToString(Loop{"i", 0, 9, 2}), "for (i = 0; i <= 9; i += 2)");
+  EXPECT_EQ(loopToString(Loop{"i", 9, 0, -1}), "for (i = 9; i >= 0; i--)");
+  EXPECT_EQ(loopToString(Loop{"i", 9, 0, -2}), "for (i = 9; i >= 0; i -= 2)");
+}
+
+TEST(Printer, NestAndProgram) {
+  Program p = dr::test::genericDoubleLoop({0, 3, -2, 2}, 2, -1, 5);
+  std::string nest = nestToString(p, p.nests[0]);
+  EXPECT_NE(nest.find("for (j = 0; j <= 3; j++)"), std::string::npos);
+  EXPECT_NE(nest.find("use(A[2*j - k + 5]);"), std::string::npos);
+  std::string prog = programToString(p);
+  EXPECT_NE(prog.find("kernel generic"), std::string::npos);
+}
+
+TEST(ArraySignal, ElementCount) {
+  ArraySignal s;
+  s.dims = {4, 5, 6};
+  EXPECT_EQ(s.elementCount(), 120);
+}
+
+}  // namespace

@@ -1,0 +1,396 @@
+// Unit tests for the power model and the hierarchy machinery: chain
+// bookkeeping (eq. (1)), chain power (eq. (3)) and weighted cost
+// (eq. (2)), useless-level pruning, enumeration, Pareto filtering, global
+// layer assignment and collapsing onto a predefined hierarchy.
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/assign.h"
+#include "hierarchy/chain.h"
+#include "hierarchy/collapse.h"
+#include "hierarchy/cost.h"
+#include "hierarchy/enumerate.h"
+#include "hierarchy/pareto.h"
+#include "power/memory_model.h"
+#include "support/contracts.h"
+
+namespace {
+
+using namespace dr::hierarchy;
+using dr::power::MemoryLibrary;
+using dr::power::MemoryModel;
+using dr::power::MemoryModelParams;
+using dr::support::i64;
+using dr::support::Rational;
+
+TEST(PowerModel, MonotoneInCapacity) {
+  MemoryModel m{MemoryModelParams{}};
+  double prev = 0.0;
+  for (i64 words : {1, 8, 64, 512, 4096, 32768}) {
+    double e = m.readEnergy(words, 8);
+    EXPECT_GT(e, prev);
+    prev = e;
+    EXPECT_GT(m.writeEnergy(words, 8), m.readEnergy(words, 8));
+    EXPECT_GT(m.area(words, 8), 0.0);
+  }
+}
+
+TEST(PowerModel, WiderWordsCostMore) {
+  MemoryModel m{MemoryModelParams{}};
+  EXPECT_GT(m.readEnergy(100, 32), m.readEnergy(100, 8));
+  EXPECT_GT(m.area(100, 32), m.area(100, 8));
+}
+
+TEST(PowerModel, OnChipStaysBelowBackgroundInPaperRegime) {
+  // The regime the paper's copy-candidates live in: up to a few thousand
+  // words must cost well under one background access.
+  MemoryLibrary lib = MemoryLibrary::standard();
+  for (i64 words : {1, 56, 128, 2745, 4096})
+    EXPECT_LT(lib.onChip.readEnergy(words, 8),
+              0.5 * lib.background.readEnergy);
+}
+
+TEST(PowerModel, RejectsBadInputs) {
+  MemoryModel m{MemoryModelParams{}};
+  EXPECT_THROW(m.readEnergy(0, 8), dr::support::ContractViolation);
+  EXPECT_THROW(m.area(4, 0), dr::support::ContractViolation);
+  MemoryModelParams bad;
+  bad.exponent = 0.0;
+  EXPECT_THROW(MemoryModel{bad}, dr::support::ContractViolation);
+}
+
+CopyChain twoLevel() {
+  CopyChain c;
+  c.Ctot = 1000;
+  c.levels.push_back(ChainLevel{500, 100, 0, "L1"});
+  c.levels.push_back(ChainLevel{50, 250, 1000, "L2"});
+  return c;
+}
+
+TEST(Chain, ReadConservationAndFR) {
+  CopyChain c = twoLevel();
+  EXPECT_TRUE(c.validate().empty());
+  EXPECT_EQ(c.readsFromLevel(0), 100);        // feeds level 1
+  EXPECT_EQ(c.readsFromLevel(1), 250);        // feeds level 2
+  EXPECT_EQ(c.readsFromLevel(2), 1000);       // datapath
+  EXPECT_EQ(c.levels[0].reuseFactor(c.Ctot), Rational(10));
+  EXPECT_EQ(c.levels[1].reuseFactor(c.Ctot), Rational(4));
+  EXPECT_EQ(c.onChipSize(), 550);
+}
+
+TEST(Chain, ValidationCatchesProblems) {
+  CopyChain c = twoLevel();
+  c.levels[1].size = 600;  // not decreasing
+  EXPECT_FALSE(c.validate().empty());
+
+  c = twoLevel();
+  c.levels[1].directReads = 900;  // conservation broken
+  EXPECT_FALSE(c.validate().empty());
+
+  c = twoLevel();
+  c.levels[0].writes = 0;
+  EXPECT_FALSE(c.validate().empty());
+}
+
+TEST(Chain, FlatBaseline) {
+  CopyChain f = CopyChain::flat(123);
+  EXPECT_TRUE(f.validate().empty());
+  EXPECT_EQ(f.readsFromLevel(0), 123);
+  EXPECT_EQ(f.onChipSize(), 0);
+}
+
+TEST(Cost, Eq3ExpansionMatchesManualSum) {
+  // Chain power (eq. 3) must equal C_1(P0r+P1w) + C_2(P1r+P2w) + Ctot*P2r.
+  MemoryLibrary lib = MemoryLibrary::standard();
+  CopyChain c = twoLevel();
+  double manual =
+      100 * (lib.background.readEnergy + lib.onChip.writeEnergy(500, 8)) +
+      250 * (lib.onChip.readEnergy(500, 8) + lib.onChip.writeEnergy(50, 8)) +
+      1000 * lib.onChip.readEnergy(50, 8);
+  EXPECT_NEAR(chainEnergyPerFrame(c, lib, 8), manual, 1e-12);
+}
+
+TEST(Cost, BypassChainEnergyAccounting) {
+  // Bypass reads are served by level 1 directly (Fig. 9b).
+  MemoryLibrary lib = MemoryLibrary::standard();
+  CopyChain c = twoLevel();
+  c.levels[1].directReads = 800;
+  c.levels[0].directReads = 200;
+  double manual =
+      100 * (lib.background.readEnergy + lib.onChip.writeEnergy(500, 8)) +
+      250 * (lib.onChip.readEnergy(500, 8) + lib.onChip.writeEnergy(50, 8)) +
+      200 * lib.onChip.readEnergy(500, 8) +  // bypassed datapath reads
+      800 * lib.onChip.readEnergy(50, 8);
+  EXPECT_NEAR(chainEnergyPerFrame(c, lib, 8), manual, 1e-12);
+}
+
+TEST(Cost, NormalizationAgainstFlat) {
+  MemoryLibrary lib = MemoryLibrary::standard();
+  ChainCost cost = evaluateChain(twoLevel(), lib, 8);
+  EXPECT_GT(cost.normalizedPower, 0.0);
+  EXPECT_LT(cost.normalizedPower, 1.0);  // hierarchy must win here
+  ChainCost flat = evaluateChain(CopyChain::flat(1000), lib, 8);
+  EXPECT_DOUBLE_EQ(flat.normalizedPower, 1.0);
+}
+
+TEST(Cost, WeightedCombination) {
+  MemoryLibrary lib = MemoryLibrary::standard();
+  CostWeights w;
+  w.alpha = 2.0;
+  w.beta = 0.5;
+  w.frameRate = 10.0;
+  ChainCost cost = evaluateChain(twoLevel(), lib, 8, w);
+  EXPECT_NEAR(cost.weighted, 2.0 * cost.power + 0.5 * 550, 1e-9);
+  EXPECT_NEAR(cost.power, cost.energyPerFrame * 10.0, 1e-12);
+}
+
+TEST(Cost, UselessLevelPredicate) {
+  ChainLevel same{100, 1000, 0, ""};
+  EXPECT_TRUE(isUselessLevel(same, 1000));  // F_R == 1
+  ChainLevel good{100, 10, 0, ""};
+  EXPECT_FALSE(isUselessLevel(good, 1000));
+}
+
+TEST(Enumerate, BuildChainBypassPlacement) {
+  std::vector<CandidatePoint> pts = {
+      {500, 100, 1000, 0, "outer"},
+      {50, 250, 800, 200, "inner bypass"},
+  };
+  CopyChain c = buildChain(1000, pts);
+  EXPECT_TRUE(c.validate().empty());
+  EXPECT_EQ(c.levels[0].directReads, 200);  // bypass lands one level up
+  EXPECT_EQ(c.levels[1].directReads, 800);
+
+  // Bypass point alone: the background serves the bypassed reads.
+  CopyChain solo = buildChain(1000, {{50, 250, 800, 200, "solo"}});
+  EXPECT_EQ(solo.backgroundDirectReads, 200);
+
+  // Bypass point not innermost is rejected.
+  std::vector<CandidatePoint> bad = {
+      {500, 100, 800, 200, "outer bypass"},
+      {50, 250, 1000, 0, "inner"},
+  };
+  EXPECT_THROW(buildChain(1000, bad), dr::support::ContractViolation);
+}
+
+TEST(Enumerate, DirectBackgroundReads) {
+  CopyChain c = buildChain(1000, {{50, 100, 600, 0, "x"}}, 400);
+  EXPECT_TRUE(c.validate().empty());
+  EXPECT_EQ(c.backgroundDirectReads, 400);
+  EXPECT_EQ(c.readsFromLevel(0), 500);
+}
+
+TEST(Enumerate, GeneratesPrunedCombinations) {
+  MemoryLibrary lib = MemoryLibrary::standard();
+  std::vector<CandidatePoint> pts = {
+      {400, 50, 1000, 0, "a"},
+      {100, 200, 1000, 0, "b"},
+      {10, 500, 1000, 0, "c"},
+      {90, 210, 1000, 0, "d"},  // barely better than b: pruned after b
+  };
+  EnumerateOptions opts;
+  opts.maxLevels = 3;
+  opts.minWriteImprovement = 1.10;
+  auto designs = enumerateChains(1000, pts, lib, 8, opts);
+  bool flat = false;
+  for (const ChainDesign& d : designs) {
+    if (d.label == "flat") flat = true;
+    EXPECT_TRUE(d.chain.validate().empty());
+    EXPECT_EQ(d.label.find("b + d"), std::string::npos);
+  }
+  EXPECT_TRUE(flat);
+  EXPECT_GT(designs.size(), 4u);
+}
+
+TEST(Enumerate, RejectsBadCandidates) {
+  MemoryLibrary lib = MemoryLibrary::standard();
+  std::vector<CandidatePoint> bad = {{10, 5, 900, 0, "x"}};  // 900 != 1000
+  EXPECT_THROW(enumerateChains(1000, bad, lib, 8),
+               dr::support::ContractViolation);
+}
+
+TEST(Pareto, FilterBasics) {
+  std::vector<std::pair<double, double>> pts = {
+      {1, 10}, {2, 8}, {3, 9}, {4, 4}, {5, 4}, {1, 12},
+  };
+  auto keep = paretoFilter(pts);
+  ASSERT_EQ(keep.size(), 3u);
+  EXPECT_EQ(keep[0], 0u);
+  EXPECT_EQ(keep[1], 1u);
+  EXPECT_EQ(keep[2], 3u);
+}
+
+TEST(Pareto, EmptyAndSingle) {
+  EXPECT_TRUE(paretoFilter({}).empty());
+  EXPECT_EQ(paretoFilter({{1, 1}}).size(), 1u);
+}
+
+TEST(Pareto, ChainsStrictlyImprove) {
+  MemoryLibrary lib = MemoryLibrary::standard();
+  std::vector<CandidatePoint> pts = {
+      {400, 50, 1000, 0, "a"}, {100, 200, 1000, 0, "b"},
+  };
+  auto designs = enumerateChains(1000, pts, lib, 8);
+  auto front = paretoChains(designs);
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LT(front[i - 1].cost.onChipSize, front[i].cost.onChipSize);
+    EXPECT_GT(front[i - 1].cost.power, front[i].cost.power);
+  }
+}
+
+TEST(Assign, PicksCheapestWithinBudget) {
+  // Two signals, each with a flat and a hierarchy option.
+  std::vector<std::vector<SignalOption>> options = {
+      {{10.0, 0, 0}, {2.0, 100, 1}},
+      {{8.0, 0, 0}, {1.0, 80, 1}},
+  };
+  AssignmentResult r = assignLayers(options, 200);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.choice, (std::vector<int>{1, 1}));
+  EXPECT_DOUBLE_EQ(r.totalPower, 3.0);
+
+  // Budget fits only one hierarchy: pick the bigger saving (signal 2).
+  r = assignLayers(options, 100);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.choice, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(r.totalPower, 10.0);
+
+  // No budget: all flat.
+  r = assignLayers(options, 0);
+  EXPECT_EQ(r.choice, (std::vector<int>{0, 0}));
+}
+
+TEST(Assign, SweepIsMonotone) {
+  std::vector<std::vector<SignalOption>> options = {
+      {{10.0, 0, 0}, {4.0, 50, 1}, {2.0, 120, 2}},
+      {{8.0, 0, 0}, {3.0, 60, 1}},
+  };
+  auto sweep = assignmentSweep(options, {0, 60, 120, 200});
+  double prev = 1e18;
+  for (const AssignmentResult& r : sweep) {
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.totalPower, prev);
+    prev = r.totalPower;
+  }
+}
+
+TEST(Assign, RequiresOptions) {
+  EXPECT_THROW(assignLayers({{}}, 10), dr::support::ContractViolation);
+}
+
+TEST(Collapse, MapsAndMerges) {
+  PhysicalHierarchy phys;
+  phys.layerSizes = {1024, 64};
+  EXPECT_EQ(phys.smallestFitting(2000), -1);
+  EXPECT_EQ(phys.smallestFitting(500), 0);
+  EXPECT_EQ(phys.smallestFitting(64), 1);
+
+  CopyChain c;
+  c.Ctot = 1000;
+  c.levels.push_back(ChainLevel{500, 100, 0, "v1"});
+  c.levels.push_back(ChainLevel{200, 150, 0, "v2"});  // same layer as v1
+  c.levels.push_back(ChainLevel{40, 300, 1000, "v3"});
+  ASSERT_TRUE(c.validate().empty());
+
+  CopyChain mapped = collapseOnto(c, phys);
+  EXPECT_TRUE(mapped.validate().empty());
+  ASSERT_EQ(mapped.depth(), 2);
+  EXPECT_EQ(mapped.levels[0].size, 1024);
+  EXPECT_EQ(mapped.levels[0].writes, 100);  // v1's writes kept; v2 merged
+  EXPECT_EQ(mapped.levels[1].size, 64);
+  EXPECT_EQ(mapped.levels[1].directReads, 1000);
+}
+
+TEST(Collapse, OversizedLevelFallsToBackground) {
+  PhysicalHierarchy phys;
+  phys.layerSizes = {256};
+  CopyChain c;
+  c.Ctot = 500;
+  c.levels.push_back(ChainLevel{2000, 50, 0, "big"});
+  c.levels.push_back(ChainLevel{100, 80, 500, "small"});
+  ASSERT_TRUE(c.validate().empty());
+  CopyChain mapped = collapseOnto(c, phys);
+  ASSERT_EQ(mapped.depth(), 1);
+  EXPECT_EQ(mapped.levels[0].size, 256);
+  EXPECT_EQ(mapped.levels[0].directReads, 500);
+}
+
+TEST(Collapse, PhysicalLayersMustDecrease) {
+  PhysicalHierarchy phys;
+  phys.layerSizes = {64, 1024};
+  EXPECT_THROW(phys.smallestFitting(10), dr::support::ContractViolation);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SCBD (storage cycle budget distribution, DTSE step 4).
+
+#include "scbd/scbd.h"
+
+namespace {
+
+using namespace dr::scbd;
+
+CopyChain scbdChain() {
+  CopyChain c;
+  c.Ctot = 1000;
+  c.levels.push_back(ChainLevel{500, 100, 0, "L1"});
+  c.levels.push_back(ChainLevel{50, 250, 1000, "L2"});
+  return c;
+}
+
+TEST(Scbd, ChainLoadsAccounting) {
+  auto loads = chainLoads(scbdChain());
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_EQ(loads[0].level, 0);
+  EXPECT_EQ(loads[0].reads, 100);   // background feeds L1
+  EXPECT_EQ(loads[0].writes, 0);
+  EXPECT_EQ(loads[1].reads, 250);   // L1 feeds L2
+  EXPECT_EQ(loads[1].writes, 100);
+  EXPECT_EQ(loads[2].reads, 1000);  // L2 serves the datapath
+  EXPECT_EQ(loads[2].writes, 250);
+  EXPECT_EQ(loads[2].accesses(), 1250);
+}
+
+TEST(Scbd, PortsAndCyclesAreInverse) {
+  LevelLoad load;
+  load.reads = 900;
+  load.writes = 100;
+  EXPECT_EQ(load.requiredPorts(500), 2);
+  EXPECT_EQ(load.requiredCycles(2), 500);
+  EXPECT_EQ(load.requiredPorts(1000), 1);
+  EXPECT_EQ(load.requiredPorts(999), 2);   // 1000 accesses need 2 ports
+  EXPECT_EQ(load.requiredCycles(3), 334);
+  EXPECT_THROW(load.requiredPorts(0), dr::support::ContractViolation);
+}
+
+TEST(Scbd, MinimalBudgetIsMaxOverLevels) {
+  CopyChain c = scbdChain();
+  // Single-ported everywhere: the datapath level dominates (1250).
+  EXPECT_EQ(minimalCycleBudget(c, {1, 1, 1}), 1250);
+  // Dual-porting the hot level halves its need: background 100, L1 350,
+  // L2 625.
+  EXPECT_EQ(minimalCycleBudget(c, {1, 1, 2}), 625);
+  EXPECT_TRUE(feasible(c, {1, 1, 2}, 700));
+  EXPECT_FALSE(feasible(c, {1, 1, 2}, 600));
+  EXPECT_THROW(minimalCycleBudget(c, {1, 1}),
+               dr::support::ContractViolation);
+}
+
+TEST(Scbd, TimingOptionsTradeSizeForKernelCycles) {
+  CopyChain c = scbdChain();
+  auto options = timingOptions(c, 2);
+  ASSERT_EQ(options.size(), 2u);
+  EXPECT_FALSE(options[0].doubleBuffered);
+  EXPECT_EQ(options[0].copySize, 50);
+  EXPECT_EQ(options[0].kernelCycles, 1250);
+  EXPECT_TRUE(options[1].doubleBuffered);
+  EXPECT_EQ(options[1].copySize, 100);       // doubled
+  EXPECT_EQ(options[1].kernelCycles, 1000);  // fills moved off the path
+  EXPECT_EQ(options[1].prefetchCycles, 250);
+  EXPECT_THROW(timingOptions(c, 3), dr::support::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,301 @@
+// Additional cross-cutting property sweeps: shift invariances of the
+// analytical model, monotonicity of the partial-reuse family, brute-force
+// cross-checks for footprint shapes and the assignment DP, conservation
+// under collapsing, and simplifier idempotence.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <tuple>
+
+#include "adopt/simplify.h"
+#include "analytic/footprint.h"
+#include "analytic/pair_analysis.h"
+#include "analytic/partial.h"
+#include "helpers.h"
+#include "hierarchy/assign.h"
+#include "hierarchy/collapse.h"
+#include "simcore/buffer_sim.h"
+#include "simcore/lru_stack.h"
+#include "support/rng.h"
+#include "trace/walker.h"
+
+namespace {
+
+using namespace dr::analytic;
+using dr::support::i64;
+using dr::support::Rng;
+using dr::test::PairBox;
+
+// ---------------------------------------------------------------------------
+// Shift invariance: the model depends on ranges and coefficients only,
+// never on where the iteration box or the array offset sits.
+
+class ShiftInvariance
+    : public ::testing::TestWithParam<std::tuple<i64, i64, i64, i64>> {};
+
+TEST_P(ShiftInvariance, BoundsAndOffsetsDoNotMatter) {
+  auto [b, c, jShift, kShift] = GetParam();
+  PairBox base{0, 9, 0, 6};
+  PairBox moved{jShift, 9 + jShift, kShift, 6 + kShift};
+
+  auto p0 = dr::test::genericDoubleLoop(base, b, c, 0);
+  auto p1 = dr::test::genericDoubleLoop(moved, b, c, 17);
+  MaxReuse m0 = analyzePair(p0.nests[0], p0.nests[0].body[0], 0);
+  MaxReuse m1 = analyzePair(p1.nests[0], p1.nests[0].body[0], 0);
+
+  EXPECT_EQ(m0.hasReuse, m1.hasReuse);
+  EXPECT_EQ(m0.FRmax, m1.FRmax);
+  EXPECT_EQ(m0.AMax, m1.AMax);
+  EXPECT_EQ(m0.missesPerOuter, m1.missesPerOuter);
+
+  // And the traces agree with both.
+  dr::trace::AddressMap map1(p1);
+  auto t1 = dr::trace::readTrace(p1, map1, 0);
+  EXPECT_EQ(t1.distinctCount(), m1.missesPerOuter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, ShiftInvariance,
+    ::testing::Values(std::make_tuple(1, 1, 5, -3),
+                      std::make_tuple(2, 3, -7, 11),
+                      std::make_tuple(0, 1, 100, 100),
+                      std::make_tuple(3, -2, -4, 9)));
+
+// ---------------------------------------------------------------------------
+// Partial-reuse family monotonicity (Section 6.2): more gamma, more reuse.
+
+class PartialMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartialMonotonicity, GammaOrdersEverything) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    i64 b = rng.uniform(0, 3);
+    i64 c = rng.uniform(1, 3);
+    PairBox box{0, rng.uniform(6, 14), 0, rng.uniform(6, 14)};
+    auto p = dr::test::genericDoubleLoop(box, b, c);
+    MaxReuse m = analyzePair(p.nests[0], p.nests[0].body[0], 0);
+    GammaRange range = gammaRange(m);
+    if (range.empty()) continue;
+
+    dr::support::Rational prevFR(0);
+    i64 prevA = 0;
+    for (i64 g = range.lo; g <= range.hi; ++g) {
+      PartialPoint pt = partialPoint(m, g, false);
+      PartialPoint bp = partialPoint(m, g, true);
+      EXPECT_GT(pt.FR, prevFR) << "b=" << b << " c=" << c << " g=" << g;
+      EXPECT_GT(pt.A, prevA);
+      EXPECT_GE(bp.FR, pt.FR);          // bypass never hurts the copy F_R
+      EXPECT_EQ(bp.A + 1, pt.A);        // eq. (22) = eq. (18) - 1
+      EXPECT_EQ(bp.CRPerOuter, pt.CRPerOuter);
+      EXPECT_LT(bp.missesPerOuter, pt.missesPerOuter);
+      // Partial never beats maximum reuse.
+      EXPECT_GE(pt.missesPerOuter, m.missesPerOuter);
+      prevFR = pt.FR;
+      prevA = pt.A;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartialMonotonicity,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Footprint shapes vs brute force: dimShape must count exactly the
+// distinct values of sum c_d * x_d over the box.
+
+class ShapeBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShapeBruteForce, CountsAndOverlapsExact) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    int loops = static_cast<int>(rng.uniform(1, 3));
+    dr::loopir::LoopNest nest;
+    dr::loopir::AffineExpr e(rng.uniform(-5, 5));
+    for (int d = 0; d < loops; ++d) {
+      nest.loops.push_back(
+          dr::loopir::Loop{"i" + std::to_string(d), 0, rng.uniform(1, 5), 1});
+      e.setCoeff(d, rng.uniform(-4, 4));
+    }
+
+    DimShape shape = dimShape(e, nest, 0);
+
+    // Brute force the value set.
+    std::set<i64> values;
+    std::vector<i64> iters(static_cast<std::size_t>(loops));
+    std::function<void(int)> walk = [&](int d) {
+      if (d == loops) {
+        values.insert(e.evaluate(iters));
+        return;
+      }
+      for (i64 v = nest.loops[static_cast<std::size_t>(d)].begin;
+           v <= nest.loops[static_cast<std::size_t>(d)].end; ++v) {
+        iters[static_cast<std::size_t>(d)] = v;
+        walk(d + 1);
+      }
+    };
+    walk(0);
+
+    ASSERT_EQ(shape.count, static_cast<i64>(values.size()));
+    ASSERT_EQ(shape.span, *values.rbegin() - *values.begin() + 1);
+    // Overlap with a shift = brute-force intersection size.
+    for (i64 delta : {1, 2, 3}) {
+      std::set<i64> shifted;
+      for (i64 v : values) shifted.insert(v + delta);
+      std::size_t inter = 0;
+      for (i64 v : values)
+        if (shifted.count(v)) ++inter;
+      ASSERT_EQ(shape.overlapWithShift(delta), static_cast<i64>(inter))
+          << "delta " << delta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeBruteForce,
+                         ::testing::Values(5, 6, 7, 8, 9));
+
+// ---------------------------------------------------------------------------
+// Assignment DP vs exhaustive search on random small instances.
+
+class AssignBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AssignBruteForce, DpMatchesExhaustive) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    int signals = static_cast<int>(rng.uniform(1, 3));
+    std::vector<std::vector<dr::hierarchy::SignalOption>> options(
+        static_cast<std::size_t>(signals));
+    for (auto& list : options) {
+      int n = static_cast<int>(rng.uniform(1, 4));
+      for (int i = 0; i < n; ++i)
+        list.push_back({static_cast<double>(rng.uniform(1, 100)),
+                        rng.uniform(0, 40), i});
+    }
+    i64 budget = rng.uniform(0, 80);
+
+    auto dp = dr::hierarchy::assignLayers(options, budget);
+
+    // Exhaustive.
+    double bestPower = -1;
+    std::function<void(std::size_t, i64, double)> walk =
+        [&](std::size_t s, i64 size, double power) {
+          if (size > budget) return;
+          if (s == options.size()) {
+            if (bestPower < 0 || power < bestPower) bestPower = power;
+            return;
+          }
+          for (const auto& o : options[s])
+            walk(s + 1, size + o.size, power + o.power);
+        };
+    walk(0, 0, 0.0);
+
+    ASSERT_EQ(dp.feasible, bestPower >= 0);
+    if (dp.feasible) {
+      ASSERT_DOUBLE_EQ(dp.totalPower, bestPower);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignBruteForce,
+                         ::testing::Values(3, 13, 23, 31));
+
+// ---------------------------------------------------------------------------
+// Collapse conservation on random chains.
+
+class CollapseConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseConservation, DatapathReadsPreserved) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    dr::hierarchy::CopyChain chain;
+    chain.Ctot = rng.uniform(100, 10000);
+    int levels = static_cast<int>(rng.uniform(1, 3));
+    i64 size = rng.uniform(500, 4000);
+    i64 writes = rng.uniform(1, chain.Ctot / 4 + 1);
+    i64 remainingReads = chain.Ctot;
+    for (int l = 0; l < levels; ++l) {
+      dr::hierarchy::ChainLevel level;
+      level.size = size;
+      level.writes = writes;
+      bool last = l + 1 == levels;
+      level.directReads = last ? remainingReads
+                               : rng.uniform(0, remainingReads / 2);
+      remainingReads -= level.directReads;
+      level.label = "v" + std::to_string(l);
+      chain.levels.push_back(level);
+      size = std::max<i64>(1, size / (rng.uniform(2, 4)));
+      writes = writes + rng.uniform(1, 50);
+      if (size <= 1) break;
+    }
+    chain.levels.back().directReads += remainingReads;
+    if (!chain.validate().empty()) continue;  // rare degenerate draw
+
+    dr::hierarchy::PhysicalHierarchy phys;
+    phys.layerSizes = {2048, 256, 16};
+    auto mapped = dr::hierarchy::collapseOnto(chain, phys);
+    ASSERT_TRUE(mapped.validate().empty());
+    // Datapath reads conserved.
+    i64 direct = mapped.backgroundDirectReads;
+    for (const auto& level : mapped.levels) direct += level.directReads;
+    ASSERT_EQ(direct, chain.Ctot);
+    // Never more physical levels than virtual ones.
+    ASSERT_LE(mapped.depth(), chain.depth());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseConservation,
+                         ::testing::Values(7, 17, 27));
+
+// ---------------------------------------------------------------------------
+// Simplifier idempotence: a second pass changes nothing.
+
+TEST(SimplifyExtra, Idempotent) {
+  Rng rng(99);
+  dr::loopir::LoopNest nest;
+  nest.loops = {dr::loopir::Loop{"j", 0, 9, 1},
+                dr::loopir::Loop{"k", 0, 7, 1}};
+  std::function<dr::adopt::AddrExprPtr(int)> gen =
+      [&](int budget) -> dr::adopt::AddrExprPtr {
+    using dr::adopt::AddrExpr;
+    if (budget <= 1) {
+      switch (rng.uniform(0, 2)) {
+        case 0: return AddrExpr::constant(rng.uniform(-9, 9));
+        case 1: return AddrExpr::iter(0);
+        default: return AddrExpr::iter(1);
+      }
+    }
+    switch (rng.uniform(0, 3)) {
+      case 0: return AddrExpr::add({gen(budget / 2), gen(budget / 2)});
+      case 1:
+        return AddrExpr::mul(
+            {AddrExpr::constant(rng.uniform(-4, 4)), gen(budget - 1)});
+      case 2: return AddrExpr::floorDiv(gen(budget - 1), rng.uniform(1, 6));
+      default: return AddrExpr::mod(gen(budget - 1), rng.uniform(1, 8));
+    }
+  };
+  for (int i = 0; i < 40; ++i) {
+    auto e = gen(8);
+    auto once = dr::adopt::simplify(e, nest);
+    auto twice = dr::adopt::simplify(once, nest);
+    EXPECT_TRUE(once->equals(*twice));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LRU inclusion (misses non-increasing in capacity) on kernel traces.
+
+TEST(LruInclusion, MonotoneOnKernelTraces) {
+  auto p = dr::test::genericDoubleLoop({0, 19, 0, 7}, 1, 1);
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, 0);
+  dr::simcore::LruStackDistances lru(t);
+  i64 prev = lru.missesAt(0);
+  for (i64 cap = 1; cap <= 40; ++cap) {
+    i64 cur = lru.missesAt(cap);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace

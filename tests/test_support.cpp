@@ -1,0 +1,287 @@
+// Unit tests for the support module: integer math, rationals, matrices,
+// strings, datasets, CLI parsing, RNG determinism.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/cli.h"
+#include "support/contracts.h"
+#include "support/dataset.h"
+#include "support/intmath.h"
+#include "support/matrix.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace dr::support;
+
+TEST(IntMath, GcdBasics) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(18, 12), 6);
+  EXPECT_EQ(gcd(7, 13), 1);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(5, 0), 5);
+  EXPECT_EQ(gcd(0, 0), 0);
+}
+
+TEST(IntMath, GcdNegativeOperands) {
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(12, -18), 6);
+  EXPECT_EQ(gcd(-12, -18), 6);
+}
+
+TEST(IntMath, Lcm) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(0, 6), 0);
+  EXPECT_EQ(lcm(-4, 6), 12);
+}
+
+TEST(IntMath, FloorDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_THROW(floorDiv(1, 0), ContractViolation);
+}
+
+TEST(IntMath, CeilDiv) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+  EXPECT_THROW(ceilDiv(1, 0), ContractViolation);
+}
+
+TEST(IntMath, Mod) {
+  EXPECT_EQ(mod(7, 3), 1);
+  EXPECT_EQ(mod(-7, 3), 2);
+  EXPECT_EQ(mod(-7, -3), 2);
+  EXPECT_EQ(mod(0, 5), 0);
+  EXPECT_THROW(mod(1, 0), ContractViolation);
+}
+
+TEST(IntMath, FloorDivModConsistency) {
+  for (i64 a = -20; a <= 20; ++a)
+    for (i64 b : {-7, -3, -1, 1, 2, 5}) {
+      EXPECT_EQ(floorDiv(a, b) * b + (a - floorDiv(a, b) * b), a);
+      if (b > 0) {
+        EXPECT_EQ(a - floorDiv(a, b) * b, mod(a, b));
+      }
+    }
+}
+
+TEST(IntMath, CheckedOverflowDetection) {
+  i64 big = std::numeric_limits<i64>::max();
+  EXPECT_THROW(checkedAdd(big, 1), ContractViolation);
+  EXPECT_THROW(checkedMul(big, 2), ContractViolation);
+  EXPECT_THROW(checkedSub(std::numeric_limits<i64>::min(), 1),
+               ContractViolation);
+  EXPECT_EQ(checkedAdd(2, 3), 5);
+  EXPECT_EQ(checkedMul(-4, 5), -20);
+  EXPECT_EQ(checkedSub(2, 5), -3);
+}
+
+TEST(Rational, CanonicalForm) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+  EXPECT_THROW(Rational(1, 0), ContractViolation);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+  EXPECT_THROW(a / Rational(0), ContractViolation);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(1, 2), Rational(2, 4));
+  EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+TEST(Rational, ConversionsAndStr) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).toDouble(), 0.25);
+  EXPECT_TRUE(Rational(8, 4).isInteger());
+  EXPECT_FALSE(Rational(1, 4).isInteger());
+  EXPECT_EQ(Rational(7, 2).str(), "7/2");
+  EXPECT_EQ(Rational(6, 2).str(), "3");
+}
+
+TEST(Rational, LargeValuesCrossReduce) {
+  // 10^9/2 * 2/10^9 must not overflow thanks to cross-reduction.
+  Rational a(1000000000, 2), b(2, 1000000000);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(IntMatrix, RankZero) {
+  IntMatrix z(3, 2);
+  EXPECT_EQ(z.rank(), 0);
+  EXPECT_TRUE(z.isZero());
+}
+
+TEST(IntMatrix, RankOneProportionalRows) {
+  IntMatrix m{{2, -4}, {1, -2}, {-3, 6}};
+  EXPECT_EQ(m.rank(), 1);
+}
+
+TEST(IntMatrix, RankTwo) {
+  IntMatrix m{{1, 0}, {0, 1}};
+  EXPECT_EQ(m.rank(), 2);
+  IntMatrix me{{0, 0}, {1, 1}, {1, -1}};
+  EXPECT_EQ(me.rank(), 2);
+}
+
+TEST(IntMatrix, RankOfMotionEstimationB) {
+  // Paper Section 6.3: the (i5,i6) pair has rank 2, the (i4,..,i6) pair
+  // rank 1.
+  IntMatrix inner{{1, 0}, {0, -1}};
+  EXPECT_EQ(inner.rank(), 2);
+  IntMatrix outer{{0, 0}, {1, -1}};
+  EXPECT_EQ(outer.rank(), 1);
+}
+
+TEST(IntMatrix, RankBiggerDense) {
+  IntMatrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  EXPECT_EQ(m.rank(), 2);  // classic singular example
+  IntMatrix full{{2, 0, 0}, {0, 3, 0}, {0, 0, 5}};
+  EXPECT_EQ(full.rank(), 3);
+}
+
+TEST(IntMatrix, TransposePreservesRank) {
+  IntMatrix m{{1, 2, 3}, {2, 4, 6}};
+  EXPECT_EQ(m.rank(), 1);
+  EXPECT_EQ(m.transposed().rank(), 1);
+  EXPECT_EQ(m.transposed().rows(), 3);
+}
+
+TEST(IntMatrix, AccessorsAndValidation) {
+  IntMatrix m(2, 2);
+  m.at(0, 1) = 7;
+  EXPECT_EQ(m.at(0, 1), 7);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW((IntMatrix{{1, 2}, {3}}), ContractViolation);
+}
+
+TEST(Strings, JoinSplitTrim) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_TRUE(startsWith("--flag", "--"));
+  EXPECT_FALSE(startsWith("-", "--"));
+}
+
+TEST(Strings, FmtAndIndent) {
+  EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(fmtDouble(2.0, 0), "2");
+  EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");  // blank lines stay blank
+}
+
+TEST(DataSet, RowsAndRendering) {
+  DataSet ds("curve", {"size", "fr"});
+  ds.addRow({2.0, 10.0});
+  ds.addRow({1.0, 5.0});
+  EXPECT_EQ(ds.rowCount(), 2u);
+  EXPECT_THROW(ds.addRow({1.0}), ContractViolation);
+  ds.sortByColumn(0);
+  EXPECT_DOUBLE_EQ(ds.row(0)[0], 1.0);
+  std::string csv = ds.toCsv(1);
+  EXPECT_NE(csv.find("size,fr"), std::string::npos);
+  EXPECT_NE(csv.find("1.0,5.0"), std::string::npos);
+  std::string gp = ds.toGnuplot(1);
+  EXPECT_NE(gp.find("# curve"), std::string::npos);
+  std::string table = ds.toTable(1);
+  EXPECT_NE(table.find("== curve =="), std::string::npos);
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--a=1", "--b", "2", "--flag"};
+  CliOptions cli(5, argv);
+  EXPECT_EQ(cli.getInt("a", 0), 1);
+  EXPECT_EQ(cli.getInt("b", 0), 2);
+  EXPECT_TRUE(cli.getBool("flag", false));
+  EXPECT_EQ(cli.getInt("absent", 9), 9);
+  EXPECT_TRUE(cli.unusedNames().empty());
+}
+
+TEST(Cli, RejectsBadInput) {
+  const char* pos[] = {"prog", "stray"};
+  EXPECT_THROW(CliOptions(2, pos), ContractViolation);
+  const char* bad[] = {"prog", "--n=abc"};
+  CliOptions cli(2, bad);
+  EXPECT_THROW(cli.getInt("n", 0), ContractViolation);
+}
+
+TEST(Cli, UnusedNamesReported) {
+  const char* argv[] = {"prog", "--typo=1"};
+  CliOptions cli(2, argv);
+  auto unused = cli.unusedNames();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+    double d = r.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_THROW(r.uniform(3, 2), dr::support::ContractViolation);
+}
+
+TEST(Contracts, MacrosThrowWithContext) {
+  try {
+    DR_REQUIRE_MSG(false, "details here");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("details here"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+TEST(DataSet, WriteFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "dr_dataset_test.dat";
+  dr::support::DataSet ds("t", {"a"});
+  ds.addRow({1.5});
+  dr::support::DataSet::writeFile(path, ds.toGnuplot());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "# t");
+  std::remove(path.c_str());
+}
+
+TEST(DataSet, WriteFileFailsOnBadPath) {
+  EXPECT_THROW(dr::support::DataSet::writeFile("/nonexistent-dir/x.dat", "y"),
+               dr::support::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+// Unit tests for the trace module: address mapping (incl. halo padding),
+// the iteration-space walker, time-frame analysis, lifetimes, the
+// single-assignment check and per-signal statistics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.h"
+#include "kernels/motion_estimation.h"
+#include "support/contracts.h"
+#include "loopir/normalize.h"
+#include "trace/address_map.h"
+#include "trace/lifetime.h"
+#include "trace/single_assign.h"
+#include "trace/stats.h"
+#include "trace/timeframe.h"
+#include "trace/walker.h"
+
+namespace {
+
+using namespace dr::trace;
+using dr::support::i64;
+using dr::test::genericDoubleLoop;
+using dr::test::PairBox;
+
+TEST(AffineRange, ExactOverBox) {
+  dr::loopir::LoopNest nest;
+  nest.loops = {dr::loopir::Loop{"j", -2, 3, 1},
+                dr::loopir::Loop{"k", 0, 4, 1}};
+  dr::loopir::AffineExpr e(10);
+  e.setCoeff(0, 2);
+  e.setCoeff(1, -3);
+  ValueRange r = affineRange(e, nest);
+  EXPECT_EQ(r.min, 2 * -2 - 3 * 4 + 10);  // -6
+  EXPECT_EQ(r.max, 2 * 3 - 3 * 0 + 10);   // 16
+  EXPECT_EQ(r.extent(), 23);
+}
+
+TEST(AddressMap, HaloPaddingAvoidsAliasing) {
+  // Access A[j][k + off] with k + off running past the declared width W:
+  // without padding, (r, W+1) would alias (r+1, 1).
+  dr::loopir::Program p;
+  int sig = dr::loopir::addSignal(p, "A", {4, 4}, 8);
+  dr::loopir::LoopNest nest;
+  nest.loops = {dr::loopir::Loop{"j", 0, 3, 1},
+                dr::loopir::Loop{"k", 0, 5, 1}};  // k up to 5 > W-1
+  dr::loopir::ArrayAccess acc;
+  acc.signal = sig;
+  acc.kind = dr::loopir::AccessKind::Read;
+  acc.indices = {dr::loopir::AffineExpr::iterator(0),
+                 dr::loopir::AffineExpr::iterator(1)};
+  nest.body.push_back(acc);
+  p.nests.push_back(nest);
+
+  AddressMap map(p);
+  EXPECT_EQ(map.paddedRange(0)[1].extent(), 6);
+  std::set<i64> addrs;
+  for (i64 j = 0; j < 4; ++j)
+    for (i64 k = 0; k < 6; ++k) addrs.insert(map.address(0, {j, k}));
+  EXPECT_EQ(addrs.size(), 24u);  // all distinct
+}
+
+TEST(AddressMap, DisjointSignalRanges) {
+  auto p = genericDoubleLoop({0, 3, 0, 3}, 1, 1);
+  dr::loopir::addSignal(p, "B", {10}, 8);
+  AddressMap map(p);
+  EXPECT_EQ(map.base(0), 0);
+  EXPECT_GE(map.base(1), map.paddedElementCount(0));
+  EXPECT_EQ(map.signalOf(map.address(1, {3})), 1);
+  EXPECT_EQ(map.signalOf(map.address(0, {0})), 0);
+  EXPECT_EQ(map.signalOf(-1), -1);
+}
+
+TEST(AddressMap, RejectsOutOfPaddedRange) {
+  auto p = genericDoubleLoop({0, 3, 0, 3}, 1, 1);
+  AddressMap map(p);
+  EXPECT_THROW(map.address(0, {100}), dr::support::ContractViolation);
+}
+
+TEST(Walker, ProducesProgramOrderTrace) {
+  // A[2j + k], j,k in [0,2): order (0,0)(0,1)(1,0)(1,1) -> 0,1,2,3.
+  auto p = genericDoubleLoop({0, 1, 0, 1}, 2, 1);
+  AddressMap map(p);
+  Trace t = readTrace(p, map, 0);
+  ASSERT_EQ(t.length(), 4);
+  i64 base = t.addresses[0];
+  EXPECT_EQ(t.addresses[1], base + 1);
+  EXPECT_EQ(t.addresses[2], base + 2);
+  EXPECT_EQ(t.addresses[3], base + 3);
+}
+
+TEST(Walker, FiltersBySignalAndKind) {
+  auto p = genericDoubleLoop({0, 1, 0, 1}, 1, 1);
+  // Add a write access to a second signal.
+  int b = dr::loopir::addSignal(p, "B", {4}, 8);
+  dr::loopir::ArrayAccess w;
+  w.signal = b;
+  w.kind = dr::loopir::AccessKind::Write;
+  dr::loopir::AffineExpr e;
+  e.setCoeff(1, 1);
+  w.indices = {e};
+  p.nests[0].body.push_back(w);
+
+  AddressMap map(p);
+  TraceFilter readsOnly;
+  readsOnly.signal = 0;
+  EXPECT_EQ(collectTrace(p, map, readsOnly).length(), 4);
+  TraceFilter writesOnly;
+  writesOnly.includeReads = false;
+  writesOnly.includeWrites = true;
+  EXPECT_EQ(collectTrace(p, map, writesOnly).length(), 4);
+  TraceFilter one;
+  one.nest = 0;
+  one.accessIndex = 1;
+  one.includeWrites = true;
+  one.includeReads = false;
+  EXPECT_EQ(collectTrace(p, map, one).length(), 4);
+}
+
+TEST(Walker, DecrementalLoopOrder) {
+  auto p = genericDoubleLoop({0, 0, 0, 3}, 0, 1);
+  p.nests[0].loops[1] = dr::loopir::Loop{"k", 3, 0, -1};
+  AddressMap map(p);
+  Trace t = readTrace(p, map, 0);
+  ASSERT_EQ(t.length(), 4);
+  EXPECT_GT(t.addresses[0], t.addresses[3]);
+}
+
+TEST(Walker, NormalizedTraceIdentical) {
+  auto p = genericDoubleLoop({0, 5, 0, 7}, 3, 2, 1);
+  p.nests[0].loops[0].step = 2;
+  p.nests[0].loops[0].end = 10;
+  p.nests[0].loops[1] = dr::loopir::Loop{"k", 7, 0, -1};
+  auto n = dr::loopir::normalized(p);
+  AddressMap mp(p);
+  AddressMap mn(n);
+  Trace tp = readTrace(p, mp, 0);
+  Trace tn = readTrace(n, mn, 0);
+  ASSERT_EQ(tp.length(), tn.length());
+  for (i64 i = 0; i < tp.length(); ++i)
+    EXPECT_EQ(tp.addresses[static_cast<std::size_t>(i)],
+              tn.addresses[static_cast<std::size_t>(i)]);
+}
+
+TEST(Walker, MotionEstimationCounts) {
+  dr::kernels::MotionEstimationParams mp;
+  mp.H = 16;
+  mp.W = 16;
+  mp.n = 4;
+  mp.m = 2;
+  auto p = dr::kernels::motionEstimation(mp);
+  AddressMap map(p);
+  Trace t = readTrace(p, map, p.findSignal("Old"));
+  // (H/n)*(W/n)*(2m)^2*n^2 accesses.
+  EXPECT_EQ(t.length(), 4 * 4 * 4 * 4 * 4 * 4);
+  // Distinct elements: row index n*i1+i3+i5 spans [-m, H+m-2], i.e.
+  // H+2m-1 = 19 values; same horizontally.
+  EXPECT_EQ(t.distinctCount(), 19 * 19);
+}
+
+TEST(TimeFrames, WorkingSetsShrinkWithFrames) {
+  // Fig. 1's message: per-frame distinct elements << total distinct.
+  dr::kernels::MotionEstimationParams mp;
+  mp.H = 16;
+  mp.W = 16;
+  mp.n = 4;
+  mp.m = 2;
+  auto p = dr::kernels::motionEstimation(mp);
+  AddressMap map(p);
+  Trace t = readTrace(p, map, p.findSignal("Old"));
+  TimeFrameReport rep = analyzeTimeFrames(t, 16);
+  EXPECT_EQ(rep.totalAccesses, t.length());
+  EXPECT_EQ(static_cast<i64>(rep.frames.size()), 16);
+  EXPECT_LT(rep.maxFrameDistinct, static_cast<double>(rep.totalDistinct));
+  i64 sum = 0;
+  for (const TimeFrame& f : rep.frames) sum += f.accessCount;
+  EXPECT_EQ(sum, t.length());
+}
+
+TEST(TimeFrames, SingleFrameIsWholeTrace) {
+  auto p = genericDoubleLoop({0, 3, 0, 3}, 1, 1);
+  AddressMap map(p);
+  Trace t = readTrace(p, map, 0);
+  TimeFrameReport rep = analyzeTimeFrames(t, 1);
+  ASSERT_EQ(rep.frames.size(), 1u);
+  EXPECT_EQ(rep.frames[0].distinctElements, rep.totalDistinct);
+  EXPECT_THROW(analyzeTimeFrames(t, 0), dr::support::ContractViolation);
+}
+
+TEST(Lifetimes, SimplePattern) {
+  Trace t;
+  t.addresses = {1, 2, 1, 3, 2};
+  LifetimeStats stats = analyzeLifetimes(t);
+  EXPECT_EQ(stats.distinctElements, 3);
+  // live after each access: {1}=1, {1,2}=2, {1->dies}=2, {2,3}->3 dies at
+  // its only access... addr3 lives [3,3], addr2 [1,4].
+  EXPECT_EQ(stats.maxLive, 2);
+  EXPECT_EQ(stats.maxLifetime, 4);  // addr 2: positions 1..4
+  auto live = liveProfile(t);
+  EXPECT_EQ(live.front(), 1);
+  EXPECT_EQ(live.back(), 1);
+}
+
+TEST(Lifetimes, AllDistinct) {
+  Trace t;
+  t.addresses = {5, 6, 7};
+  LifetimeStats stats = analyzeLifetimes(t);
+  EXPECT_EQ(stats.maxLive, 1);
+  EXPECT_EQ(stats.maxLifetime, 1);
+}
+
+TEST(SingleAssignment, CleanKernelPasses) {
+  auto p = dr::kernels::motionEstimation(
+      {16, 16, 4, 2, /*includeAccumulatorWrites=*/false});
+  AddressMap map(p);
+  EXPECT_TRUE(checkSingleAssignment(p, map).empty());
+}
+
+TEST(SingleAssignment, AccumulatorWritesDetected) {
+  // The realistic accumulator variant updates each distance n*n times —
+  // exactly what DTSE pre-processing (paper Section 3 step 1) must fix.
+  auto p = dr::kernels::motionEstimation(
+      {16, 16, 4, 2, /*includeAccumulatorWrites=*/true});
+  AddressMap map(p);
+  auto violations = checkSingleAssignment(p, map);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().writeCount, 4 * 4);
+  std::string desc = describeViolations(p, violations);
+  EXPECT_NE(desc.find("Dist"), std::string::npos);
+}
+
+TEST(Stats, PerSignalTotals) {
+  auto p = dr::kernels::motionEstimation({16, 16, 4, 2, true});
+  AddressMap map(p);
+  auto stats = signalStats(p, map);
+  ASSERT_EQ(stats.size(), 3u);
+  i64 iters = p.nests[0].iterationCount();
+  EXPECT_EQ(stats[0].reads, iters);  // New
+  EXPECT_EQ(stats[1].reads, iters);  // Old
+  EXPECT_EQ(stats[2].writes, iters); // Dist
+  EXPECT_EQ(stats[2].reads, 0);
+  EXPECT_EQ(stats[1].distinctRead, 19 * 19);
+  EXPECT_EQ(stats[2].distinctWritten, 4 * 4 * 4 * 4);
+}
+
+}  // namespace

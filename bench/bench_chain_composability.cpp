@@ -12,6 +12,7 @@
 #include "kernels/motion_estimation.h"
 #include "kernels/susan.h"
 #include "simcore/chain_sim.h"
+#include "simcore/opt_stack.h"
 #include "support/dataset.h"
 #include "support/rng.h"
 #include "trace/walker.h"
@@ -24,12 +25,13 @@ using dr::trace::Trace;
 void reportChain(const char* name, const Trace& trace,
                  const std::vector<i64>& caps) {
   auto chain = dr::simcore::simulateOptChain(trace, caps);
-  auto nextUse = dr::simcore::computeNextUse(trace);
+  // Standalone counts for every level from one OPT stack-distance pass.
+  dr::simcore::OptStackDistances stack(trace);
   dr::support::DataSet ds(
       std::string(name) + ": in-chain vs standalone C_j",
       {"level_size", "Cj_in_chain", "Cj_standalone", "ratio"});
   for (std::size_t j = 0; j < caps.size(); ++j) {
-    i64 solo = dr::simcore::simulateOpt(trace, caps[j], nextUse).misses;
+    i64 solo = stack.missesAt(caps[j]);
     ds.addRow({static_cast<double>(caps[j]),
                static_cast<double>(chain.perLevel[j].misses),
                static_cast<double>(solo),
@@ -97,6 +99,20 @@ void BM_ChainSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChainSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_ChainBatchSimulation(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  Trace t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  std::vector<std::vector<i64>> chains = {
+      {1521, 148, 12}, {1521, 148}, {1521, 12}, {148, 12},
+      {1521}, {148},   {12},        {1521, 300, 60, 12}};
+  for (auto _ : state) {
+    auto results = dr::simcore::simulateOptChains(t, chains);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_ChainBatchSimulation)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

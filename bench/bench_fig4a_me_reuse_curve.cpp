@@ -8,19 +8,76 @@
 // kernel saturates at F = 213.6 (30369 distinct elements) with the same
 // knee structure; see EXPERIMENTS.md for the side-by-side numbers.
 
+#include <chrono>
+
 #include "bench_util.h"
 
 #include "analytic/curve.h"
 #include "analytic/footprint.h"
 #include "kernels/motion_estimation.h"
 #include "simcore/buffer_sim.h"
+#include "simcore/opt_stack.h"
 #include "simcore/reuse_curve.h"
 #include "support/dataset.h"
+#include "support/parallel.h"
 #include "trace/walker.h"
 
 namespace {
 
 using dr::support::i64;
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Times the three ways of producing the E1 curve over the same sizes:
+/// the seed's serial per-size Belady sweep, the same sweep parallelised
+/// over sizes, and the one-pass OPT stack-distance engine.
+void printSpeedupTable(const dr::trace::Trace& trace,
+                       const std::vector<i64>& sizes) {
+  const std::vector<i64> nextUse = dr::simcore::computeNextUse(trace);
+
+  auto t0 = std::chrono::steady_clock::now();
+  i64 checkSerial = 0;
+  for (i64 size : sizes)
+    checkSerial += dr::simcore::simulateOpt(trace, size, nextUse).misses;
+  const double serialS = secondsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  std::vector<i64> perSize(sizes.size());
+  dr::support::parallelFor(static_cast<i64>(sizes.size()), [&](i64 i) {
+    perSize[static_cast<std::size_t>(i)] =
+        dr::simcore::simulateOpt(trace, sizes[static_cast<std::size_t>(i)],
+                                 nextUse)
+            .misses;
+  });
+  const double parallelS = secondsSince(t0);
+  i64 checkParallel = 0;
+  for (i64 m : perSize) checkParallel += m;
+
+  t0 = std::chrono::steady_clock::now();
+  dr::simcore::OptStackDistances stack(trace);
+  i64 checkOnePass = 0;
+  for (i64 size : sizes) checkOnePass += stack.missesAt(size);
+  const double onePassS = secondsSince(t0);
+
+  std::printf("\nOPT sweep timing over %zu sizes (trace %lld accesses):\n",
+              sizes.size(), static_cast<long long>(trace.length()));
+  std::printf("  %-28s %10.3f s   (speedup 1.0x)\n",
+              "serial per-size Belady", serialS);
+  std::printf("  %-28s %10.3f s   (speedup %.1fx, %d threads)\n",
+              "parallel per-size Belady", parallelS, serialS / parallelS,
+              dr::support::parallelThreads());
+  std::printf("  %-28s %10.3f s   (speedup %.1fx)\n",
+              "one-pass stack distances", onePassS, serialS / onePassS);
+  if (checkSerial != checkParallel || checkSerial != checkOnePass)
+    std::printf("  WARNING: miss-count checksums disagree (%lld/%lld/%lld)\n",
+                static_cast<long long>(checkSerial),
+                static_cast<long long>(checkParallel),
+                static_cast<long long>(checkOnePass));
+}
 
 dr::kernels::MotionEstimationParams meParams() {
   dr::kernels::MotionEstimationParams mp;  // paper scale by default
@@ -86,6 +143,8 @@ void printFigureData() {
               at2745.reuseFactor(), curve.maxReuseFactor(),
               static_cast<long long>(
                   curve.smallestSizeReaching(curve.maxReuseFactor())));
+
+  printSpeedupTable(trace, sizes);
 }
 
 void BM_TraceGeneration(benchmark::State& state) {
@@ -121,6 +180,55 @@ void BM_OptSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_OptSimulation)->Arg(12)->Arg(148)->Arg(1521)
     ->Unit(benchmark::kMillisecond);
+
+void BM_OptStackOnePass(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  for (auto _ : state) {
+    dr::simcore::OptStackDistances stack(t);
+    benchmark::DoNotOptimize(stack.saturationSize());
+  }
+}
+BENCHMARK(BM_OptStackOnePass)->Unit(benchmark::kMillisecond);
+
+void BM_OptCurvePerSizeSerial(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  auto sizes = dr::simcore::sizeGrid(t.distinctCount(), 16);
+  auto nu = dr::simcore::computeNextUse(t);
+  for (auto _ : state) {
+    i64 misses = 0;
+    for (i64 size : sizes)
+      misses += dr::simcore::simulateOpt(t, size, nu).misses;
+    benchmark::DoNotOptimize(misses);
+  }
+}
+BENCHMARK(BM_OptCurvePerSizeSerial)->Unit(benchmark::kMillisecond);
+
+void BM_OptCurveOnePassEngine(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  auto sizes = dr::simcore::sizeGrid(t.distinctCount(), 16);
+  for (auto _ : state) {
+    auto curve = dr::simcore::simulateReuseCurve(t, sizes);
+    benchmark::DoNotOptimize(curve.points.data());
+  }
+}
+BENCHMARK(BM_OptCurveOnePassEngine)->Unit(benchmark::kMillisecond);
+
+void BM_DensifyTrace(benchmark::State& state) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  for (auto _ : state) {
+    auto dense = dr::trace::densify(t);
+    benchmark::DoNotOptimize(dense.ids.data());
+  }
+}
+BENCHMARK(BM_DensifyTrace)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

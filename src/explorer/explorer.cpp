@@ -6,6 +6,7 @@
 #include "loopir/normalize.h"
 #include "loopir/permute.h"
 #include "support/contracts.h"
+#include "support/parallel.h"
 #include "support/strings.h"
 
 namespace dr::explorer {
@@ -137,6 +138,10 @@ SignalExploration exploreSignal(const Program& p, int signal,
   // expressions share one copy-candidate (paper Section 6.4), so they are
   // merged: the copy is filled once (C_j unchanged) and every duplicate
   // read hits it (reads scale with the occurrence count).
+  //
+  // Grouping is order-dependent (first occurrence wins) and stays serial;
+  // the analytic point computation per merged group is independent and
+  // runs in parallel, each group writing only its own slot.
   for (std::size_t n = 0; n < pn.nests.size(); ++n) {
     const loopir::LoopNest& nest = pn.nests[n];
     for (std::size_t a = 0; a < nest.body.size(); ++a) {
@@ -159,13 +164,22 @@ SignalExploration exploreSignal(const Program& p, int signal,
       analysis.nest = static_cast<int>(n);
       analysis.accessIndex = static_cast<int>(a);
       analysis.Ctot = nest.iterationCount();
-      if (nest.depth() >= 2)
-        analysis.points =
-            analytic::analyticReusePoints(nest, acc, opts.analyticOptions);
-      analysis.multiLevel = analytic::multiLevelPoints(nest, acc);
       result.accesses.push_back(std::move(analysis));
     }
   }
+  dr::support::parallelFor(
+      static_cast<i64>(result.accesses.size()), [&](i64 i) {
+        AccessAnalysis& analysis =
+            result.accesses[static_cast<std::size_t>(i)];
+        const loopir::LoopNest& nest =
+            pn.nests[static_cast<std::size_t>(analysis.nest)];
+        const loopir::ArrayAccess& acc =
+            nest.body[static_cast<std::size_t>(analysis.accessIndex)];
+        if (nest.depth() >= 2)
+          analysis.points =
+              analytic::analyticReusePoints(nest, acc, opts.analyticOptions);
+        analysis.multiLevel = analytic::multiLevelPoints(nest, acc);
+      });
   // Scale the merged groups' read counts: the copy content and fills are
   // those of one occurrence, the served reads multiply.
   for (AccessAnalysis& a : result.accesses) {
@@ -325,9 +339,13 @@ std::vector<OrderingResult> orderingSweep(const Program& p, int signal,
   const loopir::LoopNest& nest = pn.nests[static_cast<std::size_t>(nestIdx)];
   DR_REQUIRE(fixedPrefix >= 0 && fixedPrefix <= nest.depth());
 
-  std::vector<OrderingResult> out;
-  for (const std::vector<int>& perm :
-       loopir::loopOrderings(nest.depth(), fixedPrefix)) {
+  // One slot per permutation, filled in parallel; the final sort sees the
+  // same deterministic sequence a serial loop would produce.
+  const std::vector<std::vector<int>> perms =
+      loopir::loopOrderings(nest.depth(), fixedPrefix);
+  std::vector<OrderingResult> out(perms.size());
+  dr::support::parallelFor(static_cast<i64>(perms.size()), [&](i64 pi) {
+    const std::vector<int>& perm = perms[static_cast<std::size_t>(pi)];
     loopir::LoopNest reordered = loopir::permuted(nest, perm);
     OrderingResult r;
     r.perm = perm;
@@ -357,8 +375,8 @@ std::vector<OrderingResult> orderingSweep(const Program& p, int signal,
         r.exact = exact;
       }
     }
-    out.push_back(std::move(r));
-  }
+    out[static_cast<std::size_t>(pi)] = std::move(r);
+  });
 
   std::sort(out.begin(), out.end(),
             [](const OrderingResult& a, const OrderingResult& b) {

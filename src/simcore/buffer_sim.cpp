@@ -1,72 +1,83 @@
 #include "simcore/buffer_sim.h"
 
-#include <deque>
-#include <list>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "support/contracts.h"
 
 namespace dr::simcore {
 
-std::vector<i64> computeNextUse(const Trace& trace) {
-  i64 n = trace.length();
+std::vector<i64> computeNextUseDense(const std::vector<i64>& ids,
+                                     i64 universe) {
+  const i64 n = static_cast<i64>(ids.size());
   std::vector<i64> nextUse(static_cast<std::size_t>(n));
-  std::unordered_map<i64, i64> lastSeen;
-  lastSeen.reserve(static_cast<std::size_t>(n) / 4 + 1);
+  std::vector<i64> lastSeen(static_cast<std::size_t>(universe), n);
   for (i64 t = n - 1; t >= 0; --t) {
-    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
-    auto it = lastSeen.find(addr);
-    nextUse[static_cast<std::size_t>(t)] = it == lastSeen.end() ? n : it->second;
-    lastSeen[addr] = t;
+    const std::size_t id = static_cast<std::size_t>(ids[static_cast<std::size_t>(t)]);
+    nextUse[static_cast<std::size_t>(t)] = lastSeen[id];
+    lastSeen[id] = t;
   }
   return nextUse;
 }
 
+std::vector<i64> computeNextUse(const Trace& trace) {
+  return computeNextUse(dr::trace::densify(trace));
+}
+
 SimResult simulateOpt(const Trace& trace, i64 capacity) {
-  return simulateOpt(trace, capacity, computeNextUse(trace));
+  dr::trace::DenseTrace dense = dr::trace::densify(trace);
+  return simulateOptDense(dense.ids, dense.distinct(), capacity,
+                          computeNextUse(dense));
 }
 
 SimResult simulateOpt(const Trace& trace, i64 capacity,
                       const std::vector<i64>& nextUse) {
+  dr::trace::DenseTrace dense = dr::trace::densify(trace);
+  return simulateOptDense(dense.ids, dense.distinct(), capacity, nextUse);
+}
+
+SimResult simulateOptDense(const std::vector<i64>& ids, i64 universe,
+                           i64 capacity, const std::vector<i64>& nextUse) {
   DR_REQUIRE(capacity >= 0);
-  DR_REQUIRE(nextUse.size() == trace.addresses.size());
+  DR_REQUIRE(nextUse.size() == ids.size());
   SimResult r;
   r.capacity = capacity;
-  r.accesses = trace.length();
+  r.accesses = static_cast<i64>(ids.size());
   if (capacity == 0) {
     r.misses = r.accesses;
     return r;
   }
 
-  // resident maps address -> its current next-use time; the heap holds
-  // (nextUse, address) pairs with lazy invalidation (an entry is stale when
-  // resident[address] no longer equals its recorded next-use).
-  std::unordered_map<i64, i64> resident;
-  resident.reserve(static_cast<std::size_t>(capacity) * 2 + 16);
-  using Entry = std::pair<i64, i64>;  // (nextUse, address), max-heap
+  // residentNu[id] is the id's current next-use time, or -1 when absent;
+  // the heap holds (nextUse, id) pairs with lazy invalidation (an entry
+  // is stale when residentNu[id] no longer equals its recorded next-use).
+  std::vector<i64> residentNu(static_cast<std::size_t>(universe), -1);
+  i64 residentCount = 0;
+  using Entry = std::pair<i64, i64>;  // (nextUse, id), max-heap
   std::priority_queue<Entry> heap;
 
-  for (i64 t = 0; t < trace.length(); ++t) {
-    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
-    i64 nu = nextUse[static_cast<std::size_t>(t)];
-    auto it = resident.find(addr);
-    if (it != resident.end()) {
+  for (i64 t = 0; t < r.accesses; ++t) {
+    const i64 id = ids[static_cast<std::size_t>(t)];
+    const i64 nu = nextUse[static_cast<std::size_t>(t)];
+    i64& slot = residentNu[static_cast<std::size_t>(id)];
+    if (slot >= 0) {
       ++r.hits;
-      it->second = nu;
-      heap.emplace(nu, addr);
+      slot = nu;
+      heap.emplace(nu, id);
       continue;
     }
     ++r.misses;
-    resident.emplace(addr, nu);
-    heap.emplace(nu, addr);
-    while (static_cast<i64>(resident.size()) > capacity) {
+    slot = nu;
+    ++residentCount;
+    heap.emplace(nu, id);
+    while (residentCount > capacity) {
       DR_CHECK(!heap.empty());
-      auto [hnu, haddr] = heap.top();
+      auto [hnu, hid] = heap.top();
       heap.pop();
-      auto rit = resident.find(haddr);
-      if (rit != resident.end() && rit->second == hnu) resident.erase(rit);
+      i64& victim = residentNu[static_cast<std::size_t>(hid)];
+      if (victim == hnu) {
+        victim = -1;
+        --residentCount;
+      }
       // else: stale heap entry, skip.
     }
   }
@@ -75,31 +86,63 @@ SimResult simulateOpt(const Trace& trace, i64 capacity,
 }
 
 SimResult simulateLru(const Trace& trace, i64 capacity) {
+  return simulateLru(dr::trace::densify(trace), capacity);
+}
+
+SimResult simulateLru(const DenseTrace& dense, i64 capacity) {
   DR_REQUIRE(capacity >= 0);
   SimResult r;
   r.capacity = capacity;
-  r.accesses = trace.length();
+  r.accesses = dense.length();
   if (capacity == 0) {
     r.misses = r.accesses;
     return r;
   }
 
-  std::list<i64> order;  // front = most recently used
-  std::unordered_map<i64, std::list<i64>::iterator> where;
-  where.reserve(static_cast<std::size_t>(capacity) * 2 + 16);
-  for (i64 addr : trace.addresses) {
-    auto it = where.find(addr);
-    if (it != where.end()) {
+  // Intrusive recency list over dense ids: head = most recently used.
+  const std::size_t universe = static_cast<std::size_t>(dense.distinct());
+  std::vector<i64> prev(universe, -1), next(universe, -1);
+  std::vector<char> resident(universe, 0);
+  i64 head = -1, tail = -1, count = 0;
+
+  auto unlink = [&](i64 id) {
+    const std::size_t u = static_cast<std::size_t>(id);
+    if (prev[u] >= 0)
+      next[static_cast<std::size_t>(prev[u])] = next[u];
+    else
+      head = next[u];
+    if (next[u] >= 0)
+      prev[static_cast<std::size_t>(next[u])] = prev[u];
+    else
+      tail = prev[u];
+  };
+  auto pushFront = [&](i64 id) {
+    const std::size_t u = static_cast<std::size_t>(id);
+    prev[u] = -1;
+    next[u] = head;
+    if (head >= 0) prev[static_cast<std::size_t>(head)] = id;
+    head = id;
+    if (tail < 0) tail = id;
+  };
+
+  for (i64 id : dense.ids) {
+    const std::size_t u = static_cast<std::size_t>(id);
+    if (resident[u]) {
       ++r.hits;
-      order.splice(order.begin(), order, it->second);
+      if (head != id) {
+        unlink(id);
+        pushFront(id);
+      }
       continue;
     }
     ++r.misses;
-    order.push_front(addr);
-    where[addr] = order.begin();
-    if (static_cast<i64>(order.size()) > capacity) {
-      where.erase(order.back());
-      order.pop_back();
+    resident[u] = 1;
+    pushFront(id);
+    if (++count > capacity) {
+      const i64 victim = tail;
+      unlink(victim);
+      resident[static_cast<std::size_t>(victim)] = 0;
+      --count;
     }
   }
   DR_ENSURE(r.hits + r.misses == r.accesses);
@@ -107,29 +150,43 @@ SimResult simulateLru(const Trace& trace, i64 capacity) {
 }
 
 SimResult simulateFifo(const Trace& trace, i64 capacity) {
+  return simulateFifo(dr::trace::densify(trace), capacity);
+}
+
+SimResult simulateFifo(const DenseTrace& dense, i64 capacity) {
   DR_REQUIRE(capacity >= 0);
   SimResult r;
   r.capacity = capacity;
-  r.accesses = trace.length();
+  r.accesses = dense.length();
   if (capacity == 0) {
     r.misses = r.accesses;
     return r;
   }
 
-  std::deque<i64> order;  // front = oldest
-  std::unordered_set<i64> resident;
-  resident.reserve(static_cast<std::size_t>(capacity) * 2 + 16);
-  for (i64 addr : trace.addresses) {
-    if (resident.count(addr)) {
+  const std::size_t universe = static_cast<std::size_t>(dense.distinct());
+  std::vector<char> resident(universe, 0);
+  // Ring buffer of resident ids in insertion order (capacity + 1 slots so
+  // the transient overfill before eviction fits).
+  std::vector<i64> ring(static_cast<std::size_t>(
+                            std::min<i64>(capacity, dense.distinct()) + 1),
+                        -1);
+  std::size_t headIdx = 0, tailIdx = 0;
+  i64 count = 0;
+
+  for (i64 id : dense.ids) {
+    const std::size_t u = static_cast<std::size_t>(id);
+    if (resident[u]) {
       ++r.hits;
       continue;
     }
     ++r.misses;
-    resident.insert(addr);
-    order.push_back(addr);
-    if (static_cast<i64>(resident.size()) > capacity) {
-      resident.erase(order.front());
-      order.pop_front();
+    resident[u] = 1;
+    ring[tailIdx] = id;
+    tailIdx = (tailIdx + 1) % ring.size();
+    if (++count > capacity) {
+      resident[static_cast<std::size_t>(ring[headIdx])] = 0;
+      headIdx = (headIdx + 1) % ring.size();
+      --count;
     }
   }
   DR_ENSURE(r.hits + r.misses == r.accesses);

@@ -14,10 +14,15 @@
 /// Counting model (paper eq. (1)): every access that misses in the
 /// copy-candidate is a write C_j to it (equivalently a read from level
 /// j-1); the data reuse factor is F_Rj = C_tot / C_j.
+///
+/// All simulators run on dense ids (trace/address_map.h's DenseTrace):
+/// the Trace overloads compact the address stream once up front, so the
+/// per-access bookkeeping is flat vector indexing instead of hashing.
 
 namespace dr::simcore {
 
 using dr::support::i64;
+using dr::trace::DenseTrace;
 using dr::trace::Trace;
 
 enum class Policy {
@@ -50,10 +55,21 @@ struct SimResult {
 /// access to the same address, or trace.length() when there is none.
 std::vector<i64> computeNextUse(const Trace& trace);
 
+/// As above over dense ids drawn from [0, universe): state is a flat
+/// vector sized by the distinct count, no hashing.
+std::vector<i64> computeNextUseDense(const std::vector<i64>& ids,
+                                     i64 universe);
+
+inline std::vector<i64> computeNextUse(const DenseTrace& dense) {
+  return computeNextUseDense(dense.ids, dense.distinct());
+}
+
 /// Belady-optimal simulation of a fully associative buffer of `capacity`
 /// elements. Capacity 0 means every access misses. The variant simulated
 /// is MIN (bypass allowed): an element whose next use is farther than all
 /// residents' is not inserted, which never increases the miss count.
+/// This per-size walk is the reference oracle; reuse-curve sweeps use the
+/// one-pass engine in opt_stack.h instead.
 SimResult simulateOpt(const Trace& trace, i64 capacity);
 
 /// As simulateOpt but with precomputed next-use indices (reuse across a
@@ -61,11 +77,18 @@ SimResult simulateOpt(const Trace& trace, i64 capacity);
 SimResult simulateOpt(const Trace& trace, i64 capacity,
                       const std::vector<i64>& nextUse);
 
+/// Dense-id core of simulateOpt: ids in [0, universe), nextUse from
+/// computeNextUseDense(ids, universe).
+SimResult simulateOptDense(const std::vector<i64>& ids, i64 universe,
+                           i64 capacity, const std::vector<i64>& nextUse);
+
 /// LRU simulation of a fully associative buffer.
 SimResult simulateLru(const Trace& trace, i64 capacity);
+SimResult simulateLru(const DenseTrace& dense, i64 capacity);
 
 /// FIFO simulation of a fully associative buffer.
 SimResult simulateFifo(const Trace& trace, i64 capacity);
+SimResult simulateFifo(const DenseTrace& dense, i64 capacity);
 
 /// Dispatch on `policy`.
 SimResult simulate(const Trace& trace, i64 capacity, Policy policy);

@@ -1,56 +1,65 @@
 #include "simcore/chain_sim.h"
 
 #include <queue>
-#include <unordered_map>
 
 #include "support/contracts.h"
+#include "support/parallel.h"
 
 namespace dr::simcore {
 
-SimResult simulateOptWithMissStream(const Trace& trace, i64 capacity,
-                                    const std::vector<i64>& nextUse,
-                                    Trace& missStream) {
+namespace {
+
+/// Dense-id core of simulateOptWithMissStream. The miss stream keeps the
+/// dense numbering of the input (a subset of [0, universe)), so chained
+/// levels can rerun it without re-compacting.
+SimResult simulateOptDenseWithMissStream(const std::vector<i64>& ids,
+                                         i64 universe, i64 capacity,
+                                         const std::vector<i64>& nextUse,
+                                         std::vector<i64>& missIds) {
   DR_REQUIRE(capacity >= 1);
-  DR_REQUIRE(nextUse.size() == trace.addresses.size());
+  DR_REQUIRE(nextUse.size() == ids.size());
   SimResult r;
   r.capacity = capacity;
-  r.accesses = trace.length();
-  missStream.addresses.clear();
+  r.accesses = static_cast<i64>(ids.size());
+  missIds.clear();
 
-  std::unordered_map<i64, i64> resident;
-  resident.reserve(static_cast<std::size_t>(capacity) * 2 + 16);
-  using Entry = std::pair<i64, i64>;
+  std::vector<i64> residentNu(static_cast<std::size_t>(universe), -1);
+  i64 residentCount = 0;
+  using Entry = std::pair<i64, i64>;  // (nextUse, id), max-heap
   std::priority_queue<Entry> heap;
 
-  for (i64 t = 0; t < trace.length(); ++t) {
-    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
-    i64 nu = nextUse[static_cast<std::size_t>(t)];
-    auto it = resident.find(addr);
-    if (it != resident.end()) {
+  for (i64 t = 0; t < r.accesses; ++t) {
+    const i64 id = ids[static_cast<std::size_t>(t)];
+    const i64 nu = nextUse[static_cast<std::size_t>(t)];
+    i64& slot = residentNu[static_cast<std::size_t>(id)];
+    if (slot >= 0) {
       ++r.hits;
-      it->second = nu;
-      heap.emplace(nu, addr);
+      slot = nu;
+      heap.emplace(nu, id);
       continue;
     }
     ++r.misses;
-    missStream.addresses.push_back(addr);
-    resident.emplace(addr, nu);
-    heap.emplace(nu, addr);
-    while (static_cast<i64>(resident.size()) > capacity) {
+    missIds.push_back(id);
+    slot = nu;
+    ++residentCount;
+    heap.emplace(nu, id);
+    while (residentCount > capacity) {
       DR_CHECK(!heap.empty());
-      auto [hnu, haddr] = heap.top();
+      auto [hnu, hid] = heap.top();
       heap.pop();
-      auto rit = resident.find(haddr);
-      if (rit != resident.end() && rit->second == hnu) resident.erase(rit);
+      i64& victim = residentNu[static_cast<std::size_t>(hid)];
+      if (victim == hnu) {
+        victim = -1;
+        --residentCount;
+      }
     }
   }
   DR_ENSURE(r.hits + r.misses == r.accesses);
-  DR_ENSURE(static_cast<i64>(missStream.addresses.size()) == r.misses);
+  DR_ENSURE(static_cast<i64>(missIds.size()) == r.misses);
   return r;
 }
 
-ChainSimResult simulateOptChain(const Trace& trace,
-                                const std::vector<i64>& capacities) {
+void checkChain(const std::vector<i64>& capacities) {
   DR_REQUIRE(!capacities.empty());
   for (std::size_t i = 0; i < capacities.size(); ++i) {
     DR_REQUIRE(capacities[i] >= 1);
@@ -58,21 +67,77 @@ ChainSimResult simulateOptChain(const Trace& trace,
       DR_REQUIRE_MSG(capacities[i] < capacities[i - 1],
                      "chain capacities must strictly decrease inward");
   }
+}
 
+/// Chain walk over an already-compacted request stream. The initial
+/// next-use vector is shared (it only depends on the trace, not the
+/// chain); deeper levels recompute next-use on their shrinking streams.
+ChainSimResult runChainDense(const std::vector<i64>& ids, i64 universe,
+                             const std::vector<i64>& traceNextUse,
+                             const std::vector<i64>& capacities) {
   ChainSimResult out;
-  out.datapathReads = trace.length();
+  out.datapathReads = static_cast<i64>(ids.size());
   out.perLevel.resize(capacities.size());
 
-  // Innermost level first: it sees the raw datapath trace; each level's
+  // Innermost level first: it sees the raw datapath stream; each level's
   // miss stream becomes the request stream of the next level out.
-  Trace requests = trace;
+  std::vector<i64> requests;
+  std::vector<i64> misses;
+  const std::vector<i64>* cur = &ids;
+  const std::vector<i64>* curNextUse = &traceNextUse;
+  std::vector<i64> nextUseScratch;
   for (std::size_t rev = capacities.size(); rev-- > 0;) {
-    Trace misses;
-    std::vector<i64> nextUse = computeNextUse(requests);
-    out.perLevel[rev] = simulateOptWithMissStream(
-        requests, capacities[rev], nextUse, misses);
+    out.perLevel[rev] = simulateOptDenseWithMissStream(
+        *cur, universe, capacities[rev], *curNextUse, misses);
     requests = std::move(misses);
+    misses.clear();
+    cur = &requests;
+    if (rev > 0) {
+      nextUseScratch = computeNextUseDense(requests, universe);
+      curNextUse = &nextUseScratch;
+    }
   }
+  return out;
+}
+
+}  // namespace
+
+SimResult simulateOptWithMissStream(const Trace& trace, i64 capacity,
+                                    const std::vector<i64>& nextUse,
+                                    Trace& missStream) {
+  DR_REQUIRE(nextUse.size() == trace.addresses.size());
+  dr::trace::DenseTrace dense = dr::trace::densify(trace);
+  std::vector<i64> missIds;
+  SimResult r = simulateOptDenseWithMissStream(dense.ids, dense.distinct(),
+                                               capacity, nextUse, missIds);
+  missStream.addresses.clear();
+  missStream.addresses.reserve(missIds.size());
+  for (i64 id : missIds)
+    missStream.addresses.push_back(
+        dense.idToAddress[static_cast<std::size_t>(id)]);
+  return r;
+}
+
+ChainSimResult simulateOptChain(const Trace& trace,
+                                const std::vector<i64>& capacities) {
+  checkChain(capacities);
+  dr::trace::DenseTrace dense = dr::trace::densify(trace);
+  const std::vector<i64> nextUse = computeNextUse(dense);
+  return runChainDense(dense.ids, dense.distinct(), nextUse, capacities);
+}
+
+std::vector<ChainSimResult> simulateOptChains(
+    const Trace& trace, const std::vector<std::vector<i64>>& chains) {
+  for (const std::vector<i64>& c : chains) checkChain(c);
+  dr::trace::DenseTrace dense = dr::trace::densify(trace);
+  const std::vector<i64> nextUse = computeNextUse(dense);
+  std::vector<ChainSimResult> out(chains.size());
+  dr::support::parallelFor(
+      static_cast<i64>(chains.size()), [&](i64 i) {
+        out[static_cast<std::size_t>(i)] =
+            runChainDense(dense.ids, dense.distinct(), nextUse,
+                          chains[static_cast<std::size_t>(i)]);
+      });
   return out;
 }
 

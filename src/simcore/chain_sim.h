@@ -40,4 +40,11 @@ struct ChainSimResult {
 ChainSimResult simulateOptChain(const Trace& trace,
                                 const std::vector<i64>& capacities);
 
+/// Batch form: simulate many candidate chains over the same trace. The
+/// trace is compacted once and the chains are evaluated in parallel
+/// (support/parallel.h); results are positionally aligned with `chains`
+/// and identical to calling simulateOptChain per element.
+std::vector<ChainSimResult> simulateOptChains(
+    const Trace& trace, const std::vector<std::vector<i64>>& chains);
+
 }  // namespace dr::simcore

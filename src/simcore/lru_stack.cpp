@@ -1,7 +1,6 @@
 #include "simcore/lru_stack.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "support/contracts.h"
 
@@ -35,22 +34,29 @@ class Bit {
 }  // namespace
 
 LruStackDistances::LruStackDistances(const Trace& trace) {
-  accesses_ = trace.length();
+  run(dr::trace::densify(trace));
+}
+
+LruStackDistances::LruStackDistances(const dr::trace::DenseTrace& dense) {
+  run(dense);
+}
+
+void LruStackDistances::run(const dr::trace::DenseTrace& dense) {
+  accesses_ = dense.length();
   i64 n = accesses_;
-  Bit marks(n);  // position p marked iff p is the most recent access of its address
-  std::unordered_map<i64, i64> lastPos;
-  lastPos.reserve(static_cast<std::size_t>(n) / 4 + 1);
+  Bit marks(n);  // position p marked iff p is the most recent access of its id
+  std::vector<i64> lastPos(static_cast<std::size_t>(dense.distinct()), -1);
 
   for (i64 t = 0; t < n; ++t) {
-    i64 addr = trace.addresses[static_cast<std::size_t>(t)];
-    auto it = lastPos.find(addr);
-    if (it == lastPos.end()) {
+    const std::size_t id =
+        static_cast<std::size_t>(dense.ids[static_cast<std::size_t>(t)]);
+    const i64 prev = lastPos[id];
+    if (prev < 0) {
       ++coldMisses_;
     } else {
       // Stack distance = number of distinct addresses accessed in
-      // (lastPos, t], which is the marked positions after lastPos plus the
+      // (prev, t], which is the marked positions after prev plus the
       // element itself.
-      i64 prev = it->second;
       i64 between = marks.prefix(t - 1) - marks.prefix(prev);
       i64 dist = between + 1;
       if (dist >= static_cast<i64>(histogram_.size()))
@@ -59,7 +65,7 @@ LruStackDistances::LruStackDistances(const Trace& trace) {
       marks.add(prev, -1);
     }
     marks.add(t, +1);
-    lastPos[addr] = t;
+    lastPos[id] = t;
   }
 
   cumulativeHits_.resize(histogram_.size(), 0);

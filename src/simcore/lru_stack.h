@@ -15,8 +15,12 @@ namespace dr::simcore {
 
 class LruStackDistances {
  public:
-  /// Runs the one-pass analysis (O(n log n) via a Fenwick tree over time).
+  /// Runs the one-pass analysis (O(n log n) via a Fenwick tree over time;
+  /// densifies internally).
   explicit LruStackDistances(const Trace& trace);
+
+  /// As above on an already-compacted trace (reuse across analyses).
+  explicit LruStackDistances(const dr::trace::DenseTrace& dense);
 
   /// Number of accesses with stack distance exactly d (d >= 1); the
   /// distance counts the accessed element itself, so a hit needs
@@ -35,6 +39,8 @@ class LruStackDistances {
   SimResult resultAt(i64 capacity) const;
 
  private:
+  void run(const dr::trace::DenseTrace& dense);
+
   std::vector<i64> histogram_;
   std::vector<i64> cumulativeHits_;  ///< hits at capacity c = cumulativeHits_[min(c, maxd)]
   i64 coldMisses_ = 0;

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <vector>
+
+#include "simcore/buffer_sim.h"
+
+/// \file opt_stack.h
+/// One-pass stack-distance analysis for Belady-optimal (MIN, bypass
+/// allowed) replacement — the OPT counterpart of lru_stack.h. OPT obeys
+/// inclusion, so every access has a well-defined *OPT stack distance*:
+/// the smallest capacity at which it hits. One trace pass yields the
+/// exact miss count for every capacity at once, collapsing the paper's
+/// per-size validation sweeps (Figs. 4, 10, 11) from O(sizes x trace) to
+/// O(trace log distinct).
+///
+/// Algorithm: a hit under capacity A is a reuse interval [prev, t) that
+/// OPT keeps resident throughout; OPT's hit set at capacity A is a
+/// maximum set of reuse intervals whose pointwise overlap never exceeds A
+/// (the classic interval-packing view of MIN), and earliest-deadline-first
+/// greedy with best-fit machine choice attains that maximum on A machines.
+/// Running that greedy for *every* capacity at once is feasible because
+/// the machine states layer: one slot array v[1..distinct] maintains the
+/// invariant that {v[1..k]} is exactly the EDF-k machine multiset for all
+/// k. Per reuse interval, the leftmost slot with v <= prev is the OPT
+/// stack distance (smallest accepting capacity); the subsequent "repair"
+/// rotates each successive record value in (carry, prev] to the right of
+/// it down one record — the stack-repair step of Sugumar & Abraham's OPT
+/// simulation, here over busy-until times. A (min, max)-augmented segment
+/// tree answers both slot queries, giving O(log distinct) per access plus
+/// the (short in practice) repair cascade. Exactness against per-size
+/// simulateOpt is pinned by randomized property tests (test_simcore.cpp).
+
+namespace dr::simcore {
+
+class OptStackDistances {
+ public:
+  /// Runs the one-pass analysis (O(n log distinct); densifies internally).
+  explicit OptStackDistances(const Trace& trace);
+
+  /// As above on an already-compacted trace (reuse across analyses).
+  explicit OptStackDistances(const dr::trace::DenseTrace& dense);
+
+  /// Number of accesses with OPT stack distance exactly d (d >= 1): the
+  /// access hits iff capacity >= d. Index 0 is unused (always 0).
+  const std::vector<i64>& histogram() const noexcept { return histogram_; }
+
+  /// First-time accesses (compulsory misses at every capacity).
+  i64 coldMisses() const noexcept { return coldMisses_; }
+
+  i64 accesses() const noexcept { return accesses_; }
+
+  /// Exact Belady-OPT miss count for a buffer of `capacity` elements;
+  /// equals simulateOpt(trace, capacity).misses.
+  i64 missesAt(i64 capacity) const;
+
+  /// SimResult equivalent to simulateOpt(trace, capacity).
+  SimResult resultAt(i64 capacity) const;
+
+  /// Smallest capacity whose misses are all compulsory (the saturation
+  /// knee of the reuse curve); 0 for an empty trace, else >= 1.
+  i64 saturationSize() const;
+
+ private:
+  void run(const dr::trace::DenseTrace& dense);
+
+  std::vector<i64> histogram_;
+  std::vector<i64> cumulativeHits_;  ///< hits at capacity c = [min(c, maxd)]
+  i64 coldMisses_ = 0;
+  i64 accesses_ = 0;
+};
+
+}  // namespace dr::simcore

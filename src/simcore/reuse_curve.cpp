@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "simcore/lru_stack.h"
+#include "simcore/opt_stack.h"
 #include "support/contracts.h"
+#include "support/parallel.h"
 
 namespace dr::simcore {
 
@@ -24,16 +27,34 @@ std::vector<i64> sizeGrid(i64 maxSize, i64 denseUpTo, double growth) {
   DR_REQUIRE(growth > 1.0);
   std::vector<i64> sizes;
   for (i64 s = 1; s <= std::min(denseUpTo, maxSize); ++s) sizes.push_back(s);
-  double s = static_cast<double>(std::min(denseUpTo, maxSize));
-  while (static_cast<i64>(s) < maxSize) {
-    s *= growth;
-    sizes.push_back(std::min(maxSize, static_cast<i64>(s)));
+  // Integer stepping: advance by at least 1 each round so a growth factor
+  // close to 1 can neither stall nor emit duplicates.
+  i64 s = std::min(denseUpTo, maxSize);
+  while (s < maxSize) {
+    const double scaled = static_cast<double>(s) * growth;
+    const i64 next = scaled >= static_cast<double>(maxSize)
+                         ? maxSize
+                         : static_cast<i64>(scaled);
+    s = std::max(s + 1, next);
+    if (s > maxSize) s = maxSize;
+    sizes.push_back(s);
   }
-  sizes.push_back(maxSize);
-  std::sort(sizes.begin(), sizes.end());
-  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  if (sizes.empty() || sizes.back() != maxSize) sizes.push_back(maxSize);
   return sizes;
 }
+
+namespace {
+
+ReusePoint pointFrom(const SimResult& r, i64 size) {
+  ReusePoint p;
+  p.size = size;
+  p.writes = r.misses;
+  p.reads = r.accesses;
+  p.reuseFactor = r.reuseFactor();
+  return p;
+}
+
+}  // namespace
 
 ReuseCurve simulateReuseCurve(const Trace& trace, std::vector<i64> sizes,
                               Policy policy) {
@@ -42,40 +63,47 @@ ReuseCurve simulateReuseCurve(const Trace& trace, std::vector<i64> sizes,
   DR_REQUIRE(sizes.empty() || sizes.front() >= 0);
 
   ReuseCurve curve;
-  std::vector<i64> nextUse;
-  if (policy == Policy::Opt) nextUse = computeNextUse(trace);
-  for (i64 size : sizes) {
-    SimResult r = policy == Policy::Opt
-                      ? simulateOpt(trace, size, nextUse)
-                      : simulate(trace, size, policy);
-    ReusePoint p;
-    p.size = size;
-    p.writes = r.misses;
-    p.reads = r.accesses;
-    p.reuseFactor = r.reuseFactor();
-    curve.points.push_back(p);
+  if (sizes.empty()) return curve;
+  curve.points.resize(sizes.size());
+
+  const dr::trace::DenseTrace dense = dr::trace::densify(trace);
+  switch (policy) {
+    case Policy::Opt: {
+      // One trace pass answers every size: exact Belady-MIN misses come
+      // from the OPT stack-distance histogram (opt_stack.h).
+      const OptStackDistances stack(dense);
+      for (std::size_t i = 0; i < sizes.size(); ++i)
+        curve.points[i] = pointFrom(stack.resultAt(sizes[i]), sizes[i]);
+      break;
+    }
+    case Policy::Lru: {
+      // LRU is a stack algorithm too: one Mattson pass covers all sizes.
+      const LruStackDistances stack(dense);
+      for (std::size_t i = 0; i < sizes.size(); ++i)
+        curve.points[i] = pointFrom(stack.resultAt(sizes[i]), sizes[i]);
+      break;
+    }
+    case Policy::Fifo: {
+      // FIFO is not a stack algorithm — no one-pass histogram exists, so
+      // sweep per size, in parallel (results are positionally slotted,
+      // so the output order is deterministic).
+      dr::support::parallelFor(
+          static_cast<i64>(sizes.size()), [&](i64 i) {
+            const std::size_t u = static_cast<std::size_t>(i);
+            curve.points[u] =
+                pointFrom(simulateFifo(dense, sizes[u]), sizes[u]);
+          });
+      break;
+    }
   }
   return curve;
 }
 
 i64 optSaturationSize(const Trace& trace) {
-  std::vector<i64> nextUse = computeNextUse(trace);
-  i64 distinct = trace.distinctCount();
-  if (distinct == 0) return 0;
-  i64 compulsory = distinct;
-
-  // OPT obeys inclusion (misses non-increasing in capacity), so binary
-  // search for the smallest capacity whose miss count equals the
-  // compulsory minimum.
-  i64 lo = 1, hi = distinct;
-  while (lo < hi) {
-    i64 mid = lo + (hi - lo) / 2;
-    if (simulateOpt(trace, mid, nextUse).misses == compulsory)
-      hi = mid;
-    else
-      lo = mid + 1;
-  }
-  return lo;
+  // The stack-distance histogram's largest occupied bin *is* the smallest
+  // capacity at which every remaining miss is compulsory — no binary
+  // search over re-simulations needed.
+  return OptStackDistances(trace).saturationSize();
 }
 
 std::vector<std::size_t> findKnees(const ReuseCurve& curve, double jumpRatio) {

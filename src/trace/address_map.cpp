@@ -1,10 +1,47 @@
 #include "trace/address_map.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "support/contracts.h"
 
 namespace dr::trace {
+
+DenseTrace densify(const std::vector<i64>& addresses) {
+  DenseTrace out;
+  const std::size_t n = addresses.size();
+  out.ids.resize(n);
+  if (n == 0) return out;
+
+  auto [lo, hi] = std::minmax_element(addresses.begin(), addresses.end());
+  const i64 minAddr = *lo;
+  const i64 extent = *hi - minAddr + 1;  // >= 1; no overflow for map addrs
+
+  // Flat path: one table slot per address in [min, max]. Worth it while
+  // the range stays within a few times the stream length.
+  if (extent > 0 && extent <= static_cast<i64>(n) * 8 + 1024) {
+    std::vector<i64> table(static_cast<std::size_t>(extent), -1);
+    for (std::size_t t = 0; t < n; ++t) {
+      i64& id = table[static_cast<std::size_t>(addresses[t] - minAddr)];
+      if (id < 0) {
+        id = static_cast<i64>(out.idToAddress.size());
+        out.idToAddress.push_back(addresses[t]);
+      }
+      out.ids[t] = id;
+    }
+    return out;
+  }
+
+  std::unordered_map<i64, i64> table;
+  table.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    auto [it, inserted] =
+        table.emplace(addresses[t], static_cast<i64>(out.idToAddress.size()));
+    if (inserted) out.idToAddress.push_back(addresses[t]);
+    out.ids[t] = it->second;
+  }
+  return out;
+}
 
 using dr::support::checkedAdd;
 using dr::support::checkedMul;

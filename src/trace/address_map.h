@@ -21,6 +21,24 @@ namespace dr::trace {
 using loopir::i64;
 using loopir::Program;
 
+/// A sparse address stream compacted to contiguous ids: ids[t] is the
+/// dense id (in [0, distinct()), numbered by first appearance) of the
+/// t-th access. Simulators index flat vectors with these ids instead of
+/// hashing 64-bit addresses on every access; idToAddress inverts the map.
+struct DenseTrace {
+  std::vector<i64> ids;
+  std::vector<i64> idToAddress;
+
+  i64 length() const { return static_cast<i64>(ids.size()); }
+  i64 distinct() const { return static_cast<i64>(idToAddress.size()); }
+};
+
+/// Compact `addresses` to dense ids in one pass. Uses a flat lookup table
+/// when the address range is close to the stream length (always true for
+/// AddressMap-produced traces, whose addresses are contiguous per signal),
+/// falling back to hashing for pathologically sparse streams.
+DenseTrace densify(const std::vector<i64>& addresses);
+
 /// Exact value range of an affine expression over one nest's iteration box.
 struct ValueRange {
   i64 min = 0;

@@ -132,12 +132,7 @@ void walk(const Program& p, const AddressMap& map, const TraceFilter& filter,
   }
 }
 
-i64 Trace::distinctCount() const {
-  std::vector<i64> sorted = addresses;
-  std::sort(sorted.begin(), sorted.end());
-  return static_cast<i64>(
-      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
-}
+i64 Trace::distinctCount() const { return densify(addresses).distinct(); }
 
 Trace collectTrace(const Program& p, const AddressMap& map,
                    const TraceFilter& filter) {

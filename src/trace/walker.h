@@ -48,6 +48,11 @@ struct Trace {
   i64 distinctCount() const;
 };
 
+/// Compact a trace's address stream to dense ids (see DenseTrace).
+inline DenseTrace densify(const Trace& trace) {
+  return densify(trace.addresses);
+}
+
 /// Materialize the matching trace. For the read-reuse analyses this is
 /// typically called with {signal = s, reads only}.
 Trace collectTrace(const Program& p, const AddressMap& map,

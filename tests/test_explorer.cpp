@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "explorer/explorer.h"
 #include "kernels/conv2d.h"
 #include "kernels/matmul.h"
@@ -252,6 +254,87 @@ TEST(Explorer, MultiLevelCandidatesImproveChains) {
   for (const auto& d : ex.chains)
     if (d.label.find("ML L") != std::string::npos) found = true;
   EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the parallel sweeps must be byte-identical to serial runs.
+
+std::string describeExploration(const dr::explorer::SignalExploration& ex) {
+  std::string s;
+  auto add = [&s](auto v) { s += std::to_string(v) + ","; };
+  add(ex.Ctot);
+  add(ex.distinctElements);
+  for (const auto& pt : ex.simulatedCurve.points) {
+    add(pt.size);
+    add(pt.writes);
+    add(pt.reads);
+    add(pt.reuseFactor);
+  }
+  for (const auto& a : ex.accesses) {
+    add(a.nest);
+    add(a.accessIndex);
+    add(a.occurrences);
+    add(a.Ctot);
+    for (const auto& pt : a.points) {
+      add(pt.size);
+      add(pt.CjTotal);
+      add(pt.FR);
+      s += pt.label + ",";
+    }
+    for (const auto& pt : a.multiLevel) {
+      add(pt.level);
+      add(pt.size);
+      add(pt.misses);
+    }
+  }
+  for (const auto& pt : ex.combinedPoints) {
+    add(pt.size);
+    add(pt.FR);
+    s += pt.label + ",";
+  }
+  for (const auto& d : ex.chains) {
+    add(d.cost.power);
+    add(d.cost.onChipSize);
+    s += d.label + ",";
+  }
+  for (const auto& d : ex.pareto) {
+    add(d.cost.power);
+    add(d.cost.onChipSize);
+    s += d.label + ",";
+  }
+  return s;
+}
+
+std::string describeOrderings(
+    const std::vector<dr::explorer::OrderingResult>& rs) {
+  std::string s;
+  for (const auto& r : rs) {
+    for (int l : r.perm) s += std::to_string(l);
+    s += ":" + std::to_string(r.bestSize) + "/" +
+         std::to_string(r.bestMisses) + "/" + std::to_string(r.bestFR) + "/" +
+         std::to_string(r.feasible) + "/" + std::to_string(r.exact) + ";";
+  }
+  return s;
+}
+
+TEST(Explorer, ParallelOutputIdenticalToSerial) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  const int signal = p.findSignal("Old");
+
+  setenv("DR_THREADS", "1", 1);
+  std::string serialEx =
+      describeExploration(dr::explorer::exploreSignal(p, signal));
+  std::string serialOrd =
+      describeOrderings(dr::explorer::orderingSweep(p, signal, 200));
+  unsetenv("DR_THREADS");  // default: hardware concurrency
+
+  std::string parallelEx =
+      describeExploration(dr::explorer::exploreSignal(p, signal));
+  std::string parallelOrd =
+      describeOrderings(dr::explorer::orderingSweep(p, signal, 200));
+
+  EXPECT_EQ(parallelEx, serialEx);
+  EXPECT_EQ(parallelOrd, serialOrd);
 }
 
 }  // namespace

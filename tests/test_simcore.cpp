@@ -6,6 +6,7 @@
 #include "helpers.h"
 #include "simcore/buffer_sim.h"
 #include "simcore/lru_stack.h"
+#include "simcore/opt_stack.h"
 #include "simcore/reuse_curve.h"
 #include "support/rng.h"
 #include "trace/walker.h"
@@ -127,6 +128,69 @@ TEST_P(LruStackProperty, MatchesDirectSimulation) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LruStackProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 11, 29));
 
+// Property: the one-pass OPT stack-distance histogram is *exact* — it
+// reproduces the per-size Belady simulation at every capacity from 0 to
+// past the distinct count, on random traces of several shapes.
+class OptStackProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptStackProperty, MatchesDirectSimulationAtEveryCapacity) {
+  const std::uint64_t seed = GetParam();
+  // Vary trace length and universe with the seed to cover dense reuse,
+  // sparse reuse, and near-scan shapes.
+  const i64 length = 200 + static_cast<i64>(seed % 5) * 150;
+  const i64 universe = 7 + static_cast<i64>(seed % 7) * 13;
+  Trace t = randomTrace(seed, length, universe);
+  OptStackDistances stack(t);
+  const std::vector<i64> nextUse = computeNextUse(t);
+  const i64 distinct = t.distinctCount();
+  for (i64 cap = 0; cap <= distinct + 2; ++cap)
+    EXPECT_EQ(stack.missesAt(cap), simulateOpt(t, cap, nextUse).misses)
+        << "seed " << seed << " capacity " << cap;
+  EXPECT_EQ(stack.coldMisses(), distinct);
+  EXPECT_EQ(stack.accesses(), t.length());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptStackProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 29, 41, 97));
+
+TEST(OptStack, ClassicBeladyHistogram) {
+  // 1,2,3,4,1,2,5,1,2,3,4,5: 7 reuse intervals, cumulative hits at
+  // capacities 1..5 are 2,4,5,6,7 (checked against Belady by hand).
+  Trace t = makeTrace({1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5});
+  OptStackDistances stack(t);
+  EXPECT_EQ(stack.coldMisses(), 5);
+  EXPECT_EQ(stack.missesAt(3), 7);  // the textbook miss count
+  std::vector<i64> expectedHist = {0, 2, 2, 1, 1, 1};
+  EXPECT_EQ(stack.histogram(), expectedHist);
+}
+
+TEST(OptStack, SaturationSizeMatchesBinarySearchDefinition) {
+  for (std::uint64_t seed : {2u, 8u, 19u}) {
+    Trace t = randomTrace(seed, 1200, 80);
+    OptStackDistances stack(t);
+    const i64 sat = stack.saturationSize();
+    EXPECT_EQ(simulateOpt(t, sat).misses, t.distinctCount());
+    if (sat > 1) {
+      EXPECT_GT(simulateOpt(t, sat - 1).misses, t.distinctCount());
+    }
+  }
+}
+
+TEST(OptStack, EmptyAndTrivialTraces) {
+  Trace empty;
+  OptStackDistances e(empty);
+  EXPECT_EQ(e.accesses(), 0);
+  EXPECT_EQ(e.missesAt(4), 0);
+  EXPECT_EQ(e.saturationSize(), 0);
+
+  Trace scan;
+  for (i64 i = 0; i < 50; ++i) scan.addresses.push_back(i);
+  OptStackDistances s(scan);
+  EXPECT_EQ(s.coldMisses(), 50);
+  EXPECT_EQ(s.missesAt(1), 50);
+  EXPECT_EQ(s.saturationSize(), 1);
+}
+
 TEST(LruStack, SequentialScanHasNoHits) {
   Trace t;
   for (i64 i = 0; i < 100; ++i) t.addresses.push_back(i);
@@ -151,6 +215,43 @@ TEST(ReuseCurve, GridCoversRangeSortedUnique) {
   EXPECT_EQ(sizes.back(), 10000);
   for (std::size_t i = 1; i < sizes.size(); ++i)
     EXPECT_LT(sizes[i - 1], sizes[i]);
+}
+
+TEST(ReuseCurve, GridNearUnityGrowthTerminatesWithoutDuplicates) {
+  // Growth factors close to 1 used to stall the double-based stepping
+  // (s * growth truncating back to s); the integer stepping must advance
+  // by at least 1, stay strictly increasing, and still hit maxSize.
+  for (double growth : {1.0001, 1.01, 1.1}) {
+    auto sizes = sizeGrid(500, 8, growth);
+    EXPECT_EQ(sizes.front(), 1);
+    EXPECT_EQ(sizes.back(), 500);
+    for (std::size_t i = 1; i < sizes.size(); ++i)
+      EXPECT_LT(sizes[i - 1], sizes[i]) << "growth " << growth;
+  }
+  // Degenerate corners.
+  EXPECT_EQ(sizeGrid(1, 64).size(), 1u);
+  auto tiny = sizeGrid(3, 1, 1.001);
+  EXPECT_EQ(tiny.front(), 1);
+  EXPECT_EQ(tiny.back(), 3);
+}
+
+TEST(ReuseCurve, EveryPolicyMatchesPerSizeSimulation) {
+  // The curve sweeps route through the one-pass engines (OPT, LRU) and the
+  // parallel per-size sweep (FIFO); all must equal the plain per-size
+  // simulators point for point.
+  Trace t = randomTrace(5, 1500, 90);
+  std::vector<i64> sizes = sizeGrid(128, 16);
+  for (Policy policy : {Policy::Opt, Policy::Lru, Policy::Fifo}) {
+    ReuseCurve curve = simulateReuseCurve(t, sizes, policy);
+    ASSERT_EQ(curve.points.size(), sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      SimResult ref = simulate(t, sizes[i], policy);
+      EXPECT_EQ(curve.points[i].size, sizes[i]);
+      EXPECT_EQ(curve.points[i].writes, ref.misses);
+      EXPECT_EQ(curve.points[i].reads, ref.accesses);
+      EXPECT_DOUBLE_EQ(curve.points[i].reuseFactor, ref.reuseFactor());
+    }
+  }
 }
 
 TEST(ReuseCurve, MonotoneAndSaturates) {
@@ -263,6 +364,56 @@ TEST(ChainSim, SingleLevelEqualsPlainSimulation) {
   Trace t = randomTrace(9, 2000, 64);
   auto chain = simulateOptChain(t, {32});
   EXPECT_EQ(chain.perLevel[0].misses, simulateOpt(t, 32).misses);
+}
+
+TEST(ChainSim, BatchMatchesIndividualChains) {
+  Trace t = randomTrace(33, 4000, 130);
+  std::vector<std::vector<i64>> chains = {
+      {96, 24}, {128, 64, 8}, {40}, {130, 90, 50, 10}, {2, 1}};
+  auto batch = simulateOptChains(t, chains);
+  ASSERT_EQ(batch.size(), chains.size());
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    auto single = simulateOptChain(t, chains[i]);
+    ASSERT_EQ(batch[i].perLevel.size(), single.perLevel.size());
+    EXPECT_EQ(batch[i].datapathReads, single.datapathReads);
+    for (std::size_t j = 0; j < single.perLevel.size(); ++j) {
+      EXPECT_EQ(batch[i].perLevel[j].misses, single.perLevel[j].misses)
+          << "chain " << i << " level " << j;
+      EXPECT_EQ(batch[i].perLevel[j].accesses, single.perLevel[j].accesses);
+    }
+  }
+}
+
+// The acceptance bar of the one-pass engine: on the motion-estimation
+// trace the fast reuse curve must equal per-size Belady simulation
+// point-for-point — identical sizes, writes, reads, reuse factors — and
+// therefore identical knees A_1..A_4.
+TEST(ChainSim, MotionEstimationCurveIdenticalToPerSizeSimulation) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::trace::AddressMap map(p);
+  Trace t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  std::vector<i64> sizes = sizeGrid(std::max<i64>(1, t.distinctCount()), 32);
+
+  ReuseCurve fast = simulateReuseCurve(t, sizes, Policy::Opt);
+
+  ReuseCurve reference;
+  const std::vector<i64> nextUse = computeNextUse(t);
+  for (i64 size : sizes) {
+    SimResult r = simulateOpt(t, size, nextUse);
+    reference.points.push_back({size, r.misses, r.accesses, r.reuseFactor()});
+  }
+
+  ASSERT_EQ(fast.points.size(), reference.points.size());
+  for (std::size_t i = 0; i < reference.points.size(); ++i) {
+    EXPECT_EQ(fast.points[i].size, reference.points[i].size);
+    EXPECT_EQ(fast.points[i].writes, reference.points[i].writes);
+    EXPECT_EQ(fast.points[i].reads, reference.points[i].reads);
+    EXPECT_DOUBLE_EQ(fast.points[i].reuseFactor,
+                     reference.points[i].reuseFactor);
+  }
+  EXPECT_EQ(findKnees(fast), findKnees(reference));
+  EXPECT_EQ(optSaturationSize(t),
+            OptStackDistances(t).saturationSize());
 }
 
 }  // namespace

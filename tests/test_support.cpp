@@ -6,11 +6,16 @@
 #include <cstdio>
 #include <fstream>
 
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
 #include "support/cli.h"
 #include "support/contracts.h"
 #include "support/dataset.h"
 #include "support/intmath.h"
 #include "support/matrix.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "support/strings.h"
 
@@ -282,6 +287,76 @@ TEST(DataSet, WriteFileRoundTrip) {
 TEST(DataSet, WriteFileFailsOnBadPath) {
   EXPECT_THROW(dr::support::DataSet::writeFile("/nonexistent-dir/x.dat", "y"),
                dr::support::ContractViolation);
+}
+
+TEST(Parallel, ThreadCountIsPositive) {
+  EXPECT_GE(parallelThreads(), 1);
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  const i64 n = 10'000;
+  std::vector<std::atomic<int>> counts(static_cast<std::size_t>(n));
+  parallelFor(n, [&](i64 i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (i64 i = 0; i < n; ++i)
+    ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, PerIndexSlotsMatchSerialResult) {
+  const i64 n = 513;
+  std::vector<i64> serial(static_cast<std::size_t>(n));
+  std::vector<i64> parallel(static_cast<std::size_t>(n));
+  auto compute = [](i64 i) { return i * i + 7; };
+  for (i64 i = 0; i < n; ++i) serial[static_cast<std::size_t>(i)] = compute(i);
+  parallelFor(n, [&](i64 i) {
+    parallel[static_cast<std::size_t>(i)] = compute(i);
+  });
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(Parallel, ExplicitSingleThreadRunsSerially) {
+  // threads=1 must run inline on the caller, in order.
+  std::vector<i64> order;
+  parallelFor(64, [&](i64 i) { order.push_back(i); }, /*threads=*/1);
+  ASSERT_EQ(order.size(), 64u);
+  for (i64 i = 0; i < 64; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Parallel, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallelFor(500,
+                  [](i64 i) {
+                    if (i == 137) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must stay usable afterwards.
+  std::atomic<i64> sum{0};
+  parallelFor(100, [&](i64 i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(Parallel, NestedCallsDegradeToSerial) {
+  std::vector<std::atomic<int>> counts(64 * 16);
+  parallelFor(64, [&](i64 outer) {
+    parallelFor(16, [&](i64 inner) {
+      counts[static_cast<std::size_t>(outer * 16 + inner)].fetch_add(1);
+    });
+  });
+  for (auto& c : counts) ASSERT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, ZeroAndOneSizedLoops) {
+  int calls = 0;
+  parallelFor(0, [&](i64) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallelFor(1, [&](i64 i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_THROW(parallelFor(-1, [](i64) {}), dr::support::ContractViolation);
 }
 
 }  // namespace

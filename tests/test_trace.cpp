@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "helpers.h"
@@ -242,6 +243,46 @@ TEST(Stats, PerSignalTotals) {
   EXPECT_EQ(stats[2].reads, 0);
   EXPECT_EQ(stats[1].distinctRead, 19 * 19);
   EXPECT_EQ(stats[2].distinctWritten, 4 * 4 * 4 * 4);
+}
+
+TEST(DenseTrace, FirstAppearanceNumberingRoundTrips) {
+  std::vector<i64> addrs = {100, 7, 100, -3, 7, 100};
+  dr::trace::DenseTrace dense = dr::trace::densify(addrs);
+  EXPECT_EQ(dense.length(), 6);
+  EXPECT_EQ(dense.distinct(), 3);
+  std::vector<i64> expectedIds = {0, 1, 0, 2, 1, 0};
+  EXPECT_EQ(dense.ids, expectedIds);
+  std::vector<i64> expectedBack = {100, 7, -3};
+  EXPECT_EQ(dense.idToAddress, expectedBack);
+}
+
+TEST(DenseTrace, SparseAddressesTakeHashFallback) {
+  // Extent far beyond 8n forces the hash path; semantics must not change.
+  std::vector<i64> addrs = {1'000'000'000, -1'000'000'000, 1'000'000'000, 0};
+  dr::trace::DenseTrace dense = dr::trace::densify(addrs);
+  EXPECT_EQ(dense.distinct(), 3);
+  std::vector<i64> expectedIds = {0, 1, 0, 2};
+  EXPECT_EQ(dense.ids, expectedIds);
+  for (std::size_t t = 0; t < addrs.size(); ++t)
+    EXPECT_EQ(dense.idToAddress[static_cast<std::size_t>(dense.ids[t])],
+              addrs[t]);
+}
+
+TEST(DenseTrace, EmptyTrace) {
+  dr::trace::DenseTrace dense = dr::trace::densify(std::vector<i64>{});
+  EXPECT_EQ(dense.length(), 0);
+  EXPECT_EQ(dense.distinct(), 0);
+}
+
+TEST(DenseTrace, DistinctCountAgreesWithSortUnique) {
+  auto p = dr::kernels::motionEstimation({16, 16, 4, 2});
+  AddressMap map(p);
+  auto t = dr::trace::readTrace(p, map, p.findSignal("Old"));
+  std::vector<i64> sorted = t.addresses;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(t.distinctCount(), static_cast<i64>(sorted.size()));
+  EXPECT_EQ(dr::trace::densify(t).distinct(), static_cast<i64>(sorted.size()));
 }
 
 }  // namespace

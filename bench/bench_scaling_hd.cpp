@@ -1,0 +1,251 @@
+// E14 — Frame-size scaling of the streaming trace pipeline: the QCIF
+// motion-estimation curve of Fig. 4a regenerated at 720p, 1080p and 4K
+// without ever materializing the trace. A 1080p Old-frame trace is 531M
+// events (4.2 GB at 8 bytes/event); the streaming engine walks it in
+// period-sized chunks and folds the steady state, so its peak RSS stays
+// at the size of the distinct-element state — orders of magnitude below
+// the materialized trace. Results land in BENCH_scaling.json.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+#include "kernels/motion_estimation.h"
+#include "simcore/folded_curve.h"
+#include "simcore/lru_stack.h"
+#include "simcore/opt_stack.h"
+#include "simcore/reuse_curve.h"
+#include "trace/period.h"
+#include "trace/stream.h"
+#include "trace/walker.h"
+
+namespace {
+
+using dr::support::i64;
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+i64 peakRssBytes() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<i64>(ru.ru_maxrss) * 1024;  // Linux reports KiB
+}
+
+struct Frame {
+  const char* name;
+  i64 width;
+  i64 height;
+  bool materialize;  ///< also run the materialized oracle (small frames)
+};
+
+struct Row {
+  std::string name;
+  i64 width = 0, height = 0;
+  i64 events = 0, distinct = 0, simulatedEvents = 0;
+  bool folded = false, exact = false;
+  i64 foldPeriodChunks = 0;
+  double streamSeconds = 0;
+  i64 streamPeakRss = 0;
+  i64 materializedBytesBound = 0;  ///< 8 bytes/event trace footprint
+  double materializedSeconds = -1;
+  i64 materializedPeakRss = -1;
+  bool identical = false;  ///< streaming curve == materialized (if run)
+};
+
+void writeJson(const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen("BENCH_scaling.json", "w");
+  if (!f) {
+    std::printf("(could not open BENCH_scaling.json for writing)\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"E14 frame-size scaling\",\n");
+  std::fprintf(f, "  \"frames\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"width\": %lld, \"height\": %lld,\n"
+                 "     \"events\": %lld, \"distinct\": %lld,\n"
+                 "     \"streaming\": {\"seconds\": %.3f, \"peak_rss_bytes\": "
+                 "%lld, \"simulated_events\": %lld, \"folded\": %s, "
+                 "\"exact\": %s, \"fold_period_chunks\": %lld},\n"
+                 "     \"materialized_trace_bytes\": %lld,\n"
+                 "     \"mem_ratio_vs_materialized_trace\": %.1f",
+                 r.name.c_str(), (long long)r.width, (long long)r.height,
+                 (long long)r.events, (long long)r.distinct, r.streamSeconds,
+                 (long long)r.streamPeakRss, (long long)r.simulatedEvents,
+                 r.folded ? "true" : "false", r.exact ? "true" : "false",
+                 (long long)r.foldPeriodChunks,
+                 (long long)r.materializedBytesBound,
+                 static_cast<double>(r.materializedBytesBound) /
+                     static_cast<double>(r.streamPeakRss));
+    if (r.materializedSeconds >= 0)
+      std::fprintf(f,
+                   ",\n     \"materialized\": {\"seconds\": %.3f, "
+                   "\"peak_rss_bytes\": %lld, \"curve_identical\": %s}",
+                   r.materializedSeconds, (long long)r.materializedPeakRss,
+                   r.identical ? "true" : "false");
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(wrote BENCH_scaling.json)\n");
+}
+
+void printFigureData() {
+  dr::bench::heading(
+      "E14  |  Streaming pipeline scaling: ME Fig. 4a curve from QCIF to 4K");
+
+  // Streaming passes run before any materialized oracle: ru_maxrss is a
+  // high-water mark, so the small-footprint runs must come first.
+  std::vector<Frame> frames = {{"qcif", 176, 144, true},
+                               {"720p", 1280, 720, false},
+                               {"1080p", 1920, 1080, false},
+                               {"4k", 3840, 2160, false}};
+  if (dr::bench::smallScale())
+    frames = {{"qcif", 176, 144, true}, {"720p", 1280, 720, false}};
+
+  std::vector<Row> rows;
+  for (const Frame& fr : frames) {
+    dr::kernels::MotionEstimationParams mp;
+    mp.W = fr.width;
+    mp.H = fr.height;
+    const auto p = dr::kernels::motionEstimation(mp);
+    dr::trace::AddressMap map(p);
+    dr::trace::TraceFilter filter;
+    filter.signal = p.findSignal("Old");
+    filter.nest = 0;
+    filter.accessIndex = dr::kernels::oldAccessIndex();
+
+    Row row;
+    row.name = fr.name;
+    row.width = fr.width;
+    row.height = fr.height;
+
+    dr::trace::TraceCursor cursor(p, map, filter);
+    const auto pd = dr::trace::detectPeriod(cursor.nests());
+    dr::simcore::FoldedCurveOptions opts;
+    opts.approximateAfterBudget = true;  // HD frames: trade tail wobble
+    opts.maxMeasuredChunks = 4;          // for not streaming 10^9 events
+    dr::simcore::FoldedStats stats;
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto hist = dr::simcore::foldedStackHistogram(
+        cursor, pd, dr::simcore::Policy::Opt, &stats, opts);
+    row.streamSeconds = secondsSince(t0);
+    row.streamPeakRss = peakRssBytes();
+    row.events = stats.totalEvents;
+    row.distinct = stats.distinct;
+    row.simulatedEvents = stats.simulatedEvents;
+    row.folded = stats.folded;
+    row.exact = stats.exact;
+    row.foldPeriodChunks = stats.foldPeriodChunks;
+    row.materializedBytesBound = stats.totalEvents * 8;
+
+    std::printf(
+        "%-6s %4lldx%-4lld  %11lld events  %8lld distinct  "
+        "stream %7.2f s  rss %6.1f MB  %s  FR_max %.1f\n",
+        fr.name, (long long)fr.width, (long long)fr.height,
+        (long long)row.events, (long long)row.distinct, row.streamSeconds,
+        static_cast<double>(row.streamPeakRss) / (1024.0 * 1024.0),
+        row.folded ? (row.exact ? "folded(exact)" : "folded(approx)")
+                   : "streamed",
+        hist.resultAt(row.distinct).reuseFactor());
+    rows.push_back(row);
+  }
+
+  // Materialized oracles run after every streaming pass: ru_maxrss is a
+  // process-wide high-water mark, and the whole point of the comparison
+  // is that the streaming rows above never paid for a resident trace.
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (!frames[i].materialize) continue;
+    Row& row = rows[i];
+    dr::kernels::MotionEstimationParams mp;
+    mp.W = frames[i].width;
+    mp.H = frames[i].height;
+    const auto p = dr::kernels::motionEstimation(mp);
+    dr::trace::AddressMap map(p);
+    dr::trace::TraceFilter filter;
+    filter.signal = p.findSignal("Old");
+    filter.nest = 0;
+    filter.accessIndex = dr::kernels::oldAccessIndex();
+
+    // Byte-identity of the exact (non-approximate) streaming path.
+    dr::trace::TraceCursor cursor(p, map, filter);
+    const auto pd = dr::trace::detectPeriod(cursor.nests());
+    dr::simcore::FoldedStats exactStats;
+    const auto exactHist = dr::simcore::foldedStackHistogram(
+        cursor, pd, dr::simcore::Policy::Opt, &exactStats);
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto trace = dr::trace::collectTrace(p, map, filter);
+    dr::simcore::OptStackDistances stack(trace);
+    row.materializedSeconds = secondsSince(t0);
+    row.materializedPeakRss = peakRssBytes();
+    row.identical = exactStats.exact;
+    for (i64 s : dr::simcore::sizeGrid(row.distinct, 24))
+      row.identical =
+          row.identical && exactHist.resultAt(s).misses == stack.missesAt(s);
+    std::printf(
+        "%-6s materialized oracle: %7.2f s  rss %6.1f MB  streaming curve "
+        "%s\n",
+        row.name.c_str(), row.materializedSeconds,
+        static_cast<double>(row.materializedPeakRss) / (1024.0 * 1024.0),
+        row.identical ? "byte-identical" : "MISMATCH");
+  }
+  writeJson(rows);
+}
+
+void BM_StreamingFoldedCurve(benchmark::State& state) {
+  dr::kernels::MotionEstimationParams mp;
+  mp.H = 64;
+  mp.W = 64;
+  mp.n = 8;
+  mp.m = 2;
+  const auto p = dr::kernels::motionEstimation(mp);
+  dr::trace::AddressMap map(p);
+  dr::trace::TraceFilter filter;
+  filter.signal = p.findSignal("Old");
+  filter.nest = 0;
+  filter.accessIndex = dr::kernels::oldAccessIndex();
+  for (auto _ : state) {
+    dr::trace::TraceCursor cursor(p, map, filter);
+    const auto pd = dr::trace::detectPeriod(cursor.nests());
+    auto hist = dr::simcore::foldedStackHistogram(
+        cursor, pd, dr::simcore::Policy::Lru);
+    benchmark::DoNotOptimize(hist.saturationSize());
+  }
+}
+BENCHMARK(BM_StreamingFoldedCurve)->Unit(benchmark::kMillisecond);
+
+void BM_MaterializedCurve(benchmark::State& state) {
+  dr::kernels::MotionEstimationParams mp;
+  mp.H = 64;
+  mp.W = 64;
+  mp.n = 8;
+  mp.m = 2;
+  const auto p = dr::kernels::motionEstimation(mp);
+  dr::trace::AddressMap map(p);
+  dr::trace::TraceFilter filter;
+  filter.signal = p.findSignal("Old");
+  filter.nest = 0;
+  filter.accessIndex = dr::kernels::oldAccessIndex();
+  for (auto _ : state) {
+    const auto trace = dr::trace::collectTrace(p, map, filter);
+    dr::simcore::LruStackDistances stack(trace);
+    benchmark::DoNotOptimize(stack.coldMisses());
+  }
+}
+BENCHMARK(BM_MaterializedCurve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DR_BENCH_MAIN(printFigureData)

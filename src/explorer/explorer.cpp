@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <utility>
 
 #include "loopir/normalize.h"
 #include "loopir/permute.h"
@@ -39,6 +41,28 @@ const AnalyticPoint* pickAtGamma(const AccessAnalysis& acc, i64 g,
     if (eg <= g && (!best || effectiveGamma(acc, *best) < eg)) best = &pt;
   }
   return best ? best : smallest;
+}
+
+/// Evaluate the reuse curve at `sizes` from an already-computed stack
+/// histogram — the streaming engines answer every size from one folded
+/// pass, so no per-size re-simulation happens here. Matches
+/// simulateReuseCurve's size handling (sorted, deduplicated).
+simcore::ReuseCurve curveFromHistogram(const simcore::StackHistogram& h,
+                                       std::vector<i64> sizes) {
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  simcore::ReuseCurve curve;
+  curve.points.reserve(sizes.size());
+  for (i64 s : sizes) {
+    const simcore::SimResult r = h.resultAt(s);
+    simcore::ReusePoint pt;
+    pt.size = s;
+    pt.writes = r.misses;
+    pt.reads = r.accesses;
+    pt.reuseFactor = r.reuseFactor();
+    curve.points.push_back(pt);
+  }
+  return curve;
 }
 
 }  // namespace
@@ -128,11 +152,47 @@ SignalExploration exploreSignal(const Program& p, int signal,
   const Program pn = loopir::normalized(p);
   dr::trace::AddressMap map(pn);
 
-  // 1. Trace.
-  dr::trace::Trace trace = dr::trace::readTrace(pn, map, signal);
-  result.Ctot = trace.length();
-  result.distinctElements = trace.distinctCount();
-  DR_REQUIRE_MSG(result.Ctot > 0, "signal is never read");
+  // 1. Trace. The streaming engines (Auto/Streaming) never materialize
+  // it: a TraceCursor provides the totals and — when simulation is on —
+  // one folded OPT stack-distance histogram later answers every curve
+  // size at once. Materialized keeps the original collect-then-simulate
+  // flow as the reference oracle.
+  const bool streaming = opts.engine != SimEngine::Materialized;
+  dr::trace::TraceFilter filter;
+  filter.signal = signal;  // reads only (the filter's default)
+  dr::trace::Trace trace;  // filled on the materialized path only
+  std::optional<simcore::StackHistogram> streamHistogram;
+  if (streaming) {
+    dr::trace::TraceCursor cursor(pn, map, filter);
+    result.Ctot = cursor.length();
+    DR_REQUIRE_MSG(result.Ctot > 0, "signal is never read");
+    if (opts.runSimulation) {
+      const dr::trace::PeriodInfo period =
+          dr::trace::detectPeriod(cursor.nests());
+      streamHistogram = simcore::foldedStackHistogram(
+          cursor, period, simcore::Policy::Opt, &result.simulationStats);
+      result.distinctElements = streamHistogram->distinct();
+    } else {
+      // No stack engine needed: one densifying pass counts the distinct
+      // elements in O(distinct) memory.
+      const auto [lo, hi] = cursor.addressRange();
+      simcore::StreamingDensifier densifier(lo, hi);
+      std::vector<i64> buf;
+      while (cursor.nextChunk(buf) > 0)
+        for (i64 addr : buf) densifier.idOf(addr);
+      result.distinctElements = densifier.distinct();
+      result.simulationStats.totalEvents = result.Ctot;
+    }
+  } else {
+    trace = dr::trace::readTrace(pn, map, signal);
+    result.Ctot = trace.length();
+    result.distinctElements = trace.distinctCount();
+    DR_REQUIRE_MSG(result.Ctot > 0, "signal is never read");
+    result.simulationStats.totalEvents = result.Ctot;
+    result.simulationStats.simulatedEvents =
+        opts.runSimulation ? result.Ctot : 0;
+    result.simulationStats.distinct = result.distinctElements;
+  }
 
   // 2. Analytic points per read access; accesses with identical index
   // expressions share one copy-candidate (paper Section 6.4), so they are
@@ -225,7 +285,10 @@ SignalExploration exploreSignal(const Program& p, int signal,
       for (const analytic::MultiLevelPoint& pt : a.multiLevel)
         if (pt.size > 0) sizes.push_back(pt.size);
     sizes.insert(sizes.end(), opts.extraSizes.begin(), opts.extraSizes.end());
-    result.simulatedCurve = simcore::simulateReuseCurve(trace, sizes);
+    result.simulatedCurve =
+        streamHistogram
+            ? curveFromHistogram(*streamHistogram, std::move(sizes))
+            : simcore::simulateReuseCurve(trace, sizes);
   }
 
   // 5. Chains: analytic candidates, plus working-set knee candidates when
@@ -318,7 +381,8 @@ SignalExploration exploreSignal(const Program& p, int signal,
 namespace dr::explorer {
 
 std::vector<OrderingResult> orderingSweep(const Program& p, int signal,
-                                          i64 sizeBudget, int fixedPrefix) {
+                                          i64 sizeBudget, int fixedPrefix,
+                                          int validateTopK) {
   DR_REQUIRE(signal >= 0 && signal < static_cast<int>(p.signals.size()));
   DR_REQUIRE(sizeBudget >= 1);
   const Program pn = loopir::normalized(p);
@@ -385,6 +449,32 @@ std::vector<OrderingResult> orderingSweep(const Program& p, int signal,
                 return a.bestMisses < b.bestMisses;
               return a.bestSize < b.bestSize;
             });
+
+  // Cross-check the analytic winners with the streaming folded OPT
+  // simulation: one shared buffer of bestSize over the reordered nest's
+  // full read stream, no trace materialized.
+  const i64 topK =
+      std::min<i64>(validateTopK, static_cast<i64>(out.size()));
+  if (topK > 0) {
+    dr::support::parallelFor(topK, [&](i64 i) {
+      OrderingResult& r = out[static_cast<std::size_t>(i)];
+      if (!r.feasible) return;
+      Program reorderedProgram = pn;
+      reorderedProgram.nests[static_cast<std::size_t>(nestIdx)] =
+          loopir::permuted(nest, r.perm);
+      dr::trace::AddressMap rmap(reorderedProgram);
+      dr::trace::TraceFilter f;
+      f.signal = signal;
+      dr::trace::TraceCursor cursor(reorderedProgram, rmap, f);
+      const dr::trace::PeriodInfo period =
+          dr::trace::detectPeriod(cursor.nests());
+      simcore::FoldedStats stats;
+      const simcore::StackHistogram h = simcore::foldedStackHistogram(
+          cursor, period, simcore::Policy::Opt, &stats);
+      r.simMisses = h.missesAt(r.bestSize);
+      r.simExact = stats.exact;
+    });
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "analytic/footprint.h"
 #include "hierarchy/enumerate.h"
 #include "hierarchy/pareto.h"
+#include "simcore/folded_curve.h"
 #include "simcore/reuse_curve.h"
 #include "trace/walker.h"
 
@@ -33,8 +34,20 @@ namespace dr::explorer {
 
 using dr::support::i64;
 
+/// Which trace engine feeds the simulated curve.
+enum class SimEngine {
+  Auto,          ///< streaming pipeline (folds when the stream is periodic)
+  Streaming,     ///< force the streaming pipeline
+  Materialized,  ///< collect the full trace first — the reference oracle
+};
+
 struct ExploreOptions {
   bool runSimulation = true;  ///< Belady sweep (skip for analytic-only runs)
+  /// Trace engine for the simulated sweep. Auto/Streaming never
+  /// materialize the trace: one folded OPT stack-distance histogram
+  /// answers every curve size (byte-identical to Materialized, pinned by
+  /// tests); Materialized keeps the original collect-then-simulate flow.
+  SimEngine engine = SimEngine::Auto;
   std::vector<i64> extraSizes;  ///< extra sizes for the simulated sweep
   i64 denseGridUpTo = 64;
   analytic::AnalyticCurveOptions analyticOptions;
@@ -73,6 +86,10 @@ struct SignalExploration {
   i64 distinctElements = 0;
 
   simcore::ReuseCurve simulatedCurve;  ///< empty when !runSimulation
+  /// How the simulated curve was produced (streaming engines only):
+  /// whether the periodic fold kicked in and how many events were
+  /// actually simulated vs the stream's total.
+  simcore::FoldedStats simulationStats;
   std::vector<AccessAnalysis> accesses;
   /// Combined analytic curve over all accesses (sizes and transfer counts
   /// summed at aligned reuse fractions).
@@ -108,16 +125,28 @@ struct OrderingResult {
   double bestFR = 1.0;
   bool exact = true;
   bool feasible = false;  ///< some level fits the budget
+  /// Folded-simulation cross-check (filled for the top validateTopK
+  /// orderings only): exact OPT misses of one shared buffer of bestSize
+  /// serving all the signal's reads under this ordering. -1 when not
+  /// validated. The analytic bestMisses models one coherent copy per
+  /// access, so the two counts agree only when that model is tight.
+  i64 simMisses = -1;
+  bool simExact = false;  ///< FoldedStats.exact of the validation run
 };
 
 /// Evaluate every loop ordering of the (single) nest reading `signal`
 /// with the outer `fixedPrefix` loops pinned — the per-ordering reuse
 /// decision of paper Section 3, step 3 ("the optimal memory hierarchy
 /// cost for each of the signals and each loop nest ordering separately").
-/// Results are sorted best (fewest background transfers) first.
+/// Results are sorted best (fewest background transfers) first. The top
+/// `validateTopK` orderings are additionally cross-checked against the
+/// streaming folded OPT simulation (simMisses/simExact), so the analytic
+/// ranking's winners carry exact simulated miss counts without paying a
+/// full sweep for every permutation.
 /// Preconditions: the signal is read in exactly one nest; sizeBudget >= 1.
 std::vector<OrderingResult> orderingSweep(const loopir::Program& p,
                                           int signal, i64 sizeBudget,
-                                          int fixedPrefix = 0);
+                                          int fixedPrefix = 0,
+                                          int validateTopK = 0);
 
 }  // namespace dr::explorer

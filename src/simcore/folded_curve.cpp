@@ -1,0 +1,325 @@
+#include "simcore/folded_curve.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "support/contracts.h"
+#include "support/parallel.h"
+
+namespace dr::simcore {
+
+namespace {
+
+using dr::trace::PeriodInfo;
+using dr::trace::TraceCursor;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void trimTrailingZeros(std::vector<i64>& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+/// One chunk's increment of the engine state: what the steady state must
+/// replay. The distance-sequence hash is strictly stronger than the
+/// histogram delta (equal multisets with different orders differ).
+struct ChunkDelta {
+  std::vector<i64> hist;  ///< trimmed histogram increment
+  i64 cold = 0;
+  std::uint64_t seqHash = kFnvOffset;
+
+  bool operator==(const ChunkDelta&) const = default;
+};
+
+template <class Acc>
+void streamRest(TraceCursor& cursor, StreamingDensifier& dens, Acc& acc,
+                i64 chunkEvents) {
+  std::vector<i64> buf;
+  while (cursor.nextChunk(buf, chunkEvents) > 0)
+    for (i64 addr : buf) acc.push(dens.idOf(addr));
+}
+
+/// OPT steady-state certificate: the slot tree at chunk boundary c must
+/// be the boundary-(c-s) tree advanced by s periods — every busy-until
+/// time either shifts by exactly `shift` (= s*period), or is older than
+/// `ancientFloor` and therefore below every future interval's prev time
+/// (an address accessed in chunk c recurs within maxLateWarmGap chunks or
+/// never, so future prevs are >= (c+1-gap)*period and their mirrored
+/// counterparts >= (c+1-gap-s)*period) — such slots answer every future
+/// query identically whether shifted or not. New slots must match the
+/// cold misses of the s chunks in between.
+bool slotsShifted(const std::vector<i64>& prev, const std::vector<i64>& cur,
+                  i64 shift, i64 coldDelta, i64 ancientFloor) {
+  if (static_cast<i64>(cur.size()) - static_cast<i64>(prev.size()) !=
+      coldDelta)
+    return false;
+  for (std::size_t k = 0; k < prev.size(); ++k) {
+    if (cur[k] == prev[k] + shift) continue;
+    if (cur[k] == prev[k] && prev[k] <= ancientFloor) continue;
+    return false;
+  }
+  return true;
+}
+
+template <class Acc>
+std::vector<i64> snapshotSlots(const Acc& acc) {
+  if constexpr (requires { acc.slotValues(); })
+    return acc.slotValues();
+  else
+    return {};
+}
+
+template <class Acc>
+StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
+                         bool certifySlots, FoldedStats& st,
+                         const FoldedCurveOptions& opts) {
+  cursor.reset();
+  const auto [lo, hi] = cursor.addressRange();
+  StreamingDensifier dens(lo, hi);
+  Acc acc;
+  st.totalEvents = cursor.length();
+
+  const bool tryFold = opts.allowFold && pd.found && pd.repeatCount >= 2;
+  const i64 warmChunks = tryFold ? 1 + pd.maxLateWarmGap : 0;
+  // Folding must leave chunks to extrapolate: when warmup plus the
+  // convergence runs already cover the stream, just play it out.
+  if (!tryFold || warmChunks + opts.convergenceRuns >= pd.repeatCount) {
+    streamRest(cursor, dens, acc, opts.chunkEvents);
+    st.simulatedEvents = cursor.position();
+    st.distinct = acc.coldMisses();
+    return acc.finalize();
+  }
+
+  st.period = pd.period;
+  st.repeatCount = pd.repeatCount;
+  st.warmupEvents = warmChunks * pd.period;
+
+  std::vector<i64> buf;
+  std::vector<i64> prevHist;
+  i64 prevCold = 0;
+  std::vector<ChunkDelta> deltas;          ///< post-warmup, oldest first
+  std::vector<std::vector<i64>> bounds;    ///< slot snapshots, aligned
+  const int maxSuper = std::max(1, opts.maxSuperPeriod);
+  i64 chunk = 0;  ///< completed chunks
+  const i64 measureBudget = warmChunks + opts.maxMeasuredChunks;
+
+  while (chunk < pd.repeatCount) {
+    const i64 got = cursor.nextChunk(buf, pd.period);
+    DR_CHECK(got == pd.period);  // single-nest stream of R whole periods
+    ChunkDelta delta;
+    for (i64 addr : buf) {
+      const i64 d = acc.push(dens.idOf(addr));
+      delta.seqHash ^= static_cast<std::uint64_t>(d);
+      delta.seqHash *= kFnvPrime;
+    }
+    ++chunk;
+
+    const std::vector<i64>& raw = acc.rawHistogram();
+    delta.hist.assign(raw.begin(), raw.end());
+    for (std::size_t i = 0; i < prevHist.size(); ++i)
+      delta.hist[i] -= prevHist[i];
+    trimTrailingZeros(delta.hist);
+    delta.cold = acc.coldMisses() - prevCold;
+    prevHist.assign(raw.begin(), raw.end());
+    prevCold = acc.coldMisses();
+
+    if (chunk <= warmChunks) continue;
+    deltas.push_back(std::move(delta));
+    if (certifySlots) bounds.push_back(snapshotSlots(acc));
+    const i64 n = static_cast<i64>(deltas.size());
+    const i64 remaining = pd.repeatCount - chunk;
+
+    // The engine state may cycle with a super-period of s chunks even
+    // though the address stream shifts every chunk (OPT's slot layering
+    // on motion estimation settles into a 2-chunk cycle). Certify the
+    // smallest s whose delta cycle has replayed convergenceRuns times.
+    for (i64 s = 1; remaining > 0 && s <= maxSuper; ++s) {
+      if (n < s * opts.convergenceRuns || n < s + 1) continue;
+      bool match = true;
+      for (i64 i = 0; match && i < s * (opts.convergenceRuns - 1); ++i)
+        match = deltas[n - 1 - i] == deltas[n - 1 - i - s];
+      if (!match) continue;
+      if (certifySlots) {
+        i64 coldSum = 0;
+        for (i64 j = 0; j < s; ++j) coldSum += deltas[n - 1 - j].cold;
+        const i64 ancientFloor =
+            (chunk - pd.maxLateWarmGap - s) * pd.period;
+        if (!slotsShifted(bounds[n - 1 - s], bounds[n - 1], s * pd.period,
+                          coldSum, ancientFloor))
+          continue;
+      }
+      // Certified: future chunk c+q replays the cycle delta at offset
+      // (q-1) mod s. Extrapolate all `remaining` chunks at once.
+      std::vector<i64> folded = acc.rawHistogram();
+      i64 cold = acc.coldMisses();
+      for (i64 j = 0; j < s; ++j) {
+        const ChunkDelta& cyc = deltas[n - s + j];
+        const i64 copies = remaining / s + (j < remaining % s ? 1 : 0);
+        if (static_cast<i64>(folded.size()) <
+            static_cast<i64>(cyc.hist.size()))
+          folded.resize(cyc.hist.size(), 0);
+        for (std::size_t i = 0; i < cyc.hist.size(); ++i)
+          folded[i] += copies * cyc.hist[i];
+        cold += copies * cyc.cold;
+      }
+      st.folded = true;
+      st.foldPeriodChunks = s;
+      st.simulatedEvents = cursor.position();
+      st.distinct = cold;
+      return StackHistogram::build(std::move(folded), cold,
+                                   st.totalEvents);
+    }
+    if (chunk < measureBudget) continue;
+    // Budget exhausted without a certified steady state.
+    if (opts.approximateAfterBudget && remaining > 0) {
+      // Extrapolate the most recent chunk regardless and say so: the
+      // residual wobble is a ±1-per-bin-per-chunk tail effect (see
+      // header), which a scaling sweep gladly trades for not streaming
+      // the remaining billions of events.
+      const ChunkDelta& cyc = deltas.back();
+      std::vector<i64> folded = acc.rawHistogram();
+      if (folded.size() < cyc.hist.size())
+        folded.resize(cyc.hist.size(), 0);
+      for (std::size_t i = 0; i < cyc.hist.size(); ++i)
+        folded[i] += remaining * cyc.hist[i];
+      const i64 cold = acc.coldMisses() + remaining * cyc.cold;
+      st.folded = true;
+      st.exact = false;
+      st.foldPeriodChunks = 1;
+      st.simulatedEvents = cursor.position();
+      st.distinct = cold;
+      return StackHistogram::build(std::move(folded), cold,
+                                   st.totalEvents);
+    }
+    break;  // stream the rest plainly (exact)
+  }
+
+  // Fold abandoned (or the stream ended first): stream whatever is left —
+  // exact by construction, just without the speedup.
+  streamRest(cursor, dens, acc, opts.chunkEvents);
+  st.simulatedEvents = cursor.position();
+  st.distinct = acc.coldMisses();
+  return acc.finalize();
+}
+
+ReusePoint pointFrom(const SimResult& r, i64 size) {
+  ReusePoint p;
+  p.size = size;
+  p.writes = r.misses;
+  p.reads = r.accesses;
+  p.reuseFactor = r.reuseFactor();
+  return p;
+}
+
+}  // namespace
+
+StackHistogram foldedStackHistogram(TraceCursor& cursor,
+                                    const PeriodInfo& period, Policy policy,
+                                    FoldedStats* stats,
+                                    const FoldedCurveOptions& opts) {
+  DR_REQUIRE_MSG(policy != Policy::Fifo,
+                 "FIFO is not a stack algorithm; use streamFifo per size");
+  FoldedStats local;
+  FoldedStats& st = stats ? *stats : local;
+  st = FoldedStats{};
+  return policy == Policy::Opt
+             ? runEngine<OptStackAccumulator>(cursor, period,
+                                              /*certifySlots=*/true, st, opts)
+             : runEngine<LruStackAccumulator>(
+                   cursor, period, /*certifySlots=*/false, st, opts);
+}
+
+SimResult streamFifo(TraceCursor cursor, i64 capacity, i64 chunkEvents) {
+  DR_REQUIRE(capacity >= 0);
+  cursor.reset();
+  SimResult r;
+  r.capacity = capacity;
+  r.accesses = cursor.length();
+  if (capacity == 0) {
+    r.misses = r.accesses;
+    return r;
+  }
+
+  const auto [lo, hi] = cursor.addressRange();
+  StreamingDensifier dens(lo, hi);
+  std::vector<char> resident;  // grows with the distinct count
+  std::vector<i64> ring(static_cast<std::size_t>(capacity) + 1, -1);
+  std::size_t headIdx = 0, tailIdx = 0;
+  i64 count = 0;
+
+  std::vector<i64> buf;
+  while (cursor.nextChunk(buf, chunkEvents) > 0) {
+    for (i64 addr : buf) {
+      const i64 id = dens.idOf(addr);
+      const std::size_t u = static_cast<std::size_t>(id);
+      if (u == resident.size()) resident.push_back(0);
+      if (resident[u]) {
+        ++r.hits;
+        continue;
+      }
+      ++r.misses;
+      resident[u] = 1;
+      ring[tailIdx] = id;
+      tailIdx = (tailIdx + 1) % ring.size();
+      if (++count > capacity) {
+        resident[static_cast<std::size_t>(ring[headIdx])] = 0;
+        headIdx = (headIdx + 1) % ring.size();
+        --count;
+      }
+    }
+  }
+  DR_ENSURE(r.hits + r.misses == r.accesses);
+  return r;
+}
+
+ReuseCurve simulateReuseCurve(const loopir::Program& p,
+                              const dr::trace::AddressMap& map,
+                              const dr::trace::TraceFilter& filter,
+                              std::vector<i64> sizes, Policy policy,
+                              FoldedStats* stats,
+                              const FoldedCurveOptions& opts) {
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  DR_REQUIRE(sizes.empty() || sizes.front() >= 0);
+
+  ReuseCurve curve;
+  TraceCursor cursor(p, map, filter);
+  if (stats) {
+    *stats = FoldedStats{};
+    stats->totalEvents = cursor.length();
+  }
+  if (sizes.empty()) return curve;
+  curve.points.resize(sizes.size());
+
+  if (policy == Policy::Fifo) {
+    if (stats)
+      stats->simulatedEvents =
+          cursor.length() * static_cast<i64>(sizes.size());
+    dr::support::parallelFor(static_cast<i64>(sizes.size()), [&](i64 i) {
+      const std::size_t u = static_cast<std::size_t>(i);
+      curve.points[u] = pointFrom(
+          streamFifo(cursor, sizes[u], opts.chunkEvents), sizes[u]);
+    });
+    return curve;
+  }
+
+  const PeriodInfo pd = dr::trace::detectPeriod(cursor.nests());
+  const StackHistogram h =
+      foldedStackHistogram(cursor, pd, policy, stats, opts);
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    curve.points[i] = pointFrom(h.resultAt(sizes[i]), sizes[i]);
+  return curve;
+}
+
+i64 optSaturationSize(const loopir::Program& p,
+                      const dr::trace::AddressMap& map,
+                      const dr::trace::TraceFilter& filter,
+                      FoldedStats* stats) {
+  TraceCursor cursor(p, map, filter);
+  const PeriodInfo pd = dr::trace::detectPeriod(cursor.nests());
+  return foldedStackHistogram(cursor, pd, Policy::Opt, stats)
+      .saturationSize();
+}
+
+}  // namespace dr::simcore

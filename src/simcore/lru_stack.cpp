@@ -2,36 +2,10 @@
 
 #include <algorithm>
 
+#include "simcore/stream_stack.h"
 #include "support/contracts.h"
 
 namespace dr::simcore {
-
-namespace {
-
-/// Fenwick tree over time positions holding 0/1 marks.
-class Bit {
- public:
-  explicit Bit(i64 n) : tree_(static_cast<std::size_t>(n) + 1, 0) {}
-
-  void add(i64 pos, i64 delta) {
-    for (i64 i = pos + 1; i < static_cast<i64>(tree_.size());
-         i += i & (-i))
-      tree_[static_cast<std::size_t>(i)] += delta;
-  }
-
-  /// Sum of marks at positions [0, pos].
-  i64 prefix(i64 pos) const {
-    i64 s = 0;
-    for (i64 i = pos + 1; i > 0; i -= i & (-i))
-      s += tree_[static_cast<std::size_t>(i)];
-    return s;
-  }
-
- private:
-  std::vector<i64> tree_;
-};
-
-}  // namespace
 
 LruStackDistances::LruStackDistances(const Trace& trace) {
   run(dr::trace::densify(trace));
@@ -42,38 +16,15 @@ LruStackDistances::LruStackDistances(const dr::trace::DenseTrace& dense) {
 }
 
 void LruStackDistances::run(const dr::trace::DenseTrace& dense) {
-  accesses_ = dense.length();
-  i64 n = accesses_;
-  Bit marks(n);  // position p marked iff p is the most recent access of its id
-  std::vector<i64> lastPos(static_cast<std::size_t>(dense.distinct()), -1);
-
-  for (i64 t = 0; t < n; ++t) {
-    const std::size_t id =
-        static_cast<std::size_t>(dense.ids[static_cast<std::size_t>(t)]);
-    const i64 prev = lastPos[id];
-    if (prev < 0) {
-      ++coldMisses_;
-    } else {
-      // Stack distance = number of distinct addresses accessed in
-      // (prev, t], which is the marked positions after prev plus the
-      // element itself.
-      i64 between = marks.prefix(t - 1) - marks.prefix(prev);
-      i64 dist = between + 1;
-      if (dist >= static_cast<i64>(histogram_.size()))
-        histogram_.resize(static_cast<std::size_t>(dist) + 1, 0);
-      ++histogram_[static_cast<std::size_t>(dist)];
-      marks.add(prev, -1);
-    }
-    marks.add(t, +1);
-    lastPos[id] = t;
-  }
-
-  cumulativeHits_.resize(histogram_.size(), 0);
-  i64 running = 0;
-  for (std::size_t d = 0; d < histogram_.size(); ++d) {
-    running += histogram_[d];
-    cumulativeHits_[d] = running;
-  }
+  // The batch engine is a thin wrapper over the streaming accumulator
+  // (stream_stack.h), which owns the compacting Fenwick window.
+  LruStackAccumulator acc(dense.distinct());
+  for (i64 id : dense.ids) acc.push(id);
+  StackHistogram h = acc.finalize();
+  histogram_ = std::move(h.histogram);
+  cumulativeHits_ = std::move(h.cumulativeHits);
+  coldMisses_ = h.coldMisses;
+  accesses_ = h.accesses;
 }
 
 i64 LruStackDistances::missesAt(i64 capacity) const {

@@ -1,97 +1,11 @@
 #include "simcore/opt_stack.h"
 
 #include <algorithm>
-#include <limits>
 
+#include "simcore/stream_stack.h"
 #include "support/contracts.h"
 
 namespace dr::simcore {
-
-namespace {
-
-constexpr i64 kInf = std::numeric_limits<i64>::max();
-constexpr i64 kNegInf = std::numeric_limits<i64>::min();
-
-/// Segment tree over capacity slots holding each slot's machine-busy-until
-/// time, augmented with per-node min and max (interleaved for locality).
-/// The whole per-interval update of the layered EDF simulation — find the
-/// leftmost slot idle by `prev`, stamp it with `t`, then rotate every
-/// successive record value in (carry, prev] to its predecessor — runs as
-/// one descent plus one pruned in-order walk, pulling each touched node
-/// exactly once on unwind.
-class SlotTree {
- public:
-  explicit SlotTree(i64 n) : n_(n) {
-    size_ = 1;
-    while (size_ < n_) size_ <<= 1;
-    // Real slots start free since the dawn of time (value 0); padding gets
-    // (min=+inf, max=-inf) so no query or cascade ever selects it.
-    nodes_.assign(static_cast<std::size_t>(2 * std::max<i64>(size_, 1)),
-                  Node{kInf, kNegInf});
-    for (i64 i = 0; i < n_; ++i)
-      nodes_[static_cast<std::size_t>(size_ + i)] = Node{0, 0};
-    for (i64 i = size_ - 1; i >= 1; --i) pull(i);
-  }
-
-  /// Processes the reuse interval [prev, t): finds the leftmost slot L with
-  /// busy-until <= prev (the OPT stack distance is L+1), sets it to t, and
-  /// repairs the layering invariant by rotating each successive record in
-  /// (old value of L, prev] down one record to its right. Returns L, or -1
-  /// when every slot is busy past prev (cannot happen for n >= distinct).
-  i64 replaceAndRepair(i64 prev, i64 t) {
-    if (n_ == 0 || nodes_[1].min > prev) return -1;
-    i64 node = 1;
-    while (node < size_) {
-      node *= 2;
-      if (nodes_[static_cast<std::size_t>(node)].min > prev) ++node;
-    }
-    const i64 L = node - size_;
-    i64 carry = nodes_[static_cast<std::size_t>(node)].min;
-    nodes_[static_cast<std::size_t>(node)] = Node{t, t};
-    for (i64 u = node / 2; u >= 1; u /= 2) pull(u);
-    cascade(1, 0, size_, L, prev, carry);
-    return L;
-  }
-
- private:
-  struct Node {
-    i64 min;
-    i64 max;
-  };
-
-  void pull(i64 node) {
-    const std::size_t u = static_cast<std::size_t>(node);
-    nodes_[u].min = std::min(nodes_[2 * u].min, nodes_[2 * u + 1].min);
-    nodes_[u].max = std::max(nodes_[2 * u].max, nodes_[2 * u + 1].max);
-  }
-
-  /// In-order walk over slots > pos. A leaf is a record iff its value lies
-  /// in (carry, hi]; carry only grows left-to-right, so subtrees with
-  /// max <= carry or min > hi can never contribute and are pruned.
-  bool cascade(i64 node, i64 l, i64 r, i64 pos, i64 hi, i64& carry) {
-    if (r <= pos + 1) return false;
-    Node& nd = nodes_[static_cast<std::size_t>(node)];
-    if (nd.max <= carry || nd.min > hi) return false;
-    if (r - l == 1) {
-      const i64 next = nd.min;
-      nd.min = carry;
-      nd.max = carry;
-      carry = next;
-      return true;
-    }
-    const i64 mid = l + (r - l) / 2;
-    const bool left = cascade(2 * node, l, mid, pos, hi, carry);
-    const bool right = cascade(2 * node + 1, mid, r, pos, hi, carry);
-    if (left || right) pull(node);
-    return left || right;
-  }
-
-  i64 n_;
-  i64 size_ = 1;
-  std::vector<Node> nodes_;
-};
-
-}  // namespace
 
 OptStackDistances::OptStackDistances(const Trace& trace) {
   run(dr::trace::densify(trace));
@@ -102,43 +16,15 @@ OptStackDistances::OptStackDistances(const dr::trace::DenseTrace& dense) {
 }
 
 void OptStackDistances::run(const dr::trace::DenseTrace& dense) {
-  accesses_ = dense.length();
-  const i64 distinct = dense.distinct();
-  histogram_.assign(static_cast<std::size_t>(distinct) + 1, 0);
-  std::vector<i64> lastPos(static_cast<std::size_t>(distinct), -1);
-  SlotTree slots(distinct);
-
-  for (i64 t = 0; t < accesses_; ++t) {
-    const i64 id = dense.ids[static_cast<std::size_t>(t)];
-    const i64 prev = lastPos[static_cast<std::size_t>(id)];
-    if (prev < 0) {
-      ++coldMisses_;
-    } else {
-      // Reuse interval [prev, t). Slot L (0-based) free iff its machine is
-      // idle by prev; the leftmost such L makes capacity L+1 the smallest
-      // at which EDF accepts the interval = the OPT stack distance. At
-      // capacities k > L best-fit picks the latest busy-until <= prev, so
-      // each successive record value in (carry, prev] right of L rotates
-      // down to the previous record, keeping slot k the state increment
-      // between capacities k-1 and k.
-      const i64 L = slots.replaceAndRepair(prev, t);
-      DR_CHECK(L >= 0);  // capacity `distinct` accepts every interval
-      ++histogram_[static_cast<std::size_t>(L) + 1];
-    }
-    lastPos[static_cast<std::size_t>(id)] = t;
-  }
-
-  while (histogram_.size() > 1 && histogram_.back() == 0)
-    histogram_.pop_back();
-  if (histogram_.size() == 1) histogram_.clear();  // no reuse at all
-
-  cumulativeHits_.resize(histogram_.size(), 0);
-  i64 running = 0;
-  for (std::size_t d = 0; d < histogram_.size(); ++d) {
-    running += histogram_[d];
-    cumulativeHits_[d] = running;
-  }
-  DR_ENSURE(coldMisses_ + running == accesses_);
+  // The batch engine is a thin wrapper over the streaming accumulator
+  // (stream_stack.h), which owns the layered-EDF slot tree.
+  OptStackAccumulator acc(dense.distinct());
+  for (i64 id : dense.ids) acc.push(id);
+  StackHistogram h = acc.finalize();
+  histogram_ = std::move(h.histogram);
+  cumulativeHits_ = std::move(h.cumulativeHits);
+  coldMisses_ = h.coldMisses;
+  accesses_ = h.accesses;
 }
 
 i64 OptStackDistances::missesAt(i64 capacity) const {

@@ -1,6 +1,7 @@
 #include "simcore/reuse_curve.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "simcore/lru_stack.h"
 #include "simcore/opt_stack.h"
@@ -108,12 +109,43 @@ i64 optSaturationSize(const Trace& trace) {
 
 std::vector<std::size_t> findKnees(const ReuseCurve& curve, double jumpRatio) {
   DR_REQUIRE(jumpRatio > 1.0);
+  // The grid spacing is roughly geometric, so a smooth curve climbs more
+  // per interval where the grid is sparse: the jump test is normalized per
+  // log2-size step (an interval spanning s doublings must beat
+  // jumpRatio^s), and consecutive qualifying intervals — one knee smeared
+  // across several grid points — coalesce into the interval with the
+  // steepest per-step climb.
   std::vector<std::size_t> knees;
+  std::size_t runBest = 0;
+  double runBestScore = 0.0;
+  bool inRun = false;
+  auto closeRun = [&] {
+    if (inRun) knees.push_back(runBest);
+    inRun = false;
+  };
   for (std::size_t i = 1; i < curve.points.size(); ++i) {
-    double prev = curve.points[i - 1].reuseFactor;
-    double cur = curve.points[i].reuseFactor;
-    if (prev > 0 && cur / prev >= jumpRatio) knees.push_back(i);
+    const ReusePoint& a = curve.points[i - 1];
+    const ReusePoint& b = curve.points[i];
+    if (a.reuseFactor <= 0 || a.size <= 0 || b.size <= a.size) {
+      closeRun();
+      continue;
+    }
+    const double steps = std::max(
+        1.0, std::log2(static_cast<double>(b.size) /
+                       static_cast<double>(a.size)));
+    const double ratio = b.reuseFactor / a.reuseFactor;
+    if (ratio >= std::pow(jumpRatio, steps)) {
+      const double score = std::pow(ratio, 1.0 / steps);
+      if (!inRun || score > runBestScore) {
+        runBest = i;
+        runBestScore = score;
+      }
+      inRun = true;
+    } else {
+      closeRun();
+    }
   }
+  closeRun();
   return knees;
 }
 

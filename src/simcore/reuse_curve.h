@@ -45,8 +45,11 @@ ReuseCurve simulateReuseCurve(const Trace& trace, std::vector<i64> sizes,
 i64 optSaturationSize(const Trace& trace);
 
 /// Knees: points where the reuse factor jumps by more than `jumpRatio`
-/// relative to the previous grid point (paper Fig. 4a's A_1..A_4 are such
-/// discontinuities). Returns indices into curve.points.
+/// per log2-size step relative to the previous grid point (paper
+/// Fig. 4a's A_1..A_4 are such discontinuities). The per-step
+/// normalization keeps a smooth climb over a sparse geometric grid from
+/// masquerading as a knee; consecutive qualifying intervals coalesce into
+/// the steepest one. Returns indices into curve.points.
 std::vector<std::size_t> findKnees(const ReuseCurve& curve,
                                    double jumpRatio = 1.2);
 

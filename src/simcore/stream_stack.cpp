@@ -1,0 +1,273 @@
+#include "simcore/stream_stack.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace dr::simcore {
+
+namespace {
+constexpr i64 kInf = std::numeric_limits<i64>::max();
+constexpr i64 kNegInf = std::numeric_limits<i64>::min();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StackHistogram
+
+StackHistogram StackHistogram::build(std::vector<i64> raw, i64 cold,
+                                     i64 accesses) {
+  StackHistogram out;
+  out.histogram = std::move(raw);
+  out.coldMisses = cold;
+  out.accesses = accesses;
+  while (out.histogram.size() > 1 && out.histogram.back() == 0)
+    out.histogram.pop_back();
+  if (out.histogram.size() == 1) out.histogram.clear();  // no reuse at all
+
+  out.cumulativeHits.resize(out.histogram.size(), 0);
+  i64 running = 0;
+  for (std::size_t d = 0; d < out.histogram.size(); ++d) {
+    running += out.histogram[d];
+    out.cumulativeHits[d] = running;
+  }
+  DR_ENSURE(cold + running == accesses);
+  return out;
+}
+
+i64 StackHistogram::missesAt(i64 capacity) const {
+  DR_REQUIRE(capacity >= 0);
+  if (cumulativeHits.empty() || capacity == 0) return accesses;
+  std::size_t idx = std::min(static_cast<std::size_t>(capacity),
+                             cumulativeHits.size() - 1);
+  return accesses - cumulativeHits[idx];
+}
+
+SimResult StackHistogram::resultAt(i64 capacity) const {
+  SimResult r;
+  r.capacity = capacity;
+  r.accesses = accesses;
+  r.misses = missesAt(capacity);
+  r.hits = r.accesses - r.misses;
+  return r;
+}
+
+i64 StackHistogram::saturationSize() const {
+  if (accesses == 0) return 0;
+  return std::max<i64>(1, static_cast<i64>(histogram.size()) - 1);
+}
+
+// ---------------------------------------------------------------------------
+// detail::OptSlotTree
+
+namespace detail {
+
+OptSlotTree::OptSlotTree(i64 n) { rebuild(n, {}); }
+
+void OptSlotTree::rebuild(i64 n, const std::vector<i64>& leaves) {
+  n_ = n;
+  size_ = 1;
+  while (size_ < n_) size_ <<= 1;
+  // Real slots start free since the dawn of time (value 0); padding gets
+  // (min=+inf, max=-inf) so no query or cascade ever selects it.
+  nodes_.assign(static_cast<std::size_t>(2 * std::max<i64>(size_, 1)),
+                Node{kInf, kNegInf});
+  for (i64 i = 0; i < n_; ++i)
+    nodes_[static_cast<std::size_t>(size_ + i)] = Node{0, 0};
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    nodes_[static_cast<std::size_t>(size_) + i] = Node{leaves[i], leaves[i]};
+  for (i64 i = size_ - 1; i >= 1; --i) pull(i);
+}
+
+void OptSlotTree::grow(i64 n) {
+  if (n <= n_) return;
+  std::vector<i64> leaves = values(n_);
+  rebuild(std::max(n, 2 * n_), leaves);
+}
+
+std::vector<i64> OptSlotTree::values(i64 count) const {
+  DR_REQUIRE(count <= n_);
+  std::vector<i64> out(static_cast<std::size_t>(count));
+  for (i64 i = 0; i < count; ++i)
+    out[static_cast<std::size_t>(i)] =
+        nodes_[static_cast<std::size_t>(size_ + i)].min;
+  return out;
+}
+
+i64 OptSlotTree::replaceAndRepair(i64 prev, i64 t) {
+  if (n_ == 0 || nodes_[1].min > prev) return -1;
+  i64 node = 1;
+  while (node < size_) {
+    node *= 2;
+    if (nodes_[static_cast<std::size_t>(node)].min > prev) ++node;
+  }
+  const i64 L = node - size_;
+  i64 carry = nodes_[static_cast<std::size_t>(node)].min;
+  nodes_[static_cast<std::size_t>(node)] = Node{t, t};
+  for (i64 u = node / 2; u >= 1; u /= 2) pull(u);
+  cascade(1, 0, size_, L, prev, carry);
+  return L;
+}
+
+void OptSlotTree::pull(i64 node) {
+  const std::size_t u = static_cast<std::size_t>(node);
+  nodes_[u].min = std::min(nodes_[2 * u].min, nodes_[2 * u + 1].min);
+  nodes_[u].max = std::max(nodes_[2 * u].max, nodes_[2 * u + 1].max);
+}
+
+bool OptSlotTree::cascade(i64 node, i64 l, i64 r, i64 pos, i64 hi,
+                          i64& carry) {
+  if (r <= pos + 1) return false;
+  Node& nd = nodes_[static_cast<std::size_t>(node)];
+  if (nd.max <= carry || nd.min > hi) return false;
+  if (r - l == 1) {
+    const i64 next = nd.min;
+    nd.min = carry;
+    nd.max = carry;
+    carry = next;
+    return true;
+  }
+  const i64 mid = l + (r - l) / 2;
+  const bool left = cascade(2 * node, l, mid, pos, hi, carry);
+  const bool right = cascade(2 * node + 1, mid, r, pos, hi, carry);
+  if (left || right) pull(node);
+  return left || right;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// OptStackAccumulator
+
+OptStackAccumulator::OptStackAccumulator(i64 expectedDistinct)
+    : tree_(std::max<i64>(expectedDistinct, 64)) {
+  lastPos_.reserve(
+      static_cast<std::size_t>(std::max<i64>(expectedDistinct, 0)));
+  histogram_.assign(2, 0);
+}
+
+i64 OptStackAccumulator::push(i64 denseId) {
+  DR_REQUIRE(denseId >= 0 && denseId <= distinct());
+  if (denseId == distinct()) {
+    lastPos_.push_back(-1);
+    if (distinct() > tree_.size()) tree_.grow(distinct());
+  }
+  const i64 prev = lastPos_[static_cast<std::size_t>(denseId)];
+  i64 dist = 0;
+  if (prev < 0) {
+    ++coldMisses_;
+  } else {
+    const i64 L = tree_.replaceAndRepair(prev, t_);
+    DR_CHECK(L >= 0);  // capacity `distinct` accepts every interval
+    dist = L + 1;
+    if (dist >= static_cast<i64>(histogram_.size()))
+      histogram_.resize(static_cast<std::size_t>(dist) + 1, 0);
+    ++histogram_[static_cast<std::size_t>(dist)];
+  }
+  lastPos_[static_cast<std::size_t>(denseId)] = t_;
+  ++t_;
+  return dist;
+}
+
+// ---------------------------------------------------------------------------
+// LruStackAccumulator
+
+LruStackAccumulator::LruStackAccumulator(i64 expectedDistinct) {
+  windowCap_ = std::max<i64>(4096, 2 * expectedDistinct);
+  fenwick_.assign(static_cast<std::size_t>(windowCap_) + 1, 0);
+  lastPos_.reserve(
+      static_cast<std::size_t>(std::max<i64>(expectedDistinct, 0)));
+  histogram_.assign(2, 0);
+}
+
+namespace {
+
+inline void bitAdd(std::vector<i64>& tree, i64 pos, i64 delta) {
+  for (i64 i = pos + 1; i < static_cast<i64>(tree.size()); i += i & (-i))
+    tree[static_cast<std::size_t>(i)] += delta;
+}
+
+inline i64 bitPrefix(const std::vector<i64>& tree, i64 pos) {
+  i64 s = 0;
+  for (i64 i = pos + 1; i > 0; i -= i & (-i))
+    s += tree[static_cast<std::size_t>(i)];
+  return s;
+}
+
+}  // namespace
+
+void LruStackAccumulator::compact() {
+  // Only the most recent access of each live address is marked; renumber
+  // those positions 0..m-1 preserving order. Prefix counts between any
+  // two marks — the stack distances — are untouched.
+  std::vector<i64> marked;
+  marked.reserve(lastPos_.size());
+  for (i64 pos : lastPos_)
+    if (pos >= 0) marked.push_back(pos);
+  std::sort(marked.begin(), marked.end());
+  std::vector<i64> rank(static_cast<std::size_t>(cursor_), -1);
+  for (std::size_t i = 0; i < marked.size(); ++i)
+    rank[static_cast<std::size_t>(marked[i])] = static_cast<i64>(i);
+
+  const i64 m = static_cast<i64>(marked.size());
+  windowCap_ = std::max<i64>(windowCap_, 2 * (m + 1));
+  fenwick_.assign(static_cast<std::size_t>(windowCap_) + 1, 0);
+  for (i64 i = 0; i < m; ++i) bitAdd(fenwick_, i, +1);
+  for (i64& pos : lastPos_)
+    if (pos >= 0) pos = rank[static_cast<std::size_t>(pos)];
+  cursor_ = m;
+}
+
+i64 LruStackAccumulator::push(i64 denseId) {
+  DR_REQUIRE(denseId >= 0 && denseId <= distinct());
+  if (denseId == distinct()) lastPos_.push_back(-1);
+  if (cursor_ == windowCap_) compact();
+  const i64 prev = lastPos_[static_cast<std::size_t>(denseId)];
+  i64 dist = 0;
+  if (prev < 0) {
+    ++coldMisses_;
+  } else {
+    // Stack distance = distinct addresses accessed in (prev, now], which
+    // is the marked positions after prev plus the element itself.
+    const i64 between =
+        bitPrefix(fenwick_, cursor_ - 1) - bitPrefix(fenwick_, prev);
+    dist = between + 1;
+    if (dist >= static_cast<i64>(histogram_.size()))
+      histogram_.resize(static_cast<std::size_t>(dist) + 1, 0);
+    ++histogram_[static_cast<std::size_t>(dist)];
+    bitAdd(fenwick_, prev, -1);
+  }
+  bitAdd(fenwick_, cursor_, +1);
+  lastPos_[static_cast<std::size_t>(denseId)] = cursor_;
+  ++cursor_;
+  ++t_;
+  return dist;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingDensifier
+
+StreamingDensifier::StreamingDensifier(i64 lo, i64 hi) : lo_(lo) {
+  const i64 extent = hi - lo + 1;
+  // Flat path: one table slot per address in range. The cap keeps the
+  // table within ~256 MiB; AddressMap-produced streams are contiguous per
+  // signal, so this is the common case even at 4K frame sizes.
+  if (hi >= lo && extent <= (i64{1} << 25)) {
+    flat_.assign(static_cast<std::size_t>(extent), -1);
+  } else {
+    hash_.reserve(1 << 12);
+  }
+}
+
+i64 StreamingDensifier::idOf(i64 addr) {
+  if (!flat_.empty()) {
+    i64& id = flat_[static_cast<std::size_t>(addr - lo_)];
+    if (id < 0) id = nextId_++;
+    return id;
+  }
+  auto [it, inserted] = hash_.emplace(addr, nextId_);
+  if (inserted) ++nextId_;
+  return it->second;
+}
+
+}  // namespace dr::simcore

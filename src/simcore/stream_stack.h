@@ -1,0 +1,190 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/buffer_sim.h"
+
+/// \file stream_stack.h
+/// Incremental (push-one-access-at-a-time) versions of the one-pass
+/// stack-distance engines, for consumers that never materialize the
+/// trace: the batch engines in opt_stack.h / lru_stack.h are now thin
+/// wrappers over these accumulators, and simcore/folded_curve.h drives
+/// them chunk-by-chunk from a trace::TraceCursor.
+///
+/// Both accumulators keep memory proportional to the *distinct* address
+/// count (plus O(log) structures), never to the trace length:
+///   - OptStackAccumulator grows its slot tree geometrically as new
+///     addresses appear (untouched slots are free-since-dawn, so growth
+///     is observationally identical to sizing the tree upfront);
+///   - LruStackAccumulator replaces the Fenwick-tree-over-time of
+///     lru_stack.cpp with a *compacting* window: only the most recent
+///     access of each address is ever marked, so when the window fills,
+///     the <= distinct marked positions are renumbered (order-preserving,
+///     hence distance-preserving) and the window restarts — amortized
+///     O(1) per access on top of the Fenwick log.
+///
+/// Distances returned by push() are byte-identical to the batch engines'
+/// (pinned by test_folded_stream.cpp property sweeps).
+
+namespace dr::simcore {
+
+/// Trimmed stack-distance summary with precomputed cumulative hits: the
+/// common result shape of the batch engines, the accumulators, and the
+/// folded/extrapolated histograms.
+struct StackHistogram {
+  std::vector<i64> histogram;  ///< [d] = accesses at distance d; [0] unused
+  std::vector<i64> cumulativeHits;
+  i64 coldMisses = 0;
+  i64 accesses = 0;
+
+  /// Trim trailing zeros of `raw` and precompute cumulative hits.
+  static StackHistogram build(std::vector<i64> raw, i64 cold, i64 accesses);
+
+  /// Exact miss count for a buffer of `capacity` elements.
+  i64 missesAt(i64 capacity) const;
+
+  SimResult resultAt(i64 capacity) const;
+
+  /// Smallest capacity whose misses are all compulsory; 0 when empty.
+  i64 saturationSize() const;
+
+  /// Number of distinct addresses (every first access is a cold miss).
+  i64 distinct() const noexcept { return coldMisses; }
+};
+
+namespace detail {
+
+/// Segment tree over capacity slots holding each slot's machine-busy-until
+/// time, augmented with per-node min and max (see opt_stack.h for the
+/// algorithm). Growable: untouched slots hold 0 (free since the dawn of
+/// time), so enlarging the tree preserves every answer.
+class OptSlotTree {
+ public:
+  explicit OptSlotTree(i64 n);
+
+  /// Processes the reuse interval [prev, t): finds the leftmost slot L
+  /// with busy-until <= prev, stamps it with t, and repairs the layering
+  /// invariant. Returns L (-1 when every slot is busy past prev).
+  i64 replaceAndRepair(i64 prev, i64 t);
+
+  /// Enlarge to >= n real slots, preserving all current values.
+  void grow(i64 n);
+
+  i64 size() const noexcept { return n_; }
+
+  /// Busy-until times of slots [0, count).
+  std::vector<i64> values(i64 count) const;
+
+ private:
+  struct Node {
+    i64 min;
+    i64 max;
+  };
+
+  void rebuild(i64 n, const std::vector<i64>& leaves);
+  void pull(i64 node);
+  bool cascade(i64 node, i64 l, i64 r, i64 pos, i64 hi, i64& carry);
+
+  i64 n_ = 0;
+  i64 size_ = 1;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace detail
+
+/// Streaming OPT (Belady-MIN) stack distances over dense ids. Ids must be
+/// assigned by first appearance (0, 1, 2, ... — what trace::densify and
+/// StreamingDensifier produce).
+class OptStackAccumulator {
+ public:
+  explicit OptStackAccumulator(i64 expectedDistinct = 0);
+
+  /// Feed the next access; returns its OPT stack distance (the smallest
+  /// capacity at which it hits), or 0 for a cold (first) access.
+  i64 push(i64 denseId);
+
+  i64 accesses() const noexcept { return t_; }
+  i64 coldMisses() const noexcept { return coldMisses_; }
+  i64 distinct() const noexcept {
+    return static_cast<i64>(lastPos_.size());
+  }
+
+  /// Histogram by distance; may carry trailing zeros while accumulating.
+  const std::vector<i64>& rawHistogram() const noexcept {
+    return histogram_;
+  }
+
+  /// Busy-until times of the slots in layer order — the engine state, for
+  /// the folded engine's steady-state certificates.
+  std::vector<i64> slotValues() const { return tree_.values(distinct()); }
+
+  StackHistogram finalize() const {
+    return StackHistogram::build(histogram_, coldMisses_, t_);
+  }
+
+ private:
+  detail::OptSlotTree tree_;
+  std::vector<i64> lastPos_;
+  std::vector<i64> histogram_;
+  i64 coldMisses_ = 0;
+  i64 t_ = 0;
+};
+
+/// Streaming Mattson/LRU stack distances over dense ids (assigned by
+/// first appearance), with the compacting window described above.
+class LruStackAccumulator {
+ public:
+  explicit LruStackAccumulator(i64 expectedDistinct = 0);
+
+  /// Feed the next access; returns its LRU stack distance, 0 when cold.
+  i64 push(i64 denseId);
+
+  i64 accesses() const noexcept { return t_; }
+  i64 coldMisses() const noexcept { return coldMisses_; }
+  i64 distinct() const noexcept {
+    return static_cast<i64>(lastPos_.size());
+  }
+
+  const std::vector<i64>& rawHistogram() const noexcept {
+    return histogram_;
+  }
+
+  StackHistogram finalize() const {
+    return StackHistogram::build(histogram_, coldMisses_, t_);
+  }
+
+ private:
+  void compact();
+
+  std::vector<i64> fenwick_;  ///< 0/1 marks over window positions
+  std::vector<i64> lastPos_;  ///< per id, window position of last access
+  std::vector<i64> histogram_;
+  i64 windowCap_ = 0;
+  i64 cursor_ = 0;  ///< next free window position
+  i64 coldMisses_ = 0;
+  i64 t_ = 0;
+};
+
+/// On-the-fly address -> dense id assignment (first appearance order,
+/// matching trace::densify): flat table over the advertised address range
+/// when it is small enough, hashing otherwise.
+class StreamingDensifier {
+ public:
+  /// `lo`/`hi`: inclusive address range the stream can produce (from
+  /// TraceCursor::addressRange()); pass lo > hi when unknown.
+  StreamingDensifier(i64 lo, i64 hi);
+
+  /// Dense id of `addr`, assigning the next id on first sight.
+  i64 idOf(i64 addr);
+
+  i64 distinct() const noexcept { return nextId_; }
+
+ private:
+  i64 lo_ = 0;
+  std::vector<i64> flat_;  ///< empty => hash path
+  std::unordered_map<i64, i64> hash_;
+  i64 nextId_ = 0;
+};
+
+}  // namespace dr::simcore

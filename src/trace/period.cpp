@@ -1,0 +1,182 @@
+#include "trace/period.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace dr::trace {
+
+namespace {
+
+/// Membership set over one chunk's addresses: flat byte table when the
+/// address extent is manageable, hashing otherwise.
+class ChunkSet {
+ public:
+  ChunkSet(i64 lo, i64 hi, i64 expected) : lo_(lo), hi_(hi) {
+    const i64 extent = hi - lo + 1;
+    if (extent > 0 && extent <= std::max<i64>(expected * 16, i64{1} << 20) &&
+        extent <= (i64{1} << 26)) {
+      flat_.assign(static_cast<std::size_t>(extent), 0);
+    } else {
+      hash_.reserve(static_cast<std::size_t>(expected));
+    }
+  }
+
+  /// Returns true when newly inserted.
+  bool insert(i64 x) {
+    if (!flat_.empty()) {
+      std::uint8_t& slot = flat_[static_cast<std::size_t>(x - lo_)];
+      if (slot) return false;
+      slot = 1;
+      return true;
+    }
+    return hash_.insert(x).second;
+  }
+
+  bool contains(i64 x) const {
+    if (x < lo_ || x > hi_) return false;
+    if (!flat_.empty())
+      return flat_[static_cast<std::size_t>(x - lo_)] != 0;
+    return hash_.count(x) != 0;
+  }
+
+ private:
+  i64 lo_, hi_;
+  std::vector<std::uint8_t> flat_;
+  std::unordered_set<i64> hash_;
+};
+
+/// The inner sub-nest spanned by levels (level, depth) with the outer
+/// levels pinned at their begin values — chunk 0 of the folded stream.
+LoweredNest chunkNest(const LoweredNest& nest, int level) {
+  LoweredNest sub;
+  for (int d = level + 1; d < nest.depth(); ++d)
+    sub.loops.push_back(nest.loops[static_cast<std::size_t>(d)]);
+  for (const LoweredAccess& acc : nest.accesses) {
+    LoweredAccess a;
+    a.isWrite = acc.isWrite;
+    a.nest = acc.nest;
+    a.accessIndex = acc.accessIndex;
+    a.base = acc.base;
+    for (int d = 0; d <= level; ++d)
+      a.base += acc.levelCoeff[static_cast<std::size_t>(d)] *
+                nest.loops[static_cast<std::size_t>(d)].begin;
+    for (int d = level + 1; d < nest.depth(); ++d)
+      a.levelCoeff.push_back(acc.levelCoeff[static_cast<std::size_t>(d)]);
+    sub.accesses.push_back(std::move(a));
+  }
+  return sub;
+}
+
+/// Largest g >= 1 such that some chunk-0 address first recurs g chunks
+/// later (addr + g*shift inside chunk 0's footprint while addr + g'*shift
+/// is not for 1 <= g' < g). 1 when shift == 0 (chunks identical) or every
+/// recurrence is immediate. Returns -1 when the scan exceeds its probe
+/// budget (caller treats the stream as non-foldable).
+i64 maxLateWarmGap(const LoweredNest& nest, int level, i64 shift,
+                   i64 repeatCount) {
+  if (shift == 0) return 1;
+  const LoweredNest sub = chunkNest(nest, level);
+  auto [lo, hi] = sub.addressRange();
+  ChunkSet set(lo, hi, sub.events());
+  std::vector<i64> distinct;
+  distinct.reserve(static_cast<std::size_t>(std::min<i64>(
+      sub.events(), hi - lo + 1)));
+  walkNest(sub, [&](const AccessEvent& ev) {
+    if (set.insert(ev.address)) distinct.push_back(ev.address);
+  });
+
+  const i64 extent = hi - lo;
+  const i64 absShift = shift > 0 ? shift : -shift;
+  const i64 gRange = extent / absShift;  // beyond this, out of footprint
+  const i64 gCap = std::min<i64>(repeatCount - 1, gRange);
+  i64 budget = i64{1} << 26;  // probes; exceeded => give up, not mis-fold
+  i64 maxGap = 1;
+  for (i64 x : distinct) {
+    for (i64 g = 1; g <= gCap; ++g) {
+      if (--budget < 0) return -1;
+      if (set.contains(x + g * shift)) {
+        maxGap = std::max(maxGap, g);
+        break;
+      }
+    }
+  }
+  return maxGap;
+}
+
+}  // namespace
+
+PeriodInfo detectPeriod(const std::vector<LoweredNest>& nests) {
+  PeriodInfo info;
+  if (nests.size() != 1) return info;  // multi-nest streams: no global period
+  const LoweredNest& nest = nests.front();
+  const int depth = nest.depth();
+  const i64 accessCount = static_cast<i64>(nest.accesses.size());
+  if (accessCount == 0 || nest.iterations() <= 0) return info;
+
+  // Deepest level first: smallest period, maximal folding.
+  for (int l = depth - 1; l >= 0; --l) {
+    i64 repeat = 1, period = accessCount;
+    for (int j = 0; j <= l; ++j)
+      repeat *= nest.loops[static_cast<std::size_t>(j)].trip;
+    for (int j = l + 1; j < depth; ++j)
+      period *= nest.loops[static_cast<std::size_t>(j)].trip;
+    if (repeat < 2) continue;
+
+    // Deepest non-degenerate level in [0, l] sets the shift (its digit has
+    // weight 1 in the flattened chunk counter).
+    int anchor = -1;
+    for (int j = l; j >= 0; --j)
+      if (nest.loops[static_cast<std::size_t>(j)].trip > 1) {
+        anchor = j;
+        break;
+      }
+    DR_CHECK(anchor >= 0);  // repeat >= 2 implies a non-degenerate level
+
+    bool valid = true;
+    i64 shift = 0;
+    for (std::size_t a = 0; a < nest.accesses.size() && valid; ++a) {
+      const LoweredAccess& acc = nest.accesses[a];
+      const i64 accShift =
+          acc.levelCoeff[static_cast<std::size_t>(anchor)] *
+          nest.loops[static_cast<std::size_t>(anchor)].step;
+      if (a == 0)
+        shift = accShift;
+      else if (accShift != shift)
+        valid = false;
+      // Every outer non-degenerate level must continue the same linear
+      // ramp: coeff[j]*step[j] == shift * prod of trips below it.
+      i64 weight = 1;
+      for (int j = l; j >= 0 && valid; --j) {
+        const LoweredLoop& loop = nest.loops[static_cast<std::size_t>(j)];
+        if (loop.trip > 1 &&
+            acc.levelCoeff[static_cast<std::size_t>(j)] * loop.step !=
+                shift * weight)
+          valid = false;
+        weight *= loop.trip;
+      }
+    }
+    if (!valid) continue;
+
+    const i64 gap = maxLateWarmGap(nest, l, shift, repeat);
+    if (gap < 0) continue;  // probe budget blown: treat as non-foldable
+
+    info.found = true;
+    info.level = l;
+    info.period = period;
+    info.repeatCount = repeat;
+    info.shift = shift;
+    info.maxLateWarmGap = gap;
+    info.warmup = (1 + gap) * period;
+    info.totalEvents = repeat * period;
+    return info;
+  }
+  return info;
+}
+
+PeriodInfo detectPeriod(const Program& p, const AddressMap& map,
+                        const TraceFilter& filter) {
+  return detectPeriod(lowerProgram(p, map, filter));
+}
+
+}  // namespace dr::trace

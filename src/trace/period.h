@@ -1,0 +1,60 @@
+#pragma once
+
+#include "trace/stream.h"
+
+/// \file period.h
+/// Steady-state periodicity detection for affine access streams — the
+/// compile-time half of the ISSUE-2 folding pipeline.
+///
+/// A filtered single-nest trace is a sequence of *chunks*: one chunk per
+/// iteration of some loop level `level`, each chunk replaying the inner
+/// levels in full. Because every address is affine in the iterators,
+/// chunk c+1 is a shifted copy of chunk c (addr[t + period] =
+/// addr[t] + shift for *all* t) exactly when the flattened outer
+/// iteration counter enters the address function linearly:
+///
+///   coeff[j] * step[j] == shift * prod_{j < j' <= level} trip[j']
+///       for every access and every outer level j <= level (trip > 1),
+///
+/// with shift = coeff[level] * step[level] shared by all accesses. Under
+/// that condition the same-address relation is invariant under t -> t +
+/// period, so reuse distances — and therefore the whole Mattson/OPT
+/// stack-distance histogram — reach a steady state after a short warmup,
+/// and per-capacity miss counts for the full trace follow from one
+/// simulated period plus extrapolation (simcore/folded_curve.h).
+///
+/// detectPeriod picks the *deepest* valid level (smallest period = most
+/// folding); the levels above it collapse into repeatCount. The warmup
+/// accounts for "late warming": with shift != 0, an address first touched
+/// in chunk 0 can next recur g > 1 chunks later (addr + g*shift lands in
+/// chunk 0's footprint while addr + shift does not), so steady state only
+/// starts after maxLateWarmGap chunks. The gap scan materializes one
+/// chunk's address set — O(period) memory, the same bound the folded
+/// simulation itself needs.
+
+namespace dr::trace {
+
+struct PeriodInfo {
+  bool found = false;
+  int level = -1;       ///< loop level one chunk iterates (0 = outermost)
+  i64 period = 0;       ///< access events per chunk
+  i64 repeatCount = 0;  ///< chunks in the full stream (= trips 0..level)
+  i64 shift = 0;        ///< address delta between consecutive chunks
+  /// Events to simulate before per-chunk histogram increments are steady:
+  /// (1 + maxLateWarmGap) * period. Always >= period when found.
+  i64 warmup = 0;
+  i64 maxLateWarmGap = 1;  ///< largest g with chunk-0 reuse across g chunks
+  i64 totalEvents = 0;     ///< repeatCount * period
+};
+
+/// Detect shift-periodicity of the filtered access stream. Requires the
+/// stream to come from exactly one nest (multi-nest programs like SUSAN
+/// fall back to plain streaming); returns found = false otherwise or when
+/// no level yields repeatCount >= 2.
+PeriodInfo detectPeriod(const Program& p, const AddressMap& map,
+                        const TraceFilter& filter);
+
+/// As above on an already-lowered program (reuse across analyses).
+PeriodInfo detectPeriod(const std::vector<LoweredNest>& nests);
+
+}  // namespace dr::trace

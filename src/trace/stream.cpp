@@ -1,0 +1,173 @@
+#include "trace/stream.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dr::trace {
+
+using loopir::ArrayAccess;
+using loopir::LoopNest;
+
+i64 LoweredNest::iterations() const {
+  i64 n = 1;
+  for (const LoweredLoop& l : loops) n *= l.trip;
+  return n;
+}
+
+i64 LoweredNest::events() const {
+  return iterations() * static_cast<i64>(accesses.size());
+}
+
+std::pair<i64, i64> LoweredNest::addressRange() const {
+  DR_REQUIRE(events() > 0);
+  i64 lo = std::numeric_limits<i64>::max();
+  i64 hi = std::numeric_limits<i64>::min();
+  for (const LoweredAccess& acc : accesses) {
+    i64 amin = acc.base, amax = acc.base;
+    for (int d = 0; d < depth(); ++d) {
+      const LoweredLoop& l = loops[static_cast<std::size_t>(d)];
+      const i64 c = acc.levelCoeff[static_cast<std::size_t>(d)];
+      const i64 first = c * l.begin;
+      const i64 last = c * (l.begin + (l.trip - 1) * l.step);
+      amin += std::min(first, last);
+      amax += std::max(first, last);
+    }
+    lo = std::min(lo, amin);
+    hi = std::max(hi, amax);
+  }
+  return {lo, hi};
+}
+
+LoweredAccess lowerAccess(const AddressMap& map, const LoopNest& nest,
+                          const ArrayAccess& acc, int nestIdx, int accIdx) {
+  LoweredAccess out;
+  out.isWrite = acc.kind == loopir::AccessKind::Write;
+  out.nest = nestIdx;
+  out.accessIndex = accIdx;
+  out.levelCoeff.assign(static_cast<std::size_t>(nest.depth()), 0);
+
+  // Evaluate the map at the per-dimension minima to find the origin, then
+  // add stride-weighted iterator coefficients.
+  const std::vector<ValueRange>& range = map.paddedRange(acc.signal);
+  std::vector<i64> minIndex;
+  minIndex.reserve(range.size());
+  for (const ValueRange& r : range) minIndex.push_back(r.min);
+  const i64 origin = map.address(acc.signal, minIndex);
+  out.base = origin;
+
+  // stride_d = address delta for +1 in dimension d (probed off the
+  // pristine origin).
+  for (std::size_t d = 0; d < range.size(); ++d) {
+    i64 stride = 0;  // degenerate extent: coefficient contributes nothing
+    if (range[d].extent() > 1) {
+      std::vector<i64> probe = minIndex;
+      probe[d] += 1;
+      stride = map.address(acc.signal, probe) - origin;
+    }
+    const loopir::AffineExpr& e = acc.indices[d];
+    out.base += (e.constantTerm() - range[d].min) * stride;
+    for (int l = 0; l < nest.depth(); ++l)
+      out.levelCoeff[static_cast<std::size_t>(l)] += e.coeff(l) * stride;
+  }
+  return out;
+}
+
+std::vector<LoweredNest> lowerProgram(const Program& p, const AddressMap& map,
+                                      const TraceFilter& filter) {
+  DR_REQUIRE_MSG(filter.nest.has_value() == filter.accessIndex.has_value(),
+                 "nest and accessIndex filters must be set together");
+  std::vector<LoweredNest> out;
+  for (std::size_t n = 0; n < p.nests.size(); ++n) {
+    const LoopNest& nest = p.nests[n];
+    LoweredNest ln;
+    for (const loopir::Loop& l : nest.loops)
+      ln.loops.push_back(LoweredLoop{l.begin, l.step, l.tripCount()});
+    for (std::size_t a = 0; a < nest.body.size(); ++a)
+      if (filter.matches(nest.body[a], static_cast<int>(n),
+                         static_cast<int>(a)))
+        ln.accesses.push_back(lowerAccess(map, nest, nest.body[a],
+                                          static_cast<int>(n),
+                                          static_cast<int>(a)));
+    if (!ln.accesses.empty() && ln.iterations() > 0)
+      out.push_back(std::move(ln));
+  }
+  return out;
+}
+
+TraceCursor::TraceCursor(const Program& p, const AddressMap& map,
+                         const TraceFilter& filter)
+    : TraceCursor(lowerProgram(p, map, filter)) {}
+
+TraceCursor::TraceCursor(std::vector<LoweredNest> nests)
+    : nests_(std::move(nests)) {
+  for (const LoweredNest& n : nests_) length_ += n.events();
+  reset();
+}
+
+void TraceCursor::enterNest(std::size_t n) {
+  nestIdx_ = n;
+  if (n >= nests_.size()) return;
+  const std::size_t depth =
+      static_cast<std::size_t>(nests_[n].depth());
+  k_.assign(depth, 0);
+  iter_.resize(depth);
+  for (std::size_t d = 0; d < depth; ++d)
+    iter_[d] = nests_[n].loops[d].begin;
+}
+
+void TraceCursor::reset() {
+  produced_ = 0;
+  enterNest(0);
+}
+
+i64 TraceCursor::nextChunk(std::vector<i64>& out, i64 maxEvents) {
+  DR_REQUIRE(maxEvents >= 1);
+  out.clear();
+  while (nestIdx_ < nests_.size() &&
+         static_cast<i64>(out.size()) < maxEvents) {
+    const LoweredNest& nest = nests_[nestIdx_];
+    const int depth = nest.depth();
+    const std::size_t udepth = static_cast<std::size_t>(depth);
+    // Emit iteration points until the budget is met or the nest ends.
+    for (;;) {
+      for (const LoweredAccess& acc : nest.accesses) {
+        i64 addr = acc.base;
+        for (std::size_t d = 0; d < udepth; ++d)
+          addr += acc.levelCoeff[d] * iter_[d];
+        out.push_back(addr);
+      }
+      int d = depth - 1;
+      for (; d >= 0; --d) {
+        std::size_t ud = static_cast<std::size_t>(d);
+        if (++k_[ud] < nest.loops[ud].trip) {
+          iter_[ud] += nest.loops[ud].step;
+          break;
+        }
+        k_[ud] = 0;
+        iter_[ud] = nest.loops[ud].begin;
+      }
+      if (d < 0) {
+        enterNest(nestIdx_ + 1);
+        break;
+      }
+      if (static_cast<i64>(out.size()) >= maxEvents) break;
+    }
+  }
+  produced_ += static_cast<i64>(out.size());
+  DR_ENSURE(produced_ <= length_);
+  return static_cast<i64>(out.size());
+}
+
+std::pair<i64, i64> TraceCursor::addressRange() const {
+  if (length_ == 0) return {0, -1};
+  i64 lo = std::numeric_limits<i64>::max();
+  i64 hi = std::numeric_limits<i64>::min();
+  for (const LoweredNest& n : nests_) {
+    auto [nlo, nhi] = n.addressRange();
+    lo = std::min(lo, nlo);
+    hi = std::max(hi, nhi);
+  }
+  return {lo, hi};
+}
+
+}  // namespace dr::trace

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "support/contracts.h"
+#include "trace/walker.h"
+
+/// \file stream.h
+/// Streaming trace generation: the iteration-space walk of walker.h
+/// exposed as (1) a compile-time-polymorphic walker whose per-access
+/// callback inlines into the odometer loop (no std::function dispatch on
+/// multi-million-event traces), and (2) a pull-based, resumable
+/// `TraceCursor` that hands out the access stream in bounded chunks so
+/// consumers can process HD/4K traces without ever materializing them
+/// (the ISSUE-2 streaming pipeline; see simcore/folded_curve.h for the
+/// periodic-folding consumer).
+///
+/// The shared substrate is the *lowered* form of a nest: every matching
+/// access collapsed to one flat affine address function
+/// `addr = base + sum_level coeff[level] * iter[level]` (exact — see
+/// lowerAccess). Both the walker and the cursor evaluate that form with a
+/// recursion-free odometer; trace/period.h reads the same coefficients
+/// symbolically to find steady-state periodicity.
+
+namespace dr::trace {
+
+/// One access pre-lowered to a flat affine address function.
+struct LoweredAccess {
+  std::vector<i64> levelCoeff;  ///< per loop level, address contribution
+  i64 base = 0;
+  bool isWrite = false;
+  int nest = 0;
+  int accessIndex = 0;
+};
+
+/// One loop level of a lowered nest (value = begin + k * step,
+/// k in [0, trip)).
+struct LoweredLoop {
+  i64 begin = 0;
+  i64 step = 1;
+  i64 trip = 0;
+};
+
+/// A nest reduced to what trace generation needs: loop counters plus the
+/// lowered accesses that survived the filter, in body order.
+struct LoweredNest {
+  std::vector<LoweredLoop> loops;      ///< outermost first
+  std::vector<LoweredAccess> accesses;
+
+  int depth() const noexcept { return static_cast<int>(loops.size()); }
+
+  /// Product of all trip counts (1 for a depth-0 nest).
+  i64 iterations() const;
+
+  /// Total access events the nest emits: iterations() * accesses.
+  i64 events() const;
+
+  /// Smallest / largest address any access can produce (events() > 0).
+  std::pair<i64, i64> addressRange() const;
+};
+
+/// Collapse an access's per-dimension affine expressions into one flat
+/// affine address function using the AddressMap's strides. Exact because
+/// address = base + sum_d (idx_d(expr) - min_d) * stride_d is itself
+/// affine.
+LoweredAccess lowerAccess(const AddressMap& map, const loopir::LoopNest& nest,
+                          const loopir::ArrayAccess& acc, int nestIdx,
+                          int accIdx);
+
+/// Lower every nest of `p`, keeping only accesses matching `filter`;
+/// nests with no matching access are dropped.
+std::vector<LoweredNest> lowerProgram(const Program& p, const AddressMap& map,
+                                      const TraceFilter& filter);
+
+/// Visit every event of one lowered nest in program order. `Callback` is
+/// invoked as cb(const AccessEvent&); being a template parameter, it
+/// inlines into the odometer loop (measured ~2x over the std::function
+/// walker on the E1 trace, bench_fig4a_me_reuse_curve).
+template <class Callback>
+void walkNest(const LoweredNest& nest, Callback&& cb) {
+  const int depth = nest.depth();
+  const std::size_t udepth = static_cast<std::size_t>(depth);
+  std::vector<i64> iter(udepth), k(udepth, 0);
+  for (std::size_t d = 0; d < udepth; ++d) iter[d] = nest.loops[d].begin;
+  for (const LoweredLoop& l : nest.loops)
+    if (l.trip <= 0) return;  // empty iteration space
+
+  AccessEvent ev;
+  for (;;) {
+    for (const LoweredAccess& acc : nest.accesses) {
+      i64 addr = acc.base;
+      for (std::size_t d = 0; d < udepth; ++d)
+        addr += acc.levelCoeff[d] * iter[d];
+      ev.address = addr;
+      ev.isWrite = acc.isWrite;
+      ev.nest = acc.nest;
+      ev.accessIndex = acc.accessIndex;
+      cb(static_cast<const AccessEvent&>(ev));
+    }
+    int d = depth - 1;
+    for (; d >= 0; --d) {
+      std::size_t ud = static_cast<std::size_t>(d);
+      if (++k[ud] < nest.loops[ud].trip) {
+        iter[ud] += nest.loops[ud].step;
+        break;
+      }
+      k[ud] = 0;
+      iter[ud] = nest.loops[ud].begin;
+    }
+    if (d < 0) break;
+  }
+}
+
+/// Compile-time-polymorphic overload of trace::walk: same semantics as
+/// the std::function version in walker.h, but the callback inlines into
+/// the hot loop. Lambdas bind here; explicit std::function arguments
+/// still pick the non-template overload.
+template <class Callback>
+void walk(const Program& p, const AddressMap& map, const TraceFilter& filter,
+          Callback&& cb) {
+  DR_REQUIRE_MSG(filter.nest.has_value() == filter.accessIndex.has_value(),
+                 "nest and accessIndex filters must be set together");
+  for (const LoweredNest& nest : lowerProgram(p, map, filter))
+    walkNest(nest, cb);
+}
+
+/// Pull-based generator over the filtered access stream: repeatedly fills
+/// a caller buffer with the next chunk of addresses, keeping only O(depth)
+/// state. Chunks always end on iteration-point boundaries (all accesses
+/// of one iteration stay in one chunk), so a chunk holds at most
+/// maxEvents + accessesPerIteration - 1 events.
+class TraceCursor {
+ public:
+  static constexpr i64 kDefaultChunkEvents = i64{1} << 16;
+
+  TraceCursor(const Program& p, const AddressMap& map,
+              const TraceFilter& filter);
+  explicit TraceCursor(std::vector<LoweredNest> nests);
+
+  /// Total events the full stream holds (independent of position).
+  i64 length() const noexcept { return length_; }
+
+  /// Events emitted so far.
+  i64 position() const noexcept { return produced_; }
+
+  bool done() const noexcept { return produced_ == length_; }
+
+  /// Rewind to the start of the stream.
+  void reset();
+
+  /// Replaces `out` with the next >= 1 whole iteration points, stopping
+  /// at the first boundary at or past `maxEvents` events. Returns the
+  /// number of addresses written; 0 iff the stream is exhausted.
+  i64 nextChunk(std::vector<i64>& out,
+                i64 maxEvents = kDefaultChunkEvents);
+
+  const std::vector<LoweredNest>& nests() const noexcept { return nests_; }
+
+  /// Smallest / largest address the stream can produce; {0, -1} for an
+  /// empty stream.
+  std::pair<i64, i64> addressRange() const;
+
+ private:
+  void enterNest(std::size_t n);
+
+  std::vector<LoweredNest> nests_;
+  std::size_t nestIdx_ = 0;
+  std::vector<i64> k_;     ///< odometer counters of the current nest
+  std::vector<i64> iter_;  ///< iterator values of the current nest
+  i64 length_ = 0;
+  i64 produced_ = 0;
+};
+
+}  // namespace dr::trace

@@ -1,14 +1,12 @@
 #include "trace/walker.h"
 
-#include <algorithm>
-
 #include "support/contracts.h"
+#include "trace/stream.h"
 
 namespace dr::trace {
 
 using loopir::AccessKind;
 using loopir::ArrayAccess;
-using loopir::LoopNest;
 
 bool TraceFilter::matches(const ArrayAccess& a, int nestIdx,
                           int accIdx) const {
@@ -20,116 +18,13 @@ bool TraceFilter::matches(const ArrayAccess& a, int nestIdx,
   return true;
 }
 
-namespace {
-
-/// Pre-lowered access: address = sum_level coeff[level]*iter[level] + base.
-struct LoweredAccess {
-  std::vector<i64> levelCoeff;  ///< per loop level, address contribution
-  i64 base = 0;
-  bool isWrite = false;
-  int nest = 0;
-  int accessIndex = 0;
-};
-
-/// Collapse an access's per-dimension affine expressions into one flat
-/// affine address function using the AddressMap's strides. Exact because
-/// address = base + sum_d (idx_d(expr) - min_d) * stride_d is itself affine.
-LoweredAccess lowerAccess(const AddressMap& map, const LoopNest& nest,
-                          const ArrayAccess& acc, int nestIdx, int accIdx) {
-  LoweredAccess out;
-  out.isWrite = acc.kind == AccessKind::Write;
-  out.nest = nestIdx;
-  out.accessIndex = accIdx;
-  out.levelCoeff.assign(static_cast<std::size_t>(nest.depth()), 0);
-
-  // Evaluate the map at the per-dimension minima to find the origin, then
-  // add stride-weighted iterator coefficients.
-  const std::vector<ValueRange>& range = map.paddedRange(acc.signal);
-  std::vector<i64> minIndex;
-  minIndex.reserve(range.size());
-  for (const ValueRange& r : range) minIndex.push_back(r.min);
-  const i64 origin = map.address(acc.signal, minIndex);
-  out.base = origin;
-
-  // stride_d = address delta for +1 in dimension d (probed off the
-  // pristine origin).
-  for (std::size_t d = 0; d < range.size(); ++d) {
-    i64 stride = 0;  // degenerate extent: coefficient contributes nothing
-    if (range[d].extent() > 1) {
-      std::vector<i64> probe = minIndex;
-      probe[d] += 1;
-      stride = map.address(acc.signal, probe) - origin;
-    }
-    const loopir::AffineExpr& e = acc.indices[d];
-    out.base += (e.constantTerm() - range[d].min) * stride;
-    for (int l = 0; l < nest.depth(); ++l)
-      out.levelCoeff[static_cast<std::size_t>(l)] += e.coeff(l) * stride;
-  }
-  return out;
-}
-
-void walkNest(const LoopNest& nest, const std::vector<LoweredAccess>& accesses,
-              const std::function<void(const AccessEvent&)>& callback) {
-  int depth = nest.depth();
-  std::vector<i64> iter(static_cast<std::size_t>(depth));
-  std::vector<i64> trip(static_cast<std::size_t>(depth));
-  for (int d = 0; d < depth; ++d)
-    trip[static_cast<std::size_t>(d)] =
-        nest.loops[static_cast<std::size_t>(d)].tripCount();
-
-  // Explicit odometer loop: recursion-free for speed on multi-million
-  // iteration spaces.
-  std::vector<i64> k(static_cast<std::size_t>(depth), 0);
-  for (int d = 0; d < depth; ++d)
-    iter[static_cast<std::size_t>(d)] =
-        nest.loops[static_cast<std::size_t>(d)].begin;
-
-  AccessEvent ev;
-  for (;;) {
-    for (const LoweredAccess& acc : accesses) {
-      i64 addr = acc.base;
-      for (int d = 0; d < depth; ++d)
-        addr += acc.levelCoeff[static_cast<std::size_t>(d)] *
-                iter[static_cast<std::size_t>(d)];
-      ev.address = addr;
-      ev.isWrite = acc.isWrite;
-      ev.nest = acc.nest;
-      ev.accessIndex = acc.accessIndex;
-      callback(ev);
-    }
-    // Advance the odometer (innermost fastest).
-    int d = depth - 1;
-    for (; d >= 0; --d) {
-      std::size_t ud = static_cast<std::size_t>(d);
-      if (++k[ud] < trip[ud]) {
-        iter[ud] += nest.loops[ud].step;
-        break;
-      }
-      k[ud] = 0;
-      iter[ud] = nest.loops[ud].begin;
-    }
-    if (d < 0) break;
-  }
-}
-
-}  // namespace
-
 void walk(const Program& p, const AddressMap& map, const TraceFilter& filter,
           const std::function<void(const AccessEvent&)>& callback) {
   DR_REQUIRE(static_cast<bool>(callback));
-  DR_REQUIRE_MSG(filter.nest.has_value() == filter.accessIndex.has_value(),
-                 "nest and accessIndex filters must be set together");
-  for (std::size_t n = 0; n < p.nests.size(); ++n) {
-    const LoopNest& nest = p.nests[n];
-    std::vector<LoweredAccess> accesses;
-    for (std::size_t a = 0; a < nest.body.size(); ++a)
-      if (filter.matches(nest.body[a], static_cast<int>(n),
-                         static_cast<int>(a)))
-        accesses.push_back(lowerAccess(map, nest, nest.body[a],
-                                       static_cast<int>(n),
-                                       static_cast<int>(a)));
-    if (!accesses.empty()) walkNest(nest, accesses, callback);
-  }
+  // Delegate to the templated walker (stream.h); the indirection through
+  // std::function happens per event, the lowering and odometer are shared.
+  for (const LoweredNest& nest : lowerProgram(p, map, filter))
+    walkNest(nest, [&callback](const AccessEvent& ev) { callback(ev); });
 }
 
 i64 Trace::distinctCount() const { return densify(addresses).distinct(); }
@@ -137,8 +32,14 @@ i64 Trace::distinctCount() const { return densify(addresses).distinct(); }
 Trace collectTrace(const Program& p, const AddressMap& map,
                    const TraceFilter& filter) {
   Trace t;
-  walk(p, map, filter,
-       [&t](const AccessEvent& ev) { t.addresses.push_back(ev.address); });
+  std::vector<LoweredNest> nests = lowerProgram(p, map, filter);
+  i64 total = 0;
+  for (const LoweredNest& n : nests) total += n.events();
+  t.addresses.reserve(static_cast<std::size_t>(total));
+  for (const LoweredNest& nest : nests)
+    walkNest(nest, [&t](const AccessEvent& ev) {
+      t.addresses.push_back(ev.address);
+    });
   return t;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "support/cli.h"
 #include "support/dataset.h"
 
 namespace dr::bench {
@@ -42,14 +43,18 @@ inline void heading(const char* title) {
 
 }  // namespace dr::bench
 
-/// Standard main: figure data first, then the registered timings.
-#define DR_BENCH_MAIN(printFigureData)                       \
-  int main(int argc, char** argv) {                          \
-    ::benchmark::Initialize(&argc, argv);                    \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
-      return 1;                                              \
-    printFigureData();                                       \
-    ::benchmark::RunSpecifiedBenchmarks();                   \
-    ::benchmark::Shutdown();                                 \
-    return 0;                                                \
+/// Standard main: figure data first, then the registered timings. The
+/// body runs under guardedMain so an escaping ContractViolation / Status
+/// error prints one line and exits nonzero instead of terminating.
+#define DR_BENCH_MAIN(printFigureData)                          \
+  int main(int argc, char** argv) {                             \
+    return ::dr::support::guardedMain([&]() -> int {            \
+      ::benchmark::Initialize(&argc, argv);                     \
+      if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+        return 1;                                               \
+      printFigureData();                                        \
+      ::benchmark::RunSpecifiedBenchmarks();                    \
+      ::benchmark::Shutdown();                                  \
+      return 0;                                                 \
+    });                                                         \
   }

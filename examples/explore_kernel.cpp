@@ -103,10 +103,13 @@ void exploreOne(const dr::loopir::Program& p, int signal,
   std::printf("\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  dr::support::CliOptions cli(argc, argv);
+int runExploreKernel(int argc, char** argv) {
+  auto parsed = dr::support::CliOptions::parse(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.status().str().c_str());
+    return 1;
+  }
+  const dr::support::CliOptions& cli = *parsed;
   std::string kernelPath = cli.getString("kernel", "");
   std::string signalName = cli.getString("signal", "");
   dr::explorer::ExploreOptions opts;
@@ -118,13 +121,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
 
   dr::loopir::Program p;
-  try {
-    p = kernelPath.empty()
-            ? dr::kernels::conv2d({})
-            : dr::frontend::compileKernelFile(kernelPath);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  if (kernelPath.empty()) {
+    p = dr::kernels::conv2d({});
+  } else {
+    auto compiled = dr::frontend::compileKernelFileChecked(kernelPath);
+    if (!compiled) {
+      std::fprintf(stderr, "%s\n", compiled.status().str().c_str());
+      return 1;
+    }
+    p = std::move(*compiled);
   }
 
   std::printf("%s\n", dr::loopir::programToString(p).c_str());
@@ -152,4 +157,11 @@ int main(int argc, char** argv) {
                  orderingsBudget);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dr::support::guardedMain(
+      [&] { return runExploreKernel(argc, argv); });
 }

@@ -17,7 +17,9 @@
 #include "scbd/scbd.h"
 #include "support/cli.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int runGlobalAssignment(int argc, char** argv) {
   dr::support::CliOptions cli(argc, argv);
   dr::kernels::MotionEstimationParams mp;
   mp.H = cli.getInt("H", 64);
@@ -101,4 +103,11 @@ int main(int argc, char** argv) {
                 static_cast<long long>(load.requiredPorts(cycleBudget)),
                 static_cast<long long>(cycleBudget));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dr::support::guardedMain(
+      [&] { return runGlobalAssignment(argc, argv); });
 }

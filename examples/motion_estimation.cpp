@@ -20,7 +20,9 @@
 #include "support/cli.h"
 #include "trace/single_assign.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int runMotionEstimation(int argc, char** argv) {
   dr::support::CliOptions cli(argc, argv);
   dr::kernels::MotionEstimationParams mp;
   mp.H = cli.getInt("H", 144);
@@ -91,4 +93,11 @@ int main(int argc, char** argv) {
                 counts.valuesCorrect ? "correct" : "WRONG");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dr::support::guardedMain(
+      [&] { return runMotionEstimation(argc, argv); });
 }

@@ -14,6 +14,7 @@
 #include "codegen/templates.h"
 #include "explorer/explorer.h"
 #include "frontend/frontend.h"
+#include "support/cli.h"
 #include "support/strings.h"
 
 namespace {
@@ -36,9 +37,7 @@ kernel hfilter {
 }
 )";
 
-}  // namespace
-
-int main() {
+int runQuickstart() {
   // 1. Compile the kernel text to the loop IR.
   dr::loopir::Program program = dr::frontend::compileKernel(kKernel);
   std::printf("kernel '%s': %lld array reads\n\n", program.name.c_str(),
@@ -77,3 +76,7 @@ int main() {
               code.transformedCode.c_str());
   return 0;
 }
+
+}  // namespace
+
+int main() { return dr::support::guardedMain(runQuickstart); }

@@ -17,7 +17,9 @@
 #include "loopir/printer.h"
 #include "support/cli.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int runSusan(int argc, char** argv) {
   dr::support::CliOptions cli(argc, argv);
   dr::kernels::SusanParams sp;
   sp.H = cli.getInt("H", 144);
@@ -61,4 +63,10 @@ int main(int argc, char** argv) {
   std::printf("\npower reduction up to %.1fx (paper band: 1.6x .. 6x)\n",
               1.0 / best);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dr::support::guardedMain([&] { return runSusan(argc, argv); });
 }

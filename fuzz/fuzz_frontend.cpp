@@ -1,0 +1,43 @@
+// Fuzz target: the kernel-language frontend.
+//
+// Properties checked on every input:
+//   1. parseKernelRecover never throws and never loops: every input
+//      produces an AST plus a (possibly empty) diagnostic list.
+//   2. The recovering and throwing parsers agree on validity: parseKernel
+//      throws ParseError iff the recovering parse recorded diagnostics.
+//   3. compileKernelChecked never lets ParseError / SemaError escape —
+//      user input maps to a Status. Anything else escaping (e.g. a
+//      ContractViolation out of lowering) is a library bug and crashes
+//      the fuzzer on purpose.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.h"
+#include "frontend/parser.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (size_t{1} << 16)) return 0;  // bound per-input work
+  const std::string src(reinterpret_cast<const char*>(data), size);
+
+  std::vector<dr::support::Diagnostic> errors;
+  dr::frontend::KernelDecl ast =
+      dr::frontend::parseKernelRecover(src, errors);
+  (void)ast;
+
+  bool threw = false;
+  try {
+    (void)dr::frontend::parseKernel(src);
+  } catch (const dr::frontend::ParseError&) {
+    threw = true;
+  }
+  if (threw != !errors.empty()) std::abort();
+
+  // The full checked pipeline (parse + sema + validate) must contain
+  // every user-input failure in the returned Status.
+  auto compiled = dr::frontend::compileKernelChecked(src);
+  if (!compiled && compiled.status().isOk()) std::abort();
+  return 0;
+}

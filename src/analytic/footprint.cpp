@@ -48,7 +48,7 @@ DimShape dimShape(const AffineExpr& expr, const LoopNest& nest, int level) {
   for (auto [c, trip] : terms) {
     std::vector<bool> next(static_cast<std::size_t>(span), false);
     for (i64 x = 0; x < trip; ++x) {
-      i64 shift = c * x;
+      i64 shift = checkedMul(c, x);
       if (shift >= span) break;
       for (i64 i = 0; i + shift < span; ++i)
         if (shape.reachable[static_cast<std::size_t>(i)])
@@ -104,10 +104,13 @@ std::vector<MultiLevelPoint> multiLevelPoints(const LoopNest& nest,
         iter[static_cast<std::size_t>(d)] =
             nest.loops[static_cast<std::size_t>(d)].begin;
 
+      // Checked: at 8K frame sizes coeff*iter products reach ~2^33 per
+      // term and a wrapped base would silently corrupt the miss count.
       auto outerBase = [&](const AffineExpr& e) {
         i64 v = 0;
         for (int d = 0; d < level; ++d)
-          v += e.coeff(d) * iter[static_cast<std::size_t>(d)];
+          v = checkedAdd(
+              v, checkedMul(e.coeff(d), iter[static_cast<std::size_t>(d)]));
         return v;
       };
 
@@ -117,7 +120,7 @@ std::vector<MultiLevelPoint> multiLevelPoints(const LoopNest& nest,
       pt.misses = 0;
       for (;;) {
         if (first) {
-          pt.misses += pt.size;
+          pt.misses = checkedAdd(pt.misses, pt.size);
           for (std::size_t d = 0; d < dims; ++d)
             prevBase[d] = outerBase(access.indices[d]);
           first = false;
@@ -131,7 +134,7 @@ std::vector<MultiLevelPoint> multiLevelPoints(const LoopNest& nest,
             if (inserted) it->second = shapes[d].overlapWithShift(delta);
             overlap = checkedMul(overlap, it->second);
           }
-          pt.misses += pt.size - overlap;
+          pt.misses = checkedAdd(pt.misses, pt.size - overlap);
         }
         int d = level - 1;
         for (; d >= 0; --d) {

@@ -48,7 +48,8 @@ const AnalyticPoint* pickAtGamma(const AccessAnalysis& acc, i64 g,
 /// pass, so no per-size re-simulation happens here. Matches
 /// simulateReuseCurve's size handling (sorted, deduplicated).
 simcore::ReuseCurve curveFromHistogram(const simcore::StackHistogram& h,
-                                       std::vector<i64> sizes) {
+                                       std::vector<i64> sizes,
+                                       simcore::Fidelity fidelity) {
   std::sort(sizes.begin(), sizes.end());
   sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
   simcore::ReuseCurve curve;
@@ -60,8 +61,48 @@ simcore::ReuseCurve curveFromHistogram(const simcore::StackHistogram& h,
     pt.writes = r.misses;
     pt.reads = r.accesses;
     pt.reuseFactor = r.reuseFactor();
+    pt.fidelity = fidelity;
     curve.points.push_back(pt);
   }
+  return curve;
+}
+
+/// The degradation ladder's last rung: a curve from closed forms alone —
+/// combined analytic points, per-access multi-level footprints, and
+/// working-set knees — when the budget tripped before any simulation
+/// produced full-trace counts. Sorted ascending by size, one point per
+/// size (best reuse factor wins), every point tagged Analytic.
+simcore::ReuseCurve analyticFallbackCurve(const SignalExploration& result) {
+  std::vector<simcore::ReusePoint> pts;
+  auto add = [&](i64 size, i64 misses, i64 reads) {
+    if (size <= 0 || misses <= 0 || reads <= 0) return;
+    simcore::ReusePoint p;
+    p.size = size;
+    p.writes = misses;
+    p.reads = reads;
+    p.reuseFactor =
+        static_cast<double>(reads) / static_cast<double>(misses);
+    p.fidelity = simcore::Fidelity::Analytic;
+    pts.push_back(p);
+  };
+  for (const AnalyticPoint& pt : result.combinedPoints)
+    if (!pt.bypass) add(pt.size, pt.CjTotal, pt.CtotCopyTotal);
+  for (const AccessAnalysis& a : result.accesses)
+    for (const analytic::MultiLevelPoint& pt : a.multiLevel)
+      add(pt.size, pt.misses, pt.Ctot);
+  for (const auto& knees : result.kneesPerNest)
+    for (const analytic::LevelKnee& k : knees)
+      add(k.workingSetMax, k.misses, k.Ctot);
+
+  std::sort(pts.begin(), pts.end(),
+            [](const simcore::ReusePoint& a, const simcore::ReusePoint& b) {
+              if (a.size != b.size) return a.size < b.size;
+              return a.reuseFactor > b.reuseFactor;
+            });
+  simcore::ReuseCurve curve;
+  for (const simcore::ReusePoint& p : pts)
+    if (curve.points.empty() || curve.points.back().size != p.size)
+      curve.points.push_back(p);
   return curve;
 }
 
@@ -169,12 +210,16 @@ SignalExploration exploreSignal(const Program& p, int signal,
     if (opts.runSimulation) {
       const dr::trace::PeriodInfo period =
           dr::trace::detectPeriod(cursor.nests());
+      simcore::FoldedCurveOptions foldOpts;
+      foldOpts.budget = opts.budget;
       streamHistogram = simcore::foldedStackHistogram(
-          cursor, period, simcore::Policy::Opt, &result.simulationStats);
+          cursor, period, simcore::Policy::Opt, &result.simulationStats,
+          foldOpts);
       result.distinctElements = streamHistogram->distinct();
     } else {
       // No stack engine needed: one densifying pass counts the distinct
       // elements in O(distinct) memory.
+      cursor.attachBudget(opts.budget);
       const auto [lo, hi] = cursor.addressRange();
       simcore::StreamingDensifier densifier(lo, hi);
       std::vector<i64> buf;
@@ -182,6 +227,10 @@ SignalExploration exploreSignal(const Program& p, int signal,
         for (i64 addr : buf) densifier.idOf(addr);
       result.distinctElements = densifier.distinct();
       result.simulationStats.totalEvents = result.Ctot;
+      if (cursor.truncated()) {
+        result.simulationStats.completed = false;
+        result.simulationStats.trippedBy = opts.budget->state();
+      }
     }
   } else {
     trace = dr::trace::readTrace(pn, map, signal);
@@ -272,23 +321,46 @@ SignalExploration exploreSignal(const Program& p, int signal,
   }
 
   // 4. Simulated Belady curve over grid + analytic sizes + knee sizes.
+  // The degradation ladder lands here: a budget trip that still produced
+  // full-trace counts (certified or approximate fold) keeps the simulated
+  // curve at that rung; a trip before any full-trace counts existed
+  // (simulationStats.completed == false) drops to the closed-form rung.
   if (opts.runSimulation) {
-    std::vector<i64> sizes =
-        simcore::sizeGrid(std::max<i64>(1, result.distinctElements),
-                          opts.denseGridUpTo);
-    for (const AnalyticPoint& pt : result.combinedPoints)
-      if (pt.size > 0) sizes.push_back(pt.size);
-    for (const auto& knees : result.kneesPerNest)
-      for (const analytic::LevelKnee& knee : knees)
-        if (knee.workingSetMax > 0) sizes.push_back(knee.workingSetMax);
-    for (const AccessAnalysis& a : result.accesses)
-      for (const analytic::MultiLevelPoint& pt : a.multiLevel)
+    if (streaming && !result.simulationStats.completed) {
+      result.simulatedCurve = analyticFallbackCurve(result);
+      result.curveFidelity = simcore::Fidelity::Analytic;
+      // The stream never ran, so no engine counted the footprint; the
+      // level-0 working-set knee is exact for affine nests and fills in.
+      if (result.distinctElements == 0) {
+        for (const auto& knees : result.kneesPerNest)
+          for (const analytic::LevelKnee& knee : knees)
+            if (knee.level == 0)
+              result.distinctElements =
+                  std::max(result.distinctElements, knee.workingSetMax);
+        result.simulationStats.distinct = result.distinctElements;
+      }
+    } else {
+      std::vector<i64> sizes =
+          simcore::sizeGrid(std::max<i64>(1, result.distinctElements),
+                            opts.denseGridUpTo);
+      for (const AnalyticPoint& pt : result.combinedPoints)
         if (pt.size > 0) sizes.push_back(pt.size);
-    sizes.insert(sizes.end(), opts.extraSizes.begin(), opts.extraSizes.end());
-    result.simulatedCurve =
-        streamHistogram
-            ? curveFromHistogram(*streamHistogram, std::move(sizes))
-            : simcore::simulateReuseCurve(trace, sizes);
+      for (const auto& knees : result.kneesPerNest)
+        for (const analytic::LevelKnee& knee : knees)
+          if (knee.workingSetMax > 0) sizes.push_back(knee.workingSetMax);
+      for (const AccessAnalysis& a : result.accesses)
+        for (const analytic::MultiLevelPoint& pt : a.multiLevel)
+          if (pt.size > 0) sizes.push_back(pt.size);
+      sizes.insert(sizes.end(), opts.extraSizes.begin(),
+                   opts.extraSizes.end());
+      result.curveFidelity = streaming ? result.simulationStats.fidelity
+                                       : simcore::Fidelity::ExactStream;
+      result.simulatedCurve =
+          streamHistogram
+              ? curveFromHistogram(*streamHistogram, std::move(sizes),
+                                   result.curveFidelity)
+              : simcore::simulateReuseCurve(trace, sizes);
+    }
   }
 
   // 5. Chains: analytic candidates, plus working-set knee candidates when
@@ -340,6 +412,7 @@ SignalExploration exploreSignal(const Program& p, int signal,
   // simulated counts cover the whole signal (they always do: the trace is
   // the signal's full read stream).
   if (opts.includeSimulatedCandidates && opts.runSimulation &&
+      result.curveFidelity != simcore::Fidelity::Analytic &&
       chainOpts.directBackgroundReads == 0 &&
       !result.simulatedCurve.points.empty()) {
     double maxFr = result.simulatedCurve.maxReuseFactor();
@@ -376,13 +449,42 @@ SignalExploration exploreSignal(const Program& p, int signal,
   return result;
 }
 
+support::Expected<SignalExploration> exploreSignalChecked(
+    const Program& p, int signal, const ExploreOptions& opts) {
+  if (signal < 0 || signal >= static_cast<int>(p.signals.size()))
+    return support::Status::error(
+        support::StatusCode::InvalidInput,
+        "signal index " + std::to_string(signal) + " out of range [0, " +
+            std::to_string(p.signals.size()) + ")");
+  bool isRead = false;
+  for (const loopir::LoopNest& nest : p.nests)
+    for (const loopir::ArrayAccess& acc : nest.body)
+      if (acc.signal == signal && acc.kind == AccessKind::Read) isRead = true;
+  if (!isRead)
+    return support::Status::error(
+        support::StatusCode::InvalidInput,
+        "signal '" + p.signals[static_cast<std::size_t>(signal)].name +
+            "' is never read");
+  try {
+    return exploreSignal(p, signal, opts);
+  } catch (const support::OverflowError& e) {
+    // Checked arithmetic gave out on the requested bounds (8K+ frames on
+    // deep level products): a property of the input, reported as such.
+    return support::Status::error(support::StatusCode::Overflow, e.what());
+  } catch (const std::bad_alloc&) {
+    return support::Status::error(support::StatusCode::BudgetExceeded,
+                                  "allocation failed during exploration");
+  }
+}
+
 }  // namespace dr::explorer
 
 namespace dr::explorer {
 
 std::vector<OrderingResult> orderingSweep(const Program& p, int signal,
                                           i64 sizeBudget, int fixedPrefix,
-                                          int validateTopK) {
+                                          int validateTopK,
+                                          const support::RunBudget* budget) {
   DR_REQUIRE(signal >= 0 && signal < static_cast<int>(p.signals.size()));
   DR_REQUIRE(sizeBudget >= 1);
   const Program pn = loopir::normalized(p);
@@ -408,7 +510,7 @@ std::vector<OrderingResult> orderingSweep(const Program& p, int signal,
   const std::vector<std::vector<int>> perms =
       loopir::loopOrderings(nest.depth(), fixedPrefix);
   std::vector<OrderingResult> out(perms.size());
-  dr::support::parallelFor(static_cast<i64>(perms.size()), [&](i64 pi) {
+  dr::support::parallelFor(static_cast<i64>(perms.size()), budget, [&](i64 pi) {
     const std::vector<int>& perm = perms[static_cast<std::size_t>(pi)];
     loopir::LoopNest reordered = loopir::permuted(nest, perm);
     OrderingResult r;
@@ -456,7 +558,7 @@ std::vector<OrderingResult> orderingSweep(const Program& p, int signal,
   const i64 topK =
       std::min<i64>(validateTopK, static_cast<i64>(out.size()));
   if (topK > 0) {
-    dr::support::parallelFor(topK, [&](i64 i) {
+    dr::support::parallelFor(topK, budget, [&](i64 i) {
       OrderingResult& r = out[static_cast<std::size_t>(i)];
       if (!r.feasible) return;
       Program reorderedProgram = pn;
@@ -469,8 +571,11 @@ std::vector<OrderingResult> orderingSweep(const Program& p, int signal,
       const dr::trace::PeriodInfo period =
           dr::trace::detectPeriod(cursor.nests());
       simcore::FoldedStats stats;
+      simcore::FoldedCurveOptions foldOpts;
+      foldOpts.budget = budget;
       const simcore::StackHistogram h = simcore::foldedStackHistogram(
-          cursor, period, simcore::Policy::Opt, &stats);
+          cursor, period, simcore::Policy::Opt, &stats, foldOpts);
+      if (!stats.completed) return;  // budget tripped: leave simMisses = -1
       r.simMisses = h.missesAt(r.bestSize);
       r.simExact = stats.exact;
     });

@@ -9,6 +9,8 @@
 #include "hierarchy/pareto.h"
 #include "simcore/folded_curve.h"
 #include "simcore/reuse_curve.h"
+#include "support/budget.h"
+#include "support/status.h"
 #include "trace/walker.h"
 
 /// \file explorer.h
@@ -60,6 +62,13 @@ struct ExploreOptions {
   /// ratios; requires runSimulation.
   bool includeSimulatedCandidates = true;
   i64 maxSimulatedCandidates = 12;
+  /// Cooperative resource budget shared by every stage of the run
+  /// (support/budget.h). A trip never aborts the exploration — the
+  /// simulated curve degrades down the ladder instead: exact streaming →
+  /// certified fold → approximate fold → analytic-only closed forms, with
+  /// SignalExploration::curveFidelity (and every point's fidelity tag)
+  /// recording the rung that survived. Null = unlimited.
+  const support::RunBudget* budget = nullptr;
 };
 
 /// One access's analytic results. Accesses of the same nest with
@@ -86,6 +95,10 @@ struct SignalExploration {
   i64 distinctElements = 0;
 
   simcore::ReuseCurve simulatedCurve;  ///< empty when !runSimulation
+  /// Ladder rung the curve was produced at (every point carries the same
+  /// tag): Analytic means the budget tripped before any full-trace counts
+  /// existed and the curve holds closed-form points only.
+  simcore::Fidelity curveFidelity = simcore::Fidelity::ExactStream;
   /// How the simulated curve was produced (streaming engines only):
   /// whether the periodic fold kicked in and how many events were
   /// actually simulated vs the stream's total.
@@ -104,6 +117,15 @@ struct SignalExploration {
 /// Run the full flow for every read access to `signal`.
 SignalExploration exploreSignal(const loopir::Program& p, int signal,
                                 const ExploreOptions& opts = {});
+
+/// Non-throwing facade over exploreSignal for user-input-driven callers
+/// (the CLI and example binaries): input problems come back as a Status
+/// instead of an exception — InvalidInput for a bad signal / never-read
+/// signal, Overflow when the requested bounds leave the i64 range (8K+
+/// frames on deep products), BudgetExceeded when an allocation gives out.
+/// Internal invariant violations still throw: those are library bugs.
+support::Expected<SignalExploration> exploreSignalChecked(
+    const loopir::Program& p, int signal, const ExploreOptions& opts = {});
 
 /// Combine per-access analytic points into signal-level candidate points
 /// by aligning partial-reuse fractions (exposed for tests and benches).
@@ -144,9 +166,12 @@ struct OrderingResult {
 /// ranking's winners carry exact simulated miss counts without paying a
 /// full sweep for every permutation.
 /// Preconditions: the signal is read in exactly one nest; sizeBudget >= 1.
-std::vector<OrderingResult> orderingSweep(const loopir::Program& p,
-                                          int signal, i64 sizeBudget,
-                                          int fixedPrefix = 0,
-                                          int validateTopK = 0);
+/// `budget` (optional) gates both sweeps cooperatively: orderings claimed
+/// after a trip keep their default (infeasible) slot, and validation runs
+/// cut short leave simMisses = -1 — degraded, never thrown.
+std::vector<OrderingResult> orderingSweep(
+    const loopir::Program& p, int signal, i64 sizeBudget,
+    int fixedPrefix = 0, int validateTopK = 0,
+    const support::RunBudget* budget = nullptr);
 
 }  // namespace dr::explorer

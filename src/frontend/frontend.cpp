@@ -25,4 +25,49 @@ loopir::Program compileKernelFile(const std::string& path) {
   return compileKernel(ss.str());
 }
 
+support::Expected<loopir::Program> compileKernelChecked(
+    const std::string& source) {
+  std::vector<support::Diagnostic> errors;
+  KernelDecl ast = parseKernelRecover(source, errors);
+  if (!errors.empty()) {
+    support::Status st = support::Status::error(
+        support::StatusCode::InvalidInput,
+        "kernel source has " + std::to_string(errors.size()) +
+            " syntax error(s)");
+    for (auto& d : errors) st.addDiagnostic(std::move(d));
+    return st;
+  }
+  try {
+    loopir::Program p = lowerKernel(ast);
+    loopir::validateOrThrow(p);
+    return p;
+  } catch (const support::OverflowError& e) {
+    // Constant evaluation of user-supplied expressions can legitimately
+    // leave the i64 range; that is an input problem, not a library bug.
+    return support::Status::error(
+        support::StatusCode::Overflow,
+        std::string("constant expression overflows: ") + e.what());
+  } catch (const SemaError& e) {
+    support::Status st = support::Status::error(
+        support::StatusCode::InvalidInput,
+        "kernel source has " + std::to_string(e.diagnostics().size()) +
+            " semantic error(s)");
+    // Sema diagnostics are already "line:col: message" strings.
+    for (const std::string& d : e.diagnostics())
+      st.addDiagnostic(support::Diagnostic{"", d});
+    return st;
+  }
+}
+
+support::Expected<loopir::Program> compileKernelFileChecked(
+    const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good())
+    return support::Status::error(support::StatusCode::IoError,
+                                  "cannot open kernel file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return compileKernelChecked(ss.str());
+}
+
 }  // namespace dr::frontend

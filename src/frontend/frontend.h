@@ -3,6 +3,7 @@
 #include <string>
 
 #include "loopir/program.h"
+#include "support/status.h"
 
 /// \file frontend.h
 /// One-call frontend: kernel-language source text in, validated
@@ -29,5 +30,19 @@ loopir::Program compileKernel(const std::string& source);
 
 /// compileKernel() on the contents of `path`.
 loopir::Program compileKernelFile(const std::string& path);
+
+/// Non-throwing compile for untrusted input. Parses in error-recovery
+/// mode, so the returned Status carries *every* lexical/syntactic
+/// problem of the file (source-located, in file order), then all
+/// semantic problems if the parse was clean. Bad input maps to
+/// StatusCode::InvalidInput; internal invariant violations still throw
+/// ContractViolation (those are library bugs, not user errors).
+support::Expected<loopir::Program> compileKernelChecked(
+    const std::string& source);
+
+/// compileKernelChecked() on the contents of `path`; an unreadable file
+/// maps to StatusCode::IoError.
+support::Expected<loopir::Program> compileKernelFileChecked(
+    const std::string& path);
 
 }  // namespace dr::frontend

@@ -51,13 +51,24 @@ const std::map<std::string, TokKind>& keywords() {
 
 class Lexer {
  public:
-  explicit Lexer(const std::string& src) : src_(src) {}
+  explicit Lexer(const std::string& src,
+                 std::vector<dr::support::Diagnostic>* errors = nullptr)
+      : src_(src), errors_(errors) {}
 
   std::vector<Token> run() {
     std::vector<Token> out;
     for (;;) {
       skipSpaceAndComments();
-      Token t = next();
+      Token t;
+      try {
+        t = next();
+      } catch (const ParseError& e) {
+        // Recovery mode: record the problem and keep scanning — the
+        // offending character was already consumed by next().
+        if (errors_ == nullptr) throw;
+        errors_->push_back(toDiagnostic(e));
+        continue;
+      }
       out.push_back(t);
       if (t.kind == TokKind::End) break;
     }
@@ -155,11 +166,22 @@ class Lexer {
     t.loc = loc_;
     t.kind = TokKind::Int;
     i64 v = 0;
+    bool overflowed = false;
     while (pos_ < src_.size() &&
            std::isdigit(static_cast<unsigned char>(peek()))) {
       int digit = advance() - '0';
-      if (v > (std::numeric_limits<i64>::max() - digit) / 10)
-        throw ParseError(t.loc, "integer literal too large");
+      if (v > (std::numeric_limits<i64>::max() - digit) / 10) {
+        // Recovery consumes the rest of the literal (one diagnostic, a
+        // saturated token) instead of re-lexing its tail as a new number.
+        if (errors_ == nullptr)
+          throw ParseError(t.loc, "integer literal too large");
+        if (!overflowed)
+          errors_->push_back(dr::support::Diagnostic{
+              t.loc.str(), "integer literal too large"});
+        overflowed = true;
+        v = std::numeric_limits<i64>::max();
+        continue;
+      }
       v = v * 10 + digit;
     }
     t.value = v;
@@ -167,6 +189,7 @@ class Lexer {
   }
 
   const std::string& src_;
+  std::vector<dr::support::Diagnostic>* errors_ = nullptr;
   std::size_t pos_ = 0;
   SourceLoc loc_;
 };
@@ -175,6 +198,11 @@ class Lexer {
 
 std::vector<Token> tokenize(const std::string& source) {
   return Lexer(source).run();
+}
+
+std::vector<Token> tokenize(const std::string& source,
+                            std::vector<dr::support::Diagnostic>& errors) {
+  return Lexer(source, &errors).run();
 }
 
 }  // namespace dr::frontend

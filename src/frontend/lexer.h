@@ -5,10 +5,13 @@
 #include <vector>
 
 #include "frontend/token.h"
+#include "support/status.h"
 
 /// \file lexer.h
 /// Tokenizer for the kernel description language. Comments run from '#' or
-/// "//" to end of line. Throws ParseError (see parser.h) on invalid input.
+/// "//" to end of line. Throws ParseError (see parser.h) on invalid input
+/// — or, given a diagnostics sink, records every problem and keeps
+/// scanning so one pass reports them all.
 
 namespace dr::frontend {
 
@@ -16,15 +19,32 @@ namespace dr::frontend {
 class ParseError : public std::runtime_error {
  public:
   ParseError(SourceLoc loc, const std::string& message)
-      : std::runtime_error(loc.str() + ": " + message), loc_(loc) {}
+      : std::runtime_error(loc.str() + ": " + message),
+        loc_(loc),
+        message_(message) {}
 
   SourceLoc loc() const noexcept { return loc_; }
 
+  /// The message without the location prefix (what() carries both).
+  const std::string& message() const noexcept { return message_; }
+
  private:
   SourceLoc loc_;
+  std::string message_;
 };
+
+/// A ParseError as a source-located diagnostic record.
+inline support::Diagnostic toDiagnostic(const ParseError& e) {
+  return support::Diagnostic{e.loc().str(), e.message()};
+}
 
 /// Tokenize the entire input; the result always ends with a TokKind::End.
 std::vector<Token> tokenize(const std::string& source);
+
+/// Error-recovering overload: invalid characters and malformed literals
+/// are appended to `errors` (source-located) and skipped instead of
+/// thrown, so a single pass reports every lexical problem in the file.
+std::vector<Token> tokenize(const std::string& source,
+                            std::vector<support::Diagnostic>& errors);
 
 }  // namespace dr::frontend

@@ -4,13 +4,42 @@ namespace dr::frontend {
 
 namespace {
 
+/// Recursion cap for expression grouping and loop nesting: bounds parser
+/// (and AST destructor) stack depth so adversarial input is a ParseError,
+/// not a stack overflow.
+constexpr int kMaxNesting = 256;
+
+class DepthGuard {
+ public:
+  DepthGuard(int& depth, SourceLoc loc) : depth_(depth) {
+    if (++depth_ > kMaxNesting) {
+      --depth_;  // keep the counter balanced across the throw
+      throw ParseError(loc, "nesting too deep");
+    }
+  }
+  ~DepthGuard() { --depth_; }
+
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+
+ private:
+  int& depth_;
+};
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  explicit Parser(std::vector<Token> tokens,
+                  std::vector<dr::support::Diagnostic>* errors = nullptr)
+      : tokens_(std::move(tokens)), errors_(errors) {}
 
   KernelDecl run() {
     KernelDecl k = kernel();
-    expect(TokKind::End);
+    if (recovering() && !at(TokKind::End))
+      record(ParseError(cur().loc,
+                        std::string("expected end of input, found ") +
+                            tokKindName(cur().kind)));
+    else
+      expect(TokKind::End);
     return k;
   }
 
@@ -28,24 +57,77 @@ class Parser {
     return take();
   }
 
+  bool recovering() const { return errors_ != nullptr; }
+
+  void record(const ParseError& e) { errors_->push_back(toDiagnostic(e)); }
+
+  /// Panic-mode resync after a failed item: skip (brace-balanced) to the
+  /// next place an item can start — a ';' (consumed), an item keyword, or
+  /// the kernel's closing '}' — guaranteeing progress so the item loop
+  /// cannot spin on the token that caused the error.
+  void resync() {
+    int depth = 0;
+    bool consumed = false;
+    for (;;) {
+      if (at(TokKind::End)) return;
+      if (depth == 0 && consumed) {
+        if (at(TokKind::KwParam) || at(TokKind::KwArray) ||
+            at(TokKind::KwLoop) || at(TokKind::RBrace))
+          return;
+        if (at(TokKind::Semicolon)) {
+          take();
+          return;
+        }
+      }
+      if (at(TokKind::LBrace)) ++depth;
+      if (at(TokKind::RBrace) && depth > 0) --depth;
+      take();
+      consumed = true;
+    }
+  }
+
   KernelDecl kernel() {
     KernelDecl k;
     k.loc = cur().loc;
-    expect(TokKind::KwKernel);
-    k.name = expect(TokKind::Ident).text;
-    expect(TokKind::LBrace);
+    if (recovering()) {
+      // An unusable header makes everything after it noise: report the
+      // one error and stop rather than cascade.
+      try {
+        expect(TokKind::KwKernel);
+        k.name = expect(TokKind::Ident).text;
+        expect(TokKind::LBrace);
+      } catch (const ParseError& e) {
+        record(e);
+        pos_ = tokens_.size() - 1;  // jump to End
+        return k;
+      }
+    } else {
+      expect(TokKind::KwKernel);
+      k.name = expect(TokKind::Ident).text;
+      expect(TokKind::LBrace);
+    }
     while (!at(TokKind::RBrace)) {
-      if (at(TokKind::KwParam)) {
-        k.params.push_back(param());
-      } else if (at(TokKind::KwArray)) {
-        k.arrays.push_back(array());
-      } else if (at(TokKind::KwLoop)) {
-        k.nests.push_back(loop());
-      } else {
-        throw ParseError(cur().loc,
-                         std::string("expected 'param', 'array' or 'loop', "
-                                     "found ") +
-                             tokKindName(cur().kind));
+      if (recovering() && at(TokKind::End)) {
+        record(ParseError(cur().loc, "expected '}', found end of input"));
+        return k;
+      }
+      try {
+        if (at(TokKind::KwParam)) {
+          k.params.push_back(param());
+        } else if (at(TokKind::KwArray)) {
+          k.arrays.push_back(array());
+        } else if (at(TokKind::KwLoop)) {
+          k.nests.push_back(loop());
+        } else {
+          throw ParseError(cur().loc,
+                           std::string("expected 'param', 'array' or 'loop', "
+                                       "found ") +
+                               tokKindName(cur().kind));
+        }
+      } catch (const ParseError& e) {
+        if (!recovering()) throw;
+        record(e);
+        resync();
       }
     }
     expect(TokKind::RBrace);
@@ -82,6 +164,7 @@ class Parser {
   }
 
   std::unique_ptr<LoopStmt> loop() {
+    DepthGuard guard(loopDepth_, cur().loc);
     auto l = std::make_unique<LoopStmt>();
     l->loc = expect(TokKind::KwLoop).loc;
     l->iterator = expect(TokKind::Ident).text;
@@ -149,6 +232,7 @@ class Parser {
   }
 
   ExprPtr factor() {
+    DepthGuard guard(exprDepth_, cur().loc);
     if (at(TokKind::Int)) {
       Token t = take();
       return Expr::intLit(t.loc, t.value);
@@ -172,13 +256,24 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  std::vector<dr::support::Diagnostic>* errors_ = nullptr;
   std::size_t pos_ = 0;
+  int exprDepth_ = 0;
+  int loopDepth_ = 0;
 };
 
 }  // namespace
 
 KernelDecl parseKernel(const std::string& source) {
   return Parser(tokenize(source)).run();
+}
+
+KernelDecl parseKernelRecover(const std::string& source,
+                              std::vector<support::Diagnostic>& errors) {
+  // Lexical problems are recorded by the recovering tokenizer; the token
+  // stream it returns is then parsed with item-level resync, so one call
+  // reports every independent problem of the file.
+  return Parser(tokenize(source, errors), &errors).run();
 }
 
 }  // namespace dr::frontend

@@ -28,4 +28,14 @@ namespace dr::frontend {
 /// Parse one kernel; throws ParseError on malformed input.
 KernelDecl parseKernel(const std::string& source);
 
+/// Error-recovering parse: every lexical and syntactic problem is
+/// appended to `errors` (source-located, in file order) instead of
+/// thrown. On an error inside a kernel item the parser resynchronizes in
+/// panic mode — skipping (brace-balanced) to the next ';', '}' or item
+/// keyword — and continues, so one pass reports multiple independent
+/// errors per file. Returns the best-effort AST of the items that did
+/// parse; it is only meaningful when `errors` stays empty.
+KernelDecl parseKernelRecover(const std::string& source,
+                              std::vector<support::Diagnostic>& errors);
+
 }  // namespace dr::frontend

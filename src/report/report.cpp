@@ -34,6 +34,14 @@ std::string signalReport(const loopir::Program& program,
        program.name + "`\n\n";
   s += "* reads C_tot: " + num(ex.Ctot) + "\n";
   s += "* distinct elements: " + num(ex.distinctElements) + "\n";
+  if (!ex.simulatedCurve.points.empty()) {
+    s += std::string("* curve fidelity: ") +
+         simcore::fidelityName(ex.curveFidelity);
+    if (ex.simulationStats.trippedBy != dr::support::BudgetTrip::None)
+      s += std::string(" (budget tripped: ") +
+           dr::support::budgetTripName(ex.simulationStats.trippedBy) + ")";
+    s += "\n";
+  }
   s += "* maximum reuse factor: " +
        fmtDouble(static_cast<double>(ex.Ctot) /
                      static_cast<double>(std::max<i64>(1, ex.distinctElements)),
@@ -71,7 +79,8 @@ std::string signalReport(const loopir::Program& program,
     s += "## Reuse factor vs copy size (Belady `.`, analytic `o`)\n\n```\n";
     Series sim;
     sim.mark = '.';
-    sim.name = "Belady-optimal simulation";
+    sim.name = std::string("Belady-optimal simulation [") +
+               simcore::fidelityName(ex.curveFidelity) + "]";
     for (const auto& pt : ex.simulatedCurve.points)
       sim.points.emplace_back(static_cast<double>(pt.size), pt.reuseFactor);
     Series ana;

@@ -34,10 +34,30 @@ struct ChunkDelta {
 
 template <class Acc>
 void streamRest(TraceCursor& cursor, StreamingDensifier& dens, Acc& acc,
-                i64 chunkEvents) {
+                i64 chunkEvents, const dr::support::RunBudget* budget) {
   std::vector<i64> buf;
-  while (cursor.nextChunk(buf, chunkEvents) > 0)
+  while (cursor.nextChunk(buf, chunkEvents) > 0) {
     for (i64 addr : buf) acc.push(dens.idOf(addr));
+    if (budget != nullptr)
+      budget->noteResidentBytes(dens.memoryBytes() + acc.memoryBytes());
+  }
+}
+
+/// Exact tail of a run: stream whatever the cursor still holds and report
+/// the (possibly budget-truncated) result.
+template <class Acc>
+StackHistogram finishStream(TraceCursor& cursor, StreamingDensifier& dens,
+                            Acc& acc, FoldedStats& st,
+                            const FoldedCurveOptions& opts) {
+  streamRest(cursor, dens, acc, opts.chunkEvents, opts.budget);
+  st.simulatedEvents = cursor.position();
+  st.distinct = acc.coldMisses();
+  st.fidelity = Fidelity::ExactStream;
+  if (cursor.truncated()) {
+    st.completed = false;
+    st.trippedBy = opts.budget->state();
+  }
+  return acc.finalize();
 }
 
 /// OPT steady-state certificate: the slot tree at chunk boundary c must
@@ -70,10 +90,32 @@ std::vector<i64> snapshotSlots(const Acc& acc) {
     return {};
 }
 
+/// Uncertified single-chunk extrapolation: replay `cyc` for every
+/// remaining chunk and report the result as approximate (exact = false).
+/// Shared by the approximateAfterBudget path (measure budget exhausted)
+/// and the RunBudget-trip path (degradation ladder's third rung).
+template <class Acc>
+StackHistogram extrapolateOne(const Acc& acc, const ChunkDelta& cyc,
+                              i64 remaining, i64 position, FoldedStats& st) {
+  std::vector<i64> folded = acc.rawHistogram();
+  if (folded.size() < cyc.hist.size()) folded.resize(cyc.hist.size(), 0);
+  for (std::size_t i = 0; i < cyc.hist.size(); ++i)
+    folded[i] += remaining * cyc.hist[i];
+  const i64 cold = acc.coldMisses() + remaining * cyc.cold;
+  st.folded = true;
+  st.exact = false;
+  st.fidelity = Fidelity::ApproxFold;
+  st.foldPeriodChunks = 1;
+  st.simulatedEvents = position;
+  st.distinct = cold;
+  return StackHistogram::build(std::move(folded), cold, st.totalEvents);
+}
+
 template <class Acc>
 StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
                          bool certifySlots, FoldedStats& st,
                          const FoldedCurveOptions& opts) {
+  cursor.attachBudget(opts.budget);
   cursor.reset();
   const auto [lo, hi] = cursor.addressRange();
   StreamingDensifier dens(lo, hi);
@@ -84,12 +126,8 @@ StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
   const i64 warmChunks = tryFold ? 1 + pd.maxLateWarmGap : 0;
   // Folding must leave chunks to extrapolate: when warmup plus the
   // convergence runs already cover the stream, just play it out.
-  if (!tryFold || warmChunks + opts.convergenceRuns >= pd.repeatCount) {
-    streamRest(cursor, dens, acc, opts.chunkEvents);
-    st.simulatedEvents = cursor.position();
-    st.distinct = acc.coldMisses();
-    return acc.finalize();
-  }
+  if (!tryFold || warmChunks + opts.convergenceRuns >= pd.repeatCount)
+    return finishStream(cursor, dens, acc, st, opts);
 
   st.period = pd.period;
   st.repeatCount = pd.repeatCount;
@@ -100,13 +138,26 @@ StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
   i64 prevCold = 0;
   std::vector<ChunkDelta> deltas;          ///< post-warmup, oldest first
   std::vector<std::vector<i64>> bounds;    ///< slot snapshots, aligned
+  ChunkDelta lastDelta;                    ///< most recent complete chunk
   const int maxSuper = std::max(1, opts.maxSuperPeriod);
   i64 chunk = 0;  ///< completed chunks
   const i64 measureBudget = warmChunks + opts.maxMeasuredChunks;
 
   while (chunk < pd.repeatCount) {
     const i64 got = cursor.nextChunk(buf, pd.period);
-    DR_CHECK(got == pd.period);  // single-nest stream of R whole periods
+    // A single-nest stream of R whole periods only ever yields full
+    // chunks — or nothing, when the attached budget tripped.
+    DR_CHECK(got == pd.period || (got == 0 && cursor.truncated()));
+    if (got == 0) {
+      st.trippedBy = opts.budget->state();
+      if (chunk >= 1)  // degrade: extrapolate the last measured chunk
+        return extrapolateOne(acc, lastDelta, pd.repeatCount - chunk,
+                              cursor.position(), st);
+      st.completed = false;
+      st.simulatedEvents = cursor.position();
+      st.distinct = acc.coldMisses();
+      return acc.finalize();
+    }
     ChunkDelta delta;
     for (i64 addr : buf) {
       const i64 d = acc.push(dens.idOf(addr));
@@ -114,6 +165,8 @@ StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
       delta.seqHash *= kFnvPrime;
     }
     ++chunk;
+    if (opts.budget != nullptr)
+      opts.budget->noteResidentBytes(dens.memoryBytes() + acc.memoryBytes());
 
     const std::vector<i64>& raw = acc.rawHistogram();
     delta.hist.assign(raw.begin(), raw.end());
@@ -124,6 +177,7 @@ StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
     prevHist.assign(raw.begin(), raw.end());
     prevCold = acc.coldMisses();
 
+    lastDelta = delta;
     if (chunk <= warmChunks) continue;
     deltas.push_back(std::move(delta));
     if (certifySlots) bounds.push_back(snapshotSlots(acc));
@@ -164,6 +218,7 @@ StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
         cold += copies * cyc.cold;
       }
       st.folded = true;
+      st.fidelity = Fidelity::ExactFold;
       st.foldPeriodChunks = s;
       st.simulatedEvents = cursor.position();
       st.distinct = cold;
@@ -171,36 +226,21 @@ StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
                                    st.totalEvents);
     }
     if (chunk < measureBudget) continue;
-    // Budget exhausted without a certified steady state.
+    // Measure budget exhausted without a certified steady state.
     if (opts.approximateAfterBudget && remaining > 0) {
       // Extrapolate the most recent chunk regardless and say so: the
       // residual wobble is a ±1-per-bin-per-chunk tail effect (see
       // header), which a scaling sweep gladly trades for not streaming
       // the remaining billions of events.
-      const ChunkDelta& cyc = deltas.back();
-      std::vector<i64> folded = acc.rawHistogram();
-      if (folded.size() < cyc.hist.size())
-        folded.resize(cyc.hist.size(), 0);
-      for (std::size_t i = 0; i < cyc.hist.size(); ++i)
-        folded[i] += remaining * cyc.hist[i];
-      const i64 cold = acc.coldMisses() + remaining * cyc.cold;
-      st.folded = true;
-      st.exact = false;
-      st.foldPeriodChunks = 1;
-      st.simulatedEvents = cursor.position();
-      st.distinct = cold;
-      return StackHistogram::build(std::move(folded), cold,
-                                   st.totalEvents);
+      return extrapolateOne(acc, deltas.back(), remaining,
+                            cursor.position(), st);
     }
     break;  // stream the rest plainly (exact)
   }
 
   // Fold abandoned (or the stream ended first): stream whatever is left —
   // exact by construction, just without the speedup.
-  streamRest(cursor, dens, acc, opts.chunkEvents);
-  st.simulatedEvents = cursor.position();
-  st.distinct = acc.coldMisses();
-  return acc.finalize();
+  return finishStream(cursor, dens, acc, st, opts);
 }
 
 ReusePoint pointFrom(const SimResult& r, i64 size) {
@@ -269,6 +309,9 @@ SimResult streamFifo(TraceCursor cursor, i64 capacity, i64 chunkEvents) {
       }
     }
   }
+  // A tripped budget (attached to the cursor we copied) cuts the stream
+  // short; report the counts over the events actually simulated.
+  if (cursor.truncated()) r.accesses = cursor.position();
   DR_ENSURE(r.hits + r.misses == r.accesses);
   return r;
 }
@@ -296,19 +339,28 @@ ReuseCurve simulateReuseCurve(const loopir::Program& p,
     if (stats)
       stats->simulatedEvents =
           cursor.length() * static_cast<i64>(sizes.size());
+    cursor.attachBudget(opts.budget);  // each streamFifo copy polls it
     dr::support::parallelFor(static_cast<i64>(sizes.size()), [&](i64 i) {
       const std::size_t u = static_cast<std::size_t>(i);
       curve.points[u] = pointFrom(
           streamFifo(cursor, sizes[u], opts.chunkEvents), sizes[u]);
     });
+    if (stats && opts.budget != nullptr && opts.budget->tripped()) {
+      stats->completed = false;
+      stats->trippedBy = opts.budget->state();
+    }
     return curve;
   }
 
   const PeriodInfo pd = dr::trace::detectPeriod(cursor.nests());
+  FoldedStats local;
   const StackHistogram h =
-      foldedStackHistogram(cursor, pd, policy, stats, opts);
-  for (std::size_t i = 0; i < sizes.size(); ++i)
+      foldedStackHistogram(cursor, pd, policy, &local, opts);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
     curve.points[i] = pointFrom(h.resultAt(sizes[i]), sizes[i]);
+    curve.points[i].fidelity = local.fidelity;
+  }
+  if (stats) *stats = local;
   return curve;
 }
 

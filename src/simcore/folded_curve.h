@@ -4,6 +4,7 @@
 
 #include "simcore/reuse_curve.h"
 #include "simcore/stream_stack.h"
+#include "support/budget.h"
 #include "trace/period.h"
 #include "trace/stream.h"
 
@@ -54,6 +55,16 @@ namespace dr::simcore {
 struct FoldedStats {
   bool folded = false;  ///< steady state certified and extrapolated
   bool exact = true;    ///< false only for an uncertified extrapolation
+  /// False when a tripped RunBudget stopped the run before any full-trace
+  /// counts (exact or extrapolated) existed: the returned histogram then
+  /// covers only simulatedEvents events and the caller should fall to the
+  /// next ladder rung (explorer.h).
+  bool completed = true;
+  /// Which budget limit cut the run short; None for an unbudgeted or
+  /// untripped run.
+  support::BudgetTrip trippedBy = support::BudgetTrip::None;
+  /// Ladder rung of the returned histogram (reuse_curve.h).
+  Fidelity fidelity = Fidelity::ExactStream;
   i64 totalEvents = 0;
   i64 simulatedEvents = 0;  ///< events actually pushed through the engine
   i64 period = 0;           ///< events per chunk (0 when no period found)
@@ -85,6 +96,12 @@ struct FoldedCurveOptions {
   /// estimation); intended for scaling sweeps where streaming billions of
   /// events is the alternative. Default keeps every result byte-exact.
   bool approximateAfterBudget = false;
+  /// Cooperative resource budget, polled at chunk boundaries (attached to
+  /// the cursor for the run). A trip degrades rather than aborts: a
+  /// periodic stream with >= 1 measured chunk extrapolates the rest
+  /// (Fidelity::ApproxFold, exact = false); otherwise the run returns its
+  /// partial counts with FoldedStats::completed = false. Null = unlimited.
+  const support::RunBudget* budget = nullptr;
 };
 
 /// Stack-distance histogram of the cursor's whole stream (Opt or Lru

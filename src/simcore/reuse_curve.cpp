@@ -10,6 +10,16 @@
 
 namespace dr::simcore {
 
+const char* fidelityName(Fidelity f) {
+  switch (f) {
+    case Fidelity::ExactStream: return "exact";
+    case Fidelity::ExactFold: return "exact-fold";
+    case Fidelity::ApproxFold: return "approx-fold";
+    case Fidelity::Analytic: return "analytic";
+  }
+  return "?";
+}
+
 double ReuseCurve::maxReuseFactor() const {
   double best = 1.0;
   for (const ReusePoint& p : points) best = std::max(best, p.reuseFactor);

@@ -12,12 +12,28 @@
 
 namespace dr::simcore {
 
+/// Provenance of a curve point, ordered from most to least trustworthy —
+/// the rungs of the explorer's graceful-degradation ladder. A tripped
+/// RunBudget (support/budget.h) moves a run down the ladder instead of
+/// failing it; every emitted point carries the rung it came from so
+/// report/ can label what the numbers mean.
+enum class Fidelity {
+  ExactStream,  ///< full trace simulated (streamed or materialized)
+  ExactFold,    ///< steady-state fold, certified cycle => exact counts
+  ApproxFold,   ///< fold extrapolated from measured chunks, uncertified
+  Analytic,     ///< closed-form footprint/reuse bounds only, no simulation
+};
+
+/// Human-readable rung name ("exact", "exact-fold", ...).
+const char* fidelityName(Fidelity f);
+
 /// One point of a reuse-factor curve.
 struct ReusePoint {
   i64 size = 0;            ///< copy-candidate size A_j, in elements
   i64 writes = 0;          ///< C_j: writes into the copy-candidate
   i64 reads = 0;           ///< C_tot
   double reuseFactor = 1;  ///< F_Rj = C_tot / C_j
+  Fidelity fidelity = Fidelity::ExactStream;
 };
 
 struct ReuseCurve {

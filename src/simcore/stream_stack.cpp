@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <new>
 
 #include "support/contracts.h"
+#include "support/fault.h"
 
 namespace dr::simcore {
 
@@ -65,6 +67,10 @@ namespace detail {
 OptSlotTree::OptSlotTree(i64 n) { rebuild(n, {}); }
 
 void OptSlotTree::rebuild(i64 n, const std::vector<i64>& leaves) {
+  // The engines' dominant allocation; the probe lets fault-injection
+  // tests exercise the bad_alloc unwind without exhausting real memory.
+  if (support::fault::shouldFail(support::fault::FaultSite::Alloc))
+    throw std::bad_alloc();
   n_ = n;
   size_ = 1;
   while (size_ < n_) size_ <<= 1;
@@ -248,6 +254,8 @@ i64 LruStackAccumulator::push(i64 denseId) {
 // StreamingDensifier
 
 StreamingDensifier::StreamingDensifier(i64 lo, i64 hi) : lo_(lo) {
+  if (support::fault::shouldFail(support::fault::FaultSite::Alloc))
+    throw std::bad_alloc();
   const i64 extent = hi - lo + 1;
   // Flat path: one table slot per address in range. The cap keeps the
   // table within ~256 MiB; AddressMap-produced streams are contiguous per

@@ -73,6 +73,10 @@ class OptSlotTree {
 
   i64 size() const noexcept { return n_; }
 
+  i64 memoryBytes() const noexcept {
+    return static_cast<i64>(nodes_.capacity() * sizeof(Node));
+  }
+
   /// Busy-until times of slots [0, count).
   std::vector<i64> values(i64 count) const;
 
@@ -119,6 +123,13 @@ class OptStackAccumulator {
   /// the folded engine's steady-state certificates.
   std::vector<i64> slotValues() const { return tree_.values(distinct()); }
 
+  /// Engine footprint (heap containers), for RunBudget memory accounting.
+  i64 memoryBytes() const noexcept {
+    return tree_.memoryBytes() +
+           static_cast<i64>((lastPos_.capacity() + histogram_.capacity()) *
+                            sizeof(i64));
+  }
+
   StackHistogram finalize() const {
     return StackHistogram::build(histogram_, coldMisses_, t_);
   }
@@ -150,6 +161,13 @@ class LruStackAccumulator {
     return histogram_;
   }
 
+  /// Engine footprint (heap containers), for RunBudget memory accounting.
+  i64 memoryBytes() const noexcept {
+    return static_cast<i64>((fenwick_.capacity() + lastPos_.capacity() +
+                             histogram_.capacity()) *
+                            sizeof(i64));
+  }
+
   StackHistogram finalize() const {
     return StackHistogram::build(histogram_, coldMisses_, t_);
   }
@@ -179,6 +197,12 @@ class StreamingDensifier {
   i64 idOf(i64 addr);
 
   i64 distinct() const noexcept { return nextId_; }
+
+  /// Footprint of the flat table / hash map, for RunBudget accounting.
+  i64 memoryBytes() const noexcept {
+    return static_cast<i64>(flat_.capacity() * sizeof(i64) +
+                            hash_.size() * 4 * sizeof(i64));
+  }
 
  private:
   i64 lo_ = 0;

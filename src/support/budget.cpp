@@ -1,0 +1,77 @@
+#include "support/budget.h"
+
+#include <algorithm>
+
+#include "support/fault.h"
+
+namespace dr::support {
+
+const char* budgetTripName(BudgetTrip trip) {
+  switch (trip) {
+    case BudgetTrip::None: return "none";
+    case BudgetTrip::Cancelled: return "cancelled";
+    case BudgetTrip::Deadline: return "deadline";
+    case BudgetTrip::Events: return "events";
+    case BudgetTrip::Memory: return "memory";
+  }
+  return "?";
+}
+
+void RunBudget::chargeBytes(i64 n) const noexcept {
+  const i64 now = bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+  i64 peak = peakBytes_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peakBytes_.compare_exchange_weak(peak, now,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void RunBudget::noteResidentBytes(i64 bytes) const noexcept {
+  i64 peak = peakBytes_.load(std::memory_order_relaxed);
+  while (bytes > peak &&
+         !peakBytes_.compare_exchange_weak(peak, bytes,
+                                           std::memory_order_relaxed)) {
+  }
+  // The note is an absolute footprint: make the ceiling see it too.
+  i64 cur = bytes_.load(std::memory_order_relaxed);
+  while (bytes > cur &&
+         !bytes_.compare_exchange_weak(cur, bytes,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void RunBudget::latch(BudgetTrip trip) const {
+  int expected = 0;
+  latched_.compare_exchange_strong(expected, static_cast<int>(trip),
+                                   std::memory_order_relaxed);
+}
+
+BudgetTrip RunBudget::state() const {
+  const int already = latched_.load(std::memory_order_relaxed);
+  if (already != 0) return static_cast<BudgetTrip>(already);
+
+  if (cancelRequested()) {
+    latch(BudgetTrip::Cancelled);
+  } else if (deadline_ &&
+             (Clock::now() >= *deadline_ ||
+              fault::shouldFail(fault::FaultSite::Deadline))) {
+    latch(BudgetTrip::Deadline);
+  } else if (maxEvents_ > 0 && eventsCharged() > maxEvents_) {
+    latch(BudgetTrip::Events);
+  } else if (maxBytes_ > 0 && residentBytes() > maxBytes_) {
+    latch(BudgetTrip::Memory);
+  }
+  return static_cast<BudgetTrip>(latched_.load(std::memory_order_relaxed));
+}
+
+Status RunBudget::toStatus() const {
+  const BudgetTrip trip = state();
+  if (trip == BudgetTrip::None) return Status::ok();
+  if (trip == BudgetTrip::Cancelled)
+    return Status::error(StatusCode::Cancelled, "run cancelled");
+  return Status::error(StatusCode::BudgetExceeded,
+                       std::string("budget tripped: ") +
+                           budgetTripName(trip));
+}
+
+}  // namespace dr::support

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "support/intmath.h"
+#include "support/status.h"
+
+/// \file budget.h
+/// Cooperative resource budget for exploration runs: a wall-clock
+/// deadline, an event ceiling, a resident-byte ceiling, and a
+/// cancellation token, shared by every stage of one run. Nothing here
+/// preempts anything — the streaming pipeline polls the budget at chunk
+/// boundaries (trace::TraceCursor refuses to start a new chunk once
+/// tripped, the stack-distance engines and folded_curve check between
+/// chunks, parallelFor's budget overload skips not-yet-claimed indices),
+/// so a tripped budget degrades a run instead of killing it: the
+/// explorer's ladder falls from exact simulation to approximate folds to
+/// analytic closed forms (explorer.h, simcore::Fidelity).
+///
+/// Thread-safe: accounting uses relaxed atomics, so one budget can be
+/// shared by a whole parallel sweep. The first observed trip is latched —
+/// once tripped, a budget stays tripped (releasing memory does not
+/// un-trip it), which keeps the degradation decision stable.
+
+namespace dr::support {
+
+/// Which limit tripped first; None = still within budget.
+enum class BudgetTrip { None, Cancelled, Deadline, Events, Memory };
+
+/// Human-readable trip name ("deadline", ...).
+const char* budgetTripName(BudgetTrip trip);
+
+class RunBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited budget: never trips until cancel().
+  RunBudget() = default;
+
+  // --- limits (set before sharing the budget with a run) ---
+
+  /// Trip once now + `fromNow` has passed.
+  void setDeadline(std::chrono::milliseconds fromNow) {
+    deadline_ = Clock::now() + fromNow;
+  }
+
+  /// Trip once more than `n` events have been charged; n <= 0 = unlimited.
+  void setMaxEvents(i64 n) { maxEvents_ = n > 0 ? n : 0; }
+
+  /// Trip once more than `n` resident bytes are accounted; n <= 0 =
+  /// unlimited.
+  void setMaxResidentBytes(i64 n) { maxBytes_ = n > 0 ? n : 0; }
+
+  // --- cancellation token ---
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // --- accounting (called from the engines; thread-safe) ---
+  // Const: engines hold `const RunBudget*` — they meter against the
+  // budget but must not reconfigure its limits. The counters are mutable
+  // atomics for the same reason the latch is.
+
+  /// Count `n` simulated/streamed events against the event ceiling.
+  void chargeEvents(i64 n) const noexcept {
+    events_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Allocation accounting: `n` bytes acquired / released by an engine.
+  void chargeBytes(i64 n) const noexcept;
+  void releaseBytes(i64 n) const noexcept {
+    bytes_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  /// Report an engine's current measured footprint (an absolute number,
+  /// for engines that find charging every vector growth too invasive);
+  /// feeds the same ceiling as chargeBytes.
+  void noteResidentBytes(i64 bytes) const noexcept;
+
+  i64 eventsCharged() const noexcept {
+    return events_.load(std::memory_order_relaxed);
+  }
+  i64 residentBytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  i64 peakResidentBytes() const noexcept {
+    return peakBytes_.load(std::memory_order_relaxed);
+  }
+
+  // --- state ---
+
+  /// The latched trip, evaluating deadline/ceilings lazily on first call
+  /// past the limit. With fault injection armed, a Deadline fault probe
+  /// can trip an unexpired deadline (fault.h).
+  BudgetTrip state() const;
+
+  bool tripped() const { return state() != BudgetTrip::None; }
+
+  /// Ok while untripped; BudgetExceeded/Cancelled afterwards.
+  Status toStatus() const;
+
+ private:
+  void latch(BudgetTrip trip) const;
+
+  std::optional<Clock::time_point> deadline_;
+  i64 maxEvents_ = 0;
+  i64 maxBytes_ = 0;
+  mutable std::atomic<i64> events_{0};
+  mutable std::atomic<i64> bytes_{0};
+  mutable std::atomic<i64> peakBytes_{0};
+  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<int> latched_{0};  ///< BudgetTrip, first trip wins
+};
+
+}  // namespace dr::support

@@ -1,29 +1,42 @@
 #include "support/cli.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <utility>
 
 #include "support/contracts.h"
 #include "support/strings.h"
 
 namespace dr::support {
 
-CliOptions::CliOptions(int argc, const char* const* argv) {
-  DR_REQUIRE(argc >= 1);
-  program_ = argv[0];
+Expected<CliOptions> CliOptions::parse(int argc, const char* const* argv) {
+  if (argc < 1)
+    return Status::error(StatusCode::InvalidInput, "empty argument vector");
+  CliOptions out;
+  out.program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    DR_REQUIRE_MSG(startsWith(arg, "--"),
-                   "unexpected positional argument: " + arg);
+    if (!startsWith(arg, "--"))
+      return Status::error(StatusCode::InvalidInput,
+                           "unexpected positional argument: " + arg);
     std::string body = arg.substr(2);
     auto eq = body.find('=');
     if (eq != std::string::npos) {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      out.values_[body.substr(0, eq)] = body.substr(eq + 1);
     } else if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
-      values_[body] = argv[++i];
+      out.values_[body] = argv[++i];
     } else {
-      values_[body] = "";  // bare flag
+      out.values_[body] = "";  // bare flag
     }
   }
+  return out;
+}
+
+CliOptions::CliOptions(int argc, const char* const* argv) {
+  Expected<CliOptions> parsed = parse(argc, argv);
+  DR_REQUIRE_MSG(parsed.hasValue(), parsed.status().message());
+  *this = std::move(*parsed);
 }
 
 bool CliOptions::has(const std::string& name) const {
@@ -75,6 +88,22 @@ std::vector<std::string> CliOptions::unusedNames() const {
   for (const auto& [name, _] : values_)
     if (!queried_.count(name)) out.push_back(name);
   return out;
+}
+
+int guardedMain(const std::function<int()>& body) noexcept {
+  try {
+    return body();
+  } catch (const ContractViolation& e) {
+    std::fprintf(stderr, "error: internal invariant violated: %s\n",
+                 e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown failure\n");
+    return 2;
+  }
 }
 
 }  // namespace dr::support

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "support/intmath.h"
+#include "support/status.h"
 
 /// \file cli.h
 /// Minimal command-line option parser for the example applications and
@@ -17,6 +19,10 @@ class CliOptions {
   /// Parse argv; throws ContractViolation on malformed input
   /// (e.g. a non-option positional argument).
   CliOptions(int argc, const char* const* argv);
+
+  /// Non-throwing parse for untrusted argv: malformed input maps to
+  /// StatusCode::InvalidInput instead of a contract violation.
+  static Expected<CliOptions> parse(int argc, const char* const* argv);
 
   bool has(const std::string& name) const;
 
@@ -39,9 +45,17 @@ class CliOptions {
   std::vector<std::string> unusedNames() const;
 
  private:
+  CliOptions() = default;
+
   std::string program_;
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> queried_;
 };
+
+/// Run a CLI main body, translating escaping failures into the standard
+/// command-line contract: one "error: ..." line on stderr and a nonzero
+/// exit instead of std::terminate. ContractViolation (a library bug
+/// surfacing at top level) exits 2; any other exception exits 1.
+int guardedMain(const std::function<int()>& body) noexcept;
 
 }  // namespace dr::support

@@ -39,10 +39,25 @@ class ContractViolation : public std::logic_error {
   }
 };
 
+/// Thrown by the checked arithmetic in intmath.h when a result leaves the
+/// i64 range. Derives from ContractViolation so every existing handler
+/// keeps working; the Status surfaces (status.h) map it to
+/// StatusCode::Overflow — overflow on user-scale bounds (8K frames and
+/// beyond) is a reportable input condition, not only a library bug.
+class OverflowError : public ContractViolation {
+ public:
+  using ContractViolation::ContractViolation;
+};
+
 [[noreturn]] inline void raiseContract(const char* kind, const char* cond,
                                        const char* file, int line,
                                        const std::string& msg = {}) {
   throw ContractViolation(kind, cond, file, line, msg);
+}
+
+[[noreturn]] inline void raiseOverflow(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  throw OverflowError("overflow check", cond, file, line, msg);
 }
 
 }  // namespace dr::support

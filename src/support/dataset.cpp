@@ -1,9 +1,11 @@
 #include "support/dataset.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 
 #include "support/contracts.h"
+#include "support/fault.h"
 #include "support/strings.h"
 
 namespace dr::support {
@@ -85,11 +87,37 @@ std::string DataSet::toGnuplot(int precision) const {
   return out;
 }
 
+Status DataSet::writeFileStatus(const std::string& path,
+                                const std::string& text) {
+  // Same-directory temp file so the final rename cannot cross a
+  // filesystem boundary; rename is the commit point.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f.good())
+      return Status::error(StatusCode::IoError,
+                           "cannot open output file: " + tmp);
+    f << text;
+    if (fault::shouldFail(fault::FaultSite::DatasetWrite))
+      f.setstate(std::ios::badbit);
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return Status::error(StatusCode::IoError, "write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::error(StatusCode::IoError,
+                         "cannot rename " + tmp + " to " + path);
+  }
+  return Status::ok();
+}
+
 void DataSet::writeFile(const std::string& path, const std::string& text) {
-  std::ofstream f(path);
-  DR_REQUIRE_MSG(f.good(), "cannot open output file: " + path);
-  f << text;
-  DR_REQUIRE_MSG(f.good(), "write failed: " + path);
+  Status st = writeFileStatus(path, text);
+  DR_REQUIRE_MSG(st.isOk(), st.message());
 }
 
 }  // namespace dr::support

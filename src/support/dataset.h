@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "support/status.h"
+
 /// \file dataset.h
 /// Tabular result series used by the benchmark harness to print the paper's
 /// figure data (reuse-factor curves, Pareto curves) and optionally persist
@@ -37,7 +39,16 @@ class DataSet {
   std::string toGnuplot(int precision = 6) const;
 
   /// Write `text` to `path`; throws ContractViolation on I/O failure.
+  /// The write is atomic: text goes to a same-directory temp file that is
+  /// renamed over `path` only after a successful flush, so a failure
+  /// mid-write (including injected ones, see fault.h) never leaves a
+  /// truncated `path` behind — the temp file is removed on any error.
   static void writeFile(const std::string& path, const std::string& text);
+
+  /// Non-throwing writeFile: returns StatusCode::IoError instead of
+  /// throwing. Same atomicity guarantee.
+  static Status writeFileStatus(const std::string& path,
+                                const std::string& text);
 
  private:
   std::string title_;

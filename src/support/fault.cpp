@@ -1,0 +1,80 @@
+#include "support/fault.h"
+
+#ifdef DR_FAULT_INJECT
+
+#include <atomic>
+#include <mutex>
+
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace dr::support::fault {
+
+namespace {
+
+struct SiteState {
+  std::atomic<i64> probes{0};
+  // Schedule; guarded by the mutex below (probes stays lock-free).
+  bool randomMode = false;
+  i64 failOnProbe = 0;  ///< 0 = disarmed (deterministic mode)
+  std::uint64_t seed = 0;
+  double probability = 0.0;
+};
+
+SiteState g_sites[kFaultSiteCount];
+std::mutex g_mutex;
+
+SiteState& site(FaultSite s) { return g_sites[static_cast<int>(s)]; }
+
+}  // namespace
+
+void arm(FaultSite s, i64 failOnProbe) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SiteState& st = site(s);
+  st.randomMode = false;
+  st.failOnProbe = failOnProbe > 0 ? failOnProbe : 0;
+  st.probes.store(0, std::memory_order_relaxed);
+}
+
+void armRandom(FaultSite s, std::uint64_t seed, double p) {
+  DR_REQUIRE(p >= 0.0 && p <= 1.0);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SiteState& st = site(s);
+  st.randomMode = true;
+  st.seed = seed;
+  st.probability = p;
+  st.probes.store(0, std::memory_order_relaxed);
+}
+
+void disarmAll() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (SiteState& st : g_sites) {
+    st.randomMode = false;
+    st.failOnProbe = 0;
+    st.probability = 0.0;
+    st.probes.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool shouldFail(FaultSite s) {
+  SiteState& st = site(s);
+  const i64 probe =
+      st.probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (st.randomMode) {
+    if (st.probability <= 0.0) return false;
+    // Stateless per-probe draw: the same (seed, probe) always agrees,
+    // regardless of which thread probes first.
+    Rng rng(st.seed ^ static_cast<std::uint64_t>(probe) * 0x9e3779b97f4a7c15ULL);
+    return rng.uniform01() < st.probability;
+  }
+  return st.failOnProbe > 0 && probe == st.failOnProbe;
+}
+
+i64 probeCount(FaultSite s) {
+  return site(s).probes.load(std::memory_order_relaxed);
+}
+
+}  // namespace dr::support::fault
+
+#endif  // DR_FAULT_INJECT

@@ -55,19 +55,25 @@ i64 mod(i64 a, i64 b) {
 
 i64 checkedAdd(i64 a, i64 b) {
   i64 r;
-  DR_REQUIRE_MSG(!__builtin_add_overflow(a, b, &r), "integer overflow in add");
+  if (__builtin_add_overflow(a, b, &r))
+    raiseOverflow("checkedAdd(a, b)", __FILE__, __LINE__,
+                  "integer overflow in add");
   return r;
 }
 
 i64 checkedSub(i64 a, i64 b) {
   i64 r;
-  DR_REQUIRE_MSG(!__builtin_sub_overflow(a, b, &r), "integer overflow in sub");
+  if (__builtin_sub_overflow(a, b, &r))
+    raiseOverflow("checkedSub(a, b)", __FILE__, __LINE__,
+                  "integer overflow in sub");
   return r;
 }
 
 i64 checkedMul(i64 a, i64 b) {
   i64 r;
-  DR_REQUIRE_MSG(!__builtin_mul_overflow(a, b, &r), "integer overflow in mul");
+  if (__builtin_mul_overflow(a, b, &r))
+    raiseOverflow("checkedMul(a, b)", __FILE__, __LINE__,
+                  "integer overflow in mul");
   return r;
 }
 

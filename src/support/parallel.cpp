@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/budget.h"
 #include "support/contracts.h"
 
 namespace dr::support {
@@ -148,6 +149,19 @@ void parallelFor(i64 n, const std::function<void(i64)>& fn, int threads) {
     return;
   }
   ThreadPool::global().run(n, fn);
+}
+
+void parallelFor(i64 n, const RunBudget* budget,
+                 const std::function<void(i64)>& fn, int threads) {
+  if (budget == nullptr) {
+    parallelFor(n, fn, threads);
+    return;
+  }
+  // Wrap rather than touch the pool: the trip check runs on the claiming
+  // thread right before fn, so a budget tripped mid-sweep stops every
+  // index that has not started yet while in-flight ones finish normally.
+  parallelFor(
+      n, [&](i64 i) { if (!budget->tripped()) fn(i); }, threads);
 }
 
 }  // namespace dr::support

@@ -17,6 +17,8 @@
 
 namespace dr::support {
 
+class RunBudget;
+
 /// Worker count parallelFor uses by default: DR_THREADS when set (clamped
 /// to >= 1), else the hardware concurrency (>= 1).
 int parallelThreads();
@@ -28,5 +30,15 @@ int parallelThreads();
 /// fn(i) is rethrown on the caller after the sweep drains; fn must write
 /// only to per-index state for the result to be deterministic.
 void parallelFor(i64 n, const std::function<void(i64)>& fn, int threads = 0);
+
+/// Budget-aware sweep: indices claimed after `budget` trips are skipped —
+/// their output slots keep whatever defaults the caller initialized them
+/// to, which the exploration sweeps treat as "not evaluated" (e.g.
+/// OrderingResult::simMisses == -1). The sweep still joins fully and
+/// still rethrows the first fn exception. Which indices ran before the
+/// trip depends on timing; the *content* of every slot that did run stays
+/// deterministic. `budget` may be null (plain sweep).
+void parallelFor(i64 n, const RunBudget* budget,
+                 const std::function<void(i64)>& fn, int threads = 0);
 
 }  // namespace dr::support

@@ -1,0 +1,32 @@
+#include "support/status.h"
+
+namespace dr::support {
+
+const char* statusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::InvalidInput: return "invalid input";
+    case StatusCode::IoError: return "I/O error";
+    case StatusCode::Overflow: return "overflow";
+    case StatusCode::BudgetExceeded: return "budget exceeded";
+    case StatusCode::Cancelled: return "cancelled";
+    case StatusCode::Internal: return "internal error";
+  }
+  return "?";
+}
+
+std::string Status::str() const {
+  if (isOk()) return "ok";
+  std::string out = statusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  for (const Diagnostic& d : diagnostics_) {
+    out += "\n  ";
+    out += d.str();
+  }
+  return out;
+}
+
+}  // namespace dr::support

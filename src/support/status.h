@@ -1,0 +1,130 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/contracts.h"
+
+/// \file status.h
+/// Structured error surface for *user-input* failures: malformed kernel
+/// files, bad CLI options, I/O errors, over-budget runs. Contracts
+/// (contracts.h) stay reserved for library misuse — a ContractViolation
+/// is a bug in the caller; a non-OK Status is a condition the user can
+/// fix. The frontend, the CLI and the explorer facade expose
+/// Status/Expected-returning entry points alongside the throwing ones;
+/// the throwing ones are thin wrappers (see frontend/frontend.h).
+
+namespace dr::support {
+
+/// Broad failure category; `Ok` means success.
+enum class StatusCode {
+  Ok,
+  InvalidInput,    ///< malformed source / options (user-fixable)
+  IoError,         ///< file system failure (open/write/rename)
+  Overflow,        ///< arithmetic left the exactly-representable range
+  BudgetExceeded,  ///< a RunBudget limit tripped (see budget.h)
+  Cancelled,       ///< cooperative cancellation was requested
+  Internal,        ///< an invariant failed while serving user input
+};
+
+/// Human-readable code name ("invalid input", ...).
+const char* statusCodeName(StatusCode code);
+
+/// One source-located problem. `location` is free-form ("7:12",
+/// "kernel.krn:7:12", a file path); empty when the problem has no
+/// position.
+struct Diagnostic {
+  std::string location;
+  std::string message;
+
+  /// "7:12: message" (or just the message without a location).
+  std::string str() const {
+    return location.empty() ? message : location + ": " + message;
+  }
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// Success-or-failure result: a code, a summary message, and zero or more
+/// source-located diagnostics (the parser reports every error it could
+/// recover past, not just the first).
+class Status {
+ public:
+  Status() = default;  ///< Ok
+
+  static Status ok() { return Status(); }
+
+  static Status error(StatusCode code, std::string message) {
+    DR_REQUIRE(code != StatusCode::Ok);
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  static Status error(StatusCode code, std::string message,
+                      std::vector<Diagnostic> diagnostics) {
+    Status s = error(code, std::move(message));
+    s.diagnostics_ = std::move(diagnostics);
+    return s;
+  }
+
+  bool isOk() const noexcept { return code_ == StatusCode::Ok; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+  void addDiagnostic(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+
+  /// One line per problem: "code: message" followed by each diagnostic.
+  std::string str() const;
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+  std::string message_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// A value or the Status explaining why there is none.
+template <class T>
+class Expected {
+ public:
+  Expected(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Expected(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    DR_REQUIRE_MSG(!status_.isOk(),
+                   "Expected needs a value or a non-OK status");
+  }
+
+  bool hasValue() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return hasValue(); }
+
+  /// Ok when a value is present.
+  const Status& status() const noexcept { return status_; }
+
+  /// Precondition: hasValue().
+  T& value() {
+    DR_REQUIRE_MSG(hasValue(), "Expected holds no value: " + status_.str());
+    return *value_;
+  }
+  const T& value() const {
+    DR_REQUIRE_MSG(hasValue(), "Expected holds no value: " + status_.str());
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dr::support

@@ -4,7 +4,12 @@
 #include <cstdlib>
 #include <unordered_set>
 
+#include "support/intmath.h"
+
 namespace dr::trace {
+
+using dr::support::checkedAdd;
+using dr::support::checkedMul;
 
 namespace {
 
@@ -95,6 +100,9 @@ i64 maxLateWarmGap(const LoweredNest& nest, int level, i64 shift,
   for (i64 x : distinct) {
     for (i64 g = 1; g <= gCap; ++g) {
       if (--budget < 0) return -1;
+      // g <= extent/|shift| keeps g*shift within the footprint extent, so
+      // x + g*shift stays in [2*lo - hi, 2*hi - lo]: no overflow possible
+      // once the address range itself is representable.
       if (set.contains(x + g * shift)) {
         maxGap = std::max(maxGap, g);
         break;
@@ -115,12 +123,15 @@ PeriodInfo detectPeriod(const std::vector<LoweredNest>& nests) {
   if (accessCount == 0 || nest.iterations() <= 0) return info;
 
   // Deepest level first: smallest period, maximal folding.
+  // Checked products throughout: at 8K-video scale (7680x4320 frames)
+  // trip-count and coefficient products approach the i64 range, and a
+  // silent wrap here would mis-fold the stream rather than fail loudly.
   for (int l = depth - 1; l >= 0; --l) {
     i64 repeat = 1, period = accessCount;
     for (int j = 0; j <= l; ++j)
-      repeat *= nest.loops[static_cast<std::size_t>(j)].trip;
+      repeat = checkedMul(repeat, nest.loops[static_cast<std::size_t>(j)].trip);
     for (int j = l + 1; j < depth; ++j)
-      period *= nest.loops[static_cast<std::size_t>(j)].trip;
+      period = checkedMul(period, nest.loops[static_cast<std::size_t>(j)].trip);
     if (repeat < 2) continue;
 
     // Deepest non-degenerate level in [0, l] sets the shift (its digit has
@@ -138,8 +149,8 @@ PeriodInfo detectPeriod(const std::vector<LoweredNest>& nests) {
     for (std::size_t a = 0; a < nest.accesses.size() && valid; ++a) {
       const LoweredAccess& acc = nest.accesses[a];
       const i64 accShift =
-          acc.levelCoeff[static_cast<std::size_t>(anchor)] *
-          nest.loops[static_cast<std::size_t>(anchor)].step;
+          checkedMul(acc.levelCoeff[static_cast<std::size_t>(anchor)],
+                     nest.loops[static_cast<std::size_t>(anchor)].step);
       if (a == 0)
         shift = accShift;
       else if (accShift != shift)
@@ -150,10 +161,10 @@ PeriodInfo detectPeriod(const std::vector<LoweredNest>& nests) {
       for (int j = l; j >= 0 && valid; --j) {
         const LoweredLoop& loop = nest.loops[static_cast<std::size_t>(j)];
         if (loop.trip > 1 &&
-            acc.levelCoeff[static_cast<std::size_t>(j)] * loop.step !=
-                shift * weight)
+            checkedMul(acc.levelCoeff[static_cast<std::size_t>(j)],
+                       loop.step) != checkedMul(shift, weight))
           valid = false;
-        weight *= loop.trip;
+        weight = checkedMul(weight, loop.trip);
       }
     }
     if (!valid) continue;
@@ -167,8 +178,8 @@ PeriodInfo detectPeriod(const std::vector<LoweredNest>& nests) {
     info.repeatCount = repeat;
     info.shift = shift;
     info.maxLateWarmGap = gap;
-    info.warmup = (1 + gap) * period;
-    info.totalEvents = repeat * period;
+    info.warmup = checkedMul(checkedAdd(1, gap), period);
+    info.totalEvents = checkedMul(repeat, period);
     return info;
   }
   return info;

@@ -117,12 +117,17 @@ void TraceCursor::enterNest(std::size_t n) {
 
 void TraceCursor::reset() {
   produced_ = 0;
+  truncated_ = false;
   enterNest(0);
 }
 
 i64 TraceCursor::nextChunk(std::vector<i64>& out, i64 maxEvents) {
   DR_REQUIRE(maxEvents >= 1);
   out.clear();
+  if (budget_ != nullptr && !done() && budget_->tripped()) {
+    truncated_ = true;
+    return 0;
+  }
   while (nestIdx_ < nests_.size() &&
          static_cast<i64>(out.size()) < maxEvents) {
     const LoweredNest& nest = nests_[nestIdx_];
@@ -154,6 +159,7 @@ i64 TraceCursor::nextChunk(std::vector<i64>& out, i64 maxEvents) {
     }
   }
   produced_ += static_cast<i64>(out.size());
+  if (budget_ != nullptr) budget_->chargeEvents(static_cast<i64>(out.size()));
   DR_ENSURE(produced_ <= length_);
   return static_cast<i64>(out.size());
 }

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/budget.h"
 #include "support/contracts.h"
 #include "trace/walker.h"
 
@@ -146,12 +147,26 @@ class TraceCursor {
 
   bool done() const noexcept { return produced_ == length_; }
 
-  /// Rewind to the start of the stream.
+  /// Rewind to the start of the stream (clears a budget truncation).
   void reset();
+
+  /// Attach a cooperative budget (may be null to detach): each nextChunk
+  /// call first polls it and refuses to *start* a chunk once tripped —
+  /// returning 0 with truncated() set — and charges the events it emits.
+  /// Whole chunks only: a chunk in flight is never cut short, so every
+  /// consumer downstream sees chunk-aligned (hence fold-aligned) data.
+  void attachBudget(const support::RunBudget* budget) noexcept {
+    budget_ = budget;
+  }
+
+  /// True when a nextChunk call was refused by a tripped budget; the
+  /// stream stopped early and position() < length().
+  bool truncated() const noexcept { return truncated_; }
 
   /// Replaces `out` with the next >= 1 whole iteration points, stopping
   /// at the first boundary at or past `maxEvents` events. Returns the
-  /// number of addresses written; 0 iff the stream is exhausted.
+  /// number of addresses written; 0 iff the stream is exhausted or the
+  /// attached budget tripped (distinguish via truncated()).
   i64 nextChunk(std::vector<i64>& out,
                 i64 maxEvents = kDefaultChunkEvents);
 
@@ -170,6 +185,8 @@ class TraceCursor {
   std::vector<i64> iter_;  ///< iterator values of the current nest
   i64 length_ = 0;
   i64 produced_ = 0;
+  const support::RunBudget* budget_ = nullptr;
+  bool truncated_ = false;
 };
 
 }  // namespace dr::trace

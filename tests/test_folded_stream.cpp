@@ -200,6 +200,29 @@ TEST(DetectPeriod, TripOneOuterLevelsAreSkipped) {
   EXPECT_EQ(pd.shift, 1);
 }
 
+TEST(DetectPeriod, EightKFrameCountsStayExact) {
+  // Overflow regression for the audited products in period.cpp: at an 8K
+  // frame the total event count is 8.49e9 (past 32 bits), and warmup,
+  // shift and totalEvents must all come out exact rather than wrapped
+  // (or falsely tripping the checked ops).
+  const auto p = dr::kernels::motionEstimation({.H = 4320, .W = 7680});
+  AddressMap map(p);
+  dr::trace::TraceFilter filter;
+  filter.signal = p.findSignal("Old");
+  filter.nest = 0;
+  filter.accessIndex = dr::kernels::oldAccessIndex();
+  const auto pd =
+      dr::trace::detectPeriod(dr::trace::lowerProgram(p, map, filter));
+  ASSERT_TRUE(pd.found);
+  EXPECT_EQ(pd.level, 0);
+  EXPECT_EQ(pd.period, 15728640);  // one block row of windows
+  EXPECT_EQ(pd.repeatCount, 4320 / 8);
+  EXPECT_EQ(pd.shift, 8 * 7695);  // n rows of the padded frame
+  EXPECT_EQ(pd.maxLateWarmGap, 1);
+  EXPECT_EQ(pd.warmup, 2 * pd.period);
+  EXPECT_EQ(pd.totalEvents, dr::support::i64{8493465600});
+}
+
 // ---------------------------------------------------------------------------
 // Streaming accumulators vs batch engines
 

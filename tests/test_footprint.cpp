@@ -184,4 +184,35 @@ TEST(MultiLevel, Conv2dFootprints) {
   EXPECT_EQ(wpts[3].size, 3);
 }
 
+TEST(MultiLevel, EightKFrameCountsStayExact) {
+  // Overflow regression for the audited checked-arithmetic paths: a
+  // 256-frame sweep over 8K frames (7680x4320) pushes Ctot, the level-0
+  // footprint, and every per-level miss accumulation to 8,493,465,600 —
+  // past 32 bits — and each must come through exact, not wrapped. (The
+  // per-dimension access keeps the outer walks to ~1M tuples, so the
+  // test stays fast at full 8K magnitudes.)
+  loopir::LoopNest nest;
+  nest.loops = {loopir::Loop{"t", 0, 255, 1}, loopir::Loop{"y", 0, 4319, 1},
+                loopir::Loop{"x", 0, 7679, 1}};
+  loopir::ArrayAccess acc;
+  acc.kind = loopir::AccessKind::Read;
+  for (int d = 0; d < 3; ++d) {
+    loopir::AffineExpr e;
+    e.setCoeff(d, 1);
+    acc.indices.push_back(e);
+  }
+
+  const i64 total = i64{256} * 4320 * 7680;  // 8,493,465,600
+  auto pts = multiLevelPoints(nest, acc);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].size, total);  // whole sequence resident at once
+  EXPECT_EQ(pts[1].size, i64{4320} * 7680);  // one 8K frame
+  EXPECT_EQ(pts[2].size, 7680);              // one row
+  for (const auto& pt : pts) {
+    EXPECT_TRUE(pt.exact);
+    EXPECT_EQ(pt.Ctot, total);
+    EXPECT_EQ(pt.misses, total);  // no cross-frame or cross-row overlap
+  }
+}
+
 }  // namespace

@@ -217,4 +217,101 @@ TEST(Frontend, CompileKernelFileMissing) {
                dr::support::ContractViolation);
 }
 
+// --- error recovery -------------------------------------------------------
+
+TEST(Recovery, ReportsMultipleSyntaxErrorsWithLocations) {
+  // Three independent problems on three lines: a malformed param, a
+  // dimensionless array, and an empty loop body. One recovering pass must
+  // surface all of them, each at its own source location.
+  const char* src = R"(kernel broken {
+  param x = ;
+  array A;
+  loop i = 0 .. 3 { }
+})";
+  std::vector<dr::support::Diagnostic> errors;
+  (void)parseKernelRecover(src, errors);
+  ASSERT_GE(errors.size(), 3u);
+  EXPECT_TRUE(errors[0].location.starts_with("2:")) << errors[0].str();
+  EXPECT_TRUE(errors[1].location.starts_with("3:")) << errors[1].str();
+  EXPECT_TRUE(errors[2].location.starts_with("4:")) << errors[2].str();
+  // Distinct messages, not one error cascading.
+  EXPECT_NE(errors[0].message, errors[1].message);
+}
+
+TEST(Recovery, LexicalAndSyntacticErrorsInOnePass) {
+  const char* src = R"(kernel k {
+  param n = 99999999999999999999999999;
+  param m $ 3;
+  array A[4];
+  loop i = 0 .. 3 { read A[i]; }
+})";
+  std::vector<dr::support::Diagnostic> errors;
+  KernelDecl k = parseKernelRecover(src, errors);
+  ASSERT_GE(errors.size(), 2u);  // overflow literal + stray '$'
+  // Recovery kept the healthy items.
+  EXPECT_EQ(k.arrays.size(), 1u);
+  EXPECT_EQ(k.nests.size(), 1u);
+}
+
+TEST(Recovery, CleanInputHasNoDiagnosticsAndMatchesThrowingParse) {
+  std::vector<dr::support::Diagnostic> errors;
+  KernelDecl k = parseKernelRecover(kMini, errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(k.name, "mini");
+  EXPECT_EQ(k.nests.size(), 1u);
+}
+
+TEST(Recovery, NestingTooDeepIsAParseErrorNotACrash) {
+  std::string deep = "kernel k { param x = ";
+  for (int i = 0; i < 5000; ++i) deep += '(';
+  deep += '1';
+  for (int i = 0; i < 5000; ++i) deep += ')';
+  deep += "; array A[4]; loop i = 0 .. 3 { read A[i]; } }";
+  EXPECT_THROW(parseKernel(deep), ParseError);
+  std::vector<dr::support::Diagnostic> errors;
+  (void)parseKernelRecover(deep, errors);
+  EXPECT_FALSE(errors.empty());
+}
+
+// --- checked compile facade -----------------------------------------------
+
+TEST(Checked, SyntaxErrorsComeBackAsInvalidInput) {
+  auto r = compileKernelChecked("kernel k { param x = ; array A; }");
+  ASSERT_FALSE(r.hasValue());
+  EXPECT_EQ(r.status().code(), dr::support::StatusCode::InvalidInput);
+  EXPECT_GE(r.status().diagnostics().size(), 2u);
+}
+
+TEST(Checked, SemaErrorsComeBackAsInvalidInput) {
+  // Parses cleanly; both the unknown name and the non-affine product are
+  // semantic problems.
+  auto r = compileKernelChecked(
+      "kernel k { array A[8]; "
+      "loop i = 0 .. 7 { read A[i * i + q]; } }");
+  ASSERT_FALSE(r.hasValue());
+  EXPECT_EQ(r.status().code(), dr::support::StatusCode::InvalidInput);
+  EXPECT_GE(r.status().diagnostics().size(), 2u);
+}
+
+TEST(Checked, ConstantOverflowIsStatusNotThrow) {
+  auto r = compileKernelChecked(
+      "kernel k { param h = 4611686018427387904 * 4; array A[h]; "
+      "loop i = 0 .. 3 { read A[i]; } }");
+  ASSERT_FALSE(r.hasValue());
+  EXPECT_EQ(r.status().code(), dr::support::StatusCode::Overflow);
+}
+
+TEST(Checked, ValidKernelCompiles) {
+  auto r = compileKernelChecked(kMini);
+  ASSERT_TRUE(r.hasValue());
+  EXPECT_EQ(r->name, "mini");
+  EXPECT_EQ(r->nests.size(), 1u);
+}
+
+TEST(Checked, MissingFileIsIoError) {
+  auto r = compileKernelFileChecked("/nonexistent/file.krn");
+  ASSERT_FALSE(r.hasValue());
+  EXPECT_EQ(r.status().code(), dr::support::StatusCode::IoError);
+}
+
 }  // namespace

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "support/budget.h"
 #include "support/cli.h"
 #include "support/contracts.h"
 #include "support/dataset.h"
@@ -357,6 +358,114 @@ TEST(Parallel, ZeroAndOneSizedLoops) {
   });
   EXPECT_EQ(calls, 1);
   EXPECT_THROW(parallelFor(-1, [](i64) {}), dr::support::ContractViolation);
+}
+
+// --- status / expected ----------------------------------------------------
+
+TEST(Status, OkByDefaultAndErrorCarriesDiagnostics) {
+  dr::support::Status ok;
+  EXPECT_TRUE(ok.isOk());
+  EXPECT_EQ(ok.code(), dr::support::StatusCode::Ok);
+
+  auto st = dr::support::Status::error(
+      dr::support::StatusCode::InvalidInput, "2 problems",
+      {{"1:2", "first"}, {"3:4", "second"}});
+  EXPECT_FALSE(st.isOk());
+  ASSERT_EQ(st.diagnostics().size(), 2u);
+  EXPECT_EQ(st.diagnostics()[0].str(), "1:2: first");
+  st.addDiagnostic({"", "unlocated"});
+  EXPECT_EQ(st.diagnostics()[2].str(), "unlocated");
+  // str() renders one line per problem.
+  EXPECT_NE(st.str().find("invalid input"), std::string::npos);
+  EXPECT_NE(st.str().find("3:4: second"), std::string::npos);
+}
+
+TEST(Status, ErrorRequiresNonOkCode) {
+  EXPECT_THROW(
+      dr::support::Status::error(dr::support::StatusCode::Ok, "nope"),
+      dr::support::ContractViolation);
+}
+
+TEST(Expected, ValueAndStatusPaths) {
+  dr::support::Expected<int> good(7);
+  ASSERT_TRUE(good.hasValue());
+  EXPECT_EQ(*good, 7);
+  EXPECT_TRUE(good.status().isOk());
+
+  dr::support::Expected<int> bad(dr::support::Status::error(
+      dr::support::StatusCode::IoError, "disk on fire"));
+  EXPECT_FALSE(bad.hasValue());
+  EXPECT_EQ(bad.status().code(), dr::support::StatusCode::IoError);
+  EXPECT_THROW((void)bad.value(), dr::support::ContractViolation);
+}
+
+// --- atomic dataset writes ------------------------------------------------
+
+TEST(DataSet, WriteIsAtomicViaTempAndRename) {
+  const std::string path = ::testing::TempDir() + "dr_atomic.dat";
+  std::remove(path.c_str());
+  ASSERT_TRUE(
+      dr::support::DataSet::writeFileStatus(path, "payload\n").isOk());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "payload");
+  // The temp staging file never survives a successful commit.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(DataSet, WriteFileStatusReportsIoErrorOnBadPath) {
+  auto st = dr::support::DataSet::writeFileStatus(
+      "/nonexistent-dir/out.dat", "x");
+  EXPECT_EQ(st.code(), dr::support::StatusCode::IoError);
+}
+
+// --- non-throwing CLI parse + guarded main --------------------------------
+
+TEST(Cli, ParseReturnsStatusOnPositionalArgument) {
+  const char* argv[] = {"prog", "stray"};
+  auto r = dr::support::CliOptions::parse(2, argv);
+  ASSERT_FALSE(r.hasValue());
+  EXPECT_EQ(r.status().code(), dr::support::StatusCode::InvalidInput);
+}
+
+TEST(Cli, ParseMatchesThrowingConstructor) {
+  const char* argv[] = {"prog", "--a=1", "--flag", "--b", "2"};
+  auto r = dr::support::CliOptions::parse(5, argv);
+  ASSERT_TRUE(r.hasValue());
+  EXPECT_EQ(r->getInt("a", 0), 1);
+  EXPECT_TRUE(r->getBool("flag", false));
+  EXPECT_EQ(r->getInt("b", 0), 2);
+}
+
+TEST(Cli, GuardedMainTranslatesFailures) {
+  EXPECT_EQ(dr::support::guardedMain([] { return 0; }), 0);
+  EXPECT_EQ(dr::support::guardedMain([]() -> int {
+              throw std::runtime_error("user-visible failure");
+            }),
+            1);
+  EXPECT_EQ(dr::support::guardedMain([]() -> int {
+              DR_REQUIRE_MSG(false, "library bug");
+              return 0;
+            }),
+            2);
+}
+
+// --- budget-aware parallel sweeps -----------------------------------------
+
+TEST(Parallel, BudgetOverloadSkipsAfterTrip) {
+  dr::support::RunBudget b;
+  b.cancel();
+  std::atomic<int> ran{0};
+  dr::support::parallelFor(64, &b, [&](i64) { ++ran; });
+  EXPECT_EQ(ran.load(), 0);  // tripped before any index was claimed
+}
+
+TEST(Parallel, NullBudgetRunsEverything) {
+  std::atomic<int> ran{0};
+  dr::support::parallelFor(64, nullptr, [&](i64) { ++ran; });
+  EXPECT_EQ(ran.load(), 64);
 }
 
 }  // namespace

@@ -6,11 +6,20 @@
 //   $ ./examples/explore_kernel --kernel path/to/kernel.krn
 //                               [--signal NAME] [--no-sim] [--emit-code]
 //                               [--report] [--orderings BUDGET]
+//                               [--journal PATH] [--no-resume]
+//                               [--deadline-ms N] [--curve-out PATH]
 //
 // Without --kernel it runs on a built-in 2-D convolution example. The
 // kernel language grammar is documented in src/frontend/parser.h.
+// --journal makes the sweep crash-safe: completed exact curve points are
+// persisted (CRC-checksummed, fsync'd) and a rerun with the same flags
+// resumes from them instead of recomputing; --no-resume forces a fresh
+// journal. --deadline-ms bounds the run with a RunBudget (degrading, not
+// failing, on expiry) and --curve-out writes the simulated curve as CSV.
 
+#include <chrono>
 #include <cstdio>
+#include <sstream>
 
 #include "analytic/pair_analysis.h"
 #include "codegen/templates.h"
@@ -19,18 +28,89 @@
 #include "kernels/conv2d.h"
 #include "loopir/printer.h"
 #include "report/report.h"
+#include "support/budget.h"
 #include "support/cli.h"
+#include "support/dataset.h"
 #include "support/strings.h"
 
 namespace {
 
-void exploreOne(const dr::loopir::Program& p, int signal,
+struct JournalCli {
+  std::string path;       ///< empty = unjournaled run
+  bool resume = true;     ///< false with --no-resume
+  std::string curveOut;   ///< --curve-out CSV path (empty = none)
+};
+
+/// Run the exploration, journaled when asked to; prints the one-line
+/// resume summary for journaled runs. Returns false on a Status failure
+/// (already printed to stderr).
+bool exploreForSignal(const dr::loopir::Program& p, int signal,
+                      const dr::explorer::ExploreOptions& opts,
+                      const JournalCli& journal,
+                      dr::explorer::SignalExploration& out) {
+  if (journal.path.empty()) {
+    auto ex = dr::explorer::exploreSignalChecked(p, signal, opts);
+    if (!ex.hasValue()) {
+      std::fprintf(stderr, "%s\n", ex.status().str().c_str());
+      return false;
+    }
+    out = std::move(*ex);
+    return true;
+  }
+  dr::explorer::ResumeContext ctx;
+  ctx.journalPath = journal.path;
+  ctx.resume = journal.resume;
+  dr::explorer::ResumeSummary summary;
+  auto ex = dr::explorer::exploreSignalChecked(p, signal, opts, ctx,
+                                               &summary);
+  if (!ex.hasValue()) {
+    std::fprintf(stderr, "%s\n", ex.status().str().c_str());
+    return false;
+  }
+  std::ostringstream line;
+  line << "journal " << journal.path << ": " << summary.pointsReused
+       << " point(s) reused, " << summary.pointsRecomputed
+       << " recomputed";
+  if (summary.pointsFailed > 0)
+    line << ", " << summary.pointsFailed << " failed";
+  if (summary.droppedTailBytes > 0)
+    line << ", " << summary.droppedTailBytes << " torn tail byte(s) dropped";
+  if (summary.restarted)
+    line << " (restarted clean: " << summary.restartReason << ")";
+  std::printf("%s\n", line.str().c_str());
+  out = std::move(*ex);
+  return true;
+}
+
+/// The simulated curve as a CSV DataSet — the artifact the CI
+/// kill/resume smoke test diffs between an interrupted-then-resumed run
+/// and a clean one.
+bool writeCurveCsv(const dr::explorer::SignalExploration& ex,
+                   const std::string& path) {
+  dr::support::DataSet ds("reuse curve: " + ex.signalName,
+                          {"size", "writes", "reads", "reuse_factor"});
+  for (const auto& pt : ex.simulatedCurve.points)
+    ds.addRow({static_cast<double>(pt.size), static_cast<double>(pt.writes),
+               static_cast<double>(pt.reads), pt.reuseFactor});
+  auto st = dr::support::DataSet::writeFileStatus(path, ds.toCsv());
+  if (!st.isOk()) {
+    std::fprintf(stderr, "%s\n", st.str().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool exploreOne(const dr::loopir::Program& p, int signal,
                 const dr::explorer::ExploreOptions& opts, bool emitCode,
-                bool fullReport, long long orderingsBudget) {
-  auto ex = dr::explorer::exploreSignal(p, signal, opts);
+                bool fullReport, long long orderingsBudget,
+                const JournalCli& journal) {
+  dr::explorer::SignalExploration ex;
+  if (!exploreForSignal(p, signal, opts, journal, ex)) return false;
+  if (!journal.curveOut.empty() && !writeCurveCsv(ex, journal.curveOut))
+    return false;
   if (fullReport) {
     std::printf("%s\n", dr::report::signalReport(p, ex).c_str());
-    return;
+    return true;
   }
   if (orderingsBudget > 0) {
     auto results =
@@ -58,7 +138,7 @@ void exploreOne(const dr::loopir::Program& p, int signal,
 
   if (ex.combinedPoints.empty()) {
     std::printf("  no reuse found by the pair model at any loop level\n\n");
-    return;
+    return true;
   }
   for (const auto& pt : ex.combinedPoints)
     std::printf("  %-22s size %6lld  F_R %10.3f%s\n", pt.label.c_str(),
@@ -96,11 +176,12 @@ void exploreOne(const dr::loopir::Program& p, int signal,
                     "%s\n",
                     acc.nest, acc.accessIndex, level,
                     code.transformedCode.c_str());
-        return;  // one template is enough for the report
+        return true;  // one template is enough for the report
       }
     }
   }
   std::printf("\n");
+  return true;
 }
 
 int runExploreKernel(int argc, char** argv) {
@@ -117,6 +198,16 @@ int runExploreKernel(int argc, char** argv) {
   bool emitCode = cli.getBool("emit-code", false);
   bool fullReport = cli.getBool("report", false);
   long long orderingsBudget = cli.getInt("orderings", 0);
+  JournalCli journal;
+  journal.path = cli.getString("journal", "");
+  journal.resume = !cli.getBool("no-resume", false);
+  journal.curveOut = cli.getString("curve-out", "");
+  long long deadlineMs = cli.getInt("deadline-ms", 0);
+  dr::support::RunBudget budget;
+  if (deadlineMs > 0) {
+    budget.setDeadline(std::chrono::milliseconds(deadlineMs));
+    opts.budget = &budget;
+  }
   for (const auto& name : cli.unusedNames())
     std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
 
@@ -141,8 +232,10 @@ int runExploreKernel(int argc, char** argv) {
                    signalName.c_str());
       return 1;
     }
-    exploreOne(p, sig, opts, emitCode, fullReport, orderingsBudget);
-    return 0;
+    return exploreOne(p, sig, opts, emitCode, fullReport, orderingsBudget,
+                      journal)
+               ? 0
+               : 1;
   }
   for (std::size_t s = 0; s < p.signals.size(); ++s) {
     // Only read signals are explored (the data reuse step analyzes reads).
@@ -152,9 +245,10 @@ int runExploreKernel(int argc, char** argv) {
         if (acc.signal == static_cast<int>(s) &&
             acc.kind == dr::loopir::AccessKind::Read)
           hasReads = true;
-    if (hasReads)
-      exploreOne(p, static_cast<int>(s), opts, emitCode, fullReport,
-                 orderingsBudget);
+    if (hasReads &&
+        !exploreOne(p, static_cast<int>(s), opts, emitCode, fullReport,
+                    orderingsBudget, journal))
+      return 1;
   }
   return 0;
 }

@@ -1,0 +1,42 @@
+// Fuzz target: journal recovery (support/journal.h).
+//
+// The input bytes are loaded directly as a journal file image — the
+// attacker-controlled artifact a crashed run leaves behind. parseJournal
+// must never crash, leak, or over-read on any input, must never accept a
+// record with a bad CRC, and what it does accept must satisfy the
+// durability contract: the committed prefix re-parses to exactly the
+// same contents with nothing dropped (truncation is idempotent), and the
+// reported byte accounting always adds up.
+
+#include <cstdlib>
+#include <string_view>
+
+#include "fuzz_util.h"
+#include "support/journal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  auto parsed = dr::support::parseJournal(bytes);
+  if (!parsed.hasValue()) return 0;  // rejected cleanly: fine
+
+  const auto& c = *parsed;
+  if (c.committedBytes < 0 ||
+      c.committedBytes > static_cast<dr::support::i64>(size))
+    std::abort();
+  if (c.droppedTailBytes !=
+      static_cast<dr::support::i64>(size) - c.committedBytes)
+    std::abort();
+  if (c.commitCount <= 0) std::abort();
+
+  // Truncation is idempotent: the committed prefix alone must recover the
+  // identical contents, with zero dropped bytes.
+  auto again = dr::support::parseJournal(
+      bytes.substr(0, static_cast<size_t>(c.committedBytes)));
+  if (!again.hasValue()) std::abort();
+  if (!(again->header == c.header)) std::abort();
+  if (again->hasMeta != c.hasMeta) std::abort();
+  if (c.hasMeta && !(again->meta == c.meta)) std::abort();
+  if (again->points != c.points) std::abort();
+  if (again->droppedTailBytes != 0) std::abort();
+  return 0;
+}

@@ -1,13 +1,20 @@
 #include "explorer/explorer.h"
 
 #include <algorithm>
+#include <fstream>
+#include <functional>
 #include <limits>
+#include <map>
 #include <optional>
 #include <utility>
 
 #include "loopir/normalize.h"
 #include "loopir/permute.h"
+#include "loopir/printer.h"
+#include "simcore/opt_stack.h"
 #include "support/contracts.h"
+#include "support/fault.h"
+#include "support/journal.h"
 #include "support/parallel.h"
 #include "support/strings.h"
 
@@ -41,30 +48,6 @@ const AnalyticPoint* pickAtGamma(const AccessAnalysis& acc, i64 g,
     if (eg <= g && (!best || effectiveGamma(acc, *best) < eg)) best = &pt;
   }
   return best ? best : smallest;
-}
-
-/// Evaluate the reuse curve at `sizes` from an already-computed stack
-/// histogram — the streaming engines answer every size from one folded
-/// pass, so no per-size re-simulation happens here. Matches
-/// simulateReuseCurve's size handling (sorted, deduplicated).
-simcore::ReuseCurve curveFromHistogram(const simcore::StackHistogram& h,
-                                       std::vector<i64> sizes,
-                                       simcore::Fidelity fidelity) {
-  std::sort(sizes.begin(), sizes.end());
-  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
-  simcore::ReuseCurve curve;
-  curve.points.reserve(sizes.size());
-  for (i64 s : sizes) {
-    const simcore::SimResult r = h.resultAt(s);
-    simcore::ReusePoint pt;
-    pt.size = s;
-    pt.writes = r.misses;
-    pt.reads = r.accesses;
-    pt.reuseFactor = r.reuseFactor();
-    pt.fidelity = fidelity;
-    curve.points.push_back(pt);
-  }
-  return curve;
 }
 
 /// The degradation ladder's last rung: a curve from closed forms alone —
@@ -104,6 +87,182 @@ simcore::ReuseCurve analyticFallbackCurve(const SignalExploration& result) {
     if (curve.points.empty() || curve.points.back().size != p.size)
       curve.points.push_back(p);
   return curve;
+}
+
+/// Bump whenever a simulation-engine or size-planning change alters the
+/// numbers a journal would persist: resumes against journals written by
+/// older code then restart clean instead of mixing generations.
+constexpr std::uint64_t kJournalCodeVersion = 1;
+
+bool fidelityIsExact(std::uint8_t f) {
+  return f == static_cast<std::uint8_t>(simcore::Fidelity::ExactStream) ||
+         f == static_cast<std::uint8_t>(simcore::Fidelity::ExactFold);
+}
+
+/// FNV-1a 64 over a canonical description of everything that determines
+/// the journaled curve: the normalized kernel text, the signal, the
+/// engine and size-grid configuration, and the format/code versions. The
+/// budget is deliberately excluded — a budgeted and an unbudgeted run ask
+/// the same question, so one may resume the other.
+std::uint64_t journalConfigHash(const Program& pn, int signal,
+                                const ExploreOptions& opts) {
+  std::string blob = loopir::programToString(pn);
+  blob += "\nsignal=" + std::to_string(signal);
+  blob += " engine=" + std::to_string(static_cast<int>(opts.engine));
+  blob += " sim=" + std::to_string(opts.runSimulation ? 1 : 0);
+  blob += " dense=" + std::to_string(opts.denseGridUpTo);
+  blob += " knees=" + std::to_string(opts.includeWorkingSetKnees ? 1 : 0);
+  blob += " stride=" + std::to_string(opts.analyticOptions.partialStride);
+  blob += " bypass=" + std::to_string(opts.analyticOptions.withBypass ? 1 : 0);
+  blob += " maxpp=" +
+          std::to_string(opts.analyticOptions.maxPartialPointsPerLevel);
+  for (i64 s : opts.extraSizes) blob += " x" + std::to_string(s);
+  blob += " fmt=" + std::to_string(support::kJournalFormatVersion);
+  blob += " code=" + std::to_string(kJournalCodeVersion);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : blob) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The journaled-run state threaded through exploreSignalImpl: the shared
+/// writer, the committed points of a prior run (exact rungs only, keyed
+/// by size, last record per size wins), and the summary being filled.
+struct JournalHook {
+  support::JournalWriter* writer = nullptr;
+  std::map<i64, support::JournalPoint> priorExact;
+  bool hasMeta = false;
+  support::JournalMeta meta;
+  ResumeSummary* summary = nullptr;
+};
+
+simcore::ReusePoint pointFromJournal(const support::JournalPoint& jp) {
+  simcore::ReusePoint pt;
+  pt.size = jp.size;
+  pt.writes = jp.writes;
+  pt.reads = jp.reads;
+  // Recomputed, never stored: matches SimResult::reuseFactor() bit for
+  // bit, which is what keeps a resumed curve byte-identical.
+  pt.reuseFactor = jp.writes == 0
+                       ? static_cast<double>(jp.reads)
+                       : static_cast<double>(jp.reads) /
+                             static_cast<double>(jp.writes);
+  pt.fidelity = static_cast<simcore::Fidelity>(jp.fidelity);
+  return pt;
+}
+
+/// Assemble the simulated curve at `sizes` (sorted, deduplicated),
+/// reusing journaled exact points and computing the rest through
+/// `evalAt`. With a hook, each computed point runs as an isolated task
+/// (support::parallelForIsolated): a task failure — the FaultSite::Task
+/// probe or a failed journal append — is retried, and on exhaustion marks
+/// only its own point Fidelity::Failed instead of sinking the sweep.
+/// Only exact-rung points are journaled.
+void assembleCurve(SignalExploration& result, const std::vector<i64>& sizes,
+                   simcore::Fidelity runFidelity, JournalHook* hook,
+                   const std::function<simcore::SimResult(i64)>& evalAt) {
+  simcore::ReuseCurve& curve = result.simulatedCurve;
+  curve.points.assign(sizes.size(), simcore::ReusePoint{});
+  const bool journal =
+      hook && hook->writer &&
+      fidelityIsExact(static_cast<std::uint8_t>(runFidelity));
+  std::vector<std::size_t> missing;
+  missing.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (hook) {
+      auto it = hook->priorExact.find(sizes[i]);
+      if (it != hook->priorExact.end()) {
+        curve.points[i] = pointFromJournal(it->second);
+        ++hook->summary->pointsReused;
+        continue;
+      }
+    }
+    missing.push_back(i);
+  }
+  if (missing.empty()) return;
+
+  if (!hook) {
+    // Unjournaled runs keep the plain parallel sweep: no retry ladder to
+    // pay for, identical numbers.
+    dr::support::parallelFor(static_cast<i64>(missing.size()), [&](i64 k) {
+      const std::size_t idx = missing[static_cast<std::size_t>(k)];
+      const simcore::SimResult r = evalAt(sizes[idx]);
+      simcore::ReusePoint pt;
+      pt.size = sizes[idx];
+      pt.writes = r.misses;
+      pt.reads = r.accesses;
+      pt.reuseFactor = r.reuseFactor();
+      pt.fidelity = runFidelity;
+      curve.points[idx] = pt;
+    });
+    return;
+  }
+
+  support::IsolatedOptions iso;
+  iso.maxAttempts = 3;
+  iso.seed = 0x6472206a6f75726eULL;  // fixed: retries deterministic per task
+  const std::vector<support::Status> statuses = support::parallelForIsolated(
+      static_cast<i64>(missing.size()), iso,
+      [&](i64 k, int attempt) -> support::Status {
+        (void)attempt;
+        if (support::fault::shouldFail(support::fault::FaultSite::Task))
+          return support::Status::error(support::StatusCode::Internal,
+                                        "injected task fault");
+        const std::size_t idx = missing[static_cast<std::size_t>(k)];
+        const simcore::SimResult r = evalAt(sizes[idx]);
+        simcore::ReusePoint pt;
+        pt.size = sizes[idx];
+        pt.writes = r.misses;
+        pt.reads = r.accesses;
+        pt.reuseFactor = r.reuseFactor();
+        pt.fidelity = runFidelity;
+        curve.points[idx] = pt;
+        if (journal) {
+          support::JournalPoint jp;
+          jp.size = sizes[idx];
+          jp.writes = r.misses;
+          jp.reads = r.accesses;
+          jp.fidelity = static_cast<std::uint8_t>(runFidelity);
+          return hook->writer->appendPoint(jp);
+        }
+        return support::Status::ok();
+      });
+  for (std::size_t k = 0; k < statuses.size(); ++k) {
+    const std::size_t idx = missing[k];
+    if (statuses[k].isOk()) {
+      ++hook->summary->pointsRecomputed;
+      continue;
+    }
+    // Exhausted retries: pin the failure to this point. The Failed record
+    // is journaled (best effort) so a resume retries exactly this size.
+    simcore::ReusePoint failed;
+    failed.size = sizes[idx];
+    failed.fidelity = simcore::Fidelity::Failed;
+    curve.points[idx] = failed;
+    ++hook->summary->pointsFailed;
+    support::JournalPoint jp;
+    jp.size = sizes[idx];
+    jp.fidelity = static_cast<std::uint8_t>(simcore::Fidelity::Failed);
+    (void)hook->writer->appendPoint(jp);
+  }
+}
+
+support::JournalMeta metaFromStats(const SignalExploration& result) {
+  support::JournalMeta m;
+  m.Ctot = result.Ctot;
+  m.distinct = result.distinctElements;
+  m.fidelity = static_cast<std::uint8_t>(result.simulationStats.fidelity);
+  m.folded = result.simulationStats.folded ? 1 : 0;
+  m.exact = result.simulationStats.exact ? 1 : 0;
+  m.totalEvents = result.simulationStats.totalEvents;
+  m.simulatedEvents = result.simulationStats.simulatedEvents;
+  m.period = result.simulationStats.period;
+  m.repeatCount = result.simulationStats.repeatCount;
+  m.warmupEvents = result.simulationStats.warmupEvents;
+  m.foldPeriodChunks = result.simulationStats.foldPeriodChunks;
+  return m;
 }
 
 }  // namespace
@@ -183,8 +342,13 @@ std::vector<hierarchy::CandidatePoint> toCandidates(
   return out;
 }
 
-SignalExploration exploreSignal(const Program& p, int signal,
-                                const ExploreOptions& opts) {
+namespace {
+
+/// The full flow, optionally journaled. `hook` == nullptr is the plain
+/// exploreSignal path and must stay byte-identical to it.
+SignalExploration exploreSignalImpl(const Program& p, int signal,
+                                    const ExploreOptions& opts,
+                                    JournalHook* hook) {
   DR_REQUIRE(signal >= 0 && signal < static_cast<int>(p.signals.size()));
   SignalExploration result;
   result.signal = signal;
@@ -202,20 +366,14 @@ SignalExploration exploreSignal(const Program& p, int signal,
   dr::trace::TraceFilter filter;
   filter.signal = signal;  // reads only (the filter's default)
   dr::trace::Trace trace;  // filled on the materialized path only
-  std::optional<simcore::StackHistogram> streamHistogram;
   if (streaming) {
     dr::trace::TraceCursor cursor(pn, map, filter);
     result.Ctot = cursor.length();
     DR_REQUIRE_MSG(result.Ctot > 0, "signal is never read");
     if (opts.runSimulation) {
-      const dr::trace::PeriodInfo period =
-          dr::trace::detectPeriod(cursor.nests());
-      simcore::FoldedCurveOptions foldOpts;
-      foldOpts.budget = opts.budget;
-      streamHistogram = simcore::foldedStackHistogram(
-          cursor, period, simcore::Policy::Opt, &result.simulationStats,
-          foldOpts);
-      result.distinctElements = streamHistogram->distinct();
+      // The stack engine runs in step 4: the planned curve sizes decide
+      // there whether a journaled prior run already answers everything
+      // (in which case no engine pass happens at all).
     } else {
       // No stack engine needed: one densifying pass counts the distinct
       // elements in O(distinct) memory.
@@ -326,20 +484,7 @@ SignalExploration exploreSignal(const Program& p, int signal,
   // curve at that rung; a trip before any full-trace counts existed
   // (simulationStats.completed == false) drops to the closed-form rung.
   if (opts.runSimulation) {
-    if (streaming && !result.simulationStats.completed) {
-      result.simulatedCurve = analyticFallbackCurve(result);
-      result.curveFidelity = simcore::Fidelity::Analytic;
-      // The stream never ran, so no engine counted the footprint; the
-      // level-0 working-set knee is exact for affine nests and fills in.
-      if (result.distinctElements == 0) {
-        for (const auto& knees : result.kneesPerNest)
-          for (const analytic::LevelKnee& knee : knees)
-            if (knee.level == 0)
-              result.distinctElements =
-                  std::max(result.distinctElements, knee.workingSetMax);
-        result.simulationStats.distinct = result.distinctElements;
-      }
-    } else {
+    auto plannedSizes = [&] {
       std::vector<i64> sizes =
           simcore::sizeGrid(std::max<i64>(1, result.distinctElements),
                             opts.denseGridUpTo);
@@ -353,13 +498,121 @@ SignalExploration exploreSignal(const Program& p, int signal,
           if (pt.size > 0) sizes.push_back(pt.size);
       sizes.insert(sizes.end(), opts.extraSizes.begin(),
                    opts.extraSizes.end());
-      result.curveFidelity = streaming ? result.simulationStats.fidelity
-                                       : simcore::Fidelity::ExactStream;
-      result.simulatedCurve =
-          streamHistogram
-              ? curveFromHistogram(*streamHistogram, std::move(sizes),
-                                   result.curveFidelity)
-              : simcore::simulateReuseCurve(trace, sizes);
+      std::sort(sizes.begin(), sizes.end());
+      sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+      return sizes;
+    };
+
+    if (streaming) {
+      // Resume shortcut: the journaled stream totals plus a full set of
+      // committed exact points reconstruct the curve with zero
+      // simulation — the engine never runs.
+      bool reconstructed = false;
+      if (hook && hook->hasMeta && fidelityIsExact(hook->meta.fidelity) &&
+          hook->meta.Ctot == result.Ctot) {
+        result.distinctElements = hook->meta.distinct;
+        const std::vector<i64> sizes = plannedSizes();
+        bool covered = !sizes.empty();
+        for (i64 s : sizes)
+          covered = covered && hook->priorExact.count(s) > 0;
+        if (covered) {
+          result.simulationStats.folded = hook->meta.folded != 0;
+          result.simulationStats.exact = hook->meta.exact != 0;
+          result.simulationStats.completed = true;
+          result.simulationStats.fidelity =
+              static_cast<simcore::Fidelity>(hook->meta.fidelity);
+          result.simulationStats.totalEvents = hook->meta.totalEvents;
+          result.simulationStats.simulatedEvents =
+              hook->meta.simulatedEvents;
+          result.simulationStats.period = hook->meta.period;
+          result.simulationStats.repeatCount = hook->meta.repeatCount;
+          result.simulationStats.warmupEvents = hook->meta.warmupEvents;
+          result.simulationStats.foldPeriodChunks =
+              hook->meta.foldPeriodChunks;
+          result.simulationStats.distinct = hook->meta.distinct;
+          result.curveFidelity = result.simulationStats.fidelity;
+          result.simulatedCurve.points.clear();
+          result.simulatedCurve.points.reserve(sizes.size());
+          for (i64 s : sizes)
+            result.simulatedCurve.points.push_back(
+                pointFromJournal(hook->priorExact.at(s)));
+          hook->summary->pointsReused += static_cast<i64>(sizes.size());
+          reconstructed = true;
+        } else {
+          // Partial journal: the engine reruns below (and recounts the
+          // footprint itself); committed points are still reused.
+          result.distinctElements = 0;
+        }
+      }
+      if (!reconstructed) {
+        dr::trace::TraceCursor cursor(pn, map, filter);
+        const dr::trace::PeriodInfo period =
+            dr::trace::detectPeriod(cursor.nests());
+        simcore::FoldedCurveOptions foldOpts;
+        foldOpts.budget = opts.budget;
+        const simcore::StackHistogram h = simcore::foldedStackHistogram(
+            cursor, period, simcore::Policy::Opt, &result.simulationStats,
+            foldOpts);
+        result.distinctElements = h.distinct();
+        if (!result.simulationStats.completed) {
+          result.simulatedCurve = analyticFallbackCurve(result);
+          result.curveFidelity = simcore::Fidelity::Analytic;
+          // The stream never ran, so no engine counted the footprint; the
+          // level-0 working-set knee is exact for affine nests and fills
+          // in.
+          if (result.distinctElements == 0) {
+            for (const auto& knees : result.kneesPerNest)
+              for (const analytic::LevelKnee& knee : knees)
+                if (knee.level == 0)
+                  result.distinctElements =
+                      std::max(result.distinctElements, knee.workingSetMax);
+            result.simulationStats.distinct = result.distinctElements;
+          }
+          // Ladder re-entry only for the missing points: a prior run's
+          // committed exact points overlay the closed-form curve, each
+          // keeping its exact tag. Nothing new is journaled on a
+          // degraded run.
+          if (hook && !hook->priorExact.empty()) {
+            std::map<i64, simcore::ReusePoint> merged;
+            for (const simcore::ReusePoint& pt :
+                 result.simulatedCurve.points)
+              merged[pt.size] = pt;
+            for (const auto& [size, jp] : hook->priorExact)
+              merged[size] = pointFromJournal(jp);
+            result.simulatedCurve.points.clear();
+            for (const auto& [size, pt] : merged) {
+              (void)size;
+              result.simulatedCurve.points.push_back(pt);
+            }
+            hook->summary->pointsReused +=
+                static_cast<i64>(hook->priorExact.size());
+          }
+        } else {
+          const std::vector<i64> sizes = plannedSizes();
+          result.curveFidelity = result.simulationStats.fidelity;
+          if (hook && hook->writer && !hook->hasMeta &&
+              fidelityIsExact(
+                  static_cast<std::uint8_t>(result.curveFidelity)))
+            (void)hook->writer->appendMeta(metaFromStats(result));
+          assembleCurve(result, sizes, result.curveFidelity, hook,
+                        [&](i64 s) { return h.resultAt(s); });
+        }
+      }
+    } else {
+      const std::vector<i64> sizes = plannedSizes();
+      result.curveFidelity = simcore::Fidelity::ExactStream;
+      if (!hook) {
+        result.simulatedCurve = simcore::simulateReuseCurve(trace, sizes);
+      } else {
+        // The materialized oracle journals too: one OPT stack pass (the
+        // same engine simulateReuseCurve uses) answers every size.
+        const dr::trace::DenseTrace dense = dr::trace::densify(trace);
+        const simcore::OptStackDistances stack(dense);
+        if (hook->writer && !hook->hasMeta)
+          (void)hook->writer->appendMeta(metaFromStats(result));
+        assembleCurve(result, sizes, result.curveFidelity, hook,
+                      [&](i64 s) { return stack.resultAt(s); });
+      }
     }
   }
 
@@ -449,8 +702,8 @@ SignalExploration exploreSignal(const Program& p, int signal,
   return result;
 }
 
-support::Expected<SignalExploration> exploreSignalChecked(
-    const Program& p, int signal, const ExploreOptions& opts) {
+/// Shared request validation of the checked facades.
+support::Status validateSignalRequest(const Program& p, int signal) {
   if (signal < 0 || signal >= static_cast<int>(p.signals.size()))
     return support::Status::error(
         support::StatusCode::InvalidInput,
@@ -465,11 +718,110 @@ support::Expected<SignalExploration> exploreSignalChecked(
         support::StatusCode::InvalidInput,
         "signal '" + p.signals[static_cast<std::size_t>(signal)].name +
             "' is never read");
+  return support::Status::ok();
+}
+
+}  // namespace
+
+SignalExploration exploreSignal(const Program& p, int signal,
+                                const ExploreOptions& opts) {
+  return exploreSignalImpl(p, signal, opts, nullptr);
+}
+
+support::Expected<SignalExploration> exploreSignalChecked(
+    const Program& p, int signal, const ExploreOptions& opts) {
+  if (support::Status st = validateSignalRequest(p, signal); !st.isOk())
+    return st;
   try {
     return exploreSignal(p, signal, opts);
   } catch (const support::OverflowError& e) {
     // Checked arithmetic gave out on the requested bounds (8K+ frames on
     // deep level products): a property of the input, reported as such.
+    return support::Status::error(support::StatusCode::Overflow, e.what());
+  } catch (const std::bad_alloc&) {
+    return support::Status::error(support::StatusCode::BudgetExceeded,
+                                  "allocation failed during exploration");
+  }
+}
+
+support::Expected<SignalExploration> exploreSignalChecked(
+    const Program& p, int signal, const ExploreOptions& opts,
+    const ResumeContext& resume, ResumeSummary* summaryOut) {
+  ResumeSummary localSummary;
+  ResumeSummary* summary = summaryOut ? summaryOut : &localSummary;
+  *summary = ResumeSummary{};
+  if (support::Status st = validateSignalRequest(p, signal); !st.isOk())
+    return st;
+  if (resume.journalPath.empty())
+    return support::Status::error(support::StatusCode::InvalidInput,
+                                  "ResumeContext.journalPath is empty");
+  if (resume.commitEveryPoints < 1)
+    return support::Status::error(support::StatusCode::InvalidInput,
+                                  "ResumeContext.commitEveryPoints must be "
+                                  ">= 1");
+
+  support::JournalHeader header;
+  header.configHash = journalConfigHash(loopir::normalized(p), signal, opts);
+  header.description =
+      "signal=" + p.signals[static_cast<std::size_t>(signal)].name +
+      " engine=" + std::to_string(static_cast<int>(opts.engine));
+
+  // Load the prior journal, if asked to and one exists. Any rejection —
+  // unreadable, corrupt beyond the header, version skew, or a config-hash
+  // mismatch — restarts clean and records why; it never aborts the run.
+  std::optional<support::JournalContents> prior;
+  if (resume.resume) {
+    const bool exists =
+        std::ifstream(resume.journalPath, std::ios::binary).good();
+    if (exists) {
+      auto loaded = support::loadJournal(resume.journalPath);
+      if (!loaded.hasValue()) {
+        summary->restarted = true;
+        summary->restartReason = loaded.status().message();
+      } else if (loaded->header.configHash != header.configHash) {
+        summary->restarted = true;
+        summary->restartReason =
+            "journal belongs to a different kernel/engine configuration "
+            "(config hash mismatch)";
+      } else {
+        prior = std::move(*loaded);
+        summary->journalLoaded = true;
+        summary->droppedTailBytes = prior->droppedTailBytes;
+      }
+    }
+  }
+
+  std::optional<support::JournalWriter> writer;
+  if (prior) {
+    auto w = support::JournalWriter::resumeAt(resume.journalPath, *prior,
+                                              resume.commitEveryPoints);
+    if (!w.hasValue()) return w.status();
+    writer.emplace(std::move(*w));
+  } else {
+    auto w = support::JournalWriter::create(resume.journalPath, header,
+                                            resume.commitEveryPoints);
+    if (!w.hasValue()) return w.status();
+    writer.emplace(std::move(*w));
+  }
+
+  JournalHook hook;
+  hook.writer = &*writer;
+  hook.summary = summary;
+  if (prior) {
+    hook.hasMeta = prior->hasMeta;
+    hook.meta = prior->meta;
+    // Only exact rungs are reusable; a Failed record never enters the
+    // map, so its point is retried on resume. Append order means the
+    // last record per size wins (a retried point supersedes its failure).
+    for (const support::JournalPoint& jp : prior->points)
+      if (fidelityIsExact(jp.fidelity)) hook.priorExact[jp.size] = jp;
+  }
+
+  try {
+    SignalExploration result = exploreSignalImpl(p, signal, opts, &hook);
+    if (support::Status st = writer->close(); !st.isOk()) return st;
+    return result;
+  } catch (const support::OverflowError& e) {
     return support::Status::error(support::StatusCode::Overflow, e.what());
   } catch (const std::bad_alloc&) {
     return support::Status::error(support::StatusCode::BudgetExceeded,

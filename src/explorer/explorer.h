@@ -127,6 +127,50 @@ SignalExploration exploreSignal(const loopir::Program& p, int signal,
 support::Expected<SignalExploration> exploreSignalChecked(
     const loopir::Program& p, int signal, const ExploreOptions& opts = {});
 
+/// Crash-safe resumption of the simulated sweep through a run journal
+/// (support/journal.h). The journal persists one CRC-checksummed record
+/// per completed *exact* curve point (plus the stream totals), under a
+/// header hashing the kernel, signal, engine configuration, and code
+/// version.
+struct ResumeContext {
+  std::string journalPath;
+  /// True: load an existing journal at journalPath and skip its committed
+  /// points, re-entering the degradation ladder only for missing ones.
+  /// False: always start a fresh journal (overwriting atomically).
+  bool resume = true;
+  /// Point appends between fsync'd commit markers. 1 makes every point
+  /// durable the moment it lands; larger values batch the fsyncs.
+  support::i64 commitEveryPoints = 1;
+};
+
+/// What a journaled exploration did — for the CLI's one-line summary.
+struct ResumeSummary {
+  bool journalLoaded = false;  ///< an existing journal parsed successfully
+  /// The existing journal was rejected (header/config mismatch, version
+  /// skew, corruption) and the run restarted clean; restartReason says
+  /// why. Never set on a fresh run with no prior journal.
+  bool restarted = false;
+  std::string restartReason;
+  support::i64 pointsReused = 0;      ///< curve points taken from the journal
+  support::i64 pointsRecomputed = 0;  ///< curve points computed this run
+  support::i64 pointsFailed = 0;      ///< tasks that exhausted their retries
+  /// Torn bytes discarded from the loaded journal's tail (crash debris).
+  support::i64 droppedTailBytes = 0;
+};
+
+/// exploreSignalChecked with a durable journal: on restart the journal
+/// header is validated against the current request (mismatch => clean
+/// restart, with summary.restartReason explaining why), already-journaled
+/// points are skipped, and only missing points re-enter the degradation
+/// ladder. Only exact points (Fidelity::ExactStream/ExactFold) are made
+/// durable — a degraded run journals nothing, so a later resume redoes it
+/// at full fidelity. Journal I/O failures surface as StatusCode::IoError.
+/// A resumed run's curve is byte-identical to an uninterrupted one
+/// (pinned by tests/test_resume.cpp).
+support::Expected<SignalExploration> exploreSignalChecked(
+    const loopir::Program& p, int signal, const ExploreOptions& opts,
+    const ResumeContext& resume, ResumeSummary* summary = nullptr);
+
 /// Combine per-access analytic points into signal-level candidate points
 /// by aligning partial-reuse fractions (exposed for tests and benches).
 std::vector<analytic::AnalyticPoint> combineAccessPoints(

@@ -29,8 +29,9 @@ enum class FaultSite {
   Alloc,         ///< engine/densifier growth (throws std::bad_alloc)
   DatasetWrite,  ///< dataset file open/write/rename (reports IoError)
   Deadline,      ///< RunBudget deadline check (trips as expired)
+  Task,          ///< isolated sweep task body (fails with Status, retried)
 };
-inline constexpr int kFaultSiteCount = 3;
+inline constexpr int kFaultSiteCount = 4;
 
 #ifdef DR_FAULT_INJECT
 

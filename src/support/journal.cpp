@@ -1,0 +1,423 @@
+#include "support/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "support/contracts.h"
+
+namespace dr::support {
+
+namespace {
+
+constexpr std::uint8_t kRecHeader = 1;
+constexpr std::uint8_t kRecPoint = 2;
+constexpr std::uint8_t kRecCommit = 3;
+constexpr std::uint8_t kRecMeta = 4;
+
+constexpr std::uint32_t kMagic = 0x4C4A5244;  // "DRJL"
+
+/// Upper bound on one record's payload: keeps a corrupted length field
+/// from sending the parser (or a fuzzer) past the buffer in one hop.
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+// --- little-endian scalar encoding (explicit, so journals are portable
+// across hosts and the CRC covers a well-defined byte sequence) ---
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void putI64(std::string& out, i64 v) { putU64(out, static_cast<std::uint64_t>(v)); }
+
+/// Bounds-checked little-endian reader over a record payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ok() const noexcept { return ok_; }
+  bool atEnd() const noexcept { return pos_ == bytes_.size(); }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  std::uint64_t u64() { return take(8); }
+  i64 i64v() { return static_cast<i64>(take(8)); }
+
+  std::string str(std::uint32_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  std::uint64_t take(std::size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    pos_ += n;
+    return v;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::string encodeHeader(const JournalHeader& h) {
+  std::string p;
+  putU32(p, kMagic);
+  putU32(p, kJournalFormatVersion);
+  putU64(p, h.configHash);
+  putU32(p, static_cast<std::uint32_t>(h.description.size()));
+  p += h.description;
+  return p;
+}
+
+std::string encodePoint(const JournalPoint& pt) {
+  std::string p;
+  putI64(p, pt.size);
+  putI64(p, pt.writes);
+  putI64(p, pt.reads);
+  p.push_back(static_cast<char>(pt.fidelity));
+  return p;
+}
+
+std::string encodeMeta(const JournalMeta& m) {
+  std::string p;
+  putI64(p, m.Ctot);
+  putI64(p, m.distinct);
+  p.push_back(static_cast<char>(m.fidelity));
+  p.push_back(static_cast<char>(m.folded));
+  p.push_back(static_cast<char>(m.exact));
+  putI64(p, m.totalEvents);
+  putI64(p, m.simulatedEvents);
+  putI64(p, m.period);
+  putI64(p, m.repeatCount);
+  putI64(p, m.warmupEvents);
+  putI64(p, m.foldPeriodChunks);
+  return p;
+}
+
+std::string frameRecord(std::uint8_t type, const std::string& payload) {
+  std::string rec;
+  rec.push_back(static_cast<char>(type));
+  putU32(rec, static_cast<std::uint32_t>(payload.size()));
+  rec += payload;
+  putU32(rec, crc32(rec.data(), rec.size()));
+  return rec;
+}
+
+Status ioError(const std::string& what) {
+  return Status::error(StatusCode::IoError,
+                       what + ": " + std::strerror(errno));
+}
+
+Status writeAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ioError("journal write failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  // IEEE 802.3 reflected polynomial, nibble-table variant: small enough
+  // to build on first use, fast enough for journal record sizes.
+  static const std::array<std::uint32_t, 16> table = [] {
+    std::array<std::uint32_t, 16> t{};
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0x0F] ^ (c >> 4);
+    c = table[(c ^ (p[i] >> 4)) & 0x0F] ^ (c >> 4);
+  }
+  return ~c;
+}
+
+Expected<JournalContents> parseJournal(std::string_view bytes) {
+  JournalContents out;
+  bool haveHeader = false;
+  // Records staged since the last commit marker; promoted to `out` only
+  // when a valid commit seals them — the durability contract's "committed
+  // points are exact, the tail is discarded".
+  std::vector<JournalPoint> pendingPoints;
+  bool pendingHasMeta = false;
+  JournalMeta pendingMeta;
+  i64 pointsSealed = 0;
+
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // Frame: type(1) + len(4) + payload + crc(4).
+    if (bytes.size() - off < 9) break;
+    Reader frame(bytes.substr(off, 5));
+    const std::uint8_t type = frame.u8();
+    const std::uint32_t len = frame.u32();
+    if (len > kMaxPayload || bytes.size() - off - 9 < len) break;
+    const std::string_view payload = bytes.substr(off + 5, len);
+    Reader crcReader(bytes.substr(off + 5 + len, 4));
+    const std::uint32_t storedCrc = crcReader.u32();
+    if (crc32(bytes.data() + off, 5 + len) != storedCrc) break;
+
+    if (!haveHeader) {
+      if (type != kRecHeader) break;
+      Reader r(payload);
+      const std::uint32_t magic = r.u32();
+      const std::uint32_t version = r.u32();
+      out.header.configHash = r.u64();
+      const std::uint32_t descLen = r.u32();
+      out.header.description = r.str(descLen);
+      if (!r.ok() || !r.atEnd() || magic != kMagic) break;
+      if (version != kJournalFormatVersion)
+        return Status::error(
+            StatusCode::InvalidInput,
+            "journal format version " + std::to_string(version) +
+                " != supported " + std::to_string(kJournalFormatVersion));
+      haveHeader = true;
+    } else if (type == kRecPoint) {
+      Reader r(payload);
+      JournalPoint pt;
+      pt.size = r.i64v();
+      pt.writes = r.i64v();
+      pt.reads = r.i64v();
+      pt.fidelity = r.u8();
+      if (!r.ok() || !r.atEnd()) break;
+      pendingPoints.push_back(pt);
+    } else if (type == kRecMeta) {
+      Reader r(payload);
+      JournalMeta m;
+      m.Ctot = r.i64v();
+      m.distinct = r.i64v();
+      m.fidelity = r.u8();
+      m.folded = r.u8();
+      m.exact = r.u8();
+      m.totalEvents = r.i64v();
+      m.simulatedEvents = r.i64v();
+      m.period = r.i64v();
+      m.repeatCount = r.i64v();
+      m.warmupEvents = r.i64v();
+      m.foldPeriodChunks = r.i64v();
+      if (!r.ok() || !r.atEnd()) break;
+      pendingMeta = m;
+      pendingHasMeta = true;
+    } else if (type == kRecCommit) {
+      Reader r(payload);
+      const i64 claimed = static_cast<i64>(r.u64());
+      if (!r.ok() || !r.atEnd()) break;
+      // The marker's point count cross-checks the record sequence: a
+      // mismatch means records were lost or reordered, so the commit (and
+      // everything after) is untrustworthy.
+      const i64 sealing =
+          pointsSealed + static_cast<i64>(pendingPoints.size());
+      if (claimed != sealing) break;
+      out.points.insert(out.points.end(), pendingPoints.begin(),
+                        pendingPoints.end());
+      pendingPoints.clear();
+      if (pendingHasMeta) {
+        out.meta = pendingMeta;
+        out.hasMeta = true;
+        pendingHasMeta = false;
+      }
+      pointsSealed = sealing;
+      out.committedBytes = static_cast<i64>(off + 9 + len);
+      ++out.commitCount;
+    } else {
+      break;  // unknown record type: treat as corruption, stop here
+    }
+    off += 9 + len;
+  }
+
+  if (out.commitCount == 0)
+    return Status::error(StatusCode::InvalidInput,
+                         "no committed journal header found");
+  out.droppedTailBytes =
+      static_cast<i64>(bytes.size()) - out.committedBytes;
+  return out;
+}
+
+Expected<JournalContents> loadJournal(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good())
+    return Status::error(StatusCode::IoError,
+                         "cannot open journal: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  if (f.bad())
+    return Status::error(StatusCode::IoError,
+                         "cannot read journal: " + path);
+  const std::string bytes = ss.str();
+  return parseJournal(bytes);
+}
+
+// --- JournalWriter ---
+
+JournalWriter::JournalWriter(JournalWriter&& o) noexcept {
+  // Moving while another thread appends is a caller bug; no lock needed.
+  fd_ = std::exchange(o.fd_, -1);
+  pointsAppended_ = o.pointsAppended_;
+  pointsSinceCommit_ = o.pointsSinceCommit_;
+  recordsSinceCommit_ = o.recordsSinceCommit_;
+  commitEveryPoints_ = o.commitEveryPoints_;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) (void)close();
+}
+
+Expected<JournalWriter> JournalWriter::create(const std::string& path,
+                                              const JournalHeader& header,
+                                              i64 commitEveryPoints) {
+  DR_REQUIRE(commitEveryPoints >= 1);
+  // Same temp+rename discipline as DataSet::writeFile: the header lands
+  // in a same-directory temp file first, so a crash mid-create leaves any
+  // previous journal at `path` untouched and never a torn header. The fd
+  // survives the rename (same inode), so appends continue at `path`.
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ioError("cannot create journal " + tmp);
+
+  JournalWriter w;
+  w.fd_ = fd;
+  w.commitEveryPoints_ = commitEveryPoints;
+  {
+    std::lock_guard<std::mutex> lock(w.mutex_);
+    Status st = w.appendRecordLocked(kRecHeader, encodeHeader(header));
+    if (st.isOk()) st = w.commitLocked();
+    if (!st.isOk()) {
+      ::close(std::exchange(w.fd_, -1));
+      std::remove(tmp.c_str());
+      return st;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = ioError("cannot rename " + tmp + " to " + path);
+    ::close(std::exchange(w.fd_, -1));
+    std::remove(tmp.c_str());
+    return st;
+  }
+  return w;
+}
+
+Expected<JournalWriter> JournalWriter::resumeAt(
+    const std::string& path, const JournalContents& contents,
+    i64 commitEveryPoints) {
+  DR_REQUIRE(commitEveryPoints >= 1);
+  DR_REQUIRE(contents.committedBytes > 0);
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return ioError("cannot open journal " + path);
+  // Physically discard the torn tail so the on-disk file is exactly its
+  // committed prefix before any new record lands after it.
+  if (::ftruncate(fd, static_cast<off_t>(contents.committedBytes)) != 0) {
+    Status st = ioError("cannot truncate journal " + path);
+    ::close(fd);
+    return st;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    Status st = ioError("cannot seek journal " + path);
+    ::close(fd);
+    return st;
+  }
+  JournalWriter w;
+  w.fd_ = fd;
+  w.commitEveryPoints_ = commitEveryPoints;
+  w.pointsAppended_ = static_cast<i64>(contents.points.size());
+  return w;
+}
+
+Status JournalWriter::appendRecordLocked(std::uint8_t type,
+                                         const std::string& payload) {
+  if (fd_ < 0)
+    return Status::error(StatusCode::IoError, "journal writer is closed");
+  const std::string rec = frameRecord(type, payload);
+  Status st = writeAll(fd_, rec.data(), rec.size());
+  if (st.isOk()) ++recordsSinceCommit_;
+  return st;
+}
+
+Status JournalWriter::commitLocked() {
+  if (fd_ < 0)
+    return Status::error(StatusCode::IoError, "journal writer is closed");
+  if (recordsSinceCommit_ == 0) return Status::ok();
+  std::string payload;
+  putU64(payload, static_cast<std::uint64_t>(pointsAppended_));
+  Status st = appendRecordLocked(kRecCommit, payload);
+  if (!st.isOk()) return st;
+  if (::fsync(fd_) != 0) return ioError("journal fsync failed");
+  pointsSinceCommit_ = 0;
+  recordsSinceCommit_ = 0;
+  return Status::ok();
+}
+
+Status JournalWriter::appendPoint(const JournalPoint& pt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status st = appendRecordLocked(kRecPoint, encodePoint(pt));
+  if (!st.isOk()) return st;
+  ++pointsAppended_;
+  ++pointsSinceCommit_;
+  if (pointsSinceCommit_ >= commitEveryPoints_) return commitLocked();
+  return Status::ok();
+}
+
+Status JournalWriter::appendMeta(const JournalMeta& meta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status st = appendRecordLocked(kRecMeta, encodeMeta(meta));
+  if (!st.isOk()) return st;
+  return commitLocked();
+}
+
+Status JournalWriter::commit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return commitLocked();
+}
+
+Status JournalWriter::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::ok();
+  Status st = commitLocked();
+  if (::close(std::exchange(fd_, -1)) != 0 && st.isOk())
+    st = ioError("journal close failed");
+  return st;
+}
+
+i64 JournalWriter::pointsAppended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pointsAppended_;
+}
+
+}  // namespace dr::support

@@ -11,6 +11,21 @@
 
 namespace dr::support {
 
+/// Deterministic seed for a (stream, task, attempt) triple: SplitMix64's
+/// finalizer over the combined words. Retry backoff jitter and journal
+/// replay draw from Rng(mixSeed(seed, task, attempt)), so reruns and
+/// resumed sweeps see identical schedules regardless of which thread
+/// happens to execute which task.
+constexpr std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t a,
+                                std::uint64_t b = 0) noexcept {
+  std::uint64_t z = seed;
+  z += 0x9e3779b97f4a7c15ULL * (a + 1);
+  z += 0x94d049bb133111ebULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// SplitMix64 generator; passes BigCrush for this use, trivially seedable.
 class Rng {
  public:

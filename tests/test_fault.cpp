@@ -116,6 +116,86 @@ TEST_F(FaultTest, InjectedDeadlineDegradesToAnalytic) {
     EXPECT_EQ(pt.fidelity, dr::simcore::Fidelity::Analytic);
 }
 
+TEST_F(FaultTest, InjectedTaskFaultIsRetriedTransparently) {
+  // One injected failure on the first per-point task probe: the isolated
+  // sweep retries and the journaled result stays identical to a clean
+  // run — no Failed point, nothing lost.
+  const auto p = dr::kernels::motionEstimation({.H = 16, .W = 16, .m = 2});
+  const int signal = p.findSignal("Old");
+  const auto clean = dr::explorer::exploreSignalChecked(p, signal);
+  ASSERT_TRUE(clean.hasValue());
+
+  const std::string path = ::testing::TempDir() + "dr_fault_task.drj";
+  std::remove(path.c_str());
+  dr::explorer::ResumeContext ctx;
+  ctx.journalPath = path;
+  fault::arm(fault::FaultSite::Task, 1);
+  dr::explorer::ResumeSummary summary;
+  auto r = dr::explorer::exploreSignalChecked(
+      p, signal, dr::explorer::ExploreOptions{}, ctx, &summary);
+  ASSERT_TRUE(r.hasValue()) << r.status().str();
+  EXPECT_EQ(summary.pointsFailed, 0);
+  ASSERT_EQ(r->simulatedCurve.points.size(),
+            clean->simulatedCurve.points.size());
+  for (std::size_t i = 0; i < r->simulatedCurve.points.size(); ++i) {
+    EXPECT_EQ(r->simulatedCurve.points[i].size,
+              clean->simulatedCurve.points[i].size);
+    EXPECT_EQ(r->simulatedCurve.points[i].writes,
+              clean->simulatedCurve.points[i].writes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, ExhaustedTaskRetriesIsolateToFailedPoints) {
+  // Every task probe fails: each point exhausts its retries and is pinned
+  // Fidelity::Failed, but the sweep itself — and the journal — survive.
+  // Disarming and resuming then recovers every point exactly. Under ASan
+  // this doubles as a leak check of both the exhaustion and recovery
+  // paths.
+  const auto p = dr::kernels::motionEstimation({.H = 16, .W = 16, .m = 2});
+  const int signal = p.findSignal("Old");
+  const auto clean = dr::explorer::exploreSignalChecked(p, signal);
+  ASSERT_TRUE(clean.hasValue());
+
+  const std::string path = ::testing::TempDir() + "dr_fault_task_all.drj";
+  std::remove(path.c_str());
+  dr::explorer::ResumeContext ctx;
+  ctx.journalPath = path;
+  fault::armRandom(fault::FaultSite::Task, /*seed=*/3, /*p=*/1.0);
+  dr::explorer::ResumeSummary summary;
+  auto r = dr::explorer::exploreSignalChecked(
+      p, signal, dr::explorer::ExploreOptions{}, ctx, &summary);
+  ASSERT_TRUE(r.hasValue()) << r.status().str();
+  const auto total =
+      static_cast<dr::support::i64>(clean->simulatedCurve.points.size());
+  EXPECT_EQ(summary.pointsFailed, total);
+  EXPECT_EQ(summary.pointsRecomputed, 0);
+  for (const auto& pt : r->simulatedCurve.points) {
+    EXPECT_EQ(pt.fidelity, dr::simcore::Fidelity::Failed);
+    EXPECT_EQ(pt.writes, 0);
+    EXPECT_EQ(pt.reads, 0);
+  }
+
+  fault::disarmAll();
+  dr::explorer::ResumeSummary recovered;
+  auto again = dr::explorer::exploreSignalChecked(
+      p, signal, dr::explorer::ExploreOptions{}, ctx, &recovered);
+  ASSERT_TRUE(again.hasValue()) << again.status().str();
+  EXPECT_EQ(recovered.pointsFailed, 0);
+  EXPECT_EQ(recovered.pointsRecomputed, total);  // Failed records retried
+  ASSERT_EQ(again->simulatedCurve.points.size(),
+            clean->simulatedCurve.points.size());
+  for (std::size_t i = 0; i < again->simulatedCurve.points.size(); ++i) {
+    const auto& a = again->simulatedCurve.points[i];
+    const auto& c = clean->simulatedCurve.points[i];
+    EXPECT_EQ(a.size, c.size);
+    EXPECT_EQ(a.writes, c.writes);
+    EXPECT_EQ(a.reads, c.reads);
+    EXPECT_EQ(a.fidelity, c.fidelity);
+  }
+  std::remove(path.c_str());
+}
+
 TEST_F(FaultTest, DeterministicSchedulesReplay) {
   fault::armRandom(fault::FaultSite::DatasetWrite, /*seed=*/7, /*p=*/0.5);
   std::vector<bool> first;

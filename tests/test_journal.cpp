@@ -1,0 +1,286 @@
+// Journal durability semantics (support/journal.h): CRC-framed records,
+// commit markers sealing the durable prefix, torn-tail truncation on
+// load, resume-and-append, and the single-writer/multi-appender locking.
+// The kill-at-every-byte sweep is the core property: any prefix of a
+// journal file parses to exactly the points its last commit sealed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/journal.h"
+#include "support/parallel.h"
+
+namespace {
+
+using dr::support::i64;
+using dr::support::JournalContents;
+using dr::support::JournalHeader;
+using dr::support::JournalMeta;
+using dr::support::JournalPoint;
+using dr::support::JournalWriter;
+using dr::support::loadJournal;
+using dr::support::parseJournal;
+using dr::support::StatusCode;
+
+std::string tempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+std::string readAll(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void writeAllBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << bytes;
+}
+
+JournalPoint point(i64 size, i64 writes, i64 reads, std::uint8_t fidelity) {
+  JournalPoint p;
+  p.size = size;
+  p.writes = writes;
+  p.reads = reads;
+  p.fidelity = fidelity;
+  return p;
+}
+
+TEST(Journal, RoundTripPreservesHeaderMetaAndPoints) {
+  const std::string path = tempPath("dr_journal_roundtrip.drj");
+  JournalHeader header;
+  header.configHash = 0xFEEDFACECAFEBEEFULL;
+  header.description = "signal=Old engine=0";
+
+  auto w = JournalWriter::create(path, header);
+  ASSERT_TRUE(w.hasValue()) << w.status().str();
+  JournalMeta meta;
+  meta.Ctot = 4096;
+  meta.distinct = 1521;
+  meta.fidelity = 1;
+  meta.folded = 1;
+  meta.totalEvents = 4096;
+  meta.simulatedEvents = 512;
+  meta.period = 64;
+  meta.repeatCount = 8;
+  ASSERT_TRUE(w->appendMeta(meta).isOk());
+  std::vector<JournalPoint> pts = {point(1, 4096, 4096, 0),
+                                   point(12, 600, 4096, 0),
+                                   point(1521, 1521, 4096, 0)};
+  for (const JournalPoint& p : pts) ASSERT_TRUE(w->appendPoint(p).isOk());
+  EXPECT_EQ(w->pointsAppended(), 3);
+  ASSERT_TRUE(w->close().isOk());
+  // The temp staging file never survives a successful create.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  auto loaded = loadJournal(path);
+  ASSERT_TRUE(loaded.hasValue()) << loaded.status().str();
+  EXPECT_EQ(loaded->header, header);
+  ASSERT_TRUE(loaded->hasMeta);
+  EXPECT_EQ(loaded->meta, meta);
+  ASSERT_EQ(loaded->points.size(), 3u);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_EQ(loaded->points[i], pts[i]) << "point " << i;
+  EXPECT_EQ(loaded->droppedTailBytes, 0);
+  EXPECT_GE(loaded->commitCount, 2);  // header commit + data commits
+  std::remove(path.c_str());
+}
+
+TEST(Journal, EveryFilePrefixParsesToItsCommittedPoints) {
+  // Kill-at-every-byte: chop the journal at every possible length. Either
+  // no commit fits (parse error, a clean restart) or the parse returns
+  // exactly the points sealed by the last commit inside the prefix —
+  // never a torn record, never a point the commit marker didn't cover.
+  const std::string path = tempPath("dr_journal_prefix.drj");
+  auto w = JournalWriter::create(path, JournalHeader{42, "prefix sweep"});
+  ASSERT_TRUE(w.hasValue()) << w.status().str();
+  for (i64 i = 0; i < 5; ++i)
+    ASSERT_TRUE(w->appendPoint(point(i + 1, 10 * (i + 1), 100, 0)).isOk());
+  ASSERT_TRUE(w->close().isOk());
+  const std::string bytes = readAll(path);
+  ASSERT_GT(bytes.size(), 0u);
+
+  auto full = parseJournal(bytes);
+  ASSERT_TRUE(full.hasValue());
+  ASSERT_EQ(full->points.size(), 5u);
+  EXPECT_EQ(full->committedBytes, static_cast<i64>(bytes.size()));
+
+  std::size_t lastCount = 0;
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    auto parsed = parseJournal(bytes.substr(0, len));
+    if (!parsed.hasValue()) {
+      // Before the first commit is complete nothing is recoverable.
+      EXPECT_EQ(lastCount, 0u) << "at prefix " << len;
+      continue;
+    }
+    EXPECT_GE(parsed->points.size(), lastCount) << "at prefix " << len;
+    lastCount = parsed->points.size();
+    // Recovered points are always an exact prefix of the appended ones.
+    for (std::size_t i = 0; i < parsed->points.size(); ++i)
+      EXPECT_EQ(parsed->points[i].size, static_cast<i64>(i + 1));
+    EXPECT_EQ(parsed->droppedTailBytes,
+              static_cast<i64>(len) - parsed->committedBytes);
+  }
+  EXPECT_EQ(lastCount, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptedRecordTruncatesNeverReplays) {
+  const std::string path = tempPath("dr_journal_corrupt.drj");
+  auto w = JournalWriter::create(path, JournalHeader{7, "corrupt"});
+  ASSERT_TRUE(w.hasValue());
+  for (i64 i = 0; i < 4; ++i)
+    ASSERT_TRUE(w->appendPoint(point(i + 1, 1, 1, 0)).isOk());
+  ASSERT_TRUE(w->close().isOk());
+  std::string bytes = readAll(path);
+
+  // Flip one byte in the middle of the file: everything from the damaged
+  // record on is dropped; the committed prefix before it survives.
+  std::string damaged = bytes;
+  damaged[damaged.size() / 2] =
+      static_cast<char>(damaged[damaged.size() / 2] ^ 0x5A);
+  auto parsed = parseJournal(damaged);
+  if (parsed.hasValue()) {
+    EXPECT_LT(parsed->points.size(), 4u);
+    EXPECT_GT(parsed->droppedTailBytes, 0);
+    for (std::size_t i = 0; i < parsed->points.size(); ++i)
+      EXPECT_EQ(parsed->points[i].size, static_cast<i64>(i + 1));
+  } else {
+    EXPECT_EQ(parsed.status().code(), StatusCode::InvalidInput);
+  }
+
+  // Damage the header record itself: nothing is recoverable.
+  std::string noHeader = bytes;
+  noHeader[2] = static_cast<char>(noHeader[2] ^ 0xFF);
+  auto rejected = parseJournal(noHeader);
+  ASSERT_FALSE(rejected.hasValue());
+  EXPECT_EQ(rejected.status().code(), StatusCode::InvalidInput);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FormatVersionMismatchIsRejectedNotTruncated) {
+  const std::string path = tempPath("dr_journal_version.drj");
+  auto w = JournalWriter::create(path, JournalHeader{9, "v"});
+  ASSERT_TRUE(w.hasValue());
+  ASSERT_TRUE(w->close().isOk());
+  std::string bytes = readAll(path);
+
+  // Header record layout: type(1) len(4) | magic(4) version(4) ... The
+  // version lives at offset 9; patching it needs the record CRC redone
+  // (otherwise the parse reports corruption, not version skew).
+  ASSERT_GT(bytes.size(), 13u);
+  bytes[9] = 99;
+  const std::uint32_t len = static_cast<std::uint32_t>(
+      static_cast<unsigned char>(bytes[1]) |
+      static_cast<unsigned char>(bytes[2]) << 8 |
+      static_cast<unsigned char>(bytes[3]) << 16 |
+      static_cast<unsigned char>(bytes[4]) << 24);
+  const std::uint32_t crc = dr::support::crc32(bytes.data(), 5 + len);
+  for (int i = 0; i < 4; ++i)
+    bytes[5 + len + static_cast<std::size_t>(i)] =
+        static_cast<char>(crc >> (8 * i));
+
+  auto parsed = parseJournal(bytes);
+  ASSERT_FALSE(parsed.hasValue());
+  EXPECT_EQ(parsed.status().code(), StatusCode::InvalidInput);
+  EXPECT_NE(parsed.status().str().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ResumeTruncatesTornTailThenAppends) {
+  const std::string path = tempPath("dr_journal_resume.drj");
+  auto w = JournalWriter::create(path, JournalHeader{11, "resume"});
+  ASSERT_TRUE(w.hasValue());
+  ASSERT_TRUE(w->appendPoint(point(1, 5, 50, 0)).isOk());
+  ASSERT_TRUE(w->appendPoint(point(2, 4, 50, 0)).isOk());
+  ASSERT_TRUE(w->close().isOk());
+
+  // Crash debris past the last commit.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f << "torn tail garbage";
+  }
+  auto loaded = loadJournal(path);
+  ASSERT_TRUE(loaded.hasValue());
+  EXPECT_EQ(loaded->points.size(), 2u);
+  EXPECT_GT(loaded->droppedTailBytes, 0);
+
+  auto resumed = JournalWriter::resumeAt(path, *loaded);
+  ASSERT_TRUE(resumed.hasValue()) << resumed.status().str();
+  EXPECT_EQ(resumed->pointsAppended(), 2);
+  ASSERT_TRUE(resumed->appendPoint(point(3, 3, 50, 0)).isOk());
+  ASSERT_TRUE(resumed->close().isOk());
+
+  auto reloaded = loadJournal(path);
+  ASSERT_TRUE(reloaded.hasValue());
+  ASSERT_EQ(reloaded->points.size(), 3u);
+  EXPECT_EQ(reloaded->points[2].size, 3);
+  EXPECT_EQ(reloaded->droppedTailBytes, 0);  // the tail is physically gone
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CreateReplacesOldJournalAtomically) {
+  const std::string path = tempPath("dr_journal_replace.drj");
+  {
+    auto w = JournalWriter::create(path, JournalHeader{1, "old"});
+    ASSERT_TRUE(w.hasValue());
+    ASSERT_TRUE(w->appendPoint(point(1, 1, 1, 0)).isOk());
+    ASSERT_TRUE(w->close().isOk());
+  }
+  auto w = JournalWriter::create(path, JournalHeader{2, "new"});
+  ASSERT_TRUE(w.hasValue());
+  ASSERT_TRUE(w->close().isOk());
+  auto loaded = loadJournal(path);
+  ASSERT_TRUE(loaded.hasValue());
+  EXPECT_EQ(loaded->header.configHash, 2u);
+  EXPECT_TRUE(loaded->points.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ConcurrentAppendsKeepTheRecordStreamClean) {
+  // One shared writer, many appending tasks — the explorer's per-point
+  // emission. Every record must land whole and every point exactly once.
+  const std::string path = tempPath("dr_journal_concurrent.drj");
+  constexpr i64 kPoints = 96;
+  auto w = JournalWriter::create(path, JournalHeader{3, "concurrent"},
+                                 /*commitEveryPoints=*/7);
+  ASSERT_TRUE(w.hasValue());
+  dr::support::parallelFor(kPoints, [&](i64 i) {
+    ASSERT_TRUE(w->appendPoint(point(i, i + 1, kPoints, 0)).isOk());
+  });
+  ASSERT_TRUE(w->close().isOk());
+
+  auto loaded = loadJournal(path);
+  ASSERT_TRUE(loaded.hasValue()) << loaded.status().str();
+  ASSERT_EQ(loaded->points.size(), static_cast<std::size_t>(kPoints));
+  std::vector<bool> seen(static_cast<std::size_t>(kPoints), false);
+  for (const JournalPoint& p : loaded->points) {
+    ASSERT_GE(p.size, 0);
+    ASSERT_LT(p.size, kPoints);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p.size)]);
+    seen[static_cast<std::size_t>(p.size)] = true;
+    EXPECT_EQ(p.writes, p.size + 1);
+  }
+  EXPECT_EQ(loaded->droppedTailBytes, 0);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ArbitraryBytesNeverCrashTheParser) {
+  EXPECT_FALSE(parseJournal("").hasValue());
+  EXPECT_FALSE(parseJournal("not a journal at all").hasValue());
+  std::string zeros(4096, '\0');
+  EXPECT_FALSE(parseJournal(zeros).hasValue());
+  EXPECT_FALSE(loadJournal(::testing::TempDir() + "dr_journal_missing.drj")
+                   .hasValue());
+}
+
+}  // namespace

@@ -1,0 +1,299 @@
+// Client for the exploration daemon (datareuse_serve): sends framed
+// requests over its Unix domain socket and prints / saves the replies.
+//
+//   $ ./examples/datareuse_query --socket /tmp/datareuse.sock
+//                                --kernel path/to/kernel.krn
+//                                [--signal NAME] [--deadline-ms N]
+//                                [--count N] [--no-cache] [--out PATH]
+//                                [--bench-out PATH]
+//   $ ./examples/datareuse_query --socket ... --stats
+//   $ ./examples/datareuse_query --socket ... --shutdown
+//   $ ./examples/datareuse_query --kernel k.krn --dump-request PATH
+//
+// --count N fires N *concurrent identical* queries on N connections —
+// the single-flight smoke test: the daemon answers all N with exactly
+// one simulation. --no-cache asks the daemon to bypass its result cache
+// (the cold-run lever of the CI benchmark). --out writes the reply's
+// curve CSV (byte-identical to explore_kernel --curve-out for the same
+// kernel and options). --bench-out appends a small JSON benchmark record
+// (per-query latency stats) for the CI artifact. --dump-request writes
+// the encoded request *frame* to a file without connecting — the fuzz
+// corpus seeder for fuzz_protocol.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "support/cli.h"
+#include "support/dataset.h"
+
+namespace {
+
+namespace proto = dr::service::proto;
+using dr::support::Expected;
+using dr::support::Status;
+using dr::support::StatusCode;
+using dr::support::i64;
+
+Expected<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Status::error(StatusCode::IoError, "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// One request/reply exchange on a fresh connection.
+Expected<proto::Reply> roundTrip(const std::string& socketPath,
+                                 proto::Verb verb,
+                                 const std::string& payload) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof(addr.sun_path))
+    return Status::error(StatusCode::InvalidInput,
+                         "socket path too long: " + socketPath);
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::error(StatusCode::IoError,
+                         std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status st = Status::error(StatusCode::IoError,
+                              "connect " + socketPath + ": " +
+                                  std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const std::string frame = proto::encodeFrame(verb, payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::error(StatusCode::IoError,
+                                std::string("send: ") + std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    proto::FrameParse parse = proto::tryParseFrame(buffer);
+    if (parse.result == proto::ParseResult::Corrupt) {
+      ::close(fd);
+      return parse.status;
+    }
+    if (parse.result == proto::ParseResult::Ok) {
+      ::close(fd);
+      if (parse.frame.verb != proto::Verb::Reply)
+        return Status::error(StatusCode::InvalidInput,
+                             "server sent a non-Reply frame");
+      return proto::decodeReply(parse.frame.payload);
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    ::close(fd);
+    return Status::error(StatusCode::IoError,
+                         "connection closed before a full reply");
+  }
+}
+
+int runQuery(int argc, char** argv) {
+  auto parsed = dr::support::CliOptions::parse(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.status().str().c_str());
+    return 1;
+  }
+  const dr::support::CliOptions& cli = *parsed;
+  const std::string socketPath = cli.getString("socket", "");
+  const std::string kernelPath = cli.getString("kernel", "");
+  const std::string signalName = cli.getString("signal", "");
+  const i64 deadlineMs = cli.getInt("deadline-ms", 0);
+  const i64 count = cli.getInt("count", 1);
+  const bool noCache = cli.getBool("no-cache", false);
+  const std::string outPath = cli.getString("out", "");
+  const std::string benchOut = cli.getString("bench-out", "");
+  const std::string dumpRequest = cli.getString("dump-request", "");
+  const bool stats = cli.getBool("stats", false);
+  const bool shutdown = cli.getBool("shutdown", false);
+  for (const auto& name : cli.unusedNames())
+    std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
+
+  if (stats || shutdown) {
+    if (socketPath.empty()) {
+      std::fprintf(stderr, "error: --socket PATH is required\n");
+      return 1;
+    }
+    auto reply = roundTrip(
+        socketPath, stats ? proto::Verb::Stats : proto::Verb::Shutdown, "");
+    if (!reply.hasValue()) {
+      std::fprintf(stderr, "%s\n", reply.status().str().c_str());
+      return 1;
+    }
+    if (reply->code != StatusCode::Ok) {
+      std::fprintf(stderr, "error: %s\n", reply->message.c_str());
+      return 1;
+    }
+    if (stats) std::printf("%s", reply->body.c_str());
+    if (shutdown) std::printf("shutdown acknowledged\n");
+    return 0;
+  }
+
+  if (kernelPath.empty()) {
+    std::fprintf(stderr, "error: --kernel PATH is required\n");
+    return 1;
+  }
+  auto kernel = readFile(kernelPath);
+  if (!kernel.hasValue()) {
+    std::fprintf(stderr, "%s\n", kernel.status().str().c_str());
+    return 1;
+  }
+  proto::ExploreRequest req;
+  req.kernel = *kernel;
+  req.signal = signalName;
+  req.deadlineMs = deadlineMs;
+  if (noCache) req.flags |= proto::kFlagNoCache;
+  const std::string payload = proto::encodeExploreRequest(req);
+
+  if (!dumpRequest.empty()) {
+    // Fuzz corpus seed: the framed request, exactly as it crosses the
+    // socket. No server needed.
+    auto st = dr::support::DataSet::writeFileStatus(
+        dumpRequest, proto::encodeFrame(proto::Verb::Explore, payload));
+    if (!st.isOk()) {
+      std::fprintf(stderr, "%s\n", st.str().c_str());
+      return 1;
+    }
+    std::printf("wrote request frame to %s\n", dumpRequest.c_str());
+    return 0;
+  }
+  if (socketPath.empty()) {
+    std::fprintf(stderr, "error: --socket PATH is required\n");
+    return 1;
+  }
+  if (count < 1) {
+    std::fprintf(stderr, "error: --count must be >= 1\n");
+    return 1;
+  }
+
+  // --count N: N concurrent identical queries, each on its own
+  // connection, all fired together — the single-flight burst.
+  struct Slot {
+    Expected<proto::Reply> reply = Status::error(StatusCode::Internal, "unset");
+    i64 latencyUs = 0;
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(count));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(slots.size());
+    for (auto& slot : slots)
+      threads.emplace_back([&, s = &slot] {
+        const auto t0 = std::chrono::steady_clock::now();
+        s->reply = roundTrip(socketPath, proto::Verb::Explore, payload);
+        s->latencyUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      });
+    for (auto& t : threads) t.join();
+  }
+
+  int failures = 0;
+  i64 cachedReplies = 0, totalUs = 0, minUs = 0, maxUs = 0;
+  proto::ExploreResult first;
+  bool haveFirst = false;
+  for (const Slot& slot : slots) {
+    if (!slot.reply.hasValue()) {
+      std::fprintf(stderr, "%s\n", slot.reply.status().str().c_str());
+      ++failures;
+      continue;
+    }
+    if (slot.reply->code != StatusCode::Ok) {
+      std::fprintf(stderr, "error: %s\n", slot.reply->message.c_str());
+      ++failures;
+      continue;
+    }
+    auto result = proto::decodeExploreResult(slot.reply->body);
+    if (!result.hasValue()) {
+      std::fprintf(stderr, "%s\n", result.status().str().c_str());
+      ++failures;
+      continue;
+    }
+    if (result->cached) ++cachedReplies;
+    totalUs += slot.latencyUs;
+    minUs = minUs == 0 ? slot.latencyUs : std::min(minUs, slot.latencyUs);
+    maxUs = std::max(maxUs, slot.latencyUs);
+    if (!haveFirst) {
+      first = std::move(*result);
+      haveFirst = true;
+    }
+  }
+  if (!haveFirst) return 1;
+
+  const i64 ok = count - failures;
+  std::printf("%lld/%lld replies ok, %lld served from cache; "
+              "signal C_tot %lld, distinct %lld; "
+              "latency us min %lld mean %lld max %lld\n",
+              static_cast<long long>(ok), static_cast<long long>(count),
+              static_cast<long long>(cachedReplies),
+              static_cast<long long>(first.Ctot),
+              static_cast<long long>(first.distinctElements),
+              static_cast<long long>(minUs),
+              static_cast<long long>(ok > 0 ? totalUs / ok : 0),
+              static_cast<long long>(maxUs));
+
+  if (!outPath.empty()) {
+    auto st = dr::support::DataSet::writeFileStatus(outPath, first.csv);
+    if (!st.isOk()) {
+      std::fprintf(stderr, "%s\n", st.str().c_str());
+      return 1;
+    }
+  }
+  if (!benchOut.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"name\": \"datareuse_query\",\n"
+         << "  \"count\": " << count << ",\n"
+         << "  \"ok\": " << ok << ",\n"
+         << "  \"cached_replies\": " << cachedReplies << ",\n"
+         << "  \"latency_us\": {\"min\": " << minUs
+         << ", \"mean\": " << (ok > 0 ? totalUs / ok : 0)
+         << ", \"max\": " << maxUs << "},\n"
+         << "  \"throughput_qps\": "
+         << (maxUs > 0 ? 1e6 * static_cast<double>(ok) /
+                             static_cast<double>(maxUs)
+                       : 0.0)
+         << "\n}\n";
+    auto st = dr::support::DataSet::writeFileStatus(benchOut, json.str());
+    if (!st.isOk()) {
+      std::fprintf(stderr, "%s\n", st.str().c_str());
+      return 1;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dr::support::guardedMain([&] { return runQuery(argc, argv); });
+}

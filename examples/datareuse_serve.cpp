@@ -1,0 +1,77 @@
+// Exploration daemon — serves the library's full exploration flow over a
+// Unix domain socket with a content-addressed result cache, single-flight
+// deduplication of concurrent identical queries, and live metrics
+// (docs/SERVICE.md has the protocol spec).
+//
+//   $ ./examples/datareuse_serve --socket /tmp/datareuse.sock
+//                                [--cache-dir DIR] [--cache-bytes N]
+//                                [--workers N] [--deadline-ms N]
+//
+// --cache-dir enables the persistent warm layer: one run-journal file per
+// config hash, shared with `explore_kernel --cache-dir`, so a curve
+// computed by either door answers the other's next query with zero
+// simulation. --deadline-ms is the default per-request budget (a query
+// may carry its own); an expired deadline degrades the reply down the
+// fidelity ladder instead of failing it. The process exits when a client
+// sends the Shutdown verb (datareuse_query --shutdown), after a graceful
+// drain.
+
+#include <cstdio>
+
+#include "service/server.h"
+#include "support/cli.h"
+
+namespace {
+
+int runServe(int argc, char** argv) {
+  auto parsed = dr::support::CliOptions::parse(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.status().str().c_str());
+    return 1;
+  }
+  const dr::support::CliOptions& cli = *parsed;
+  dr::service::ServerOptions opts;
+  opts.socketPath = cli.getString("socket", "");
+  opts.workers = static_cast<int>(cli.getInt("workers", 4));
+  opts.defaultDeadlineMs = cli.getInt("deadline-ms", 0);
+  opts.cache.warmDir = cli.getString("cache-dir", "");
+  dr::support::i64 cacheBytes = cli.getInt("cache-bytes", 0);
+  if (cacheBytes > 0) opts.cache.maxBytes = cacheBytes;
+  for (const auto& name : cli.unusedNames())
+    std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
+  if (opts.socketPath.empty()) {
+    std::fprintf(stderr, "error: --socket PATH is required\n");
+    return 1;
+  }
+  if (opts.workers <= 0) {
+    std::fprintf(stderr, "error: --workers must be positive\n");
+    return 1;
+  }
+
+  dr::service::Server server(opts);
+  auto st = server.start();
+  if (!st.isOk()) {
+    std::fprintf(stderr, "%s\n", st.str().c_str());
+    return 1;
+  }
+  std::printf("datareuse_serve: listening on %s (%d workers%s%s)\n",
+              opts.socketPath.c_str(), opts.workers,
+              opts.cache.warmDir.empty() ? "" : ", warm cache ",
+              opts.cache.warmDir.c_str());
+  std::fflush(stdout);
+  server.wait();  // returns after a client-requested shutdown drains
+
+  auto snapshot = server.metricsSnapshot();
+  std::printf("datareuse_serve: drained after %lld request(s), "
+              "%lld simulation(s), %lld cache hit(s)\n",
+              static_cast<long long>(snapshot.requests),
+              static_cast<long long>(snapshot.simulations),
+              static_cast<long long>(snapshot.cacheHits + snapshot.warmHits));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dr::support::guardedMain([&] { return runServe(argc, argv); });
+}

@@ -7,6 +7,7 @@
 //                               [--signal NAME] [--no-sim] [--emit-code]
 //                               [--report] [--orderings BUDGET]
 //                               [--journal PATH] [--no-resume]
+//                               [--cache-dir DIR]
 //                               [--deadline-ms N] [--curve-out PATH]
 //
 // Without --kernel it runs on a built-in 2-D convolution example. The
@@ -14,8 +15,13 @@
 // --journal makes the sweep crash-safe: completed exact curve points are
 // persisted (CRC-checksummed, fsync'd) and a rerun with the same flags
 // resumes from them instead of recomputing; --no-resume forces a fresh
-// journal. --deadline-ms bounds the run with a RunBudget (degrading, not
-// failing, on expiry) and --curve-out writes the simulated curve as CSV.
+// journal. --cache-dir DIR is the content-addressed flavour of the same
+// mechanism: the journal lands at DIR/<config-hash>.journal — the exact
+// warm-cache files the exploration daemon (datareuse_serve) reads and
+// writes — so reruns and daemon queries with the same kernel + options
+// reuse each other's results. --deadline-ms bounds the run with a
+// RunBudget (degrading, not failing, on expiry) and --curve-out writes
+// the simulated curve as CSV.
 
 #include <chrono>
 #include <cstdio>
@@ -28,6 +34,7 @@
 #include "kernels/conv2d.h"
 #include "loopir/printer.h"
 #include "report/report.h"
+#include "service/cache.h"
 #include "support/budget.h"
 #include "support/cli.h"
 #include "support/dataset.h"
@@ -37,6 +44,7 @@ namespace {
 
 struct JournalCli {
   std::string path;       ///< empty = unjournaled run
+  std::string cacheDir;   ///< --cache-dir: journal at DIR/<hash>.journal
   bool resume = true;     ///< false with --no-resume
   std::string curveOut;   ///< --curve-out CSV path (empty = none)
 };
@@ -46,8 +54,19 @@ struct JournalCli {
 /// (already printed to stderr).
 bool exploreForSignal(const dr::loopir::Program& p, int signal,
                       const dr::explorer::ExploreOptions& opts,
-                      const JournalCli& journal,
+                      const JournalCli& journalIn,
                       dr::explorer::SignalExploration& out) {
+  JournalCli journal = journalIn;
+  if (journal.path.empty() && !journal.cacheDir.empty()) {
+    // Content-addressed journal: the daemon's warm-cache file for this
+    // exact request, so CLI runs and daemon queries share one warm layer.
+    if (auto st = dr::service::ensureWarmDir(journal.cacheDir); !st.isOk()) {
+      std::fprintf(stderr, "%s\n", st.str().c_str());
+      return false;
+    }
+    journal.path = dr::service::warmJournalPath(
+        journal.cacheDir, dr::explorer::exploreConfigHash(p, signal, opts));
+  }
   if (journal.path.empty()) {
     auto ex = dr::explorer::exploreSignalChecked(p, signal, opts);
     if (!ex.hasValue()) {
@@ -87,12 +106,8 @@ bool exploreForSignal(const dr::loopir::Program& p, int signal,
 /// and a clean one.
 bool writeCurveCsv(const dr::explorer::SignalExploration& ex,
                    const std::string& path) {
-  dr::support::DataSet ds("reuse curve: " + ex.signalName,
-                          {"size", "writes", "reads", "reuse_factor"});
-  for (const auto& pt : ex.simulatedCurve.points)
-    ds.addRow({static_cast<double>(pt.size), static_cast<double>(pt.writes),
-               static_cast<double>(pt.reads), pt.reuseFactor});
-  auto st = dr::support::DataSet::writeFileStatus(path, ds.toCsv());
+  auto st = dr::support::DataSet::writeFileStatus(
+      path, dr::report::curveCsv(ex.signalName, ex.simulatedCurve));
   if (!st.isOk()) {
     std::fprintf(stderr, "%s\n", st.str().c_str());
     return false;
@@ -200,6 +215,7 @@ int runExploreKernel(int argc, char** argv) {
   long long orderingsBudget = cli.getInt("orderings", 0);
   JournalCli journal;
   journal.path = cli.getString("journal", "");
+  journal.cacheDir = cli.getString("cache-dir", "");
   journal.resume = !cli.getBool("no-resume", false);
   journal.curveOut = cli.getString("curve-out", "");
   long long deadlineMs = cli.getInt("deadline-ms", 0);

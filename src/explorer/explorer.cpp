@@ -14,6 +14,7 @@
 #include "simcore/opt_stack.h"
 #include "support/contracts.h"
 #include "support/fault.h"
+#include "support/hash.h"
 #include "support/journal.h"
 #include "support/parallel.h"
 #include "support/strings.h"
@@ -119,12 +120,7 @@ std::uint64_t journalConfigHash(const Program& pn, int signal,
   for (i64 s : opts.extraSizes) blob += " x" + std::to_string(s);
   blob += " fmt=" + std::to_string(support::kJournalFormatVersion);
   blob += " code=" + std::to_string(kJournalCodeVersion);
-  std::uint64_t h = 1469598103934665603ULL;
-  for (unsigned char c : blob) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
+  return support::fnv1a(blob);
 }
 
 /// The journaled-run state threaded through exploreSignalImpl: the shared
@@ -728,6 +724,11 @@ SignalExploration exploreSignal(const Program& p, int signal,
   return exploreSignalImpl(p, signal, opts, nullptr);
 }
 
+std::uint64_t exploreConfigHash(const Program& p, int signal,
+                                const ExploreOptions& opts) {
+  return journalConfigHash(loopir::normalized(p), signal, opts);
+}
+
 support::Expected<SignalExploration> exploreSignalChecked(
     const Program& p, int signal, const ExploreOptions& opts) {
   if (support::Status st = validateSignalRequest(p, signal); !st.isOk())
@@ -761,7 +762,7 @@ support::Expected<SignalExploration> exploreSignalChecked(
                                   ">= 1");
 
   support::JournalHeader header;
-  header.configHash = journalConfigHash(loopir::normalized(p), signal, opts);
+  header.configHash = exploreConfigHash(p, signal, opts);
   header.description =
       "signal=" + p.signals[static_cast<std::size_t>(signal)].name +
       " engine=" + std::to_string(static_cast<int>(opts.engine));

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,17 @@ struct SignalExploration {
 
 /// Run the full flow for every read access to `signal`.
 SignalExploration exploreSignal(const loopir::Program& p, int signal,
+                                const ExploreOptions& opts = {});
+
+/// FNV-1a 64 content address of one exploration request: hashes the
+/// *normalized* kernel, the signal, the engine/size-grid configuration,
+/// and the journal format/code versions — everything that determines the
+/// resulting curve, and nothing that doesn't (budgets are excluded, so a
+/// budgeted run may reuse an unbudgeted result). This is the key of the
+/// PR 4 journal header, of the service result cache (src/service/), and
+/// of explore_kernel's --cache-dir warm files: equal hashes mean the
+/// cached curve answers the request byte-identically.
+std::uint64_t exploreConfigHash(const loopir::Program& p, int signal,
                                 const ExploreOptions& opts = {});
 
 /// Non-throwing facade over exploreSignal for user-input-driven callers

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "report/ascii_plot.h"
+#include "support/dataset.h"
 #include "support/strings.h"
 
 namespace dr::report {
@@ -131,6 +132,62 @@ std::string signalReport(const loopir::Program& program,
     }
   }
   return s;
+}
+
+std::string curveCsv(const std::string& signalName,
+                     const simcore::ReuseCurve& curve) {
+  dr::support::DataSet ds("reuse curve: " + signalName,
+                          {"size", "writes", "reads", "reuse_factor"});
+  for (const auto& pt : curve.points)
+    ds.addRow({static_cast<double>(pt.size), static_cast<double>(pt.writes),
+               static_cast<double>(pt.reads), pt.reuseFactor});
+  return ds.toCsv();
+}
+
+std::string metricsReport(const service::MetricsSnapshot& s) {
+  std::string out = "# Exploration service metrics\n\n";
+  out += "| counter | value |\n|---|---|\n";
+  const auto row = [&out](const char* name, i64 v) {
+    out += std::string("| ") + name + " | " + num(v) + " |\n";
+  };
+  row("connections accepted", s.connectionsAccepted);
+  row("connections dropped", s.connectionsDropped);
+  row("requests", s.requests);
+  row("explore requests", s.exploreRequests);
+  row("stats requests", s.statsRequests);
+  row("shutdown requests", s.shutdownRequests);
+  row("protocol errors", s.protocolErrors);
+  row("explore errors", s.exploreErrors);
+  row("degraded replies", s.degradedReplies);
+  row("in-flight joins", s.inflightJoins);
+  row("simulations", s.simulations);
+  out += "\n## Result cache\n\n";
+  out += "| counter | value |\n|---|---|\n";
+  row("hits (memory)", s.cacheHits);
+  row("hits (warm journal)", s.warmHits);
+  row("misses", s.cacheMisses);
+  row("evictions", s.cacheEvictions);
+  row("entries", s.cacheEntries);
+  row("bytes", s.cacheBytes);
+  row("byte budget", s.cacheMaxBytes);
+  const i64 lookups = s.cacheHits + s.warmHits + s.cacheMisses;
+  if (lookups > 0)
+    out += "\nhit rate: " +
+           fmtDouble(static_cast<double>(s.cacheHits + s.warmHits) /
+                         static_cast<double>(lookups),
+                     3) +
+           " over " + num(lookups) + " lookups\n";
+  const service::LatencySummary& lat = s.exploreLatency;
+  if (lat.count > 0) {
+    out += "\n## Explore latency (end to end)\n\n";
+    out += "| stat | value |\n|---|---|\n";
+    row("count", lat.count);
+    row("p50 (us, bucket bound)", lat.p50Us);
+    row("p95 (us, bucket bound)", lat.p95Us);
+    row("max (us)", lat.maxUs);
+    row("mean (us)", lat.totalUs / lat.count);
+  }
+  return out;
 }
 
 }  // namespace dr::report

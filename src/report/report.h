@@ -3,6 +3,7 @@
 #include <string>
 
 #include "explorer/explorer.h"
+#include "service/metrics.h"
 
 /// \file report.h
 /// Human-readable exploration reports: everything the paper's prototype
@@ -23,5 +24,18 @@ struct ReportOptions {
 std::string signalReport(const loopir::Program& program,
                          const explorer::SignalExploration& exploration,
                          const ReportOptions& options = {});
+
+/// The canonical CSV rendering of a simulated reuse curve — one format
+/// shared by explore_kernel's --curve-out, the service's explore replies,
+/// and the warm-cache rehydration path, so "the same config hash" always
+/// means "byte-identical CSV" no matter which door served it.
+std::string curveCsv(const std::string& signalName,
+                     const simcore::ReuseCurve& curve);
+
+/// Markdown rendering of a service metrics snapshot (service/metrics.h):
+/// counter table plus the latency percentiles, the human view of the
+/// daemon's `stats` verb. MetricsSnapshot is plain data, so report/ needs
+/// no link dependency on the service layer (which links report/ itself).
+std::string metricsReport(const service::MetricsSnapshot& snapshot);
 
 }  // namespace dr::report

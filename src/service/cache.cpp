@@ -1,0 +1,165 @@
+#include "service/cache.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "report/report.h"
+#include "simcore/reuse_curve.h"
+#include "support/contracts.h"
+
+namespace dr::service {
+
+namespace {
+
+bool fidelityIsExact(std::uint8_t f) {
+  return f == static_cast<std::uint8_t>(simcore::Fidelity::ExactStream) ||
+         f == static_cast<std::uint8_t>(simcore::Fidelity::ExactFold);
+}
+
+/// A curve is cacheable only when every point carries an exact rung: a
+/// degraded or partially-failed sweep answers this request but must not
+/// answer the next one.
+bool curveIsExact(const explorer::SignalExploration& ex) {
+  if (!fidelityIsExact(static_cast<std::uint8_t>(ex.curveFidelity)))
+    return false;
+  for (const simcore::ReusePoint& pt : ex.simulatedCurve.points)
+    if (!fidelityIsExact(static_cast<std::uint8_t>(pt.fidelity)))
+      return false;
+  return true;
+}
+
+}  // namespace
+
+std::string warmJournalPath(const std::string& dir, std::uint64_t hash) {
+  static const char* kHex = "0123456789abcdef";
+  std::string name(16, '0');
+  for (int i = 15; i >= 0; --i, hash >>= 4)
+    name[static_cast<std::size_t>(i)] = kHex[hash & 0xF];
+  return dir + "/" + name + ".journal";
+}
+
+support::Status ensureWarmDir(const std::string& dir) {
+  if (dir.empty()) return support::Status::ok();
+  if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST)
+    return support::Status::ok();
+  return support::Status::error(
+      support::StatusCode::IoError,
+      "mkdir " + dir + ": " + std::strerror(errno));
+}
+
+ResultCache::ResultCache(Options opts) : opts_(std::move(opts)) {
+  DR_REQUIRE(opts_.maxBytes > 0);
+  // Best-effort: a failure here surfaces later as a proper IoError from
+  // the journal writer, with the path in the message.
+  (void)ensureWarmDir(opts_.warmDir);
+}
+
+std::optional<CachedCurve> ResultCache::get(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(hash);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return *it->second;
+}
+
+void ResultCache::put(CachedCurve entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  putLocked(std::move(entry));
+}
+
+void ResultCache::putLocked(CachedCurve entry) {
+  const i64 cost = entry.bytes();
+  if (cost > opts_.maxBytes) return;  // would evict everything for one key
+  auto it = index_.find(entry.configHash);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  while (bytes_ + cost > opts_.maxBytes && !lru_.empty()) {
+    bytes_ -= lru_.back().bytes();
+    index_.erase(lru_.back().configHash);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().configHash] = lru_.begin();
+  bytes_ += cost;
+}
+
+std::string ResultCache::warmPath(std::uint64_t hash) const {
+  if (opts_.warmDir.empty()) return {};
+  return warmJournalPath(opts_.warmDir, hash);
+}
+
+support::Expected<CachedCurve> ResultCache::getOrCompute(
+    std::uint64_t hash, const loopir::Program& program, int signal,
+    const explorer::ExploreOptions& opts, i64* simulatedPoints) {
+  if (simulatedPoints) *simulatedPoints = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(hash);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return *it->second;
+    }
+  }
+
+  // Miss: compute through the journaled resume path when a warm layer
+  // exists (a complete journal reconstructs with zero simulation and the
+  // file doubles as the persistence write), plain otherwise.
+  explorer::ResumeSummary summary;
+  support::Expected<explorer::SignalExploration> ex = [&] {
+    if (opts_.warmDir.empty())
+      return explorer::exploreSignalChecked(program, signal, opts);
+    explorer::ResumeContext ctx;
+    ctx.journalPath = warmPath(hash);
+    return explorer::exploreSignalChecked(program, signal, opts, ctx,
+                                          &summary);
+  }();
+  if (!ex.hasValue()) return ex.status();
+
+  const bool warm = !opts_.warmDir.empty() && summary.journalLoaded &&
+                    !summary.restarted && summary.pointsRecomputed == 0 &&
+                    summary.pointsFailed == 0;
+  const i64 recomputed =
+      opts_.warmDir.empty()
+          ? static_cast<i64>(ex->simulatedCurve.points.size())
+          : summary.pointsRecomputed;
+  if (simulatedPoints) *simulatedPoints = recomputed;
+
+  CachedCurve entry;
+  entry.configHash = hash;
+  entry.signalName = ex->signalName;
+  entry.Ctot = ex->Ctot;
+  entry.distinctElements = ex->distinctElements;
+  entry.fidelity = static_cast<std::uint8_t>(ex->curveFidelity);
+  entry.csv = report::curveCsv(ex->signalName, ex->simulatedCurve);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (warm)
+    ++warmHits_;
+  else
+    ++misses_;
+  if (curveIsExact(*ex)) putLocked(entry);
+  return entry;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s;
+  s.entries = static_cast<i64>(lru_.size());
+  s.bytes = bytes_;
+  s.maxBytes = opts_.maxBytes;
+  s.hits = hits_;
+  s.warmHits = warmHits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  return s;
+}
+
+}  // namespace dr::service

@@ -1,0 +1,104 @@
+#include "service/metrics.h"
+
+#include <bit>
+
+namespace dr::service {
+
+void Metrics::recordExploreLatencyUs(i64 us) {
+  if (us < 0) us = 0;
+  // Bucket i collects us with bit_width(us) == i, i.e. [2^(i-1), 2^i).
+  int bucket = std::bit_width(static_cast<std::uint64_t>(us));
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  latencyBuckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  latencyCount_.fetch_add(1, std::memory_order_relaxed);
+  latencyTotalUs_.fetch_add(us, std::memory_order_relaxed);
+  i64 prev = latencyMaxUs_.load(std::memory_order_relaxed);
+  while (prev < us && !latencyMaxUs_.compare_exchange_weak(
+                          prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  const auto get = [](const std::atomic<i64>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  s.connectionsAccepted = get(connectionsAccepted_);
+  s.connectionsDropped = get(connectionsDropped_);
+  s.requests = get(requests_);
+  s.exploreRequests = get(exploreRequests_);
+  s.statsRequests = get(statsRequests_);
+  s.shutdownRequests = get(shutdownRequests_);
+  s.protocolErrors = get(protocolErrors_);
+  s.exploreErrors = get(exploreErrors_);
+  s.degradedReplies = get(degradedReplies_);
+  s.inflightJoins = get(inflightJoins_);
+  s.simulations = get(simulations_);
+
+  LatencySummary& lat = s.exploreLatency;
+  lat.count = get(latencyCount_);
+  lat.totalUs = get(latencyTotalUs_);
+  lat.maxUs = get(latencyMaxUs_);
+  if (lat.count > 0) {
+    // Percentile = upper bound of the bucket holding that rank. Snapshot
+    // under concurrent updates is a consistent-enough approximation: each
+    // bucket is read once, monotone counters only grow.
+    std::array<i64, kBuckets> buckets;
+    i64 total = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets[static_cast<std::size_t>(i)] =
+          latencyBuckets_[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+      total += buckets[static_cast<std::size_t>(i)];
+    }
+    const auto percentile = [&](double q) -> i64 {
+      const i64 rank = static_cast<i64>(q * static_cast<double>(total - 1));
+      i64 seen = 0;
+      for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets[static_cast<std::size_t>(i)];
+        if (seen > rank) return i == 0 ? 0 : (i64{1} << i) - 1;
+      }
+      return lat.maxUs;
+    };
+    lat.p50Us = std::min(percentile(0.50), lat.maxUs);
+    lat.p95Us = std::min(percentile(0.95), lat.maxUs);
+  }
+  return s;
+}
+
+std::string Metrics::render(const MetricsSnapshot& s) {
+  std::string out;
+  const auto line = [&out](const char* name, i64 v) {
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  line("connections_accepted", s.connectionsAccepted);
+  line("connections_dropped", s.connectionsDropped);
+  line("requests", s.requests);
+  line("explore_requests", s.exploreRequests);
+  line("stats_requests", s.statsRequests);
+  line("shutdown_requests", s.shutdownRequests);
+  line("protocol_errors", s.protocolErrors);
+  line("explore_errors", s.exploreErrors);
+  line("degraded_replies", s.degradedReplies);
+  line("cache_hits", s.cacheHits);
+  line("cache_warm_hits", s.warmHits);
+  line("cache_misses", s.cacheMisses);
+  line("cache_evictions", s.cacheEvictions);
+  line("cache_entries", s.cacheEntries);
+  line("cache_bytes", s.cacheBytes);
+  line("cache_max_bytes", s.cacheMaxBytes);
+  line("inflight_joins", s.inflightJoins);
+  line("simulations", s.simulations);
+  line("explore_latency_count", s.exploreLatency.count);
+  line("explore_latency_p50_us", s.exploreLatency.p50Us);
+  line("explore_latency_p95_us", s.exploreLatency.p95Us);
+  line("explore_latency_max_us", s.exploreLatency.maxUs);
+  line("explore_latency_total_us", s.exploreLatency.totalUs);
+  return out;
+}
+
+}  // namespace dr::service

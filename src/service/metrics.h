@@ -1,0 +1,112 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/intmath.h"
+
+/// \file metrics.h
+/// Lock-cheap live counters and latency histograms for the exploration
+/// service. Every mutation is a relaxed atomic op (no mutex anywhere on
+/// the request path); snapshot() copies the counters into a plain struct
+/// that the `stats` verb ships to clients and report/ renders as
+/// markdown. Latencies go into power-of-two microsecond buckets, so
+/// p50/p95 are bucket upper bounds — honest to within 2x, which is all a
+/// live dashboard needs.
+
+namespace dr::service {
+
+using dr::support::i64;
+
+/// Percentile summary of one latency histogram.
+struct LatencySummary {
+  i64 count = 0;
+  i64 p50Us = 0;   ///< bucket upper bound containing the median
+  i64 p95Us = 0;   ///< bucket upper bound containing the 95th percentile
+  i64 maxUs = 0;   ///< exact maximum observed
+  i64 totalUs = 0; ///< exact sum (throughput math)
+};
+
+/// Plain-data copy of every counter: what `stats` serializes. Deliberately
+/// free of service types so report/ can format it without linking the
+/// service library back into itself.
+struct MetricsSnapshot {
+  i64 connectionsAccepted = 0;
+  i64 connectionsDropped = 0;  ///< read/write failures, mid-query resets
+  i64 requests = 0;
+  i64 exploreRequests = 0;
+  i64 statsRequests = 0;
+  i64 shutdownRequests = 0;
+  i64 protocolErrors = 0;  ///< corrupt/oversized/bad-checksum frames
+  i64 exploreErrors = 0;   ///< explore requests answered with an error
+  i64 degradedReplies = 0; ///< served below the exact fidelity rungs
+
+  i64 cacheHits = 0;    ///< memory-layer hits
+  i64 warmHits = 0;     ///< rehydrated from a --cache-dir journal
+  i64 cacheMisses = 0;  ///< required a fresh computation
+  i64 cacheEvictions = 0;
+  i64 cacheEntries = 0;
+  i64 cacheBytes = 0;
+  i64 cacheMaxBytes = 0;
+
+  i64 inflightJoins = 0;  ///< waiters that shared a leader's computation
+  i64 simulations = 0;    ///< leader computations that ran curve points
+
+  LatencySummary exploreLatency;  ///< per explore request, end to end
+};
+
+/// The live counters. One instance per server; shared by every worker.
+class Metrics {
+ public:
+  // Request-path mutations: all relaxed atomics.
+  void countConnection() { add(connectionsAccepted_); }
+  void countConnectionDropped() { add(connectionsDropped_); }
+  void countRequest() { add(requests_); }
+  void countExplore() { add(exploreRequests_); }
+  void countStats() { add(statsRequests_); }
+  void countShutdown() { add(shutdownRequests_); }
+  void countProtocolError() { add(protocolErrors_); }
+  void countExploreError() { add(exploreErrors_); }
+  void countDegradedReply() { add(degradedReplies_); }
+  void countJoin() { add(inflightJoins_); }
+  void countSimulation() { add(simulations_); }
+
+  /// Record one explore request's end-to-end latency.
+  void recordExploreLatencyUs(i64 us);
+
+  /// Copy the counters. `cache*` fields are left zero — the server folds
+  /// its ResultCache::stats() in, since the cache keeps its own stats.
+  MetricsSnapshot snapshot() const;
+
+  /// One line per field, "name value\n" — the machine-greppable payload
+  /// of the `stats` verb (report::metricsReport renders the pretty view).
+  static std::string render(const MetricsSnapshot& s);
+
+ private:
+  static constexpr int kBuckets = 48;  ///< bucket i: us < 2^i
+
+  void add(std::atomic<i64>& c, i64 n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::atomic<i64> connectionsAccepted_{0};
+  std::atomic<i64> connectionsDropped_{0};
+  std::atomic<i64> requests_{0};
+  std::atomic<i64> exploreRequests_{0};
+  std::atomic<i64> statsRequests_{0};
+  std::atomic<i64> shutdownRequests_{0};
+  std::atomic<i64> protocolErrors_{0};
+  std::atomic<i64> exploreErrors_{0};
+  std::atomic<i64> degradedReplies_{0};
+  std::atomic<i64> inflightJoins_{0};
+  std::atomic<i64> simulations_{0};
+
+  std::array<std::atomic<i64>, kBuckets> latencyBuckets_{};
+  std::atomic<i64> latencyCount_{0};
+  std::atomic<i64> latencyTotalUs_{0};
+  std::atomic<i64> latencyMaxUs_{0};
+};
+
+}  // namespace dr::service

@@ -1,0 +1,260 @@
+#include "service/protocol.h"
+
+#include <cstring>
+
+#include "support/hash.h"
+
+namespace dr::service::proto {
+
+namespace {
+
+using support::Status;
+using support::StatusCode;
+
+void appendU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void appendU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void appendI64(std::string& out, i64 v) {
+  auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((u >> (8 * i)) & 0xFF));
+}
+
+void appendBytes(std::string& out, std::string_view bytes) {
+  appendU32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+/// Bounds-checked little-endian reader over a payload. Every take*
+/// returns false once the payload is exhausted; callers surface one
+/// "truncated payload" status instead of reading garbage.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  bool takeU8(std::uint8_t& v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    v = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool takeU32(std::uint32_t& v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+
+  bool takeI64(i64& v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::uint64_t u = 0;
+    for (int i = 0; i < 8; ++i)
+      u |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos_ += 8;
+    v = static_cast<i64>(u);
+    return true;
+  }
+
+  /// Length-prefixed byte string ([u32 len][bytes]).
+  bool takeBytes(std::string& v) {
+    std::uint32_t len = 0;
+    if (!takeU32(len)) return false;
+    if (pos_ + len > bytes_.size()) return false;
+    v.assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+Status truncated(const char* what) {
+  return Status::error(StatusCode::InvalidInput,
+                       std::string(what) + ": truncated payload");
+}
+
+Status trailing(const char* what) {
+  return Status::error(StatusCode::InvalidInput,
+                       std::string(what) + ": trailing bytes after payload");
+}
+
+std::uint32_t readU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool verbIsKnown(std::uint8_t verb) {
+  return verb >= static_cast<std::uint8_t>(Verb::Explore) &&
+         verb <= static_cast<std::uint8_t>(Verb::Reply);
+}
+
+std::string encodeFrame(Verb verb, std::string_view payload) {
+  DR_REQUIRE(payload.size() <= kMaxPayload);
+  std::string out;
+  out.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  appendU32(out, kMagic);
+  appendU8(out, kVersion);
+  appendU8(out, static_cast<std::uint8_t>(verb));
+  appendBytes(out, payload);
+  appendU32(out, support::crc32(out.data(), out.size()));
+  return out;
+}
+
+FrameParse tryParseFrame(std::string_view bytes) {
+  FrameParse parse;
+  if (bytes.size() < kHeaderSize) {
+    // Reject a wrong magic as soon as the prefix disagrees, so garbage
+    // input fails fast instead of stalling in NeedMore forever.
+    for (std::size_t i = 0; i < bytes.size() && i < 4; ++i) {
+      if (static_cast<std::uint8_t>(bytes[i]) !=
+          static_cast<std::uint8_t>((kMagic >> (8 * i)) & 0xFF)) {
+        parse.result = ParseResult::Corrupt;
+        parse.status = Status::error(StatusCode::InvalidInput,
+                                     "frame: bad magic");
+        return parse;
+      }
+    }
+    parse.result = ParseResult::NeedMore;
+    return parse;
+  }
+  if (readU32(bytes.data()) != kMagic) {
+    parse.result = ParseResult::Corrupt;
+    parse.status = Status::error(StatusCode::InvalidInput,
+                                 "frame: bad magic");
+    return parse;
+  }
+  const auto version = static_cast<std::uint8_t>(bytes[4]);
+  if (version != kVersion) {
+    parse.result = ParseResult::Corrupt;
+    parse.status = Status::error(
+        StatusCode::InvalidInput,
+        "frame: unsupported version " + std::to_string(version));
+    return parse;
+  }
+  const auto verb = static_cast<std::uint8_t>(bytes[5]);
+  if (!verbIsKnown(verb)) {
+    parse.result = ParseResult::Corrupt;
+    parse.status = Status::error(
+        StatusCode::InvalidInput,
+        "frame: unknown verb " + std::to_string(verb));
+    return parse;
+  }
+  const std::uint32_t payloadLen = readU32(bytes.data() + 6);
+  if (payloadLen > kMaxPayload) {
+    parse.result = ParseResult::Corrupt;
+    parse.status = Status::error(
+        StatusCode::InvalidInput,
+        "frame: payload length " + std::to_string(payloadLen) +
+            " exceeds the " + std::to_string(kMaxPayload) + "-byte cap");
+    return parse;
+  }
+  const std::size_t total = kHeaderSize + payloadLen + kTrailerSize;
+  if (bytes.size() < total) {
+    parse.result = ParseResult::NeedMore;
+    return parse;
+  }
+  const std::uint32_t want =
+      support::crc32(bytes.data(), kHeaderSize + payloadLen);
+  const std::uint32_t got = readU32(bytes.data() + kHeaderSize + payloadLen);
+  if (want != got) {
+    parse.result = ParseResult::Corrupt;
+    parse.status = Status::error(StatusCode::InvalidInput,
+                                 "frame: checksum mismatch");
+    return parse;
+  }
+  parse.result = ParseResult::Ok;
+  parse.frame.verb = static_cast<Verb>(verb);
+  parse.frame.payload.assign(bytes.substr(kHeaderSize, payloadLen));
+  parse.consumed = total;
+  return parse;
+}
+
+std::string encodeExploreRequest(const ExploreRequest& req) {
+  std::string out;
+  appendBytes(out, req.kernel);
+  appendBytes(out, req.signal);
+  appendI64(out, req.deadlineMs);
+  appendU8(out, req.flags);
+  return out;
+}
+
+support::Expected<ExploreRequest> decodeExploreRequest(
+    std::string_view payload) {
+  ExploreRequest req;
+  Cursor cursor(payload);
+  if (!cursor.takeBytes(req.kernel) || !cursor.takeBytes(req.signal) ||
+      !cursor.takeI64(req.deadlineMs) || !cursor.takeU8(req.flags))
+    return truncated("explore request");
+  if (!cursor.exhausted()) return trailing("explore request");
+  return req;
+}
+
+std::string encodeReply(const Reply& reply) {
+  std::string out;
+  appendU8(out, static_cast<std::uint8_t>(reply.code));
+  appendBytes(out, reply.message);
+  appendBytes(out, reply.body);
+  return out;
+}
+
+support::Expected<Reply> decodeReply(std::string_view payload) {
+  Reply reply;
+  Cursor cursor(payload);
+  std::uint8_t code = 0;
+  if (!cursor.takeU8(code) || !cursor.takeBytes(reply.message) ||
+      !cursor.takeBytes(reply.body))
+    return truncated("reply");
+  if (!cursor.exhausted()) return trailing("reply");
+  if (code > static_cast<std::uint8_t>(StatusCode::Internal))
+    return Status::error(StatusCode::InvalidInput,
+                         "reply: unknown status code " + std::to_string(code));
+  reply.code = static_cast<StatusCode>(code);
+  return reply;
+}
+
+std::string encodeExploreResult(const ExploreResult& result) {
+  std::string out;
+  appendU8(out, result.cached ? 1 : 0);
+  appendU8(out, result.fidelity);
+  appendI64(out, result.Ctot);
+  appendI64(out, result.distinctElements);
+  appendBytes(out, result.csv);
+  return out;
+}
+
+support::Expected<ExploreResult> decodeExploreResult(std::string_view body) {
+  ExploreResult result;
+  Cursor cursor(body);
+  std::uint8_t cached = 0;
+  if (!cursor.takeU8(cached) || !cursor.takeU8(result.fidelity) ||
+      !cursor.takeI64(result.Ctot) ||
+      !cursor.takeI64(result.distinctElements) ||
+      !cursor.takeBytes(result.csv))
+    return truncated("explore result");
+  if (!cursor.exhausted()) return trailing("explore result");
+  result.cached = cached != 0;
+  return result;
+}
+
+}  // namespace dr::service::proto

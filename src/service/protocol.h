@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/intmath.h"
+#include "support/status.h"
+
+/// \file protocol.h
+/// Length-prefixed, versioned, checksummed framing for the exploration
+/// service (docs/SERVICE.md holds the byte-level spec). One frame is
+///
+///   [u32 magic 'DRSV'][u8 version][u8 verb][u32 payloadLen]
+///   [payload ...][u32 crc32(magic..payload)]
+///
+/// with every integer little-endian and the CRC-32 (support/hash.h — the
+/// same polynomial that guards the run journals) covering everything
+/// before it. The parser is non-throwing and incremental: feed it the
+/// bytes received so far and it answers Ok (one complete valid frame),
+/// NeedMore (keep reading), or Corrupt (bad magic/version/length/CRC,
+/// with a Status saying which) — a malformed or truncated frame can
+/// never take the daemon down, only that connection.
+///
+/// Verbs: a client sends Explore / Stats / Shutdown; the server answers
+/// every request with exactly one Reply frame whose payload is a
+/// status-tagged envelope (Reply below) carrying a verb-specific body.
+
+namespace dr::service::proto {
+
+using dr::support::i64;
+
+inline constexpr std::uint32_t kMagic = 0x56535244u;  ///< "DRSV" as LE bytes
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 10;  ///< magic + version + verb + len
+inline constexpr std::size_t kTrailerSize = 4;  ///< crc32
+/// Upper bound on payloadLen: anything larger is Corrupt before a single
+/// payload byte is buffered, so a hostile length prefix cannot balloon
+/// server memory.
+inline constexpr std::size_t kMaxPayload = std::size_t{8} << 20;
+
+enum class Verb : std::uint8_t {
+  Explore = 1,   ///< run (or cache-serve) one exploration query
+  Stats = 2,     ///< fetch the metrics snapshot (rendered text body)
+  Shutdown = 3,  ///< reply, then drain and stop accepting
+  Reply = 4,     ///< server -> client envelope (the only response verb)
+};
+
+/// True for the verb values a frame may legally carry.
+bool verbIsKnown(std::uint8_t verb);
+
+struct Frame {
+  Verb verb = Verb::Explore;
+  std::string payload;
+};
+
+/// One full frame (header + payload + CRC) ready to write to a socket.
+std::string encodeFrame(Verb verb, std::string_view payload);
+
+enum class ParseResult {
+  Ok,        ///< `frame` holds one complete, checksum-verified frame
+  NeedMore,  ///< prefix of a valid frame so far — read more bytes
+  Corrupt,   ///< unrecoverable on this connection; `status` says why
+};
+
+struct FrameParse {
+  ParseResult result = ParseResult::NeedMore;
+  Frame frame;               ///< filled when result == Ok
+  std::size_t consumed = 0;  ///< bytes to drop from the buffer (Ok only)
+  support::Status status;    ///< non-OK exactly when result == Corrupt
+};
+
+/// Incremental, non-throwing frame parser. Never reads past `bytes`,
+/// never throws, and accepts a frame only when its CRC verifies.
+FrameParse tryParseFrame(std::string_view bytes);
+
+// ---- Explore request payload -------------------------------------------
+
+/// ExploreRequest::flags bit: bypass the result cache entirely (compute
+/// fresh, cache nothing) — the cold-run lever of the CI smoke benchmark.
+inline constexpr std::uint8_t kFlagNoCache = 0x01;
+
+/// Payload of an Explore frame:
+///   [u32 kernelLen][kernel][u32 signalLen][signal][i64 deadlineMs][u8 flags]
+/// `signal` may be empty (explore the first read signal); deadlineMs <= 0
+/// means the server's default per-request deadline.
+struct ExploreRequest {
+  std::string kernel;  ///< kernel-language source text
+  std::string signal;  ///< signal name; "" = first read signal
+  i64 deadlineMs = 0;
+  std::uint8_t flags = 0;
+};
+
+std::string encodeExploreRequest(const ExploreRequest& req);
+support::Expected<ExploreRequest> decodeExploreRequest(
+    std::string_view payload);
+
+// ---- Reply payload ------------------------------------------------------
+
+/// Payload of a Reply frame:
+///   [u8 statusCode][u32 messageLen][message][u32 bodyLen][body]
+/// statusCode is support::StatusCode; Ok replies carry a verb-specific
+/// body (ExploreResult for Explore, rendered metrics text for Stats,
+/// empty for Shutdown) and error replies carry the Status message.
+struct Reply {
+  support::StatusCode code = support::StatusCode::Ok;
+  std::string message;
+  std::string body;
+};
+
+std::string encodeReply(const Reply& reply);
+support::Expected<Reply> decodeReply(std::string_view payload);
+
+// ---- Explore reply body -------------------------------------------------
+
+/// Body of an Ok Explore reply:
+///   [u8 cached][u8 fidelity][i64 Ctot][i64 distinct][u32 csvLen][csv]
+/// `csv` is the canonical curve rendering (report::curveCsv) —
+/// byte-identical to explore_kernel's --curve-out for the same config
+/// hash; `cached` says whether this reply was served without simulating.
+struct ExploreResult {
+  bool cached = false;
+  std::uint8_t fidelity = 0;  ///< simcore::Fidelity of the curve
+  i64 Ctot = 0;
+  i64 distinctElements = 0;
+  std::string csv;
+};
+
+std::string encodeExploreResult(const ExploreResult& result);
+support::Expected<ExploreResult> decodeExploreResult(std::string_view body);
+
+}  // namespace dr::service::proto

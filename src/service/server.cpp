@@ -1,0 +1,399 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "explorer/explorer.h"
+#include "frontend/frontend.h"
+#include "report/report.h"
+#include "simcore/reuse_curve.h"
+#include "support/contracts.h"
+#include "support/fault.h"
+
+namespace dr::service {
+
+namespace {
+
+using support::Status;
+using support::StatusCode;
+using support::fault::FaultSite;
+
+/// Idle-connection recv timeout: long enough to be invisible in normal
+/// operation, short enough that a drain never waits long for a worker
+/// parked on a silent client.
+constexpr int kRecvTimeoutMs = 200;
+
+bool fidelityIsExact(std::uint8_t f) {
+  return f == static_cast<std::uint8_t>(simcore::Fidelity::ExactStream) ||
+         f == static_cast<std::uint8_t>(simcore::Fidelity::ExactFold);
+}
+
+/// The signal an explore request targets: a named lookup, or the first
+/// signal with a read access when the request leaves the name empty
+/// (matching explore_kernel's default sweep order).
+int resolveSignal(const loopir::Program& p, const std::string& name) {
+  if (!name.empty()) return p.findSignal(name);
+  for (std::size_t s = 0; s < p.signals.size(); ++s)
+    for (const auto& nest : p.nests)
+      for (const auto& acc : nest.body)
+        if (acc.signal == static_cast<int>(s) &&
+            acc.kind == loopir::AccessKind::Read)
+          return static_cast<int>(s);
+  return -1;
+}
+
+proto::Reply errorReply(const Status& status) {
+  proto::Reply reply;
+  reply.code = status.code();
+  reply.message = status.str();
+  return reply;
+}
+
+/// write() the whole buffer, riding out EINTR; false drops the
+/// connection. The fault probe models a peer that vanished mid-reply.
+bool writeAll(int fd, const std::string& bytes) {
+  if (support::fault::shouldFail(FaultSite::ServiceIo)) return false;
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)), cache_(opts_.cache) {
+  DR_REQUIRE(opts_.workers > 0);
+  DR_REQUIRE(!opts_.socketPath.empty());
+}
+
+Server::~Server() {
+  requestShutdown();
+  wait();
+}
+
+Status Server::start() {
+  DR_REQUIRE_MSG(!started_, "Server::start() called twice");
+
+  if (Status st = ensureWarmDir(opts_.cache.warmDir); !st.isOk()) return st;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socketPath.size() >= sizeof(addr.sun_path))
+    return Status::error(StatusCode::InvalidInput,
+                         "socket path too long: " + opts_.socketPath);
+  std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+              opts_.socketPath.size() + 1);
+
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd_ < 0)
+    return Status::error(StatusCode::IoError,
+                         std::string("socket: ") + std::strerror(errno));
+  ::unlink(opts_.socketPath.c_str());  // replace a stale socket file
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status st = Status::error(StatusCode::IoError,
+                              "bind " + opts_.socketPath + ": " +
+                                  std::strerror(errno));
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return st;
+  }
+  if (::listen(listenFd_, 64) != 0) {
+    Status st = Status::error(StatusCode::IoError,
+                              std::string("listen: ") + std::strerror(errno));
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return st;
+  }
+  if (::pipe(wakeupPipe_) != 0) {
+    Status st = Status::error(StatusCode::IoError,
+                              std::string("pipe: ") + std::strerror(errno));
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return st;
+  }
+
+  started_ = true;
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+  return Status::ok();
+}
+
+void Server::requestShutdown() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel))
+    return;  // already draining
+  if (wakeupPipe_[1] >= 0) {
+    char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakeupPipe_[1], &byte, 1);
+  }
+  queueCv_.notify_all();
+}
+
+void Server::wait() {
+  if (!started_) return;
+  if (acceptThread_.joinable()) acceptThread_.join();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+  for (int& fd : wakeupPipe_)
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  ::unlink(opts_.socketPath.c_str());
+}
+
+void Server::acceptLoop() {
+  while (!draining()) {
+    pollfd fds[2];
+    fds[0] = {listenFd_, POLLIN, 0};
+    fds[1] = {wakeupPipe_[0], POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failed: stop accepting, keep serving
+    }
+    if (fds[1].revents != 0 || draining()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    timeval tv{};
+    tv.tv_usec = kRecvTimeoutMs * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    {
+      std::lock_guard<std::mutex> lock(queueMutex_);
+      pending_.push_back(fd);
+    }
+    queueCv_.notify_one();
+  }
+  ::close(listenFd_);
+  listenFd_ = -1;
+  queueCv_.notify_all();  // wake workers so they can observe the drain
+}
+
+void Server::workerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      queueCv_.wait(lock,
+                    [this] { return !pending_.empty() || draining(); });
+      if (pending_.empty()) return;  // draining and nothing queued
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    try {
+      serveConnection(fd);
+    } catch (...) {
+      // A request must never take a worker down with it; the connection
+      // is already closed or about to be.
+      metrics_.countConnectionDropped();
+    }
+    ::close(fd);
+  }
+}
+
+void Server::serveConnection(int fd) {
+  metrics_.countConnection();
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    // Drain every complete frame already buffered before reading again.
+    while (true) {
+      proto::FrameParse parse = proto::tryParseFrame(buffer);
+      if (parse.result == proto::ParseResult::Corrupt) {
+        metrics_.countProtocolError();
+        proto::Reply reply = errorReply(parse.status);
+        writeAll(fd, proto::encodeFrame(proto::Verb::Reply,
+                                        proto::encodeReply(reply)));
+        return;  // the stream is unsynchronized; drop the connection
+      }
+      if (parse.result == proto::ParseResult::NeedMore) break;
+      buffer.erase(0, parse.consumed);
+      metrics_.countRequest();
+      bool closeAfter = false;
+      std::string reply;
+      try {
+        reply = handleFrame(parse.frame, closeAfter);
+      } catch (const std::exception& e) {
+        reply = proto::encodeFrame(
+            proto::Verb::Reply,
+            proto::encodeReply(errorReply(Status::error(
+                StatusCode::Internal, std::string("request failed: ") +
+                                          e.what()))));
+      }
+      if (!writeAll(fd, reply)) {
+        metrics_.countConnectionDropped();
+        return;
+      }
+      if (closeAfter) return;
+    }
+    if (draining()) return;  // finish buffered work, then hang up
+    if (support::fault::shouldFail(FaultSite::ServiceIo)) {
+      metrics_.countConnectionDropped();
+      return;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // Orderly close. A non-empty buffer means the client vanished
+      // mid-frame — the mid-query disconnect the daemon must survive.
+      if (!buffer.empty()) metrics_.countConnectionDropped();
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // idle timeout
+    metrics_.countConnectionDropped();
+    return;
+  }
+}
+
+std::string Server::handleFrame(const proto::Frame& frame,
+                                bool& closeAfter) {
+  proto::Reply reply;
+  switch (frame.verb) {
+    case proto::Verb::Explore: {
+      auto req = proto::decodeExploreRequest(frame.payload);
+      if (!req.hasValue()) {
+        metrics_.countProtocolError();
+        reply = errorReply(req.status());
+      } else {
+        reply = handleExplore(*req);
+      }
+      break;
+    }
+    case proto::Verb::Stats:
+      metrics_.countStats();
+      reply.body = Metrics::render(metricsSnapshot());
+      break;
+    case proto::Verb::Shutdown:
+      metrics_.countShutdown();
+      requestShutdown();
+      closeAfter = true;
+      break;
+    case proto::Verb::Reply:
+      metrics_.countProtocolError();
+      reply = errorReply(Status::error(
+          StatusCode::InvalidInput, "clients may not send Reply frames"));
+      closeAfter = true;
+      break;
+  }
+  return proto::encodeFrame(proto::Verb::Reply, proto::encodeReply(reply));
+}
+
+proto::Reply Server::handleExplore(const proto::ExploreRequest& req) {
+  metrics_.countExplore();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto recordLatency = [&] {
+    metrics_.recordExploreLatencyUs(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+  const auto fail = [&](const Status& st) {
+    metrics_.countExploreError();
+    recordLatency();
+    return errorReply(st);
+  };
+
+  auto compiled = frontend::compileKernelChecked(req.kernel);
+  if (!compiled.hasValue()) return fail(compiled.status());
+  const loopir::Program& p = *compiled;
+  const int signal = resolveSignal(p, req.signal);
+  if (signal < 0)
+    return fail(Status::error(
+        StatusCode::InvalidInput,
+        req.signal.empty()
+            ? std::string("kernel has no read signal")
+            : "no signal named '" + req.signal + "'"));
+
+  // Defaults must match explore_kernel's so the two doors agree on the
+  // config hash (byte-identity is pinned by tests/test_service.cpp).
+  explorer::ExploreOptions opts;
+  support::RunBudget budget;
+  const i64 deadlineMs =
+      req.deadlineMs > 0 ? req.deadlineMs : opts_.defaultDeadlineMs;
+  if (deadlineMs > 0) {
+    budget.setDeadline(std::chrono::milliseconds(deadlineMs));
+    opts.budget = &budget;  // excluded from the hash by design
+  }
+  const std::uint64_t hash = explorer::exploreConfigHash(p, signal, opts);
+
+  i64 simulated = 0;
+  bool leader = true;
+  support::Expected<CachedCurve> result = [&]() -> support::Expected<CachedCurve> {
+    if ((req.flags & proto::kFlagNoCache) != 0) {
+      auto ex = explorer::exploreSignalChecked(p, signal, opts);
+      if (!ex.hasValue()) return ex.status();
+      simulated = static_cast<i64>(ex->simulatedCurve.points.size());
+      CachedCurve fresh;
+      fresh.configHash = hash;
+      fresh.signalName = ex->signalName;
+      fresh.Ctot = ex->Ctot;
+      fresh.distinctElements = ex->distinctElements;
+      fresh.fidelity = static_cast<std::uint8_t>(ex->curveFidelity);
+      fresh.csv = report::curveCsv(ex->signalName, ex->simulatedCurve);
+      return fresh;
+    }
+    return flight_.run(
+        hash,
+        [&] { return cache_.getOrCompute(hash, p, signal, opts, &simulated); },
+        &leader);
+  }();
+  if (!leader) metrics_.countJoin();
+  if (!result.hasValue()) return fail(result.status());
+  if (leader && simulated > 0) metrics_.countSimulation();
+  if (!fidelityIsExact(result->fidelity)) metrics_.countDegradedReply();
+
+  proto::ExploreResult body;
+  body.cached = leader ? simulated == 0 : true;
+  body.fidelity = result->fidelity;
+  body.Ctot = result->Ctot;
+  body.distinctElements = result->distinctElements;
+  body.csv = result->csv;
+  proto::Reply reply;
+  reply.body = proto::encodeExploreResult(body);
+  recordLatency();
+  return reply;
+}
+
+MetricsSnapshot Server::metricsSnapshot() const {
+  MetricsSnapshot s = metrics_.snapshot();
+  const CacheStats cs = cache_.stats();
+  s.cacheHits = cs.hits;
+  s.warmHits = cs.warmHits;
+  s.cacheMisses = cs.misses;
+  s.cacheEvictions = cs.evictions;
+  s.cacheEntries = cs.entries;
+  s.cacheBytes = cs.bytes;
+  s.cacheMaxBytes = cs.maxBytes;
+  return s;
+}
+
+}  // namespace dr::service

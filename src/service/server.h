@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/singleflight.h"
+#include "support/status.h"
+
+/// \file server.h
+/// The exploration daemon: a Unix-domain-socket accept loop dispatching
+/// framed requests (protocol.h) onto a small worker pool. Every explore
+/// request flows
+///
+///   compile kernel -> resolve signal -> config hash
+///     -> single-flight (one computation per concurrent identical burst)
+///     -> result cache (memory LRU, then the warm journal layer)
+///     -> explorer (under a per-request RunBudget deadline)
+///
+/// so a burst of N identical cold queries costs one simulation and a warm
+/// query never simulates at all. A tripped deadline degrades the reply
+/// down the fidelity ladder (PR 3) instead of failing it; degraded
+/// results are served but never cached. Faults are connection-scoped: a
+/// malformed frame, a mid-query disconnect, or an injected
+/// FaultSite::ServiceIo failure closes that connection and nothing else —
+/// workers swallow per-request exceptions into error replies.
+///
+/// Shutdown (the verb or requestShutdown()) drains gracefully: the
+/// listener stops accepting, in-flight and already-queued connections
+/// finish their current requests, then the workers exit and wait()
+/// returns.
+
+namespace dr::service {
+
+struct ServerOptions {
+  std::string socketPath;
+  int workers = 4;
+  /// Per-request deadline applied when the request doesn't carry its own
+  /// (explore requests may override per query); <= 0 = unlimited.
+  support::i64 defaultDeadlineMs = 0;
+  ResultCache::Options cache;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();  ///< requestShutdown() + wait()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on options().socketPath (replacing a stale socket
+  /// file) and spawn the accept thread and worker pool. IoError when the
+  /// path is unusable; calling start() twice is a contract violation.
+  support::Status start();
+
+  /// Begin a graceful drain (idempotent, callable from any thread —
+  /// including a worker serving the Shutdown verb).
+  void requestShutdown();
+
+  /// Block until the drain finishes and every thread has exited.
+  void wait();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  const ServerOptions& options() const { return opts_; }
+
+  /// Live counters with the cache's own ledger folded in — the body of
+  /// the `stats` verb and the feed of report::metricsReport.
+  MetricsSnapshot metricsSnapshot() const;
+
+ private:
+  void acceptLoop();
+  void workerLoop();
+  void serveConnection(int fd);
+
+  /// Dispatch one parsed frame; returns the encoded Reply frame and sets
+  /// `closeAfter` for verbs that end the conversation (Shutdown).
+  std::string handleFrame(const proto::Frame& frame, bool& closeAfter);
+  proto::Reply handleExplore(const proto::ExploreRequest& req);
+
+  ServerOptions opts_;
+  Metrics metrics_;
+  ResultCache cache_;
+  SingleFlight flight_;
+
+  int listenFd_ = -1;
+  int wakeupPipe_[2] = {-1, -1};  ///< written on shutdown to unblock poll
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+
+  std::thread acceptThread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+};
+
+}  // namespace dr::service

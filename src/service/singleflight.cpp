@@ -1,0 +1,48 @@
+#include "service/singleflight.h"
+
+#include <utility>
+
+namespace dr::service {
+
+SingleFlight::Result SingleFlight::run(std::uint64_t key, const Fn& fn,
+                                       bool* leader) {
+  std::promise<Result> promise;
+  std::shared_future<Result> future;
+  bool isLeader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      joins_.fetch_add(1, std::memory_order_relaxed);
+      future = it->second;
+    } else {
+      isLeader = true;
+      future = promise.get_future().share();
+      inflight_.emplace(key, future);
+    }
+  }
+  if (leader) *leader = isLeader;
+  if (!isLeader) return future.get();  // join: block on the leader
+
+  // Leader: compute outside any lock, unregister the key, then publish.
+  // Unregistering first keeps the invariant that a key in the table is
+  // still being computed; a query arriving after the erase starts fresh
+  // (and will normally hit the result cache instead).
+  try {
+    Result result = fn();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_value(std::move(result));
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+  }
+  return future.get();
+}
+
+}  // namespace dr::service

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "service/cache.h"
+#include "support/status.h"
+
+/// \file singleflight.h
+/// Thundering-herd suppression for identical exploration queries: when N
+/// requests with the same config hash arrive concurrently, exactly one
+/// (the *leader*) runs the computation; the other N-1 (the *joiners*)
+/// block on the leader's shared future and receive the same result — so
+/// a burst of identical cold queries costs one simulation, not N.
+///
+/// The in-flight table holds only keys currently being computed; the
+/// leader erases its key before completing the promise's consumers, so a
+/// later query with the same key goes to the result cache (or recomputes
+/// if the result was uncacheable). Errors propagate to every joiner; an
+/// escaping exception from the leader's function is forwarded through the
+/// shared future and rethrown in all callers.
+
+namespace dr::service {
+
+class SingleFlight {
+ public:
+  using Result = support::Expected<CachedCurve>;
+  using Fn = std::function<Result()>;
+
+  /// Run `fn` for `key`, or join an identical in-flight call. Sets
+  /// `*leader` to whether this call executed `fn` itself.
+  Result run(std::uint64_t key, const Fn& fn, bool* leader = nullptr);
+
+  /// Total joiners served so far (the metrics "inflight-joins" feed).
+  support::i64 joins() const {
+    return joins_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_future<Result>> inflight_;
+  std::atomic<support::i64> joins_{0};
+};
+
+}  // namespace dr::service

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "support/contracts.h"
+#include "support/hash.h"
 #include "support/parallel.h"
 
 namespace dr::simcore {
@@ -14,8 +15,11 @@ namespace {
 using dr::trace::PeriodInfo;
 using dr::trace::TraceCursor;
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+// FNV-1a over whole i64 distances (word-wise, not byte-wise: the values
+// are compared within one process run only, never persisted), using the
+// shared constants from support/hash.h.
+constexpr std::uint64_t kFnvOffset = dr::support::kFnvOffset64;
+constexpr std::uint64_t kFnvPrime = dr::support::kFnvPrime64;
 
 void trimTrailingZeros(std::vector<i64>& v) {
   while (!v.empty() && v.back() == 0) v.pop_back();

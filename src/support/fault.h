@@ -30,8 +30,9 @@ enum class FaultSite {
   DatasetWrite,  ///< dataset file open/write/rename (reports IoError)
   Deadline,      ///< RunBudget deadline check (trips as expired)
   Task,          ///< isolated sweep task body (fails with Status, retried)
+  ServiceIo,     ///< service connection read/write (drops the connection)
 };
-inline constexpr int kFaultSiteCount = 4;
+inline constexpr int kFaultSiteCount = 5;
 
 #ifdef DR_FAULT_INJECT
 

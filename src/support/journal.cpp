@@ -4,7 +4,6 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -148,28 +147,6 @@ Status writeAll(int fd, const char* data, std::size_t size) {
 }
 
 }  // namespace
-
-std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
-  // IEEE 802.3 reflected polynomial, nibble-table variant: small enough
-  // to build on first use, fast enough for journal record sizes.
-  static const std::array<std::uint32_t, 16> table = [] {
-    std::array<std::uint32_t, 16> t{};
-    for (std::uint32_t i = 0; i < 16; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t c = ~seed;
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    c = table[(c ^ p[i]) & 0x0F] ^ (c >> 4);
-    c = table[(c ^ (p[i] >> 4)) & 0x0F] ^ (c >> 4);
-  }
-  return ~c;
-}
 
 Expected<JournalContents> parseJournal(std::string_view bytes) {
   JournalContents out;

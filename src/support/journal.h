@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/hash.h"
 #include "support/intmath.h"
 #include "support/status.h"
 
@@ -39,9 +40,8 @@
 
 namespace dr::support {
 
-/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `size` bytes.
-std::uint32_t crc32(const void* data, std::size_t size,
-                    std::uint32_t seed = 0);
+// crc32() historically lived here; it is now shared with the service
+// protocol framing and declared in support/hash.h (included above).
 
 /// Journal format version; bump on any framing/payload layout change.
 /// A loaded journal with a different version is rejected (clean restart).

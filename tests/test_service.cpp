@@ -1,0 +1,847 @@
+// Tests for the exploration service (src/service/): protocol framing,
+// the content-addressed result cache (memory LRU + warm journal layer),
+// single-flight deduplication, metrics, and the Unix-domain-socket
+// daemon end to end — including the acceptance gates: a burst of
+// concurrent identical queries costs exactly one simulation, a warm
+// lookup is >= 100x faster than the cold compute, the daemon-served CSV
+// is byte-identical to the direct explorer rendering, and malformed
+// frames / mid-query disconnects / injected I/O faults never take the
+// daemon down.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explorer/explorer.h"
+#include "frontend/frontend.h"
+#include "kernels/conv2d.h"
+#include "kernels/motion_estimation.h"
+#include "report/report.h"
+#include "service/cache.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/singleflight.h"
+#include "support/budget.h"
+#include "support/fault.h"
+#include "support/status.h"
+
+namespace {
+
+namespace proto = dr::service::proto;
+using dr::service::CachedCurve;
+using dr::service::ResultCache;
+using dr::service::Server;
+using dr::service::ServerOptions;
+using dr::service::SingleFlight;
+using dr::support::i64;
+using dr::support::Status;
+using dr::support::StatusCode;
+
+// ---- helpers ------------------------------------------------------------
+
+std::string uniqueName(const char* stem) {
+  static std::atomic<int> counter{0};
+  return std::string(stem) + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+std::string tempDir(const char* stem) {
+  std::string dir = ::testing::TempDir() + uniqueName(stem);
+  ::mkdir(dir.c_str(), 0777);
+  return dir;
+}
+
+/// Sockets live in /tmp directly: sun_path caps at ~100 chars and
+/// ::testing::TempDir() can be deep.
+std::string socketPath() { return "/tmp/" + uniqueName("drsvc") + ".sock"; }
+
+int connectTo(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool sendAll(int fd, const std::string& bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one Reply frame from `fd` (blocking until complete or closed).
+dr::support::Expected<proto::Reply> readReply(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    proto::FrameParse parse = proto::tryParseFrame(buffer);
+    if (parse.result == proto::ParseResult::Corrupt) return parse.status;
+    if (parse.result == proto::ParseResult::Ok) {
+      if (parse.frame.verb != proto::Verb::Reply)
+        return Status::error(StatusCode::InvalidInput, "non-Reply frame");
+      return proto::decodeReply(parse.frame.payload);
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::error(StatusCode::IoError, "connection closed early");
+  }
+}
+
+dr::support::Expected<proto::Reply> roundTrip(const std::string& path,
+                                              proto::Verb verb,
+                                              const std::string& payload) {
+  int fd = connectTo(path);
+  if (fd < 0)
+    return Status::error(StatusCode::IoError,
+                         "connect " + path + ": " + std::strerror(errno));
+  if (!sendAll(fd, proto::encodeFrame(verb, payload))) {
+    ::close(fd);
+    return Status::error(StatusCode::IoError, "send failed");
+  }
+  auto reply = readReply(fd);
+  ::close(fd);
+  return reply;
+}
+
+dr::support::Expected<proto::ExploreResult> queryExplore(
+    const std::string& path, const std::string& kernel,
+    const std::string& signal, std::uint8_t flags = 0) {
+  proto::ExploreRequest req;
+  req.kernel = kernel;
+  req.signal = signal;
+  req.flags = flags;
+  auto reply =
+      roundTrip(path, proto::Verb::Explore, proto::encodeExploreRequest(req));
+  if (!reply.hasValue()) return reply.status();
+  if (reply->code != StatusCode::Ok)
+    return Status::error(reply->code, reply->message);
+  return proto::decodeExploreResult(reply->body);
+}
+
+CachedCurve makeEntry(std::uint64_t hash, std::size_t csvBytes) {
+  CachedCurve e;
+  e.configHash = hash;
+  e.signalName = "s";
+  e.csv = std::string(csvBytes, 'x');
+  return e;
+}
+
+// ---- protocol -----------------------------------------------------------
+
+TEST(Protocol, FrameRoundTrip) {
+  const std::string payload = "hello frames";
+  const std::string frame = proto::encodeFrame(proto::Verb::Stats, payload);
+  auto parse = proto::tryParseFrame(frame);
+  ASSERT_EQ(parse.result, proto::ParseResult::Ok);
+  EXPECT_EQ(parse.frame.verb, proto::Verb::Stats);
+  EXPECT_EQ(parse.frame.payload, payload);
+  EXPECT_EQ(parse.consumed, frame.size());
+  EXPECT_TRUE(parse.status.isOk());
+}
+
+TEST(Protocol, EveryPrefixNeedsMore) {
+  const std::string frame =
+      proto::encodeFrame(proto::Verb::Explore, "abcdef");
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    auto parse = proto::tryParseFrame(frame.substr(0, n));
+    EXPECT_EQ(parse.result, proto::ParseResult::NeedMore) << "prefix " << n;
+  }
+}
+
+TEST(Protocol, BadMagicIsCorruptImmediately) {
+  auto parse = proto::tryParseFrame("X");  // one wrong byte is enough
+  EXPECT_EQ(parse.result, proto::ParseResult::Corrupt);
+  EXPECT_EQ(parse.status.code(), StatusCode::InvalidInput);
+}
+
+TEST(Protocol, ChecksumMismatchIsCorrupt) {
+  std::string frame = proto::encodeFrame(proto::Verb::Explore, "payload");
+  frame[proto::kHeaderSize] ^= 0x01;  // flip one payload bit
+  auto parse = proto::tryParseFrame(frame);
+  ASSERT_EQ(parse.result, proto::ParseResult::Corrupt);
+  EXPECT_NE(parse.status.message().find("checksum"), std::string::npos);
+}
+
+TEST(Protocol, OversizedLengthIsCorruptBeforeBuffering) {
+  // Hand-build a header whose length prefix exceeds the cap; the parser
+  // must reject it without waiting for the (absurd) payload.
+  std::string header;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((proto::kMagic >> (8 * i)) & 0xFF));
+  header.push_back(static_cast<char>(proto::kVersion));
+  header.push_back(static_cast<char>(proto::Verb::Explore));
+  const std::uint32_t huge =
+      static_cast<std::uint32_t>(proto::kMaxPayload) + 1;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  auto parse = proto::tryParseFrame(header);
+  ASSERT_EQ(parse.result, proto::ParseResult::Corrupt);
+  EXPECT_NE(parse.status.message().find("cap"), std::string::npos);
+}
+
+TEST(Protocol, UnknownVerbAndVersionAreCorrupt) {
+  std::string frame = proto::encodeFrame(proto::Verb::Explore, "x");
+  std::string badVerb = frame;
+  badVerb[5] = 9;  // no such verb
+  EXPECT_EQ(proto::tryParseFrame(badVerb).result, proto::ParseResult::Corrupt);
+  std::string badVersion = frame;
+  badVersion[4] = 2;  // future version
+  EXPECT_EQ(proto::tryParseFrame(badVersion).result,
+            proto::ParseResult::Corrupt);
+}
+
+TEST(Protocol, ExploreRequestRoundTrip) {
+  proto::ExploreRequest req;
+  req.kernel = "kernel k { }";
+  req.signal = "A";
+  req.deadlineMs = 1234;
+  req.flags = proto::kFlagNoCache;
+  const std::string payload = proto::encodeExploreRequest(req);
+  auto decoded = proto::decodeExploreRequest(payload);
+  ASSERT_TRUE(decoded.hasValue());
+  EXPECT_EQ(decoded->kernel, req.kernel);
+  EXPECT_EQ(decoded->signal, req.signal);
+  EXPECT_EQ(decoded->deadlineMs, req.deadlineMs);
+  EXPECT_EQ(decoded->flags, req.flags);
+  // Truncation and trailing garbage are both rejected, never crash.
+  for (std::size_t n = 0; n < payload.size(); ++n)
+    EXPECT_FALSE(proto::decodeExploreRequest(payload.substr(0, n)).hasValue());
+  EXPECT_FALSE(proto::decodeExploreRequest(payload + "x").hasValue());
+}
+
+TEST(Protocol, ReplyAndExploreResultRoundTrip) {
+  proto::ExploreResult result;
+  result.cached = true;
+  result.fidelity = 1;
+  result.Ctot = 1 << 20;
+  result.distinctElements = 4096;
+  result.csv = "size,writes\n1,2\n";
+  proto::Reply reply;
+  reply.code = StatusCode::Ok;
+  reply.body = proto::encodeExploreResult(result);
+  auto decodedReply = proto::decodeReply(proto::encodeReply(reply));
+  ASSERT_TRUE(decodedReply.hasValue());
+  EXPECT_EQ(decodedReply->code, StatusCode::Ok);
+  auto decoded = proto::decodeExploreResult(decodedReply->body);
+  ASSERT_TRUE(decoded.hasValue());
+  EXPECT_TRUE(decoded->cached);
+  EXPECT_EQ(decoded->Ctot, result.Ctot);
+  EXPECT_EQ(decoded->distinctElements, result.distinctElements);
+  EXPECT_EQ(decoded->csv, result.csv);
+  // An out-of-range status code is rejected.
+  std::string bad = proto::encodeReply(reply);
+  bad[0] = 100;
+  EXPECT_FALSE(proto::decodeReply(bad).hasValue());
+}
+
+// ---- result cache -------------------------------------------------------
+
+TEST(ResultCache, EvictsLeastRecentlyUsedPastByteBudget) {
+  ResultCache::Options opts;
+  opts.maxBytes = 3 * makeEntry(0, 100).bytes();
+  ResultCache cache(opts);
+  cache.put(makeEntry(1, 100));
+  cache.put(makeEntry(2, 100));
+  cache.put(makeEntry(3, 100));
+  EXPECT_EQ(cache.stats().entries, 3);
+  cache.put(makeEntry(4, 100));  // evicts 1, the oldest
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 3);
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(4).has_value());
+  EXPECT_LE(s.bytes, opts.maxBytes);
+}
+
+TEST(ResultCache, GetRefreshesRecency) {
+  ResultCache::Options opts;
+  opts.maxBytes = 2 * makeEntry(0, 100).bytes();
+  ResultCache cache(opts);
+  cache.put(makeEntry(1, 100));
+  cache.put(makeEntry(2, 100));
+  ASSERT_TRUE(cache.get(1).has_value());  // 1 is now most recent
+  cache.put(makeEntry(3, 100));           // evicts 2, not 1
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(ResultCache, EntryLargerThanBudgetIsNotStored) {
+  ResultCache::Options opts;
+  opts.maxBytes = 128;
+  ResultCache cache(opts);
+  cache.put(makeEntry(1, 4096));
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+TEST(ResultCache, ReplacingAnEntryKeepsAccountingConsistent) {
+  ResultCache::Options opts;
+  opts.maxBytes = 1 << 20;
+  ResultCache cache(opts);
+  cache.put(makeEntry(1, 100));
+  const i64 before = cache.stats().bytes;
+  cache.put(makeEntry(1, 200));  // same key, bigger body
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_EQ(s.bytes, before + 100);
+  EXPECT_EQ(cache.get(1)->csv.size(), 200u);
+}
+
+TEST(ResultCache, GetOrComputeCachesExactResultsByteIdentically) {
+  const auto p = dr::kernels::conv2d({});
+  dr::explorer::ExploreOptions opts;
+  const std::uint64_t hash = dr::explorer::exploreConfigHash(p, 0, opts);
+  ResultCache cache(ResultCache::Options{});
+
+  i64 simulated = -1;
+  auto first = cache.getOrCompute(hash, p, 0, opts, &simulated);
+  ASSERT_TRUE(first.hasValue());
+  EXPECT_GT(simulated, 0);  // cold: had to simulate
+  auto second = cache.getOrCompute(hash, p, 0, opts, &simulated);
+  ASSERT_TRUE(second.hasValue());
+  EXPECT_EQ(simulated, 0);  // memory hit
+  EXPECT_EQ(first->csv, second->csv);
+
+  auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.entries, 1);
+
+  // Byte-identity with the direct explorer rendering — the same promise
+  // explore_kernel --curve-out makes.
+  auto direct = dr::explorer::exploreSignalChecked(p, 0, opts);
+  ASSERT_TRUE(direct.hasValue());
+  EXPECT_EQ(first->csv,
+            dr::report::curveCsv(direct->signalName, direct->simulatedCurve));
+  EXPECT_EQ(first->Ctot, direct->Ctot);
+  EXPECT_EQ(first->distinctElements, direct->distinctElements);
+}
+
+TEST(ResultCache, WarmLayerRehydratesFromJournalWithZeroSimulation) {
+  const std::string dir = tempDir("warm");
+  const auto p = dr::kernels::conv2d({});
+  dr::explorer::ExploreOptions opts;
+  const std::uint64_t hash = dr::explorer::exploreConfigHash(p, 0, opts);
+
+  ResultCache::Options copts;
+  copts.warmDir = dir;
+  std::string csvCold;
+  {
+    ResultCache cold(copts);
+    i64 simulated = -1;
+    auto r = cold.getOrCompute(hash, p, 0, opts, &simulated);
+    ASSERT_TRUE(r.hasValue());
+    EXPECT_GT(simulated, 0);
+    csvCold = r->csv;
+    // The computation left a journal behind at the content address.
+    std::ifstream journal(cold.warmPath(hash), std::ios::binary);
+    EXPECT_TRUE(journal.good());
+  }
+  // A fresh process (new cache instance): the journal answers without a
+  // single simulated point, byte-identically.
+  ResultCache warm(copts);
+  i64 simulated = -1;
+  auto r = warm.getOrCompute(hash, p, 0, opts, &simulated);
+  ASSERT_TRUE(r.hasValue());
+  EXPECT_EQ(simulated, 0);
+  EXPECT_EQ(r->csv, csvCold);
+  auto s = warm.stats();
+  EXPECT_EQ(s.warmHits, 1);
+  EXPECT_EQ(s.misses, 0);
+}
+
+TEST(ResultCache, DegradedResultsAreServedButNeverCached) {
+  const auto p = dr::kernels::conv2d({});
+  dr::explorer::ExploreOptions opts;
+  dr::support::RunBudget budget;
+  budget.setMaxEvents(1);  // trips immediately: analytic-only ladder rung
+  opts.budget = &budget;
+  const std::uint64_t hash = dr::explorer::exploreConfigHash(p, 0, opts);
+  ResultCache cache(ResultCache::Options{});
+  auto r = cache.getOrCompute(hash, p, 0, opts);
+  ASSERT_TRUE(r.hasValue());
+  EXPECT_NE(r->fidelity,
+            static_cast<std::uint8_t>(dr::simcore::Fidelity::ExactStream));
+  EXPECT_EQ(cache.stats().entries, 0);  // degraded: not cached
+  // The next identical query recomputes (and could succeed at full
+  // fidelity under a healthier budget).
+  cache.getOrCompute(hash, p, 0, opts);
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(ResultCache, WarmLookupAtLeast100xFasterThanColdCompute) {
+  // The in-process acceptance benchmark: memory-layer latency vs the full
+  // simulation, on a kernel big enough that the cold side is honest work.
+  const auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::explorer::ExploreOptions opts;
+  const std::uint64_t hash = dr::explorer::exploreConfigHash(p, 0, opts);
+  ResultCache cache(ResultCache::Options{});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto cold = cache.getOrCompute(hash, p, 0, opts);
+  const auto coldNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  ASSERT_TRUE(cold.hasValue());
+
+  i64 warmNs = -1;
+  for (int i = 0; i < 3; ++i) {  // best of three: immune to scheduler noise
+    const auto w0 = std::chrono::steady_clock::now();
+    auto warm = cache.getOrCompute(hash, p, 0, opts);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - w0)
+                        .count();
+    ASSERT_TRUE(warm.hasValue());
+    EXPECT_EQ(warm->csv, cold->csv);
+    if (warmNs < 0 || ns < warmNs) warmNs = ns;
+  }
+  EXPECT_GE(coldNs, 100 * warmNs)
+      << "cold " << coldNs << "ns vs warm " << warmNs << "ns";
+}
+
+// ---- single-flight ------------------------------------------------------
+
+TEST(SingleFlight, BurstOfIdenticalCallsRunsOneComputation) {
+  SingleFlight flight;
+  std::atomic<int> computations{0};
+  std::atomic<int> leaders{0};
+  constexpr int kThreads = 32;
+  std::vector<std::thread> threads;
+  std::vector<std::string> results(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      bool leader = false;
+      auto r = flight.run(
+          42,
+          [&]() -> SingleFlight::Result {
+            computations.fetch_add(1);
+            // Hold the computation open until every other thread has
+            // joined, so the burst is genuinely concurrent.
+            while (flight.joins() < kThreads - 1)
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            CachedCurve c;
+            c.configHash = 42;
+            c.csv = "the one result";
+            return c;
+          },
+          &leader);
+      if (leader) leaders.fetch_add(1);
+      ASSERT_TRUE(r.hasValue());
+      results[static_cast<std::size_t>(t)] = r->csv;
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computations.load(), 1);
+  EXPECT_EQ(leaders.load(), 1);
+  EXPECT_EQ(flight.joins(), kThreads - 1);
+  for (const auto& r : results) EXPECT_EQ(r, "the one result");
+}
+
+TEST(SingleFlight, SequentialCallsEachLead) {
+  SingleFlight flight;
+  int computations = 0;
+  for (int i = 0; i < 3; ++i) {
+    bool leader = false;
+    auto r = flight.run(
+        7,
+        [&]() -> SingleFlight::Result {
+          ++computations;
+          return makeEntry(7, 8);
+        },
+        &leader);
+    ASSERT_TRUE(r.hasValue());
+    EXPECT_TRUE(leader);  // the key is erased after each completion
+  }
+  EXPECT_EQ(computations, 3);
+  EXPECT_EQ(flight.joins(), 0);
+}
+
+TEST(SingleFlight, LeaderExceptionPropagatesAndUnblocksTheKey) {
+  SingleFlight flight;
+  EXPECT_THROW(
+      flight.run(9,
+                 []() -> SingleFlight::Result {
+                   throw std::runtime_error("boom");
+                 }),
+      std::runtime_error);
+  // The key is free again: the next call leads and succeeds.
+  bool leader = false;
+  auto r = flight.run(
+      9, [&]() -> SingleFlight::Result { return makeEntry(9, 8); }, &leader);
+  EXPECT_TRUE(leader);
+  ASSERT_TRUE(r.hasValue());
+}
+
+TEST(SingleFlight, ErrorStatusReachesEveryJoiner) {
+  SingleFlight flight;
+  auto r = flight.run(11, []() -> SingleFlight::Result {
+    return Status::error(StatusCode::InvalidInput, "bad kernel");
+  });
+  ASSERT_FALSE(r.hasValue());
+  EXPECT_EQ(r.status().code(), StatusCode::InvalidInput);
+}
+
+// ---- metrics ------------------------------------------------------------
+
+TEST(Metrics, LatencyPercentilesUseBucketUpperBounds) {
+  dr::service::Metrics m;
+  for (int i = 0; i < 100; ++i) m.recordExploreLatencyUs(10);
+  m.recordExploreLatencyUs(1000000);
+  auto s = m.snapshot();
+  EXPECT_EQ(s.exploreLatency.count, 101);
+  EXPECT_EQ(s.exploreLatency.maxUs, 1000000);
+  EXPECT_EQ(s.exploreLatency.p50Us, 15);  // 10us lands in [8, 16)
+  EXPECT_EQ(s.exploreLatency.p95Us, 15);
+  EXPECT_EQ(s.exploreLatency.totalUs, 100 * 10 + 1000000);
+}
+
+TEST(Metrics, RenderEmitsOneLinePerCounter) {
+  dr::service::Metrics m;
+  m.countRequest();
+  m.countExplore();
+  m.countSimulation();
+  auto text = dr::service::Metrics::render(m.snapshot());
+  EXPECT_NE(text.find("requests 1\n"), std::string::npos);
+  EXPECT_NE(text.find("explore_requests 1\n"), std::string::npos);
+  EXPECT_NE(text.find("simulations 1\n"), std::string::npos);
+  EXPECT_NE(text.find("cache_hits 0\n"), std::string::npos);
+}
+
+// ---- server end to end --------------------------------------------------
+
+TEST(Server, ServesCurveByteIdenticalToDirectExploration) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 2;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  const std::string kernel = dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  auto result = queryExplore(sock, kernel, "Old");
+  ASSERT_TRUE(result.hasValue()) << result.status().str();
+  EXPECT_FALSE(result->cached);  // first query computes
+
+  // The same request served again is a cache hit...
+  auto again = queryExplore(sock, kernel, "Old");
+  ASSERT_TRUE(again.hasValue());
+  EXPECT_TRUE(again->cached);
+  EXPECT_EQ(again->csv, result->csv);
+
+  // ...and both match the direct in-process exploration byte for byte.
+  auto compiled = dr::frontend::compileKernelChecked(kernel);
+  ASSERT_TRUE(compiled.hasValue());
+  const int signal = compiled->findSignal("Old");
+  ASSERT_GE(signal, 0);
+  auto direct = dr::explorer::exploreSignalChecked(*compiled, signal);
+  ASSERT_TRUE(direct.hasValue());
+  EXPECT_EQ(result->csv,
+            dr::report::curveCsv(direct->signalName, direct->simulatedCurve));
+  EXPECT_EQ(result->Ctot, direct->Ctot);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, ConcurrentIdenticalBurstSimulatesExactlyOnce) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 4;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  const std::string kernel = dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  constexpr int kClients = 32;
+  std::vector<std::thread> clients;
+  std::vector<std::string> csvs(kClients);
+  std::atomic<int> failures{0};
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      auto r = queryExplore(sock, kernel, "Old");
+      if (r.hasValue())
+        csvs[static_cast<std::size_t>(c)] = r->csv;
+      else
+        failures.fetch_add(1);
+    });
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int c = 1; c < kClients; ++c) EXPECT_EQ(csvs[0], csvs[static_cast<std::size_t>(c)]);
+
+  auto s = server.metricsSnapshot();
+  EXPECT_EQ(s.exploreRequests, kClients);
+  EXPECT_EQ(s.simulations, 1);  // the acceptance gate
+  // Every non-leader was served by the cache or joined the in-flight
+  // computation; nothing fell through to a second simulation.
+  EXPECT_EQ(s.cacheHits + s.inflightJoins, kClients - 1);
+  EXPECT_EQ(s.cacheMisses, 1);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, SurvivesMalformedFrameAndKeepsServing) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 2;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  {
+    int fd = connectTo(sock);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(sendAll(fd, "this is not a frame at all"));
+    auto reply = readReply(fd);  // best-effort error reply before the drop
+    if (reply.hasValue()) EXPECT_NE(reply->code, StatusCode::Ok);
+    ::close(fd);
+  }
+  {
+    // A frame with a corrupted checksum.
+    std::string frame = proto::encodeFrame(proto::Verb::Stats, "");
+    frame[frame.size() - 1] ^= 0xFF;
+    int fd = connectTo(sock);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(sendAll(fd, frame));
+    auto reply = readReply(fd);
+    if (reply.hasValue()) EXPECT_NE(reply->code, StatusCode::Ok);
+    ::close(fd);
+  }
+
+  // The daemon is alive and serves a clean query.
+  auto result =
+      queryExplore(sock, dr::kernels::motionEstimationSource({32, 32, 4, 4}),
+                   "Old");
+  EXPECT_TRUE(result.hasValue()) << result.status().str();
+  EXPECT_GE(server.metricsSnapshot().protocolErrors, 2);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, SurvivesMidQueryDisconnect) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 2;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  {
+    // Send only half a valid frame, then vanish.
+    const std::string frame = proto::encodeFrame(
+        proto::Verb::Explore,
+        proto::encodeExploreRequest({std::string(1000, 'k'), "", 0, 0}));
+    int fd = connectTo(sock);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(sendAll(fd, frame.substr(0, frame.size() / 2)));
+    ::close(fd);
+  }
+  // Wait until the server has registered the drop, then query cleanly.
+  for (int i = 0; i < 100; ++i) {
+    if (server.metricsSnapshot().connectionsDropped > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.metricsSnapshot().connectionsDropped, 1);
+  auto result =
+      queryExplore(sock, dr::kernels::motionEstimationSource({32, 32, 4, 4}),
+                   "Old");
+  EXPECT_TRUE(result.hasValue()) << result.status().str();
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, StatsVerbReportsCountersAndCacheLedger) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 2;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  ASSERT_TRUE(
+      queryExplore(sock, dr::kernels::motionEstimationSource({32, 32, 4, 4}),
+                   "Old")
+          .hasValue());
+  auto reply = roundTrip(sock, proto::Verb::Stats, "");
+  ASSERT_TRUE(reply.hasValue());
+  EXPECT_EQ(reply->code, StatusCode::Ok);
+  EXPECT_NE(reply->body.find("explore_requests 1\n"), std::string::npos);
+  EXPECT_NE(reply->body.find("simulations 1\n"), std::string::npos);
+  EXPECT_NE(reply->body.find("cache_entries 1\n"), std::string::npos);
+
+  // report::metricsReport renders the same snapshot as markdown.
+  auto md = dr::report::metricsReport(server.metricsSnapshot());
+  EXPECT_NE(md.find("| explore requests | 1 |"), std::string::npos);
+  EXPECT_NE(md.find("## Result cache"), std::string::npos);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, ErrorRepliesForBadKernelAndUnknownSignal) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 2;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  auto bad = queryExplore(sock, "this is not a kernel", "");
+  ASSERT_FALSE(bad.hasValue());
+  EXPECT_EQ(bad.status().code(), StatusCode::InvalidInput);
+  auto noSignal = queryExplore(
+      sock, dr::kernels::motionEstimationSource({32, 32, 4, 4}), "Nope");
+  ASSERT_FALSE(noSignal.hasValue());
+  EXPECT_EQ(noSignal.status().code(), StatusCode::InvalidInput);
+  EXPECT_EQ(server.metricsSnapshot().exploreErrors, 2);
+  // Errors never kill the daemon.
+  EXPECT_TRUE(
+      queryExplore(sock, dr::kernels::motionEstimationSource({32, 32, 4, 4}),
+                   "Old")
+          .hasValue());
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, NoCacheFlagBypassesTheCache) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 2;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  const std::string kernel = dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  auto first = queryExplore(sock, kernel, "Old", proto::kFlagNoCache);
+  ASSERT_TRUE(first.hasValue());
+  EXPECT_FALSE(first->cached);
+  auto second = queryExplore(sock, kernel, "Old", proto::kFlagNoCache);
+  ASSERT_TRUE(second.hasValue());
+  EXPECT_FALSE(second->cached);  // recomputed, byte-identical anyway
+  EXPECT_EQ(first->csv, second->csv);
+  auto s = server.metricsSnapshot();
+  EXPECT_EQ(s.simulations, 2);
+  EXPECT_EQ(s.cacheEntries, 0);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, ShutdownVerbDrainsAndReleasesTheSocket) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 2;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  auto reply = roundTrip(sock, proto::Verb::Shutdown, "");
+  ASSERT_TRUE(reply.hasValue());
+  EXPECT_EQ(reply->code, StatusCode::Ok);
+  server.wait();  // returns once drained
+  EXPECT_TRUE(server.draining());
+  EXPECT_LT(connectTo(sock), 0);  // socket file is gone
+  EXPECT_EQ(server.metricsSnapshot().shutdownRequests, 1);
+}
+
+TEST(Server, WarmDirectorySharedWithCliJournals) {
+  const std::string dir = tempDir("served_warm");
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 2;
+  opts.cache.warmDir = dir;
+  const std::string kernel = dr::kernels::motionEstimationSource({32, 32, 4, 4});
+
+  std::string csv;
+  {
+    Server server(opts);
+    ASSERT_TRUE(server.start().isOk());
+    auto r = queryExplore(sock, kernel, "Old");
+    ASSERT_TRUE(r.hasValue()) << r.status().str();
+    csv = r->csv;
+    EXPECT_EQ(server.metricsSnapshot().simulations, 1);
+    server.requestShutdown();
+    server.wait();
+  }
+  {
+    // A restarted daemon rehydrates the same query from the journal the
+    // first one left behind: zero simulations, identical bytes.
+    Server server(opts);
+    ASSERT_TRUE(server.start().isOk());
+    auto r = queryExplore(sock, kernel, "Old");
+    ASSERT_TRUE(r.hasValue()) << r.status().str();
+    EXPECT_TRUE(r->cached);
+    EXPECT_EQ(r->csv, csv);
+    auto s = server.metricsSnapshot();
+    EXPECT_EQ(s.simulations, 0);
+    EXPECT_EQ(s.warmHits, 1);
+    server.requestShutdown();
+    server.wait();
+  }
+}
+
+TEST(Server, InjectedIoFaultDropsOnlyThatConnection) {
+  if constexpr (!dr::support::fault::kCompiledIn) {
+    GTEST_SKIP() << "fault injection not compiled in (DR_FAULT_INJECT=OFF)";
+  } else {
+    const std::string sock = socketPath();
+    ServerOptions opts;
+    opts.socketPath = sock;
+    opts.workers = 2;
+    Server server(opts);
+    ASSERT_TRUE(server.start().isOk());
+
+    dr::support::fault::arm(dr::support::fault::FaultSite::ServiceIo, 1);
+    auto faulted = queryExplore(
+        sock, dr::kernels::motionEstimationSource({32, 32, 4, 4}), "Old");
+    EXPECT_FALSE(faulted.hasValue());  // that connection died
+    dr::support::fault::disarmAll();
+
+    // The daemon survived and the next query is served normally.
+    auto ok = queryExplore(
+        sock, dr::kernels::motionEstimationSource({32, 32, 4, 4}), "Old");
+    EXPECT_TRUE(ok.hasValue()) << ok.status().str();
+    EXPECT_GE(server.metricsSnapshot().connectionsDropped, 1);
+
+    server.requestShutdown();
+    server.wait();
+  }
+}
+
+}  // namespace

@@ -237,6 +237,27 @@ TEST(Cli, RejectsBadInput) {
   EXPECT_THROW(cli.getInt("n", 0), ContractViolation);
 }
 
+TEST(Cli, ParsesExploreKernelFlagSet) {
+  // The full explore_kernel surface, --cache-dir included, in all three
+  // argument forms (--k=v, --k v, bare flag).
+  const char* argv[] = {"prog",          "--kernel",    "k.krn",
+                        "--signal=Old",  "--cache-dir", "/tmp/warm",
+                        "--journal",     "j.journal",   "--no-resume",
+                        "--deadline-ms", "250",         "--curve-out=c.csv",
+                        "--orderings=64"};
+  CliOptions cli(13, argv);
+  EXPECT_EQ(cli.getString("kernel", ""), "k.krn");
+  EXPECT_EQ(cli.getString("signal", ""), "Old");
+  EXPECT_EQ(cli.getString("cache-dir", ""), "/tmp/warm");
+  EXPECT_EQ(cli.getString("journal", ""), "j.journal");
+  EXPECT_TRUE(cli.getBool("no-resume", false));
+  EXPECT_EQ(cli.getInt("deadline-ms", 0), 250);
+  EXPECT_EQ(cli.getString("curve-out", ""), "c.csv");
+  EXPECT_EQ(cli.getInt("orderings", 0), 64);
+  EXPECT_FALSE(cli.getBool("no-sim", false));  // absent: fallback
+  EXPECT_TRUE(cli.unusedNames().empty());
+}
+
 TEST(Cli, UnusedNamesReported) {
   const char* argv[] = {"prog", "--typo=1"};
   CliOptions cli(2, argv);

@@ -53,12 +53,18 @@ struct Row {
   i64 events = 0, distinct = 0, simulatedEvents = 0;
   bool folded = false, exact = false;
   i64 foldPeriodChunks = 0;
-  double streamSeconds = 0;
+  double streamSeconds = 0;  ///< run-granularity engine (the default)
   i64 streamPeakRss = 0;
   i64 materializedBytesBound = 0;  ///< 8 bytes/event trace footprint
   double materializedSeconds = -1;
   i64 materializedPeakRss = -1;
   bool identical = false;  ///< streaming curve == materialized (if run)
+  // Run-granularity stats + per-element A/B on the same frame.
+  i64 runsDecoded = 0;
+  i64 runFastEvents = 0;
+  double meanRunLength = 0;  ///< simulated events per decoded run
+  double elementSeconds = 0;
+  bool enginesIdentical = false;  ///< run curve == element curve
 };
 
 void writeJson(const std::vector<Row>& rows) {
@@ -87,6 +93,15 @@ void writeJson(const std::vector<Row>& rows) {
                  (long long)r.materializedBytesBound,
                  static_cast<double>(r.materializedBytesBound) /
                      static_cast<double>(r.streamPeakRss));
+    std::fprintf(f,
+                 ",\n     \"run_stats\": {\"runs_decoded\": %lld, "
+                 "\"mean_run_length\": %.1f, \"run_fast_events\": %lld, "
+                 "\"element_seconds\": %.3f, \"speedup_vs_element\": %.1f, "
+                 "\"curve_identical_vs_element\": %s}",
+                 (long long)r.runsDecoded, r.meanRunLength,
+                 (long long)r.runFastEvents, r.elementSeconds,
+                 r.streamSeconds > 0 ? r.elementSeconds / r.streamSeconds : 0.0,
+                 r.enginesIdentical ? "true" : "false");
     if (r.materializedSeconds >= 0)
       std::fprintf(f,
                    ",\n     \"materialized\": {\"seconds\": %.3f, "
@@ -149,15 +164,40 @@ void printFigureData() {
     row.exact = stats.exact;
     row.foldPeriodChunks = stats.foldPeriodChunks;
     row.materializedBytesBound = stats.totalEvents * 8;
+    row.runsDecoded = stats.runsDecoded;
+    row.runFastEvents = stats.runFastEvents;
+    row.meanRunLength =
+        stats.runsDecoded > 0 ? static_cast<double>(stats.simulatedEvents) /
+                                    static_cast<double>(stats.runsDecoded)
+                              : 0.0;
+
+    // Per-element A/B on the same frame: same options, run path off.
+    dr::trace::TraceCursor elemCursor(p, map, filter);
+    dr::simcore::FoldedCurveOptions elemOpts = opts;
+    elemOpts.runGranularity = false;
+    dr::simcore::FoldedStats elemStats;
+    t0 = std::chrono::steady_clock::now();
+    const auto elemHist = dr::simcore::foldedStackHistogram(
+        elemCursor, pd, dr::simcore::Policy::Opt, &elemStats, elemOpts);
+    row.elementSeconds = secondsSince(t0);
+    row.enginesIdentical = true;
+    for (i64 s : dr::simcore::sizeGrid(row.distinct, 24))
+      row.enginesIdentical = row.enginesIdentical &&
+                             hist.resultAt(s).misses == elemHist.resultAt(s).misses;
 
     std::printf(
         "%-6s %4lldx%-4lld  %11lld events  %8lld distinct  "
-        "stream %7.2f s  rss %6.1f MB  %s  FR_max %.1f\n",
+        "run %7.2f s  elem %7.2f s  (%4.1fx, %s)  rss %6.1f MB  %s  "
+        "runs %lld (mean len %.0f)  FR_max %.1f\n",
         fr.name, (long long)fr.width, (long long)fr.height,
         (long long)row.events, (long long)row.distinct, row.streamSeconds,
+        row.elementSeconds,
+        row.streamSeconds > 0 ? row.elementSeconds / row.streamSeconds : 0.0,
+        row.enginesIdentical ? "identical" : "MISMATCH",
         static_cast<double>(row.streamPeakRss) / (1024.0 * 1024.0),
         row.folded ? (row.exact ? "folded(exact)" : "folded(approx)")
                    : "streamed",
+        (long long)row.runsDecoded, row.meanRunLength,
         hist.resultAt(row.distinct).reuseFactor());
     rows.push_back(row);
   }

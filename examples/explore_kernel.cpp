@@ -9,6 +9,7 @@
 //                               [--journal PATH] [--no-resume]
 //                               [--cache-dir DIR]
 //                               [--deadline-ms N] [--curve-out PATH]
+//                               [--engine run|element]
 //
 // Without --kernel it runs on a built-in 2-D convolution example. The
 // kernel language grammar is documented in src/frontend/parser.h.
@@ -21,7 +22,9 @@
 // writes — so reruns and daemon queries with the same kernel + options
 // reuse each other's results. --deadline-ms bounds the run with a
 // RunBudget (degrading, not failing, on expiry) and --curve-out writes
-// the simulated curve as CSV.
+// the simulated curve as CSV. --engine picks the streaming granularity:
+// `run` (default) simulates decoded constant-stride runs, `element` one
+// event at a time — byte-identical curves, kept for A/B debugging.
 
 #include <chrono>
 #include <cstdio>
@@ -210,6 +213,13 @@ int runExploreKernel(int argc, char** argv) {
   std::string signalName = cli.getString("signal", "");
   dr::explorer::ExploreOptions opts;
   opts.runSimulation = !cli.getBool("no-sim", false);
+  const std::string engine = cli.getString("engine", "run");
+  if (engine == "element") {
+    opts.runGranularity = false;
+  } else if (engine != "run") {
+    std::fprintf(stderr, "error: --engine must be 'element' or 'run'\n");
+    return 1;
+  }
   bool emitCode = cli.getBool("emit-code", false);
   bool fullReport = cli.getBool("report", false);
   long long orderingsBudget = cli.getInt("orderings", 0);

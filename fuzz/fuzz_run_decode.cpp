@@ -1,0 +1,129 @@
+// Fuzz target: run-granularity decoding + batched simulation.
+//
+// The input bytes are decoded into a small lowered loop nest plus a
+// chunk-size schedule and a slab size. The same trace is then walked
+// twice: element-wise (nextChunk + push) and run-wise (nextRuns under the
+// fuzzed chunk sizes, densified ids buffered into fuzzed-size slabs and
+// fed to pushRun). Run decoding is specified to be boundary-stable and
+// pushRun to be byte-identical to element pushes for ANY slicing of the
+// id stream, so any divergence in histogram, cold misses, access count,
+// or OPT slot state — or any crash / contract violation in the decoder
+// or the batched engines — is a bug.
+
+#include <cstdlib>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "simcore/stream_stack.h"
+#include "trace/stream.h"
+#include "trace/walker.h"
+
+namespace {
+
+using dr::support::i64;
+
+/// Sequential byte reader; reads 0 once the input is exhausted.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t next() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  /// Signed value in [-bound, bound].
+  i64 nextSigned(int bound) {
+    return static_cast<i64>(next() % (2 * bound + 1)) - bound;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+dr::trace::LoweredNest decodeNest(ByteReader& r) {
+  dr::trace::LoweredNest nest;
+  const int depth = 1 + r.next() % 4;
+  const int accesses = 1 + r.next() % 3;
+  for (int d = 0; d < depth; ++d) {
+    dr::trace::LoweredLoop loop;
+    loop.begin = r.nextSigned(8);
+    loop.step = 1 + r.next() % 3;
+    loop.trip = 1 + r.next() % 8;
+    nest.loops.push_back(loop);
+  }
+  for (int a = 0; a < accesses; ++a) {
+    dr::trace::LoweredAccess acc;
+    acc.base = r.nextSigned(64);
+    acc.accessIndex = a;
+    for (int d = 0; d < depth; ++d)
+      acc.levelCoeff.push_back(r.nextSigned(16));
+    nest.accesses.push_back(acc);
+  }
+  return nest;
+}
+
+template <class Acc>
+void checkPolicy(const std::vector<dr::trace::LoweredNest>& nests,
+                 ByteReader& r) {
+  // Element-wise reference.
+  Acc ref;
+  {
+    dr::trace::TraceCursor cursor(nests);
+    auto [lo, hi] = cursor.addressRange();
+    dr::simcore::StreamingDensifier dens(lo, hi);
+    std::vector<i64> buf;
+    while (cursor.nextChunk(buf, 512) > 0)
+      for (i64 addr : buf) ref.push(dens.idOf(addr));
+  }
+  // Run-wise under a fuzzed chunk-size schedule and slab size. Chunk
+  // sizes deliberately straddle run boundaries; decoding must not split
+  // or merge runs differently because of them.
+  Acc run;
+  i64 runEvents = 0;
+  {
+    dr::trace::TraceCursor cursor(nests);
+    auto [lo, hi] = cursor.addressRange();
+    dr::simcore::StreamingDensifier dens(lo, hi);
+    const i64 slab = 1 + r.next() % 64;
+    dr::trace::RunBlock block;
+    std::vector<i64> idbuf;
+    for (;;) {
+      const i64 want = 1 + r.next() % 32;
+      const i64 got = cursor.nextRuns(block, want);
+      if (got <= 0) break;
+      runEvents += got;
+      for (std::size_t b = 0; b < block.size(); ++b) {
+        for (i64 j = 0; j < block.length[b]; ++j)
+          idbuf.push_back(dens.idOf(block.base[b] + j * block.stride[b]));
+        if (static_cast<i64>(idbuf.size()) >= slab) {
+          run.pushRun(idbuf.data(), static_cast<i64>(idbuf.size()));
+          idbuf.clear();
+        }
+      }
+    }
+    if (!idbuf.empty())
+      run.pushRun(idbuf.data(), static_cast<i64>(idbuf.size()));
+  }
+  if (runEvents != ref.accesses()) std::abort();
+  if (run.accesses() != ref.accesses() ||
+      run.coldMisses() != ref.coldMisses() ||
+      run.distinct() != ref.distinct() ||
+      run.rawHistogram() != ref.rawHistogram())
+    std::abort();
+  if constexpr (std::is_same_v<Acc, dr::simcore::OptStackAccumulator>) {
+    // The OPT engine's internal slot state must match too — a histogram
+    // that happens to agree over a divergent tree would still poison
+    // every later distance.
+    if (run.slotValues() != ref.slotValues()) std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ByteReader r(data, size);
+  std::vector<dr::trace::LoweredNest> nests{decodeNest(r)};
+  checkPolicy<dr::simcore::OptStackAccumulator>(nests, r);
+  checkPolicy<dr::simcore::LruStackAccumulator>(nests, r);
+  return 0;
+}

@@ -104,7 +104,10 @@ bool fidelityIsExact(std::uint8_t f) {
 /// the journaled curve: the normalized kernel text, the signal, the
 /// engine and size-grid configuration, and the format/code versions. The
 /// budget is deliberately excluded — a budgeted and an unbudgeted run ask
-/// the same question, so one may resume the other.
+/// the same question, so one may resume the other. runGranularity is
+/// excluded for the same reason: the run-decoded and per-element engines
+/// are byte-identical, so either may resume (or serve cached results to)
+/// the other.
 std::uint64_t journalConfigHash(const Program& pn, int signal,
                                 const ExploreOptions& opts) {
   std::string blob = loopir::programToString(pn);
@@ -546,6 +549,7 @@ SignalExploration exploreSignalImpl(const Program& p, int signal,
             dr::trace::detectPeriod(cursor.nests());
         simcore::FoldedCurveOptions foldOpts;
         foldOpts.budget = opts.budget;
+        foldOpts.runGranularity = opts.runGranularity;
         const simcore::StackHistogram h = simcore::foldedStackHistogram(
             cursor, period, simcore::Policy::Opt, &result.simulationStats,
             foldOpts);

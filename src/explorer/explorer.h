@@ -63,6 +63,13 @@ struct ExploreOptions {
   /// ratios; requires runSimulation.
   bool includeSimulatedCandidates = true;
   i64 maxSimulatedCandidates = 12;
+  /// Drive the streaming engines at run granularity (decoded
+  /// constant-stride bursts, simcore/folded_curve.h) instead of one event
+  /// at a time. Byte-identical results either way — it is deliberately
+  /// *excluded* from the exploration config hash, so cached results are
+  /// shared across engines; flip with explore_kernel --engine for A/B
+  /// debugging.
+  bool runGranularity = true;
   /// Cooperative resource budget shared by every stage of the run
   /// (support/budget.h). A trip never aborts the exploration — the
   /// simulated curve degrades down the ladder instead: exact streaming →

@@ -64,6 +64,213 @@ StackHistogram finishStream(TraceCursor& cursor, StreamingDensifier& dens,
   return acc.finalize();
 }
 
+/// Serves the decoded run stream in caller-sized slices. The cursor's
+/// nextRuns never splits a run (its boundaries are chunk-size
+/// independent), so it can overshoot a requested chunk; this feed buffers
+/// the decoded runs (SoA, like trace::RunBlock) and slices them at exact
+/// event boundaries here — safe because pushRun over any slicing of the
+/// id stream is byte-identical to element-wise pushes.
+class RunFeed {
+ public:
+  explicit RunFeed(TraceCursor& cursor) : cursor_(cursor) {}
+
+  /// Events handed to fn so far (excludes decoded-but-buffered overshoot,
+  /// which cursor.position() includes — simulatedEvents must come from
+  /// here on the run path).
+  i64 consumed() const noexcept { return consumed_; }
+
+  /// Runs decoded so far (pre-slicing), for FoldedStats.
+  i64 runsDecoded() const noexcept { return runs_; }
+
+  /// Deliver exactly `events` events to fn(base, stride, len), slicing
+  /// runs at the boundary. Returns false *consuming nothing* when the
+  /// stream cannot supply them (exhausted or budget tripped) — the
+  /// whole-chunk refusal the folding loop relies on.
+  template <class Fn>
+  bool feedChunk(i64 events, Fn&& fn) {
+    while (avail_ < events)
+      if (!pull(events - avail_)) return false;
+    serve(events, fn);
+    return true;
+  }
+
+  /// Deliver up to `maxEvents` more events; returns the count served
+  /// (0 iff exhausted or tripped). The tail-draining primitive.
+  template <class Fn>
+  i64 nextSlice(i64 maxEvents, Fn&& fn) {
+    if (avail_ == 0 && !pull(maxEvents)) return 0;
+    const i64 n = std::min(avail_, maxEvents);
+    serve(n, fn);
+    return n;
+  }
+
+ private:
+  bool pull(i64 want) {
+    if (cursor_.nextRuns(scratch_, want) == 0) return false;
+    if (head_ == base_.size()) {
+      base_.clear();
+      stride_.clear();
+      len_.clear();
+      head_ = 0;
+    }
+    base_.insert(base_.end(), scratch_.base.begin(), scratch_.base.end());
+    stride_.insert(stride_.end(), scratch_.stride.begin(),
+                   scratch_.stride.end());
+    len_.insert(len_.end(), scratch_.length.begin(), scratch_.length.end());
+    avail_ += scratch_.events;
+    runs_ += static_cast<i64>(scratch_.size());
+    return true;
+  }
+
+  template <class Fn>
+  void serve(i64 events, Fn&& fn) {
+    avail_ -= events;
+    consumed_ += events;
+    while (events > 0) {
+      const i64 take = std::min(events, len_[head_]);
+      fn(base_[head_], stride_[head_], take);
+      events -= take;
+      len_[head_] -= take;
+      if (len_[head_] == 0)
+        ++head_;
+      else
+        base_[head_] += take * stride_[head_];
+    }
+  }
+
+  TraceCursor& cursor_;
+  dr::trace::RunBlock scratch_;
+  std::vector<i64> base_, stride_, len_;  ///< pending runs, SoA
+  std::size_t head_ = 0;
+  i64 avail_ = 0;
+  i64 consumed_ = 0;
+  i64 runs_ = 0;
+};
+
+/// Densified ids are buffered across run boundaries and handed to
+/// pushRun in slabs of this many elements. Decoded runs are short (a
+/// kernel's innermost extent — 8 for ME), while the accumulators' fast
+/// paths amortize per-call setup over the whole slab: consecutive runs
+/// revisit mostly the same ids, so a cross-run slab turns hundreds of
+/// tiny warm stretches into one long session. Byte-identity is
+/// unaffected — pushRun over any slicing of the id stream matches
+/// element-wise pushes.
+constexpr i64 kIdSlab = 16384;
+
+/// The folding loop's view of a stream source: fills exact-size measure
+/// chunks (hashing the distance sequence into `delta`) and drains the
+/// exact tail. ElementFeeder reproduces the original per-event path
+/// verbatim; RunFeeder consumes decoded runs via pushRun. Byte-identical
+/// outputs (pinned by tests), so runEngineLoop below is shared.
+template <class Acc>
+struct ElementFeeder {
+  TraceCursor& cursor;
+  std::vector<i64> buf;
+
+  bool fillChunk(i64 period, StreamingDensifier& dens, Acc& acc,
+                 ChunkDelta& delta) {
+    const i64 got = cursor.nextChunk(buf, period);
+    // A single-nest stream of R whole periods only ever yields full
+    // chunks — or nothing, when the attached budget tripped.
+    DR_CHECK(got == period || (got == 0 && cursor.truncated()));
+    if (got == 0) return false;
+    for (i64 addr : buf) {
+      const i64 d = acc.push(dens.idOf(addr));
+      delta.seqHash ^= static_cast<std::uint64_t>(d);
+      delta.seqHash *= kFnvPrime;
+    }
+    return true;
+  }
+
+  i64 position() const { return cursor.position(); }
+
+  StackHistogram finish(StreamingDensifier& dens, Acc& acc, FoldedStats& st,
+                        const FoldedCurveOptions& opts) {
+    return finishStream(cursor, dens, acc, st, opts);
+  }
+};
+
+template <class Acc>
+struct RunFeeder {
+  TraceCursor& cursor;
+  RunFeed feed{cursor};
+  std::vector<i64> idbuf;
+
+  /// Densify one run into the slab; push the slab through when full.
+  template <class Sink>
+  void bufferRun(StreamingDensifier& dens, Acc& acc, i64 base, i64 stride,
+                 i64 len, Sink&& sink) {
+    for (i64 j = 0; j < len; ++j) idbuf.push_back(dens.idOf(base + j * stride));
+    if (static_cast<i64>(idbuf.size()) >= kIdSlab) flush(acc, sink);
+  }
+
+  template <class Sink>
+  void flush(Acc& acc, Sink&& sink) {
+    if (idbuf.empty()) return;
+    acc.pushRun(idbuf.data(), static_cast<i64>(idbuf.size()), sink);
+    idbuf.clear();
+  }
+
+  /// FNV-1a over the chunk's distance sequence. The span overload is the
+  /// hot one: pushRun hands back each committed batch of distances as one
+  /// span, and folding the whole span with the accumulator in a register
+  /// beats a load/xor/mul/store round trip per element. Same values in
+  /// the same order either way, so the resulting hash is bit-identical.
+  struct SeqHashSink {
+    std::uint64_t h;
+    void operator()(i64 d) {
+      h ^= static_cast<std::uint64_t>(d);
+      h *= kFnvPrime;
+    }
+    void operator()(const i64* d, i64 n) {
+      std::uint64_t x = h;
+      for (i64 q = 0; q < n; ++q) {
+        x ^= static_cast<std::uint64_t>(d[q]);
+        x *= kFnvPrime;
+      }
+      h = x;
+    }
+  };
+
+  bool fillChunk(i64 period, StreamingDensifier& dens, Acc& acc,
+                 ChunkDelta& delta) {
+    SeqHashSink sink{delta.seqHash};
+    const bool ok = feed.feedChunk(period, [&](i64 base, i64 stride, i64 n) {
+      bufferRun(dens, acc, base, stride, n, sink);
+    });
+    DR_CHECK(ok || cursor.truncated());
+    // Drain the slab at the chunk boundary: the folding loop inspects the
+    // accumulator state (delta hash, steady-state certificate) right
+    // after this call, so every event of the chunk must be applied.
+    if (ok) flush(acc, sink);
+    delta.seqHash = sink.h;
+    return ok;
+  }
+
+  i64 position() const { return feed.consumed(); }
+
+  StackHistogram finish(StreamingDensifier& dens, Acc& acc, FoldedStats& st,
+                        const FoldedCurveOptions& opts) {
+    auto drop = [](i64) {};
+    auto push = [&](i64 base, i64 stride, i64 n) {
+      bufferRun(dens, acc, base, stride, n, drop);
+    };
+    while (feed.nextSlice(opts.chunkEvents, push) > 0)
+      if (opts.budget != nullptr)
+        opts.budget->noteResidentBytes(dens.memoryBytes() +
+                                       acc.memoryBytes());
+    flush(acc, drop);
+    st.simulatedEvents = feed.consumed();
+    st.distinct = acc.coldMisses();
+    st.fidelity = Fidelity::ExactStream;
+    if (cursor.truncated()) {
+      st.completed = false;
+      st.trippedBy = opts.budget->state();
+    }
+    return acc.finalize();
+  }
+};
+
 /// OPT steady-state certificate: the slot tree at chunk boundary c must
 /// be the boundary-(c-s) tree advanced by s periods — every busy-until
 /// time either shifts by exactly `shift` (= s*period), or is older than
@@ -115,29 +322,22 @@ StackHistogram extrapolateOne(const Acc& acc, const ChunkDelta& cyc,
   return StackHistogram::build(std::move(folded), cold, st.totalEvents);
 }
 
-template <class Acc>
-StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
-                         bool certifySlots, FoldedStats& st,
-                         const FoldedCurveOptions& opts) {
-  cursor.attachBudget(opts.budget);
-  cursor.reset();
-  const auto [lo, hi] = cursor.addressRange();
-  StreamingDensifier dens(lo, hi);
-  Acc acc;
-  st.totalEvents = cursor.length();
-
+template <class Acc, class Feeder>
+StackHistogram runEngineLoop(Feeder& feeder, StreamingDensifier& dens,
+                             Acc& acc, const PeriodInfo& pd,
+                             bool certifySlots, FoldedStats& st,
+                             const FoldedCurveOptions& opts) {
   const bool tryFold = opts.allowFold && pd.found && pd.repeatCount >= 2;
   const i64 warmChunks = tryFold ? 1 + pd.maxLateWarmGap : 0;
   // Folding must leave chunks to extrapolate: when warmup plus the
   // convergence runs already cover the stream, just play it out.
   if (!tryFold || warmChunks + opts.convergenceRuns >= pd.repeatCount)
-    return finishStream(cursor, dens, acc, st, opts);
+    return feeder.finish(dens, acc, st, opts);
 
   st.period = pd.period;
   st.repeatCount = pd.repeatCount;
   st.warmupEvents = warmChunks * pd.period;
 
-  std::vector<i64> buf;
   std::vector<i64> prevHist;
   i64 prevCold = 0;
   std::vector<ChunkDelta> deltas;          ///< post-warmup, oldest first
@@ -148,37 +348,32 @@ StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
   const i64 measureBudget = warmChunks + opts.maxMeasuredChunks;
 
   while (chunk < pd.repeatCount) {
-    const i64 got = cursor.nextChunk(buf, pd.period);
-    // A single-nest stream of R whole periods only ever yields full
-    // chunks — or nothing, when the attached budget tripped.
-    DR_CHECK(got == pd.period || (got == 0 && cursor.truncated()));
-    if (got == 0) {
+    ChunkDelta delta;
+    if (!feeder.fillChunk(pd.period, dens, acc, delta)) {
       st.trippedBy = opts.budget->state();
       if (chunk >= 1)  // degrade: extrapolate the last measured chunk
         return extrapolateOne(acc, lastDelta, pd.repeatCount - chunk,
-                              cursor.position(), st);
+                              feeder.position(), st);
       st.completed = false;
-      st.simulatedEvents = cursor.position();
+      st.simulatedEvents = feeder.position();
       st.distinct = acc.coldMisses();
       return acc.finalize();
-    }
-    ChunkDelta delta;
-    for (i64 addr : buf) {
-      const i64 d = acc.push(dens.idOf(addr));
-      delta.seqHash ^= static_cast<std::uint64_t>(d);
-      delta.seqHash *= kFnvPrime;
     }
     ++chunk;
     if (opts.budget != nullptr)
       opts.budget->noteResidentBytes(dens.memoryBytes() + acc.memoryBytes());
 
+    // Single pass: emit this chunk's increment and roll prevHist forward
+    // in the same sweep (the histogram hot loop of the measuring phase).
     const std::vector<i64>& raw = acc.rawHistogram();
-    delta.hist.assign(raw.begin(), raw.end());
-    for (std::size_t i = 0; i < prevHist.size(); ++i)
-      delta.hist[i] -= prevHist[i];
+    if (prevHist.size() < raw.size()) prevHist.resize(raw.size(), 0);
+    delta.hist.resize(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      delta.hist[i] = raw[i] - prevHist[i];
+      prevHist[i] = raw[i];
+    }
     trimTrailingZeros(delta.hist);
     delta.cold = acc.coldMisses() - prevCold;
-    prevHist.assign(raw.begin(), raw.end());
     prevCold = acc.coldMisses();
 
     lastDelta = delta;
@@ -224,7 +419,7 @@ StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
       st.folded = true;
       st.fidelity = Fidelity::ExactFold;
       st.foldPeriodChunks = s;
-      st.simulatedEvents = cursor.position();
+      st.simulatedEvents = feeder.position();
       st.distinct = cold;
       return StackHistogram::build(std::move(folded), cold,
                                    st.totalEvents);
@@ -237,14 +432,41 @@ StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
       // header), which a scaling sweep gladly trades for not streaming
       // the remaining billions of events.
       return extrapolateOne(acc, deltas.back(), remaining,
-                            cursor.position(), st);
+                            feeder.position(), st);
     }
     break;  // stream the rest plainly (exact)
   }
 
   // Fold abandoned (or the stream ended first): stream whatever is left —
   // exact by construction, just without the speedup.
-  return finishStream(cursor, dens, acc, st, opts);
+  return feeder.finish(dens, acc, st, opts);
+}
+
+template <class Acc>
+StackHistogram runEngine(TraceCursor& cursor, const PeriodInfo& pd,
+                         bool certifySlots, FoldedStats& st,
+                         const FoldedCurveOptions& opts) {
+  cursor.attachBudget(opts.budget);
+  cursor.reset();
+  const auto [lo, hi] = cursor.addressRange();
+  StreamingDensifier dens(lo, hi);
+  Acc acc;
+  st.totalEvents = cursor.length();
+
+  // The run path only pays when decoded runs actually batch events (the
+  // hint is a static lower bound on the mean run length); a stream of
+  // singleton runs would just add slicing overhead.
+  if (opts.runGranularity && cursor.runLengthHint() >= 2.0) {
+    st.runGranularity = true;
+    RunFeeder<Acc> feeder{cursor};
+    StackHistogram h =
+        runEngineLoop(feeder, dens, acc, pd, certifySlots, st, opts);
+    st.runsDecoded = feeder.feed.runsDecoded();
+    st.runFastEvents = acc.runFastEvents();
+    return h;
+  }
+  ElementFeeder<Acc> feeder{cursor};
+  return runEngineLoop(feeder, dens, acc, pd, certifySlots, st, opts);
 }
 
 ReusePoint pointFrom(const SimResult& r, i64 size) {

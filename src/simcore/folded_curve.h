@@ -74,6 +74,16 @@ struct FoldedStats {
   /// Chunks per certified steady-state cycle (the super-period s); 0 when
   /// the run did not fold.
   i64 foldPeriodChunks = 0;
+  /// True when the engine consumed decoded constant-stride runs
+  /// (trace::TraceCursor::nextRuns + pushRun) instead of one event at a
+  /// time. Results are byte-identical either way; this only records which
+  /// path ran.
+  bool runGranularity = false;
+  /// Runs decoded by the cursor for this engine (0 on the element path).
+  i64 runsDecoded = 0;
+  /// Events the accumulators absorbed through closed-form run segments
+  /// (the rest fell back to per-element pushes inside pushRun).
+  i64 runFastEvents = 0;
 };
 
 struct FoldedCurveOptions {
@@ -96,6 +106,13 @@ struct FoldedCurveOptions {
   /// estimation); intended for scaling sweeps where streaming billions of
   /// events is the alternative. Default keeps every result byte-exact.
   bool approximateAfterBudget = false;
+  /// Consume the stream as decoded constant-stride runs (pushRun fast
+  /// path) when the cursor's runLengthHint says the decode can pay off.
+  /// Byte-identical to the element path by construction (pushRun falls
+  /// back to push() whenever a closed form's precondition fails), so this
+  /// is a pure speed knob; --engine=element in explore_kernel flips it
+  /// for A/B debugging.
+  bool runGranularity = true;
   /// Cooperative resource budget, polled at chunk boundaries (attached to
   /// the cursor for the run). A trip degrades rather than aborts: a
   /// periodic stream with >= 1 measured chunk extrapolates the rest

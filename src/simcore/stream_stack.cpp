@@ -12,6 +12,21 @@ namespace dr::simcore {
 namespace {
 constexpr i64 kInf = std::numeric_limits<i64>::max();
 constexpr i64 kNegInf = std::numeric_limits<i64>::min();
+
+/// At HD frame sizes the per-id state tables outgrow the LLC, and the one
+/// unavoidable random access per warm element — its previous-access time —
+/// becomes a full memory stall. The batched engines know the ids well in
+/// advance, so they issue the loads this many elements early and let the
+/// misses overlap.
+constexpr i64 kPrefetchAhead = 16;
+
+inline void prefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 1);
+#else
+  (void)p;
+#endif
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -115,6 +130,62 @@ i64 OptSlotTree::replaceAndRepair(i64 prev, i64 t) {
   return L;
 }
 
+i64 OptSlotTree::leftmostAtMost(i64 prev) const {
+  if (n_ == 0 || nodes_[1].min > prev) return -1;
+  i64 node = 1;
+  while (node < size_) {
+    node *= 2;
+    if (nodes_[static_cast<std::size_t>(node)].min > prev) ++node;
+  }
+  return node - size_;
+}
+
+void OptSlotTree::stampAscending(i64 slot, i64 firstVal, i64 count) {
+  DR_REQUIRE(count >= 1 && slot >= 0 && slot + count <= n_);
+  i64 lo = size_ + slot;
+  i64 hi = lo + count - 1;
+  for (i64 i = lo; i <= hi; ++i) {
+    const i64 v = firstVal + (i - lo);
+    nodes_[static_cast<std::size_t>(i)] = Node{v, v};
+  }
+  lo >>= 1;
+  hi >>= 1;
+  while (lo >= 1) {
+    for (i64 i = lo; i <= hi; ++i) pull(i);
+    lo >>= 1;
+    hi >>= 1;
+  }
+}
+
+void OptSlotTree::readLeaves(i64 slot, i64 count, i64* out) const {
+  DR_REQUIRE(count >= 0 && slot >= 0 && slot + count <= n_);
+  for (i64 i = 0; i < count; ++i)
+    out[i] = nodes_[static_cast<std::size_t>(size_ + slot + i)].min;
+}
+
+void OptSlotTree::writeLeavesRepair(i64 slot, const i64* vals, i64 count) {
+  DR_REQUIRE(count >= 1 && slot >= 0 && slot + count <= n_);
+  i64 lo = size_ + slot;
+  i64 hi = lo + count - 1;
+  for (i64 i = lo; i <= hi; ++i) {
+    const i64 v = vals[i - lo];
+    nodes_[static_cast<std::size_t>(i)] = Node{v, v};
+  }
+  lo >>= 1;
+  hi >>= 1;
+  while (lo >= 1) {
+    for (i64 i = lo; i <= hi; ++i) pull(i);
+    lo >>= 1;
+    hi >>= 1;
+  }
+}
+
+void OptSlotTree::cascadeFrom(i64 pos, i64 hi, i64 carry) {
+  // `carry` arrives by value: the final carry of a chain leaves the tree
+  // (exactly as in replaceAndRepair), so the caller never reads it back.
+  cascade(1, 0, size_, pos, hi, carry);
+}
+
 void OptSlotTree::pull(i64 node) {
   const std::size_t u = static_cast<std::size_t>(node);
   nodes_[u].min = std::min(nodes_[2 * u].min, nodes_[2 * u + 1].min);
@@ -175,12 +246,257 @@ i64 OptStackAccumulator::push(i64 denseId) {
   return dist;
 }
 
+
+i64 OptStackAccumulator::warmStretchLen(const i64* ids, i64 len) const {
+  const i64 cap = std::min<i64>(len, kStretchCap);
+  i64 dd = distinct();
+  i64 m = 0;
+  while (m < cap) {
+    const i64 id = ids[m];
+    if (id == dd) {
+      // Cold: the densifier assigns fresh ids in order, so the next
+      // first-sight id is always the running distinct count. Cold
+      // accesses never touch the window — the session carries them
+      // inline rather than tearing down and rebuilding its state.
+      ++dd;
+      ++m;
+      continue;
+    }
+    if (id < 0 || id >= dd) break;  // invalid: new segment
+    if (m > 0 && id == ids[m - 1]) {
+      // Back-to-back repeats are legal session elements (prev = t-1, so
+      // they land at slot 0), but long repeat runs have an O(1)-per-
+      // element closed form — cut the stretch and leave those to it.
+      i64 r = m;
+      while (r < cap && ids[r] == id) ++r;
+      if (r - m + 1 >= kRepeatCut) break;
+      m = r;
+      continue;
+    }
+    ++m;
+  }
+  return m;
+}
+
+i64 OptStackAccumulator::warmSession(const i64* ids, i64 n) {
+  n = std::min(n, kSessMaxElems);
+  const i64 W = std::min<i64>(kSessWindow, tree_.size());
+  if (W <= 0) return 0;
+  sessWin_.resize(static_cast<std::size_t>(W));
+  tree_.readLeaves(0, W, sessWin_.data());
+  // Block skip bounds over the window: bmin[b] is a LOWER bound on block
+  // b's minimum, bmax[b] an UPPER bound on its maximum. Bounds, not exact
+  // values, so the per-element maintenance is O(1): a stamp only raises a
+  // value (bmin stays a lower bound; bmax := t, the newest time), a chain
+  // swap only lowers one (bmax stays an upper bound; bmin folds in the
+  // written carry). Skips stay sound either way — bmin[b] > prev proves
+  // the block holds no landing and no taker, bmax[b] <= carry proves no
+  // taker — and staleness only costs a wasted scan, which immediately
+  // repairs the bound it used (every full-block read refreshes exactly).
+  constexpr i64 kBlk = 8;
+  i64 bmin[(kSessWindow + kBlk - 1) / kBlk];
+  i64 bmax[(kSessWindow + kBlk - 1) / kBlk];
+  const i64 nb = (W + kBlk - 1) / kBlk;
+  for (i64 b = 0; b < nb; ++b) {
+    const i64 lo = b * kBlk, hi = std::min(W, lo + kBlk);
+    i64 mn = sessWin_[static_cast<std::size_t>(lo)], mx = mn;
+    for (i64 w = lo + 1; w < hi; ++w) {
+      const i64 v = sessWin_[static_cast<std::size_t>(w)];
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    bmin[b] = mn;
+    bmax[b] = mx;
+  }
+  sessDists_.clear();
+  sessExits_.clear();
+  i64 committed = 0;  // elements fully applied to the real engine state
+  i64 dirtyLo = W, dirtyHi = -1;
+  i64 i = 0;
+
+  // Apply the batch [committed, i): histogram and clocks first, then the
+  // window write-back, then each parked chain tail — finished by the real
+  // cascade over slots >= W, in element order, exactly where and with the
+  // carry the per-element push would have reached them.
+  auto commitBatch = [&]() {
+    const i64 batch = i - committed;
+    if (batch == 0) return;
+    i64 maxDist = 0;
+    for (i64 q = committed; q < i; ++q)
+      maxDist = std::max(maxDist, sessDists_[static_cast<std::size_t>(q)]);
+    growHistogram(maxDist);
+    for (i64 q = committed; q < i; ++q) {
+      const i64 d = sessDists_[static_cast<std::size_t>(q)];
+      if (d > 0) ++histogram_[static_cast<std::size_t>(d)];  // 0 = cold
+    }
+    t_ += batch;
+    runFast_ += batch;
+    // The write-back must precede the chain tails: cascade prunes on
+    // internal min/max, which are only consistent once the leaves are.
+    if (dirtyHi >= dirtyLo)
+      tree_.writeLeavesRepair(
+          dirtyLo, sessWin_.data() + static_cast<std::size_t>(dirtyLo),
+          dirtyHi - dirtyLo + 1);
+    // Each parked chain resumes at slot W with its recorded carry; the
+    // real cascade finishes it over slots >= W, in element order.
+    for (const auto& [carry, hi] : sessExits_)
+      tree_.cascadeFrom(W - 1, hi, carry);
+    committed = i;
+    sessExits_.clear();
+    dirtyLo = W;
+    dirtyHi = -1;
+  };
+
+  while (i < n) {
+    if (i + kPrefetchAhead < n) {
+      const auto ahead = static_cast<std::size_t>(ids[i + kPrefetchAhead]);
+      if (ahead < lastPos_.size()) prefetchRead(&lastPos_[ahead]);
+    }
+    const i64 id = ids[i];
+    if (id == distinct()) {
+      // Cold access, carried inline: it consumes a fresh slot beyond
+      // every stamped one and touches no window slot, so the session
+      // state stays valid — only the shared clock advances (batched,
+      // like every session element). Mirrors pushRun's cold stretch.
+      lastPos_.push_back(t_ + (i - committed));
+      ++coldMisses_;
+      if (distinct() > tree_.size()) tree_.grow(distinct());
+      sessDists_.push_back(0);
+      ++i;
+      if (i - committed >= kSessBatch) commitBatch();
+      continue;
+    }
+    const i64 prev = lastPos_[static_cast<std::size_t>(id)];
+    // Landing: leftmost slot with value <= prev. The window starts at
+    // slot 0, so the scan is exact — if it finds nothing, the true
+    // landing is at a slot >= W.
+    i64 li = -1;
+    for (i64 b = 0; b < nb && li < 0; ++b) {
+      if (bmin[b] > prev) continue;  // lower bound: true min > prev too
+      const i64 blo = b * kBlk, bhi = std::min(W, blo + kBlk);
+      i64 mn = kInf, mx = kNegInf;
+      for (i64 w = blo; w < bhi; ++w) {
+        const i64 v = sessWin_[static_cast<std::size_t>(w)];
+        if (v <= prev) {
+          li = w;
+          break;
+        }
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      if (li < 0) {
+        // Stale bound: the block held nothing <= prev after all. The scan
+        // just read every leaf, so refresh both bounds exactly and move on
+        // — the landing, if any, is still ahead.
+        bmin[b] = mn;
+        bmax[b] = mx;
+      }
+    }
+    if (li < 0) {
+      // Exterior landing (an archive-aged reuse): flush the batch, then
+      // run this element against its own small window at the true landing
+      // slot L. Everything it touches lies at slots >= L >= W — no window
+      // slot accepted prev — so the main window copy stays valid and the
+      // session continues.
+      commitBatch();
+      const i64 L = tree_.leftmostAtMost(prev);
+      DR_CHECK(L >= W);  // the committed window holds no value <= prev
+      const i64 FW = std::min<i64>(kSessFarWindow, tree_.size() - L);
+      sessFar_.resize(static_cast<std::size_t>(FW));
+      tree_.readLeaves(L, FW, sessFar_.data());
+      i64 carry = sessFar_[0];
+      sessFar_[0] = t_;
+      i64 fDirty = 0;
+      for (i64 w = 1; w < FW && carry < prev; ++w) {
+        const i64 v = sessFar_[static_cast<std::size_t>(w)];
+        if (v > carry && v <= prev) {
+          sessFar_[static_cast<std::size_t>(w)] = carry;
+          carry = v;
+          fDirty = w;
+        }
+      }
+      tree_.writeLeavesRepair(L, sessFar_.data(), fDirty + 1);
+      if (carry < prev) tree_.cascadeFrom(L + FW - 1, prev, carry);
+      const i64 dist = L + 1;
+      growHistogram(dist);
+      ++histogram_[static_cast<std::size_t>(dist)];
+      lastPos_[static_cast<std::size_t>(id)] = t_;
+      ++t_;
+      ++runFast_;
+      sessDists_.push_back(dist);
+      ++i;
+      committed = i;
+      continue;
+    }
+    const i64 t = t_ + (i - committed);
+    lastPos_[static_cast<std::size_t>(id)] = t;
+    i64 carry = sessWin_[static_cast<std::size_t>(li)];
+    sessWin_[static_cast<std::size_t>(li)] = t;
+    // t is the newest time in existence: the block max is exactly t now,
+    // and the old bmin stays a valid lower bound.
+    bmax[li / kBlk] = t;
+    dirtyLo = std::min(dirtyLo, li);
+    dirtyHi = std::max(dirtyHi, li);
+    // Replay the displacement chain across the window in cascade's
+    // left-to-right leaf order. Once carry reaches prev the taker
+    // interval (carry, prev] is empty and the chain is over — in steady
+    // streams that happens within a few slots (when the chain absorbs
+    // the slot holding this id's own previous stamp), so the sweep
+    // rarely sees the whole window.
+    // Chain sweep with two-sided block skip: bmin[b] > prev means every
+    // value there exceeds prev (no taker, no landing), bmax[b] <= carry
+    // means every value is one the chain already passed (takers need
+    // v > carry). A block the sweep does enter at its start gets read in
+    // full — finish the read past the chain's own end if need be, it is
+    // at most kBlk leaves — and leaves with exact bounds again.
+    for (i64 w = li + 1; w < W && carry < prev;) {
+      const i64 b = w / kBlk;
+      if (w % kBlk == 0 && (bmin[b] > prev || bmax[b] <= carry)) {
+        w += kBlk;
+        continue;
+      }
+      const i64 blo = b * kBlk;
+      const i64 bhi = std::min(W, (b + 1) * kBlk);
+      const bool full = (w == blo);
+      i64 mn = kInf, mx = kNegInf;
+      for (; w < bhi; ++w) {
+        i64 v = sessWin_[static_cast<std::size_t>(w)];
+        if (carry < prev && v > carry && v <= prev) {
+          sessWin_[static_cast<std::size_t>(w)] = carry;
+          dirtyHi = std::max(dirtyHi, w);
+          const i64 written = carry;
+          carry = v;
+          v = written;  // the block now holds the written carry
+        }
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      if (full) {  // exact refresh: every leaf of the block was read
+        bmin[b] = mn;
+        bmax[b] = mx;
+      } else {
+        bmin[b] = std::min(bmin[b], mn);  // swaps only lowered values
+      }
+    }
+    // A chain leaving the window with carry == prev is over — the taker
+    // interval (carry, prev] is empty. Anything less is parked and
+    // finished over the exterior slots at commit time.
+    if (carry < prev) sessExits_.push_back({carry, prev});
+    sessDists_.push_back(li + 1);
+    ++i;
+    if (i - committed >= kSessBatch) commitBatch();
+  }
+  commitBatch();
+  return i;
+}
+
 // ---------------------------------------------------------------------------
 // LruStackAccumulator
 
 LruStackAccumulator::LruStackAccumulator(i64 expectedDistinct) {
   windowCap_ = std::max<i64>(4096, 2 * expectedDistinct);
-  fenwick_.assign(static_cast<std::size_t>(windowCap_) + 1, 0);
+  unmarkB1_.assign(static_cast<std::size_t>(windowCap_) + 1, 0);
+  unmarkB2_.assign(static_cast<std::size_t>(windowCap_) + 1, 0);
   lastPos_.reserve(
       static_cast<std::size_t>(std::max<i64>(expectedDistinct, 0)));
   histogram_.assign(2, 0);
@@ -188,24 +504,43 @@ LruStackAccumulator::LruStackAccumulator(i64 expectedDistinct) {
 
 namespace {
 
-inline void bitAdd(std::vector<i64>& tree, i64 pos, i64 delta) {
-  for (i64 i = pos + 1; i < static_cast<i64>(tree.size()); i += i & (-i))
+// 1-indexed Fenwick primitives; out-of-range updates (pos1 > size) fall
+// off the loop harmlessly, the standard way to clip a range add whose
+// right edge is the window end.
+inline void bitAdd(std::vector<i64>& tree, i64 pos1, i64 delta) {
+  for (i64 i = pos1; i < static_cast<i64>(tree.size()); i += i & (-i))
     tree[static_cast<std::size_t>(i)] += delta;
 }
 
-inline i64 bitPrefix(const std::vector<i64>& tree, i64 pos) {
+inline i64 bitSum(const std::vector<i64>& tree, i64 pos1) {
   i64 s = 0;
-  for (i64 i = pos + 1; i > 0; i -= i & (-i))
+  for (i64 i = pos1; i > 0; i -= i & (-i))
     s += tree[static_cast<std::size_t>(i)];
   return s;
 }
 
 }  // namespace
 
+i64 LruStackAccumulator::unmarkPrefix(i64 pos) const {
+  const i64 p = pos + 1;  // 1-indexed
+  if (p <= 0) return 0;
+  return p * bitSum(unmarkB1_, p) - bitSum(unmarkB2_, p);
+}
+
+void LruStackAccumulator::unmarkRange(i64 l, i64 r) {
+  const i64 a = l + 1, b = r + 1;  // 1-indexed inclusive
+  bitAdd(unmarkB1_, a, 1);
+  bitAdd(unmarkB1_, b + 1, -1);
+  bitAdd(unmarkB2_, a, a - 1);
+  bitAdd(unmarkB2_, b + 1, -b);
+  totalUnmarks_ += r - l + 1;
+}
+
 void LruStackAccumulator::compact() {
   // Only the most recent access of each live address is marked; renumber
   // those positions 0..m-1 preserving order. Prefix counts between any
-  // two marks — the stack distances — are untouched.
+  // two marks — the stack distances — are untouched. In the unmark
+  // representation the fresh window simply has no unmarks at all.
   std::vector<i64> marked;
   marked.reserve(lastPos_.size());
   for (i64 pos : lastPos_)
@@ -217,8 +552,9 @@ void LruStackAccumulator::compact() {
 
   const i64 m = static_cast<i64>(marked.size());
   windowCap_ = std::max<i64>(windowCap_, 2 * (m + 1));
-  fenwick_.assign(static_cast<std::size_t>(windowCap_) + 1, 0);
-  for (i64 i = 0; i < m; ++i) bitAdd(fenwick_, i, +1);
+  unmarkB1_.assign(static_cast<std::size_t>(windowCap_) + 1, 0);
+  unmarkB2_.assign(static_cast<std::size_t>(windowCap_) + 1, 0);
+  totalUnmarks_ = 0;
   for (i64& pos : lastPos_)
     if (pos >= 0) pos = rank[static_cast<std::size_t>(pos)];
   cursor_ = m;
@@ -233,17 +569,16 @@ i64 LruStackAccumulator::push(i64 denseId) {
   if (prev < 0) {
     ++coldMisses_;
   } else {
-    // Stack distance = distinct addresses accessed in (prev, now], which
-    // is the marked positions after prev plus the element itself.
+    // Stack distance = distinct addresses accessed in (prev, now]: the
+    // still-marked positions after prev plus the element itself. All
+    // unmarks live below the cursor, so the left term needs no query.
     const i64 between =
-        bitPrefix(fenwick_, cursor_ - 1) - bitPrefix(fenwick_, prev);
+        (cursor_ - 1 - prev) - (totalUnmarks_ - unmarkPrefix(prev));
     dist = between + 1;
-    if (dist >= static_cast<i64>(histogram_.size()))
-      histogram_.resize(static_cast<std::size_t>(dist) + 1, 0);
+    growHistogram(dist);
     ++histogram_[static_cast<std::size_t>(dist)];
-    bitAdd(fenwick_, prev, -1);
+    unmarkRange(prev, prev);
   }
-  bitAdd(fenwick_, cursor_, +1);
   lastPos_[static_cast<std::size_t>(denseId)] = cursor_;
   ++cursor_;
   ++t_;

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "simcore/buffer_sim.h"
+#include "support/contracts.h"
 
 /// \file stream_stack.h
 /// Incremental (push-one-access-at-a-time) versions of the one-pass
@@ -26,6 +28,18 @@
 ///
 /// Distances returned by push() are byte-identical to the batch engines'
 /// (pinned by test_folded_stream.cpp property sweeps).
+///
+/// Both accumulators additionally expose pushRun(): a batched push of a
+/// decoded constant-stride run (trace/stream.h) that recognizes the
+/// structured segments such runs produce — fresh-address stretches,
+/// back-to-back repeats, and warm stretches of already-seen addresses
+/// (batched as windowed sessions on the OPT side, arithmetic-progression
+/// closed forms on the LRU side) — and applies amortized histogram and
+/// state updates instead of one tree walk per element. Every fast path
+/// carries an exactness argument (inline below, summarized in DESIGN.md);
+/// whenever a precondition fails the affected elements fall back to
+/// push(), so pushRun() is byte-identical to element-wise pushes by
+/// construction (pinned by tests/test_runsim.cpp).
 
 namespace dr::simcore {
 
@@ -68,6 +82,41 @@ class OptSlotTree {
   /// invariant. Returns L (-1 when every slot is busy past prev).
   i64 replaceAndRepair(i64 prev, i64 t);
 
+  /// Leftmost slot with busy-until <= prev, without modifying the tree
+  /// (-1 when every slot is busy past prev). The search half of
+  /// replaceAndRepair, used by the run fast path to probe whether a warm
+  /// stretch is slot-aligned before committing to the closed form.
+  i64 leftmostAtMost(i64 prev) const;
+
+  /// Busy-until time of one slot (0 <= slot < size()); O(1).
+  i64 leafValue(i64 slot) const noexcept {
+    return nodes_[static_cast<std::size_t>(size_ + slot)].min;
+  }
+
+  /// Stamp slots [slot, slot+count) with firstVal, firstVal+1, ... —
+  /// contiguous leaf writes plus one bottom-up ancestor sweep, O(count +
+  /// log) instead of count root-to-leaf walks. Only valid when the
+  /// per-element stamps would not cascade (the run fast path proves that
+  /// before calling).
+  void stampAscending(i64 slot, i64 firstVal, i64 count);
+
+  /// Copies busy-until times of slots [slot, slot+count) into out —
+  /// contiguous leaf reads, O(count).
+  void readLeaves(i64 slot, i64 count, i64* out) const;
+
+  /// Overwrite slots [slot, slot+count) with vals and repair ancestors —
+  /// contiguous leaf writes plus one bottom-up sweep, O(count + log).
+  /// The run engine's bulk write-back; values must reproduce exactly the
+  /// state per-element pushes would have left (internal nodes are a pure
+  /// function of the leaves, so leaf equality implies tree equality).
+  void writeLeavesRepair(i64 slot, const i64* vals, i64 count);
+
+  /// Run the displacement cascade over slots > pos with the given carry
+  /// and upper bound hi — the tail half of replaceAndRepair, exposed so
+  /// the run engine can finish a chain whose simulated prefix already
+  /// covered slots [0, pos].
+  void cascadeFrom(i64 pos, i64 hi, i64 carry);
+
   /// Enlarge to >= n real slots, preserving all current values.
   void grow(i64 n);
 
@@ -108,11 +157,65 @@ class OptStackAccumulator {
   /// capacity at which it hits), or 0 for a cold (first) access.
   i64 push(i64 denseId);
 
+  /// Batched push of `len` accesses, invoking `sink(distance)` for each
+  /// element in order with exactly push()'s return value. Byte-identical
+  /// to element-wise push() — distances, histogram, *and* slot-tree state
+  /// (the folded engine's OPT certificates snapshot the tree, so state
+  /// equality matters) — but recognizes three segment shapes and updates
+  /// them in closed form:
+  ///
+  ///  * Cold stretch (consecutive fresh ids): push() never touches the
+  ///    tree for a cold access, so the batch is pure appends plus one
+  ///    deferred grow. O(m).
+  ///  * Repeat stretch (same id back to back): from the third occurrence
+  ///    on, every tree value is < t, so the leftmost eligible slot is
+  ///    slot 0, which holds the immediately preceding stamp — distance 1,
+  ///    stamp slot 0, and the cascade range (prev, prev] is empty. O(m).
+  ///  * Warm session (see warmSession): a stretch of already-seen ids —
+  ///    duplicates and interleaved cold ids welcome — is simulated
+  ///    against a *local copy* of the leaf window [0, kSessWindow) and
+  ///    committed in batches. Landing a reuse interval is finding the
+  ///    leftmost slot with value <= prev, so a scan of the window copy is
+  ///    exact: either it finds the landing, or the true landing provably
+  ///    lies at a slot >= the window width. The scan hops over 8-slot
+  ///    blocks via conservative per-block min/max bounds (exact skips,
+  ///    self-healing on every full-block read). The displacement chain is
+  ///    replayed left-to-right inside the copy and almost always dies
+  ///    there — the moment carry reaches prev the taker interval
+  ///    (carry, prev] is empty, which happens as soon as the chain
+  ///    absorbs the slot holding this id's own previous stamp. Chains
+  ///    that do leave the window are parked as (carry, prev) pairs; at
+  ///    commit the dirty window span is written back with one contiguous
+  ///    leaf write (internal nodes are a pure function of the leaves, so
+  ///    leaf equality implies tree equality) and each parked chain is
+  ///    finished by the *real* cascade restricted to slots beyond the
+  ///    window — exact because it is the same routine a plain push would
+  ///    have run, reached with the same carry, in the same order.
+  ///    Landings beyond the window (archive-aged reuses) run between
+  ///    batches against their own small far window plus cascade tail,
+  ///    and never touch the main window. Cold ids ride along inline:
+  ///    they never touch a stamped slot, so only the shared clock moves.
+  ///    Hundreds of random O(log n) tree walks collapse into sequential
+  ///    scans of one hot cache-resident window plus a handful of
+  ///    boundary cascades.
+  ///
+  /// Any element matching no segment falls back to push().
+  template <class Sink>
+  void pushRun(const i64* ids, i64 len, Sink&& sink);
+
+  void pushRun(const i64* ids, i64 len) {
+    pushRun(ids, len, [](i64) {});
+  }
+
   i64 accesses() const noexcept { return t_; }
   i64 coldMisses() const noexcept { return coldMisses_; }
   i64 distinct() const noexcept {
     return static_cast<i64>(lastPos_.size());
   }
+
+  /// Events absorbed by pushRun()'s closed-form segments (the rest went
+  /// through the per-element fallback) — the bench's compression stat.
+  i64 runFastEvents() const noexcept { return runFast_; }
 
   /// Histogram by distance; may carry trailing zeros while accumulating.
   const std::vector<i64>& rawHistogram() const noexcept {
@@ -135,15 +238,145 @@ class OptStackAccumulator {
   }
 
  private:
+  static constexpr i64 kSessWindow = 512;  ///< leaf window copied per session
+  static constexpr i64 kSessMaxElems = 16384;  ///< max pool per session
+  static constexpr i64 kSessBatch = 128;       ///< elements per commit batch
+  static constexpr i64 kSessFarWindow = 64;   ///< window for far landings
+  static constexpr i64 kSessionMin = 4;     ///< don't bother below this
+  static constexpr i64 kStretchCap = 16384;  ///< warm-stretch scan bound
+  static constexpr i64 kRepeatCut = 8;  ///< leave repeat runs >= this to the
+                                        ///< O(1) closed form
+
+  void growHistogram(i64 maxDist) {
+    if (maxDist >= static_cast<i64>(histogram_.size()))
+      histogram_.resize(static_cast<std::size_t>(maxDist) + 1, 0);
+  }
+
+  /// Length of the warm prefix of ids (capped): every id already seen.
+  /// Duplicates are fine — the session tracks in-session previous-access
+  /// times itself, and a back-to-back repeat simply lands at slot 0 —
+  /// but a repeat run of kRepeatCut+ elements cuts the stretch so the
+  /// cheaper closed form takes it.
+  i64 warmStretchLen(const i64* ids, i64 len) const;
+
+  /// Simulate-and-commit up to min(n, kSessMaxElems) warm elements (see
+  /// the pushRun comment). Returns how many were committed, with their
+  /// distances in sessDists_; 0 means nothing was certified and *no state
+  /// changed* — the caller pushes one element plainly and may retry.
+  i64 warmSession(const i64* ids, i64 n);
+
   detail::OptSlotTree tree_;
   std::vector<i64> lastPos_;
   std::vector<i64> histogram_;
+  std::vector<i64> sessWin_;    ///< session leaf-window copy
+  std::vector<i64> sessFar_;    ///< far-landing leaf-window copy
+  std::vector<i64> sessDists_;  ///< distances of the committed session
+  std::vector<std::pair<i64, i64>> sessExits_;  ///< (exit carry, chain hi)
   i64 coldMisses_ = 0;
   i64 t_ = 0;
+  i64 runFast_ = 0;
 };
+
+namespace detail {
+
+/// Hand a whole span of distances to the sink at once when it supports
+/// it (operator()(const i64*, i64)), else fall back to one call per
+/// element. The span form lets a hashing sink keep its accumulator in a
+/// register across the batch instead of a load/op/store round trip per
+/// element through the captured reference — the distance values and
+/// their order are identical either way.
+template <class Sink>
+inline void emitDistances(Sink& sink, const i64* d, i64 n) {
+  if constexpr (std::is_invocable_v<Sink&, const i64*, i64>) {
+    sink(d, n);
+  } else {
+    for (i64 q = 0; q < n; ++q) sink(d[q]);
+  }
+}
+
+}  // namespace detail
+
+template <class Sink>
+void OptStackAccumulator::pushRun(const i64* ids, i64 len, Sink&& sink) {
+  i64 k = 0;
+  while (k < len) {
+    const i64 id = ids[k];
+    if (id == distinct()) {
+      // Cold stretch: maximal run of brand-new ids.
+      i64 m = 1;
+      while (k + m < len && ids[k + m] == distinct() + m) ++m;
+      for (i64 j = 0; j < m; ++j) {
+        lastPos_.push_back(t_ + j);
+        sink(i64{0});
+      }
+      coldMisses_ += m;
+      if (distinct() > tree_.size()) tree_.grow(distinct());
+      t_ += m;
+      runFast_ += m;
+      k += m;
+      continue;
+    }
+    DR_REQUIRE(id >= 0 && id < distinct());
+    // Warm stretch first: sessions absorb short repeats too, so cutting
+    // to the repeat branch only pays for long runs (warmStretchLen cuts
+    // the stretch exactly there).
+    const i64 m = warmStretchLen(ids + k, len - k);
+    if (m >= kSessionMin) {
+      i64 done = 0;
+      while (done < m) {
+        const i64 got = warmSession(ids + k + done, m - done);
+        if (got == 0) {  // degenerate tree; make progress plainly
+          sink(push(ids[k + done]));
+          ++done;
+          continue;
+        }
+        detail::emitDistances(sink, sessDists_.data(), got);
+        done += got;
+      }
+      k += done;
+      continue;
+    }
+    if (k + 1 < len && ids[k + 1] == id) {
+      // Repeat stretch. Occurrences 1 and 2 go through push(): the first
+      // has an arbitrary prev, and the second — though its distance is
+      // already 1 — displaces whatever value slot 0 held, a real cascade.
+      // From occurrence 3 on, slot 0 holds the preceding stamp exactly,
+      // so the closed form applies.
+      i64 m2 = 2;
+      while (k + m2 < len && ids[k + m2] == id) ++m2;
+      sink(push(id));
+      sink(push(id));
+      const i64 extra = m2 - 2;
+      if (extra > 0) {
+        growHistogram(1);
+        histogram_[1] += extra;
+        tree_.stampAscending(0, t_ + extra - 1, 1);
+        lastPos_[static_cast<std::size_t>(id)] = t_ + extra - 1;
+        t_ += extra;
+        runFast_ += extra;
+        for (i64 j = 0; j < extra; ++j) sink(i64{1});
+      }
+      k += m2;
+      continue;
+    }
+    sink(push(id));
+    ++k;
+  }
+}
 
 /// Streaming Mattson/LRU stack distances over dense ids (assigned by
 /// first appearance), with the compacting window described above.
+///
+/// Mark bookkeeping: every window position < cursor was marked when the
+/// cursor passed it and is *unmarked* at most once (when its address is
+/// re-accessed), so instead of a 0/1 Fenwick over marks the engine keeps
+/// a range-addable dual Fenwick over *unmarks* plus their running total.
+/// Marked count in [0, p] is then (p+1) - unmarksUpTo(p), marking at the
+/// cursor is free, and — the point of the representation — a warm run
+/// retiring L consecutive positions unmarks them with one O(log) range
+/// add instead of L point updates. A plain push() costs one prefix query
+/// plus one point add, one Fenwick walk *fewer* than the old mark
+/// representation.
 class LruStackAccumulator {
  public:
   explicit LruStackAccumulator(i64 expectedDistinct = 0);
@@ -151,11 +384,46 @@ class LruStackAccumulator {
   /// Feed the next access; returns its LRU stack distance, 0 when cold.
   i64 push(i64 denseId);
 
+  /// Batched push of `len` accesses, invoking `sink(distance)` for each
+  /// element in order with exactly push()'s return value — byte-identical
+  /// distances and histogram (window compaction may fire at different
+  /// moments, which is unobservable: compaction preserves every
+  /// distance). Closed-form segments:
+  ///
+  ///  * Cold stretch (consecutive fresh ids): distance 0 each, marks
+  ///    appended implicitly at the cursor. O(m).
+  ///  * Repeat stretch (same id back to back): after the first
+  ///    occurrence, each one's distance is 1 and the retired positions
+  ///    are consecutive — one range unmark covers them. O(m + log).
+  ///  * Warm stretch whose previous positions form an arithmetic
+  ///    progression p, p+g, ..., p+(M-1)g (g >= 1) with *no other marked
+  ///    position in between* (for g = 1 automatic — all M positions are
+  ///    the stretch's own marks; for g > 1 certified by one range count:
+  ///    marked in (p, p+(M-1)g] == M-1). Then every element has the same
+  ///    distance M + B, where B = marked positions in (p+(M-1)g,
+  ///    cursor-1]: element j sees the M-1-j not-yet-retired progression
+  ///    marks above p+jg, the j fresh marks of this stretch, and B — the
+  ///    retired prefix p..p+(j-1)g lies entirely below p+jg and B's range
+  ///    is untouched during the stretch. Two prefix queries for the
+  ///    whole stretch; state updates are one range unmark (g = 1) or M
+  ///    point unmarks (g > 1).
+  ///
+  /// Any element matching no segment falls back to push().
+  template <class Sink>
+  void pushRun(const i64* ids, i64 len, Sink&& sink);
+
+  void pushRun(const i64* ids, i64 len) {
+    pushRun(ids, len, [](i64) {});
+  }
+
   i64 accesses() const noexcept { return t_; }
   i64 coldMisses() const noexcept { return coldMisses_; }
   i64 distinct() const noexcept {
     return static_cast<i64>(lastPos_.size());
   }
+
+  /// Events absorbed by pushRun()'s closed-form segments.
+  i64 runFastEvents() const noexcept { return runFast_; }
 
   const std::vector<i64>& rawHistogram() const noexcept {
     return histogram_;
@@ -163,8 +431,8 @@ class LruStackAccumulator {
 
   /// Engine footprint (heap containers), for RunBudget memory accounting.
   i64 memoryBytes() const noexcept {
-    return static_cast<i64>((fenwick_.capacity() + lastPos_.capacity() +
-                             histogram_.capacity()) *
+    return static_cast<i64>((unmarkB1_.capacity() + unmarkB2_.capacity() +
+                             lastPos_.capacity() + histogram_.capacity()) *
                             sizeof(i64));
   }
 
@@ -174,15 +442,143 @@ class LruStackAccumulator {
 
  private:
   void compact();
+  /// Unmark events recorded in window positions [0, pos] (two Fenwick
+  /// descents of the dual structure).
+  i64 unmarkPrefix(i64 pos) const;
+  /// Record one unmark per position in [l, r] (one dual-Fenwick range
+  /// add); every position must currently be marked.
+  void unmarkRange(i64 l, i64 r);
+  /// Marked positions in window range (l, r], l <= r < cursor.
+  i64 markedIn(i64 l, i64 r) const {
+    return (r - l) - (unmarkPrefix(r) - unmarkPrefix(l));
+  }
+  void growHistogram(i64 maxDist) {
+    if (maxDist >= static_cast<i64>(histogram_.size()))
+      histogram_.resize(static_cast<std::size_t>(maxDist) + 1, 0);
+  }
 
-  std::vector<i64> fenwick_;  ///< 0/1 marks over window positions
+  std::vector<i64> unmarkB1_;  ///< dual Fenwick over unmark counts
+  std::vector<i64> unmarkB2_;
   std::vector<i64> lastPos_;  ///< per id, window position of last access
   std::vector<i64> histogram_;
   i64 windowCap_ = 0;
   i64 cursor_ = 0;  ///< next free window position
+  i64 totalUnmarks_ = 0;
   i64 coldMisses_ = 0;
   i64 t_ = 0;
+  i64 runFast_ = 0;
 };
+
+template <class Sink>
+void LruStackAccumulator::pushRun(const i64* ids, i64 len, Sink&& sink) {
+  i64 k = 0;
+  while (k < len) {
+    const i64 id = ids[k];
+    if (id == distinct()) {
+      // Cold stretch, split at window boundaries (compaction between
+      // sub-blocks is distance-preserving, see compact()).
+      i64 m = 1;
+      while (k + m < len && ids[k + m] == distinct() + m) ++m;
+      i64 done = 0;
+      while (done < m) {
+        if (cursor_ == windowCap_) compact();
+        const i64 take = std::min(m - done, windowCap_ - cursor_);
+        for (i64 j = 0; j < take; ++j) {
+          lastPos_.push_back(cursor_ + j);
+          sink(i64{0});
+        }
+        cursor_ += take;
+        done += take;
+      }
+      coldMisses_ += m;
+      t_ += m;
+      runFast_ += m;
+      k += m;
+      continue;
+    }
+    DR_REQUIRE(id >= 0 && id < distinct());
+    if (k + 1 < len && ids[k + 1] == id) {
+      // Repeat stretch: first occurrence generic, the rest distance 1
+      // with consecutive retired positions.
+      i64 m = 2;
+      while (k + m < len && ids[k + m] == id) ++m;
+      sink(push(id));
+      i64 rest = m - 1;
+      growHistogram(1);
+      while (rest > 0) {
+        if (cursor_ == windowCap_) compact();
+        const i64 take = std::min(rest, windowCap_ - cursor_);
+        unmarkRange(cursor_ - 1, cursor_ + take - 2);
+        histogram_[1] += take;
+        lastPos_[static_cast<std::size_t>(id)] = cursor_ + take - 1;
+        cursor_ += take;
+        rest -= take;
+        for (i64 j = 0; j < take; ++j) sink(i64{1});
+      }
+      t_ += m - 1;
+      runFast_ += m - 1;
+      k += m;
+      continue;
+    }
+    const i64 prev = lastPos_[static_cast<std::size_t>(id)];
+    // Warm stretch: previous positions in arithmetic progression.
+    i64 g = 0;
+    if (k + 1 < len) {
+      const i64 nid = ids[k + 1];
+      if (nid >= 0 && nid < distinct()) {
+        const i64 np = lastPos_[static_cast<std::size_t>(nid)];
+        if (np > prev) g = np - prev;
+      }
+    }
+    if (g >= 1) {
+      i64 M = 2;
+      while (k + M < len) {
+        const i64 nid = ids[k + M];
+        if (nid < 0 || nid >= distinct()) break;
+        if (lastPos_[static_cast<std::size_t>(nid)] != prev + M * g) break;
+        ++M;
+      }
+      if (cursor_ + M > windowCap_) {
+        // Make room first, then redetect: renumbering keeps marked-order,
+        // so the stretch stays an arithmetic progression (possibly with a
+        // different g) and the retry is guaranteed to have room.
+        compact();
+        continue;
+      }
+      const i64 pLast = prev + (M - 1) * g;
+      // g = 1 needs no certification: the M-1 positions after p are the
+      // stretch's own marks, so nothing else fits in between.
+      if (g == 1 || markedIn(prev, pLast) == M - 1) {
+        const i64 B = markedIn(pLast, cursor_ - 1);
+        const i64 dist = M + B;
+        growHistogram(dist);
+        histogram_[static_cast<std::size_t>(dist)] += M;
+        if (g == 1) {
+          unmarkRange(prev, pLast);
+        } else {
+          for (i64 i = 0; i < M; ++i)
+            unmarkRange(prev + i * g, prev + i * g);
+        }
+        for (i64 i = 0; i < M; ++i) {
+          lastPos_[static_cast<std::size_t>(ids[k + i])] = cursor_ + i;
+          sink(dist);
+        }
+        cursor_ += M;
+        t_ += M;
+        runFast_ += M;
+        k += M;
+      } else {
+        // An unrelated mark sits inside a gap; it will stay there for the
+        // whole stretch, so fall back element-wise for all of it.
+        for (i64 i = 0; i < M; ++i) sink(push(ids[k + i]));
+        k += M;
+      }
+      continue;
+    }
+    sink(push(id));
+    ++k;
+  }
+}
 
 /// On-the-fly address -> dense id assignment (first appearance order,
 /// matching trace::densify): flat table over the advertised address range

@@ -164,6 +164,131 @@ i64 TraceCursor::nextChunk(std::vector<i64>& out, i64 maxEvents) {
   return static_cast<i64>(out.size());
 }
 
+// Advance the odometer one iteration point; returns false when the
+// current nest is exhausted (the cursor then points at the next nest).
+bool TraceCursor::stepIteration(const LoweredNest& nest) {
+  int d = nest.depth() - 1;
+  for (; d >= 0; --d) {
+    std::size_t ud = static_cast<std::size_t>(d);
+    if (++k_[ud] < nest.loops[ud].trip) {
+      iter_[ud] += nest.loops[ud].step;
+      return true;
+    }
+    k_[ud] = 0;
+    iter_[ud] = nest.loops[ud].begin;
+  }
+  enterNest(nestIdx_ + 1);
+  return false;
+}
+
+// Deepest trip > 1 level of a single-access nest, or -1 when the nest has
+// no constant-stride burst to decode (multi-access interleaving, depth 0,
+// or a single-iteration space). Levels below the returned one all have
+// trip 1, so they contribute a constant to the address and are stepped
+// through transparently by the odometer.
+static int runLevelOf(const LoweredNest& nest) {
+  if (nest.accesses.size() != 1) return -1;
+  for (int d = nest.depth() - 1; d >= 0; --d)
+    if (nest.loops[static_cast<std::size_t>(d)].trip > 1) return d;
+  return -1;
+}
+
+i64 TraceCursor::nextRuns(RunBlock& out, i64 maxEvents) {
+  DR_REQUIRE(maxEvents >= 1);
+  out.clear();
+  if (budget_ != nullptr && !done() && budget_->tripped()) {
+    truncated_ = true;
+    return 0;
+  }
+  while (nestIdx_ < nests_.size() && out.events < maxEvents) {
+    const LoweredNest& nest = nests_[nestIdx_];
+    const std::size_t udepth = static_cast<std::size_t>(nest.depth());
+    const int rl = runLevelOf(nest);
+    if (rl < 0) {
+      // No burst structure: length-1 runs, whole iteration points (same
+      // boundaries as nextChunk, same element order).
+      for (;;) {
+        for (const LoweredAccess& acc : nest.accesses) {
+          i64 addr = acc.base;
+          for (std::size_t d = 0; d < udepth; ++d)
+            addr += acc.levelCoeff[d] * iter_[d];
+          out.base.push_back(addr);
+          out.stride.push_back(0);
+          out.length.push_back(1);
+          out.accessIndex.push_back(acc.accessIndex);
+          ++out.events;
+        }
+        if (!stepIteration(nest)) break;
+        if (out.events >= maxEvents) break;
+      }
+      continue;
+    }
+    const LoweredAccess& acc = nest.accesses[0];
+    const std::size_t url = static_cast<std::size_t>(rl);
+    const LoweredLoop& rloop = nest.loops[url];
+    const i64 stride = acc.levelCoeff[url] * rloop.step;
+    const i64 lastIter = rloop.begin + (rloop.trip - 1) * rloop.step;
+    for (;;) {
+      i64 base = acc.base;
+      for (std::size_t d = 0; d < udepth; ++d)
+        base += acc.levelCoeff[d] * iter_[d];
+      // Consume the remainder of the current sweep, then step past it.
+      i64 len = rloop.trip - k_[url];
+      k_[url] = rloop.trip - 1;
+      iter_[url] = lastIter;
+      bool more = stepIteration(nest);
+      // Greedily merge following whole sweeps while they continue the
+      // progression. The cap is a fixed constant, so where a run ends
+      // never depends on maxEvents.
+      while (more && len + rloop.trip <= kMaxRunEvents) {
+        i64 nb = acc.base;
+        for (std::size_t d = 0; d < udepth; ++d)
+          nb += acc.levelCoeff[d] * iter_[d];
+        if (nb != base + stride * len) break;
+        len += rloop.trip;
+        k_[url] = rloop.trip - 1;
+        iter_[url] = lastIter;
+        more = stepIteration(nest);
+      }
+      out.base.push_back(base);
+      out.stride.push_back(stride);
+      out.length.push_back(len);
+      out.accessIndex.push_back(acc.accessIndex);
+      out.events += len;
+      if (!more) break;
+      if (out.events >= maxEvents) break;
+    }
+  }
+  produced_ += out.events;
+  if (budget_ != nullptr) budget_->chargeEvents(out.events);
+  DR_ENSURE(produced_ <= length_);
+  return out.events;
+}
+
+i64 TraceCursor::nextRuns(std::vector<AccessRun>& out, i64 maxEvents) {
+  RunBlock block;
+  const i64 n = nextRuns(block, maxEvents);
+  out.clear();
+  out.reserve(block.size());
+  for (std::size_t i = 0; i < block.size(); ++i)
+    out.push_back(AccessRun{block.base[i], block.stride[i], block.length[i],
+                            block.accessIndex[i]});
+  return n;
+}
+
+double TraceCursor::runLengthHint() const {
+  i64 events = 0;
+  i64 runs = 0;
+  for (const LoweredNest& n : nests_) {
+    const i64 ev = n.events();
+    events += ev;
+    const int rl = runLevelOf(n);
+    runs += rl >= 0 ? ev / n.loops[static_cast<std::size_t>(rl)].trip : ev;
+  }
+  if (runs <= 0) return 1.0;
+  return static_cast<double>(events) / static_cast<double>(runs);
+}
+
 std::pair<i64, i64> TraceCursor::addressRange() const {
   if (length_ == 0) return {0, -1};
   i64 lo = std::numeric_limits<i64>::max();

@@ -126,6 +126,40 @@ void walk(const Program& p, const AddressMap& map, const TraceFilter& filter,
     walkNest(nest, cb);
 }
 
+/// One constant-stride burst of the access stream: `length` consecutive
+/// events at addresses base, base + stride, ..., base + (length-1)*stride,
+/// all produced by the same lowered access. The run decoder
+/// (TraceCursor::nextRuns) emits these for single-access nests — one run
+/// per sweep of the deepest trip > 1 level, greedily merged when
+/// consecutive sweeps continue the same arithmetic progression — and
+/// falls back to length-1 runs when no burst exists (multi-access nests,
+/// whose interleaved body order a per-access run would destroy).
+struct AccessRun {
+  i64 base = 0;
+  i64 stride = 0;
+  i64 length = 1;
+  int accessIndex = 0;
+};
+
+/// Structure-of-arrays buffer of decoded runs: the simulation hot loop
+/// streams flat parallel vectors instead of striding over structs.
+struct RunBlock {
+  std::vector<i64> base;
+  std::vector<i64> stride;
+  std::vector<i64> length;
+  std::vector<int> accessIndex;
+  i64 events = 0;  ///< sum of lengths
+
+  std::size_t size() const noexcept { return base.size(); }
+  void clear() {
+    base.clear();
+    stride.clear();
+    length.clear();
+    accessIndex.clear();
+    events = 0;
+  }
+};
+
 /// Pull-based generator over the filtered access stream: repeatedly fills
 /// a caller buffer with the next chunk of addresses, keeping only O(depth)
 /// state. Chunks always end on iteration-point boundaries (all accesses
@@ -134,6 +168,10 @@ void walk(const Program& p, const AddressMap& map, const TraceFilter& filter,
 class TraceCursor {
  public:
   static constexpr i64 kDefaultChunkEvents = i64{1} << 16;
+
+  /// Longest run nextRuns() will build by merging sweeps — a fixed
+  /// constant, so run identity never depends on the caller's chunk size.
+  static constexpr i64 kMaxRunEvents = i64{1} << 20;
 
   TraceCursor(const Program& p, const AddressMap& map,
               const TraceFilter& filter);
@@ -170,6 +208,29 @@ class TraceCursor {
   i64 nextChunk(std::vector<i64>& out,
                 i64 maxEvents = kDefaultChunkEvents);
 
+  /// Replaces `out` with the next decoded runs, stopping at the first run
+  /// boundary at or past `maxEvents` events (the call may overshoot by
+  /// less than one run, but never splits one — run identity is
+  /// independent of the caller's chunk size). Returns the number of
+  /// events covered; 0 iff exhausted or the budget tripped (distinguish
+  /// via truncated()). Decode rules: a single-access nest sweeps its
+  /// deepest trip > 1 level as one constant-stride run per sweep,
+  /// greedily merged across outer-level steps while the arithmetic
+  /// progression continues (capped at kMaxRunEvents); multi-access and
+  /// depth-0 nests fall back to length-1 runs in body order, preserving
+  /// the exact element stream.
+  i64 nextRuns(RunBlock& out, i64 maxEvents = kDefaultChunkEvents);
+
+  /// Convenience AoS overload of nextRuns (converts from a RunBlock).
+  i64 nextRuns(std::vector<AccessRun>& out,
+               i64 maxEvents = kDefaultChunkEvents);
+
+  /// Static estimate of the mean decoded run length (events per run,
+  /// ignoring greedy sweep merging — a conservative lower bound).
+  /// Multi-access and depth-0 nests count one run per event. Consumers
+  /// use this to skip the run path when it cannot pay off.
+  double runLengthHint() const;
+
   const std::vector<LoweredNest>& nests() const noexcept { return nests_; }
 
   /// Smallest / largest address the stream can produce; {0, -1} for an
@@ -178,6 +239,7 @@ class TraceCursor {
 
  private:
   void enterNest(std::size_t n);
+  bool stepIteration(const LoweredNest& nest);
 
   std::vector<LoweredNest> nests_;
   std::size_t nestIdx_ = 0;

@@ -1,0 +1,396 @@
+// Run-granularity fast path (trace/stream.h nextRuns +
+// simcore/stream_stack.h pushRun): the decoded run stream must expand to
+// exactly the element stream regardless of chunk size, and the batched
+// accumulators must be byte-identical to element-wise pushes — distances,
+// histograms, and (for OPT) slot-tree state — on structured and
+// adversarial inputs alike.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernels/motion_estimation.h"
+#include "simcore/stream_stack.h"
+#include "support/budget.h"
+#include "support/rng.h"
+#include "trace/stream.h"
+#include "trace/walker.h"
+
+#include "helpers.h"
+
+namespace {
+
+using dr::support::i64;
+using dr::support::Rng;
+using dr::trace::AccessRun;
+using dr::trace::AddressMap;
+using dr::trace::RunBlock;
+using dr::trace::Trace;
+using dr::trace::TraceCursor;
+using dr::trace::TraceFilter;
+using dr::loopir::Program;
+
+TraceFilter readsOf(int signal) {
+  TraceFilter f;
+  f.signal = signal;
+  return f;
+}
+
+struct DecodeCase {
+  Program program;
+  TraceFilter filter;
+  std::string label;
+};
+
+/// Shapes the decoder must handle: plain bursts, stride 0 (repeat runs),
+/// negative stride, length-1 sweeps (innermost trip 1), multi-access
+/// nests (singleton fallback), multi-nest streams, and motion estimation.
+std::vector<DecodeCase> decodeCases() {
+  std::vector<DecodeCase> cases;
+  auto add = [&](Program p, std::string label) {
+    cases.push_back(DecodeCase{std::move(p), readsOf(0), std::move(label)});
+  };
+
+  add(dr::test::genericDoubleLoop({0, 19, 0, 3}, 1, 1, 0), "j+k");
+  add(dr::test::genericDoubleLoop({0, 12, 0, 7}, 1, 2, 0), "j+2k");
+  add(dr::test::genericDoubleLoop({0, 30, 0, 2}, 3, -1, 3), "neg-stride");
+  add(dr::test::genericDoubleLoop({0, 9, 0, 6}, 1, 0, 0), "stride0-inner");
+  add(dr::test::genericDoubleLoop({0, 1, 0, 9}, 1, 1, 0), "outer-trip2");
+  add(dr::test::genericDoubleLoop({0, 9, 0, 0}, 1, 1, 0), "len1-sweeps");
+  add(dr::test::tripleLoopWithIntermediate({0, 11, 0, 3}, 4, 1, 1, false),
+      "triple");
+
+  {
+    // Two accesses in one body: interleaved order, singleton-run fallback.
+    auto p = dr::test::genericDoubleLoop({0, 9, 0, 6}, 1, 1, 0);
+    dr::loopir::ArrayAccess second = p.nests[0].body[0];
+    second.indices[0].setCoeff(0, 2);
+    p.nests[0].body.push_back(second);
+    p.signals[0].dims = {64};
+    add(std::move(p), "multi-access");
+  }
+
+  {
+    // Two nests back to back: runs never span a nest boundary.
+    auto p = dr::test::genericDoubleLoop({0, 7, 0, 5}, 1, 1, 0);
+    auto q = dr::test::genericDoubleLoop({0, 5, 0, 7}, 2, 1, 0);
+    p.nests.push_back(q.nests.front());
+    p.signals[0].dims = {40};
+    add(std::move(p), "two-nests");
+  }
+
+  {
+    dr::kernels::MotionEstimationParams mp;
+    mp.H = 32;
+    mp.W = 32;
+    mp.n = 8;
+    mp.m = 2;
+    TraceFilter f;
+    auto p = dr::kernels::motionEstimation(mp);
+    f.signal = p.findSignal("Old");
+    f.nest = 0;
+    f.accessIndex = dr::kernels::oldAccessIndex();
+    cases.push_back(DecodeCase{std::move(p), f, "me-old"});
+  }
+  return cases;
+}
+
+std::vector<i64> expandRuns(const std::vector<AccessRun>& runs) {
+  std::vector<i64> out;
+  for (const AccessRun& r : runs)
+    for (i64 j = 0; j < r.length; ++j) out.push_back(r.base + j * r.stride);
+  return out;
+}
+
+std::vector<AccessRun> drainRuns(TraceCursor& cursor, i64 maxEvents) {
+  std::vector<AccessRun> all, buf;
+  while (cursor.nextRuns(buf, maxEvents) > 0)
+    all.insert(all.end(), buf.begin(), buf.end());
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Run decoding vs the element stream
+
+TEST(RunDecode, ExpandsToElementStreamOnAllShapes) {
+  for (const DecodeCase& c : decodeCases()) {
+    SCOPED_TRACE(c.label);
+    AddressMap map(c.program);
+    const Trace t = dr::trace::collectTrace(c.program, map, c.filter);
+    TraceCursor cursor(c.program, map, c.filter);
+    const std::vector<AccessRun> runs =
+        drainRuns(cursor, TraceCursor::kDefaultChunkEvents);
+    EXPECT_EQ(expandRuns(runs), t.addresses);
+    EXPECT_TRUE(cursor.done());
+    EXPECT_EQ(cursor.position(), t.length());
+  }
+}
+
+TEST(RunDecode, BoundaryStableAcrossChunkSizes) {
+  for (const DecodeCase& c : decodeCases()) {
+    SCOPED_TRACE(c.label);
+    AddressMap map(c.program);
+    TraceCursor ref(c.program, map, c.filter);
+    const std::vector<AccessRun> refRuns =
+        drainRuns(ref, TraceCursor::kDefaultChunkEvents);
+    for (i64 maxEvents : {i64{1}, i64{7}, i64{64}, i64{1000}}) {
+      TraceCursor cursor(c.program, map, c.filter);
+      const std::vector<AccessRun> runs = drainRuns(cursor, maxEvents);
+      ASSERT_EQ(runs.size(), refRuns.size()) << "maxEvents=" << maxEvents;
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        EXPECT_EQ(runs[i].base, refRuns[i].base);
+        EXPECT_EQ(runs[i].stride, refRuns[i].stride);
+        EXPECT_EQ(runs[i].length, refRuns[i].length);
+        EXPECT_EQ(runs[i].accessIndex, refRuns[i].accessIndex);
+      }
+    }
+  }
+}
+
+TEST(RunDecode, SoaAndAosAgree) {
+  for (const DecodeCase& c : decodeCases()) {
+    SCOPED_TRACE(c.label);
+    AddressMap map(c.program);
+    TraceCursor ca(c.program, map, c.filter);
+    TraceCursor cb(c.program, map, c.filter);
+    RunBlock block;
+    std::vector<AccessRun> aos;
+    for (;;) {
+      const i64 na = ca.nextRuns(block, 64);
+      const i64 nb = cb.nextRuns(aos, 64);
+      ASSERT_EQ(na, nb);
+      ASSERT_EQ(block.size(), aos.size());
+      ASSERT_EQ(block.events, na);
+      for (std::size_t i = 0; i < aos.size(); ++i) {
+        EXPECT_EQ(block.base[i], aos[i].base);
+        EXPECT_EQ(block.stride[i], aos[i].stride);
+        EXPECT_EQ(block.length[i], aos[i].length);
+        EXPECT_EQ(block.accessIndex[i], aos[i].accessIndex);
+      }
+      if (na == 0) break;
+    }
+  }
+}
+
+TEST(RunDecode, RandomNestsExpandToElementStream) {
+  Rng rng(dr::support::mixSeed(0xdec0de, 1));
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random 1-3 deep nest with random (possibly zero / negative)
+    // coefficients and random trips, including trip-1 degenerate levels.
+    const int depth = static_cast<int>(rng.uniform(1, 3));
+    dr::test::PairBox box{0, rng.uniform(0, 11), 0, rng.uniform(0, 7)};
+    const i64 b = rng.uniform(-2, 3);
+    const i64 cc = rng.uniform(-2, 3);
+    const i64 d = rng.uniform(0, 20);
+    auto p = depth == 1
+                 ? dr::test::genericDoubleLoop({0, rng.uniform(0, 30), 0, 0},
+                                               b, cc, d)
+                 : dr::test::genericDoubleLoop(box, b, cc, d);
+    p.signals[0].dims = {400};
+    AddressMap map(p);
+    const TraceFilter filter = readsOf(0);
+    const Trace t = dr::trace::collectTrace(p, map, filter);
+    TraceCursor cursor(p, map, filter);
+    const i64 maxEvents = rng.uniform(1, 100);
+    EXPECT_EQ(expandRuns(drainRuns(cursor, maxEvents)), t.addresses)
+        << "iter " << iter;
+  }
+}
+
+TEST(RunDecode, HintIsMeanSweepLength) {
+  auto p = dr::test::genericDoubleLoop({0, 9, 0, 7}, 1, 1, 0);
+  AddressMap map(p);
+  TraceCursor cursor(p, map, readsOf(0));
+  // Single access, innermost trip 8: one run per sweep at minimum.
+  EXPECT_DOUBLE_EQ(cursor.runLengthHint(), 8.0);
+
+  dr::loopir::ArrayAccess second = p.nests[0].body[0];
+  p.nests[0].body.push_back(second);
+  AddressMap map2(p);
+  TraceCursor multi(p, map2, readsOf(0));
+  EXPECT_DOUBLE_EQ(multi.runLengthHint(), 1.0);
+}
+
+TEST(RunDecode, BudgetRefusalMirrorsNextChunk) {
+  auto p = dr::test::genericDoubleLoop({0, 99, 0, 9}, 1, 1, 0);
+  AddressMap map(p);
+  TraceCursor cursor(p, map, readsOf(0));
+  dr::support::RunBudget budget;
+  budget.setMaxEvents(25);
+  cursor.attachBudget(&budget);
+  RunBlock block;
+  i64 total = 0;
+  while (cursor.nextRuns(block, 10) > 0) total += block.events;
+  EXPECT_TRUE(cursor.truncated());
+  EXPECT_GT(total, 0);
+  EXPECT_LT(total, cursor.length());
+  EXPECT_EQ(total, cursor.position());
+}
+
+// ---------------------------------------------------------------------------
+// pushRun vs push (byte identity under arbitrary slicing)
+
+/// Feed `ids` to a reference accumulator one element at a time and to a
+/// test accumulator via pushRun over random slice lengths; distances,
+/// histograms, and counters must agree exactly.
+template <class Acc, class StateCheck>
+void checkPushRun(const std::vector<i64>& ids, Rng& rng,
+                  StateCheck&& stateCheck) {
+  Acc ref, fast;
+  std::vector<i64> refDist, fastDist;
+  for (i64 id : ids) refDist.push_back(ref.push(id));
+  std::size_t at = 0;
+  while (at < ids.size()) {
+    const std::size_t len = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<i64>(ids.size() - at)));
+    fast.pushRun(ids.data() + at, static_cast<i64>(len),
+                 [&](i64 dist) { fastDist.push_back(dist); });
+    at += len;
+  }
+  ASSERT_EQ(fastDist, refDist);
+  EXPECT_EQ(fast.rawHistogram(), ref.rawHistogram());
+  EXPECT_EQ(fast.accesses(), ref.accesses());
+  EXPECT_EQ(fast.coldMisses(), ref.coldMisses());
+  EXPECT_EQ(fast.distinct(), ref.distinct());
+  stateCheck(ref, fast);
+}
+
+/// Random id stream biased toward the structured segments pushRun
+/// recognizes: cold ramps, back-to-back repeats, arithmetic-progression
+/// revisits (stride g over previously seen ids), and uniform noise.
+std::vector<i64> structuredIdStream(Rng& rng, i64 events) {
+  std::vector<i64> ids;
+  i64 nextFresh = 0;
+  while (static_cast<i64>(ids.size()) < events) {
+    switch (rng.uniform(0, 3)) {
+      case 0: {  // cold ramp
+        const i64 m = rng.uniform(1, 12);
+        for (i64 j = 0; j < m; ++j) ids.push_back(nextFresh++);
+        break;
+      }
+      case 1: {  // repeat stretch
+        if (nextFresh == 0) break;
+        const i64 id = rng.uniform(0, nextFresh - 1);
+        const i64 m = rng.uniform(2, 8);
+        for (i64 j = 0; j < m; ++j) ids.push_back(id);
+        break;
+      }
+      case 2: {  // AP revisit sweep
+        if (nextFresh < 2) break;
+        const i64 g = rng.uniform(1, 4);
+        const i64 start = rng.uniform(0, nextFresh - 1);
+        const i64 m = rng.uniform(2, 10);
+        for (i64 j = 0; j < m; ++j) {
+          const i64 id = start + j * g;
+          if (id >= nextFresh) break;
+          ids.push_back(id);
+        }
+        break;
+      }
+      default: {  // noise
+        if (nextFresh == 0) break;
+        ids.push_back(rng.uniform(0, nextFresh - 1));
+        break;
+      }
+    }
+  }
+  ids.resize(static_cast<std::size_t>(events));
+  // A resize can orphan fresh-id introductions; renumber by first
+  // appearance so the dense-id contract holds.
+  std::vector<i64> remap(static_cast<std::size_t>(nextFresh), -1);
+  i64 next = 0;
+  for (i64& id : ids) {
+    if (remap[static_cast<std::size_t>(id)] < 0)
+      remap[static_cast<std::size_t>(id)] = next++;
+    id = remap[static_cast<std::size_t>(id)];
+  }
+  return ids;
+}
+
+TEST(PushRun, OptMatchesPushOnStructuredStreams) {
+  Rng rng(dr::support::mixSeed(0x0b57, 2));
+  for (int iter = 0; iter < 60; ++iter) {
+    SCOPED_TRACE(iter);
+    const std::vector<i64> ids = structuredIdStream(rng, rng.uniform(1, 400));
+    checkPushRun<dr::simcore::OptStackAccumulator>(
+        ids, rng, [](const auto& ref, const auto& fast) {
+          // OPT fold certificates snapshot the tree: state must match too.
+          EXPECT_EQ(fast.slotValues(), ref.slotValues());
+        });
+  }
+}
+
+TEST(PushRun, LruMatchesPushOnStructuredStreams) {
+  Rng rng(dr::support::mixSeed(0x11c4, 3));
+  for (int iter = 0; iter < 60; ++iter) {
+    SCOPED_TRACE(iter);
+    const std::vector<i64> ids = structuredIdStream(rng, rng.uniform(1, 400));
+    checkPushRun<dr::simcore::LruStackAccumulator>(ids, rng,
+                                                   [](const auto&, const auto&) {});
+  }
+}
+
+TEST(PushRun, LruCompactionInsideRun) {
+  // Force window compaction mid-run: tiny window cap via many distinct
+  // ids, then long AP sweeps. (Window cap is internal; exercise it by
+  // sheer volume so cursor_ crosses it repeatedly.)
+  Rng rng(dr::support::mixSeed(0xc0de, 4));
+  std::vector<i64> ids;
+  for (i64 r = 0; r < 6; ++r) {
+    for (i64 j = 0; j < 512; ++j) ids.push_back(j);  // AP sweep g=1
+    for (i64 j = 0; j < 512; j += 2) ids.push_back(j);  // g=2
+  }
+  checkPushRun<dr::simcore::LruStackAccumulator>(ids, rng,
+                                                 [](const auto&, const auto&) {});
+}
+
+TEST(PushRun, DecodedKernelRunsMatchElementPushes) {
+  // End to end at the accumulator level: decode runs from real kernels,
+  // densify, and compare pushRun against per-element pushes.
+  for (const DecodeCase& c : decodeCases()) {
+    SCOPED_TRACE(c.label);
+    AddressMap map(c.program);
+    auto [lo, hi] = TraceCursor(c.program, map, c.filter).addressRange();
+    if (hi < lo) continue;
+
+    dr::simcore::StreamingDensifier denRef(lo, hi), denFast(lo, hi);
+    dr::simcore::OptStackAccumulator optRef, optFast;
+    dr::simcore::LruStackAccumulator lruRef, lruFast;
+    std::vector<i64> refOptDist, refLruDist, fastOptDist, fastLruDist;
+
+    TraceCursor elem(c.program, map, c.filter);
+    std::vector<i64> chunk;
+    while (elem.nextChunk(chunk, 4096) > 0)
+      for (i64 addr : chunk) {
+        const i64 id = denRef.idOf(addr);
+        refOptDist.push_back(optRef.push(id));
+        refLruDist.push_back(lruRef.push(id));
+      }
+
+    TraceCursor runs(c.program, map, c.filter);
+    RunBlock block;
+    std::vector<i64> idbuf;
+    while (runs.nextRuns(block, 4096) > 0)
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        idbuf.clear();
+        for (i64 j = 0; j < block.length[i]; ++j)
+          idbuf.push_back(denFast.idOf(block.base[i] + j * block.stride[i]));
+        optFast.pushRun(idbuf.data(), static_cast<i64>(idbuf.size()),
+                        [&](i64 d) { fastOptDist.push_back(d); });
+        lruFast.pushRun(idbuf.data(), static_cast<i64>(idbuf.size()),
+                        [&](i64 d) { fastLruDist.push_back(d); });
+      }
+
+    ASSERT_EQ(fastOptDist, refOptDist);
+    ASSERT_EQ(fastLruDist, refLruDist);
+    EXPECT_EQ(optFast.rawHistogram(), optRef.rawHistogram());
+    EXPECT_EQ(lruFast.rawHistogram(), lruRef.rawHistogram());
+    EXPECT_EQ(optFast.slotValues(), optRef.slotValues());
+    // The decoded runs should actually engage the fast path somewhere.
+    if (c.label == "j+k" || c.label == "me-old")
+      EXPECT_GT(optFast.runFastEvents() + lruFast.runFastEvents(), 0);
+  }
+}
+
+}  // namespace

@@ -1,20 +1,27 @@
 // E14 — Frame-size scaling of the streaming trace pipeline: the QCIF
-// motion-estimation curve of Fig. 4a regenerated at 720p, 1080p and 4K
-// without ever materializing the trace. A 1080p Old-frame trace is 531M
-// events (4.2 GB at 8 bytes/event); the streaming engine walks it in
-// period-sized chunks and folds the steady state, so its peak RSS stays
-// at the size of the distinct-element state — orders of magnitude below
-// the materialized trace. Results land in BENCH_scaling.json.
+// motion-estimation curve of Fig. 4a regenerated at 720p, 1080p, 4K and
+// 8K without ever materializing the trace. A 1080p Old-frame trace is
+// 531M events (4.2 GB at 8 bytes/event); the streaming engine walks it
+// in period-sized chunks and folds the steady state, so its peak RSS
+// stays at the size of the distinct-element state — orders of magnitude
+// below the materialized trace. On top of that sits the symbolic engine
+// (analytic/symbolic_hist.h): the whole LRU histogram in closed form,
+// O(1) in the trace size — the same milliseconds at 8K as at QCIF —
+// cross-checked point by point against the folded LRU run engine.
+// Results land in BENCH_scaling.json.
 
 #include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 
+#include "analytic/symbolic_curve.h"
+#include "support/contracts.h"
 #include "kernels/motion_estimation.h"
 #include "simcore/folded_curve.h"
 #include "simcore/lru_stack.h"
@@ -45,6 +52,7 @@ struct Frame {
   i64 width;
   i64 height;
   bool materialize;  ///< also run the materialized oracle (small frames)
+  bool elementAB;    ///< also run the per-element A/B (too slow at 8K)
 };
 
 struct Row {
@@ -63,8 +71,15 @@ struct Row {
   i64 runsDecoded = 0;
   i64 runFastEvents = 0;
   double meanRunLength = 0;  ///< simulated events per decoded run
-  double elementSeconds = 0;
+  double elementSeconds = -1;     ///< -1: A/B not run for this frame
   bool enginesIdentical = false;  ///< run curve == element curve
+  // Symbolic engine (closed form, whole Old signal, LRU) vs the folded
+  // LRU run engine on the same full read stream.
+  double symbolicSeconds = 0;
+  i64 symbolicCells = 0;        ///< iteration classes resolved explicitly
+  int symbolicBandedLevels = 0;
+  double lruRunSeconds = 0;     ///< folded LRU run engine, exact
+  bool symbolicIdentical = false;  ///< symbolic curve == folded LRU curve
 };
 
 void writeJson(const std::vector<Row>& rows) {
@@ -95,13 +110,29 @@ void writeJson(const std::vector<Row>& rows) {
                      static_cast<double>(r.streamPeakRss));
     std::fprintf(f,
                  ",\n     \"run_stats\": {\"runs_decoded\": %lld, "
-                 "\"mean_run_length\": %.1f, \"run_fast_events\": %lld, "
-                 "\"element_seconds\": %.3f, \"speedup_vs_element\": %.1f, "
-                 "\"curve_identical_vs_element\": %s}",
+                 "\"mean_run_length\": %.1f, \"run_fast_events\": %lld",
                  (long long)r.runsDecoded, r.meanRunLength,
-                 (long long)r.runFastEvents, r.elementSeconds,
-                 r.streamSeconds > 0 ? r.elementSeconds / r.streamSeconds : 0.0,
-                 r.enginesIdentical ? "true" : "false");
+                 (long long)r.runFastEvents);
+    if (r.elementSeconds >= 0)
+      std::fprintf(f,
+                   ", \"element_seconds\": %.3f, \"speedup_vs_element\": %.1f, "
+                   "\"curve_identical_vs_element\": %s",
+                   r.elementSeconds,
+                   r.streamSeconds > 0 ? r.elementSeconds / r.streamSeconds
+                                       : 0.0,
+                   r.enginesIdentical ? "true" : "false");
+    std::fprintf(f, "}");
+    std::fprintf(f,
+                 ",\n     \"symbolic\": {\"seconds\": %.6f, "
+                 "\"explicit_cells\": %lld, \"banded_levels\": %d, "
+                 "\"lru_fold_seconds\": %.3f, "
+                 "\"curve_identical_vs_lru_fold\": %s, "
+                 "\"speedup_vs_opt_run\": %.0f}",
+                 r.symbolicSeconds, (long long)r.symbolicCells,
+                 r.symbolicBandedLevels, r.lruRunSeconds,
+                 r.symbolicIdentical ? "true" : "false",
+                 r.symbolicSeconds > 0 ? r.streamSeconds / r.symbolicSeconds
+                                       : 0.0);
     if (r.materializedSeconds >= 0)
       std::fprintf(f,
                    ",\n     \"materialized\": {\"seconds\": %.3f, "
@@ -117,16 +148,22 @@ void writeJson(const std::vector<Row>& rows) {
 
 void printFigureData() {
   dr::bench::heading(
-      "E14  |  Streaming pipeline scaling: ME Fig. 4a curve from QCIF to 4K");
+      "E14  |  Streaming pipeline scaling: ME Fig. 4a curve from QCIF to 8K");
 
   // Streaming passes run before any materialized oracle: ru_maxrss is a
   // high-water mark, so the small-footprint runs must come first.
-  std::vector<Frame> frames = {{"qcif", 176, 144, true},
-                               {"720p", 1280, 720, false},
-                               {"1080p", 1920, 1080, false},
-                               {"4k", 3840, 2160, false}};
+  //
+  // Every frame is always in the artifact — DR_BENCH_SMALL only trims the
+  // optional extras (per-element A/B, materialized oracle), never rows, so
+  // a small-scale regeneration can no longer commit a BENCH_scaling.json
+  // missing the 1080p/4K/8K entries.
+  std::vector<Frame> frames = {{"qcif", 176, 144, true, true},
+                               {"720p", 1280, 720, false, true},
+                               {"1080p", 1920, 1080, false, true},
+                               {"4k", 3840, 2160, false, true},
+                               {"8k", 7680, 4320, false, false}};
   if (dr::bench::smallScale())
-    frames = {{"qcif", 176, 144, true}, {"720p", 1280, 720, false}};
+    for (Frame& fr : frames) fr.elementAB = fr.materialize;  // qcif only
 
   std::vector<Row> rows;
   for (const Frame& fr : frames) {
@@ -171,34 +208,75 @@ void printFigureData() {
                                     static_cast<double>(stats.runsDecoded)
                               : 0.0;
 
-    // Per-element A/B on the same frame: same options, run path off.
-    dr::trace::TraceCursor elemCursor(p, map, filter);
-    dr::simcore::FoldedCurveOptions elemOpts = opts;
-    elemOpts.runGranularity = false;
-    dr::simcore::FoldedStats elemStats;
+    // Per-element A/B on the same frame: same options, run path off. Too
+    // slow to be part of every row at 8K — gated per frame.
+    if (fr.elementAB) {
+      dr::trace::TraceCursor elemCursor(p, map, filter);
+      dr::simcore::FoldedCurveOptions elemOpts = opts;
+      elemOpts.runGranularity = false;
+      dr::simcore::FoldedStats elemStats;
+      t0 = std::chrono::steady_clock::now();
+      const auto elemHist = dr::simcore::foldedStackHistogram(
+          elemCursor, pd, dr::simcore::Policy::Opt, &elemStats, elemOpts);
+      row.elementSeconds = secondsSince(t0);
+      row.enginesIdentical = true;
+      for (i64 s : dr::simcore::sizeGrid(row.distinct, 24))
+        row.enginesIdentical =
+            row.enginesIdentical &&
+            hist.resultAt(s).misses == elemHist.resultAt(s).misses;
+    }
+
+    // Symbolic engine on the same frame: the whole LRU curve of the Old
+    // signal in closed form, cross-checked point by point against the
+    // exact folded LRU run engine over the identical full read stream.
+    // Best-of-5 timing — the query is milliseconds, noise is comparable.
+    dr::trace::TraceFilter lruFilter;
+    lruFilter.signal = filter.signal;
+    dr::analytic::SymbolicCurveResult sym;
+    row.symbolicSeconds = 1e9;
+    for (int rep = 0; rep < 5; ++rep) {
+      t0 = std::chrono::steady_clock::now();
+      auto s = dr::analytic::symbolicReuseCurve(p, lruFilter.signal,
+                                                dr::simcore::Policy::Lru);
+      const double sec = secondsSince(t0);
+      DR_REQUIRE_MSG(s.hasValue(), "ME Old must be covered by closed forms");
+      if (sec < row.symbolicSeconds) {
+        row.symbolicSeconds = sec;
+        sym = std::move(*s);
+      }
+    }
+    row.symbolicCells = sym.detail.explicitCells;
+    row.symbolicBandedLevels = sym.detail.bandedLevels;
+    dr::trace::TraceCursor lruCursor(p, map, lruFilter);
+    const auto lruPd = dr::trace::detectPeriod(lruCursor.nests());
+    dr::simcore::FoldedStats lruStats;
     t0 = std::chrono::steady_clock::now();
-    const auto elemHist = dr::simcore::foldedStackHistogram(
-        elemCursor, pd, dr::simcore::Policy::Opt, &elemStats, elemOpts);
-    row.elementSeconds = secondsSince(t0);
-    row.enginesIdentical = true;
-    for (i64 s : dr::simcore::sizeGrid(row.distinct, 24))
-      row.enginesIdentical = row.enginesIdentical &&
-                             hist.resultAt(s).misses == elemHist.resultAt(s).misses;
+    const auto lruHist = dr::simcore::foldedStackHistogram(
+        lruCursor, lruPd, dr::simcore::Policy::Lru, &lruStats);
+    row.lruRunSeconds = secondsSince(t0);
+    row.symbolicIdentical = lruStats.exact;
+    for (const auto& pt : sym.curve.points)
+      row.symbolicIdentical = row.symbolicIdentical &&
+                              lruHist.resultAt(pt.size).misses == pt.writes;
 
     std::printf(
         "%-6s %4lldx%-4lld  %11lld events  %8lld distinct  "
-        "run %7.2f s  elem %7.2f s  (%4.1fx, %s)  rss %6.1f MB  %s  "
-        "runs %lld (mean len %.0f)  FR_max %.1f\n",
+        "run %7.2f s  elem %7.2f s  rss %6.1f MB  %s  "
+        "runs %lld (mean len %.0f)  FR_max %.1f\n"
+        "       symbolic %7.2f ms (%lld cells, %d banded levels)  "
+        "lru fold %6.2f s  %s  %.0fx vs opt run\n",
         fr.name, (long long)fr.width, (long long)fr.height,
         (long long)row.events, (long long)row.distinct, row.streamSeconds,
         row.elementSeconds,
-        row.streamSeconds > 0 ? row.elementSeconds / row.streamSeconds : 0.0,
-        row.enginesIdentical ? "identical" : "MISMATCH",
         static_cast<double>(row.streamPeakRss) / (1024.0 * 1024.0),
         row.folded ? (row.exact ? "folded(exact)" : "folded(approx)")
                    : "streamed",
         (long long)row.runsDecoded, row.meanRunLength,
-        hist.resultAt(row.distinct).reuseFactor());
+        hist.resultAt(row.distinct).reuseFactor(), row.symbolicSeconds * 1e3,
+        (long long)row.symbolicCells, row.symbolicBandedLevels,
+        row.lruRunSeconds,
+        row.symbolicIdentical ? "identical" : "MISMATCH",
+        row.symbolicSeconds > 0 ? row.streamSeconds / row.symbolicSeconds : 0.0);
     rows.push_back(row);
   }
 

@@ -9,7 +9,7 @@
 //                               [--journal PATH] [--no-resume]
 //                               [--cache-dir DIR]
 //                               [--deadline-ms N] [--curve-out PATH]
-//                               [--engine run|element]
+//                               [--engine run|element|streaming|symbolic]
 //
 // Without --kernel it runs on a built-in 2-D convolution example. The
 // kernel language grammar is documented in src/frontend/parser.h.
@@ -22,9 +22,13 @@
 // writes — so reruns and daemon queries with the same kernel + options
 // reuse each other's results. --deadline-ms bounds the run with a
 // RunBudget (degrading, not failing, on expiry) and --curve-out writes
-// the simulated curve as CSV. --engine picks the streaming granularity:
-// `run` (default) simulates decoded constant-stride runs, `element` one
-// event at a time — byte-identical curves, kept for A/B debugging.
+// the simulated curve as CSV. --engine picks the simulation engine:
+// `run` (default, Auto) upgrades to the closed-form symbolic engine when
+// its preconditions hold and otherwise simulates decoded constant-stride
+// runs, `element` forces one event at a time, `streaming` forces the
+// streaming pipeline (no symbolic upgrade), and `symbolic` requires the
+// closed forms (failing on uncovered signals) — byte-identical curves in
+// every case, kept for A/B debugging and the CI symbolic-diff check.
 
 #include <chrono>
 #include <cstdio>
@@ -216,8 +220,16 @@ int runExploreKernel(int argc, char** argv) {
   const std::string engine = cli.getString("engine", "run");
   if (engine == "element") {
     opts.runGranularity = false;
+  } else if (engine == "symbolic") {
+    opts.engine = dr::explorer::SimEngine::Symbolic;
+  } else if (engine == "streaming") {
+    // Force the streaming pipeline even where the symbolic engine would
+    // apply — the A/B reference for the CI symbolic-diff check.
+    opts.engine = dr::explorer::SimEngine::Streaming;
   } else if (engine != "run") {
-    std::fprintf(stderr, "error: --engine must be 'element' or 'run'\n");
+    std::fprintf(stderr,
+                 "error: --engine must be 'element', 'run', 'streaming' or "
+                 "'symbolic'\n");
     return 1;
   }
   bool emitCode = cli.getBool("emit-code", false);

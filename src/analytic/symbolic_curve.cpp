@@ -1,0 +1,39 @@
+#include "analytic/symbolic_curve.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/contracts.h"
+
+namespace dr::analytic {
+
+support::Expected<SymbolicCurveResult> symbolicReuseCurve(
+    const loopir::Program& p, int signal, simcore::Policy policy,
+    std::vector<i64> sizes, const SymbolicOptions& opts) {
+  auto hist = symbolicStackHistogram(p, signal, policy, opts);
+  if (!hist.hasValue()) return hist.status();
+
+  SymbolicCurveResult out;
+  out.detail = std::move(hist.value());
+  if (sizes.empty()) {
+    sizes = simcore::sizeGrid(std::max<i64>(1, out.detail.hist.distinct()));
+  } else {
+    std::sort(sizes.begin(), sizes.end());
+    sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+    DR_REQUIRE_MSG(sizes.front() >= 1, "capacities must be positive");
+  }
+  out.curve.points.reserve(sizes.size());
+  for (i64 s : sizes) {
+    const simcore::SimResult r = out.detail.hist.resultAt(s);
+    simcore::ReusePoint pt;
+    pt.size = s;
+    pt.writes = r.misses;
+    pt.reads = r.accesses;
+    pt.reuseFactor = r.reuseFactor();
+    pt.fidelity = simcore::Fidelity::Symbolic;
+    out.curve.points.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace dr::analytic

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "analytic/symbolic_hist.h"
+#include "simcore/reuse_curve.h"
+
+/// \file symbolic_curve.h
+/// ReuseCurve front end for the closed-form histogram engine
+/// (symbolic_hist.h): the full Fig.-4a curve of a signal at *every*
+/// capacity, straight from the nest description — the Fidelity::Symbolic
+/// rung the explorer and the service query before touching a trace.
+
+namespace dr::analytic {
+
+/// A symbolic reuse curve plus the histogram it was read from.
+struct SymbolicCurveResult {
+  simcore::ReuseCurve curve;  ///< every point tagged Fidelity::Symbolic
+  SymbolicResult detail;      ///< histogram + class provenance
+};
+
+/// Compute the reuse-factor curve of `signal`'s read stream in closed
+/// form, or the Status naming the failed precondition. `sizes` empty
+/// means the explorer's default grid, simcore::sizeGrid(distinct
+/// elements). Point values (writes = misses, reads = accesses, reuse
+/// factor = SimResult::reuseFactor()) are byte-identical to what the
+/// simulating engines produce at the same sizes — only the fidelity tag
+/// differs.
+support::Expected<SymbolicCurveResult> symbolicReuseCurve(
+    const loopir::Program& p, int signal, simcore::Policy policy,
+    std::vector<i64> sizes = {}, const SymbolicOptions& opts = {});
+
+}  // namespace dr::analytic

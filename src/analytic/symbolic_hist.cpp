@@ -1,0 +1,1018 @@
+#include "analytic/symbolic_hist.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "loopir/normalize.h"
+#include "support/contracts.h"
+#include "support/intmath.h"
+
+namespace dr::analytic {
+
+using dr::support::checkedAdd;
+using dr::support::checkedMul;
+using dr::support::checkedSub;
+using dr::support::floorDiv;
+using dr::support::Status;
+using dr::support::StatusCode;
+
+namespace {
+
+/// Internal rejection signal: a precondition of the closed forms failed.
+/// Caught at the API boundary and mapped to StatusCode::InvalidInput —
+/// never escapes this translation unit.
+struct RejectError {
+  std::string reason;
+};
+
+[[noreturn]] void reject(std::string reason) {
+  throw RejectError{std::move(reason)};
+}
+
+/// One non-degenerate loop level of the lowered nest (trip-1 levels are
+/// folded into the reference constants, so trip >= 2 here).
+struct Level {
+  int dim = -1;  ///< array dimension the level drives; -1 = repeat level
+  i64 e = 0;     ///< per-iteration index contribution, >= 0 after flip
+  i64 trip = 2;
+};
+
+/// The uniform lowered nest the classifier works on: every read reference
+/// shares the level coefficients; only the per-reference constants (the
+/// window offsets) differ.
+struct Nest {
+  std::vector<Level> levels;  ///< outermost first
+  int dims = 0;               ///< array dimensions of the signal
+  /// Per reference, per array dimension: the constant index part, with
+  /// loop begins and trip-1 levels folded in (sign-flipped with its
+  /// dimension when the dimension's coefficients were all negative).
+  std::vector<std::vector<i64>> refc;
+  i64 iterations = 1;  ///< product of *all* trips, degenerate ones included
+  i64 events = 0;      ///< iterations * refs
+  int refs = 0;
+};
+
+/// Lower the single nest reading `signal` into the uniform form, or
+/// reject. Mirrors trace::TraceFilter{signal}: reads only, all nests
+/// scanned, exactly one may touch the signal.
+Nest lowerNest(const loopir::Program& pn, int signal) {
+  int nestIdx = -1;
+  int nestsReading = 0;
+  for (std::size_t n = 0; n < pn.nests.size(); ++n) {
+    bool reads = false;
+    for (const loopir::ArrayAccess& a : pn.nests[n].body)
+      if (a.signal == signal && a.kind == loopir::AccessKind::Read)
+        reads = true;
+    if (reads) {
+      ++nestsReading;
+      nestIdx = static_cast<int>(n);
+    }
+  }
+  if (nestsReading == 0) reject("signal is never read");
+  if (nestsReading > 1)
+    reject("signal is read in " + std::to_string(nestsReading) +
+           " nests; the closed forms cover a single nest");
+
+  const loopir::LoopNest& ln = pn.nests[static_cast<std::size_t>(nestIdx)];
+  const int depth = ln.depth();
+  Nest out;
+  out.dims = static_cast<int>(
+      pn.signals[static_cast<std::size_t>(signal)].dims.size());
+
+  out.iterations = 1;
+  for (const loopir::Loop& lp : ln.loops) {
+    const i64 trip = lp.tripCount();
+    if (trip <= 0) reject("signal read stream is empty (zero-trip loop)");
+    out.iterations = checkedMul(out.iterations, trip);
+  }
+
+  // Per-reference lowering: constants absorb begins and trip-1 levels.
+  std::vector<std::vector<i64>> coeff;  // [level][dim], reference-uniform
+  for (const loopir::ArrayAccess& acc : ln.body) {
+    if (acc.signal != signal || acc.kind != loopir::AccessKind::Read)
+      continue;
+    DR_REQUIRE_MSG(static_cast<int>(acc.indices.size()) == out.dims,
+                   "access rank does not match signal rank");
+    std::vector<i64> c(static_cast<std::size_t>(out.dims), 0);
+    std::vector<std::vector<i64>> refCoeff(
+        static_cast<std::size_t>(depth),
+        std::vector<i64>(static_cast<std::size_t>(out.dims), 0));
+    for (int d = 0; d < out.dims; ++d) {
+      const loopir::AffineExpr& ix = acc.indices[static_cast<std::size_t>(d)];
+      c[static_cast<std::size_t>(d)] = ix.constantTerm();
+      for (int l = 0; l < depth; ++l) {
+        const loopir::Loop& lp = ln.loops[static_cast<std::size_t>(l)];
+        const i64 cf = ix.coeff(l);
+        c[static_cast<std::size_t>(d)] = checkedAdd(
+            c[static_cast<std::size_t>(d)], checkedMul(cf, lp.begin));
+        refCoeff[static_cast<std::size_t>(l)][static_cast<std::size_t>(d)] =
+            checkedMul(cf, lp.step);
+      }
+    }
+    if (out.refs == 0) {
+      coeff = std::move(refCoeff);
+    } else if (coeff != refCoeff) {
+      reject("references are not uniform (level coefficients differ)");
+    }
+    out.refc.push_back(std::move(c));
+    ++out.refs;
+  }
+  DR_CHECK(out.refs > 0);
+  out.events = checkedMul(out.iterations, out.refs);
+
+  // Keep non-degenerate levels; classify each level's dimension.
+  for (int l = 0; l < depth; ++l) {
+    const i64 trip = ln.loops[static_cast<std::size_t>(l)].tripCount();
+    if (trip < 2) continue;  // constant contribution already folded
+    Level lev;
+    lev.trip = trip;
+    for (int d = 0; d < out.dims; ++d) {
+      const i64 e =
+          coeff[static_cast<std::size_t>(l)][static_cast<std::size_t>(d)];
+      if (e == 0) continue;
+      if (lev.dim >= 0)
+        reject("a loop level drives multiple array dimensions");
+      lev.dim = d;
+      lev.e = e;
+    }
+    out.levels.push_back(lev);
+  }
+
+  // Sign normalization per dimension: index equality is preserved under
+  // per-dimension negation, so a dimension whose coefficients are all
+  // negative is flipped to make every e positive. Mixed signs stay out.
+  for (int d = 0; d < out.dims; ++d) {
+    bool neg = false, pos = false;
+    for (const Level& lev : out.levels)
+      if (lev.dim == d) (lev.e > 0 ? pos : neg) = true;
+    if (neg && pos)
+      reject("mixed-sign coefficients within one array dimension");
+    if (!neg) continue;
+    for (Level& lev : out.levels)
+      if (lev.dim == d) lev.e = -lev.e;
+    for (std::vector<i64>& c : out.refc)
+      c[static_cast<std::size_t>(d)] = -c[static_cast<std::size_t>(d)];
+  }
+  return out;
+}
+
+/// Accumulates a raw (untrimmed) histogram with overflow-checked counts.
+struct HistBuilder {
+  std::vector<i64> raw;  ///< [distance] = accesses; [0] unused
+  i64 cold = 0;
+  i64 maxDistance;
+
+  explicit HistBuilder(i64 maxDist) : maxDistance(maxDist) {}
+
+  void addCold(i64 count) { cold = checkedAdd(cold, count); }
+  void addDist(i64 dist, i64 count) {
+    DR_CHECK(dist >= 1);
+    if (dist > maxDistance)
+      reject("stack distance " + std::to_string(dist) +
+             " exceeds the configured maxDistance");
+    if (static_cast<i64>(raw.size()) <= dist)
+      raw.resize(static_cast<std::size_t>(dist) + 1, 0);
+    raw[static_cast<std::size_t>(dist)] =
+        checkedAdd(raw[static_cast<std::size_t>(dist)], count);
+  }
+
+  simcore::StackHistogram build(i64 accesses) && {
+    return simcore::StackHistogram::build(std::move(raw), cold, accesses);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Repeat class: no level moves the index — the body touches a fixed tuple
+// set `iterations` times.
+// ---------------------------------------------------------------------------
+
+SymbolicResult repeatHistogram(const Nest& nest, simcore::Policy policy,
+                               const SymbolicOptions& opts) {
+  const i64 N = nest.iterations;
+  bool allEqual = true;
+  bool allDistinct = true;
+  for (int a = 0; a < nest.refs; ++a)
+    for (int b = a + 1; b < nest.refs; ++b) {
+      if (nest.refc[static_cast<std::size_t>(a)] ==
+          nest.refc[static_cast<std::size_t>(b)])
+        allDistinct = false;
+      else
+        allEqual = false;
+    }
+
+  HistBuilder hb(opts.maxDistance);
+  SymbolicResult res;
+  res.policy = policy;
+  res.traceClass = SymbolicClass::Repeat;
+  if (allEqual) {
+    // x^(N*refs): one element, every access after the first at distance 1.
+    hb.addCold(1);
+    if (nest.events > 1) hb.addDist(1, nest.events - 1);
+    res.policyAgnostic = true;
+  } else if (allDistinct) {
+    // (t_0 .. t_{D-1})^N: a pure cyclic sweep of D = refs elements.
+    const i64 D = nest.refs;
+    hb.addCold(D);
+    if (N > 1) {
+      if (policy == simcore::Policy::Lru) {
+        // Between consecutive accesses of any element: the other D-1
+        // elements, once each => stack distance exactly D.
+        hb.addDist(D, checkedMul(N - 1, D));
+      } else {
+        // Belady keeps a resident prefix of the sweep: a capacity-c
+        // buffer retains exactly c-1 cross-sweep survivors, so each
+        // re-sweep spreads uniformly over distances 1..D.
+        for (i64 d = 1; d <= D; ++d) hb.addDist(d, N - 1);
+      }
+    }
+    res.policyAgnostic = N == 1;
+  } else {
+    reject("repeated references mix duplicate and distinct index tuples");
+  }
+  res.hist = std::move(hb).build(nest.events);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Cyclic class CYC(B, D, r, R): level pattern [blocks][repeat][core][repeat]
+// with an injective (blocks x core) index map.
+// ---------------------------------------------------------------------------
+
+/// Sufficient injectivity check per dimension: with levels sorted by
+/// ascending coefficient, each coefficient must clear the span of the
+/// smaller ones — then every coefficient-weighted sum is unique (and the
+/// check is exact for the dense row-major-style layouts of the zoo).
+bool injectivePerDim(const std::vector<const Level*>& nz, int dims) {
+  for (int d = 0; d < dims; ++d) {
+    std::vector<const Level*> mine;
+    for (const Level* lev : nz)
+      if (lev->dim == d) mine.push_back(lev);
+    std::sort(mine.begin(), mine.end(),
+              [](const Level* a, const Level* b) { return a->e < b->e; });
+    i64 span = 0;
+    for (const Level* lev : mine) {
+      if (lev->e < checkedAdd(span, 1)) return false;
+      span = checkedAdd(span, checkedMul(lev->e, lev->trip - 1));
+    }
+  }
+  return true;
+}
+
+/// Try the cyclic closed forms. Returns true and fills `out` on a match;
+/// returns false (with `whyNot`) when the level pattern is not cyclic —
+/// the caller then falls through to the sliding engine. A matched pattern
+/// whose policy has no closed form rejects outright (sliding cannot cover
+/// a nest with repeat levels either).
+bool tryCyclic(const Nest& nest, simcore::Policy policy,
+               const SymbolicOptions& opts, SymbolicResult* out,
+               std::string* whyNot) {
+  DR_CHECK(nest.refs == 1);
+  // Decompose the level sequence into maximal runs of nonzero (N) and
+  // repeat (Z) levels.
+  struct Run {
+    bool zero;
+    std::vector<const Level*> levels;
+  };
+  std::vector<Run> runs;
+  for (const Level& lev : nest.levels) {
+    const bool z = lev.dim < 0;
+    if (runs.empty() || runs.back().zero != z)
+      runs.push_back({z, {}});
+    runs.back().levels.push_back(&lev);
+  }
+  const auto tripProduct = [](const std::vector<const Level*>& ls) {
+    i64 p = 1;
+    for (const Level* l : ls) p = checkedMul(p, l->trip);
+    return p;
+  };
+
+  int nRuns = 0;
+  for (const Run& r : runs)
+    if (!r.zero) ++nRuns;
+  DR_CHECK(nRuns >= 1);  // the all-zero case is the repeat class
+  if (nRuns > 2) {
+    *whyNot = "more than two nonzero level groups";
+    return false;
+  }
+
+  std::vector<const Level*> blocks, core;
+  i64 R = 1, r = 1;
+  if (nRuns == 1) {
+    // [repeat]^R [core] [repeat]^r
+    for (const Run& run : runs) {
+      if (!run.zero)
+        core = run.levels;
+      else if (core.empty())
+        R = checkedMul(R, tripProduct(run.levels));
+      else
+        r = checkedMul(r, tripProduct(run.levels));
+    }
+  } else {
+    // [blocks] [repeat]^R [core] [repeat]^r — a repeat level above the
+    // blocks would re-sweep a multi-block trace, which is not CYC.
+    if (runs.front().zero) {
+      *whyNot = "repeat level above the disjoint block levels";
+      return false;
+    }
+    bool sawMid = false;
+    for (const Run& run : runs) {
+      if (!run.zero) {
+        (blocks.empty() && !sawMid ? blocks : core) = run.levels;
+      } else if (core.empty()) {
+        sawMid = true;
+        R = checkedMul(R, tripProduct(run.levels));
+      } else {
+        r = checkedMul(r, tripProduct(run.levels));
+      }
+    }
+  }
+  DR_CHECK(!core.empty());
+
+  std::vector<const Level*> nz = blocks;
+  nz.insert(nz.end(), core.begin(), core.end());
+  if (!injectivePerDim(nz, nest.dims)) {
+    *whyNot = "level images overlap (not an injective block sweep)";
+    return false;
+  }
+
+  const i64 B = tripProduct(blocks);
+  const i64 D = tripProduct(core);
+  DR_CHECK(D >= 2);
+  DR_CHECK(checkedMul(checkedMul(B, D), checkedMul(r, R)) == nest.events);
+
+  if (policy == simcore::Policy::Opt && r >= 2 && R >= 2)
+    reject(
+        "cyclic sweep with inner repeats (r=" + std::to_string(r) +
+        ", R=" + std::to_string(R) +
+        ") has no closed-form OPT profile; LRU is available");
+
+  HistBuilder hb(opts.maxDistance);
+  hb.addCold(checkedMul(B, D));
+  if (r > 1)  // back-to-back repeats hit at distance 1 under any policy
+    hb.addDist(1, checkedMul(checkedMul(B, D), checkedMul(R, r - 1)));
+  if (R > 1) {
+    if (policy == simcore::Policy::Lru) {
+      hb.addDist(D, checkedMul(checkedMul(B, D), R - 1));
+    } else {
+      const i64 perDist = checkedMul(B, R - 1);
+      for (i64 d = 1; d <= D; ++d) hb.addDist(d, perDist);
+    }
+  }
+  out->policy = policy;
+  out->policyAgnostic = R == 1;
+  out->traceClass = SymbolicClass::Cyclic;
+  out->hist = std::move(hb).build(nest.events);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Sliding class (LRU): explicit inner cells x banded frame-scale levels.
+// ---------------------------------------------------------------------------
+
+/// Inclusive integer rectangle in (row, col) index space.
+struct Rect {
+  i64 r0, r1, c0, c1;
+};
+
+/// support::floorDiv for the hot path: positive divisor, inlined.
+inline i64 floorDivPos(i64 a, i64 b) {
+  const i64 q = a / b;
+  return q * b > a ? q - 1 : q;
+}
+
+/// Exact area of the union of inclusive integer rectangles: row-slab
+/// sweep with merged column intervals. Counts are bounded by the nest's
+/// precomputed index ranges, so plain arithmetic cannot overflow here.
+/// `ys`/`iv` are caller-owned scratch (this runs per evaluated access —
+/// no allocations in the steady state).
+i64 unionArea(const std::vector<Rect>& rects, std::vector<i64>& ys,
+              std::vector<std::pair<i64, i64>>& iv) {
+  if (rects.empty()) return 0;
+  if (rects.size() == 1) {
+    const Rect& r = rects[0];
+    return (r.r1 - r.r0 + 1) * (r.c1 - r.c0 + 1);
+  }
+  ys.clear();
+  for (const Rect& r : rects) {
+    ys.push_back(r.r0);
+    ys.push_back(r.r1 + 1);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  i64 area = 0;
+  for (std::size_t s = 0; s + 1 < ys.size(); ++s) {
+    const i64 ya = ys[s], yb = ys[s + 1];
+    iv.clear();
+    for (const Rect& r : rects)
+      if (r.r0 <= ya && r.r1 >= yb - 1) iv.push_back({r.c0, r.c1});
+    if (iv.empty()) continue;
+    std::sort(iv.begin(), iv.end());
+    i64 covered = 0, lo = iv[0].first, hi = iv[0].second;
+    for (std::size_t i = 1; i < iv.size(); ++i) {
+      if (iv[i].first > hi + 1) {
+        covered += hi - lo + 1;
+        lo = iv[i].first;
+        hi = iv[i].second;
+      } else {
+        hi = std::max(hi, iv[i].second);
+      }
+    }
+    covered += hi - lo + 1;
+    area += covered * (yb - ya);
+  }
+  return area;
+}
+
+/// The sliding-window LRU engine. Axis 0 = row, axis 1 = col (a 1-D
+/// signal uses col only with row pinned to 0).
+class SlideEngine {
+ public:
+  SlideEngine(const Nest& nest, const SymbolicOptions& opts)
+      : nest_(nest), opts_(opts) {
+    mapAxes();
+    precompute();
+  }
+
+  SymbolicResult run() {
+    HistBuilder hb(opts_.maxDistance);
+    i64 evals = 0;
+    std::vector<i64> k(levels_.size());
+    for (std::size_t l = 0; l < levels_.size(); ++l) k[l] = restVal(levels_[l]);
+    interiorFixed_.assign(levels_.size(), 0);
+    for (int r = 0; r < nest_.refs; ++r)
+      descend(k, r, levels_.size(), 1, hb, &evals);
+
+    // Internal consistency: the cold count must equal the exact distinct
+    // footprint of the whole stream (union of the per-reference full
+    // boxes) — two independent derivations of the same number.
+    rects_.clear();
+    for (int r = 0; r < nest_.refs; ++r) {
+      Rect rc = refRect(r);
+      rc.r1 += suffixSpan_[0][0];
+      rc.c1 += suffixSpan_[0][1];
+      rects_.push_back(rc);
+    }
+    DR_CHECK(hb.cold == area());
+
+    SymbolicResult res;
+    res.policy = simcore::Policy::Lru;
+    res.policyAgnostic = false;
+    res.traceClass = SymbolicClass::Sliding;
+    res.explicitCells = evals;
+    res.bandedLevels = static_cast<int>(banded_.size());
+    res.hist = std::move(hb).build(nest_.events);
+    return res;
+  }
+
+ private:
+  struct SLevel {
+    int axis;  ///< 0 = row, 1 = col
+    i64 e;
+    i64 trip;
+    i64 spanDeeper;  ///< same-axis span of strictly deeper levels
+    bool banded = false;
+    i64 w = 0;  ///< edge width; interior representative value = w
+  };
+
+  /// What one (cell, ref) access resolved to.
+  struct PrevInfo {
+    bool found = false;
+    bool bodyLocal = false;
+    /// The winning level clamps with nonnegative slack for every
+    /// candidate: the outcome is provably constant over the whole value
+    /// range [1, trip-1] of that level (see descend()).
+    bool leadShiftInvariant = false;
+    int lambda = 0;    ///< leading differing level (found && !bodyLocal)
+    int refPrev = -1;  ///< body position of the previous access
+    i64 dist = 0;      ///< stack distance (valid when found)
+  };
+
+  const Nest& nest_;
+  const SymbolicOptions& opts_;
+  std::vector<SLevel> levels_;
+  std::vector<std::size_t> banded_;
+  /// suffixSpan_[l][axis]: span of levels >= l on that axis.
+  std::vector<std::array<i64, 2>> suffixSpan_;
+  std::vector<std::array<i64, 2>> refAx_;  ///< per ref: (row, col) consts
+  // Scratch (single-threaded engine; reused across evaluations).
+  std::vector<i64> kprevBest_, kprevCand_;
+  std::vector<std::array<i64, 2>> prefCur_, prefPrev_;
+  std::vector<Rect> rects_;
+  std::vector<i64> ys_;
+  std::vector<std::pair<i64, i64>> iv_;
+  std::vector<unsigned char> interiorFixed_;  ///< per banded_: fixed interior?
+
+  i64 area() { return unionArea(rects_, ys_, iv_); }
+
+  void mapAxes() {
+    // Active dimensions: moved by a level or discriminating references.
+    std::vector<int> axisOfDim(static_cast<std::size_t>(nest_.dims), -1);
+    int axes = 0;
+    for (int d = 0; d < nest_.dims; ++d) {
+      bool active = false;
+      for (const Level& lev : nest_.levels)
+        if (lev.dim == d) active = true;
+      for (int r = 1; r < nest_.refs && !active; ++r)
+        if (nest_.refc[static_cast<std::size_t>(r)]
+                      [static_cast<std::size_t>(d)] !=
+            nest_.refc[0][static_cast<std::size_t>(d)])
+          active = true;
+      if (!active) continue;
+      if (axes == 2)
+        reject("more than two active array dimensions (sliding engine)");
+      axisOfDim[static_cast<std::size_t>(d)] = axes++;
+    }
+    DR_CHECK(axes >= 1);
+    // With one active dimension everything lives on the col axis.
+    const int shift = axes == 1 ? 1 : 0;
+
+    for (const Level& lev : nest_.levels) {
+      if (lev.dim < 0)
+        reject("repeat level inside a sliding-window nest");
+      SLevel sl;
+      sl.axis = axisOfDim[static_cast<std::size_t>(lev.dim)] + shift;
+      sl.e = lev.e;
+      sl.trip = lev.trip;
+      sl.spanDeeper = 0;
+      levels_.push_back(sl);
+    }
+    for (int r = 0; r < nest_.refs; ++r) {
+      std::array<i64, 2> c = {0, 0};
+      for (int d = 0; d < nest_.dims; ++d)
+        if (axisOfDim[static_cast<std::size_t>(d)] >= 0)
+          c[static_cast<std::size_t>(
+              axisOfDim[static_cast<std::size_t>(d)] + shift)] =
+              nest_.refc[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(d)];
+      refAx_.push_back(c);
+    }
+  }
+
+  void precompute() {
+    const std::size_t L = levels_.size();
+    suffixSpan_.assign(L + 1, {0, 0});
+    for (std::size_t l = L; l-- > 0;) {
+      suffixSpan_[l] = suffixSpan_[l + 1];
+      auto& s = suffixSpan_[l][static_cast<std::size_t>(levels_[l].axis)];
+      s = checkedAdd(s, checkedMul(levels_[l].e, levels_[l].trip - 1));
+      levels_[l].spanDeeper =
+          suffixSpan_[l + 1][static_cast<std::size_t>(levels_[l].axis)];
+    }
+    // Density: every nest-suffix must have a dense (gap-free) per-axis
+    // image — the greedy completion and the rectangle decomposition both
+    // rely on it (wavelet's stride-2 columns fail here, by design).
+    for (const SLevel& sl : levels_)
+      if (sl.e > checkedAdd(sl.spanDeeper, 1))
+        reject("level image is not dense (coefficient " +
+               std::to_string(sl.e) + " exceeds deeper span " +
+               std::to_string(sl.spanDeeper) + " + 1)");
+
+    std::array<i64, 2> spread = {0, 0};
+    for (int a = 0; a < 2; ++a) {
+      i64 lo = refAx_[0][static_cast<std::size_t>(a)], hi = lo;
+      for (const auto& c : refAx_) {
+        lo = std::min(lo, c[static_cast<std::size_t>(a)]);
+        hi = std::max(hi, c[static_cast<std::size_t>(a)]);
+      }
+      spread[static_cast<std::size_t>(a)] = hi - lo;
+    }
+
+    // Band the frame-scale levels: a coordinate more than `w` from its
+    // bounds can neither change prev-search feasibility (the compensation
+    // reach is deltaMax) nor the greedy's clamping, so one representative
+    // per interior stands for the whole band (verified later at two
+    // representatives — a checked precondition; trip >= 2w+2 keeps the
+    // second representative inside the interior). Deep levels are poor
+    // banding candidates — a resolution's footprint includes the
+    // current-side head boxes, whose area grows with the deep
+    // coordinates, so their interiors are rarely constant — hence levels
+    // band lazily: clearly frame-scale ones up front, then
+    // largest-trip-first only until the iteration-class space fits the
+    // cap.
+    for (std::size_t l = 0; l < L; ++l) {
+      SLevel& sl = levels_[l];
+      const i64 deltaMax = floorDiv(
+          checkedAdd(sl.spanDeeper,
+                     spread[static_cast<std::size_t>(sl.axis)]),
+          sl.e);
+      sl.w = deltaMax + 1;
+      sl.banded = sl.trip > std::max<i64>(64, 4 * (deltaMax + 2));
+    }
+    const auto workNow = [&] {
+      i64 work = nest_.refs;
+      for (const SLevel& sl : levels_)
+        work = checkedMul(work, sl.banded ? 2 * sl.w + 1 : sl.trip);
+      return work;
+    };
+    while (workNow() > opts_.maxExplicitCells) {
+      std::size_t best = L;
+      for (std::size_t l = 0; l < L; ++l) {
+        const SLevel& sl = levels_[l];
+        if (sl.banded || sl.trip < 2 * sl.w + 2) continue;  // ineligible
+        if (best == L || sl.trip > levels_[best].trip) best = l;
+      }
+      if (best == L)
+        reject("iteration-class space " + std::to_string(workNow()) +
+               " exceeds maxExplicitCells and no level is bandable");
+      levels_[best].banded = true;
+    }
+    for (std::size_t l = 0; l < L; ++l)
+      if (levels_[l].banded) banded_.push_back(l);
+    // Pre-verify the value ranges so the per-cell loops can use plain
+    // arithmetic: every coordinate and every union area stays within the
+    // checked full-stream bounds computed here.
+    i64 rowRange = checkedAdd(checkedAdd(suffixSpan_[0][0], spread[0]), 1);
+    i64 colRange = checkedAdd(checkedAdd(suffixSpan_[0][1], spread[1]), 1);
+    (void)checkedMul(rowRange, colRange);
+    for (const auto& c : refAx_) {
+      (void)checkedAdd(c[0], suffixSpan_[0][0]);
+      (void)checkedAdd(c[1], suffixSpan_[0][1]);
+    }
+    kprevBest_.resize(L);
+    kprevCand_.resize(L);
+    prefCur_.resize(L + 1);
+    prefPrev_.resize(L + 1);
+    rects_.reserve(static_cast<std::size_t>(nest_.refs) * (2 * L + 2));
+  }
+
+  /// Full-box rectangle of one reference's constants (spans added by the
+  /// caller as needed).
+  Rect refRect(int r) const {
+    const auto& c = refAx_[static_cast<std::size_t>(r)];
+    return {c[0], c[0], c[1], c[1]};
+  }
+
+  /// Greedy max-lex previous iteration for (k, ref) with the leading
+  /// difference at level `lambda` and previous body position `refPrev`.
+  /// Writes the candidate into kprevCand_ (levels < lambda copied from
+  /// k). Returns false when infeasible.
+  bool greedyPrev(const std::vector<i64>& k, int ref, int lambda,
+                  int refPrev) {
+    std::array<i64, 2> need = {0, 0};
+    for (int a = 0; a < 2; ++a)
+      need[static_cast<std::size_t>(a)] =
+          refAx_[static_cast<std::size_t>(ref)][static_cast<std::size_t>(a)] -
+          refAx_[static_cast<std::size_t>(refPrev)]
+                [static_cast<std::size_t>(a)];
+    const std::size_t L = levels_.size();
+    for (std::size_t l = static_cast<std::size_t>(lambda); l < L; ++l)
+      need[static_cast<std::size_t>(levels_[l].axis)] +=
+          levels_[l].e * k[l];
+    // An axis with no level at lambda or deeper cannot absorb a residual.
+    for (int a = 0; a < 2; ++a)
+      if (need[static_cast<std::size_t>(a)] != 0 &&
+          suffixSpan_[static_cast<std::size_t>(lambda)]
+                     [static_cast<std::size_t>(a)] == 0)
+        return false;
+
+    for (std::size_t l = static_cast<std::size_t>(lambda); l < L; ++l) {
+      const SLevel& sl = levels_[l];
+      i64& res = need[static_cast<std::size_t>(sl.axis)];
+      const i64 ub = l == static_cast<std::size_t>(lambda) ? k[l] - 1
+                                                           : sl.trip - 1;
+      if (ub < 0) return false;
+      i64 v = std::min(ub, floorDivPos(res, sl.e));
+      if (v < 0) return false;
+      const i64 rem = res - sl.e * v;
+      if (rem > sl.spanDeeper) return false;  // deeper levels can't absorb
+      res = rem;
+      kprevCand_[l] = v;
+    }
+    return need[0] == 0 && need[1] == 0;
+  }
+
+  /// Stack distance via the in-between footprint: decompose the open
+  /// trace interval (prev, cur) into boxes, render each (box, ref) as a
+  /// dense index rectangle, and count the union's area exactly.
+  i64 distanceOf(const std::vector<i64>& k, int ref,
+                 const std::vector<i64>& kprev, int lambda, int refPrev) {
+    rects_.clear();
+    const std::size_t L = levels_.size();
+    // Per-axis prefix offsets of each side, computed once: pref[lev] =
+    // sum over l < lev of e_l * k_l. The sides agree below lambda, and
+    // the prev side is only consulted at lev >= lambda.
+    prefCur_[0] = prefPrev_[0] = {0, 0};
+    for (std::size_t l = 0; l < L; ++l) {
+      const std::size_t a = static_cast<std::size_t>(levels_[l].axis);
+      prefCur_[l + 1] = prefCur_[l];
+      prefCur_[l + 1][a] += levels_[l].e * k[l];
+      prefPrev_[l + 1] = prefPrev_[l];
+      prefPrev_[l + 1][a] += levels_[l].e * kprev[l];
+    }
+    const auto addPoint = [&](int r2, const std::array<i64, 2>& off) {
+      Rect rc = refRect(r2);
+      rc.r0 += off[0];
+      rc.r1 += off[0];
+      rc.c0 += off[1];
+      rc.c1 += off[1];
+      rects_.push_back(rc);
+    };
+    const auto addBox = [&](const std::array<i64, 2>* pref, std::size_t lev,
+                            i64 lo, i64 hi) {
+      if (lo > hi) return;
+      const SLevel& sl = levels_[lev];
+      const auto& off = pref[lev];
+      for (int r2 = 0; r2 < nest_.refs; ++r2) {
+        Rect rc = refRect(r2);
+        rc.r0 += off[0];
+        rc.c0 += off[1];
+        rc.r1 = rc.r0 + suffixSpan_[lev + 1][0];
+        rc.c1 = rc.c0 + suffixSpan_[lev + 1][1];
+        if (sl.axis == 0) {
+          rc.r0 += sl.e * lo;
+          rc.r1 += sl.e * hi;
+        } else {
+          rc.c0 += sl.e * lo;
+          rc.c1 += sl.e * hi;
+        }
+        rects_.push_back(rc);
+      }
+    };
+
+    // Tail of the previous iteration's body...
+    for (int r2 = refPrev + 1; r2 < nest_.refs; ++r2)
+      addPoint(r2, prefPrev_[L]);
+    // ...tails of every level below the leading difference on the prev
+    // side, the middle sweeps at the leading level itself, the heads on
+    // the current side...
+    for (std::size_t lev = L; lev-- > static_cast<std::size_t>(lambda) + 1;)
+      addBox(prefPrev_.data(), lev, kprev[lev] + 1, levels_[lev].trip - 1);
+    addBox(prefPrev_.data(), static_cast<std::size_t>(lambda),
+           kprev[static_cast<std::size_t>(lambda)] + 1,
+           k[static_cast<std::size_t>(lambda)] - 1);
+    for (std::size_t lev = static_cast<std::size_t>(lambda) + 1; lev < L;
+         ++lev)
+      addBox(prefCur_.data(), lev, 0, k[lev] - 1);
+    // ...and the head of the current iteration's body.
+    for (int r2 = 0; r2 < ref; ++r2) addPoint(r2, prefCur_[L]);
+
+    return 1 + area();
+  }
+
+  /// Resolve one (cell, ref) access: body-local duplicate, or the deepest
+  /// feasible leading-difference level with the max-lex previous
+  /// iteration, or cold. `maxLambda` caps the leading-level search: a
+  /// descend() child can never resolve deeper than the level it just
+  /// fixed (deeper feasibility reads only deeper coordinates, unchanged
+  /// from the parent, which already failed there), so the walk passes
+  /// its freeCount to skip the provably-infeasible deep candidates.
+  PrevInfo resolve(const std::vector<i64>& k, int ref,
+                   int maxLambda = std::numeric_limits<int>::max()) {
+    PrevInfo out;
+    // Body-local duplicate: same iteration, identical constants.
+    for (int r2 = ref - 1; r2 >= 0; --r2) {
+      if (refAx_[static_cast<std::size_t>(r2)] !=
+          refAx_[static_cast<std::size_t>(ref)])
+        continue;
+      rects_.clear();
+      for (int mid = r2 + 1; mid < ref; ++mid) {
+        Rect rc = refRect(mid);
+        for (std::size_t l = 0; l < levels_.size(); ++l) {
+          const i64 v = levels_[l].e * k[l];
+          (levels_[l].axis == 0 ? rc.r0 : rc.c0) += v;
+          (levels_[l].axis == 0 ? rc.r1 : rc.c1) += v;
+        }
+        rects_.push_back(rc);
+      }
+      out.found = true;
+      out.bodyLocal = true;
+      out.refPrev = r2;
+      out.dist = 1 + area();
+      return out;
+    }
+
+    for (int lambda =
+             std::min(maxLambda, static_cast<int>(levels_.size()) - 1);
+         lambda >= 0; --lambda) {
+      bool any = false;
+      int bestRef = -1;
+      for (int r2 = 0; r2 < nest_.refs; ++r2) {
+        if (!greedyPrev(k, ref, lambda, r2)) continue;
+        bool better = !any;
+        if (any) {
+          for (std::size_t l = static_cast<std::size_t>(lambda);
+               l < levels_.size(); ++l) {
+            if (kprevCand_[l] != kprevBest_[l]) {
+              better = kprevCand_[l] > kprevBest_[l];
+              break;
+            }
+          }
+          if (!better && kprevCand_ == kprevBest_ && r2 > bestRef)
+            better = true;
+        }
+        if (better) {
+          any = true;
+          bestRef = r2;
+          kprevBest_ = kprevCand_;
+        }
+      }
+      if (any) {
+        // Levels above lambda are shared with the current iteration.
+        for (int l = 0; l < lambda; ++l)
+          kprevBest_[static_cast<std::size_t>(l)] =
+              k[static_cast<std::size_t>(l)];
+        out.found = true;
+        out.lambda = lambda;
+        out.refPrev = bestRef;
+        // Shift invariance at the winning level: when every candidate's
+        // residual arriving at lambda has nonnegative slack
+        // (C_r = sum_{l > lambda, same axis} e_l k_l + refc[ref] -
+        // refc[r] >= 0), every candidate clamps to kprev = k - 1 there,
+        // the residual handed to the deeper levels is C_r + e for any
+        // value of k[lambda], and the in-between footprint translates
+        // rigidly with k[lambda] — so the whole outcome (feasible set,
+        // tie-break, distance) is constant across k[lambda] in
+        // [1, trip-1]. descend() uses this to collapse the enumeration
+        // of the leading level.
+        {
+          const SLevel& sl = levels_[static_cast<std::size_t>(lambda)];
+          const std::size_t ax = static_cast<std::size_t>(sl.axis);
+          i64 tail = 0;
+          for (std::size_t l = static_cast<std::size_t>(lambda) + 1;
+               l < levels_.size(); ++l)
+            if (levels_[l].axis == sl.axis) tail += levels_[l].e * k[l];
+          bool inv = true;
+          const i64 refC = refAx_[static_cast<std::size_t>(ref)][ax];
+          for (int r2 = 0; r2 < nest_.refs && inv; ++r2)
+            inv = tail + refC - refAx_[static_cast<std::size_t>(r2)][ax] >= 0;
+          out.leadShiftInvariant = inv;
+        }
+        out.dist = distanceOf(k, ref, kprevBest_, lambda, bestRef);
+        return out;
+      }
+    }
+    return out;  // cold
+  }
+
+  void addOutcome(HistBuilder& hb, const PrevInfo& pi, i64 mult) {
+    if (pi.found)
+      hb.addDist(pi.dist, mult);
+    else
+      hb.addCold(mult);
+  }
+
+  /// Emit one resolved outcome with multiplicity `mult`, first running
+  /// band-constancy verification: every fixed interior representative the
+  /// resolution can see (banded level >= lambdaFrom) must resolve
+  /// identically one step further inside (trip > 2w+1 is guaranteed by
+  /// the banding threshold). This turns the banding argument into a
+  /// checked precondition.
+  void leafVerifyAndEmit(std::vector<i64>& k, int r, const PrevInfo& pi,
+                         int lambdaFrom, std::size_t freeCount, i64 mult,
+                         HistBuilder& hb, i64* evals) {
+    for (std::size_t l = freeCount; l < levels_.size(); ++l) {
+      if (!interiorFixed_[l] || static_cast<int>(l) < lambdaFrom) continue;
+      k[l] = levels_[l].w + 1;
+      const PrevInfo check = resolve(k, r);
+      ++*evals;
+      k[l] = levels_[l].w;
+      if (check.found != pi.found || (check.found && check.dist != pi.dist))
+        reject("band-constancy verification failed at level " +
+               std::to_string(l));
+    }
+    addOutcome(hb, pi, mult);
+  }
+
+  /// Resolve (cell, ref) with the levels >= freeCount fixed to concrete
+  /// values (joint multiplicity `fixedMult`) and the shallowest
+  /// `freeCount` levels free, parked at a representative value. A
+  /// resolution only ever reads the leading-difference level and deeper —
+  /// levels above it cancel out of both the feasibility test and the
+  /// footprint union (they shift every rectangle by the same offset) — so
+  /// when every free level sits above lambda the outcome stands for the
+  /// whole cross product of their values at once. Otherwise the deepest
+  /// free level is enumerated (every value for an explicit level; edge
+  /// singletons plus the interior representative for a banded one) and
+  /// the search recurses. The walk therefore visits only the iteration
+  /// classes a resolution can distinguish instead of the full iteration
+  /// space: a nest whose reuse is carried by the innermost levels costs
+  /// a few hundred resolutions regardless of the outer trip counts.
+  void descend(std::vector<i64>& k, int r, std::size_t freeCount,
+               i64 fixedMult, HistBuilder& hb, i64* evals) {
+    const PrevInfo pi = resolve(k, r, static_cast<int>(freeCount));
+    ++*evals;
+    // Shallowest level the resolution read: none for body-local
+    // duplicates (their footprint is a same-iteration shift on every
+    // level), everything for cold (the search exhausted every lambda).
+    const int lambdaFrom =
+        pi.found
+            ? (pi.bodyLocal ? static_cast<int>(levels_.size()) : pi.lambda)
+            : 0;
+    if (static_cast<int>(freeCount) <= lambdaFrom) {
+      i64 mult = fixedMult;
+      for (std::size_t l = 0; l < freeCount; ++l)
+        mult = checkedMul(mult, levels_[l].trip);
+      leafVerifyAndEmit(k, r, pi, lambdaFrom, freeCount, mult, hb, evals);
+      return;
+    }
+    const std::size_t l = freeCount - 1;
+    const SLevel& sl = levels_[l];
+    if (pi.found && !pi.bodyLocal && pi.leadShiftInvariant &&
+        pi.lambda == static_cast<int>(l)) {
+      // The resolution leads exactly at the deepest free level and is
+      // provably constant over its whole value range [1, trip-1] (see
+      // resolve()): emit one aggregate leaf for those values — the free
+      // levels above lambda contribute their full trips as usual — and
+      // recurse only into the k = 0 slice.
+      i64 mult = checkedMul(fixedMult, sl.trip - 1);
+      for (std::size_t fl = 0; fl < l; ++fl)
+        mult = checkedMul(mult, levels_[fl].trip);
+      leafVerifyAndEmit(k, r, pi, lambdaFrom, freeCount, mult, hb, evals);
+      k[l] = 0;
+      descend(k, r, l, fixedMult, hb, evals);
+      k[l] = restVal(sl);
+      return;
+    }
+    if (!sl.banded) {
+      for (i64 v = 0; v < sl.trip; ++v) {
+        k[l] = v;
+        descend(k, r, l, fixedMult, hb, evals);
+      }
+    } else {
+      // Leading edge, interior representative (standing for trip - 2w
+      // values), trailing edge.
+      for (i64 c = 0; c < 2 * sl.w + 1; ++c) {
+        i64 m = 1;
+        if (c < sl.w) {
+          k[l] = c;
+        } else if (c == sl.w) {
+          k[l] = sl.w;
+          m = sl.trip - 2 * sl.w;
+          interiorFixed_[l] = 1;
+        } else {
+          k[l] = sl.trip - (2 * sl.w + 1 - c);
+        }
+        descend(k, r, l, fixedMult * m, hb, evals);
+        interiorFixed_[l] = 0;
+      }
+    }
+    k[l] = restVal(sl);  // restore the representative
+  }
+
+  /// Parked value for a free level: a generic interior point, so that
+  /// resolutions seen at internal nodes are the deep, typical ones (a
+  /// boundary value like 0 would force the lambda search shallower and
+  /// make the walk expand levels it never needed to).
+  static i64 restVal(const SLevel& sl) {
+    return sl.banded ? sl.w : sl.trip / 2;
+  }
+};
+
+}  // namespace
+
+const char* symbolicClassName(SymbolicClass c) {
+  switch (c) {
+    case SymbolicClass::Repeat:
+      return "repeat";
+    case SymbolicClass::Cyclic:
+      return "cyclic";
+    case SymbolicClass::Sliding:
+      return "sliding";
+  }
+  return "?";
+}
+
+support::Expected<SymbolicResult> symbolicStackHistogram(
+    const loopir::Program& p, int signal, simcore::Policy policy,
+    const SymbolicOptions& opts) {
+  if (signal < 0 || signal >= static_cast<int>(p.signals.size()))
+    return Status::error(StatusCode::InvalidInput,
+                         "signal index out of range");
+  if (policy == simcore::Policy::Fifo)
+    return Status::error(
+        StatusCode::InvalidInput,
+        "FIFO is not a stack policy; no symbolic histogram exists");
+  try {
+    const loopir::Program pn = loopir::normalized(p);
+    const Nest nest = lowerNest(pn, signal);
+
+    bool anyMoving = false;
+    for (const Level& lev : nest.levels) anyMoving |= lev.dim >= 0;
+    if (!anyMoving) return repeatHistogram(nest, policy, opts);
+
+    std::string cyclicWhyNot = "references are not uniform single-ref";
+    if (nest.refs == 1) {
+      SymbolicResult cyc;
+      if (tryCyclic(nest, policy, opts, &cyc, &cyclicWhyNot)) return cyc;
+    }
+
+    if (policy != simcore::Policy::Lru)
+      return Status::error(
+          StatusCode::InvalidInput,
+          "symbolic: not cyclic (" + cyclicWhyNot +
+              ") and the sliding-window engine is LRU-only (OPT slot "
+              "occupancy drifts; see folded_curve.h)");
+    SlideEngine engine(nest, opts);
+    return engine.run();
+  } catch (const RejectError& e) {
+    return Status::error(StatusCode::InvalidInput, "symbolic: " + e.reason);
+  } catch (const support::OverflowError& e) {
+    return Status::error(StatusCode::Overflow, e.what());
+  }
+}
+
+}  // namespace dr::analytic

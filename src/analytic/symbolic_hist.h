@@ -1,0 +1,107 @@
+#pragma once
+
+#include "loopir/program.h"
+#include "simcore/stream_stack.h"
+#include "support/status.h"
+
+/// \file symbolic_hist.h
+/// Closed-form (symbolic) stack-distance histograms for rectangular
+/// affine nests — the trace-free engine behind Fidelity::Symbolic.
+///
+/// Where the streaming engines (simcore/folded_curve.h) simulate the
+/// access stream — O(events), or O(super-period) when folding certifies —
+/// this engine *derives* the exact LRU/OPT stack-distance histogram from
+/// the nest description alone, in time independent of the trip counts of
+/// the frame-scale loops. An 8K-frame query costs the same as a QCIF one.
+///
+/// The engine recognizes three trace classes, each with an exactness
+/// argument (cross-validated byte-for-byte against the simcore stack
+/// engines by tests/test_symbolic.cpp and fuzz/fuzz_symbolic.cpp):
+///
+///  - **Repeat**: every non-degenerate loop level has a zero index
+///    coefficient — the body touches a fixed tuple set every iteration.
+///  - **Cyclic** `CYC(B, D, r, R)`: B address-disjoint blocks, each
+///    sweeping D distinct elements in a fixed injective order, r
+///    back-to-back repeats per visit, R full sweeps (motion estimation's
+///    New blocks, conv2d's weights, both matmul operands). LRU distances
+///    collapse to {1, D}; OPT spreads the R-1 re-sweeps *uniformly* over
+///    distances 1..D per block (Belady keeps a resident prefix of the
+///    sweep; each capacity c retains exactly c-1 cross-sweep survivors).
+///  - **Sliding** (LRU only): single-nest uniform sliding windows (motion
+///    estimation's Old frame, conv2d's image). The engine enumerates the
+///    window-scale inner levels explicitly and *bands* the frame-scale
+///    outer levels: an outer coordinate further than the bounded
+///    interaction width from its bounds cannot change any reuse decision,
+///    so one representative evaluation counts for the whole interior band
+///    (verified at two representatives per band — a checked precondition,
+///    not an assumption). The previous access of a cell is found by a
+///    deepest-feasible-level greedy search; its stack distance is 1 + the
+///    exact area of a union of axis-aligned index-space rectangles
+///    covering the in-between accesses.
+///
+/// Preconditions are *rejected*, never approximated: any nest shape the
+/// closed forms do not cover (multi-nest signals, non-uniform references,
+/// mixed-sign or multi-dimension level coefficients, non-dense per-level
+/// images such as wavelet's stride-2 columns, OPT on sliding windows)
+/// comes back as a Status explaining which precondition failed, and the
+/// caller falls through to the fold/run ladder.
+
+namespace dr::analytic {
+
+using dr::support::i64;
+
+/// Which closed-form class matched the nest (see file comment).
+enum class SymbolicClass {
+  Repeat,
+  Cyclic,
+  Sliding,
+};
+
+/// Human-readable class name ("repeat", "cyclic", "sliding").
+const char* symbolicClassName(SymbolicClass c);
+
+struct SymbolicOptions {
+  /// Cap on explicit-cell work for the sliding engine: the product of the
+  /// enumerated inner trip counts and the banded levels' edge+interior
+  /// choice counts. Frame-scale trips never enter this product — it is
+  /// the knob that keeps "symbolic" honest about being O(1) in trace
+  /// size.
+  i64 maxExplicitCells = i64{1} << 20;
+  /// Largest stack distance the engine will materialize a histogram bin
+  /// for (the dense histogram costs O(maxDistance) memory, same as the
+  /// simulating engines' result).
+  i64 maxDistance = i64{1} << 26;
+};
+
+/// A symbolic histogram plus its provenance.
+struct SymbolicResult {
+  simcore::StackHistogram hist;
+  simcore::Policy policy = simcore::Policy::Opt;
+  /// True when LRU and OPT provably coincide for this trace (repeat-only
+  /// traces and single-sweep cyclic classes): the histogram answers
+  /// either policy.
+  bool policyAgnostic = false;
+  SymbolicClass traceClass = SymbolicClass::Repeat;
+  /// Work measure of the sliding engine: explicit (cell, band-combo, ref)
+  /// evaluations performed. 0 for the repeat/cyclic classes.
+  i64 explicitCells = 0;
+  /// Frame-scale levels handled by banding rather than enumeration.
+  int bandedLevels = 0;
+};
+
+/// Exact stack-distance histogram of the filtered read stream of `signal`
+/// (the same stream trace::TraceFilter{signal} produces), computed in
+/// closed form, or a Status naming the precondition that failed. The
+/// returned histogram is byte-identical to pushing the full stream
+/// through the matching simcore accumulator — distances, cold misses,
+/// trimming and all — which is what lets Fidelity::Symbolic sit *above*
+/// exact-stream in the ladder: same numbers, no trace.
+///
+/// Overflow on user-scale bounds maps to StatusCode::Overflow; class /
+/// shape rejections to StatusCode::InvalidInput with the reason in the
+/// message.
+support::Expected<SymbolicResult> symbolicStackHistogram(
+    const loopir::Program& p, int signal, simcore::Policy policy,
+    const SymbolicOptions& opts = {});
+
+}  // namespace dr::analytic

@@ -8,6 +8,7 @@
 #include <optional>
 #include <utility>
 
+#include "analytic/symbolic_hist.h"
 #include "loopir/normalize.h"
 #include "loopir/permute.h"
 #include "loopir/printer.h"
@@ -93,12 +94,20 @@ simcore::ReuseCurve analyticFallbackCurve(const SignalExploration& result) {
 /// Bump whenever a simulation-engine or size-planning change alters the
 /// numbers a journal would persist: resumes against journals written by
 /// older code then restart clean instead of mixing generations.
-constexpr std::uint64_t kJournalCodeVersion = 1;
+constexpr std::uint64_t kJournalCodeVersion = 2;
 
 bool fidelityIsExact(std::uint8_t f) {
-  return f == static_cast<std::uint8_t>(simcore::Fidelity::ExactStream) ||
+  return f == static_cast<std::uint8_t>(simcore::Fidelity::Symbolic) ||
+         f == static_cast<std::uint8_t>(simcore::Fidelity::ExactStream) ||
          f == static_cast<std::uint8_t>(simcore::Fidelity::ExactFold);
 }
+
+/// Strict-engine rejection (SimEngine::Symbolic on a signal the closed
+/// forms do not cover). Thrown out of exploreSignalImpl and converted to
+/// an InvalidInput status by the checked facades.
+struct SymbolicRejectError {
+  std::string reason;
+};
 
 /// FNV-1a 64 over a canonical description of everything that determines
 /// the journaled curve: the normalized kernel text, the signal, the
@@ -544,58 +553,99 @@ SignalExploration exploreSignalImpl(const Program& p, int signal,
         }
       }
       if (!reconstructed) {
-        dr::trace::TraceCursor cursor(pn, map, filter);
-        const dr::trace::PeriodInfo period =
-            dr::trace::detectPeriod(cursor.nests());
-        simcore::FoldedCurveOptions foldOpts;
-        foldOpts.budget = opts.budget;
-        foldOpts.runGranularity = opts.runGranularity;
-        const simcore::StackHistogram h = simcore::foldedStackHistogram(
-            cursor, period, simcore::Policy::Opt, &result.simulationStats,
-            foldOpts);
-        result.distinctElements = h.distinct();
-        if (!result.simulationStats.completed) {
-          result.simulatedCurve = analyticFallbackCurve(result);
-          result.curveFidelity = simcore::Fidelity::Analytic;
-          // The stream never ran, so no engine counted the footprint; the
-          // level-0 working-set knee is exact for affine nests and fills
-          // in.
-          if (result.distinctElements == 0) {
-            for (const auto& knees : result.kneesPerNest)
-              for (const analytic::LevelKnee& knee : knees)
-                if (knee.level == 0)
-                  result.distinctElements =
-                      std::max(result.distinctElements, knee.workingSetMax);
+        // Top fidelity rung: the symbolic engine answers the whole OPT
+        // stack-distance histogram in closed form when the signal's read
+        // stream is a covered trace class — no trace walked, query time
+        // independent of the iteration counts. Values are byte-identical
+        // to the folded/streamed engines (pinned by tests and fuzzing);
+        // only the fidelity tag differs. Auto falls through to the fold
+        // path on rejection; SimEngine::Symbolic makes rejection fatal.
+        bool symbolicDone = false;
+        if (opts.engine == SimEngine::Auto ||
+            opts.engine == SimEngine::Symbolic) {
+          auto sym = analytic::symbolicStackHistogram(pn, signal,
+                                                      simcore::Policy::Opt);
+          if (sym.hasValue()) {
+            const simcore::StackHistogram& h = sym->hist;
+            DR_REQUIRE_MSG(h.accesses == result.Ctot,
+                           "symbolic engine disagrees with the cursor on "
+                           "the stream length");
+            result.distinctElements = h.distinct();
+            result.simulationStats.folded = false;
+            result.simulationStats.exact = true;
+            result.simulationStats.completed = true;
+            result.simulationStats.fidelity = simcore::Fidelity::Symbolic;
+            result.simulationStats.totalEvents = result.Ctot;
+            result.simulationStats.simulatedEvents = 0;
             result.simulationStats.distinct = result.distinctElements;
+            const std::vector<i64> sizes = plannedSizes();
+            result.curveFidelity = simcore::Fidelity::Symbolic;
+            if (hook && hook->writer && !hook->hasMeta)
+              (void)hook->writer->appendMeta(metaFromStats(result));
+            assembleCurve(result, sizes, result.curveFidelity, hook,
+                          [&](i64 s) { return h.resultAt(s); });
+            symbolicDone = true;
+          } else if (opts.engine == SimEngine::Symbolic) {
+            throw SymbolicRejectError{
+                sym.status().message() +
+                " (the simulated sweep is OPT; analytic::symbolicReuseCurve "
+                "serves LRU curves directly)"};
           }
-          // Ladder re-entry only for the missing points: a prior run's
-          // committed exact points overlay the closed-form curve, each
-          // keeping its exact tag. Nothing new is journaled on a
-          // degraded run.
-          if (hook && !hook->priorExact.empty()) {
-            std::map<i64, simcore::ReusePoint> merged;
-            for (const simcore::ReusePoint& pt :
-                 result.simulatedCurve.points)
-              merged[pt.size] = pt;
-            for (const auto& [size, jp] : hook->priorExact)
-              merged[size] = pointFromJournal(jp);
-            result.simulatedCurve.points.clear();
-            for (const auto& [size, pt] : merged) {
-              (void)size;
-              result.simulatedCurve.points.push_back(pt);
+        }
+        if (!symbolicDone) {
+          dr::trace::TraceCursor cursor(pn, map, filter);
+          const dr::trace::PeriodInfo period =
+              dr::trace::detectPeriod(cursor.nests());
+          simcore::FoldedCurveOptions foldOpts;
+          foldOpts.budget = opts.budget;
+          foldOpts.runGranularity = opts.runGranularity;
+          const simcore::StackHistogram h = simcore::foldedStackHistogram(
+              cursor, period, simcore::Policy::Opt, &result.simulationStats,
+              foldOpts);
+          result.distinctElements = h.distinct();
+          if (!result.simulationStats.completed) {
+            result.simulatedCurve = analyticFallbackCurve(result);
+            result.curveFidelity = simcore::Fidelity::Analytic;
+            // The stream never ran, so no engine counted the footprint; the
+            // level-0 working-set knee is exact for affine nests and fills
+            // in.
+            if (result.distinctElements == 0) {
+              for (const auto& knees : result.kneesPerNest)
+                for (const analytic::LevelKnee& knee : knees)
+                  if (knee.level == 0)
+                    result.distinctElements =
+                        std::max(result.distinctElements, knee.workingSetMax);
+              result.simulationStats.distinct = result.distinctElements;
             }
-            hook->summary->pointsReused +=
-                static_cast<i64>(hook->priorExact.size());
+            // Ladder re-entry only for the missing points: a prior run's
+            // committed exact points overlay the closed-form curve, each
+            // keeping its exact tag. Nothing new is journaled on a
+            // degraded run.
+            if (hook && !hook->priorExact.empty()) {
+              std::map<i64, simcore::ReusePoint> merged;
+              for (const simcore::ReusePoint& pt :
+                   result.simulatedCurve.points)
+                merged[pt.size] = pt;
+              for (const auto& [size, jp] : hook->priorExact)
+                merged[size] = pointFromJournal(jp);
+              result.simulatedCurve.points.clear();
+              for (const auto& [size, pt] : merged) {
+                (void)size;
+                result.simulatedCurve.points.push_back(pt);
+              }
+              hook->summary->pointsReused +=
+                  static_cast<i64>(hook->priorExact.size());
+            }
+          } else {
+            const std::vector<i64> sizes = plannedSizes();
+            result.curveFidelity = result.simulationStats.fidelity;
+            if (hook && hook->writer && !hook->hasMeta &&
+                fidelityIsExact(
+                    static_cast<std::uint8_t>(result.curveFidelity)))
+              (void)hook->writer->appendMeta(metaFromStats(result));
+            assembleCurve(result, sizes, result.curveFidelity, hook,
+                          [&](i64 s) { return h.resultAt(s); });
           }
-        } else {
-          const std::vector<i64> sizes = plannedSizes();
-          result.curveFidelity = result.simulationStats.fidelity;
-          if (hook && hook->writer && !hook->hasMeta &&
-              fidelityIsExact(
-                  static_cast<std::uint8_t>(result.curveFidelity)))
-            (void)hook->writer->appendMeta(metaFromStats(result));
-          assembleCurve(result, sizes, result.curveFidelity, hook,
-                        [&](i64 s) { return h.resultAt(s); });
         }
       }
     } else {
@@ -739,6 +789,9 @@ support::Expected<SignalExploration> exploreSignalChecked(
     return st;
   try {
     return exploreSignal(p, signal, opts);
+  } catch (const SymbolicRejectError& e) {
+    return support::Status::error(support::StatusCode::InvalidInput,
+                                  e.reason);
   } catch (const support::OverflowError& e) {
     // Checked arithmetic gave out on the requested bounds (8K+ frames on
     // deep level products): a property of the input, reported as such.
@@ -826,6 +879,9 @@ support::Expected<SignalExploration> exploreSignalChecked(
     SignalExploration result = exploreSignalImpl(p, signal, opts, &hook);
     if (support::Status st = writer->close(); !st.isOk()) return st;
     return result;
+  } catch (const SymbolicRejectError& e) {
+    return support::Status::error(support::StatusCode::InvalidInput,
+                                  e.reason);
   } catch (const support::OverflowError& e) {
     return support::Status::error(support::StatusCode::Overflow, e.what());
   } catch (const std::bad_alloc&) {

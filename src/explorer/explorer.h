@@ -39,9 +39,14 @@ using dr::support::i64;
 
 /// Which trace engine feeds the simulated curve.
 enum class SimEngine {
-  Auto,          ///< streaming pipeline (folds when the stream is periodic)
+  Auto,          ///< symbolic when closed forms apply, else streaming
   Streaming,     ///< force the streaming pipeline
   Materialized,  ///< collect the full trace first — the reference oracle
+  /// Force the closed-form symbolic engine (analytic/symbolic_hist.h):
+  /// the whole stack-distance histogram from nest geometry, no trace
+  /// walked. Fails with InvalidInput when the signal falls outside the
+  /// covered trace classes instead of falling back.
+  Symbolic,
 };
 
 struct ExploreOptions {

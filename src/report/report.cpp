@@ -161,6 +161,25 @@ std::string metricsReport(const service::MetricsSnapshot& s) {
   row("degraded replies", s.degradedReplies);
   row("in-flight joins", s.inflightJoins);
   row("simulations", s.simulations);
+  const i64 engineRuns = s.curvesSymbolic + s.curvesExactStream +
+                         s.curvesExactFold + s.curvesApproxFold +
+                         s.curvesAnalytic;
+  if (engineRuns > 0) {
+    out += "\n## Engine mix (leader computations)\n\n";
+    out += "| fidelity rung | curves |\n|---|---|\n";
+    row("symbolic (closed form)", s.curvesSymbolic);
+    row("exact (streamed)", s.curvesExactStream);
+    row("exact (certified fold)", s.curvesExactFold);
+    row("approximate fold", s.curvesApproxFold);
+    row("analytic (degraded)", s.curvesAnalytic);
+    if (s.runsDecoded > 0) {
+      out += "\nrun-granularity engine: " + num(s.runsDecoded) +
+             " runs decoded, " + num(s.runFastEvents) +
+             " events absorbed in closed form, " +
+             num(s.runFallbackEvents) +
+             " events fell back to per-element pushes\n";
+    }
+  }
   out += "\n## Result cache\n\n";
   out += "| counter | value |\n|---|---|\n";
   row("hits (memory)", s.cacheHits);

@@ -15,7 +15,8 @@ namespace dr::service {
 namespace {
 
 bool fidelityIsExact(std::uint8_t f) {
-  return f == static_cast<std::uint8_t>(simcore::Fidelity::ExactStream) ||
+  return f == static_cast<std::uint8_t>(simcore::Fidelity::Symbolic) ||
+         f == static_cast<std::uint8_t>(simcore::Fidelity::ExactStream) ||
          f == static_cast<std::uint8_t>(simcore::Fidelity::ExactFold);
 }
 
@@ -97,7 +98,8 @@ std::string ResultCache::warmPath(std::uint64_t hash) const {
 
 support::Expected<CachedCurve> ResultCache::getOrCompute(
     std::uint64_t hash, const loopir::Program& program, int signal,
-    const explorer::ExploreOptions& opts, i64* simulatedPoints) {
+    const explorer::ExploreOptions& opts, i64* simulatedPoints,
+    ComputeInfo* info) {
   if (simulatedPoints) *simulatedPoints = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -122,6 +124,14 @@ support::Expected<CachedCurve> ResultCache::getOrCompute(
                                           &summary);
   }();
   if (!ex.hasValue()) return ex.status();
+  if (info) {
+    info->ran = true;
+    info->fidelity = static_cast<std::uint8_t>(ex->curveFidelity);
+    info->runGranularity = ex->simulationStats.runGranularity;
+    info->runsDecoded = ex->simulationStats.runsDecoded;
+    info->runFastEvents = ex->simulationStats.runFastEvents;
+    info->simulatedEvents = ex->simulationStats.simulatedEvents;
+  }
 
   const bool warm = !opts_.warmDir.empty() && summary.journalLoaded &&
                     !summary.restarted && summary.pointsRecomputed == 0 &&

@@ -59,6 +59,17 @@ struct CachedCurve {
   }
 };
 
+/// Engine outcome of one leader computation, for the metrics engine-mix
+/// counters. `ran` stays false on a memory-layer hit (no engine touched).
+struct ComputeInfo {
+  bool ran = false;
+  std::uint8_t fidelity = 0;  ///< simcore::Fidelity of the served curve
+  bool runGranularity = false;
+  i64 runsDecoded = 0;
+  i64 runFastEvents = 0;
+  i64 simulatedEvents = 0;
+};
+
 struct CacheStats {
   i64 entries = 0;
   i64 bytes = 0;
@@ -94,10 +105,12 @@ class ResultCache {
   /// file is (re)written as a side effect of computing. Exact results
   /// land in the memory layer; degraded ones are returned uncached.
   /// `simulatedPoints` (optional) reports how many curve points were
-  /// actually recomputed — 0 for a hit on any layer.
+  /// actually recomputed — 0 for a hit on any layer. `info` (optional)
+  /// reports the engine outcome when a computation ran.
   support::Expected<CachedCurve> getOrCompute(
       std::uint64_t hash, const loopir::Program& program, int signal,
-      const explorer::ExploreOptions& opts, i64* simulatedPoints = nullptr);
+      const explorer::ExploreOptions& opts, i64* simulatedPoints = nullptr,
+      ComputeInfo* info = nullptr);
 
   /// Warm-layer file for `hash`: "<warmDir>/<16-hex>.journal", or "" when
   /// the cache is memory-only.

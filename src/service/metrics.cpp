@@ -2,7 +2,36 @@
 
 #include <bit>
 
+#include "simcore/reuse_curve.h"
+
 namespace dr::service {
+
+void Metrics::recordEngine(std::uint8_t fidelity, bool runGranularity,
+                           i64 runsDecoded, i64 runFastEvents,
+                           i64 simulatedEvents) {
+  switch (static_cast<simcore::Fidelity>(fidelity)) {
+    case simcore::Fidelity::Symbolic:
+      add(curvesSymbolic_);
+      break;
+    case simcore::Fidelity::ExactStream:
+      add(curvesExactStream_);
+      break;
+    case simcore::Fidelity::ExactFold:
+      add(curvesExactFold_);
+      break;
+    case simcore::Fidelity::ApproxFold:
+      add(curvesApproxFold_);
+      break;
+    case simcore::Fidelity::Analytic:
+    case simcore::Fidelity::Failed:
+      add(curvesAnalytic_);
+      break;
+  }
+  if (!runGranularity) return;
+  add(runsDecoded_, runsDecoded);
+  add(runFastEvents_, runFastEvents);
+  add(runFallbackEvents_, simulatedEvents - runFastEvents);
+}
 
 void Metrics::recordExploreLatencyUs(i64 us) {
   if (us < 0) us = 0;
@@ -35,6 +64,14 @@ MetricsSnapshot Metrics::snapshot() const {
   s.degradedReplies = get(degradedReplies_);
   s.inflightJoins = get(inflightJoins_);
   s.simulations = get(simulations_);
+  s.curvesSymbolic = get(curvesSymbolic_);
+  s.curvesExactStream = get(curvesExactStream_);
+  s.curvesExactFold = get(curvesExactFold_);
+  s.curvesApproxFold = get(curvesApproxFold_);
+  s.curvesAnalytic = get(curvesAnalytic_);
+  s.runsDecoded = get(runsDecoded_);
+  s.runFastEvents = get(runFastEvents_);
+  s.runFallbackEvents = get(runFallbackEvents_);
 
   LatencySummary& lat = s.exploreLatency;
   lat.count = get(latencyCount_);
@@ -93,6 +130,14 @@ std::string Metrics::render(const MetricsSnapshot& s) {
   line("cache_max_bytes", s.cacheMaxBytes);
   line("inflight_joins", s.inflightJoins);
   line("simulations", s.simulations);
+  line("curves_symbolic", s.curvesSymbolic);
+  line("curves_exact_stream", s.curvesExactStream);
+  line("curves_exact_fold", s.curvesExactFold);
+  line("curves_approx_fold", s.curvesApproxFold);
+  line("curves_analytic", s.curvesAnalytic);
+  line("runs_decoded", s.runsDecoded);
+  line("run_fast_events", s.runFastEvents);
+  line("run_fallback_events", s.runFallbackEvents);
   line("explore_latency_count", s.exploreLatency.count);
   line("explore_latency_p50_us", s.exploreLatency.p50Us);
   line("explore_latency_p95_us", s.exploreLatency.p95Us);

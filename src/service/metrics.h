@@ -54,6 +54,24 @@ struct MetricsSnapshot {
   i64 inflightJoins = 0;  ///< waiters that shared a leader's computation
   i64 simulations = 0;    ///< leader computations that ran curve points
 
+  /// Engine mix of leader computations, keyed by the fidelity rung of
+  /// the curve each produced (simcore::Fidelity). Memory-cache hits and
+  /// in-flight joins are not counted: no engine touched the request.
+  i64 curvesSymbolic = 0;     ///< closed-form symbolic engine
+  i64 curvesExactStream = 0;  ///< full trace streamed
+  i64 curvesExactFold = 0;    ///< certified steady-state fold
+  i64 curvesApproxFold = 0;   ///< uncertified extrapolation
+  i64 curvesAnalytic = 0;     ///< budget-degraded closed-form rung
+
+  /// Run-granularity stack-engine counters, summed over leader
+  /// computations (simcore::FoldedStats). `runFallbackEvents` counts the
+  /// events a run-decoding engine had to push one element at a time
+  /// because StackDistanceStack::pushRun's closed-form preconditions
+  /// failed for the segment.
+  i64 runsDecoded = 0;
+  i64 runFastEvents = 0;
+  i64 runFallbackEvents = 0;
+
   LatencySummary exploreLatency;  ///< per explore request, end to end
 };
 
@@ -75,6 +93,15 @@ class Metrics {
 
   /// Record one explore request's end-to-end latency.
   void recordExploreLatencyUs(i64 us);
+
+  /// Record one leader computation's engine outcome: the fidelity rung
+  /// the curve was served at, plus the run-decoding counters of the stack
+  /// engine (all zero for the symbolic and materialized engines).
+  /// Fallback events are simulatedEvents - runFastEvents on a
+  /// run-granularity pass: the per-element pushes taken inside pushRun
+  /// when a segment failed the closed-form preconditions.
+  void recordEngine(std::uint8_t fidelity, bool runGranularity,
+                    i64 runsDecoded, i64 runFastEvents, i64 simulatedEvents);
 
   /// Copy the counters. `cache*` fields are left zero — the server folds
   /// its ResultCache::stats() in, since the cache keeps its own stats.
@@ -102,6 +129,15 @@ class Metrics {
   std::atomic<i64> degradedReplies_{0};
   std::atomic<i64> inflightJoins_{0};
   std::atomic<i64> simulations_{0};
+
+  std::atomic<i64> curvesSymbolic_{0};
+  std::atomic<i64> curvesExactStream_{0};
+  std::atomic<i64> curvesExactFold_{0};
+  std::atomic<i64> curvesApproxFold_{0};
+  std::atomic<i64> curvesAnalytic_{0};
+  std::atomic<i64> runsDecoded_{0};
+  std::atomic<i64> runFastEvents_{0};
+  std::atomic<i64> runFallbackEvents_{0};
 
   std::array<std::atomic<i64>, kBuckets> latencyBuckets_{};
   std::atomic<i64> latencyCount_{0};

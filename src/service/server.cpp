@@ -32,7 +32,8 @@ using support::fault::FaultSite;
 constexpr int kRecvTimeoutMs = 200;
 
 bool fidelityIsExact(std::uint8_t f) {
-  return f == static_cast<std::uint8_t>(simcore::Fidelity::ExactStream) ||
+  return f == static_cast<std::uint8_t>(simcore::Fidelity::Symbolic) ||
+         f == static_cast<std::uint8_t>(simcore::Fidelity::ExactStream) ||
          f == static_cast<std::uint8_t>(simcore::Fidelity::ExactFold);
 }
 
@@ -347,11 +348,18 @@ proto::Reply Server::handleExplore(const proto::ExploreRequest& req) {
 
   i64 simulated = 0;
   bool leader = true;
+  ComputeInfo info;
   support::Expected<CachedCurve> result = [&]() -> support::Expected<CachedCurve> {
     if ((req.flags & proto::kFlagNoCache) != 0) {
       auto ex = explorer::exploreSignalChecked(p, signal, opts);
       if (!ex.hasValue()) return ex.status();
       simulated = static_cast<i64>(ex->simulatedCurve.points.size());
+      info.ran = true;
+      info.fidelity = static_cast<std::uint8_t>(ex->curveFidelity);
+      info.runGranularity = ex->simulationStats.runGranularity;
+      info.runsDecoded = ex->simulationStats.runsDecoded;
+      info.runFastEvents = ex->simulationStats.runFastEvents;
+      info.simulatedEvents = ex->simulationStats.simulatedEvents;
       CachedCurve fresh;
       fresh.configHash = hash;
       fresh.signalName = ex->signalName;
@@ -363,12 +371,19 @@ proto::Reply Server::handleExplore(const proto::ExploreRequest& req) {
     }
     return flight_.run(
         hash,
-        [&] { return cache_.getOrCompute(hash, p, signal, opts, &simulated); },
+        [&] {
+          return cache_.getOrCompute(hash, p, signal, opts, &simulated,
+                                     &info);
+        },
         &leader);
   }();
   if (!leader) metrics_.countJoin();
   if (!result.hasValue()) return fail(result.status());
   if (leader && simulated > 0) metrics_.countSimulation();
+  if (info.ran)
+    metrics_.recordEngine(info.fidelity, info.runGranularity,
+                          info.runsDecoded, info.runFastEvents,
+                          info.simulatedEvents);
   if (!fidelityIsExact(result->fidelity)) metrics_.countDegradedReply();
 
   proto::ExploreResult body;

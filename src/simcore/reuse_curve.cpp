@@ -12,6 +12,7 @@ namespace dr::simcore {
 
 const char* fidelityName(Fidelity f) {
   switch (f) {
+    case Fidelity::Symbolic: return "symbolic";
     case Fidelity::ExactStream: return "exact";
     case Fidelity::ExactFold: return "exact-fold";
     case Fidelity::ApproxFold: return "approx-fold";

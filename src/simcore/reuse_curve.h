@@ -18,6 +18,10 @@ namespace dr::simcore {
 /// failing it; every emitted point carries the rung it came from so
 /// report/ can label what the numbers mean.
 enum class Fidelity {
+  /// Closed-form histogram from the nest description alone
+  /// (analytic/symbolic_hist.h): exact counts, no trace — instant at any
+  /// frame size, which is why it sits above even a full simulation.
+  Symbolic,
   ExactStream,  ///< full trace simulated (streamed or materialized)
   ExactFold,    ///< steady-state fold, certified cycle => exact counts
   ApproxFold,   ///< fold extrapolated from measured chunks, uncertified

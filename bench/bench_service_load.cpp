@@ -1,0 +1,493 @@
+// Chaos/load harness for the exploration service: an in-process daemon
+// under a mixed hot/cold/malformed query stream at a configurable
+// offered rate, with optional fault injection (FaultSite::ServiceIo,
+// needs -DDR_FAULT_INJECT=ON) and periodic kill/restart of the daemon on
+// the same cache directory. Clients ride the resilient client library
+// (service/client.h), so a restart costs retries, not failures.
+//
+// The one invariant that must never break, overloaded or not: every
+// successfully returned *exact-fidelity* curve is byte-identical to the
+// cold CLI run of the same query (explore_kernel --curve-out). Overload
+// may degrade a reply (tagged by fidelity) or shed it (structured
+// Unavailable with a retry-after hint) — it may never corrupt one.
+// The harness recomputes the reference curve in-process through the same
+// explorer entry point the CLI uses and exits nonzero on any mismatch.
+//
+//   $ ./bench/bench_service_load [--duration-ms N] [--qps N]
+//       [--threads N] [--workers N] [--queue-depth N]
+//       [--deadline-ms N] [--kill-every-ms N] [--fault-p P]
+//       [--seed N] [--out BENCH_service_load.json]
+//
+// Emits a JSON record (p50/p99 latency, shed rate, degraded-reply rate,
+// retry counts, corrupt-curve count) for the CI chaos-smoke job.
+
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explorer/explorer.h"
+#include "frontend/frontend.h"
+#include "kernels/motion_estimation.h"
+#include "report/report.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "simcore/reuse_curve.h"
+#include "support/cli.h"
+#include "support/dataset.h"
+#include "support/fault.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace proto = dr::service::proto;
+using dr::service::Client;
+using dr::service::ClientOptions;
+using dr::service::ClientStats;
+using dr::service::Server;
+using dr::service::ServerOptions;
+using dr::support::i64;
+using dr::support::Status;
+using dr::support::StatusCode;
+using Clock = std::chrono::steady_clock;
+
+struct LoadConfig {
+  i64 durationMs = 3000;
+  i64 qps = 200;        ///< offered load across all threads
+  int threads = 8;      ///< client threads
+  int workers = 2;      ///< daemon worker pool
+  int queueDepth = 8;   ///< admission queue bound (small: provoke sheds)
+  i64 deadlineMs = 500; ///< per-query client deadline (propagated)
+  i64 killEveryMs = 0;  ///< restart the daemon this often; 0 = never
+  double faultP = 0.0;  ///< ServiceIo fault probability (DR_FAULT_INJECT)
+  std::uint64_t seed = 42;
+  std::string outPath;
+};
+
+/// Shared tally across client threads.
+struct Tally {
+  std::atomic<i64> sent{0};
+  std::atomic<i64> okExact{0};
+  std::atomic<i64> okDegraded{0};
+  std::atomic<i64> shed{0};       ///< final answer was Unavailable
+  std::atomic<i64> expired{0};    ///< BudgetExceeded (queue ate the budget)
+  std::atomic<i64> malformedRejected{0};  ///< error reply to a bad query
+  std::atomic<i64> transportLost{0};      ///< retries exhausted on IoError
+  std::atomic<i64> corrupt{0};    ///< exact reply != reference CSV
+  std::atomic<i64> otherErrors{0};
+
+  std::mutex latencyMutex;
+  std::vector<i64> latenciesUs;  ///< successful replies only
+};
+
+i64 percentileUs(std::vector<i64>& v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+std::string uniquePath(const char* stem, const char* suffix) {
+  return std::string("/tmp/") + stem + "_" + std::to_string(::getpid()) +
+         suffix;
+}
+
+/// The daemon under chaos: the harness owns it and the kill thread
+/// restarts it in place on the same options (same cache dir), exactly
+/// like an operator bouncing the process.
+class ChaosServer {
+ public:
+  explicit ChaosServer(ServerOptions opts) : opts_(std::move(opts)) {}
+
+  Status start() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    server_ = std::make_unique<Server>(opts_);
+    ++starts_;
+    return server_->start();
+  }
+
+  Status restart() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    server_->requestShutdown();
+    server_->wait();
+    foldRetired(server_->metricsSnapshot());
+    server_ = std::make_unique<Server>(opts_);
+    ++starts_;
+    return server_->start();
+  }
+
+  void stop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    server_->requestShutdown();
+    server_->wait();
+  }
+
+  /// Whole-run overload counters: each instance's metrics die with it on
+  /// restart, so retired instances are folded into a running total here
+  /// and the live instance added on top — the JSON covers the whole
+  /// chaotic run, not just the last survivor.
+  dr::service::MetricsSnapshot metrics() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dr::service::MetricsSnapshot s = server_->metricsSnapshot();
+    s.queueDepthHighWater =
+        std::max(s.queueDepthHighWater, retired_.queueDepthHighWater);
+    s.shedQueueFull += retired_.shedQueueFull;
+    s.shedQueueWait += retired_.shedQueueWait;
+    s.overloadReplies += retired_.overloadReplies;
+    s.expiredRequests += retired_.expiredRequests;
+    s.deadlinesTightened += retired_.deadlinesTightened;
+    return s;
+  }
+
+  int starts() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return starts_;
+  }
+
+ private:
+  void foldRetired(const dr::service::MetricsSnapshot& s) {
+    retired_.queueDepthHighWater =
+        std::max(retired_.queueDepthHighWater, s.queueDepthHighWater);
+    retired_.shedQueueFull += s.shedQueueFull;
+    retired_.shedQueueWait += s.shedQueueWait;
+    retired_.overloadReplies += s.overloadReplies;
+    retired_.expiredRequests += s.expiredRequests;
+    retired_.deadlinesTightened += s.deadlinesTightened;
+  }
+
+  ServerOptions opts_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<Server> server_;
+  dr::service::MetricsSnapshot retired_;
+  int starts_ = 0;
+};
+
+int runHarness(const LoadConfig& cfg) {
+  const std::string kernel =
+      dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  const std::string signal = "Old";
+
+  // Reference curve: the same entry point explore_kernel uses, no
+  // budget — the cold CLI run every exact service reply must match.
+  auto compiled = dr::frontend::compileKernelChecked(kernel);
+  if (!compiled.hasValue()) {
+    std::fprintf(stderr, "%s\n", compiled.status().str().c_str());
+    return 1;
+  }
+  const int sig = compiled->findSignal(signal);
+  dr::explorer::ExploreOptions xopts;
+  auto reference = dr::explorer::exploreSignalChecked(*compiled, sig, xopts);
+  if (!reference.hasValue()) {
+    std::fprintf(stderr, "%s\n", reference.status().str().c_str());
+    return 1;
+  }
+  const std::string referenceCsv =
+      dr::report::curveCsv(reference->signalName, reference->simulatedCurve);
+
+  ServerOptions sopts;
+  sopts.socketPath = uniquePath("dr_load", ".sock");
+  sopts.workers = cfg.workers;
+  sopts.admission.maxQueueDepth = cfg.queueDepth;
+  const std::string cacheDir = uniquePath("dr_load_cache", "");
+  ::mkdir(cacheDir.c_str(), 0777);
+  sopts.cache.warmDir = cacheDir;
+
+  if (cfg.faultP > 0.0) {
+    if (!dr::support::fault::kCompiledIn)
+      std::fprintf(stderr,
+                   "warning: --fault-p ignored (built without "
+                   "DR_FAULT_INJECT)\n");
+    dr::support::fault::armRandom(dr::support::fault::FaultSite::ServiceIo,
+                                  cfg.seed, cfg.faultP);
+  }
+
+  ChaosServer chaos(sopts);
+  if (Status st = chaos.start(); !st.isOk()) {
+    std::fprintf(stderr, "%s\n", st.str().c_str());
+    return 1;
+  }
+
+  ClientOptions copts;
+  copts.socketPath = sopts.socketPath;
+  copts.maxAttempts = 6;
+  copts.backoffBaseMs = 10;
+  copts.backoffCapMs = 250;
+  copts.breakerThreshold = 8;
+  copts.breakerCooldownMs = 100;
+  copts.seed = cfg.seed;
+  Client client(copts);  // shared: one breaker across every thread
+
+  Tally tally;
+  std::atomic<bool> running{true};
+  const auto t0 = Clock::now();
+
+  // Kill thread: bounce the daemon on a fixed cadence. The socket file
+  // vanishes during the gap, so clients see connect failures and ride
+  // their retry/backoff/breaker stack until the restart lands.
+  std::thread killer;
+  if (cfg.killEveryMs > 0)
+    killer = std::thread([&] {
+      while (running.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(cfg.killEveryMs));
+        if (!running.load(std::memory_order_acquire)) break;
+        if (Status st = chaos.restart(); !st.isOk()) {
+          std::fprintf(stderr, "restart: %s\n", st.str().c_str());
+          return;
+        }
+      }
+    });
+
+  // Client threads: each paces its slice of the offered QPS and draws
+  // its query mix from a seeded stream — ~60% hot (cacheable), ~30%
+  // cold (no-cache: forces a simulation, the sustained-load lever),
+  // ~10% malformed (must be rejected cleanly, never crash anything).
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.threads));
+  for (int t = 0; t < cfg.threads; ++t)
+    threads.emplace_back([&, t] {
+      dr::support::Rng rng(
+          dr::support::mixSeed(cfg.seed, static_cast<std::uint64_t>(t)));
+      const double perThreadQps =
+          static_cast<double>(cfg.qps) / cfg.threads;
+      const i64 intervalUs =
+          perThreadQps > 0 ? static_cast<i64>(1e6 / perThreadQps) : 0;
+      i64 fired = 0;
+      while (running.load(std::memory_order_acquire)) {
+        // Fixed-rate pacing from the global start, per thread.
+        const auto next =
+            t0 + std::chrono::microseconds(intervalUs * fired +
+                                           (intervalUs * t) / cfg.threads);
+        std::this_thread::sleep_until(next);
+        ++fired;
+        if (!running.load(std::memory_order_acquire)) break;
+
+        const i64 dice = rng.uniform(0, 99);
+        proto::ExploreRequest req;
+        req.kernel = kernel;
+        req.signal = signal;
+        req.deadlineMs = cfg.deadlineMs;
+        bool expectOk = true;
+        if (dice < 60) {
+          // hot: cacheable
+        } else if (dice < 90) {
+          req.flags |= proto::kFlagNoCache;  // cold: always simulates
+        } else {
+          req.kernel = "kernel broken { this is not a kernel";
+          expectOk = false;
+        }
+
+        tally.sent.fetch_add(1, std::memory_order_relaxed);
+        const auto q0 = Clock::now();
+        auto reply = client.explore(req);
+        const i64 usedUs =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - q0)
+                .count();
+
+        if (!reply.hasValue()) {
+          const StatusCode code = reply.status().code();
+          if (code == StatusCode::Unavailable)
+            tally.shed.fetch_add(1, std::memory_order_relaxed);
+          else if (code == StatusCode::BudgetExceeded)
+            tally.expired.fetch_add(1, std::memory_order_relaxed);
+          else
+            tally.transportLost.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (reply->code == StatusCode::Unavailable) {
+          tally.shed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (reply->code == StatusCode::BudgetExceeded) {
+          tally.expired.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (reply->code != StatusCode::Ok) {
+          if (!expectOk)
+            tally.malformedRejected.fetch_add(1, std::memory_order_relaxed);
+          else
+            tally.otherErrors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        auto result = proto::decodeExploreResult(reply->body);
+        if (!result.hasValue()) {
+          tally.corrupt.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const bool exact =
+            result->fidelity ==
+                static_cast<std::uint8_t>(dr::simcore::Fidelity::Symbolic) ||
+            result->fidelity == static_cast<std::uint8_t>(
+                                    dr::simcore::Fidelity::ExactStream) ||
+            result->fidelity ==
+                static_cast<std::uint8_t>(dr::simcore::Fidelity::ExactFold);
+        if (exact) {
+          // THE invariant: an exact reply under chaos is byte-identical
+          // to the cold CLI run. Degrade or shed, never corrupt.
+          if (result->csv == referenceCsv)
+            tally.okExact.fetch_add(1, std::memory_order_relaxed);
+          else
+            tally.corrupt.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          tally.okDegraded.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> lock(tally.latencyMutex);
+        tally.latenciesUs.push_back(usedUs);
+      }
+    });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.durationMs));
+  running.store(false, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  if (killer.joinable()) killer.join();
+  dr::support::fault::disarmAll();
+  const dr::service::MetricsSnapshot serverMetrics = chaos.metrics();
+  chaos.stop();
+  ::unlink(sopts.socketPath.c_str());
+
+  const double elapsedSec =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const ClientStats cs = client.stats();
+  const i64 sent = tally.sent.load();
+  const i64 ok = tally.okExact.load() + tally.okDegraded.load();
+  const i64 p50 = percentileUs(tally.latenciesUs, 0.50);
+  const i64 p99 = percentileUs(tally.latenciesUs, 0.99);
+  const i64 maxUs =
+      tally.latenciesUs.empty() ? 0 : tally.latenciesUs.back();
+  const auto rate = [&](i64 n) {
+    return sent > 0 ? static_cast<double>(n) / static_cast<double>(sent)
+                    : 0.0;
+  };
+
+  std::printf(
+      "service load: %lld sent in %.2fs (offered %lld qps); "
+      "%lld ok (%lld exact, %lld degraded), %lld shed, %lld expired, "
+      "%lld malformed rejected, %lld transport-lost, %lld corrupt\n"
+      "latency us p50 %lld p99 %lld max %lld; "
+      "client: %lld retries, %lld honored hints, %lld breaker trips; "
+      "server: %lld restarts, queue hwm %lld, %lld shed-full, "
+      "%lld shed-wait, %lld tightened\n",
+      static_cast<long long>(sent), elapsedSec,
+      static_cast<long long>(cfg.qps), static_cast<long long>(ok),
+      static_cast<long long>(tally.okExact.load()),
+      static_cast<long long>(tally.okDegraded.load()),
+      static_cast<long long>(tally.shed.load()),
+      static_cast<long long>(tally.expired.load()),
+      static_cast<long long>(tally.malformedRejected.load()),
+      static_cast<long long>(tally.transportLost.load()),
+      static_cast<long long>(tally.corrupt.load()),
+      static_cast<long long>(p50), static_cast<long long>(p99),
+      static_cast<long long>(maxUs), static_cast<long long>(cs.retries),
+      static_cast<long long>(cs.retryAfterHonored),
+      static_cast<long long>(cs.breakerTrips),
+      static_cast<long long>(chaos.starts() - 1),
+      static_cast<long long>(serverMetrics.queueDepthHighWater),
+      static_cast<long long>(serverMetrics.shedQueueFull),
+      static_cast<long long>(serverMetrics.shedQueueWait),
+      static_cast<long long>(serverMetrics.deadlinesTightened));
+
+  if (!cfg.outPath.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"name\": \"bench_service_load\",\n"
+         << "  \"duration_sec\": " << elapsedSec << ",\n"
+         << "  \"offered_qps\": " << cfg.qps << ",\n"
+         << "  \"sent\": " << sent << ",\n"
+         << "  \"ok\": " << ok << ",\n"
+         << "  \"ok_exact\": " << tally.okExact.load() << ",\n"
+         << "  \"ok_degraded\": " << tally.okDegraded.load() << ",\n"
+         << "  \"degraded_rate\": " << rate(tally.okDegraded.load()) << ",\n"
+         << "  \"shed\": " << tally.shed.load() << ",\n"
+         << "  \"shed_rate\": " << rate(tally.shed.load()) << ",\n"
+         << "  \"expired\": " << tally.expired.load() << ",\n"
+         << "  \"malformed_rejected\": " << tally.malformedRejected.load()
+         << ",\n"
+         << "  \"transport_lost\": " << tally.transportLost.load() << ",\n"
+         << "  \"other_errors\": " << tally.otherErrors.load() << ",\n"
+         << "  \"corrupt_curves\": " << tally.corrupt.load() << ",\n"
+         << "  \"latency_us\": {\"p50\": " << p50 << ", \"p99\": " << p99
+         << ", \"max\": " << maxUs << "},\n"
+         << "  \"client\": {\"retries\": " << cs.retries
+         << ", \"retry_after_honored\": " << cs.retryAfterHonored
+         << ", \"retry_after_successes\": " << cs.retryAfterSuccesses
+         << ", \"transport_failures\": " << cs.transportFailures
+         << ", \"breaker_trips\": " << cs.breakerTrips
+         << ", \"breaker_resets\": " << cs.breakerResets
+         << ", \"breaker_fast_fails\": " << cs.breakerFastFails << "},\n"
+         << "  \"server\": {\"restarts\": " << (chaos.starts() - 1)
+         << ", \"queue_depth_hwm\": " << serverMetrics.queueDepthHighWater
+         << ", \"shed_queue_full\": " << serverMetrics.shedQueueFull
+         << ", \"shed_queue_wait\": " << serverMetrics.shedQueueWait
+         << ", \"overload_replies\": " << serverMetrics.overloadReplies
+         << ", \"expired_requests\": " << serverMetrics.expiredRequests
+         << ", \"deadlines_tightened\": "
+         << serverMetrics.deadlinesTightened << "}\n"
+         << "}\n";
+    if (Status st =
+            dr::support::DataSet::writeFileStatus(cfg.outPath, json.str());
+        !st.isOk()) {
+      std::fprintf(stderr, "%s\n", st.str().c_str());
+      return 1;
+    }
+    std::printf("(wrote %s)\n", cfg.outPath.c_str());
+  }
+
+  if (tally.corrupt.load() > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld corrupt curves — overload must degrade or "
+                 "shed, never corrupt\n",
+                 static_cast<long long>(tally.corrupt.load()));
+    return 1;
+  }
+  if (tally.otherErrors.load() > 0) {
+    std::fprintf(stderr, "FAIL: %lld unexpected error replies\n",
+                 static_cast<long long>(tally.otherErrors.load()));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dr::support::guardedMain([&]() -> int {
+    auto parsed = dr::support::CliOptions::parse(argc, argv);
+    if (!parsed) {
+      std::fprintf(stderr, "%s\n", parsed.status().str().c_str());
+      return 1;
+    }
+    const dr::support::CliOptions& cli = *parsed;
+    LoadConfig cfg;
+    const bool small = std::getenv("DR_BENCH_SMALL") != nullptr;
+    cfg.durationMs = cli.getInt("duration-ms", small ? 1500 : 3000);
+    cfg.qps = cli.getInt("qps", 200);
+    cfg.threads = static_cast<int>(cli.getInt("threads", 8));
+    cfg.workers = static_cast<int>(cli.getInt("workers", 2));
+    cfg.queueDepth = static_cast<int>(cli.getInt("queue-depth", 8));
+    cfg.deadlineMs = cli.getInt("deadline-ms", 500);
+    cfg.killEveryMs = cli.getInt("kill-every-ms", 0);
+    cfg.faultP = cli.getDouble("fault-p", 0.0);
+    cfg.seed = static_cast<std::uint64_t>(cli.getInt("seed", 42));
+    cfg.outPath = cli.getString("out", "");
+    for (const auto& name : cli.unusedNames())
+      std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
+    if (cfg.threads < 1 || cfg.workers < 1 || cfg.qps < 1) {
+      std::fprintf(stderr, "error: --threads/--workers/--qps must be >= 1\n");
+      return 1;
+    }
+    return runHarness(cfg);
+  });
+}

@@ -1,11 +1,16 @@
 // Client for the exploration daemon (datareuse_serve): sends framed
 // requests over its Unix domain socket and prints / saves the replies.
+// The transport is the resilient client library (service/client.h):
+// socket timeouts, retry-with-backoff on transport failures and
+// load-shed (Unavailable) replies, deadline propagation, and a circuit
+// breaker — so a daemon restart mid-burst costs retries, not failures.
 //
 //   $ ./examples/datareuse_query --socket /tmp/datareuse.sock
 //                                --kernel path/to/kernel.krn
 //                                [--signal NAME] [--deadline-ms N]
 //                                [--count N] [--no-cache] [--out PATH]
-//                                [--bench-out PATH]
+//                                [--bench-out PATH] [--attempts N]
+//                                [--breaker-threshold N] [--seed N]
 //   $ ./examples/datareuse_query --socket ... --stats
 //   $ ./examples/datareuse_query --socket ... --shutdown
 //   $ ./examples/datareuse_query --kernel k.krn --dump-request PATH
@@ -20,12 +25,7 @@
 // the encoded request *frame* to a file without connecting — the fuzz
 // corpus seeder for fuzz_protocol.
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/client.h"
 #include "service/protocol.h"
 #include "support/cli.h"
 #include "support/dataset.h"
@@ -42,6 +43,9 @@
 namespace {
 
 namespace proto = dr::service::proto;
+using dr::service::Client;
+using dr::service::ClientOptions;
+using dr::service::ClientStats;
 using dr::support::Expected;
 using dr::support::Status;
 using dr::support::StatusCode;
@@ -56,68 +60,6 @@ Expected<std::string> readFile(const std::string& path) {
   return ss.str();
 }
 
-/// One request/reply exchange on a fresh connection.
-Expected<proto::Reply> roundTrip(const std::string& socketPath,
-                                 proto::Verb verb,
-                                 const std::string& payload) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socketPath.size() >= sizeof(addr.sun_path))
-    return Status::error(StatusCode::InvalidInput,
-                         "socket path too long: " + socketPath);
-  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0)
-    return Status::error(StatusCode::IoError,
-                         std::string("socket: ") + std::strerror(errno));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    Status st = Status::error(StatusCode::IoError,
-                              "connect " + socketPath + ": " +
-                                  std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  const std::string frame = proto::encodeFrame(verb, payload);
-  std::size_t sent = 0;
-  while (sent < frame.size()) {
-    ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status st = Status::error(StatusCode::IoError,
-                                std::string("send: ") + std::strerror(errno));
-      ::close(fd);
-      return st;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  std::string buffer;
-  char chunk[4096];
-  while (true) {
-    proto::FrameParse parse = proto::tryParseFrame(buffer);
-    if (parse.result == proto::ParseResult::Corrupt) {
-      ::close(fd);
-      return parse.status;
-    }
-    if (parse.result == proto::ParseResult::Ok) {
-      ::close(fd);
-      if (parse.frame.verb != proto::Verb::Reply)
-        return Status::error(StatusCode::InvalidInput,
-                             "server sent a non-Reply frame");
-      return proto::decodeReply(parse.frame.payload);
-    }
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n > 0) {
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    ::close(fd);
-    return Status::error(StatusCode::IoError,
-                         "connection closed before a full reply");
-  }
-}
-
 int runQuery(int argc, char** argv) {
   auto parsed = dr::support::CliOptions::parse(argc, argv);
   if (!parsed) {
@@ -129,6 +71,9 @@ int runQuery(int argc, char** argv) {
   const std::string kernelPath = cli.getString("kernel", "");
   const std::string signalName = cli.getString("signal", "");
   const i64 deadlineMs = cli.getInt("deadline-ms", 0);
+  // Normally the client library stamps the remaining budget per attempt;
+  // the explicit flag exists to hand-build v2 frames (fuzz seeds, tests).
+  const i64 remainingBudgetMs = cli.getInt("remaining-budget-ms", 0);
   const i64 count = cli.getInt("count", 1);
   const bool noCache = cli.getBool("no-cache", false);
   const std::string outPath = cli.getString("out", "");
@@ -136,6 +81,17 @@ int runQuery(int argc, char** argv) {
   const std::string dumpRequest = cli.getString("dump-request", "");
   const bool stats = cli.getBool("stats", false);
   const bool shutdown = cli.getBool("shutdown", false);
+
+  ClientOptions copts;
+  copts.socketPath = socketPath;
+  copts.maxAttempts = static_cast<int>(cli.getInt("attempts", 5));
+  copts.backoffBaseMs = cli.getInt("retry-base-ms", 20);
+  copts.sendTimeoutMs = cli.getInt("send-timeout-ms", 2000);
+  copts.recvTimeoutMs = cli.getInt("recv-timeout-ms", 5000);
+  copts.breakerThreshold =
+      static_cast<int>(cli.getInt("breaker-threshold", 5));
+  copts.breakerCooldownMs = cli.getInt("breaker-cooldown-ms", 1000);
+  copts.seed = static_cast<std::uint64_t>(cli.getInt("seed", 0x5eed));
   for (const auto& name : cli.unusedNames())
     std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
 
@@ -144,8 +100,9 @@ int runQuery(int argc, char** argv) {
       std::fprintf(stderr, "error: --socket PATH is required\n");
       return 1;
     }
-    auto reply = roundTrip(
-        socketPath, stats ? proto::Verb::Stats : proto::Verb::Shutdown, "");
+    Client client(copts);
+    auto reply = client.call(
+        stats ? proto::Verb::Stats : proto::Verb::Shutdown, "");
     if (!reply.hasValue()) {
       std::fprintf(stderr, "%s\n", reply.status().str().c_str());
       return 1;
@@ -172,14 +129,15 @@ int runQuery(int argc, char** argv) {
   req.kernel = *kernel;
   req.signal = signalName;
   req.deadlineMs = deadlineMs;
+  req.remainingBudgetMs = remainingBudgetMs;
   if (noCache) req.flags |= proto::kFlagNoCache;
-  const std::string payload = proto::encodeExploreRequest(req);
 
   if (!dumpRequest.empty()) {
     // Fuzz corpus seed: the framed request, exactly as it crosses the
     // socket. No server needed.
     auto st = dr::support::DataSet::writeFileStatus(
-        dumpRequest, proto::encodeFrame(proto::Verb::Explore, payload));
+        dumpRequest, proto::encodeFrame(proto::Verb::Explore,
+                                        proto::encodeExploreRequest(req)));
     if (!st.isOk()) {
       std::fprintf(stderr, "%s\n", st.str().c_str());
       return 1;
@@ -197,7 +155,9 @@ int runQuery(int argc, char** argv) {
   }
 
   // --count N: N concurrent identical queries, each on its own
-  // connection, all fired together — the single-flight burst.
+  // connection, all fired together — the single-flight burst. One shared
+  // Client: N threads watching one daemon should share one breaker.
+  Client client(copts);
   struct Slot {
     Expected<proto::Reply> reply = Status::error(StatusCode::Internal, "unset");
     i64 latencyUs = 0;
@@ -209,7 +169,7 @@ int runQuery(int argc, char** argv) {
     for (auto& slot : slots)
       threads.emplace_back([&, s = &slot] {
         const auto t0 = std::chrono::steady_clock::now();
-        s->reply = roundTrip(socketPath, proto::Verb::Explore, payload);
+        s->reply = client.explore(req);
         s->latencyUs = std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::steady_clock::now() - t0)
                            .count();
@@ -260,6 +220,13 @@ int runQuery(int argc, char** argv) {
               static_cast<long long>(minUs),
               static_cast<long long>(ok > 0 ? totalUs / ok : 0),
               static_cast<long long>(maxUs));
+  const ClientStats cs = client.stats();
+  if (cs.retries > 0 || cs.breakerTrips > 0)
+    std::printf("resilience: %lld retries, %lld breaker trips, "
+                "%lld fast fails\n",
+                static_cast<long long>(cs.retries),
+                static_cast<long long>(cs.breakerTrips),
+                static_cast<long long>(cs.breakerFastFails));
 
   if (!outPath.empty()) {
     auto st = dr::support::DataSet::writeFileStatus(outPath, first.csv);
@@ -275,6 +242,7 @@ int runQuery(int argc, char** argv) {
          << "  \"count\": " << count << ",\n"
          << "  \"ok\": " << ok << ",\n"
          << "  \"cached_replies\": " << cachedReplies << ",\n"
+         << "  \"retries\": " << cs.retries << ",\n"
          << "  \"latency_us\": {\"min\": " << minUs
          << ", \"mean\": " << (ok > 0 ? totalUs / ok : 0)
          << ", \"max\": " << maxUs << "},\n"

@@ -6,15 +6,20 @@
 //   $ ./examples/datareuse_serve --socket /tmp/datareuse.sock
 //                                [--cache-dir DIR] [--cache-bytes N]
 //                                [--workers N] [--deadline-ms N]
+//                                [--queue-depth N] [--accept-deadline-ms N]
 //
 // --cache-dir enables the persistent warm layer: one run-journal file per
 // config hash, shared with `explore_kernel --cache-dir`, so a curve
 // computed by either door answers the other's next query with zero
 // simulation. --deadline-ms is the default per-request budget (a query
 // may carry its own); an expired deadline degrades the reply down the
-// fidelity ladder instead of failing it. The process exits when a client
-// sends the Shutdown verb (datareuse_query --shutdown), after a graceful
-// drain.
+// fidelity ladder instead of failing it. --queue-depth bounds the
+// admission queue and --accept-deadline-ms bounds how long an accepted
+// connection may wait in it; past either limit the daemon sheds with a
+// structured Unavailable reply carrying a retry-after hint (see
+// docs/SERVICE.md, "Overload and failure semantics"). The process exits
+// when a client sends the Shutdown verb (datareuse_query --shutdown),
+// after a graceful drain.
 
 #include <cstdio>
 
@@ -37,6 +42,10 @@ int runServe(int argc, char** argv) {
   opts.cache.warmDir = cli.getString("cache-dir", "");
   dr::support::i64 cacheBytes = cli.getInt("cache-bytes", 0);
   if (cacheBytes > 0) opts.cache.maxBytes = cacheBytes;
+  opts.admission.maxQueueDepth = static_cast<int>(
+      cli.getInt("queue-depth", opts.admission.maxQueueDepth));
+  opts.admission.acceptDeadlineMs =
+      cli.getInt("accept-deadline-ms", opts.admission.acceptDeadlineMs);
   for (const auto& name : cli.unusedNames())
     std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
   if (opts.socketPath.empty()) {

@@ -161,6 +161,37 @@ std::string metricsReport(const service::MetricsSnapshot& s) {
   row("degraded replies", s.degradedReplies);
   row("in-flight joins", s.inflightJoins);
   row("simulations", s.simulations);
+  const i64 overloadEvents = s.shedQueueFull + s.shedQueueWait +
+                             s.overloadReplies + s.expiredRequests +
+                             s.deadlinesTightened + s.queueDepthHighWater;
+  if (overloadEvents > 0) {
+    out += "\n## Overload ladder\n\n";
+    out += "| counter | value |\n|---|---|\n";
+    row("admission queue high-water mark", s.queueDepthHighWater);
+    row("shed: queue full", s.shedQueueFull);
+    row("shed: accept deadline", s.shedQueueWait);
+    row("overload (Unavailable) replies", s.overloadReplies);
+    row("expired in queue (rejected)", s.expiredRequests);
+    row("deadlines tightened", s.deadlinesTightened);
+  }
+  const i64 clientEvents = s.clientRetries + s.breakerTrips +
+                           s.breakerFastFails + s.clientRetryAfterHonored;
+  if (clientEvents > 0) {
+    out += "\n## Client resilience\n\n";
+    out += "| counter | value |\n|---|---|\n";
+    row("retries", s.clientRetries);
+    row("retry-after hints honored", s.clientRetryAfterHonored);
+    row("honored hints that then succeeded", s.clientRetryAfterSuccesses);
+    row("breaker trips", s.breakerTrips);
+    row("breaker resets", s.breakerResets);
+    row("breaker fast-fails", s.breakerFastFails);
+    if (s.clientRetryAfterHonored > 0)
+      out += "\nretry-after efficacy: " +
+             fmtDouble(static_cast<double>(s.clientRetryAfterSuccesses) /
+                           static_cast<double>(s.clientRetryAfterHonored),
+                       3) +
+             " of honored hints were admitted on the next attempt\n";
+  }
   const i64 engineRuns = s.curvesSymbolic + s.curvesExactStream +
                          s.curvesExactFold + s.curvesApproxFold +
                          s.curvesAnalytic;

@@ -1,0 +1,337 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "support/rng.h"
+
+namespace dr::service {
+
+using support::Expected;
+using support::Status;
+using support::StatusCode;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+i64 msSince(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               t0)
+      .count();
+}
+
+void setSocketTimeout(int fd, int which, i64 ms) {
+  if (ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+}
+
+Status ioError(const char* op) {
+  return Status::error(StatusCode::IoError,
+                       std::string(op) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status validateClientOptions(const ClientOptions& opts) {
+  const auto invalid = [](const std::string& what) {
+    return Status::error(StatusCode::InvalidInput, "client: " + what);
+  };
+  if (opts.socketPath.empty()) return invalid("socket path is empty");
+  if (opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+    return invalid("socket path too long: " + opts.socketPath);
+  if (opts.maxAttempts < 1) return invalid("maxAttempts must be >= 1");
+  if (opts.backoffBaseMs < 0 || opts.backoffCapMs < opts.backoffBaseMs)
+    return invalid("backoff band is inverted");
+  if (opts.breakerThreshold > 0 && opts.breakerCooldownMs <= 0)
+    return invalid("breakerCooldownMs must be positive when the breaker is on");
+  return Status::ok();
+}
+
+void ClientStats::foldInto(MetricsSnapshot& s) const {
+  s.clientRetries += retries;
+  s.clientRetryAfterHonored += retryAfterHonored;
+  s.clientRetryAfterSuccesses += retryAfterSuccesses;
+  s.breakerTrips += breakerTrips;
+  s.breakerResets += breakerResets;
+  s.breakerFastFails += breakerFastFails;
+}
+
+Client::Client(ClientOptions opts) : opts_(std::move(opts)) {}
+
+i64 Client::retryDelayMs(const ClientOptions& opts, std::uint64_t callIdx,
+                         int attempt, i64 retryAfterMs) {
+  // Exponential base, capped; shift guarded so attempt counts past 62
+  // can't overflow (the cap would have won long before).
+  i64 backoff = opts.backoffCapMs;
+  if (attempt < 62) {
+    const i64 shifted = opts.backoffBaseMs
+                        << std::min<int>(attempt, 62);
+    backoff = std::min(opts.backoffCapMs,
+                       shifted > 0 ? shifted : opts.backoffCapMs);
+  }
+  support::Rng rng(support::mixSeed(opts.seed, callIdx,
+                                    static_cast<std::uint64_t>(attempt)));
+  i64 delay = backoff + (backoff > 1 ? rng.uniform(0, backoff / 2) : 0);
+  // Never retry before the server said it could help.
+  return std::max(delay, retryAfterMs);
+}
+
+Expected<proto::Reply> Client::attemptOnce(proto::Verb verb,
+                                           const std::string& payload) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+              opts_.socketPath.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ioError("socket");
+  setSocketTimeout(fd, SO_SNDTIMEO, opts_.sendTimeoutMs);
+  setSocketTimeout(fd, SO_RCVTIMEO, opts_.recvTimeoutMs);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status st = Status::error(StatusCode::IoError,
+                              "connect " + opts_.socketPath + ": " +
+                                  std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+
+  const std::string frame = proto::encodeFrame(verb, payload);
+  std::size_t sent = 0;
+  bool sendFailed = false;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a daemon restarting mid-send must surface as EPIPE,
+    // not kill the process (the in-process chaos tests depend on this).
+    ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The peer may have shed us before reading the request — a reply
+      // can already be buffered. Fall through and try to read it; only
+      // a failed read makes this a transport error.
+      sendFailed = true;
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    proto::FrameParse parse = proto::tryParseFrame(buffer);
+    if (parse.result == proto::ParseResult::Corrupt) {
+      ::close(fd);
+      // Corrupt stream = broken transport, not a server verdict: retry.
+      return Status::error(StatusCode::IoError,
+                           "corrupt reply: " + parse.status.str());
+    }
+    if (parse.result == proto::ParseResult::Ok) {
+      ::close(fd);
+      if (parse.frame.verb != proto::Verb::Reply)
+        return Status::error(StatusCode::IoError,
+                             "server sent a non-Reply frame");
+      auto reply = proto::decodeReply(parse.frame.payload);
+      if (!reply.hasValue())
+        return Status::error(StatusCode::IoError,
+                             "undecodable reply: " + reply.status().str());
+      return reply;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    ::close(fd);
+    if (sendFailed) return ioError("send");
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return Status::error(StatusCode::IoError, "recv timed out");
+    return Status::error(StatusCode::IoError,
+                         "connection closed before a full reply");
+  }
+}
+
+i64 Client::breakerAdmit() {
+  if (opts_.breakerThreshold <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::Closed:
+      return 0;
+    case BreakerState::Open: {
+      const i64 leftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             openUntil_ - Clock::now())
+                             .count();
+      if (leftMs > 0) return leftMs;
+      state_ = BreakerState::HalfOpen;
+      probeInFlight_ = true;
+      return 0;  // this attempt is the probe
+    }
+    case BreakerState::HalfOpen:
+      if (probeInFlight_) return std::max<i64>(1, opts_.breakerCooldownMs / 4);
+      probeInFlight_ = true;
+      return 0;
+  }
+  return 0;
+}
+
+void Client::onTransportFailure() {
+  transportFailures_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.breakerThreshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  probeInFlight_ = false;
+  ++consecutiveFailures_;
+  const bool shouldTrip =
+      state_ == BreakerState::HalfOpen ||  // failed probe: straight back open
+      (state_ == BreakerState::Closed &&
+       consecutiveFailures_ >= opts_.breakerThreshold);
+  if (shouldTrip) {
+    state_ = BreakerState::Open;
+    openUntil_ =
+        Clock::now() + std::chrono::milliseconds(opts_.breakerCooldownMs);
+    breakerTrips_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Client::onTransportSuccess() {
+  if (opts_.breakerThreshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutiveFailures_ = 0;
+  probeInFlight_ = false;
+  if (state_ != BreakerState::Closed) {
+    state_ = BreakerState::Closed;
+    breakerResets_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Expected<proto::Reply> Client::run(
+    proto::Verb verb, i64 deadlineMs,
+    const std::function<std::string(i64 remainingMs)>& encode) {
+  if (Status st = validateClientOptions(opts_); !st.isOk()) return st;
+  const std::uint64_t callIdx =
+      static_cast<std::uint64_t>(calls_.fetch_add(1, std::memory_order_relaxed));
+  const auto t0 = Clock::now();
+  const auto remaining = [&]() -> i64 {
+    return deadlineMs > 0 ? deadlineMs - msSince(t0) : 0;
+  };
+  const auto budgetGone = [&](const Status& last) {
+    return Status::error(
+        StatusCode::BudgetExceeded,
+        "deadline exhausted after " + std::to_string(msSince(t0)) +
+            "ms; last failure: " + last.str());
+  };
+  // Sleep `ms`, clamped to the budget; false = the budget is gone.
+  const auto sleepFor = [&](i64 ms) {
+    if (deadlineMs > 0) {
+      const i64 left = remaining();
+      if (left <= 0) return false;
+      ms = std::min(ms, left);
+    }
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return deadlineMs <= 0 || remaining() > 0;
+  };
+
+  Status lastFailure = Status::error(StatusCode::Internal, "no attempt ran");
+  bool honoredHintLastSleep = false;
+  for (int attempt = 0; attempt < opts_.maxAttempts; ++attempt) {
+    if (attempt > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+    if (deadlineMs > 0 && remaining() <= 0) return budgetGone(lastFailure);
+
+    // Breaker gate: while open, fast-fail and wait out the cooldown
+    // inside the attempt budget instead of burning attempts on a socket
+    // we know is dead.
+    i64 gateMs = breakerAdmit();
+    while (gateMs > 0) {
+      breakerFastFails_.fetch_add(1, std::memory_order_relaxed);
+      lastFailure = Status::error(StatusCode::Unavailable,
+                                  "circuit breaker open (retry in " +
+                                      std::to_string(gateMs) + "ms)");
+      if (deadlineMs > 0 && remaining() <= gateMs)
+        return budgetGone(lastFailure);
+      if (!sleepFor(gateMs)) return budgetGone(lastFailure);
+      gateMs = breakerAdmit();
+    }
+
+    auto reply = attemptOnce(verb, encode(std::max<i64>(0, remaining())));
+    if (!reply.hasValue()) {
+      onTransportFailure();
+      honoredHintLastSleep = false;
+      lastFailure = reply.status();
+      if (attempt + 1 >= opts_.maxAttempts) break;
+      if (!sleepFor(retryDelayMs(opts_, callIdx, attempt, 0)))
+        return budgetGone(lastFailure);
+      continue;
+    }
+    // Any decoded reply means the daemon is alive: breaker-wise this is
+    // a success even if the answer is "go away" (Unavailable).
+    onTransportSuccess();
+    if (reply->code == StatusCode::Unavailable) {
+      honoredHintLastSleep = false;
+      lastFailure = Status::error(StatusCode::Unavailable, reply->message);
+      if (attempt + 1 >= opts_.maxAttempts) return reply;  // caller sees it
+      const i64 hint = std::max<i64>(0, reply->retryAfterMs);
+      if (hint > 0) {
+        retryAfterHonored_.fetch_add(1, std::memory_order_relaxed);
+        honoredHintLastSleep = true;
+      }
+      if (!sleepFor(retryDelayMs(opts_, callIdx, attempt, hint)))
+        return budgetGone(lastFailure);
+      continue;
+    }
+    if (honoredHintLastSleep)
+      retryAfterSuccesses_.fetch_add(1, std::memory_order_relaxed);
+    return reply;
+  }
+  return lastFailure;
+}
+
+Expected<proto::Reply> Client::explore(const proto::ExploreRequest& req) {
+  proto::ExploreRequest attemptReq = req;
+  return run(proto::Verb::Explore, req.deadlineMs,
+             [&attemptReq, &req](i64 remainingMs) {
+               attemptReq.remainingBudgetMs =
+                   req.deadlineMs > 0 ? std::max<i64>(1, remainingMs) : 0;
+               return proto::encodeExploreRequest(attemptReq);
+             });
+}
+
+Expected<proto::Reply> Client::call(proto::Verb verb,
+                                    const std::string& payload) {
+  return run(verb, 0, [&payload](i64) { return payload; });
+}
+
+ClientStats Client::stats() const {
+  ClientStats s;
+  s.calls = calls_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.retryAfterHonored = retryAfterHonored_.load(std::memory_order_relaxed);
+  s.retryAfterSuccesses =
+      retryAfterSuccesses_.load(std::memory_order_relaxed);
+  s.transportFailures = transportFailures_.load(std::memory_order_relaxed);
+  s.breakerTrips = breakerTrips_.load(std::memory_order_relaxed);
+  s.breakerResets = breakerResets_.load(std::memory_order_relaxed);
+  s.breakerFastFails = breakerFastFails_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Client::BreakerState Client::breakerState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+}  // namespace dr::service

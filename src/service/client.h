@@ -1,0 +1,156 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "support/intmath.h"
+#include "support/status.h"
+
+/// \file client.h
+/// Resilient client for the exploration daemon. The first client cut
+/// (examples/datareuse_query.cpp) connected once, blocked forever, and
+/// surfaced every hiccup to the caller; this library wraps one
+/// request/reply exchange in the full resilience stack:
+///
+///   - **Timeouts.** Every socket op (connect-side send and recv) carries
+///     a bounded timeout, so a hung daemon costs a bounded wait, never a
+///     parked caller thread.
+///   - **Retries.** Transport failures and structured Unavailable
+///     (load-shed) replies retry on a *fresh connection* — which is what
+///     makes a daemon restart invisible — under bounded exponential
+///     backoff with deterministic jitter: attempt k of call c sleeps
+///     backoff(k) + Rng(mixSeed(seed, c, k)).uniform(0, backoff(k)/2),
+///     never less than the server's retry-after hint. Same seed, same
+///     schedule — reruns of a load test are reproducible.
+///   - **Deadline propagation.** explore() charges connect time, queue
+///     time (via the v2 remaining-budget field) and backoff sleeps
+///     against the request's own deadline; when the budget is gone the
+///     call fails locally with BudgetExceeded instead of burning a
+///     daemon slot on an answer nobody is waiting for.
+///   - **Circuit breaker.** breakerThreshold *consecutive transport
+///     failures* trip the breaker open; while open, attempts fast-fail
+///     without touching the socket until the cooldown elapses, then a
+///     single half-open probe decides (success closes, failure re-trips).
+///     Unavailable replies do NOT count toward the trip threshold — a
+///     shedding daemon is alive, and hammering it less is the backoff's
+///     job, not the breaker's.
+///
+/// Thread-safe: one Client may be shared across caller threads (the load
+/// harness does); the breaker and stats are shared state by design —
+/// N threads observing a dead daemon should trip one breaker, not N.
+
+namespace dr::service {
+
+struct ClientOptions {
+  std::string socketPath;
+  i64 sendTimeoutMs = 2000;  ///< per send() syscall; <= 0 = unlimited
+  i64 recvTimeoutMs = 5000;  ///< per recv() syscall; <= 0 = unlimited
+  /// Total attempts per call (first try included); 1 disables retries.
+  int maxAttempts = 5;
+  i64 backoffBaseMs = 20;   ///< attempt k (0-based) waits base << k ...
+  i64 backoffCapMs = 2000;  ///< ... capped here, + seeded jitter
+  /// Consecutive transport failures that trip the breaker; <= 0 disables.
+  int breakerThreshold = 5;
+  i64 breakerCooldownMs = 1000;  ///< open -> half-open probe delay
+  std::uint64_t seed = 0x5eedULL;  ///< jitter stream (mixSeed per attempt)
+};
+
+/// InvalidInput for an empty socket path, non-positive attempt budget, or
+/// inverted backoff band; Ok otherwise.
+support::Status validateClientOptions(const ClientOptions& opts);
+
+/// The resilience ledger, mirrored into MetricsSnapshot's client-side
+/// fields by foldInto so report::metricsReport renders one combined view.
+struct ClientStats {
+  i64 calls = 0;
+  i64 retries = 0;            ///< attempts after the first, across calls
+  i64 retryAfterHonored = 0;  ///< backoffs stretched to a shed reply's hint
+  i64 retryAfterSuccesses = 0;  ///< honored hints whose next attempt won
+  i64 transportFailures = 0;  ///< connect/send/recv/short-reply failures
+  i64 breakerTrips = 0;
+  i64 breakerResets = 0;
+  i64 breakerFastFails = 0;  ///< attempts refused while the breaker was open
+
+  /// Copy this ledger into a snapshot's client-side fields (additive, so
+  /// several clients can fold into one report).
+  void foldInto(MetricsSnapshot& s) const;
+};
+
+class Client {
+ public:
+  enum class BreakerState { Closed, Open, HalfOpen };
+
+  explicit Client(ClientOptions opts);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One explore query under the full stack: retries (fresh connection
+  /// each attempt), breaker gating, and deadline propagation — each
+  /// attempt re-encodes the request with remainingBudgetMs = what is
+  /// left of req.deadlineMs, and a budget exhausted between attempts
+  /// fails locally with BudgetExceeded. With req.deadlineMs <= 0 the
+  /// call has no budget and only maxAttempts bounds it.
+  support::Expected<proto::Reply> explore(const proto::ExploreRequest& req);
+
+  /// One non-explore exchange (Stats / Shutdown) under retries and the
+  /// breaker, with no deadline budget.
+  support::Expected<proto::Reply> call(proto::Verb verb,
+                                       const std::string& payload);
+
+  ClientStats stats() const;
+  BreakerState breakerState() const;
+  const ClientOptions& options() const { return opts_; }
+
+  /// The deterministic backoff schedule (exposed for tests): delay before
+  /// the retry after attempt `attempt` (0-based) of call `callIdx`, at
+  /// least `retryAfterMs` when the server sent a hint.
+  static i64 retryDelayMs(const ClientOptions& opts, std::uint64_t callIdx,
+                          int attempt, i64 retryAfterMs);
+
+ private:
+  /// The shared retry loop. `encode` builds the payload for one attempt
+  /// from the budget left (<= 0 = unlimited); `deadlineMs` caps the whole
+  /// call, sleeps included.
+  support::Expected<proto::Reply> run(
+      proto::Verb verb, i64 deadlineMs,
+      const std::function<std::string(i64 remainingMs)>& encode);
+
+  /// One request/reply exchange on a fresh connection with socket
+  /// timeouts applied. IoError = transport failure (retryable).
+  support::Expected<proto::Reply> attemptOnce(proto::Verb verb,
+                                              const std::string& payload);
+
+  /// Breaker admission for one attempt. Returns 0 to proceed (and, when
+  /// the breaker was Open past its cooldown, moves it to HalfOpen with
+  /// this attempt as the probe); returns the ms until the next probe
+  /// window when the attempt must fast-fail.
+  i64 breakerAdmit();
+  void onTransportFailure();
+  void onTransportSuccess();
+
+  ClientOptions opts_;
+
+  mutable std::mutex mutex_;  ///< breaker state
+  BreakerState state_ = BreakerState::Closed;
+  int consecutiveFailures_ = 0;
+  std::chrono::steady_clock::time_point openUntil_{};
+  bool probeInFlight_ = false;  ///< HalfOpen admits exactly one probe
+
+  std::atomic<i64> calls_{0};
+  std::atomic<i64> retries_{0};
+  std::atomic<i64> retryAfterHonored_{0};
+  std::atomic<i64> retryAfterSuccesses_{0};
+  std::atomic<i64> transportFailures_{0};
+  std::atomic<i64> breakerTrips_{0};
+  std::atomic<i64> breakerResets_{0};
+  std::atomic<i64> breakerFastFails_{0};
+};
+
+}  // namespace dr::service

@@ -62,6 +62,12 @@ MetricsSnapshot Metrics::snapshot() const {
   s.protocolErrors = get(protocolErrors_);
   s.exploreErrors = get(exploreErrors_);
   s.degradedReplies = get(degradedReplies_);
+  s.queueDepthHighWater = get(queueDepthHighWater_);
+  s.shedQueueFull = get(shedQueueFull_);
+  s.shedQueueWait = get(shedQueueWait_);
+  s.overloadReplies = get(overloadReplies_);
+  s.expiredRequests = get(expiredRequests_);
+  s.deadlinesTightened = get(deadlinesTightened_);
   s.inflightJoins = get(inflightJoins_);
   s.simulations = get(simulations_);
   s.curvesSymbolic = get(curvesSymbolic_);
@@ -121,6 +127,18 @@ std::string Metrics::render(const MetricsSnapshot& s) {
   line("protocol_errors", s.protocolErrors);
   line("explore_errors", s.exploreErrors);
   line("degraded_replies", s.degradedReplies);
+  line("queue_depth_hwm", s.queueDepthHighWater);
+  line("shed_queue_full", s.shedQueueFull);
+  line("shed_queue_wait", s.shedQueueWait);
+  line("overload_replies", s.overloadReplies);
+  line("expired_requests", s.expiredRequests);
+  line("deadlines_tightened", s.deadlinesTightened);
+  line("client_retries", s.clientRetries);
+  line("client_retry_after_honored", s.clientRetryAfterHonored);
+  line("client_retry_after_successes", s.clientRetryAfterSuccesses);
+  line("breaker_trips", s.breakerTrips);
+  line("breaker_resets", s.breakerResets);
+  line("breaker_fast_fails", s.breakerFastFails);
   line("cache_hits", s.cacheHits);
   line("cache_warm_hits", s.warmHits);
   line("cache_misses", s.cacheMisses);

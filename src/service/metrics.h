@@ -43,6 +43,26 @@ struct MetricsSnapshot {
   i64 exploreErrors = 0;   ///< explore requests answered with an error
   i64 degradedReplies = 0; ///< served below the exact fidelity rungs
 
+  // Overload ladder (admission.h). Shed replies are structured
+  // Unavailable answers with a retry-after hint, never silent drops.
+  i64 queueDepthHighWater = 0;  ///< deepest the admission queue ever got
+  i64 shedQueueFull = 0;        ///< connections shed: queue at capacity
+  i64 shedQueueWait = 0;        ///< connections shed: accept deadline hit
+  i64 overloadReplies = 0;      ///< Unavailable replies sent (all sheds)
+  i64 expiredRequests = 0;      ///< budget already gone after queue wait
+  i64 deadlinesTightened = 0;   ///< requests whose budget pressure shrank
+
+  // Client-side resilience ledger. The daemon itself always reports
+  // zero here; the client library (client.h) and the load harness fold
+  // their ClientStats into a snapshot so report::metricsReport renders
+  // one combined view of an overload episode.
+  i64 clientRetries = 0;           ///< extra attempts after the first
+  i64 clientRetryAfterHonored = 0; ///< backoffs that obeyed a shed hint
+  i64 clientRetryAfterSuccesses = 0;  ///< honored hints whose retry then won
+  i64 breakerTrips = 0;     ///< Closed -> Open transitions
+  i64 breakerResets = 0;    ///< Open -> Closed transitions (probe succeeded)
+  i64 breakerFastFails = 0; ///< attempts refused while the breaker was open
+
   i64 cacheHits = 0;    ///< memory-layer hits
   i64 warmHits = 0;     ///< rehydrated from a --cache-dir journal
   i64 cacheMisses = 0;  ///< required a fresh computation
@@ -90,9 +110,30 @@ class Metrics {
   void countDegradedReply() { add(degradedReplies_); }
   void countJoin() { add(inflightJoins_); }
   void countSimulation() { add(simulations_); }
+  void countShedQueueFull() { add(shedQueueFull_); }
+  void countShedQueueWait() { add(shedQueueWait_); }
+  void countOverloadReply() { add(overloadReplies_); }
+  void countExpiredRequest() { add(expiredRequests_); }
+  void countDeadlineTightened() { add(deadlinesTightened_); }
+
+  /// Keep the queue-depth high-water mark (monotone CAS max).
+  void recordQueueDepth(i64 depth) {
+    i64 prev = queueDepthHighWater_.load(std::memory_order_relaxed);
+    while (prev < depth && !queueDepthHighWater_.compare_exchange_weak(
+                               prev, depth, std::memory_order_relaxed)) {
+    }
+  }
 
   /// Record one explore request's end-to-end latency.
   void recordExploreLatencyUs(i64 us);
+
+  /// Mean end-to-end explore latency so far (0 before the first request)
+  /// — the live feed of the shed replies' retry-after hint.
+  i64 meanExploreLatencyUs() const {
+    const i64 count = latencyCount_.load(std::memory_order_relaxed);
+    if (count <= 0) return 0;
+    return latencyTotalUs_.load(std::memory_order_relaxed) / count;
+  }
 
   /// Record one leader computation's engine outcome: the fidelity rung
   /// the curve was served at, plus the run-decoding counters of the stack
@@ -127,6 +168,12 @@ class Metrics {
   std::atomic<i64> protocolErrors_{0};
   std::atomic<i64> exploreErrors_{0};
   std::atomic<i64> degradedReplies_{0};
+  std::atomic<i64> queueDepthHighWater_{0};
+  std::atomic<i64> shedQueueFull_{0};
+  std::atomic<i64> shedQueueWait_{0};
+  std::atomic<i64> overloadReplies_{0};
+  std::atomic<i64> expiredRequests_{0};
+  std::atomic<i64> deadlinesTightened_{0};
   std::atomic<i64> inflightJoins_{0};
   std::atomic<i64> simulations_{0};
 

@@ -195,6 +195,7 @@ std::string encodeExploreRequest(const ExploreRequest& req) {
   appendBytes(out, req.kernel);
   appendBytes(out, req.signal);
   appendI64(out, req.deadlineMs);
+  appendI64(out, req.remainingBudgetMs);
   appendU8(out, req.flags);
   return out;
 }
@@ -204,7 +205,8 @@ support::Expected<ExploreRequest> decodeExploreRequest(
   ExploreRequest req;
   Cursor cursor(payload);
   if (!cursor.takeBytes(req.kernel) || !cursor.takeBytes(req.signal) ||
-      !cursor.takeI64(req.deadlineMs) || !cursor.takeU8(req.flags))
+      !cursor.takeI64(req.deadlineMs) ||
+      !cursor.takeI64(req.remainingBudgetMs) || !cursor.takeU8(req.flags))
     return truncated("explore request");
   if (!cursor.exhausted()) return trailing("explore request");
   return req;
@@ -214,6 +216,7 @@ std::string encodeReply(const Reply& reply) {
   std::string out;
   appendU8(out, static_cast<std::uint8_t>(reply.code));
   appendBytes(out, reply.message);
+  appendI64(out, reply.retryAfterMs);
   appendBytes(out, reply.body);
   return out;
 }
@@ -223,10 +226,10 @@ support::Expected<Reply> decodeReply(std::string_view payload) {
   Cursor cursor(payload);
   std::uint8_t code = 0;
   if (!cursor.takeU8(code) || !cursor.takeBytes(reply.message) ||
-      !cursor.takeBytes(reply.body))
+      !cursor.takeI64(reply.retryAfterMs) || !cursor.takeBytes(reply.body))
     return truncated("reply");
   if (!cursor.exhausted()) return trailing("reply");
-  if (code > static_cast<std::uint8_t>(StatusCode::Internal))
+  if (code > static_cast<std::uint8_t>(StatusCode::Unavailable))
     return Status::error(StatusCode::InvalidInput,
                          "reply: unknown status code " + std::to_string(code));
   reply.code = static_cast<StatusCode>(code);

@@ -31,7 +31,11 @@ namespace dr::service::proto {
 using dr::support::i64;
 
 inline constexpr std::uint32_t kMagic = 0x56535244u;  ///< "DRSV" as LE bytes
-inline constexpr std::uint8_t kVersion = 1;
+/// v2 added deadline propagation: ExploreRequest carries the remaining
+/// retry budget alongside the total deadline, and every Reply carries a
+/// retry-after hint (meaningful on Unavailable). v1 frames are rejected
+/// outright — a pre-overload client cannot silently lose its deadline.
+inline constexpr std::uint8_t kVersion = 2;
 inline constexpr std::size_t kHeaderSize = 10;  ///< magic + version + verb + len
 inline constexpr std::size_t kTrailerSize = 4;  ///< crc32
 /// Upper bound on payloadLen: anything larger is Corrupt before a single
@@ -81,13 +85,21 @@ FrameParse tryParseFrame(std::string_view bytes);
 inline constexpr std::uint8_t kFlagNoCache = 0x01;
 
 /// Payload of an Explore frame:
-///   [u32 kernelLen][kernel][u32 signalLen][signal][i64 deadlineMs][u8 flags]
+///   [u32 kernelLen][kernel][u32 signalLen][signal][i64 deadlineMs]
+///   [i64 remainingBudgetMs][u8 flags]
 /// `signal` may be empty (explore the first read signal); deadlineMs <= 0
 /// means the server's default per-request deadline.
+///
+/// `remainingBudgetMs` propagates the client's retry budget: with
+/// deadlineMs > 0 it is what is left of that deadline at send time (0
+/// means "the full deadline"), and the server charges queue wait against
+/// it — a request whose remaining budget is gone before a worker picks it
+/// up is rejected outright (BudgetExceeded), never silently served late.
 struct ExploreRequest {
   std::string kernel;  ///< kernel-language source text
   std::string signal;  ///< signal name; "" = first read signal
   i64 deadlineMs = 0;
+  i64 remainingBudgetMs = 0;  ///< retry budget left; 0 = full deadline
   std::uint8_t flags = 0;
 };
 
@@ -98,13 +110,18 @@ support::Expected<ExploreRequest> decodeExploreRequest(
 // ---- Reply payload ------------------------------------------------------
 
 /// Payload of a Reply frame:
-///   [u8 statusCode][u32 messageLen][message][u32 bodyLen][body]
+///   [u8 statusCode][u32 messageLen][message][i64 retryAfterMs]
+///   [u32 bodyLen][body]
 /// statusCode is support::StatusCode; Ok replies carry a verb-specific
 /// body (ExploreResult for Explore, rendered metrics text for Stats,
 /// empty for Shutdown) and error replies carry the Status message.
+/// `retryAfterMs` is the structured overload hint: on an Unavailable
+/// (load-shed) reply it tells the client how long to back off before the
+/// retry is likely to be admitted; 0 everywhere else.
 struct Reply {
   support::StatusCode code = support::StatusCode::Ok;
   std::string message;
+  i64 retryAfterMs = 0;  ///< overload hint; meaningful when code==Unavailable
   std::string body;
 };
 

@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -80,12 +81,55 @@ bool writeAll(int fd, const std::string& bytes) {
   return true;
 }
 
+/// Worker-thread counts past this are a configuration mistake: a pool
+/// larger than any plausible core count only adds contention.
+constexpr int kMaxReasonableWorkers = 4096;
+
 }  // namespace
 
-Server::Server(ServerOptions opts) : opts_(std::move(opts)), cache_(opts_.cache) {
-  DR_REQUIRE(opts_.workers > 0);
-  DR_REQUIRE(!opts_.socketPath.empty());
+Status validateServerOptions(const ServerOptions& opts) {
+  if (opts.socketPath.empty())
+    return Status::error(StatusCode::InvalidInput, "socket path is empty");
+  if (opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+    return Status::error(StatusCode::InvalidInput,
+                         "socket path too long: " + opts.socketPath);
+  if (opts.workers <= 0)
+    return Status::error(
+        StatusCode::InvalidInput,
+        "workers must be positive, got " + std::to_string(opts.workers));
+  if (opts.workers > kMaxReasonableWorkers)
+    return Status::error(StatusCode::InvalidInput,
+                         "workers " + std::to_string(opts.workers) +
+                             " exceeds the " +
+                             std::to_string(kMaxReasonableWorkers) + " cap");
+  if (opts.cache.maxBytes <= 0)
+    return Status::error(StatusCode::InvalidInput,
+                         "cache.maxBytes must be positive");
+  return validateAdmissionOptions(opts.admission);
 }
+
+namespace {
+
+/// The cache and queue constructors have their own hard contracts; feed
+/// them clamped copies so a misconfigured Server can still be built and
+/// then rejected *cleanly* by start()'s validateServerOptions — an
+/// InvalidInput status, not a contract abort in a member initializer.
+ResultCache::Options clampedCacheOptions(ResultCache::Options o) {
+  o.maxBytes = std::max<i64>(1, o.maxBytes);
+  return o;
+}
+
+AdmissionOptions clampedAdmissionOptions(AdmissionOptions o) {
+  o.maxQueueDepth = std::max(1, o.maxQueueDepth);
+  return o;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      cache_(clampedCacheOptions(opts_.cache)),
+      admission_(clampedAdmissionOptions(opts_.admission)) {}
 
 Server::~Server() {
   requestShutdown();
@@ -95,13 +139,11 @@ Server::~Server() {
 Status Server::start() {
   DR_REQUIRE_MSG(!started_, "Server::start() called twice");
 
+  if (Status st = validateServerOptions(opts_); !st.isOk()) return st;
   if (Status st = ensureWarmDir(opts_.cache.warmDir); !st.isOk()) return st;
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (opts_.socketPath.size() >= sizeof(addr.sun_path))
-    return Status::error(StatusCode::InvalidInput,
-                         "socket path too long: " + opts_.socketPath);
   std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
               opts_.socketPath.size() + 1);
 
@@ -151,7 +193,7 @@ void Server::requestShutdown() {
     char byte = 1;
     [[maybe_unused]] ssize_t n = ::write(wakeupPipe_[1], &byte, 1);
   }
-  queueCv_.notify_all();
+  admission_.close();  // wake workers; queued connections still drain
 }
 
 void Server::wait() {
@@ -184,40 +226,62 @@ void Server::acceptLoop() {
     timeval tv{};
     tv.tv_usec = kRecvTimeoutMs * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    {
-      std::lock_guard<std::mutex> lock(queueMutex_);
-      pending_.push_back(fd);
+    if (!admission_.tryPush(fd)) {
+      metrics_.countShedQueueFull();
+      shedConnection(fd, "overloaded: admission queue full");
+      continue;
     }
-    queueCv_.notify_one();
+    metrics_.recordQueueDepth(admission_.depth());
   }
   ::close(listenFd_);
   listenFd_ = -1;
-  queueCv_.notify_all();  // wake workers so they can observe the drain
+  admission_.close();  // wake workers so they can observe the drain
+}
+
+void Server::shedConnection(int fd, const char* why) {
+  metrics_.countOverloadReply();
+  proto::Reply reply;
+  reply.code = StatusCode::Unavailable;
+  reply.message = why;
+  reply.retryAfterMs =
+      retryAfterHintMs(opts_.admission, admission_.depth(), opts_.workers,
+                       metrics_.meanExploreLatencyUs());
+  // Bound the shed write too: a reply to an overloading client must not
+  // park the accept loop behind a full socket buffer.
+  timeval tv{};
+  tv.tv_usec = kRecvTimeoutMs * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  writeAll(fd, proto::encodeFrame(proto::Verb::Reply,
+                                  proto::encodeReply(reply)));
+  ::close(fd);
 }
 
 void Server::workerLoop() {
   while (true) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(queueMutex_);
-      queueCv_.wait(lock,
-                    [this] { return !pending_.empty() || draining(); });
-      if (pending_.empty()) return;  // draining and nothing queued
-      fd = pending_.front();
-      pending_.pop_front();
+    std::optional<QueuedConn> conn = admission_.pop();
+    if (!conn) return;  // closed and drained
+    const i64 queueWaitMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - conn->admittedAt)
+            .count();
+    if (!draining() && opts_.admission.acceptDeadlineMs > 0 &&
+        queueWaitMs > opts_.admission.acceptDeadlineMs) {
+      metrics_.countShedQueueWait();
+      shedConnection(conn->fd, "overloaded: accept deadline exceeded");
+      continue;
     }
     try {
-      serveConnection(fd);
+      serveConnection(conn->fd, queueWaitMs);
     } catch (...) {
       // A request must never take a worker down with it; the connection
       // is already closed or about to be.
       metrics_.countConnectionDropped();
     }
-    ::close(fd);
+    ::close(conn->fd);
   }
 }
 
-void Server::serveConnection(int fd) {
+void Server::serveConnection(int fd, i64 queueWaitMs) {
   metrics_.countConnection();
   std::string buffer;
   char chunk[4096];
@@ -237,8 +301,11 @@ void Server::serveConnection(int fd) {
       metrics_.countRequest();
       bool closeAfter = false;
       std::string reply;
+      // Queue wait charges only the connection's first request: later
+      // frames arrived while the connection was already being served.
+      const i64 chargedWaitMs = std::exchange(queueWaitMs, i64{0});
       try {
-        reply = handleFrame(parse.frame, closeAfter);
+        reply = handleFrame(parse.frame, closeAfter, chargedWaitMs);
       } catch (const std::exception& e) {
         reply = proto::encodeFrame(
             proto::Verb::Reply,
@@ -275,8 +342,8 @@ void Server::serveConnection(int fd) {
   }
 }
 
-std::string Server::handleFrame(const proto::Frame& frame,
-                                bool& closeAfter) {
+std::string Server::handleFrame(const proto::Frame& frame, bool& closeAfter,
+                                i64 queueWaitMs) {
   proto::Reply reply;
   switch (frame.verb) {
     case proto::Verb::Explore: {
@@ -285,7 +352,7 @@ std::string Server::handleFrame(const proto::Frame& frame,
         metrics_.countProtocolError();
         reply = errorReply(req.status());
       } else {
-        reply = handleExplore(*req);
+        reply = handleExplore(*req, queueWaitMs);
       }
       break;
     }
@@ -308,7 +375,8 @@ std::string Server::handleFrame(const proto::Frame& frame,
   return proto::encodeFrame(proto::Verb::Reply, proto::encodeReply(reply));
 }
 
-proto::Reply Server::handleExplore(const proto::ExploreRequest& req) {
+proto::Reply Server::handleExplore(const proto::ExploreRequest& req,
+                                   i64 queueWaitMs) {
   metrics_.countExplore();
   const auto t0 = std::chrono::steady_clock::now();
   const auto recordLatency = [&] {
@@ -322,6 +390,27 @@ proto::Reply Server::handleExplore(const proto::ExploreRequest& req) {
     recordLatency();
     return errorReply(st);
   };
+
+  // Queue wait counts against the client's budget, not in addition to it.
+  // A client-owned budget that expired in the queue is rejected outright
+  // (BudgetExceeded — not retryable, the client's deadline is simply
+  // gone); a server-imposed default only degrades, never rejects.
+  i64 budgetMs = 0;  // <= 0 = unlimited
+  if (req.deadlineMs > 0) {
+    const i64 remaining =
+        req.remainingBudgetMs > 0 ? req.remainingBudgetMs : req.deadlineMs;
+    budgetMs = remaining - queueWaitMs;
+    if (budgetMs <= 0) {
+      metrics_.countExpiredRequest();
+      return fail(Status::error(
+          StatusCode::BudgetExceeded,
+          "deadline expired before service (queued " +
+              std::to_string(queueWaitMs) + "ms of " +
+              std::to_string(remaining) + "ms budget)"));
+    }
+  } else if (opts_.defaultDeadlineMs > 0) {
+    budgetMs = std::max<i64>(1, opts_.defaultDeadlineMs - queueWaitMs);
+  }
 
   auto compiled = frontend::compileKernelChecked(req.kernel);
   if (!compiled.hasValue()) return fail(compiled.status());
@@ -338,10 +427,16 @@ proto::Reply Server::handleExplore(const proto::ExploreRequest& req) {
   // config hash (byte-identity is pinned by tests/test_service.cpp).
   explorer::ExploreOptions opts;
   support::RunBudget budget;
-  const i64 deadlineMs =
-      req.deadlineMs > 0 ? req.deadlineMs : opts_.defaultDeadlineMs;
-  if (deadlineMs > 0) {
-    budget.setDeadline(std::chrono::milliseconds(deadlineMs));
+  // Stage-1 overload ladder: queue pressure shrinks the effective
+  // deadline so replies fall down the fidelity ladder instead of piling
+  // latency onto everyone behind them. Degraded results are never cached,
+  // so a tightened reply can't poison a later idle-time query.
+  const i64 effectiveMs =
+      tightenedDeadlineMs(budgetMs, admission_.pressure(), opts_.admission);
+  if (effectiveMs > 0 && (budgetMs <= 0 || effectiveMs < budgetMs))
+    metrics_.countDeadlineTightened();
+  if (effectiveMs > 0) {
+    budget.setDeadline(std::chrono::milliseconds(effectiveMs));
     opts.budget = &budget;  // excluded from the hash by design
   }
   const std::uint64_t hash = explorer::exploreConfigHash(p, signal, opts);

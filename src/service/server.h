@@ -1,13 +1,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "service/admission.h"
 #include "service/cache.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
@@ -32,6 +30,14 @@
 /// FaultSite::ServiceIo failure closes that connection and nothing else —
 /// workers swallow per-request exceptions into error replies.
 ///
+/// Overload never grows memory or hangs clients (admission.h): accepted
+/// connections enter a bounded queue; as it fills, per-request deadlines
+/// tighten (degraded-but-fast replies), and at capacity — or past the
+/// per-connection accept deadline — the daemon sheds with a structured
+/// Unavailable reply carrying a retry-after hint. Queue wait is charged
+/// against the request's own budget (proto v2 remaining-budget field);
+/// a request that expired while queued is rejected outright.
+///
 /// Shutdown (the verb or requestShutdown()) drains gracefully: the
 /// listener stops accepting, in-flight and already-queued connections
 /// finish their current requests, then the workers exit and wait()
@@ -46,7 +52,15 @@ struct ServerOptions {
   /// (explore requests may override per query); <= 0 = unlimited.
   support::i64 defaultDeadlineMs = 0;
   ResultCache::Options cache;
+  AdmissionOptions admission;
 };
+
+/// Full pre-flight check of a configuration: InvalidInput for a missing
+/// or over-long socket path, non-positive or absurd worker counts, a
+/// non-positive cache byte budget, or out-of-range admission limits.
+/// start() runs this before spawning anything, so a broken configuration
+/// is a clean error, never a half-started pool.
+support::Status validateServerOptions(const ServerOptions& opts);
 
 class Server {
  public:
@@ -56,9 +70,11 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen on options().socketPath (replacing a stale socket
-  /// file) and spawn the accept thread and worker pool. IoError when the
-  /// path is unusable; calling start() twice is a contract violation.
+  /// Validate options (validateServerOptions), bind + listen on
+  /// options().socketPath (replacing a stale socket file) and spawn the
+  /// accept thread and worker pool. InvalidInput for a bad configuration,
+  /// IoError when the path is unusable; calling start() twice is a
+  /// contract violation.
   support::Status start();
 
   /// Begin a graceful drain (idempotent, callable from any thread —
@@ -81,17 +97,26 @@ class Server {
  private:
   void acceptLoop();
   void workerLoop();
-  void serveConnection(int fd);
+  void serveConnection(int fd, support::i64 queueWaitMs);
+
+  /// Shed `fd` with a structured Unavailable reply (retry-after hint
+  /// included) and close it — the load-shedding exit, never silent.
+  void shedConnection(int fd, const char* why);
 
   /// Dispatch one parsed frame; returns the encoded Reply frame and sets
   /// `closeAfter` for verbs that end the conversation (Shutdown).
-  std::string handleFrame(const proto::Frame& frame, bool& closeAfter);
-  proto::Reply handleExplore(const proto::ExploreRequest& req);
+  /// `queueWaitMs` is the admission-queue wait to charge against the
+  /// request's budget (non-zero only for a connection's first frame).
+  std::string handleFrame(const proto::Frame& frame, bool& closeAfter,
+                          support::i64 queueWaitMs);
+  proto::Reply handleExplore(const proto::ExploreRequest& req,
+                             support::i64 queueWaitMs);
 
   ServerOptions opts_;
   Metrics metrics_;
   ResultCache cache_;
   SingleFlight flight_;
+  AdmissionQueue admission_;  ///< bounded accept queue (admission.h)
 
   int listenFd_ = -1;
   int wakeupPipe_[2] = {-1, -1};  ///< written on shutdown to unblock poll
@@ -100,10 +125,6 @@ class Server {
 
   std::thread acceptThread_;
   std::vector<std::thread> workers_;
-
-  std::mutex queueMutex_;
-  std::condition_variable queueCv_;
-  std::deque<int> pending_;  ///< accepted fds awaiting a worker
 };
 
 }  // namespace dr::service

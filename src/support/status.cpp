@@ -11,6 +11,7 @@ const char* statusCodeName(StatusCode code) {
     case StatusCode::BudgetExceeded: return "budget exceeded";
     case StatusCode::Cancelled: return "cancelled";
     case StatusCode::Internal: return "internal error";
+    case StatusCode::Unavailable: return "unavailable";
   }
   return "?";
 }

@@ -27,6 +27,7 @@ enum class StatusCode {
   BudgetExceeded,  ///< a RunBudget limit tripped (see budget.h)
   Cancelled,       ///< cooperative cancellation was requested
   Internal,        ///< an invariant failed while serving user input
+  Unavailable,     ///< service overloaded / circuit open — retry later
 };
 
 /// Human-readable code name ("invalid input", ...).

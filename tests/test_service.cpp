@@ -14,11 +14,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -29,7 +31,9 @@
 #include "kernels/conv2d.h"
 #include "kernels/motion_estimation.h"
 #include "report/report.h"
+#include "service/admission.h"
 #include "service/cache.h"
+#include "service/client.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
 #include "service/server.h"
@@ -41,7 +45,10 @@
 namespace {
 
 namespace proto = dr::service::proto;
+using dr::service::AdmissionOptions;
 using dr::service::CachedCurve;
+using dr::service::Client;
+using dr::service::ClientOptions;
 using dr::service::ResultCache;
 using dr::service::Server;
 using dr::service::ServerOptions;
@@ -216,7 +223,10 @@ TEST(Protocol, UnknownVerbAndVersionAreCorrupt) {
   badVerb[5] = 9;  // no such verb
   EXPECT_EQ(proto::tryParseFrame(badVerb).result, proto::ParseResult::Corrupt);
   std::string badVersion = frame;
-  badVersion[4] = 2;  // future version
+  badVersion[4] = 1;  // pre-deadline-propagation version: rejected outright
+  EXPECT_EQ(proto::tryParseFrame(badVersion).result,
+            proto::ParseResult::Corrupt);
+  badVersion[4] = 3;  // future version
   EXPECT_EQ(proto::tryParseFrame(badVersion).result,
             proto::ParseResult::Corrupt);
 }
@@ -814,6 +824,504 @@ TEST(Server, WarmDirectorySharedWithCliJournals) {
     server.requestShutdown();
     server.wait();
   }
+}
+
+// ---- admission control and overload -------------------------------------
+
+TEST(Admission, ValidateOptionsRejectsAbsurdLimits) {
+  AdmissionOptions ok;
+  EXPECT_TRUE(dr::service::validateAdmissionOptions(ok).isOk());
+
+  AdmissionOptions bad = ok;
+  bad.maxQueueDepth = 0;
+  EXPECT_EQ(dr::service::validateAdmissionOptions(bad).code(),
+            StatusCode::InvalidInput);
+  bad = ok;
+  bad.maxQueueDepth = 1 << 20;  // a million parked connections is a typo
+  EXPECT_EQ(dr::service::validateAdmissionOptions(bad).code(),
+            StatusCode::InvalidInput);
+  bad = ok;
+  bad.tightenStart = 1.5;
+  EXPECT_EQ(dr::service::validateAdmissionOptions(bad).code(),
+            StatusCode::InvalidInput);
+  bad = ok;
+  bad.minDeadlineMs = 0;
+  EXPECT_EQ(dr::service::validateAdmissionOptions(bad).code(),
+            StatusCode::InvalidInput);
+  bad = ok;
+  bad.pressureDeadlineMs = bad.minDeadlineMs - 1;
+  EXPECT_EQ(dr::service::validateAdmissionOptions(bad).code(),
+            StatusCode::InvalidInput);
+  bad = ok;
+  bad.retryAfterCapMs = bad.retryAfterFloorMs - 1;
+  EXPECT_EQ(dr::service::validateAdmissionOptions(bad).code(),
+            StatusCode::InvalidInput);
+}
+
+TEST(Admission, TighteningRampIsMonotoneAndBounded) {
+  AdmissionOptions opts;
+  opts.tightenStart = 0.5;
+  opts.pressureDeadlineMs = 200;
+  opts.minDeadlineMs = 10;
+
+  // Below the start: the base budget passes through untouched (including
+  // "unlimited", which must stay unlimited while the queue is calm).
+  EXPECT_EQ(dr::service::tightenedDeadlineMs(5000, 0.0, opts), 5000);
+  EXPECT_EQ(dr::service::tightenedDeadlineMs(0, 0.49, opts), 0);
+
+  // At the start: capped at pressureDeadlineMs; a tighter client
+  // deadline is never grown.
+  EXPECT_EQ(dr::service::tightenedDeadlineMs(5000, 0.5, opts), 200);
+  EXPECT_EQ(dr::service::tightenedDeadlineMs(50, 0.5, opts), 50);
+
+  // Monotone down to the floor at a full queue, never below it.
+  i64 prev = dr::service::tightenedDeadlineMs(5000, 0.5, opts);
+  for (double p = 0.55; p <= 1.0; p += 0.05) {
+    const i64 cur = dr::service::tightenedDeadlineMs(5000, p, opts);
+    EXPECT_LE(cur, prev) << "pressure " << p;
+    EXPECT_GE(cur, opts.minDeadlineMs);
+    prev = cur;
+  }
+  EXPECT_EQ(dr::service::tightenedDeadlineMs(5000, 1.0, opts),
+            opts.minDeadlineMs);
+  // An unlimited request under pressure gets the cap, not infinity.
+  EXPECT_EQ(dr::service::tightenedDeadlineMs(0, 1.0, opts),
+            opts.minDeadlineMs);
+}
+
+TEST(Admission, RetryAfterHintStaysInsideTheBand) {
+  AdmissionOptions opts;
+  opts.retryAfterFloorMs = 25;
+  opts.retryAfterCapMs = 2000;
+  // No latency observed yet: the floor.
+  EXPECT_EQ(dr::service::retryAfterHintMs(opts, 10, 4, 0), 25);
+  // Deep queue, slow service: clamped to the cap.
+  EXPECT_EQ(dr::service::retryAfterHintMs(opts, 1000, 1, 1'000'000), 2000);
+  // In between: scales with the drain estimate and respects the floor.
+  const i64 hint = dr::service::retryAfterHintMs(opts, 100, 4, 20'000);
+  EXPECT_GE(hint, 25);
+  EXPECT_LE(hint, 2000);
+}
+
+TEST(Server, StartRejectsInvalidOptionsInsteadOfSpawning) {
+  {
+    ServerOptions opts;
+    opts.socketPath = socketPath();
+    opts.workers = 0;  // a broken pool, caught before any thread spawns
+    Server server(opts);
+    Status st = server.start();
+    EXPECT_EQ(st.code(), StatusCode::InvalidInput);
+    EXPECT_NE(st.message().find("workers"), std::string::npos);
+  }
+  {
+    ServerOptions opts;
+    opts.socketPath = socketPath();
+    opts.admission.maxQueueDepth = -4;
+    Server server(opts);
+    EXPECT_EQ(server.start().code(), StatusCode::InvalidInput);
+  }
+  {
+    ServerOptions opts;  // empty socket path
+    Server server(opts);
+    EXPECT_EQ(server.start().code(), StatusCode::InvalidInput);
+  }
+  {
+    ServerOptions opts;
+    opts.socketPath = socketPath();
+    opts.cache.maxBytes = 0;
+    Server server(opts);
+    EXPECT_EQ(server.start().code(), StatusCode::InvalidInput);
+  }
+}
+
+TEST(Protocol, V2CarriesRemainingBudgetAndRetryAfter) {
+  proto::ExploreRequest req;
+  req.kernel = "k";
+  req.signal = "s";
+  req.deadlineMs = 400;
+  req.remainingBudgetMs = 123;
+  auto back = proto::decodeExploreRequest(proto::encodeExploreRequest(req));
+  ASSERT_TRUE(back.hasValue()) << back.status().str();
+  EXPECT_EQ(back->deadlineMs, 400);
+  EXPECT_EQ(back->remainingBudgetMs, 123);
+
+  proto::Reply reply;
+  reply.code = StatusCode::Unavailable;
+  reply.message = "overloaded";
+  reply.retryAfterMs = 250;
+  auto replyBack = proto::decodeReply(proto::encodeReply(reply));
+  ASSERT_TRUE(replyBack.hasValue()) << replyBack.status().str();
+  EXPECT_EQ(replyBack->code, StatusCode::Unavailable);
+  EXPECT_EQ(replyBack->retryAfterMs, 250);
+}
+
+namespace overload {
+
+/// Park the daemon's worker pool: a connection holding half a frame open
+/// pins one worker in its recv loop until the fd closes. With workers=1
+/// this makes queue occupancy fully deterministic.
+int parkWorker(const std::string& sock, Server& server) {
+  const std::string frame = proto::encodeFrame(
+      proto::Verb::Explore, proto::encodeExploreRequest({"k", "", 0, 0}));
+  int fd = connectTo(sock);
+  if (fd < 0) return -1;
+  if (!sendAll(fd, frame.substr(0, frame.size() / 2))) {
+    ::close(fd);
+    return -1;
+  }
+  // The worker has picked the connection up once it counts as accepted.
+  for (int i = 0; i < 500; ++i) {
+    if (server.metricsSnapshot().connectionsAccepted >= 1) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::close(fd);
+  return -1;
+}
+
+}  // namespace overload
+
+TEST(Server, FullQueueShedsWithStructuredRetryAfterReply) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 1;
+  opts.admission.maxQueueDepth = 1;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  int parked = overload::parkWorker(sock, server);
+  ASSERT_GE(parked, 0);
+  int queued = connectTo(sock);  // fills the depth-1 queue
+  ASSERT_GE(queued, 0);
+  // Give the accept loop time to enqueue it before flooding.
+  for (int i = 0; i < 500 && server.metricsSnapshot().queueDepthHighWater < 1;
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // Everything past the bound is shed: a structured Unavailable reply
+  // with a retry-after hint, never a silent disconnect.
+  int sheds = 0;
+  for (int i = 0; i < 3; ++i) {
+    int fd = connectTo(sock);
+    ASSERT_GE(fd, 0);
+    auto reply = readReply(fd);
+    ::close(fd);
+    ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+    EXPECT_EQ(reply->code, StatusCode::Unavailable);
+    EXPECT_GE(reply->retryAfterMs, opts.admission.retryAfterFloorMs);
+    EXPECT_NE(reply->message.find("queue full"), std::string::npos);
+    ++sheds;
+  }
+  auto s = server.metricsSnapshot();
+  EXPECT_GE(s.shedQueueFull, sheds);
+  EXPECT_GE(s.overloadReplies, sheds);
+  EXPECT_GE(s.queueDepthHighWater, 1);
+
+  ::close(parked);
+  ::close(queued);
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, QueueWaitChargesTheRequestBudget) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 1;
+  opts.admission.acceptDeadlineMs = 0;  // isolate budget expiry from sheds
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  int parked = overload::parkWorker(sock, server);
+  ASSERT_GE(parked, 0);
+
+  // Queue a request whose own deadline is shorter than the wait it is
+  // about to endure: its budget dies in the queue.
+  proto::ExploreRequest req;
+  req.kernel = dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  req.signal = "Old";
+  req.deadlineMs = 50;
+  int fd = connectTo(sock);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(sendAll(fd, proto::encodeFrame(
+                              proto::Verb::Explore,
+                              proto::encodeExploreRequest(req))));
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  ::close(parked);  // release the worker; it now picks up the stale request
+
+  auto reply = readReply(fd);
+  ::close(fd);
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  // Rejected outright: BudgetExceeded, not Unavailable — the client's
+  // own deadline is gone, so a retry without a new budget is pointless.
+  EXPECT_EQ(reply->code, StatusCode::BudgetExceeded);
+  EXPECT_NE(reply->message.find("expired"), std::string::npos);
+  EXPECT_EQ(server.metricsSnapshot().expiredRequests, 1);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, AcceptDeadlineShedsStaleQueuedConnections) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 1;
+  opts.admission.acceptDeadlineMs = 100;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  int parked = overload::parkWorker(sock, server);
+  ASSERT_GE(parked, 0);
+  int stale = connectTo(sock);
+  ASSERT_GE(stale, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ::close(parked);  // the queued connection is now past its deadline
+
+  auto reply = readReply(stale);
+  ::close(stale);
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  EXPECT_EQ(reply->code, StatusCode::Unavailable);
+  EXPECT_NE(reply->message.find("accept deadline"), std::string::npos);
+  EXPECT_GE(reply->retryAfterMs, opts.admission.retryAfterFloorMs);
+  EXPECT_EQ(server.metricsSnapshot().shedQueueWait, 1);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+// ---- resilient client ----------------------------------------------------
+
+TEST(Client, RetryDelayIsDeterministicAndHonorsHints) {
+  ClientOptions opts;
+  opts.backoffBaseMs = 20;
+  opts.backoffCapMs = 2000;
+  opts.seed = 7;
+
+  // Same (call, attempt) -> same delay; different attempts differ in
+  // their jitter stream.
+  EXPECT_EQ(Client::retryDelayMs(opts, 3, 1, 0),
+            Client::retryDelayMs(opts, 3, 1, 0));
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const i64 backoff =
+        std::min<i64>(opts.backoffCapMs, opts.backoffBaseMs << attempt);
+    const i64 d = Client::retryDelayMs(opts, 0, attempt, 0);
+    EXPECT_GE(d, backoff) << "attempt " << attempt;
+    EXPECT_LE(d, backoff + backoff / 2) << "attempt " << attempt;
+  }
+  // The server's retry-after hint is a floor on the delay.
+  EXPECT_GE(Client::retryDelayMs(opts, 0, 0, 500), 500);
+}
+
+TEST(Client, ValidateOptionsRejectsBrokenConfigs) {
+  ClientOptions opts;
+  opts.socketPath = "/tmp/x.sock";
+  EXPECT_TRUE(dr::service::validateClientOptions(opts).isOk());
+  ClientOptions bad = opts;
+  bad.socketPath = "";
+  EXPECT_EQ(dr::service::validateClientOptions(bad).code(),
+            StatusCode::InvalidInput);
+  bad = opts;
+  bad.maxAttempts = 0;
+  EXPECT_EQ(dr::service::validateClientOptions(bad).code(),
+            StatusCode::InvalidInput);
+  bad = opts;
+  bad.backoffCapMs = bad.backoffBaseMs - 1;
+  EXPECT_EQ(dr::service::validateClientOptions(bad).code(),
+            StatusCode::InvalidInput);
+}
+
+TEST(Client, BreakerTripsAfterConsecutiveTransportFailures) {
+  ClientOptions opts;
+  opts.socketPath = "/tmp/" + uniqueName("drsvc_nowhere") + ".sock";
+  opts.maxAttempts = 1;
+  opts.breakerThreshold = 2;
+  opts.breakerCooldownMs = 60'000;  // stays open for the whole test
+  Client client(opts);
+
+  proto::ExploreRequest req;
+  req.kernel = "k";
+  EXPECT_FALSE(client.explore(req).hasValue());
+  EXPECT_EQ(client.breakerState(), Client::BreakerState::Closed);
+  EXPECT_FALSE(client.explore(req).hasValue());
+  EXPECT_EQ(client.breakerState(), Client::BreakerState::Open);
+  EXPECT_EQ(client.stats().breakerTrips, 1);
+
+  // While open, a deadline-bearing call fast-fails without touching the
+  // socket: the budget can't cover the cooldown.
+  req.deadlineMs = 50;
+  const i64 failuresBefore = client.stats().transportFailures;
+  auto fast = client.explore(req);
+  ASSERT_FALSE(fast.hasValue());
+  EXPECT_EQ(fast.status().code(), StatusCode::BudgetExceeded);
+  EXPECT_GE(client.stats().breakerFastFails, 1);
+  EXPECT_EQ(client.stats().transportFailures, failuresBefore);
+}
+
+TEST(Client, BreakerHalfOpenProbeRecoversAgainstALiveServer) {
+  const std::string sock = socketPath();
+  ClientOptions opts;
+  opts.socketPath = sock;
+  opts.maxAttempts = 1;
+  opts.breakerThreshold = 2;
+  opts.breakerCooldownMs = 100;
+  Client client(opts);
+
+  proto::ExploreRequest req;
+  req.kernel = dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  req.signal = "Old";
+  EXPECT_FALSE(client.explore(req).hasValue());  // nothing listening yet
+  EXPECT_FALSE(client.explore(req).hasValue());
+  ASSERT_EQ(client.breakerState(), Client::BreakerState::Open);
+
+  ServerOptions sopts;
+  sopts.socketPath = sock;
+  sopts.workers = 2;
+  Server server(sopts);
+  ASSERT_TRUE(server.start().isOk());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // The cooldown has elapsed: the next call is the half-open probe, it
+  // succeeds, and the breaker closes.
+  auto reply = client.explore(req);
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  EXPECT_EQ(reply->code, StatusCode::Ok);
+  EXPECT_EQ(client.breakerState(), Client::BreakerState::Closed);
+  EXPECT_EQ(client.stats().breakerResets, 1);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Client, RetriesThroughShedsUntilAdmitted) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 1;
+  opts.admission.maxQueueDepth = 1;
+  opts.admission.retryAfterFloorMs = 10;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  int parked = overload::parkWorker(sock, server);
+  ASSERT_GE(parked, 0);
+  int queued = connectTo(sock);
+  ASSERT_GE(queued, 0);
+  for (int i = 0; i < 500 && server.metricsSnapshot().queueDepthHighWater < 1;
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // The client keeps getting shed while the queue is full; once the
+  // parked connection releases, a retry is admitted and served.
+  ClientOptions copts;
+  copts.socketPath = sock;
+  copts.maxAttempts = 50;
+  copts.backoffBaseMs = 5;
+  copts.backoffCapMs = 50;
+  Client client(copts);
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ::close(parked);
+    ::close(queued);
+  });
+  proto::ExploreRequest req;
+  req.kernel = dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  req.signal = "Old";
+  auto reply = client.explore(req);
+  releaser.join();
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  EXPECT_EQ(reply->code, StatusCode::Ok);
+  const auto cs = client.stats();
+  EXPECT_GE(cs.retries, 1);
+  EXPECT_GE(cs.retryAfterHonored, 1);
+  EXPECT_GE(cs.retryAfterSuccesses, 1);
+  EXPECT_GE(server.metricsSnapshot().shedQueueFull, 1);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Client, BurstSurvivesServerRestartOnTheSameCacheDir) {
+  const std::string dir = tempDir("restart_burst");
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.socketPath = sock;
+  opts.workers = 4;
+  opts.cache.warmDir = dir;
+  auto server = std::make_unique<Server>(opts);
+  ASSERT_TRUE(server->start().isOk());
+
+  const std::string kernel =
+      dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  // The cold CLI reference every served curve must match byte for byte.
+  auto compiled = dr::frontend::compileKernelChecked(kernel);
+  ASSERT_TRUE(compiled.hasValue());
+  auto direct = dr::explorer::exploreSignalChecked(
+      *compiled, compiled->findSignal("Old"));
+  ASSERT_TRUE(direct.hasValue());
+  const std::string reference =
+      dr::report::curveCsv(direct->signalName, direct->simulatedCurve);
+
+  ClientOptions copts;
+  copts.socketPath = sock;
+  copts.maxAttempts = 20;
+  copts.backoffBaseMs = 10;
+  copts.backoffCapMs = 100;
+  copts.breakerThreshold = 0;  // retries alone must ride out the restart
+  Client client(copts);
+
+  constexpr int kClients = 32;
+  std::vector<std::string> csvs(kClients);
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    threads.emplace_back([&, c] {
+      // Stagger the burst so some queries land before, some during, and
+      // some after the restart window.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5 * c));
+      proto::ExploreRequest req;
+      req.kernel = kernel;
+      req.signal = "Old";
+      auto reply = client.explore(req);
+      auto& err = errors[static_cast<std::size_t>(c)];
+      if (!reply.hasValue()) {
+        err = reply.status().str();
+        return;
+      }
+      if (reply->code != StatusCode::Ok) {
+        err = reply->message;
+        return;
+      }
+      auto result = proto::decodeExploreResult(reply->body);
+      if (!result.hasValue()) {
+        err = result.status().str();
+        return;
+      }
+      csvs[static_cast<std::size_t>(c)] = result->csv;
+    });
+
+  // Kill the daemon mid-burst and restart it on the same cache dir. The
+  // held-open window guarantees part of the burst lands while nothing is
+  // listening — those clients must reconnect-and-retry, not fail.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  server->requestShutdown();
+  server->wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  server = std::make_unique<Server>(opts);
+  ASSERT_TRUE(server->start().isOk());
+
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(errors[static_cast<std::size_t>(c)], "") << "client " << c;
+    EXPECT_EQ(csvs[static_cast<std::size_t>(c)], reference)
+        << "client " << c << " served a corrupt curve";
+  }
+  EXPECT_GE(client.stats().retries, 1);  // somebody hit the restart window
+
+  server->requestShutdown();
+  server->wait();
 }
 
 TEST(Server, InjectedIoFaultDropsOnlyThatConnection) {

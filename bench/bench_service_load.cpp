@@ -16,13 +16,22 @@
 //   $ ./bench/bench_service_load [--duration-ms N] [--qps N]
 //       [--threads N] [--workers N] [--queue-depth N]
 //       [--deadline-ms N] [--kill-every-ms N] [--fault-p P]
+//       [--shards N] [--hedge-delay-ms N]
 //       [--seed N] [--out BENCH_service_load.json]
 //
+// --shards N > 0 switches to the fault-domain topology: N daemons on
+// ephemeral TCP ports (each with its own cache dir), a shard router
+// (service/router.h) in front, and the kill thread bouncing *random
+// shards* instead of the single daemon — so the run exercises failover,
+// health flaps, and hedged requests while the byte-identity invariant
+// still holds on every exact reply. --shards 0 (default) is the original
+// single-daemon harness, unchanged.
+//
 // Emits a JSON record (p50/p99 latency, shed rate, degraded-reply rate,
-// retry counts, corrupt-curve count) for the CI chaos-smoke job.
+// retry counts, corrupt-curve count, router failover/hedge counters) for
+// the CI chaos-smoke and router-chaos-smoke jobs.
 
 #include <sys/stat.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -42,7 +51,9 @@
 #include "report/report.h"
 #include "service/client.h"
 #include "service/protocol.h"
+#include "service/router.h"
 #include "service/server.h"
+#include "service/transport.h"
 #include "simcore/reuse_curve.h"
 #include "support/cli.h"
 #include "support/dataset.h"
@@ -70,6 +81,8 @@ struct LoadConfig {
   int queueDepth = 8;   ///< admission queue bound (small: provoke sheds)
   i64 deadlineMs = 500; ///< per-query client deadline (propagated)
   i64 killEveryMs = 0;  ///< restart the daemon this often; 0 = never
+  int shards = 0;       ///< > 0: TCP shard fleet behind the router
+  i64 hedgeDelayMs = 20;  ///< router hedge delay; 0 = p99-derived
   double faultP = 0.0;  ///< ServiceIo fault probability (DR_FAULT_INJECT)
   std::uint64_t seed = 42;
   std::string outPath;
@@ -115,7 +128,19 @@ class ChaosServer {
     std::lock_guard<std::mutex> lock(mutex_);
     server_ = std::make_unique<Server>(opts_);
     ++starts_;
-    return server_->start();
+    Status st = server_->start();
+    // Pin the resolved endpoint: a TCP shard asked to listen on port 0
+    // must come back on the same concrete port after every restart, or
+    // the router and clients would be chasing a moving target.
+    if (st.isOk())
+      opts_.endpoint =
+          dr::service::transport::toString(server_->boundEndpoint());
+    return st;
+  }
+
+  std::string endpoint() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return opts_.endpoint;
   }
 
   Status restart() {
@@ -196,13 +221,25 @@ int runHarness(const LoadConfig& cfg) {
   const std::string referenceCsv =
       dr::report::curveCsv(reference->signalName, reference->simulatedCurve);
 
-  ServerOptions sopts;
-  sopts.socketPath = uniquePath("dr_load", ".sock");
-  sopts.workers = cfg.workers;
-  sopts.admission.maxQueueDepth = cfg.queueDepth;
-  const std::string cacheDir = uniquePath("dr_load_cache", "");
-  ::mkdir(cacheDir.c_str(), 0777);
-  sopts.cache.warmDir = cacheDir;
+  // --shards 0: the original single daemon on a Unix socket.
+  // --shards N: N TCP shards (ephemeral ports, pinned after the first
+  // bind) with per-shard cache dirs, behind one router front door.
+  const bool routed = cfg.shards > 0;
+  const int nShards = routed ? cfg.shards : 1;
+  std::vector<std::unique_ptr<ChaosServer>> fleet;
+  fleet.reserve(static_cast<std::size_t>(nShards));
+  for (int s = 0; s < nShards; ++s) {
+    ServerOptions sopts;
+    sopts.endpoint =
+        routed ? "127.0.0.1:0" : uniquePath("dr_load", ".sock");
+    sopts.workers = cfg.workers;
+    sopts.admission.maxQueueDepth = cfg.queueDepth;
+    const std::string suffix = routed ? "_" + std::to_string(s) : "";
+    const std::string cacheDir = uniquePath("dr_load_cache", suffix.c_str());
+    ::mkdir(cacheDir.c_str(), 0777);
+    sopts.cache.warmDir = cacheDir;
+    fleet.push_back(std::make_unique<ChaosServer>(sopts));
+  }
 
   if (cfg.faultP > 0.0) {
     if (!dr::support::fault::kCompiledIn)
@@ -213,14 +250,36 @@ int runHarness(const LoadConfig& cfg) {
                                   cfg.seed, cfg.faultP);
   }
 
-  ChaosServer chaos(sopts);
-  if (Status st = chaos.start(); !st.isOk()) {
-    std::fprintf(stderr, "%s\n", st.str().c_str());
-    return 1;
+  for (auto& shard : fleet)
+    if (Status st = shard->start(); !st.isOk()) {
+      std::fprintf(stderr, "%s\n", st.str().c_str());
+      return 1;
+    }
+
+  std::unique_ptr<dr::service::Router> router;
+  std::string target;
+  if (routed) {
+    dr::service::RouterOptions ropts;
+    ropts.listen = "127.0.0.1:0";
+    for (auto& shard : fleet) ropts.shards.push_back(shard->endpoint());
+    // The router must never be the bottleneck under the offered load —
+    // one worker per client thread, and a queue sized for the fleet.
+    ropts.workers = std::max(4, cfg.threads);
+    ropts.admission.maxQueueDepth = cfg.queueDepth * nShards;
+    ropts.healthIntervalMs = 100;  // discover kills within ~a probe tick
+    ropts.hedgeDelayMs = cfg.hedgeDelayMs;
+    router = std::make_unique<dr::service::Router>(std::move(ropts));
+    if (Status st = router->start(); !st.isOk()) {
+      std::fprintf(stderr, "%s\n", st.str().c_str());
+      return 1;
+    }
+    target = dr::service::transport::toString(router->boundEndpoint());
+  } else {
+    target = fleet.front()->endpoint();
   }
 
   ClientOptions copts;
-  copts.socketPath = sopts.socketPath;
+  copts.endpoint = target;
   copts.maxAttempts = 6;
   copts.backoffBaseMs = 10;
   copts.backoffCapMs = 250;
@@ -233,17 +292,25 @@ int runHarness(const LoadConfig& cfg) {
   std::atomic<bool> running{true};
   const auto t0 = Clock::now();
 
-  // Kill thread: bounce the daemon on a fixed cadence. The socket file
-  // vanishes during the gap, so clients see connect failures and ride
-  // their retry/backoff/breaker stack until the restart lands.
+  // Kill thread: bounce a daemon on a fixed cadence — the single daemon
+  // in legacy mode, a seeded-random shard in router mode. The listener
+  // vanishes during the gap, so the failure path (client retries, or
+  // router failover + health flaps) rides until the restart lands.
   std::thread killer;
   if (cfg.killEveryMs > 0)
     killer = std::thread([&] {
+      dr::support::Rng killRng(
+          dr::support::mixSeed(cfg.seed, 0xdeadULL));
       while (running.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(
             std::chrono::milliseconds(cfg.killEveryMs));
         if (!running.load(std::memory_order_acquire)) break;
-        if (Status st = chaos.restart(); !st.isOk()) {
+        const int victim =
+            nShards == 1
+                ? 0
+                : static_cast<int>(killRng.uniform(0, nShards - 1));
+        if (Status st = fleet[static_cast<std::size_t>(victim)]->restart();
+            !st.isOk()) {
           std::fprintf(stderr, "restart: %s\n", st.str().c_str());
           return;
         }
@@ -354,9 +421,28 @@ int runHarness(const LoadConfig& cfg) {
   for (auto& th : threads) th.join();
   if (killer.joinable()) killer.join();
   dr::support::fault::disarmAll();
-  const dr::service::MetricsSnapshot serverMetrics = chaos.metrics();
-  chaos.stop();
-  ::unlink(sopts.socketPath.c_str());
+  dr::service::MetricsSnapshot serverMetrics = fleet.front()->metrics();
+  for (std::size_t s = 1; s < fleet.size(); ++s) {
+    const dr::service::MetricsSnapshot m = fleet[s]->metrics();
+    serverMetrics.queueDepthHighWater =
+        std::max(serverMetrics.queueDepthHighWater, m.queueDepthHighWater);
+    serverMetrics.shedQueueFull += m.shedQueueFull;
+    serverMetrics.shedQueueWait += m.shedQueueWait;
+    serverMetrics.overloadReplies += m.overloadReplies;
+    serverMetrics.expiredRequests += m.expiredRequests;
+    serverMetrics.deadlinesTightened += m.deadlinesTightened;
+  }
+  dr::service::RouterStats routerStats;
+  if (router) {
+    routerStats = router->stats();
+    router->requestShutdown();
+    router->wait();
+  }
+  int restarts = 0;
+  for (auto& shard : fleet) {
+    restarts += shard->starts() - 1;
+    shard->stop();
+  }
 
   const double elapsedSec =
       std::chrono::duration<double>(Clock::now() - t0).count();
@@ -393,11 +479,22 @@ int runHarness(const LoadConfig& cfg) {
       static_cast<long long>(maxUs), static_cast<long long>(cs.retries),
       static_cast<long long>(cs.retryAfterHonored),
       static_cast<long long>(cs.breakerTrips),
-      static_cast<long long>(chaos.starts() - 1),
+      static_cast<long long>(restarts),
       static_cast<long long>(serverMetrics.queueDepthHighWater),
       static_cast<long long>(serverMetrics.shedQueueFull),
       static_cast<long long>(serverMetrics.shedQueueWait),
       static_cast<long long>(serverMetrics.deadlinesTightened));
+  if (router)
+    std::printf(
+        "router: %d shard(s), %lld failover(s), %lld hedge(s) launched "
+        "(%lld won), %lld health flap(s), %lld down-skip(s), "
+        "%lld exhausted\n",
+        nShards, static_cast<long long>(routerStats.failovers),
+        static_cast<long long>(routerStats.hedgesLaunched),
+        static_cast<long long>(routerStats.hedgesWon),
+        static_cast<long long>(routerStats.healthFlaps),
+        static_cast<long long>(routerStats.shardDownSkips),
+        static_cast<long long>(routerStats.exhausted));
 
   if (!cfg.outPath.empty()) {
     std::ostringstream json;
@@ -427,15 +524,27 @@ int runHarness(const LoadConfig& cfg) {
          << ", \"breaker_trips\": " << cs.breakerTrips
          << ", \"breaker_resets\": " << cs.breakerResets
          << ", \"breaker_fast_fails\": " << cs.breakerFastFails << "},\n"
-         << "  \"server\": {\"restarts\": " << (chaos.starts() - 1)
+         << "  \"server\": {\"restarts\": " << restarts
          << ", \"queue_depth_hwm\": " << serverMetrics.queueDepthHighWater
          << ", \"shed_queue_full\": " << serverMetrics.shedQueueFull
          << ", \"shed_queue_wait\": " << serverMetrics.shedQueueWait
          << ", \"overload_replies\": " << serverMetrics.overloadReplies
          << ", \"expired_requests\": " << serverMetrics.expiredRequests
          << ", \"deadlines_tightened\": "
-         << serverMetrics.deadlinesTightened << "}\n"
-         << "}\n";
+         << serverMetrics.deadlinesTightened << "}";
+    if (router)
+      json << ",\n  \"router\": {\"shards\": " << nShards
+           << ", \"failovers\": " << routerStats.failovers
+           << ", \"hedges_launched\": " << routerStats.hedgesLaunched
+           << ", \"hedges_won\": " << routerStats.hedgesWon
+           << ", \"health_probes\": " << routerStats.healthProbes
+           << ", \"health_probe_failures\": "
+           << routerStats.healthProbeFailures
+           << ", \"health_flaps\": " << routerStats.healthFlaps
+           << ", \"shard_down_skips\": " << routerStats.shardDownSkips
+           << ", \"exhausted\": " << routerStats.exhausted
+           << ", \"expired\": " << routerStats.expiredRequests << "}";
+    json << "\n}\n";
     if (Status st =
             dr::support::DataSet::writeFileStatus(cfg.outPath, json.str());
         !st.isOk()) {
@@ -479,6 +588,8 @@ int main(int argc, char** argv) {
     cfg.queueDepth = static_cast<int>(cli.getInt("queue-depth", 8));
     cfg.deadlineMs = cli.getInt("deadline-ms", 500);
     cfg.killEveryMs = cli.getInt("kill-every-ms", 0);
+    cfg.shards = static_cast<int>(cli.getInt("shards", 0));
+    cfg.hedgeDelayMs = cli.getInt("hedge-delay-ms", 20);
     cfg.faultP = cli.getDouble("fault-p", 0.0);
     cfg.seed = static_cast<std::uint64_t>(cli.getInt("seed", 42));
     cfg.outPath = cli.getString("out", "");
@@ -486,6 +597,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
     if (cfg.threads < 1 || cfg.workers < 1 || cfg.qps < 1) {
       std::fprintf(stderr, "error: --threads/--workers/--qps must be >= 1\n");
+      return 1;
+    }
+    if (cfg.shards < 0) {
+      std::fprintf(stderr, "error: --shards must be >= 0\n");
       return 1;
     }
     return runHarness(cfg);

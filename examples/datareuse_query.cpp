@@ -14,6 +14,13 @@
 //   $ ./examples/datareuse_query --socket ... --stats
 //   $ ./examples/datareuse_query --socket ... --shutdown
 //   $ ./examples/datareuse_query --kernel k.krn --dump-request PATH
+//   $ ./examples/datareuse_query --scrub /path/to/cache-dir
+//
+// --socket accepts any endpoint spec: a Unix socket path, or host:port
+// to reach a TCP daemon or the shard router (datareuse_route).
+// --scrub DIR needs no daemon: it CRC-verifies every *.journal in a warm
+// cache directory, quarantines unreadable ones (renamed to *.corrupt so
+// the daemon recomputes instead of trusting them), and prints a summary.
 //
 // --count N fires N *concurrent identical* queries on N connections —
 // the single-flight smoke test: the daemon answers all N with exactly
@@ -35,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/cache.h"
 #include "service/client.h"
 #include "service/protocol.h"
 #include "support/cli.h"
@@ -67,7 +75,8 @@ int runQuery(int argc, char** argv) {
     return 1;
   }
   const dr::support::CliOptions& cli = *parsed;
-  const std::string socketPath = cli.getString("socket", "");
+  const std::string endpoint = cli.getString("socket", "");
+  const std::string scrubDir = cli.getString("scrub", "");
   const std::string kernelPath = cli.getString("kernel", "");
   const std::string signalName = cli.getString("signal", "");
   const i64 deadlineMs = cli.getInt("deadline-ms", 0);
@@ -83,7 +92,7 @@ int runQuery(int argc, char** argv) {
   const bool shutdown = cli.getBool("shutdown", false);
 
   ClientOptions copts;
-  copts.socketPath = socketPath;
+  copts.endpoint = endpoint;
   copts.maxAttempts = static_cast<int>(cli.getInt("attempts", 5));
   copts.backoffBaseMs = cli.getInt("retry-base-ms", 20);
   copts.sendTimeoutMs = cli.getInt("send-timeout-ms", 2000);
@@ -95,9 +104,27 @@ int runQuery(int argc, char** argv) {
   for (const auto& name : cli.unusedNames())
     std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
 
+  if (!scrubDir.empty()) {
+    // Offline cache hygiene: no daemon involved, just the journals.
+    auto report = dr::service::scrubWarmDir(scrubDir);
+    if (!report.hasValue()) {
+      std::fprintf(stderr, "%s\n", report.status().str().c_str());
+      return 1;
+    }
+    std::printf("scrub %s: %lld journal(s), %lld clean, %lld torn tail(s), "
+                "%lld quarantined\n",
+                scrubDir.c_str(), static_cast<long long>(report->scanned),
+                static_cast<long long>(report->clean),
+                static_cast<long long>(report->tornTails),
+                static_cast<long long>(report->quarantined));
+    for (const std::string& f : report->quarantinedFiles)
+      std::printf("  quarantined %s -> %s.corrupt\n", f.c_str(), f.c_str());
+    return report->quarantined == 0 ? 0 : 2;
+  }
+
   if (stats || shutdown) {
-    if (socketPath.empty()) {
-      std::fprintf(stderr, "error: --socket PATH is required\n");
+    if (endpoint.empty()) {
+      std::fprintf(stderr, "error: --socket ENDPOINT is required\n");
       return 1;
     }
     Client client(copts);
@@ -145,8 +172,8 @@ int runQuery(int argc, char** argv) {
     std::printf("wrote request frame to %s\n", dumpRequest.c_str());
     return 0;
   }
-  if (socketPath.empty()) {
-    std::fprintf(stderr, "error: --socket PATH is required\n");
+  if (endpoint.empty()) {
+    std::fprintf(stderr, "error: --socket ENDPOINT is required\n");
     return 1;
   }
   if (count < 1) {

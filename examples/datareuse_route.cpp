@@ -1,0 +1,98 @@
+// Shard router front door — one endpoint over N independent exploration
+// daemons (datareuse_serve), turning a single fault domain into N
+// (docs/SERVICE.md, "Topology").
+//
+//   $ ./examples/datareuse_route --listen 127.0.0.1:7000 \
+//       --shards 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//       [--workers N] [--virtual-nodes N] [--queue-depth N]
+//       [--health-interval-ms N] [--hedge-delay-ms N] [--no-hedge]
+//
+// Placement is a consistent-hash ring keyed by the exploration config
+// hash, so every query for one configuration lands on the shard whose
+// caches are hot for it. Shards are health-checked (active probes plus
+// passive failure accounting); a down or shedding shard fails over to
+// the next ring replica, and a slow one is hedged to it after a
+// p99-derived delay (--hedge-delay-ms pins the delay; --no-hedge
+// disables hedging). Clients speak to the router exactly as they would
+// to a single daemon — same protocol, same verbs, same budget contract.
+// Shutdown drains the router only; the shards keep running.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "service/router.h"
+#include "support/cli.h"
+
+namespace {
+
+std::vector<std::string> splitCommaList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+int runRoute(int argc, char** argv) {
+  auto parsed = dr::support::CliOptions::parse(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.status().str().c_str());
+    return 1;
+  }
+  const dr::support::CliOptions& cli = *parsed;
+  dr::service::RouterOptions opts;
+  opts.listen = cli.getString("listen", "");
+  opts.shards = splitCommaList(cli.getString("shards", ""));
+  opts.workers = static_cast<int>(cli.getInt("workers", opts.workers));
+  opts.virtualNodes =
+      static_cast<int>(cli.getInt("virtual-nodes", opts.virtualNodes));
+  opts.healthIntervalMs =
+      cli.getInt("health-interval-ms", opts.healthIntervalMs);
+  opts.healthTimeoutMs = cli.getInt("health-timeout-ms", opts.healthTimeoutMs);
+  opts.hedge = !cli.getBool("no-hedge", false);
+  opts.hedgeDelayMs = cli.getInt("hedge-delay-ms", 0);
+  opts.admission.maxQueueDepth = static_cast<int>(
+      cli.getInt("queue-depth", opts.admission.maxQueueDepth));
+  for (const auto& name : cli.unusedNames())
+    std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
+  if (opts.listen.empty()) {
+    std::fprintf(stderr, "error: --listen ENDPOINT is required\n");
+    return 1;
+  }
+  if (opts.shards.empty()) {
+    std::fprintf(stderr, "error: --shards EP1,EP2,... is required\n");
+    return 1;
+  }
+
+  dr::service::Router router(std::move(opts));
+  auto st = router.start();
+  if (!st.isOk()) {
+    std::fprintf(stderr, "%s\n", st.str().c_str());
+    return 1;
+  }
+  std::printf("datareuse_route: listening on %s, %d shard(s), %d workers%s\n",
+              dr::service::transport::toString(router.boundEndpoint()).c_str(),
+              router.ring().shardCount(), router.options().workers,
+              router.options().hedge ? ", hedging on" : "");
+  std::fflush(stdout);
+  router.wait();  // returns after a client-requested shutdown drains
+
+  const dr::service::RouterStats s = router.stats();
+  std::printf("datareuse_route: drained after %lld request(s), "
+              "%lld failover(s), %lld hedge(s) won\n",
+              static_cast<long long>(s.requests),
+              static_cast<long long>(s.failovers),
+              static_cast<long long>(s.hedgesWon));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dr::support::guardedMain([&] { return runRoute(argc, argv); });
+}

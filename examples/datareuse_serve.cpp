@@ -1,12 +1,18 @@
 // Exploration daemon — serves the library's full exploration flow over a
-// Unix domain socket with a content-addressed result cache, single-flight
-// deduplication of concurrent identical queries, and live metrics
-// (docs/SERVICE.md has the protocol spec).
+// Unix domain or TCP socket with a content-addressed result cache,
+// single-flight deduplication of concurrent identical queries, and live
+// metrics (docs/SERVICE.md has the protocol spec).
 //
 //   $ ./examples/datareuse_serve --socket /tmp/datareuse.sock
+//   $ ./examples/datareuse_serve --listen 127.0.0.1:7070
 //                                [--cache-dir DIR] [--cache-bytes N]
 //                                [--workers N] [--deadline-ms N]
 //                                [--queue-depth N] [--accept-deadline-ms N]
+//
+// --listen takes any endpoint spec (a Unix socket path, or host:port for
+// TCP; port 0 binds an ephemeral port and the printed listening line
+// carries the resolved one — how the chaos harness pins shard ports).
+// --socket is the historical alias for the same flag.
 //
 // --cache-dir enables the persistent warm layer: one run-journal file per
 // config hash, shared with `explore_kernel --cache-dir`, so a curve
@@ -36,7 +42,7 @@ int runServe(int argc, char** argv) {
   }
   const dr::support::CliOptions& cli = *parsed;
   dr::service::ServerOptions opts;
-  opts.socketPath = cli.getString("socket", "");
+  opts.endpoint = cli.getString("listen", cli.getString("socket", ""));
   opts.workers = static_cast<int>(cli.getInt("workers", 4));
   opts.defaultDeadlineMs = cli.getInt("deadline-ms", 0);
   opts.cache.warmDir = cli.getString("cache-dir", "");
@@ -48,8 +54,9 @@ int runServe(int argc, char** argv) {
       cli.getInt("accept-deadline-ms", opts.admission.acceptDeadlineMs);
   for (const auto& name : cli.unusedNames())
     std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
-  if (opts.socketPath.empty()) {
-    std::fprintf(stderr, "error: --socket PATH is required\n");
+  if (opts.endpoint.empty()) {
+    std::fprintf(stderr, "error: --listen ENDPOINT (or --socket PATH) "
+                         "is required\n");
     return 1;
   }
   if (opts.workers <= 0) {
@@ -63,8 +70,11 @@ int runServe(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", st.str().c_str());
     return 1;
   }
+  // Print the *bound* endpoint, not the requested one: a TCP listen on
+  // port 0 resolves to a concrete ephemeral port here.
   std::printf("datareuse_serve: listening on %s (%d workers%s%s)\n",
-              opts.socketPath.c_str(), opts.workers,
+              dr::service::transport::toString(server.boundEndpoint()).c_str(),
+              opts.workers,
               opts.cache.warmDir.empty() ? "" : ", warm cache ",
               opts.cache.warmDir.c_str());
   std::fflush(stdout);

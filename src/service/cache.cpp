@@ -1,14 +1,19 @@
 #include "service/cache.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <string_view>
 #include <utility>
 
 #include "report/report.h"
 #include "simcore/reuse_curve.h"
 #include "support/contracts.h"
+#include "support/journal.h"
 
 namespace dr::service {
 
@@ -115,6 +120,7 @@ support::Expected<CachedCurve> ResultCache::getOrCompute(
   // exists (a complete journal reconstructs with zero simulation and the
   // file doubles as the persistence write), plain otherwise.
   explorer::ResumeSummary summary;
+  bool journaled = !opts_.warmDir.empty();
   support::Expected<explorer::SignalExploration> ex = [&] {
     if (opts_.warmDir.empty())
       return explorer::exploreSignalChecked(program, signal, opts);
@@ -123,6 +129,24 @@ support::Expected<CachedCurve> ResultCache::getOrCompute(
     return explorer::exploreSignalChecked(program, signal, opts, ctx,
                                           &summary);
   }();
+  if (journaled && !ex.hasValue() &&
+      ex.status().code() == support::StatusCode::IoError) {
+    // Warm-layer I/O failure (full disk, unwritable dir): the journal is
+    // persistence, not correctness. Quarantine whatever half-written file
+    // is there — a later resume must not trip over it — and degrade to an
+    // unjournaled recompute; the query still gets its exact answer and
+    // the failure is a counter (cache_journal_failures), not an error.
+    const std::string path = warmPath(hash);
+    (void)std::rename(path.c_str(), (path + ".corrupt").c_str());
+    (void)std::remove((path + ".tmp").c_str());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++journalFailures_;
+    }
+    journaled = false;
+    summary = {};
+    ex = explorer::exploreSignalChecked(program, signal, opts);
+  }
   if (!ex.hasValue()) return ex.status();
   if (info) {
     info->ran = true;
@@ -133,13 +157,12 @@ support::Expected<CachedCurve> ResultCache::getOrCompute(
     info->simulatedEvents = ex->simulationStats.simulatedEvents;
   }
 
-  const bool warm = !opts_.warmDir.empty() && summary.journalLoaded &&
+  const bool warm = journaled && summary.journalLoaded &&
                     !summary.restarted && summary.pointsRecomputed == 0 &&
                     summary.pointsFailed == 0;
   const i64 recomputed =
-      opts_.warmDir.empty()
-          ? static_cast<i64>(ex->simulatedCurve.points.size())
-          : summary.pointsRecomputed;
+      journaled ? summary.pointsRecomputed
+                : static_cast<i64>(ex->simulatedCurve.points.size());
   if (simulatedPoints) *simulatedPoints = recomputed;
 
   CachedCurve entry;
@@ -169,7 +192,57 @@ CacheStats ResultCache::stats() const {
   s.warmHits = warmHits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.journalFailures = journalFailures_;
   return s;
+}
+
+support::Expected<ScrubReport> scrubWarmDir(const std::string& dir) {
+  using support::Status;
+  using support::StatusCode;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr)
+    return Status::error(StatusCode::IoError,
+                         "opendir " + dir + ": " + std::strerror(errno));
+  ScrubReport report;
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    constexpr std::string_view kSuffix = ".journal";
+    if (name.size() > kSuffix.size() &&
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) == 0)
+      names.push_back(name);
+  }
+  ::closedir(handle);
+  std::sort(names.begin(), names.end());  // deterministic report order
+
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name;
+    ++report.scanned;
+    auto contents = support::loadJournal(path);
+    if (contents.hasValue()) {
+      if (contents->droppedTailBytes == 0) {
+        ++report.clean;
+      } else {
+        // A valid committed prefix with a torn tail is crash debris the
+        // resume machinery truncates safely on its own — count it, keep
+        // the file.
+        ++report.tornTails;
+      }
+      continue;
+    }
+    // No recoverable prefix at all: bad magic, flipped header bytes, an
+    // unreadable file. Move it out of the resolution path so the next
+    // query recomputes instead of re-parsing garbage every time.
+    const std::string quarantine = path + ".corrupt";
+    if (std::rename(path.c_str(), quarantine.c_str()) != 0)
+      return Status::error(StatusCode::IoError, "rename " + path + " to " +
+                                                    quarantine + ": " +
+                                                    std::strerror(errno));
+    ++report.quarantined;
+    report.quarantinedFiles.push_back(path);  // pre-rename name
+  }
+  return report;
 }
 
 }  // namespace dr::service

@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "explorer/explorer.h"
 #include "support/intmath.h"
@@ -78,7 +79,28 @@ struct CacheStats {
   i64 warmHits = 0;  ///< journal rehydrations (zero points recomputed)
   i64 misses = 0;    ///< required computing at least one curve point
   i64 evictions = 0;
+  /// Warm-journal I/O failures (ENOSPC and friends) the cache survived
+  /// by quarantining the file and recomputing without a journal.
+  i64 journalFailures = 0;
 };
+
+/// Outcome of one scrubWarmDir pass over a warm cache directory.
+struct ScrubReport {
+  i64 scanned = 0;        ///< *.journal files examined
+  i64 clean = 0;          ///< fully committed, CRC-verified end to end
+  i64 tornTails = 0;      ///< valid committed prefix + discardable tail
+  i64 quarantined = 0;    ///< renamed to *.corrupt (no committed prefix)
+  std::vector<std::string> quarantinedFiles;  ///< pre-rename journal paths
+};
+
+/// Integrity sweep over a warm cache directory: CRC-verify every
+/// `*.journal` frame through the journal parser. A file with no valid
+/// committed prefix (bad header, flipped bytes in the first commit, an
+/// unreadable file) is quarantined — renamed to `<name>.corrupt` so the
+/// next query recomputes instead of tripping over it — while a torn tail
+/// after a valid commit is only counted: the resume machinery truncates
+/// those safely on its own. The datareuse_query --scrub flag drives this.
+support::Expected<ScrubReport> scrubWarmDir(const std::string& dir);
 
 class ResultCache {
  public:
@@ -131,6 +153,7 @@ class ResultCache {
   i64 warmHits_ = 0;
   i64 misses_ = 0;
   i64 evictions_ = 0;
+  i64 journalFailures_ = 0;
 };
 
 }  // namespace dr::service

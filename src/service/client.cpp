@@ -1,8 +1,6 @@
 #include "service/client.h"
 
 #include <sys/socket.h>
-#include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -29,14 +27,6 @@ i64 msSince(Clock::time_point t0) {
       .count();
 }
 
-void setSocketTimeout(int fd, int which, i64 ms) {
-  if (ms <= 0) return;
-  timeval tv{};
-  tv.tv_sec = ms / 1000;
-  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
-}
-
 Status ioError(const char* op) {
   return Status::error(StatusCode::IoError,
                        std::string(op) + ": " + std::strerror(errno));
@@ -48,9 +38,9 @@ Status validateClientOptions(const ClientOptions& opts) {
   const auto invalid = [](const std::string& what) {
     return Status::error(StatusCode::InvalidInput, "client: " + what);
   };
-  if (opts.socketPath.empty()) return invalid("socket path is empty");
-  if (opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
-    return invalid("socket path too long: " + opts.socketPath);
+  if (opts.endpoint.empty()) return invalid("endpoint is empty");
+  if (auto ep = transport::parseEndpoint(opts.endpoint); !ep.hasValue())
+    return ep.status();
   if (opts.maxAttempts < 1) return invalid("maxAttempts must be >= 1");
   if (opts.backoffBaseMs < 0 || opts.backoffCapMs < opts.backoffBaseMs)
     return invalid("backoff band is inverted");
@@ -68,7 +58,79 @@ void ClientStats::foldInto(MetricsSnapshot& s) const {
   s.breakerFastFails += breakerFastFails;
 }
 
-Client::Client(ClientOptions opts) : opts_(std::move(opts)) {}
+// ---- CircuitBreaker -----------------------------------------------------
+
+i64 CircuitBreaker::admit() {
+  if (threshold_ <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::Closed:
+      return 0;
+    case State::Open: {
+      const i64 leftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             openUntil_ - Clock::now())
+                             .count();
+      if (leftMs > 0) return leftMs;
+      state_ = State::HalfOpen;
+      probeInFlight_ = true;
+      return 0;  // this attempt is the probe
+    }
+    case State::HalfOpen:
+      if (probeInFlight_) return std::max<i64>(1, cooldownMs_ / 4);
+      probeInFlight_ = true;
+      return 0;
+  }
+  return 0;
+}
+
+bool CircuitBreaker::onFailure() {
+  if (threshold_ <= 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  probeInFlight_ = false;
+  ++consecutiveFailures_;
+  const bool shouldTrip =
+      state_ == State::HalfOpen ||  // failed probe: straight back open
+      (state_ == State::Closed && consecutiveFailures_ >= threshold_);
+  if (shouldTrip) {
+    state_ = State::Open;
+    openUntil_ = Clock::now() + std::chrono::milliseconds(cooldownMs_);
+  }
+  return shouldTrip;
+}
+
+bool CircuitBreaker::onSuccess() {
+  if (threshold_ <= 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutiveFailures_ = 0;
+  probeInFlight_ = false;
+  if (state_ == State::Closed) return false;
+  state_ = State::Closed;
+  return true;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::shared_ptr<CircuitBreaker> BreakerRegistry::acquire(
+    const std::string& endpoint, int threshold, i64 cooldownMs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = breakers_.find(endpoint);
+  if (it != breakers_.end()) return it->second;
+  auto breaker = std::make_shared<CircuitBreaker>(threshold, cooldownMs);
+  breakers_.emplace(endpoint, breaker);
+  return breaker;
+}
+
+// ---- Client -------------------------------------------------------------
+
+Client::Client(ClientOptions opts, std::shared_ptr<CircuitBreaker> breaker)
+    : opts_(std::move(opts)), breaker_(std::move(breaker)) {
+  if (!breaker_)
+    breaker_ = std::make_shared<CircuitBreaker>(opts_.breakerThreshold,
+                                                opts_.breakerCooldownMs);
+}
 
 i64 Client::retryDelayMs(const ClientOptions& opts, std::uint64_t callIdx,
                          int attempt, i64 retryAfterMs) {
@@ -90,22 +152,13 @@ i64 Client::retryDelayMs(const ClientOptions& opts, std::uint64_t callIdx,
 
 Expected<proto::Reply> Client::attemptOnce(proto::Verb verb,
                                            const std::string& payload) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
-              opts_.socketPath.size() + 1);
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return ioError("socket");
-  setSocketTimeout(fd, SO_SNDTIMEO, opts_.sendTimeoutMs);
-  setSocketTimeout(fd, SO_RCVTIMEO, opts_.recvTimeoutMs);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    Status st = Status::error(StatusCode::IoError,
-                              "connect " + opts_.socketPath + ": " +
-                                  std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
+  auto endpoint = transport::parseEndpoint(opts_.endpoint);
+  if (!endpoint.hasValue()) return endpoint.status();
+  auto connected = transport::connectTo(*endpoint, opts_.connectTimeoutMs);
+  if (!connected.hasValue()) return connected.status();
+  const int fd = *connected;
+  transport::setSendTimeoutMs(fd, opts_.sendTimeoutMs);
+  transport::setRecvTimeoutMs(fd, opts_.recvTimeoutMs);
 
   const std::string frame = proto::encodeFrame(verb, payload);
   std::size_t sent = 0;
@@ -167,56 +220,15 @@ Expected<proto::Reply> Client::attemptOnce(proto::Verb verb,
   }
 }
 
-i64 Client::breakerAdmit() {
-  if (opts_.breakerThreshold <= 0) return 0;
-  std::lock_guard<std::mutex> lock(mutex_);
-  switch (state_) {
-    case BreakerState::Closed:
-      return 0;
-    case BreakerState::Open: {
-      const i64 leftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
-                             openUntil_ - Clock::now())
-                             .count();
-      if (leftMs > 0) return leftMs;
-      state_ = BreakerState::HalfOpen;
-      probeInFlight_ = true;
-      return 0;  // this attempt is the probe
-    }
-    case BreakerState::HalfOpen:
-      if (probeInFlight_) return std::max<i64>(1, opts_.breakerCooldownMs / 4);
-      probeInFlight_ = true;
-      return 0;
-  }
-  return 0;
-}
-
 void Client::onTransportFailure() {
   transportFailures_.fetch_add(1, std::memory_order_relaxed);
-  if (opts_.breakerThreshold <= 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  probeInFlight_ = false;
-  ++consecutiveFailures_;
-  const bool shouldTrip =
-      state_ == BreakerState::HalfOpen ||  // failed probe: straight back open
-      (state_ == BreakerState::Closed &&
-       consecutiveFailures_ >= opts_.breakerThreshold);
-  if (shouldTrip) {
-    state_ = BreakerState::Open;
-    openUntil_ =
-        Clock::now() + std::chrono::milliseconds(opts_.breakerCooldownMs);
+  if (breaker_->onFailure())
     breakerTrips_.fetch_add(1, std::memory_order_relaxed);
-  }
 }
 
 void Client::onTransportSuccess() {
-  if (opts_.breakerThreshold <= 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  consecutiveFailures_ = 0;
-  probeInFlight_ = false;
-  if (state_ != BreakerState::Closed) {
-    state_ = BreakerState::Closed;
+  if (breaker_->onSuccess())
     breakerResets_.fetch_add(1, std::memory_order_relaxed);
-  }
 }
 
 Expected<proto::Reply> Client::run(
@@ -255,7 +267,7 @@ Expected<proto::Reply> Client::run(
     // Breaker gate: while open, fast-fail and wait out the cooldown
     // inside the attempt budget instead of burning attempts on a socket
     // we know is dead.
-    i64 gateMs = breakerAdmit();
+    i64 gateMs = breaker_->admit();
     while (gateMs > 0) {
       breakerFastFails_.fetch_add(1, std::memory_order_relaxed);
       lastFailure = Status::error(StatusCode::Unavailable,
@@ -264,7 +276,7 @@ Expected<proto::Reply> Client::run(
       if (deadlineMs > 0 && remaining() <= gateMs)
         return budgetGone(lastFailure);
       if (!sleepFor(gateMs)) return budgetGone(lastFailure);
-      gateMs = breakerAdmit();
+      gateMs = breaker_->admit();
     }
 
     auto reply = attemptOnce(verb, encode(std::max<i64>(0, remaining())));
@@ -327,11 +339,6 @@ ClientStats Client::stats() const {
   s.breakerResets = breakerResets_.load(std::memory_order_relaxed);
   s.breakerFastFails = breakerFastFails_.load(std::memory_order_relaxed);
   return s;
-}
-
-Client::BreakerState Client::breakerState() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return state_;
 }
 
 }  // namespace dr::service

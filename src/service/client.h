@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "service/metrics.h"
 #include "service/protocol.h"
+#include "service/transport.h"
 #include "support/intmath.h"
 #include "support/status.h"
 
@@ -18,9 +21,9 @@
 /// surfaced every hiccup to the caller; this library wraps one
 /// request/reply exchange in the full resilience stack:
 ///
-///   - **Timeouts.** Every socket op (connect-side send and recv) carries
-///     a bounded timeout, so a hung daemon costs a bounded wait, never a
-///     parked caller thread.
+///   - **Timeouts.** Every socket op (connect, send, recv) carries a
+///     bounded timeout, so a hung or black-holed daemon costs a bounded
+///     wait, never a parked caller thread.
 ///   - **Retries.** Transport failures and structured Unavailable
 ///     (load-shed) replies retry on a *fresh connection* — which is what
 ///     makes a daemon restart invisible — under bounded exponential
@@ -41,6 +44,12 @@
 ///     shedding daemon is alive, and hammering it less is the backoff's
 ///     job, not the breaker's.
 ///
+/// Breaker state is **per endpoint**, not per process: the breaker lives
+/// in a shareable CircuitBreaker object, and a BreakerRegistry hands the
+/// same instance to every Client talking to the same endpoint — so the
+/// router's N clients for one dead shard trip one breaker, and a healthy
+/// shard's breaker never opens because its neighbor died.
+///
 /// Thread-safe: one Client may be shared across caller threads (the load
 /// harness does); the breaker and stats are shared state by design —
 /// N threads observing a dead daemon should trip one breaker, not N.
@@ -48,9 +57,11 @@
 namespace dr::service {
 
 struct ClientOptions {
-  std::string socketPath;
-  i64 sendTimeoutMs = 2000;  ///< per send() syscall; <= 0 = unlimited
-  i64 recvTimeoutMs = 5000;  ///< per recv() syscall; <= 0 = unlimited
+  /// Endpoint spec (transport.h): Unix socket path or host:port.
+  std::string endpoint;
+  i64 connectTimeoutMs = 2000;  ///< whole connect; <= 0 = kernel default
+  i64 sendTimeoutMs = 2000;     ///< per send() syscall; <= 0 = unlimited
+  i64 recvTimeoutMs = 5000;     ///< per recv() syscall; <= 0 = unlimited
   /// Total attempts per call (first try included); 1 disables retries.
   int maxAttempts = 5;
   i64 backoffBaseMs = 20;   ///< attempt k (0-based) waits base << k ...
@@ -61,8 +72,8 @@ struct ClientOptions {
   std::uint64_t seed = 0x5eedULL;  ///< jitter stream (mixSeed per attempt)
 };
 
-/// InvalidInput for an empty socket path, non-positive attempt budget, or
-/// inverted backoff band; Ok otherwise.
+/// InvalidInput for an unparseable endpoint, non-positive attempt budget,
+/// or inverted backoff band; Ok otherwise.
 support::Status validateClientOptions(const ClientOptions& opts);
 
 /// The resilience ledger, mirrored into MetricsSnapshot's client-side
@@ -82,11 +93,72 @@ struct ClientStats {
   void foldInto(MetricsSnapshot& s) const;
 };
 
+/// Standalone three-state circuit breaker, shareable between the Clients
+/// that talk to one endpoint. Thread-safe; the trip threshold and
+/// cooldown are fixed at construction (the first Client to reach an
+/// endpoint sets them — a registry hands everyone else the same object).
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  /// threshold <= 0 disables the breaker (admit() always passes).
+  CircuitBreaker(int threshold, i64 cooldownMs)
+      : threshold_(threshold), cooldownMs_(cooldownMs) {}
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Admission for one attempt. Returns 0 to proceed (and, when the
+  /// breaker was Open past its cooldown, moves to HalfOpen with this
+  /// attempt as the probe); returns the ms until the next probe window
+  /// when the attempt must fast-fail.
+  i64 admit();
+
+  /// Record a transport failure; true when this one tripped the breaker
+  /// (Closed past the threshold, or a failed HalfOpen probe).
+  bool onFailure();
+
+  /// Record a decoded reply (any verdict — the peer is alive); true when
+  /// this reset an Open/HalfOpen breaker back to Closed.
+  bool onSuccess();
+
+  State state() const;
+
+ private:
+  const int threshold_;
+  const i64 cooldownMs_;
+
+  mutable std::mutex mutex_;
+  State state_ = State::Closed;
+  int consecutiveFailures_ = 0;
+  std::chrono::steady_clock::time_point openUntil_{};
+  bool probeInFlight_ = false;  ///< HalfOpen admits exactly one probe
+};
+
+/// Process-wide map endpoint -> breaker, so independent Clients (the
+/// router's per-shard pool, a CLI retry loop, the probe path) share one
+/// failure ledger per endpoint. acquire() creates on first sight with
+/// the caller's threshold/cooldown and returns the existing instance
+/// afterwards, whatever its parameters — first configuration wins.
+class BreakerRegistry {
+ public:
+  std::shared_ptr<CircuitBreaker> acquire(const std::string& endpoint,
+                                          int threshold, i64 cooldownMs);
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<CircuitBreaker>> breakers_;
+};
+
 class Client {
  public:
-  enum class BreakerState { Closed, Open, HalfOpen };
+  using BreakerState = CircuitBreaker::State;
 
-  explicit Client(ClientOptions opts);
+  /// With no explicit breaker the Client owns a private one built from
+  /// opts.breakerThreshold/breakerCooldownMs. Pass a registry-acquired
+  /// breaker to share trip state across every client of one endpoint.
+  explicit Client(ClientOptions opts,
+                  std::shared_ptr<CircuitBreaker> breaker = nullptr);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -99,13 +171,14 @@ class Client {
   /// call has no budget and only maxAttempts bounds it.
   support::Expected<proto::Reply> explore(const proto::ExploreRequest& req);
 
-  /// One non-explore exchange (Stats / Shutdown) under retries and the
-  /// breaker, with no deadline budget.
+  /// One non-explore exchange (Stats / Health / Shutdown) under retries
+  /// and the breaker, with no deadline budget.
   support::Expected<proto::Reply> call(proto::Verb verb,
                                        const std::string& payload);
 
   ClientStats stats() const;
-  BreakerState breakerState() const;
+  BreakerState breakerState() const { return breaker_->state(); }
+  const std::shared_ptr<CircuitBreaker>& breaker() const { return breaker_; }
   const ClientOptions& options() const { return opts_; }
 
   /// The deterministic backoff schedule (exposed for tests): delay before
@@ -127,21 +200,11 @@ class Client {
   support::Expected<proto::Reply> attemptOnce(proto::Verb verb,
                                               const std::string& payload);
 
-  /// Breaker admission for one attempt. Returns 0 to proceed (and, when
-  /// the breaker was Open past its cooldown, moves it to HalfOpen with
-  /// this attempt as the probe); returns the ms until the next probe
-  /// window when the attempt must fast-fail.
-  i64 breakerAdmit();
   void onTransportFailure();
   void onTransportSuccess();
 
   ClientOptions opts_;
-
-  mutable std::mutex mutex_;  ///< breaker state
-  BreakerState state_ = BreakerState::Closed;
-  int consecutiveFailures_ = 0;
-  std::chrono::steady_clock::time_point openUntil_{};
-  bool probeInFlight_ = false;  ///< HalfOpen admits exactly one probe
+  std::shared_ptr<CircuitBreaker> breaker_;
 
   std::atomic<i64> calls_{0};
   std::atomic<i64> retries_{0};

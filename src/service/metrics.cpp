@@ -59,6 +59,7 @@ MetricsSnapshot Metrics::snapshot() const {
   s.exploreRequests = get(exploreRequests_);
   s.statsRequests = get(statsRequests_);
   s.shutdownRequests = get(shutdownRequests_);
+  s.healthRequests = get(healthRequests_);
   s.protocolErrors = get(protocolErrors_);
   s.exploreErrors = get(exploreErrors_);
   s.degradedReplies = get(degradedReplies_);
@@ -124,6 +125,7 @@ std::string Metrics::render(const MetricsSnapshot& s) {
   line("explore_requests", s.exploreRequests);
   line("stats_requests", s.statsRequests);
   line("shutdown_requests", s.shutdownRequests);
+  line("health_requests", s.healthRequests);
   line("protocol_errors", s.protocolErrors);
   line("explore_errors", s.exploreErrors);
   line("degraded_replies", s.degradedReplies);
@@ -146,6 +148,7 @@ std::string Metrics::render(const MetricsSnapshot& s) {
   line("cache_entries", s.cacheEntries);
   line("cache_bytes", s.cacheBytes);
   line("cache_max_bytes", s.cacheMaxBytes);
+  line("cache_journal_failures", s.cacheJournalFailures);
   line("inflight_joins", s.inflightJoins);
   line("simulations", s.simulations);
   line("curves_symbolic", s.curvesSymbolic);

@@ -39,6 +39,7 @@ struct MetricsSnapshot {
   i64 exploreRequests = 0;
   i64 statsRequests = 0;
   i64 shutdownRequests = 0;
+  i64 healthRequests = 0;  ///< liveness probes answered (Health verb)
   i64 protocolErrors = 0;  ///< corrupt/oversized/bad-checksum frames
   i64 exploreErrors = 0;   ///< explore requests answered with an error
   i64 degradedReplies = 0; ///< served below the exact fidelity rungs
@@ -70,6 +71,9 @@ struct MetricsSnapshot {
   i64 cacheEntries = 0;
   i64 cacheBytes = 0;
   i64 cacheMaxBytes = 0;
+  /// Warm-journal write failures (ENOSPC and friends) survived by
+  /// degrading to an unjournaled recompute — the disk-full ladder.
+  i64 cacheJournalFailures = 0;
 
   i64 inflightJoins = 0;  ///< waiters that shared a leader's computation
   i64 simulations = 0;    ///< leader computations that ran curve points
@@ -105,6 +109,7 @@ class Metrics {
   void countExplore() { add(exploreRequests_); }
   void countStats() { add(statsRequests_); }
   void countShutdown() { add(shutdownRequests_); }
+  void countHealth() { add(healthRequests_); }
   void countProtocolError() { add(protocolErrors_); }
   void countExploreError() { add(exploreErrors_); }
   void countDegradedReply() { add(degradedReplies_); }
@@ -165,6 +170,7 @@ class Metrics {
   std::atomic<i64> exploreRequests_{0};
   std::atomic<i64> statsRequests_{0};
   std::atomic<i64> shutdownRequests_{0};
+  std::atomic<i64> healthRequests_{0};
   std::atomic<i64> protocolErrors_{0};
   std::atomic<i64> exploreErrors_{0};
   std::atomic<i64> degradedReplies_{0};

@@ -106,7 +106,7 @@ std::uint32_t readU32(const char* p) {
 
 bool verbIsKnown(std::uint8_t verb) {
   return verb >= static_cast<std::uint8_t>(Verb::Explore) &&
-         verb <= static_cast<std::uint8_t>(Verb::Reply);
+         verb <= static_cast<std::uint8_t>(Verb::Health);
 }
 
 std::string encodeFrame(Verb verb, std::string_view payload) {
@@ -258,6 +258,26 @@ support::Expected<ExploreResult> decodeExploreResult(std::string_view body) {
   if (!cursor.exhausted()) return trailing("explore result");
   result.cached = cached != 0;
   return result;
+}
+
+std::string encodeHealthInfo(const HealthInfo& info) {
+  std::string out;
+  appendU8(out, info.draining ? 1 : 0);
+  appendI64(out, info.queueDepth);
+  appendI64(out, info.workers);
+  return out;
+}
+
+support::Expected<HealthInfo> decodeHealthInfo(std::string_view body) {
+  HealthInfo info;
+  Cursor cursor(body);
+  std::uint8_t draining = 0;
+  if (!cursor.takeU8(draining) || !cursor.takeI64(info.queueDepth) ||
+      !cursor.takeI64(info.workers))
+    return truncated("health info");
+  if (!cursor.exhausted()) return trailing("health info");
+  info.draining = draining != 0;
+  return info;
 }
 
 }  // namespace dr::service::proto

@@ -48,6 +48,7 @@ enum class Verb : std::uint8_t {
   Stats = 2,     ///< fetch the metrics snapshot (rendered text body)
   Shutdown = 3,  ///< reply, then drain and stop accepting
   Reply = 4,     ///< server -> client envelope (the only response verb)
+  Health = 5,    ///< liveness probe: tiny fixed-size reply, no simulation
 };
 
 /// True for the verb values a frame may legally carry.
@@ -145,5 +146,22 @@ struct ExploreResult {
 
 std::string encodeExploreResult(const ExploreResult& result);
 support::Expected<ExploreResult> decodeExploreResult(std::string_view body);
+
+// ---- Health reply body --------------------------------------------------
+
+/// Body of an Ok Health reply:
+///   [u8 draining][i64 queueDepth][i64 workers]
+/// The health verb is the router's probe: it must stay cheap (no kernel
+/// compile, no cache touch, no simulation) so a loaded shard still
+/// answers it promptly, and small enough that probe traffic is noise.
+/// The Health request frame carries an empty payload.
+struct HealthInfo {
+  bool draining = false;  ///< shutting down: route away, don't flap
+  i64 queueDepth = 0;     ///< live admission-queue depth
+  i64 workers = 0;        ///< configured worker count
+};
+
+std::string encodeHealthInfo(const HealthInfo& info);
+support::Expected<HealthInfo> decodeHealthInfo(std::string_view body);
 
 }  // namespace dr::service::proto

@@ -1,0 +1,788 @@
+#include "service/router.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "explorer/explorer.h"
+#include "frontend/frontend.h"
+#include "support/contracts.h"
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace dr::service {
+
+namespace {
+
+using support::Expected;
+using support::Status;
+using support::StatusCode;
+
+constexpr int kRecvTimeoutMs = 200;
+constexpr int kMaxReasonableWorkers = 4096;
+
+/// Retry-after hint when every replica is down or shedding and none of
+/// them offered one: long enough to matter, short enough that a single
+/// restarting shard is retried promptly.
+constexpr i64 kExhaustedRetryAfterMs = 100;
+
+i64 msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+proto::Reply errorReply(const Status& status) {
+  proto::Reply reply;
+  reply.code = status.code();
+  reply.message = status.str();
+  return reply;
+}
+
+bool writeAll(int fd, const std::string& bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Same default-signal rule as the shard daemon (server.cpp): a named
+/// lookup, or the first signal with a read access. The router resolves it
+/// only to compute the placement hash; the shard re-resolves for real.
+int resolveSignal(const loopir::Program& p, const std::string& name) {
+  if (!name.empty()) return p.findSignal(name);
+  for (std::size_t s = 0; s < p.signals.size(); ++s)
+    for (const auto& nest : p.nests)
+      for (const auto& acc : nest.body)
+        if (acc.signal == static_cast<int>(s) &&
+            acc.kind == loopir::AccessKind::Read)
+          return static_cast<int>(s);
+  return -1;
+}
+
+}  // namespace
+
+// ---- ShardRing ----------------------------------------------------------
+
+ShardRing::ShardRing(const std::vector<std::string>& endpoints,
+                     int virtualNodes)
+    : shards_(static_cast<int>(endpoints.size())) {
+  if (virtualNodes < 1) virtualNodes = 1;
+  ring_.reserve(endpoints.size() * static_cast<std::size_t>(virtualNodes));
+  for (int s = 0; s < shards_; ++s) {
+    const std::uint64_t base =
+        support::fnv1a(endpoints[static_cast<std::size_t>(s)]);
+    for (int v = 0; v < virtualNodes; ++v)
+      ring_.push_back({support::mixSeed(base, static_cast<std::uint64_t>(v),
+                                        0x72696e67ULL /* "ring" */),
+                       s});
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+int ShardRing::primary(std::uint64_t key) const {
+  if (ring_.empty()) return -1;
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->shard;
+}
+
+std::vector<int> ShardRing::preference(std::uint64_t key) const {
+  std::vector<int> order;
+  if (ring_.empty()) return order;
+  order.reserve(static_cast<std::size_t>(shards_));
+  std::vector<bool> seen(static_cast<std::size_t>(shards_), false);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  for (std::size_t walked = 0;
+       walked < ring_.size() && order.size() < seen.size(); ++walked, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[static_cast<std::size_t>(it->shard)]) {
+      seen[static_cast<std::size_t>(it->shard)] = true;
+      order.push_back(it->shard);
+    }
+  }
+  return order;
+}
+
+// ---- options ------------------------------------------------------------
+
+Status validateRouterOptions(const RouterOptions& opts) {
+  const auto invalid = [](const std::string& what) {
+    return Status::error(StatusCode::InvalidInput, "router: " + what);
+  };
+  if (opts.listen.empty()) return invalid("listen endpoint is empty");
+  if (auto ep = transport::parseEndpoint(opts.listen,
+                                         /*allowEphemeralPort=*/true);
+      !ep.hasValue())
+    return ep.status();
+  if (opts.shards.empty()) return invalid("no shard endpoints");
+  std::set<std::string> distinct;
+  for (const std::string& spec : opts.shards) {
+    if (auto ep = transport::parseEndpoint(spec); !ep.hasValue())
+      return ep.status();
+    if (!distinct.insert(spec).second)
+      return invalid("duplicate shard endpoint " + spec);
+  }
+  if (opts.workers <= 0 || opts.workers > kMaxReasonableWorkers)
+    return invalid("workers out of range: " + std::to_string(opts.workers));
+  if (opts.virtualNodes <= 0)
+    return invalid("virtualNodes must be positive");
+  if (opts.healthFailureThreshold <= 0)
+    return invalid("healthFailureThreshold must be positive");
+  if (opts.hedgeMinDelayMs < 0 || opts.hedgeMaxDelayMs < opts.hedgeMinDelayMs)
+    return invalid("hedge delay band is inverted");
+  ClientOptions probe = opts.client;
+  probe.endpoint = opts.shards.front();
+  if (Status st = validateClientOptions(probe); !st.isOk()) return st;
+  return validateAdmissionOptions(opts.admission);
+}
+
+namespace {
+
+AdmissionOptions clampedAdmissionOptions(AdmissionOptions o) {
+  o.maxQueueDepth = std::max(1, o.maxQueueDepth);
+  return o;
+}
+
+}  // namespace
+
+// ---- ActivityGate -------------------------------------------------------
+
+void Router::ActivityGate::enter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++active_;
+}
+
+void Router::ActivityGate::leave() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --active_;
+  if (active_ == 0) cv_.notify_all();
+}
+
+void Router::ActivityGate::waitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+// ---- Router lifecycle ---------------------------------------------------
+
+Router::Router(RouterOptions opts)
+    : opts_(std::move(opts)),
+      ring_(opts_.shards, opts_.virtualNodes),
+      admission_(clampedAdmissionOptions(opts_.admission)) {}
+
+Router::~Router() {
+  requestShutdown();
+  wait();
+}
+
+Status Router::start() {
+  DR_REQUIRE_MSG(!started_, "Router::start() called twice");
+  if (Status st = validateRouterOptions(opts_); !st.isOk()) return st;
+
+  auto listenEp = transport::parseEndpoint(opts_.listen,
+                                           /*allowEphemeralPort=*/true);
+  if (!listenEp.hasValue()) return listenEp.status();
+  auto listener = transport::listenOn(*listenEp);
+  if (!listener.hasValue()) return listener.status();
+  listenFd_ = listener->fd;
+  bound_ = listener->bound;
+  if (::pipe(wakeupPipe_) != 0) {
+    Status st = Status::error(StatusCode::IoError,
+                              std::string("pipe: ") + std::strerror(errno));
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return st;
+  }
+
+  shards_.reserve(opts_.shards.size());
+  for (const std::string& spec : opts_.shards) {
+    auto shard = std::make_unique<Shard>();
+    shard->spec = spec;
+    shard->endpoint = *transport::parseEndpoint(spec);
+    ClientOptions co = opts_.client;
+    co.endpoint = spec;
+    // One breaker per endpoint, shared by every client that reaches it —
+    // a dead shard trips its own breaker and nobody else's.
+    shard->client = std::make_unique<Client>(
+        co, breakers_.acquire(spec, co.breakerThreshold,
+                              co.breakerCooldownMs));
+    // Probes bypass the breaker (they *are* the recovery signal) and run
+    // single-attempt on the probe timeout so a dead shard costs one
+    // bounded connect per interval.
+    ClientOptions po = co;
+    po.maxAttempts = 1;
+    po.breakerThreshold = 0;
+    po.connectTimeoutMs = opts_.healthTimeoutMs;
+    po.sendTimeoutMs = opts_.healthTimeoutMs;
+    po.recvTimeoutMs = opts_.healthTimeoutMs;
+    shard->probeOptions = po;
+    shards_.push_back(std::move(shard));
+  }
+
+  started_ = true;
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  if (opts_.healthIntervalMs > 0)
+    probeThread_ = std::thread([this] { probeLoop(); });
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+  return Status::ok();
+}
+
+void Router::requestShutdown() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel))
+    return;
+  if (wakeupPipe_[1] >= 0) {
+    char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakeupPipe_[1], &byte, 1);
+  }
+  admission_.close();
+  probeWakeCv_.notify_all();
+}
+
+void Router::wait() {
+  if (!started_) return;
+  if (acceptThread_.joinable()) acceptThread_.join();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+  if (probeThread_.joinable()) probeThread_.join();
+  // Hedge losers may still be draining against their socket timeouts;
+  // they hold raw pointers into this object, so wait() must outlast them.
+  gate_.waitIdle();
+  for (int& fd : wakeupPipe_)
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  if (bound_.kind == transport::Endpoint::Kind::Unix && !bound_.path.empty())
+    ::unlink(bound_.path.c_str());
+}
+
+// ---- accept / serve -----------------------------------------------------
+
+void Router::acceptLoop() {
+  while (!draining()) {
+    pollfd fds[2];
+    fds[0] = {listenFd_, POLLIN, 0};
+    fds[1] = {wakeupPipe_[0], POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0 || draining()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    timeval tv{};
+    tv.tv_usec = kRecvTimeoutMs * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    if (bound_.kind == transport::Endpoint::Kind::Tcp) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    if (!admission_.tryPush(fd)) {
+      shedQueueFull_.fetch_add(1, std::memory_order_relaxed);
+      shedConnection(fd, "router overloaded: admission queue full");
+      continue;
+    }
+  }
+  ::close(listenFd_);
+  listenFd_ = -1;
+  admission_.close();
+}
+
+void Router::shedConnection(int fd, const char* why) {
+  proto::Reply reply;
+  reply.code = StatusCode::Unavailable;
+  reply.message = why;
+  reply.retryAfterMs = retryAfterHintMs(opts_.admission, admission_.depth(),
+                                        opts_.workers, 0);
+  timeval tv{};
+  tv.tv_usec = kRecvTimeoutMs * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  writeAll(fd, proto::encodeFrame(proto::Verb::Reply,
+                                  proto::encodeReply(reply)));
+  ::close(fd);
+}
+
+void Router::workerLoop() {
+  while (true) {
+    std::optional<QueuedConn> conn = admission_.pop();
+    if (!conn) return;
+    const i64 queueWaitMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - conn->admittedAt)
+            .count();
+    try {
+      serveConnection(conn->fd, queueWaitMs);
+    } catch (...) {
+    }
+    ::close(conn->fd);
+  }
+}
+
+void Router::serveConnection(int fd, i64 queueWaitMs) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    while (true) {
+      proto::FrameParse parse = proto::tryParseFrame(buffer);
+      if (parse.result == proto::ParseResult::Corrupt) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        writeAll(fd, proto::encodeFrame(
+                         proto::Verb::Reply,
+                         proto::encodeReply(errorReply(parse.status))));
+        return;
+      }
+      if (parse.result == proto::ParseResult::NeedMore) break;
+      buffer.erase(0, parse.consumed);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      bool closeAfter = false;
+      std::string reply;
+      const i64 chargedWaitMs = std::exchange(queueWaitMs, i64{0});
+      try {
+        reply = handleFrame(parse.frame, closeAfter, chargedWaitMs);
+      } catch (const std::exception& e) {
+        reply = proto::encodeFrame(
+            proto::Verb::Reply,
+            proto::encodeReply(errorReply(Status::error(
+                StatusCode::Internal,
+                std::string("routing failed: ") + e.what()))));
+      }
+      if (!writeAll(fd, reply)) return;
+      if (closeAfter) return;
+    }
+    if (draining()) return;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return;
+  }
+}
+
+std::string Router::handleFrame(const proto::Frame& frame, bool& closeAfter,
+                                i64 queueWaitMs) {
+  proto::Reply reply;
+  switch (frame.verb) {
+    case proto::Verb::Explore: {
+      auto req = proto::decodeExploreRequest(frame.payload);
+      if (!req.hasValue()) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        reply = errorReply(req.status());
+      } else {
+        reply = routeExplore(*req, queueWaitMs);
+      }
+      break;
+    }
+    case proto::Verb::Stats:
+      statsRequests_.fetch_add(1, std::memory_order_relaxed);
+      reply.body = render(stats());
+      break;
+    case proto::Verb::Health: {
+      healthRequests_.fetch_add(1, std::memory_order_relaxed);
+      proto::HealthInfo info;
+      info.draining = draining();
+      info.queueDepth = admission_.depth();
+      info.workers = opts_.workers;
+      reply.body = proto::encodeHealthInfo(info);
+      break;
+    }
+    case proto::Verb::Shutdown:
+      // Drains the router only: the shards are independent fault domains
+      // with their own lifecycles (and their own Shutdown verbs).
+      requestShutdown();
+      closeAfter = true;
+      break;
+    case proto::Verb::Reply:
+      protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+      reply = errorReply(Status::error(
+          StatusCode::InvalidInput, "clients may not send Reply frames"));
+      closeAfter = true;
+      break;
+  }
+  return proto::encodeFrame(proto::Verb::Reply, proto::encodeReply(reply));
+}
+
+// ---- routing ------------------------------------------------------------
+
+proto::Reply Router::routeExplore(const proto::ExploreRequest& req,
+                                  i64 queueWaitMs) {
+  exploreRequests_.fetch_add(1, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Same budget contract as the shard daemon: queue wait charges the
+  // caller's propagated budget, and a budget that expired in the queue
+  // is rejected outright.
+  i64 budgetMs = 0;  // <= 0 = unlimited
+  if (req.deadlineMs > 0) {
+    const i64 remaining =
+        req.remainingBudgetMs > 0 ? req.remainingBudgetMs : req.deadlineMs;
+    budgetMs = remaining - queueWaitMs;
+    if (budgetMs <= 0) {
+      expiredRequests_.fetch_add(1, std::memory_order_relaxed);
+      return errorReply(Status::error(
+          StatusCode::BudgetExceeded,
+          "deadline expired before routing (queued " +
+              std::to_string(queueWaitMs) + "ms of " +
+              std::to_string(remaining) + "ms budget)"));
+    }
+  }
+  const auto remainingMs = [&]() -> i64 {
+    return budgetMs > 0 ? budgetMs - msSince(t0) : 0;
+  };
+
+  // Placement: compile here so the ring key is the exact config hash the
+  // shard caches use — and a malformed kernel is rejected at the front
+  // door without costing a shard anything.
+  auto compiled = frontend::compileKernelChecked(req.kernel);
+  if (!compiled.hasValue()) return errorReply(compiled.status());
+  const int signal = resolveSignal(*compiled, req.signal);
+  if (signal < 0)
+    return errorReply(Status::error(
+        StatusCode::InvalidInput,
+        req.signal.empty() ? std::string("kernel has no read signal")
+                           : "no signal named '" + req.signal + "'"));
+  const std::uint64_t hash =
+      explorer::exploreConfigHash(*compiled, signal, {});
+
+  const std::vector<int> pref = ring_.preference(hash);
+  std::vector<int> candidates;
+  candidates.reserve(pref.size());
+  for (int idx : pref) {
+    if (shardUp(idx)) {
+      candidates.push_back(idx);
+    } else {
+      shardDownSkips_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Every shard marked down: the marks may be stale (a restarted shard
+  // is up before its next probe), so fall back to the full preference
+  // order rather than lock every caller out.
+  if (candidates.empty()) candidates = pref;
+
+  i64 bestHintMs = 0;
+  Status lastFailure = Status::error(StatusCode::Unavailable,
+                                     "no shard candidates");
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (budgetMs > 0 && remainingMs() <= 0) {
+      return errorReply(Status::error(
+          StatusCode::BudgetExceeded,
+          "deadline exhausted after " + std::to_string(msSince(t0)) +
+              "ms of routing; last failure: " + lastFailure.str()));
+    }
+    const int primaryIdx = candidates[i];
+    int hedgeIdx = -1;
+    if (opts_.hedge && i + 1 < candidates.size()) hedgeIdx = candidates[i + 1];
+    auto result =
+        forwardWithHedge(req, primaryIdx, hedgeIdx,
+                         budgetMs > 0 ? remainingMs() : i64{0});
+    if (result.hasValue()) {
+      if (result->code != StatusCode::Unavailable) return *result;
+      // A shedding shard is alive but refusing; try the next replica and
+      // keep its hint in case everyone refuses.
+      bestHintMs = std::max(bestHintMs, result->retryAfterMs);
+      lastFailure = Status::error(StatusCode::Unavailable, result->message);
+      if (i + 1 < candidates.size())
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    lastFailure = result.status();
+    if (result.status().code() == StatusCode::BudgetExceeded)
+      return errorReply(lastFailure);
+    if (result.status().code() != StatusCode::IoError &&
+        result.status().code() != StatusCode::Unavailable)
+      return errorReply(lastFailure);  // a real verdict, not a dead shard
+    if (i + 1 < candidates.size())
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  proto::Reply reply;
+  reply.code = StatusCode::Unavailable;
+  reply.message = "all " + std::to_string(candidates.size()) +
+                  " shard replica(s) unavailable: " + lastFailure.str();
+  reply.retryAfterMs = bestHintMs > 0 ? bestHintMs : kExhaustedRetryAfterMs;
+  return reply;
+}
+
+Expected<proto::Reply> Router::forwardOnce(const proto::ExploreRequest& req,
+                                           int shardIdx, i64 budgetMs) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shardIdx)];
+  proto::ExploreRequest fwd = req;
+  // The forwarded deadline is what is left of the caller's budget at
+  // this hop; the per-shard client re-stamps remainingBudgetMs per
+  // attempt from it.
+  fwd.deadlineMs = budgetMs > 0 ? budgetMs : req.deadlineMs;
+  fwd.remainingBudgetMs = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto reply = shard.client->explore(fwd);
+  if (reply.hasValue()) {
+    shard.forwards.fetch_add(1, std::memory_order_relaxed);
+    markShardUp(shardIdx);
+    if (reply->code == StatusCode::Ok)
+      recordForwardLatencyUs(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+  } else if (reply.status().code() == StatusCode::IoError ||
+             reply.status().code() == StatusCode::Unavailable) {
+    // IoError: the transport is dead. Unavailable from a client that
+    // never decoded a reply: the breaker fast-failed every attempt —
+    // same verdict, the endpoint is unreachable.
+    markShardStrike(shardIdx);
+  }
+  return reply;
+}
+
+Expected<proto::Reply> Router::forwardWithHedge(
+    const proto::ExploreRequest& req, int primaryIdx, int hedgeIdx,
+    i64 budgetMs) {
+  const i64 hedgeDelayMs = currentHedgeDelayMs();
+  // Hedging is pointless when the remaining budget barely covers the
+  // delay, and impossible without a distinct replica.
+  const bool canHedge =
+      hedgeIdx >= 0 && (budgetMs <= 0 || budgetMs > 2 * hedgeDelayMs);
+  if (!canHedge) return forwardOnce(req, primaryIdx, budgetMs);
+
+  struct HedgeState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool delivered = false;
+    bool primaryDone = false;
+    bool winnerIsHedge = false;
+    std::optional<Expected<proto::Reply>> result;
+  };
+  auto state = std::make_shared<HedgeState>();
+
+  const auto launch = [&](int shardIdx, bool isHedge) {
+    gate_.enter();
+    std::thread([this, state, req, shardIdx, isHedge, budgetMs] {
+      auto reply = forwardOnce(req, shardIdx, budgetMs);
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!isHedge) state->primaryDone = true;
+        // First response wins; an unavailable/failed primary yields to a
+        // still-running hedge only if the hedge is the one delivering.
+        if (!state->delivered) {
+          state->delivered = true;
+          state->winnerIsHedge = isHedge;
+          state->result.emplace(std::move(reply));
+        }
+      }
+      state->cv.notify_all();
+      gate_.leave();
+    }).detach();
+  };
+
+  launch(primaryIdx, /*isHedge=*/false);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait_for(lock, std::chrono::milliseconds(hedgeDelayMs),
+                       [&] { return state->delivered; });
+    if (!state->delivered) {
+      lock.unlock();
+      hedgesLaunched_.fetch_add(1, std::memory_order_relaxed);
+      launch(hedgeIdx, /*isHedge=*/true);
+      lock.lock();
+    }
+    state->cv.wait(lock, [&] { return state->delivered; });
+    if (state->winnerIsHedge)
+      hedgesWon_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(*state->result);
+  }
+}
+
+// ---- health -------------------------------------------------------------
+
+void Router::probeLoop() {
+  while (!draining()) {
+    for (std::size_t i = 0; i < shards_.size() && !draining(); ++i) {
+      healthProbes_.fetch_add(1, std::memory_order_relaxed);
+      Client probe(shards_[i]->probeOptions);
+      auto reply = probe.call(proto::Verb::Health, "");
+      const bool healthy =
+          reply.hasValue() && reply->code == StatusCode::Ok &&
+          proto::decodeHealthInfo(reply->body).hasValue();
+      if (healthy) {
+        markShardUp(static_cast<int>(i));
+      } else {
+        healthProbeFailures_.fetch_add(1, std::memory_order_relaxed);
+        markShardStrike(static_cast<int>(i));
+      }
+    }
+    std::unique_lock<std::mutex> lock(probeWakeMutex_);
+    probeWakeCv_.wait_for(lock,
+                          std::chrono::milliseconds(opts_.healthIntervalMs),
+                          [this] { return draining(); });
+  }
+}
+
+void Router::markShardUp(int idx) {
+  Shard& shard = *shards_[static_cast<std::size_t>(idx)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.consecutiveFailures = 0;
+  if (!shard.up) {
+    shard.up = true;
+    healthFlaps_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Router::markShardStrike(int idx) {
+  Shard& shard = *shards_[static_cast<std::size_t>(idx)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.consecutiveFailures;
+  if (shard.up &&
+      shard.consecutiveFailures >= opts_.healthFailureThreshold) {
+    shard.up = false;
+    healthFlaps_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Router::shardUp(int idx) const {
+  Shard& shard = *shards_[static_cast<std::size_t>(idx)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.up;
+}
+
+// ---- latency / hedge delay ----------------------------------------------
+
+void Router::recordForwardLatencyUs(i64 us) {
+  if (us < 0) us = 0;
+  int bucket = std::bit_width(static_cast<std::uint64_t>(us));
+  if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+  latencyBuckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  latencyCount_.fetch_add(1, std::memory_order_relaxed);
+}
+
+i64 Router::currentHedgeDelayMs() const {
+  if (opts_.hedgeDelayMs > 0) return opts_.hedgeDelayMs;
+  // p99 of successful forwards, as a bucket upper bound. Until enough
+  // samples exist the ceiling applies — hedge conservatively, not off a
+  // two-request histogram.
+  constexpr i64 kMinSamples = 20;
+  const i64 count = latencyCount_.load(std::memory_order_relaxed);
+  if (count < kMinSamples) return opts_.hedgeMaxDelayMs;
+  std::array<i64, kLatencyBuckets> buckets;
+  i64 total = 0;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    buckets[static_cast<std::size_t>(i)] =
+        latencyBuckets_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    total += buckets[static_cast<std::size_t>(i)];
+  }
+  const i64 rank = static_cast<i64>(0.99 * static_cast<double>(total - 1));
+  i64 seen = 0;
+  i64 p99Us = 0;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen > rank) {
+      p99Us = i == 0 ? 0 : (i64{1} << i) - 1;
+      break;
+    }
+  }
+  const i64 p99Ms = p99Us / 1000 + 1;
+  return std::clamp(p99Ms, opts_.hedgeMinDelayMs, opts_.hedgeMaxDelayMs);
+}
+
+// ---- stats --------------------------------------------------------------
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  const auto get = [](const std::atomic<i64>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  s.requests = get(requests_);
+  s.exploreRequests = get(exploreRequests_);
+  s.healthRequests = get(healthRequests_);
+  s.statsRequests = get(statsRequests_);
+  s.protocolErrors = get(protocolErrors_);
+  s.failovers = get(failovers_);
+  s.hedgesLaunched = get(hedgesLaunched_);
+  s.hedgesWon = get(hedgesWon_);
+  s.healthProbes = get(healthProbes_);
+  s.healthProbeFailures = get(healthProbeFailures_);
+  s.healthFlaps = get(healthFlaps_);
+  s.shardDownSkips = get(shardDownSkips_);
+  s.exhausted = get(exhausted_);
+  s.shedQueueFull = get(shedQueueFull_);
+  s.expiredRequests = get(expiredRequests_);
+  s.shardUp.reserve(shards_.size());
+  s.shardForwards.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    s.shardUp.push_back(shardUp(static_cast<int>(i)));
+    s.shardForwards.push_back(
+        shards_[i]->forwards.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+std::string Router::render(const RouterStats& s) {
+  std::string out;
+  const auto line = [&out](const std::string& name, i64 v) {
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  line("router_requests", s.requests);
+  line("router_explore_requests", s.exploreRequests);
+  line("router_health_requests", s.healthRequests);
+  line("router_stats_requests", s.statsRequests);
+  line("router_protocol_errors", s.protocolErrors);
+  line("router_failovers", s.failovers);
+  line("router_hedges_launched", s.hedgesLaunched);
+  line("router_hedges_won", s.hedgesWon);
+  line("router_health_probes", s.healthProbes);
+  line("router_health_probe_failures", s.healthProbeFailures);
+  line("router_health_flaps", s.healthFlaps);
+  line("router_shard_down_skips", s.shardDownSkips);
+  line("router_exhausted", s.exhausted);
+  line("router_shed_queue_full", s.shedQueueFull);
+  line("router_expired_requests", s.expiredRequests);
+  for (std::size_t i = 0; i < s.shardUp.size(); ++i) {
+    const std::string prefix = "router_shard_" + std::to_string(i);
+    line(prefix + "_up", s.shardUp[i] ? 1 : 0);
+    line(prefix + "_forwards", s.shardForwards[i]);
+  }
+  return out;
+}
+
+}  // namespace dr::service

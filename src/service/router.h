@@ -1,0 +1,279 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/admission.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/transport.h"
+#include "support/intmath.h"
+#include "support/status.h"
+
+/// \file router.h
+/// Shard router for the exploration service: one front door over N
+/// independent backend daemons, turning a single fault domain into N.
+/// Placement is a consistent-hash ring keyed by the same
+/// explorer::exploreConfigHash both cache layers use — the router
+/// compiles the kernel itself, so every query for one configuration
+/// lands on the same shard (its memory and warm caches stay hot) and a
+/// malformed kernel is rejected at the front door without burning a
+/// shard slot.
+///
+/// Failure handling, from fastest to slowest signal:
+///
+///   - **Passive accounting.** Every forwarded reply marks its shard up;
+///     every transport failure (after the per-endpoint client's own
+///     retries and breaker) marks a strike. `healthFailureThreshold`
+///     consecutive strikes take the shard Down.
+///   - **Active probes.** A background thread sends the Health verb to
+///     every shard each `healthIntervalMs` on a short timeout, so a dead
+///     shard is discovered within one probe interval even with zero
+///     traffic, and a recovered one comes back without waiting for a
+///     request to gamble on it.
+///   - **Failover.** A request walks its ring preference order, skipping
+///     Down shards; a transport failure or an Unavailable (shedding)
+///     reply moves to the next replica. When every candidate is down or
+///     shedding, the router answers a structured Unavailable with a
+///     retry-after hint — the same contract a single overloaded daemon
+///     honors.
+///   - **Hedging.** Optionally, a request to a slow shard launches one
+///     hedge to the next replica after a p99-derived delay (or the fixed
+///     `hedgeDelayMs`); the first reply wins, the loser's thread drains
+///     in the background bounded by its socket timeouts. Hedges respect
+///     the caller's propagated budget and are never launched when no
+///     healthy replica exists.
+///
+/// All routing sleeps and forwards are charged to the caller's
+/// propagated remainingBudgetMs, exactly like the single-daemon path.
+
+namespace dr::service {
+
+/// Consistent-hash ring over the shard endpoints: each shard owns
+/// `virtualNodes` pseudo-random points (mixSeed of the endpoint's FNV-1a
+/// and the replica index); a key is served by the shard owning the next
+/// point clockwise. Public so tests and the chaos harness can compute
+/// placement and preference orders without a live router.
+class ShardRing {
+ public:
+  ShardRing(const std::vector<std::string>& endpoints, int virtualNodes);
+
+  int shardCount() const { return shards_; }
+
+  /// The shard index owning `key` (the failover walk's first stop).
+  int primary(std::uint64_t key) const;
+
+  /// Every shard index, ordered by ring walk from `key`: preference[0]
+  /// is the primary, preference[1] the first failover replica, and so
+  /// on — each shard exactly once.
+  std::vector<int> preference(std::uint64_t key) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int shard;
+  };
+  std::vector<Point> ring_;  ///< sorted by hash
+  int shards_ = 0;
+};
+
+struct RouterOptions {
+  /// Front-door endpoint spec (transport.h); TCP port 0 = ephemeral.
+  std::string listen;
+  /// Backend shard endpoint specs, each a running datareuse_serve.
+  std::vector<std::string> shards;
+  int workers = 4;
+  int virtualNodes = 64;  ///< ring points per shard
+
+  // Health probing.
+  i64 healthIntervalMs = 250;   ///< probe cadence; <= 0 disables probes
+  i64 healthTimeoutMs = 500;    ///< per-probe connect/recv bound
+  int healthFailureThreshold = 2;  ///< consecutive strikes -> Down
+
+  // Hedged requests.
+  bool hedge = true;
+  i64 hedgeDelayMs = 0;       ///< fixed hedge delay; 0 = derive from p99
+  i64 hedgeMinDelayMs = 10;   ///< floor of the derived delay
+  i64 hedgeMaxDelayMs = 250;  ///< ceiling (also used before p99 exists)
+
+  /// Template for the per-shard forwarding clients (endpoint is
+  /// overridden per shard; breakers come from a shared per-endpoint
+  /// registry). Defaults to 2 attempts: transient blips retry in place,
+  /// real failures fail over to the next replica instead of hammering a
+  /// dead socket through five backoffs.
+  ClientOptions client = defaultForwardClientOptions();
+
+  AdmissionOptions admission;
+
+  static ClientOptions defaultForwardClientOptions() {
+    ClientOptions o;
+    o.maxAttempts = 2;
+    o.backoffBaseMs = 10;
+    o.backoffCapMs = 200;
+    return o;
+  }
+};
+
+/// InvalidInput for an unparseable listen spec, no shards, a duplicate
+/// or unparseable shard spec, non-positive workers/virtual nodes, or a
+/// broken client template.
+support::Status validateRouterOptions(const RouterOptions& opts);
+
+/// Router-level counters (the shard daemons keep their own Metrics).
+struct RouterStats {
+  i64 requests = 0;
+  i64 exploreRequests = 0;
+  i64 healthRequests = 0;
+  i64 statsRequests = 0;
+  i64 protocolErrors = 0;
+  i64 failovers = 0;        ///< forwards moved to the next ring replica
+  i64 hedgesLaunched = 0;
+  i64 hedgesWon = 0;        ///< hedge replied before the primary
+  i64 healthProbes = 0;
+  i64 healthProbeFailures = 0;
+  i64 healthFlaps = 0;      ///< Up->Down and Down->Up transitions
+  i64 shardDownSkips = 0;   ///< candidates skipped because marked Down
+  i64 exhausted = 0;        ///< requests that ran out of replicas
+  i64 shedQueueFull = 0;
+  i64 expiredRequests = 0;  ///< budget gone after the router's queue wait
+  std::vector<bool> shardUp;
+  std::vector<i64> shardForwards;  ///< replies obtained from each shard
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions opts);
+  ~Router();  ///< requestShutdown() + wait()
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Validate, bind the front door, spawn accept/worker/probe threads.
+  support::Status start();
+
+  void requestShutdown();
+
+  /// Block until the drain finishes, the probe thread exits, and every
+  /// outstanding hedge thread has drained.
+  void wait();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  const RouterOptions& options() const { return opts_; }
+  const transport::Endpoint& boundEndpoint() const { return bound_; }
+  const ShardRing& ring() const { return ring_; }
+
+  RouterStats stats() const;
+
+  /// The stats verb body: one "name value" line per counter plus
+  /// per-shard `shard_<i>_up` / `shard_<i>_forwards` lines.
+  static std::string render(const RouterStats& s);
+
+  /// The live hedge delay: options().hedgeDelayMs when fixed, otherwise
+  /// the p99 of forwarded explore latencies clamped to
+  /// [hedgeMinDelayMs, hedgeMaxDelayMs] (the ceiling until enough
+  /// samples exist). Exposed for tests.
+  i64 currentHedgeDelayMs() const;
+
+ private:
+  /// Health + forwarding state for one shard.
+  struct Shard {
+    transport::Endpoint endpoint;
+    std::string spec;  ///< canonical endpoint string (ring + breaker key)
+    std::unique_ptr<Client> client;  ///< forwarding client (shared breaker)
+    ClientOptions probeOptions;      ///< breaker-free, short-timeout probe
+
+    std::mutex mutex;
+    bool up = true;
+    int consecutiveFailures = 0;
+    std::atomic<i64> forwards{0};
+  };
+
+  /// Counts in-flight detached forward threads (hedge losers included)
+  /// so wait() never returns while one could still touch the router.
+  class ActivityGate {
+   public:
+    void enter();
+    void leave();
+    void waitIdle();
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    i64 active_ = 0;
+  };
+
+  void acceptLoop();
+  void workerLoop();
+  void serveConnection(int fd, i64 queueWaitMs);
+  void shedConnection(int fd, const char* why);
+  std::string handleFrame(const proto::Frame& frame, bool& closeAfter,
+                          i64 queueWaitMs);
+  proto::Reply routeExplore(const proto::ExploreRequest& req, i64 queueWaitMs);
+
+  /// Forward one request to `primaryIdx`, hedging to `hedgeIdx` (>= 0)
+  /// after the live hedge delay when the primary has not answered.
+  /// `budgetMs` <= 0 = unlimited.
+  support::Expected<proto::Reply> forwardWithHedge(
+      const proto::ExploreRequest& req, int primaryIdx, int hedgeIdx,
+      i64 budgetMs);
+  support::Expected<proto::Reply> forwardOnce(const proto::ExploreRequest& req,
+                                              int shardIdx, i64 budgetMs);
+
+  void probeLoop();
+  void markShardUp(int idx);
+  void markShardStrike(int idx);
+  bool shardUp(int idx) const;
+
+  void recordForwardLatencyUs(i64 us);
+
+  RouterOptions opts_;
+  ShardRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  BreakerRegistry breakers_;
+  AdmissionQueue admission_;
+  ActivityGate gate_;
+
+  int listenFd_ = -1;
+  transport::Endpoint bound_;
+  int wakeupPipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+
+  std::thread acceptThread_;
+  std::thread probeThread_;
+  std::vector<std::thread> workers_;
+  std::mutex probeWakeMutex_;
+  std::condition_variable probeWakeCv_;
+
+  // Counters (relaxed; the stats verb snapshots them).
+  std::atomic<i64> requests_{0};
+  std::atomic<i64> exploreRequests_{0};
+  std::atomic<i64> healthRequests_{0};
+  std::atomic<i64> statsRequests_{0};
+  std::atomic<i64> protocolErrors_{0};
+  std::atomic<i64> failovers_{0};
+  std::atomic<i64> hedgesLaunched_{0};
+  std::atomic<i64> hedgesWon_{0};
+  std::atomic<i64> healthProbes_{0};
+  std::atomic<i64> healthProbeFailures_{0};
+  std::atomic<i64> healthFlaps_{0};
+  std::atomic<i64> shardDownSkips_{0};
+  std::atomic<i64> exhausted_{0};
+  std::atomic<i64> shedQueueFull_{0};
+  std::atomic<i64> expiredRequests_{0};
+
+  /// Power-of-two latency histogram of successful forwards, feeding the
+  /// p99-derived hedge delay.
+  static constexpr int kLatencyBuckets = 48;
+  std::array<std::atomic<i64>, kLatencyBuckets> latencyBuckets_{};
+  std::atomic<i64> latencyCount_{0};
+};
+
+}  // namespace dr::service

@@ -1,9 +1,10 @@
 #include "service/server.h"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -88,11 +89,12 @@ constexpr int kMaxReasonableWorkers = 4096;
 }  // namespace
 
 Status validateServerOptions(const ServerOptions& opts) {
-  if (opts.socketPath.empty())
-    return Status::error(StatusCode::InvalidInput, "socket path is empty");
-  if (opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
-    return Status::error(StatusCode::InvalidInput,
-                         "socket path too long: " + opts.socketPath);
+  if (opts.endpoint.empty())
+    return Status::error(StatusCode::InvalidInput, "endpoint is empty");
+  if (auto ep = transport::parseEndpoint(opts.endpoint,
+                                         /*allowEphemeralPort=*/true);
+      !ep.hasValue())
+    return ep.status();
   if (opts.workers <= 0)
     return Status::error(
         StatusCode::InvalidInput,
@@ -142,32 +144,13 @@ Status Server::start() {
   if (Status st = validateServerOptions(opts_); !st.isOk()) return st;
   if (Status st = ensureWarmDir(opts_.cache.warmDir); !st.isOk()) return st;
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
-              opts_.socketPath.size() + 1);
-
-  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listenFd_ < 0)
-    return Status::error(StatusCode::IoError,
-                         std::string("socket: ") + std::strerror(errno));
-  ::unlink(opts_.socketPath.c_str());  // replace a stale socket file
-  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    Status st = Status::error(StatusCode::IoError,
-                              "bind " + opts_.socketPath + ": " +
-                                  std::strerror(errno));
-    ::close(listenFd_);
-    listenFd_ = -1;
-    return st;
-  }
-  if (::listen(listenFd_, 64) != 0) {
-    Status st = Status::error(StatusCode::IoError,
-                              std::string("listen: ") + std::strerror(errno));
-    ::close(listenFd_);
-    listenFd_ = -1;
-    return st;
-  }
+  auto endpoint = transport::parseEndpoint(opts_.endpoint,
+                                           /*allowEphemeralPort=*/true);
+  if (!endpoint.hasValue()) return endpoint.status();
+  auto listener = transport::listenOn(*endpoint);
+  if (!listener.hasValue()) return listener.status();
+  listenFd_ = listener->fd;
+  bound_ = listener->bound;
   if (::pipe(wakeupPipe_) != 0) {
     Status st = Status::error(StatusCode::IoError,
                               std::string("pipe: ") + std::strerror(errno));
@@ -207,7 +190,8 @@ void Server::wait() {
       ::close(fd);
       fd = -1;
     }
-  ::unlink(opts_.socketPath.c_str());
+  if (bound_.kind == transport::Endpoint::Kind::Unix && !bound_.path.empty())
+    ::unlink(bound_.path.c_str());
 }
 
 void Server::acceptLoop() {
@@ -226,6 +210,12 @@ void Server::acceptLoop() {
     timeval tv{};
     tv.tv_usec = kRecvTimeoutMs * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    if (bound_.kind == transport::Endpoint::Kind::Tcp) {
+      // One framed request, one framed reply: exactly the exchange shape
+      // Nagle delays. Replies must not wait out a 40 ms delayed-ACK.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
     if (!admission_.tryPush(fd)) {
       metrics_.countShedQueueFull();
       shedConnection(fd, "overloaded: admission queue full");
@@ -365,6 +355,19 @@ std::string Server::handleFrame(const proto::Frame& frame, bool& closeAfter,
       requestShutdown();
       closeAfter = true;
       break;
+    case proto::Verb::Health: {
+      // Deliberately the cheapest verb in the protocol: no kernel
+      // compile, no cache, no locks — a loaded shard must still answer
+      // its router's probe promptly or it gets marked down for latency
+      // it doesn't have.
+      metrics_.countHealth();
+      proto::HealthInfo info;
+      info.draining = draining();
+      info.queueDepth = admission_.depth();
+      info.workers = opts_.workers;
+      reply.body = proto::encodeHealthInfo(info);
+      break;
+    }
     case proto::Verb::Reply:
       metrics_.countProtocolError();
       reply = errorReply(Status::error(

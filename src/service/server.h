@@ -10,12 +10,13 @@
 #include "service/metrics.h"
 #include "service/protocol.h"
 #include "service/singleflight.h"
+#include "service/transport.h"
 #include "support/status.h"
 
 /// \file server.h
-/// The exploration daemon: a Unix-domain-socket accept loop dispatching
-/// framed requests (protocol.h) onto a small worker pool. Every explore
-/// request flows
+/// The exploration daemon: an accept loop over a Unix-domain or TCP
+/// listener (transport.h) dispatching framed requests (protocol.h) onto a
+/// small worker pool. Every explore request flows
 ///
 ///   compile kernel -> resolve signal -> config hash
 ///     -> single-flight (one computation per concurrent identical burst)
@@ -46,7 +47,10 @@
 namespace dr::service {
 
 struct ServerOptions {
-  std::string socketPath;
+  /// Endpoint spec (transport.h): a Unix socket path, "unix:PATH", or
+  /// "host:port" / "tcp:host:port". A TCP listener may use port 0 to
+  /// draw an ephemeral port; boundEndpoint() reports the resolved one.
+  std::string endpoint;
   int workers = 4;
   /// Per-request deadline applied when the request doesn't carry its own
   /// (explore requests may override per query); <= 0 = unlimited.
@@ -56,7 +60,7 @@ struct ServerOptions {
 };
 
 /// Full pre-flight check of a configuration: InvalidInput for a missing
-/// or over-long socket path, non-positive or absurd worker counts, a
+/// or unparseable endpoint spec, non-positive or absurd worker counts, a
 /// non-positive cache byte budget, or out-of-range admission limits.
 /// start() runs this before spawning anything, so a broken configuration
 /// is a clean error, never a half-started pool.
@@ -71,10 +75,10 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Validate options (validateServerOptions), bind + listen on
-  /// options().socketPath (replacing a stale socket file) and spawn the
-  /// accept thread and worker pool. InvalidInput for a bad configuration,
-  /// IoError when the path is unusable; calling start() twice is a
-  /// contract violation.
+  /// options().endpoint (replacing a stale Unix socket file) and spawn
+  /// the accept thread and worker pool. InvalidInput for a bad
+  /// configuration, IoError when the endpoint is unusable; calling
+  /// start() twice is a contract violation.
   support::Status start();
 
   /// Begin a graceful drain (idempotent, callable from any thread —
@@ -89,6 +93,11 @@ class Server {
   }
 
   const ServerOptions& options() const { return opts_; }
+
+  /// The endpoint the listener actually bound — equal to the parsed
+  /// options().endpoint except that a TCP port 0 is resolved to the
+  /// concrete ephemeral port. Valid after a successful start().
+  const transport::Endpoint& boundEndpoint() const { return bound_; }
 
   /// Live counters with the cache's own ledger folded in — the body of
   /// the `stats` verb and the feed of report::metricsReport.
@@ -119,6 +128,7 @@ class Server {
   AdmissionQueue admission_;  ///< bounded accept queue (admission.h)
 
   int listenFd_ = -1;
+  transport::Endpoint bound_;     ///< resolved listen endpoint
   int wakeupPipe_[2] = {-1, -1};  ///< written on shutdown to unblock poll
   std::atomic<bool> draining_{false};
   bool started_ = false;

@@ -31,8 +31,9 @@ enum class FaultSite {
   Deadline,      ///< RunBudget deadline check (trips as expired)
   Task,          ///< isolated sweep task body (fails with Status, retried)
   ServiceIo,     ///< service connection read/write (drops the connection)
+  DiskFull,      ///< journal/cache-dir writes (reports ENOSPC as IoError)
 };
-inline constexpr int kFaultSiteCount = 5;
+inline constexpr int kFaultSiteCount = 6;
 
 #ifdef DR_FAULT_INJECT
 

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "support/contracts.h"
+#include "support/fault.h"
 
 namespace dr::support {
 
@@ -134,6 +135,14 @@ Status ioError(const std::string& what) {
 }
 
 Status writeAll(int fd, const char* data, std::size_t size) {
+  // The DiskFull probe models ENOSPC on the cache-dir filesystem: the
+  // journal layer must surface a structured IoError (the committed
+  // prefix stays valid), and the service cache above degrades to an
+  // unjournaled recompute instead of failing the query.
+  if (fault::shouldFail(fault::FaultSite::DiskFull)) {
+    errno = ENOSPC;
+    return ioError("journal write failed");
+  }
   while (size > 0) {
     ssize_t n = ::write(fd, data, size);
     if (n < 0) {
@@ -286,6 +295,10 @@ Expected<JournalWriter> JournalWriter::create(const std::string& path,
   // previous journal at `path` untouched and never a torn header. The fd
   // survives the rename (same inode), so appends continue at `path`.
   const std::string tmp = path + ".tmp";
+  if (fault::shouldFail(fault::FaultSite::DiskFull)) {
+    errno = ENOSPC;
+    return ioError("cannot create journal " + tmp);
+  }
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ioError("cannot create journal " + tmp);
 

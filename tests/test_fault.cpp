@@ -18,6 +18,7 @@
 #include "support/budget.h"
 #include "support/dataset.h"
 #include "support/fault.h"
+#include "support/journal.h"
 
 namespace {
 
@@ -194,6 +195,53 @@ TEST_F(FaultTest, ExhaustedTaskRetriesIsolateToFailedPoints) {
     EXPECT_EQ(a.fidelity, c.fidelity);
   }
   std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, DiskFullFailsJournalWritesButKeepsCommittedPrefix) {
+  const std::string path = ::testing::TempDir() + "dr_fault_enospc.journal";
+  std::remove(path.c_str());
+
+  dr::support::JournalHeader header;
+  header.configHash = 0xd15cf011ULL;
+  header.description = "disk-full probe";
+  auto writer = dr::support::JournalWriter::create(path, header);
+  ASSERT_TRUE(writer.hasValue()) << writer.status().str();
+  dr::support::JournalPoint pt;
+  pt.size = 4;
+  pt.writes = 2;
+  pt.reads = 8;
+  ASSERT_TRUE(writer->appendPoint(pt).isOk());
+  ASSERT_TRUE(writer->commit().isOk());
+
+  // A full disk mid-append is a structured IoError, never a crash...
+  fault::arm(fault::FaultSite::DiskFull, 1);
+  auto st = writer->appendPoint(pt);
+  EXPECT_EQ(st.code(), StatusCode::IoError);
+  fault::disarmAll();
+  writer->close();  // best effort after the failure
+
+  // ...and the committed prefix written before the failure still parses.
+  auto loaded = dr::support::loadJournal(path);
+  ASSERT_TRUE(loaded.hasValue()) << loaded.status().str();
+  EXPECT_EQ(loaded->header.configHash, header.configHash);
+  ASSERT_GE(loaded->points.size(), 1u);
+  EXPECT_EQ(loaded->points.front(), pt);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, DiskFullFailsJournalCreationCleanly) {
+  const std::string path = ::testing::TempDir() + "dr_fault_create.journal";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  fault::arm(fault::FaultSite::DiskFull, 1);
+  dr::support::JournalHeader header;
+  auto writer = dr::support::JournalWriter::create(path, header);
+  EXPECT_FALSE(writer.hasValue());
+  EXPECT_EQ(writer.status().code(), StatusCode::IoError);
+  fault::disarmAll();
+  // No partial journal left behind at either the final or the temp path.
+  EXPECT_FALSE(fileExists(path));
 }
 
 TEST_F(FaultTest, DeterministicSchedulesReplay) {

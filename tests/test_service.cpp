@@ -36,10 +36,14 @@
 #include "service/client.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
+#include "service/router.h"
 #include "service/server.h"
 #include "service/singleflight.h"
+#include "service/transport.h"
 #include "support/budget.h"
 #include "support/fault.h"
+#include "support/journal.h"
+#include "support/rng.h"
 #include "support/status.h"
 
 namespace {
@@ -553,7 +557,7 @@ TEST(Metrics, RenderEmitsOneLinePerCounter) {
 TEST(Server, ServesCurveByteIdenticalToDirectExploration) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 2;
   Server server(opts);
   ASSERT_TRUE(server.start().isOk());
@@ -587,7 +591,7 @@ TEST(Server, ServesCurveByteIdenticalToDirectExploration) {
 TEST(Server, ConcurrentIdenticalBurstSimulatesExactlyOnce) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 4;
   Server server(opts);
   ASSERT_TRUE(server.start().isOk());
@@ -625,7 +629,7 @@ TEST(Server, ConcurrentIdenticalBurstSimulatesExactlyOnce) {
 TEST(Server, SurvivesMalformedFrameAndKeepsServing) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 2;
   Server server(opts);
   ASSERT_TRUE(server.start().isOk());
@@ -664,7 +668,7 @@ TEST(Server, SurvivesMalformedFrameAndKeepsServing) {
 TEST(Server, SurvivesMidQueryDisconnect) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 2;
   Server server(opts);
   ASSERT_TRUE(server.start().isOk());
@@ -697,7 +701,7 @@ TEST(Server, SurvivesMidQueryDisconnect) {
 TEST(Server, StatsVerbReportsCountersAndCacheLedger) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 2;
   Server server(opts);
   ASSERT_TRUE(server.start().isOk());
@@ -725,7 +729,7 @@ TEST(Server, StatsVerbReportsCountersAndCacheLedger) {
 TEST(Server, ErrorRepliesForBadKernelAndUnknownSignal) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 2;
   Server server(opts);
   ASSERT_TRUE(server.start().isOk());
@@ -751,7 +755,7 @@ TEST(Server, ErrorRepliesForBadKernelAndUnknownSignal) {
 TEST(Server, NoCacheFlagBypassesTheCache) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 2;
   Server server(opts);
   ASSERT_TRUE(server.start().isOk());
@@ -775,7 +779,7 @@ TEST(Server, NoCacheFlagBypassesTheCache) {
 TEST(Server, ShutdownVerbDrainsAndReleasesTheSocket) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 2;
   Server server(opts);
   ASSERT_TRUE(server.start().isOk());
@@ -793,7 +797,7 @@ TEST(Server, WarmDirectorySharedWithCliJournals) {
   const std::string dir = tempDir("served_warm");
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 2;
   opts.cache.warmDir = dir;
   const std::string kernel = dr::kernels::motionEstimationSource({32, 32, 4, 4});
@@ -906,7 +910,7 @@ TEST(Admission, RetryAfterHintStaysInsideTheBand) {
 TEST(Server, StartRejectsInvalidOptionsInsteadOfSpawning) {
   {
     ServerOptions opts;
-    opts.socketPath = socketPath();
+    opts.endpoint = socketPath();
     opts.workers = 0;  // a broken pool, caught before any thread spawns
     Server server(opts);
     Status st = server.start();
@@ -915,7 +919,7 @@ TEST(Server, StartRejectsInvalidOptionsInsteadOfSpawning) {
   }
   {
     ServerOptions opts;
-    opts.socketPath = socketPath();
+    opts.endpoint = socketPath();
     opts.admission.maxQueueDepth = -4;
     Server server(opts);
     EXPECT_EQ(server.start().code(), StatusCode::InvalidInput);
@@ -927,7 +931,7 @@ TEST(Server, StartRejectsInvalidOptionsInsteadOfSpawning) {
   }
   {
     ServerOptions opts;
-    opts.socketPath = socketPath();
+    opts.endpoint = socketPath();
     opts.cache.maxBytes = 0;
     Server server(opts);
     EXPECT_EQ(server.start().code(), StatusCode::InvalidInput);
@@ -983,7 +987,7 @@ int parkWorker(const std::string& sock, Server& server) {
 TEST(Server, FullQueueShedsWithStructuredRetryAfterReply) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 1;
   opts.admission.maxQueueDepth = 1;
   Server server(opts);
@@ -1026,7 +1030,7 @@ TEST(Server, FullQueueShedsWithStructuredRetryAfterReply) {
 TEST(Server, QueueWaitChargesTheRequestBudget) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 1;
   opts.admission.acceptDeadlineMs = 0;  // isolate budget expiry from sheds
   Server server(opts);
@@ -1065,7 +1069,7 @@ TEST(Server, QueueWaitChargesTheRequestBudget) {
 TEST(Server, AcceptDeadlineShedsStaleQueuedConnections) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 1;
   opts.admission.acceptDeadlineMs = 100;
   Server server(opts);
@@ -1116,10 +1120,10 @@ TEST(Client, RetryDelayIsDeterministicAndHonorsHints) {
 
 TEST(Client, ValidateOptionsRejectsBrokenConfigs) {
   ClientOptions opts;
-  opts.socketPath = "/tmp/x.sock";
+  opts.endpoint = "/tmp/x.sock";
   EXPECT_TRUE(dr::service::validateClientOptions(opts).isOk());
   ClientOptions bad = opts;
-  bad.socketPath = "";
+  bad.endpoint = "";
   EXPECT_EQ(dr::service::validateClientOptions(bad).code(),
             StatusCode::InvalidInput);
   bad = opts;
@@ -1134,7 +1138,7 @@ TEST(Client, ValidateOptionsRejectsBrokenConfigs) {
 
 TEST(Client, BreakerTripsAfterConsecutiveTransportFailures) {
   ClientOptions opts;
-  opts.socketPath = "/tmp/" + uniqueName("drsvc_nowhere") + ".sock";
+  opts.endpoint = "/tmp/" + uniqueName("drsvc_nowhere") + ".sock";
   opts.maxAttempts = 1;
   opts.breakerThreshold = 2;
   opts.breakerCooldownMs = 60'000;  // stays open for the whole test
@@ -1162,7 +1166,7 @@ TEST(Client, BreakerTripsAfterConsecutiveTransportFailures) {
 TEST(Client, BreakerHalfOpenProbeRecoversAgainstALiveServer) {
   const std::string sock = socketPath();
   ClientOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.maxAttempts = 1;
   opts.breakerThreshold = 2;
   opts.breakerCooldownMs = 100;
@@ -1176,7 +1180,7 @@ TEST(Client, BreakerHalfOpenProbeRecoversAgainstALiveServer) {
   ASSERT_EQ(client.breakerState(), Client::BreakerState::Open);
 
   ServerOptions sopts;
-  sopts.socketPath = sock;
+  sopts.endpoint = sock;
   sopts.workers = 2;
   Server server(sopts);
   ASSERT_TRUE(server.start().isOk());
@@ -1197,7 +1201,7 @@ TEST(Client, BreakerHalfOpenProbeRecoversAgainstALiveServer) {
 TEST(Client, RetriesThroughShedsUntilAdmitted) {
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 1;
   opts.admission.maxQueueDepth = 1;
   opts.admission.retryAfterFloorMs = 10;
@@ -1215,7 +1219,7 @@ TEST(Client, RetriesThroughShedsUntilAdmitted) {
   // The client keeps getting shed while the queue is full; once the
   // parked connection releases, a retry is admitted and served.
   ClientOptions copts;
-  copts.socketPath = sock;
+  copts.endpoint = sock;
   copts.maxAttempts = 50;
   copts.backoffBaseMs = 5;
   copts.backoffCapMs = 50;
@@ -1246,7 +1250,7 @@ TEST(Client, BurstSurvivesServerRestartOnTheSameCacheDir) {
   const std::string dir = tempDir("restart_burst");
   const std::string sock = socketPath();
   ServerOptions opts;
-  opts.socketPath = sock;
+  opts.endpoint = sock;
   opts.workers = 4;
   opts.cache.warmDir = dir;
   auto server = std::make_unique<Server>(opts);
@@ -1264,7 +1268,7 @@ TEST(Client, BurstSurvivesServerRestartOnTheSameCacheDir) {
       dr::report::curveCsv(direct->signalName, direct->simulatedCurve);
 
   ClientOptions copts;
-  copts.socketPath = sock;
+  copts.endpoint = sock;
   copts.maxAttempts = 20;
   copts.backoffBaseMs = 10;
   copts.backoffCapMs = 100;
@@ -1324,13 +1328,563 @@ TEST(Client, BurstSurvivesServerRestartOnTheSameCacheDir) {
   server->wait();
 }
 
+// ---- transport ----------------------------------------------------------
+
+namespace transport = dr::service::transport;
+
+TEST(Transport, ParseEndpointAcceptsEveryDocumentedForm) {
+  auto plainUnix = transport::parseEndpoint("/tmp/x.sock");
+  ASSERT_TRUE(plainUnix.hasValue());
+  EXPECT_EQ(plainUnix->kind, transport::Endpoint::Kind::Unix);
+  EXPECT_EQ(plainUnix->path, "/tmp/x.sock");
+  EXPECT_EQ(transport::toString(*plainUnix), "/tmp/x.sock");
+
+  auto forcedUnix = transport::parseEndpoint("unix:/tmp/y.sock");
+  ASSERT_TRUE(forcedUnix.hasValue());
+  EXPECT_EQ(forcedUnix->kind, transport::Endpoint::Kind::Unix);
+  EXPECT_EQ(forcedUnix->path, "/tmp/y.sock");
+
+  auto dotted = transport::parseEndpoint("127.0.0.1:7070");
+  ASSERT_TRUE(dotted.hasValue());
+  EXPECT_EQ(dotted->kind, transport::Endpoint::Kind::Tcp);
+  EXPECT_EQ(dotted->host, "127.0.0.1");
+  EXPECT_EQ(dotted->port, 7070);
+  EXPECT_EQ(transport::toString(*dotted), "127.0.0.1:7070");
+
+  auto named = transport::parseEndpoint("localhost:8080");
+  ASSERT_TRUE(named.hasValue());
+  EXPECT_EQ(named->kind, transport::Endpoint::Kind::Tcp);
+  EXPECT_EQ(named->host, "localhost");
+  EXPECT_EQ(named->port, 8080);
+
+  auto forcedTcp = transport::parseEndpoint("tcp:127.0.0.1:9090");
+  ASSERT_TRUE(forcedTcp.hasValue());
+  EXPECT_EQ(forcedTcp->kind, transport::Endpoint::Kind::Tcp);
+  EXPECT_EQ(forcedTcp->port, 9090);
+}
+
+TEST(Transport, ParseEndpointRejectsBrokenSpecs) {
+  const auto rejects = [](const std::string& spec) {
+    auto ep = transport::parseEndpoint(spec);
+    EXPECT_FALSE(ep.hasValue()) << spec;
+    if (!ep.hasValue())
+      EXPECT_EQ(ep.status().code(), StatusCode::InvalidInput) << spec;
+  };
+  rejects("");
+  rejects("unix:");
+  rejects("tcp:127.0.0.1");      // forced TCP without a port
+  rejects("127.0.0.1:");         // empty port token
+  rejects("127.0.0.1:abc");      // non-numeric port
+  rejects("127.0.0.1:70000");    // out of range
+  rejects(":7070");              // no host
+  rejects("/" + std::string(200, 'a'));  // over-long unix path
+
+  // Port 0 is listen-only: rejected for clients, accepted for listeners.
+  EXPECT_FALSE(transport::parseEndpoint("127.0.0.1:0").hasValue());
+  auto ephemeral =
+      transport::parseEndpoint("127.0.0.1:0", /*allowEphemeralPort=*/true);
+  ASSERT_TRUE(ephemeral.hasValue());
+  EXPECT_EQ(ephemeral->port, 0);
+}
+
+TEST(Transport, EphemeralTcpListenerReportsItsBoundPort) {
+  auto ep = transport::parseEndpoint("127.0.0.1:0",
+                                     /*allowEphemeralPort=*/true);
+  ASSERT_TRUE(ep.hasValue());
+  auto listener = transport::listenOn(*ep);
+  ASSERT_TRUE(listener.hasValue()) << listener.status().str();
+  EXPECT_GT(listener->bound.port, 0);
+  EXPECT_EQ(listener->bound.host, "127.0.0.1");
+  ::close(listener->fd);
+}
+
+// ---- TCP server / health verb -------------------------------------------
+
+/// A live daemon on an ephemeral TCP port, endpoint resolved.
+struct TcpShard {
+  std::unique_ptr<Server> server;
+  std::string endpoint;
+};
+
+TcpShard startTcpShard(int workers = 2) {
+  ServerOptions opts;
+  opts.endpoint = "127.0.0.1:0";
+  opts.workers = workers;
+  TcpShard shard;
+  shard.server = std::make_unique<Server>(opts);
+  auto st = shard.server->start();
+  EXPECT_TRUE(st.isOk()) << st.str();
+  shard.endpoint = transport::toString(shard.server->boundEndpoint());
+  return shard;
+}
+
+TEST(Server, TcpEndpointServesByteIdenticalCurve) {
+  const std::string kernel =
+      dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  auto compiled = dr::frontend::compileKernelChecked(kernel);
+  ASSERT_TRUE(compiled.hasValue());
+  const int sig = compiled->findSignal("Old");
+  auto direct = dr::explorer::exploreSignalChecked(*compiled, sig, {});
+  ASSERT_TRUE(direct.hasValue());
+  const std::string expected =
+      dr::report::curveCsv(direct->signalName, direct->simulatedCurve);
+
+  TcpShard shard = startTcpShard();
+  ClientOptions copts;
+  copts.endpoint = shard.endpoint;
+  Client client(copts);
+  proto::ExploreRequest req;
+  req.kernel = kernel;
+  req.signal = "Old";
+  auto reply = client.explore(req);
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  ASSERT_EQ(reply->code, StatusCode::Ok) << reply->message;
+  auto result = proto::decodeExploreResult(reply->body);
+  ASSERT_TRUE(result.hasValue());
+  // Same byte-identity gate the Unix-socket path honors.
+  EXPECT_EQ(result->csv, expected);
+
+  shard.server->requestShutdown();
+  shard.server->wait();
+}
+
+TEST(Server, HealthVerbAnswersWithoutTouchingTheCache) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.endpoint = sock;
+  opts.workers = 3;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  auto reply = roundTrip(sock, proto::Verb::Health, "");
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  ASSERT_EQ(reply->code, StatusCode::Ok) << reply->message;
+  auto info = proto::decodeHealthInfo(reply->body);
+  ASSERT_TRUE(info.hasValue()) << info.status().str();
+  EXPECT_FALSE(info->draining);
+  EXPECT_EQ(info->workers, 3);
+  EXPECT_GE(info->queueDepth, 0);
+  EXPECT_GE(server.metricsSnapshot().healthRequests, 1);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(Server, V1FrameIsRejectedWithAStructuredError) {
+  const std::string sock = socketPath();
+  ServerOptions opts;
+  opts.endpoint = sock;
+  Server server(opts);
+  ASSERT_TRUE(server.start().isOk());
+
+  std::string frame = proto::encodeFrame(proto::Verb::Health, "");
+  frame[4] = 1;  // regress the version byte to the pre-budget protocol
+  int fd = connectTo(sock);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(sendAll(fd, frame));
+  auto reply = readReply(fd);
+  ::close(fd);
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  EXPECT_EQ(reply->code, StatusCode::InvalidInput);
+  EXPECT_NE(reply->message.find("version"), std::string::npos)
+      << reply->message;
+
+  server.requestShutdown();
+  server.wait();
+}
+
+// ---- per-endpoint circuit breakers --------------------------------------
+
+TEST(Client, BreakerStateIsPerEndpointNotPerProcess) {
+  TcpShard live = startTcpShard();
+  const std::string deadEndpoint = socketPath();  // nothing listening
+
+  dr::service::BreakerRegistry registry;
+  ClientOptions dead;
+  dead.endpoint = deadEndpoint;
+  dead.maxAttempts = 1;
+  dead.connectTimeoutMs = 200;
+  dead.breakerThreshold = 2;
+  Client deadClient(dead, registry.acquire(deadEndpoint, 2, 60000));
+
+  ClientOptions liveOpts;
+  liveOpts.endpoint = live.endpoint;
+  liveOpts.breakerThreshold = 2;
+  Client liveClient(liveOpts, registry.acquire(live.endpoint, 2, 60000));
+
+  // Two consecutive transport failures trip the dead endpoint's breaker.
+  EXPECT_FALSE(deadClient.call(proto::Verb::Stats, "").hasValue());
+  EXPECT_FALSE(deadClient.call(proto::Verb::Stats, "").hasValue());
+  EXPECT_EQ(deadClient.breakerState(), Client::BreakerState::Open);
+
+  // The healthy endpoint's breaker is untouched by its neighbor's death.
+  auto reply = liveClient.call(proto::Verb::Stats, "");
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  EXPECT_EQ(reply->code, StatusCode::Ok);
+  EXPECT_EQ(liveClient.breakerState(), Client::BreakerState::Closed);
+
+  // And a second client of the dead endpoint shares the tripped breaker
+  // instead of paying the connect timeout again.
+  Client deadTwin(dead, registry.acquire(deadEndpoint, 2, 60000));
+  EXPECT_EQ(deadTwin.breakerState(), Client::BreakerState::Open);
+
+  live.server->requestShutdown();
+  live.server->wait();
+}
+
+// ---- shard ring ---------------------------------------------------------
+
+TEST(Router, RingPreferenceIsDeterministicAndCoversEveryShard) {
+  const std::vector<std::string> endpoints = {
+      "127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003", "127.0.0.1:7004"};
+  dr::service::ShardRing ring(endpoints, 64);
+  ASSERT_EQ(ring.shardCount(), 4);
+
+  std::vector<int> ownerCounts(endpoints.size(), 0);
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    const std::uint64_t h = dr::support::mixSeed(key, 0x9e3779b9ULL);
+    const std::vector<int> pref = ring.preference(h);
+    ASSERT_EQ(pref.size(), endpoints.size());
+    // The walk visits every shard exactly once, primary first.
+    std::vector<int> sorted = pref;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(pref.front(), ring.primary(h));
+    EXPECT_EQ(pref, ring.preference(h));  // same key, same order
+    ++ownerCounts[static_cast<std::size_t>(pref.front())];
+  }
+  // 64 virtual nodes per shard spread ownership across all of them.
+  for (std::size_t s = 0; s < ownerCounts.size(); ++s)
+    EXPECT_GT(ownerCounts[s], 0) << "shard " << s << " owns nothing";
+}
+
+// ---- router -------------------------------------------------------------
+
+std::uint64_t configHashOf(const std::string& kernel,
+                           const std::string& signal) {
+  auto compiled = dr::frontend::compileKernelChecked(kernel);
+  EXPECT_TRUE(compiled.hasValue());
+  return dr::explorer::exploreConfigHash(*compiled,
+                                         compiled->findSignal(signal), {});
+}
+
+TEST(Router, ValidateOptionsRejectsBrokenConfigs) {
+  dr::service::RouterOptions good;
+  good.listen = "127.0.0.1:0";
+  good.shards = {"127.0.0.1:7001", "127.0.0.1:7002"};
+  EXPECT_TRUE(dr::service::validateRouterOptions(good).isOk());
+
+  auto bad = good;
+  bad.listen = "";
+  EXPECT_FALSE(dr::service::validateRouterOptions(bad).isOk());
+  bad = good;
+  bad.shards.clear();
+  EXPECT_FALSE(dr::service::validateRouterOptions(bad).isOk());
+  bad = good;
+  bad.shards.push_back("127.0.0.1:7001");  // duplicate
+  EXPECT_FALSE(dr::service::validateRouterOptions(bad).isOk());
+  bad = good;
+  bad.shards.push_back("127.0.0.1:0");  // ephemeral port on a client spec
+  EXPECT_FALSE(dr::service::validateRouterOptions(bad).isOk());
+  bad = good;
+  bad.workers = 0;
+  EXPECT_FALSE(dr::service::validateRouterOptions(bad).isOk());
+  bad = good;
+  bad.hedgeMinDelayMs = 100;
+  bad.hedgeMaxDelayMs = 10;
+  EXPECT_FALSE(dr::service::validateRouterOptions(bad).isOk());
+}
+
+TEST(Router, FailsOverWhenThePrimaryShardDies) {
+  TcpShard a = startTcpShard();
+  TcpShard b = startTcpShard();
+
+  dr::service::RouterOptions ropts;
+  ropts.listen = "127.0.0.1:0";
+  ropts.shards = {a.endpoint, b.endpoint};
+  ropts.hedge = false;
+  ropts.healthIntervalMs = 0;  // passive accounting only: deterministic
+  ropts.client.connectTimeoutMs = 300;
+  ropts.client.backoffBaseMs = 1;
+  dr::service::Router router(ropts);
+  ASSERT_TRUE(router.start().isOk());
+  const std::string front = transport::toString(router.boundEndpoint());
+
+  const std::string kernel =
+      dr::kernels::motionEstimationSource({32, 32, 4, 4});
+  const std::uint64_t hash = configHashOf(kernel, "Old");
+  const std::vector<int> pref = router.ring().preference(hash);
+  ASSERT_EQ(pref.size(), 2u);
+  TcpShard& primary = pref.front() == 0 ? a : b;
+
+  // Kill the shard that owns this kernel; the replica must answer.
+  primary.server->requestShutdown();
+  primary.server->wait();
+
+  ClientOptions copts;
+  copts.endpoint = front;
+  Client client(copts);
+  proto::ExploreRequest req;
+  req.kernel = kernel;
+  req.signal = "Old";
+  for (int i = 0; i < 3; ++i) {
+    auto reply = client.explore(req);
+    ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+    ASSERT_EQ(reply->code, StatusCode::Ok) << reply->message;
+  }
+
+  const dr::service::RouterStats stats = router.stats();
+  EXPECT_GE(stats.failovers, 1);
+  // Two passive strikes took the primary Down; later queries skip it
+  // outright instead of re-paying the connect failure.
+  EXPECT_FALSE(stats.shardUp[static_cast<std::size_t>(pref.front())]);
+  EXPECT_GE(stats.shardDownSkips, 1);
+  EXPECT_GE(stats.shardForwards[static_cast<std::size_t>(pref[1])], 3);
+
+  router.requestShutdown();
+  router.wait();
+  TcpShard& replica = pref.front() == 0 ? b : a;
+  replica.server->requestShutdown();
+  replica.server->wait();
+}
+
+TEST(Router, HedgeWinsAgainstABlackholedPrimary) {
+  // The black hole accepts connections into its backlog and never reads:
+  // the worst failure mode — alive at the TCP level, dead above it.
+  auto bhEp = transport::parseEndpoint("127.0.0.1:0",
+                                       /*allowEphemeralPort=*/true);
+  ASSERT_TRUE(bhEp.hasValue());
+  auto blackhole = transport::listenOn(*bhEp);
+  ASSERT_TRUE(blackhole.hasValue());
+  const std::string bhSpec = transport::toString(blackhole->bound);
+  TcpShard live = startTcpShard();
+
+  dr::service::RouterOptions ropts;
+  ropts.listen = "127.0.0.1:0";
+  ropts.shards = {bhSpec, live.endpoint};
+  ropts.hedge = true;
+  ropts.hedgeDelayMs = 25;
+  ropts.healthIntervalMs = 0;  // keep the black hole officially "up"
+  ropts.client.maxAttempts = 1;
+  ropts.client.connectTimeoutMs = 500;
+  ropts.client.recvTimeoutMs = 500;  // bounds the losing forward's drain
+  dr::service::Router router(ropts);
+  ASSERT_TRUE(router.start().isOk());
+
+  // Find a kernel whose ring primary is the black hole, so the hedge is
+  // what saves the query.
+  std::string kernel;
+  for (int h : {16, 32, 64, 128}) {
+    const std::string candidate =
+        dr::kernels::motionEstimationSource({h, 32, 4, 4});
+    if (router.ring().primary(configHashOf(candidate, "Old")) == 0) {
+      kernel = candidate;
+      break;
+    }
+  }
+  if (kernel.empty())
+    GTEST_SKIP() << "no candidate kernel hashed to the black-hole shard";
+
+  // Pre-warm the live shard so the hedged forward is a cache hit: the
+  // hedge must beat the primary's 500 ms recv timeout deterministically,
+  // not race a cold first-time curve computation that can lose — in which
+  // case the router still answers Ok, but via failover instead of a hedge
+  // win.
+  {
+    ClientOptions warm;
+    warm.endpoint = live.endpoint;
+    warm.recvTimeoutMs = 5000;
+    proto::ExploreRequest wreq;
+    wreq.kernel = kernel;
+    wreq.signal = "Old";
+    auto w = Client(warm).explore(wreq);
+    ASSERT_TRUE(w.hasValue()) << w.status().str();
+    ASSERT_EQ(w->code, StatusCode::Ok) << w->message;
+  }
+
+  ClientOptions copts;
+  copts.endpoint = transport::toString(router.boundEndpoint());
+  copts.recvTimeoutMs = 5000;
+  Client client(copts);
+  proto::ExploreRequest req;
+  req.kernel = kernel;
+  req.signal = "Old";
+  auto reply = client.explore(req);
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  ASSERT_EQ(reply->code, StatusCode::Ok) << reply->message;
+
+  const dr::service::RouterStats stats = router.stats();
+  EXPECT_GE(stats.hedgesLaunched, 1);
+  EXPECT_GE(stats.hedgesWon, 1);
+  EXPECT_GE(stats.shardForwards[1], 1);
+
+  router.requestShutdown();
+  router.wait();
+  ::close(blackhole->fd);
+  live.server->requestShutdown();
+  live.server->wait();
+}
+
+TEST(Router, HealthProbesFlapAShardDownAndBackUp) {
+  TcpShard a = startTcpShard();
+  TcpShard b = startTcpShard();
+
+  dr::service::RouterOptions ropts;
+  ropts.listen = "127.0.0.1:0";
+  ropts.shards = {a.endpoint, b.endpoint};
+  ropts.hedge = false;
+  ropts.healthIntervalMs = 25;
+  ropts.healthTimeoutMs = 200;
+  dr::service::Router router(ropts);
+  ASSERT_TRUE(router.start().isOk());
+
+  const auto waitForUpState = [&](std::size_t idx, bool want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (router.stats().shardUp[idx] == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+  ASSERT_TRUE(waitForUpState(1, true));
+
+  // Kill shard B: probes must take it Down within a few intervals.
+  b.server->requestShutdown();
+  b.server->wait();
+  EXPECT_TRUE(waitForUpState(1, false));
+
+  // Restart it on the same (now concrete) endpoint: probes bring it back.
+  ServerOptions again;
+  again.endpoint = b.endpoint;
+  again.workers = 2;
+  b.server = std::make_unique<Server>(again);
+  ASSERT_TRUE(b.server->start().isOk());
+  EXPECT_TRUE(waitForUpState(1, true));
+
+  const dr::service::RouterStats stats = router.stats();
+  EXPECT_GE(stats.healthProbes, 2);
+  EXPECT_GE(stats.healthProbeFailures, 1);
+  EXPECT_GE(stats.healthFlaps, 2);  // Up->Down and Down->Up
+
+  router.requestShutdown();
+  router.wait();
+  a.server->requestShutdown();
+  a.server->wait();
+  b.server->requestShutdown();
+  b.server->wait();
+}
+
+// ---- warm-cache hygiene -------------------------------------------------
+
+TEST(Cache, DiskFullDegradesWarmCacheToRecompute) {
+  if constexpr (!dr::support::fault::kCompiledIn) {
+    GTEST_SKIP() << "fault injection not compiled in (DR_FAULT_INJECT=OFF)";
+  } else {
+    dr::service::ResultCache::Options copts;
+    copts.warmDir = tempDir("dr_diskfull_cache");
+    dr::service::ResultCache cache(copts);
+
+    const std::string kernel =
+        dr::kernels::motionEstimationSource({32, 32, 4, 4});
+    auto compiled = dr::frontend::compileKernelChecked(kernel);
+    ASSERT_TRUE(compiled.hasValue());
+    const int sig = compiled->findSignal("Old");
+    const std::uint64_t hash =
+        dr::explorer::exploreConfigHash(*compiled, sig, {});
+
+    // Every journal write hits ENOSPC: the warm layer must degrade to an
+    // unjournaled recompute, never fail the query or leave a live torn
+    // journal behind.
+    dr::support::fault::armRandom(dr::support::fault::FaultSite::DiskFull,
+                                  /*seed=*/1, /*p=*/1.0);
+    auto result = cache.getOrCompute(hash, *compiled, sig, {});
+    dr::support::fault::disarmAll();
+    ASSERT_TRUE(result.hasValue()) << result.status().str();
+    EXPECT_FALSE(result->csv.empty());
+    EXPECT_GE(cache.stats().journalFailures, 1);
+    // Whatever the journal attempt left behind is quarantined, not live.
+    std::ifstream journal(cache.warmPath(hash));
+    EXPECT_FALSE(journal.good());
+
+    // With the disk healthy again the same query journals normally.
+    dr::service::ResultCache fresh(copts);
+    auto healthy = fresh.getOrCompute(hash, *compiled, sig, {});
+    ASSERT_TRUE(healthy.hasValue());
+    EXPECT_EQ(healthy->csv, result->csv);
+    std::ifstream written(fresh.warmPath(hash));
+    EXPECT_TRUE(written.good());
+  }
+}
+
+TEST(Cache, ScrubQuarantinesJournalsWithNoCommittedPrefix) {
+  const std::string dir = tempDir("dr_scrub");
+
+  // One clean journal...
+  {
+    dr::support::JournalHeader header;
+    header.configHash = 0xc1ea7ULL;
+    auto writer =
+        dr::support::JournalWriter::create(dir + "/good.journal", header);
+    ASSERT_TRUE(writer.hasValue());
+    dr::support::JournalPoint pt;
+    pt.size = 2;
+    pt.writes = 1;
+    pt.reads = 4;
+    ASSERT_TRUE(writer->appendPoint(pt).isOk());
+    ASSERT_TRUE(writer->close().isOk());
+  }
+  // ...one valid journal with a flipped header byte (CRC now fails)...
+  {
+    dr::support::JournalHeader header;
+    header.configHash = 0xf11bULL;
+    auto writer =
+        dr::support::JournalWriter::create(dir + "/flip.journal", header);
+    ASSERT_TRUE(writer.hasValue());
+    ASSERT_TRUE(writer->close().isOk());
+    std::fstream f(dir + "/flip.journal",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(6);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(6);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  // ...and one file of plain garbage.
+  {
+    std::ofstream garbage(dir + "/junk.journal", std::ios::binary);
+    garbage << "this was never a journal";
+  }
+
+  auto report = dr::service::scrubWarmDir(dir);
+  ASSERT_TRUE(report.hasValue()) << report.status().str();
+  EXPECT_EQ(report->scanned, 3);
+  EXPECT_EQ(report->clean, 1);
+  EXPECT_EQ(report->quarantined, 2);
+  ASSERT_EQ(report->quarantinedFiles.size(), 2u);
+  EXPECT_EQ(report->quarantinedFiles[0], dir + "/flip.journal");
+  EXPECT_EQ(report->quarantinedFiles[1], dir + "/junk.journal");
+  // Quarantine renames the files out of the *.journal resolution path.
+  EXPECT_FALSE(std::ifstream(dir + "/junk.journal").good());
+  EXPECT_TRUE(std::ifstream(dir + "/junk.journal.corrupt").good());
+  EXPECT_FALSE(std::ifstream(dir + "/flip.journal").good());
+
+  // A second pass has nothing left to quarantine.
+  auto again = dr::service::scrubWarmDir(dir);
+  ASSERT_TRUE(again.hasValue());
+  EXPECT_EQ(again->scanned, 1);
+  EXPECT_EQ(again->clean, 1);
+  EXPECT_EQ(again->quarantined, 0);
+}
+
 TEST(Server, InjectedIoFaultDropsOnlyThatConnection) {
   if constexpr (!dr::support::fault::kCompiledIn) {
     GTEST_SKIP() << "fault injection not compiled in (DR_FAULT_INJECT=OFF)";
   } else {
     const std::string sock = socketPath();
     ServerOptions opts;
-    opts.socketPath = sock;
+    opts.endpoint = sock;
     opts.workers = 2;
     Server server(opts);
     ASSERT_TRUE(server.start().isOk());

@@ -1,0 +1,234 @@
+// Cache-partitioning advisor CLI: explore every read signal of a kernel,
+// solve the best per-object placement of a shared on-chip capacity, and
+// print the predicted miss-reduction table (the pincpt `reduction [%]`
+// report, predicted from reuse curves instead of measured on hardware).
+//
+//   $ ./examples/datareuse_advise [--kernel path/to/kernel.krn]
+//                                 [--builtin me|conv2d|matmul|susan|wavelet]
+//                                 [--mode way|scratchpad]
+//                                 [--capacity N] [--ways W]
+//                                 [--cache-dir DIR] [--deadline-ms N]
+//                                 [--csv-out PATH] [--json-out PATH]
+//   $ ./examples/datareuse_advise --connect ENDPOINT ... [--no-cache]
+//   $ ./examples/datareuse_advise --builtin me --dump-request PATH
+//
+// Without --kernel it advises a built-in kernel (--builtin, default the
+// paper's motion-estimation vehicle). --mode way splits W cache ways of a
+// `capacity`-element cache between the kernel's arrays; --mode scratchpad
+// decides which arrays to pin whole into a `capacity`-element scratchpad.
+// --cache-dir reuses/persists per-signal warm journals (the same files
+// explore_kernel --cache-dir and the daemon's warm cache use), so a
+// re-advise after an explore sweep simulates nothing.
+//
+// --connect sends the query to a running daemon (datareuse_serve) or
+// shard router (datareuse_route) as the Advise verb instead of solving
+// locally; the reply's CSV is byte-identical to the local --csv-out for
+// the same kernel and options (pinned by tests and the CI advisor-smoke
+// job). Builtins are sent as kernel-language source, so daemon and local
+// runs hash — and cache — identically.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "frontend/frontend.h"
+#include "kernels/conv2d.h"
+#include "kernels/matmul.h"
+#include "kernels/motion_estimation.h"
+#include "kernels/susan.h"
+#include "kernels/wavelet.h"
+#include "partition/advisor.h"
+#include "report/report.h"
+#include "service/cache.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "support/budget.h"
+#include "support/cli.h"
+#include "support/dataset.h"
+
+namespace {
+
+namespace proto = dr::service::proto;
+using dr::support::Expected;
+using dr::support::Status;
+using dr::support::StatusCode;
+using dr::support::i64;
+
+Expected<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Status::error(StatusCode::IoError, "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Kernel-language source for one --builtin name; empty for unknown.
+std::string builtinSource(const std::string& name) {
+  if (name == "me") return dr::kernels::motionEstimationSource({});
+  if (name == "conv2d") return dr::kernels::conv2dSource({});
+  if (name == "matmul") return dr::kernels::matmulSource({});
+  if (name == "susan") return dr::kernels::susanSource({});
+  if (name == "wavelet") return dr::kernels::waveletLiftingSource({});
+  return "";
+}
+
+bool writeOut(const std::string& path, const std::string& bytes) {
+  auto st = dr::support::DataSet::writeFileStatus(path, bytes);
+  if (!st.isOk()) {
+    std::fprintf(stderr, "%s\n", st.str().c_str());
+    return false;
+  }
+  return true;
+}
+
+int runAdvise(int argc, char** argv) {
+  auto parsed = dr::support::CliOptions::parse(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.status().str().c_str());
+    return 1;
+  }
+  const dr::support::CliOptions& cli = *parsed;
+  const std::string kernelPath = cli.getString("kernel", "");
+  const std::string builtin = cli.getString("builtin", "me");
+  const std::string modeName = cli.getString("mode", "way");
+  const i64 capacity = cli.getInt("capacity", 1024);
+  const i64 ways = cli.getInt("ways", 8);
+  const std::string cacheDir = cli.getString("cache-dir", "");
+  const i64 deadlineMs = cli.getInt("deadline-ms", 0);
+  const std::string csvOut = cli.getString("csv-out", "");
+  const std::string jsonOut = cli.getString("json-out", "");
+  const std::string connect = cli.getString("connect", "");
+  const std::string dumpRequest = cli.getString("dump-request", "");
+  const bool noCache = cli.getBool("no-cache", false);
+  for (const auto& name : cli.unusedNames())
+    std::fprintf(stderr, "warning: unknown option --%s\n", name.c_str());
+
+  dr::partition::Mode mode;
+  if (modeName == "way") {
+    mode = dr::partition::Mode::WayPartition;
+  } else if (modeName == "scratchpad") {
+    mode = dr::partition::Mode::Scratchpad;
+  } else {
+    std::fprintf(stderr, "error: --mode must be 'way' or 'scratchpad'\n");
+    return 1;
+  }
+
+  std::string kernelText;
+  if (!kernelPath.empty()) {
+    auto text = readFile(kernelPath);
+    if (!text.hasValue()) {
+      std::fprintf(stderr, "%s\n", text.status().str().c_str());
+      return 1;
+    }
+    kernelText = std::move(*text);
+  } else {
+    kernelText = builtinSource(builtin);
+    if (kernelText.empty()) {
+      std::fprintf(stderr,
+                   "error: --builtin must be 'me', 'conv2d', 'matmul', "
+                   "'susan' or 'wavelet'\n");
+      return 1;
+    }
+  }
+
+  if (!connect.empty() || !dumpRequest.empty()) {
+    // Daemon path: one Advise exchange under the resilient client.
+    proto::AdviseRequest req;
+    req.kernel = kernelText;
+    req.deadlineMs = deadlineMs;
+    req.mode = static_cast<std::uint8_t>(mode);
+    req.capacity = capacity;
+    req.ways = ways;
+    if (noCache) req.flags |= proto::kFlagNoCache;
+    if (!dumpRequest.empty()) {
+      // Fuzz corpus seed: the framed request, exactly as it crosses the
+      // socket. No server needed.
+      if (!writeOut(dumpRequest,
+                    proto::encodeFrame(proto::Verb::Advise,
+                                       proto::encodeAdviseRequest(req))))
+        return 1;
+      std::printf("wrote request frame to %s\n", dumpRequest.c_str());
+      return 0;
+    }
+    dr::service::ClientOptions copts;
+    copts.endpoint = connect;
+    dr::service::Client client(copts);
+    auto reply = client.advise(req);
+    if (!reply.hasValue()) {
+      std::fprintf(stderr, "%s\n", reply.status().str().c_str());
+      return 1;
+    }
+    if (reply->code != StatusCode::Ok) {
+      std::fprintf(stderr, "error: %s\n", reply->message.c_str());
+      return 1;
+    }
+    auto result = proto::decodeAdviseResult(reply->body);
+    if (!result.hasValue()) {
+      std::fprintf(stderr, "%s\n", result.status().str().c_str());
+      return 1;
+    }
+    const double reduction =
+        result->baselineMisses > 0
+            ? 100.0 *
+                  static_cast<double>(result->baselineMisses -
+                                      result->partitionedMisses) /
+                  static_cast<double>(result->baselineMisses)
+            : 0.0;
+    std::printf("advise (%s, capacity %lld): misses %lld -> %lld, "
+                "reduction %.3f%%%s%s\n",
+                modeName.c_str(), static_cast<long long>(capacity),
+                static_cast<long long>(result->baselineMisses),
+                static_cast<long long>(result->partitionedMisses), reduction,
+                result->cached ? " [cached]" : "",
+                result->usedFallback ? " [greedy fallback]" : "");
+    if (!csvOut.empty() && !writeOut(csvOut, result->csv)) return 1;
+    return 0;
+  }
+
+  // Local path: compile, explore every read signal, solve, report.
+  auto compiled = dr::frontend::compileKernelChecked(kernelText);
+  if (!compiled.hasValue()) {
+    std::fprintf(stderr, "%s\n", compiled.status().str().c_str());
+    return 1;
+  }
+  dr::partition::AdvisorOptions opts;
+  opts.solve.mode = mode;
+  opts.solve.capacity = capacity;
+  opts.solve.ways = ways;
+  dr::support::RunBudget budget;
+  if (deadlineMs > 0) {
+    budget.setDeadline(std::chrono::milliseconds(deadlineMs));
+    opts.explore.budget = &budget;
+  }
+  if (!cacheDir.empty()) {
+    if (auto st = dr::service::ensureWarmDir(cacheDir); !st.isOk()) {
+      std::fprintf(stderr, "%s\n", st.str().c_str());
+      return 1;
+    }
+    opts.journalPathFor = [cacheDir](std::uint64_t hash) {
+      return dr::service::warmJournalPath(cacheDir, hash);
+    };
+  }
+  auto report = dr::partition::adviseKernelChecked(*compiled, opts);
+  if (!report.hasValue()) {
+    std::fprintf(stderr, "%s\n", report.status().str().c_str());
+    return 1;
+  }
+  std::printf("%s", dr::report::advisorTable(*report).c_str());
+  if (!csvOut.empty() &&
+      !writeOut(csvOut, dr::report::advisorCsv(*report)))
+    return 1;
+  if (!jsonOut.empty() &&
+      !writeOut(jsonOut, dr::report::advisorJson(*report)))
+    return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dr::support::guardedMain([&] { return runAdvise(argc, argv); });
+}

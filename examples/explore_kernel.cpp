@@ -9,6 +9,7 @@
 //                               [--journal PATH] [--no-resume]
 //                               [--cache-dir DIR]
 //                               [--deadline-ms N] [--curve-out PATH]
+//                               [--hist-out PATH]
 //                               [--engine run|element|streaming|symbolic]
 //
 // Without --kernel it runs on a built-in 2-D convolution example. The
@@ -22,7 +23,11 @@
 // writes — so reruns and daemon queries with the same kernel + options
 // reuse each other's results. --deadline-ms bounds the run with a
 // RunBudget (degrading, not failing, on expiry) and --curve-out writes
-// the simulated curve as CSV. --engine picks the simulation engine:
+// the simulated curve as CSV. --hist-out writes every explored signal's
+// curve into one document — CSV (long format, a `signal` column ahead of
+// the curve columns) or, with a .json extension, JSON — the partitioning
+// advisor's input surface for external tools. --engine picks the
+// simulation engine:
 // `run` (default, Auto) upgrades to the closed-form symbolic engine when
 // its preconditions hold and otherwise simulates decoded constant-stride
 // runs, `element` forces one event at a time, `streaming` forces the
@@ -125,9 +130,11 @@ bool writeCurveCsv(const dr::explorer::SignalExploration& ex,
 bool exploreOne(const dr::loopir::Program& p, int signal,
                 const dr::explorer::ExploreOptions& opts, bool emitCode,
                 bool fullReport, long long orderingsBudget,
-                const JournalCli& journal) {
+                const JournalCli& journal,
+                std::vector<dr::explorer::SignalExploration>* collect) {
   dr::explorer::SignalExploration ex;
   if (!exploreForSignal(p, signal, opts, journal, ex)) return false;
+  if (collect) collect->push_back(ex);
   if (!journal.curveOut.empty() && !writeCurveCsv(ex, journal.curveOut))
     return false;
   if (fullReport) {
@@ -240,6 +247,7 @@ int runExploreKernel(int argc, char** argv) {
   journal.cacheDir = cli.getString("cache-dir", "");
   journal.resume = !cli.getBool("no-resume", false);
   journal.curveOut = cli.getString("curve-out", "");
+  std::string histOut = cli.getString("hist-out", "");
   long long deadlineMs = cli.getInt("deadline-ms", 0);
   dr::support::RunBudget budget;
   if (deadlineMs > 0) {
@@ -263,6 +271,27 @@ int runExploreKernel(int argc, char** argv) {
 
   std::printf("%s\n", dr::loopir::programToString(p).c_str());
 
+  // --hist-out wants every explored curve in one document; collect them
+  // across the sweep and write once at the end.
+  std::vector<dr::explorer::SignalExploration> collected;
+  std::vector<dr::explorer::SignalExploration>* collect =
+      histOut.empty() ? nullptr : &collected;
+  const auto writeHist = [&]() -> bool {
+    if (histOut.empty()) return true;
+    const bool json = histOut.size() >= 5 &&
+                      histOut.compare(histOut.size() - 5, 5, ".json") == 0;
+    auto st = dr::support::DataSet::writeFileStatus(
+        histOut, json ? dr::report::signalCurvesJson(collected)
+                      : dr::report::signalCurvesCsv(collected));
+    if (!st.isOk()) {
+      std::fprintf(stderr, "%s\n", st.str().c_str());
+      return false;
+    }
+    std::printf("wrote %zu signal curve(s) to %s\n", collected.size(),
+                histOut.c_str());
+    return true;
+  };
+
   if (!signalName.empty()) {
     int sig = p.findSignal(signalName);
     if (sig < 0) {
@@ -270,10 +299,10 @@ int runExploreKernel(int argc, char** argv) {
                    signalName.c_str());
       return 1;
     }
-    return exploreOne(p, sig, opts, emitCode, fullReport, orderingsBudget,
-                      journal)
-               ? 0
-               : 1;
+    if (!exploreOne(p, sig, opts, emitCode, fullReport, orderingsBudget,
+                    journal, collect))
+      return 1;
+    return writeHist() ? 0 : 1;
   }
   for (std::size_t s = 0; s < p.signals.size(); ++s) {
     // Only read signals are explored (the data reuse step analyzes reads).
@@ -285,10 +314,10 @@ int runExploreKernel(int argc, char** argv) {
           hasReads = true;
     if (hasReads &&
         !exploreOne(p, static_cast<int>(s), opts, emitCode, fullReport,
-                    orderingsBudget, journal))
+                    orderingsBudget, journal, collect))
       return 1;
   }
-  return 0;
+  return writeHist() ? 0 : 1;
 }
 
 }  // namespace

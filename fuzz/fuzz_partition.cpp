@@ -1,0 +1,116 @@
+// Fuzz target: the cache-partitioning solver (partition/partition.h).
+//
+// The input bytes deterministically build a set of object miss curves
+// plus solve options. For every structurally valid instance the solver
+// must uphold its post-conditions on BOTH paths — the exact DP/subset
+// enumeration and the forced greedy fallback: no crashes or UB, the
+// allocation never exceeds the shared capacity (sum of way grants <= W,
+// sum of pinned footprints <= capacity), per-object misses match the
+// curves, and the solved placement is never worse than the baseline.
+// Small instances are additionally cross-checked against the brute-force
+// enumeration oracle: the exact path must match its optimum bit-for-bit.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "partition/partition.h"
+
+namespace {
+
+using dr::partition::Mode;
+using dr::partition::ObjectCurve;
+using dr::partition::PartitionResult;
+using dr::partition::SolveOptions;
+using dr::support::i64;
+
+/// Bounded little-endian byte reader; returns 0 past the end so every
+/// input produces a deterministic (possibly trivial) instance.
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  uint8_t u8() { return pos < size ? data[pos++] : 0; }
+  i64 u16() {
+    const i64 lo = u8();
+    return (static_cast<i64>(u8()) << 8) | lo;
+  }
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  Reader in{data, size};
+
+  SolveOptions opts;
+  opts.mode = (in.u8() & 1) ? Mode::Scratchpad : Mode::WayPartition;
+  opts.ways = (in.u8() % 12) + 1;
+  opts.capacity = in.u16();
+
+  const int objectCount = in.u8() % 6;
+  std::vector<ObjectCurve> objects;
+  objects.reserve(static_cast<size_t>(objectCount));
+  for (int i = 0; i < objectCount; ++i) {
+    ObjectCurve c;
+    c.name = "o" + std::to_string(i);
+    c.Ctot = in.u16();
+    c.distinctElements = in.u8();
+    i64 sizeCursor = 0;
+    i64 missCursor = c.Ctot;
+    const int steps = in.u8() % 5;
+    for (int s = 0; s < steps; ++s) {
+      sizeCursor += (in.u8() % 64) + 1;           // strictly ascending
+      missCursor = missCursor * in.u8() / 255;    // non-increasing
+      c.steps.push_back({sizeCursor, missCursor});
+    }
+    objects.push_back(std::move(c));
+  }
+
+  // Curves are valid by construction; if the options are not, the
+  // contract says the solver is never called.
+  if (!dr::partition::validateSolveInputs(objects, opts).isOk()) return 0;
+
+  // Exact path (small instances take the DP / subset enumeration).
+  const PartitionResult exact =
+      dr::partition::solvePartition(objects, opts);
+  if (!dr::partition::validateResult(objects, opts, exact).isOk())
+    std::abort();
+  if (exact.partitionedMisses > exact.baselineMisses) std::abort();
+
+  // Forced greedy fallback on the same instance. An empty object set is
+  // exempt: its cell count is 0, which satisfies even a zeroed
+  // exhaustive limit, so the solver legitimately stays exact.
+  SolveOptions greedyOpts = opts;
+  greedyOpts.exhaustiveCellLimit = 0;
+  greedyOpts.exhaustiveObjectLimit = 0;
+  const PartitionResult greedy =
+      dr::partition::solvePartition(objects, greedyOpts);
+  if (!greedy.usedFallback && !objects.empty()) std::abort();
+  if (!dr::partition::validateResult(objects, greedyOpts, greedy).isOk())
+    std::abort();
+  if (greedy.partitionedMisses > greedy.baselineMisses) std::abort();
+  // Greedy may be suboptimal, never super-optimal.
+  if (greedy.partitionedMisses < exact.partitionedMisses &&
+      exact.exact)
+    std::abort();
+
+  // Cross-check the exact path against the oracle where enumeration is
+  // affordable (the oracle's documented precondition).
+  const bool oracleOk =
+      opts.mode == Mode::WayPartition
+          ? (objects.size() <= 3 && opts.ways <= 8)
+          : objects.size() <= 8;
+  if (oracleOk && exact.exact) {
+    const PartitionResult oracle =
+        dr::partition::enumeratePartition(objects, opts);
+    if (exact.partitionedMisses != oracle.partitionedMisses) std::abort();
+    for (size_t i = 0; i < exact.allocations.size(); ++i) {
+      if (exact.allocations[i].ways != oracle.allocations[i].ways ||
+          exact.allocations[i].pinned != oracle.allocations[i].pinned)
+        std::abort();
+    }
+  }
+  return 0;
+}

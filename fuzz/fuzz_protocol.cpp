@@ -80,6 +80,15 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       }
       break;
     }
+    case proto::Verb::Advise: {
+      auto req = proto::decodeAdviseRequest(parse.frame.payload);
+      if (req.hasValue()) {
+        if (proto::encodeAdviseRequest(*req) != parse.frame.payload)
+          std::abort();
+        if (req->mode > 1) std::abort();  // decoder must reject these
+      }
+      break;
+    }
     case proto::Verb::Reply: {
       auto reply = proto::decodeReply(parse.frame.payload);
       if (reply.hasValue()) {
@@ -88,11 +97,17 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
         if (result.hasValue() &&
             proto::encodeExploreResult(*result) != reply->body)
           std::abort();
+        // An Advise result body must round-trip too when it decodes.
+        auto advise = proto::decodeAdviseResult(reply->body);
+        if (advise.hasValue() &&
+            proto::encodeAdviseResult(*advise) != reply->body)
+          std::abort();
       }
       break;
     }
     case proto::Verb::Stats:
     case proto::Verb::Shutdown:
+    case proto::Verb::Health:
       break;  // empty-payload verbs; any payload is handled server-side
   }
   return 0;

@@ -1,0 +1,477 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace dr::partition {
+
+namespace {
+
+constexpr i64 kMaxI64 = std::numeric_limits<i64>::max();
+
+/// Saturating add: miss totals over adversarial (fuzzed) curves may not
+/// fit i64; clamping keeps comparisons deterministic instead of UB.
+i64 satAdd(i64 a, i64 b) {
+  if (a > kMaxI64 - b) return kMaxI64;
+  return a + b;
+}
+
+/// Compare the rational gains a.num/a.den vs b.num/b.den without
+/// floating point (exact, platform-independent). Dens are > 0.
+bool rateLess(i64 numA, i64 denA, i64 numB, i64 denB) {
+  return static_cast<__int128>(numA) * denB <
+         static_cast<__int128>(numB) * denA;
+}
+
+/// Equal-static-split baseline way counts: floor(W/n) each, the first
+/// W mod n objects (by index) one extra.
+std::vector<i64> baselineWays(std::size_t n, i64 ways) {
+  std::vector<i64> base(n, 0);
+  if (n == 0) return base;
+  const i64 each = ways / static_cast<i64>(n);
+  const i64 extra = ways % static_cast<i64>(n);
+  for (std::size_t i = 0; i < n; ++i)
+    base[i] = each + (static_cast<i64>(i) < extra ? 1 : 0);
+  return base;
+}
+
+/// Assemble a way-partition result from per-object way counts.
+PartitionResult makeWayResult(const std::vector<ObjectCurve>& objects,
+                              const SolveOptions& opts,
+                              const std::vector<i64>& ways,
+                              bool usedFallback, bool exact) {
+  const i64 waySize = opts.capacity / opts.ways;
+  const std::vector<i64> base = baselineWays(objects.size(), opts.ways);
+  PartitionResult r;
+  r.mode = Mode::WayPartition;
+  r.capacity = opts.capacity;
+  r.ways = opts.ways;
+  r.waySizeElems = waySize;
+  r.usedFallback = usedFallback;
+  r.exact = exact;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    Allocation a;
+    a.object = static_cast<int>(i);
+    a.ways = ways[i];
+    a.capacityElems = ways[i] * waySize;
+    a.misses = objects[i].missesAt(a.capacityElems);
+    a.baselineMisses = objects[i].missesAt(base[i] * waySize);
+    r.partitionedMisses = satAdd(r.partitionedMisses, a.misses);
+    r.baselineMisses = satAdd(r.baselineMisses, a.baselineMisses);
+    r.allocations.push_back(a);
+  }
+  if (r.baselineMisses > 0 && r.partitionedMisses < r.baselineMisses) {
+    r.reductionPercent = 100.0 *
+                         static_cast<double>(r.baselineMisses -
+                                             r.partitionedMisses) /
+                         static_cast<double>(r.baselineMisses);
+  }
+  return r;
+}
+
+/// Assemble a scratchpad result from a pin mask (bit i = object i
+/// resident).
+PartitionResult makeScratchpadResult(const std::vector<ObjectCurve>& objects,
+                                     const SolveOptions& opts,
+                                     const std::vector<bool>& pinned,
+                                     bool usedFallback, bool exact) {
+  PartitionResult r;
+  r.mode = Mode::Scratchpad;
+  r.capacity = opts.capacity;
+  r.usedFallback = usedFallback;
+  r.exact = exact;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    Allocation a;
+    a.object = static_cast<int>(i);
+    a.pinned = pinned[i];
+    a.capacityElems = pinned[i] ? objects[i].distinctElements : 0;
+    a.misses = pinned[i] ? objects[i].minMisses() : objects[i].Ctot;
+    a.baselineMisses = objects[i].Ctot;  // baseline: everything bypasses
+    r.partitionedMisses = satAdd(r.partitionedMisses, a.misses);
+    r.baselineMisses = satAdd(r.baselineMisses, a.baselineMisses);
+    r.allocations.push_back(a);
+  }
+  if (r.baselineMisses > 0 && r.partitionedMisses < r.baselineMisses) {
+    r.reductionPercent = 100.0 *
+                         static_cast<double>(r.baselineMisses -
+                                             r.partitionedMisses) /
+                         static_cast<double>(r.baselineMisses);
+  }
+  return r;
+}
+
+/// Exact way partition: dynamic program over (object suffix, ways left),
+/// reconstructed forward picking the smallest way count that stays
+/// optimal — the lexicographically-smallest optimal allocation, matching
+/// the brute-force enumeration order.
+std::vector<i64> solveWayDp(const std::vector<ObjectCurve>& objects,
+                            const SolveOptions& opts) {
+  const std::size_t n = objects.size();
+  const i64 waySize = opts.capacity / opts.ways;
+  const std::size_t w1 = static_cast<std::size_t>(opts.ways) + 1;
+  // misses[i][k]: predicted misses of object i with k ways.
+  std::vector<std::vector<i64>> misses(n, std::vector<i64>(w1, 0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < w1; ++k)
+      misses[i][k] = objects[i].missesAt(static_cast<i64>(k) * waySize);
+  // dp[j][w]: min total misses of objects j..n-1 with w ways available.
+  std::vector<std::vector<i64>> dp(n + 1, std::vector<i64>(w1, 0));
+  for (std::size_t j = n; j-- > 0;) {
+    for (std::size_t w = 0; w < w1; ++w) {
+      i64 best = kMaxI64;
+      for (std::size_t k = 0; k <= w; ++k) {
+        const i64 total = satAdd(misses[j][k], dp[j + 1][w - k]);
+        if (total < best) best = total;
+      }
+      dp[j][w] = best;
+    }
+  }
+  std::vector<i64> ways(n, 0);
+  std::size_t left = static_cast<std::size_t>(opts.ways);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k <= left; ++k) {
+      if (satAdd(misses[j][k], dp[j + 1][left - k]) == dp[j][left]) {
+        ways[j] = static_cast<i64>(k);
+        left -= k;
+        break;
+      }
+    }
+  }
+  return ways;
+}
+
+/// Greedy/Lagrangian fallback for large ways x objects products: each
+/// object's miss-vs-ways staircase is convexified (lower hull), whose
+/// edge slopes are non-increasing gains per way; ways then go to the
+/// steepest remaining edge (ties: lowest object index). Optimal for the
+/// convexified relaxation, near-optimal for the staircase; the caller
+/// clamps against the equal-split baseline so the result never loses
+/// to "no partitioning at all".
+std::vector<i64> solveWayGreedy(const std::vector<ObjectCurve>& objects,
+                                const SolveOptions& opts) {
+  const std::size_t n = objects.size();
+  const i64 waySize = opts.capacity / opts.ways;
+  // Lower convex hull of (k, missesAt(k * waySize)) per object — the
+  // hull vertices' way counts, ascending (Andrew monotone chain). Hull
+  // edge slopes rise with k, so misses avoided per way never increase
+  // along an object's hull.
+  std::vector<std::vector<i64>> hull(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<i64>& h = hull[i];
+    auto missesOf = [&](i64 k) { return objects[i].missesAt(k * waySize); };
+    for (i64 k = 0; k <= opts.ways; ++k) {
+      // Pop the last vertex while it sits on or above the chord from
+      // the vertex before it to (k, missesOf(k)).
+      while (h.size() >= 2) {
+        const i64 ox = h[h.size() - 2], ax = h[h.size() - 1];
+        const __int128 cross =
+            static_cast<__int128>(ax - ox) * (missesOf(k) - missesOf(ox)) -
+            static_cast<__int128>(missesOf(ax) - missesOf(ox)) * (k - ox);
+        if (cross <= 0) {
+          h.pop_back();
+        } else {
+          break;
+        }
+      }
+      h.push_back(k);
+    }
+  }
+  std::vector<i64> ways(n, 0);
+  std::vector<std::size_t> edge(n, 1);  // next hull vertex to walk toward
+  i64 left = opts.ways;
+  while (left > 0) {
+    // Steepest current edge across objects (exact rational compare).
+    std::size_t bestObj = n;
+    i64 bestNum = 0, bestDen = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (edge[i] >= hull[i].size()) continue;
+      const i64 from = ways[i], to = hull[i][edge[i]];
+      const i64 num = objects[i].missesAt(from * waySize) -
+                      objects[i].missesAt(to * waySize);
+      const i64 den = to - from;
+      if (num <= 0) continue;
+      if (bestObj == n || rateLess(bestNum, bestDen, num, den)) {
+        bestObj = i;
+        bestNum = num;
+        bestDen = den;
+      }
+    }
+    if (bestObj == n) break;  // no edge reduces misses any further
+    const i64 to = hull[bestObj][edge[bestObj]];
+    const i64 take = std::min(left, to - ways[bestObj]);
+    ways[bestObj] += take;
+    left -= take;
+    if (ways[bestObj] == to) ++edge[bestObj];
+  }
+  return ways;
+}
+
+/// Exact scratchpad assignment: enumerate pin subsets in ascending mask
+/// order (bit i = object i pinned), keep the first strict optimum —
+/// the lexicographically-smallest optimal subset.
+std::vector<bool> solveScratchpadExact(const std::vector<ObjectCurve>& objects,
+                                       const SolveOptions& opts) {
+  const std::size_t n = objects.size();
+  const std::uint64_t masks = std::uint64_t{1} << n;
+  std::uint64_t bestMask = 0;
+  i64 bestMisses = kMaxI64;
+  for (std::uint64_t mask = 0; mask < masks; ++mask) {
+    i64 weight = 0, total = 0;
+    bool feasible = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::uint64_t{1} << i)) {
+        weight = satAdd(weight, objects[i].distinctElements);
+        if (weight > opts.capacity) {
+          feasible = false;
+          break;
+        }
+        total = satAdd(total, objects[i].minMisses());
+      } else {
+        total = satAdd(total, objects[i].Ctot);
+      }
+    }
+    if (feasible && total < bestMisses) {
+      bestMisses = total;
+      bestMask = mask;
+    }
+  }
+  std::vector<bool> pinned(n, false);
+  for (std::size_t i = 0; i < n; ++i)
+    pinned[i] = (bestMask & (std::uint64_t{1} << i)) != 0;
+  return pinned;
+}
+
+/// Greedy scratchpad fallback: pin by savings density (misses avoided
+/// per footprint element, exact rational compare; ties: lowest index),
+/// skipping objects that no longer fit.
+std::vector<bool> solveScratchpadGreedy(
+    const std::vector<ObjectCurve>& objects, const SolveOptions& opts) {
+  const std::size_t n = objects.size();
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (objects[i].Ctot - objects[i].minMisses() > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const i64 sa = objects[a].Ctot - objects[a].minMisses();
+    const i64 sb = objects[b].Ctot - objects[b].minMisses();
+    const i64 wa = objects[a].distinctElements;
+    const i64 wb = objects[b].distinctElements;
+    // Densest first: sa/wa > sb/wb as exact cross-products; a zero
+    // footprint is infinitely dense. Ties break on the lower index.
+    if (wa == 0 || wb == 0) {
+      if ((wa == 0) != (wb == 0)) return wa == 0;
+      if (sa != sb) return sa > sb;
+      return a < b;
+    }
+    const __int128 da = static_cast<__int128>(sa) * wb;
+    const __int128 db = static_cast<__int128>(sb) * wa;
+    if (da != db) return da > db;
+    return a < b;
+  });
+  std::vector<bool> pinned(n, false);
+  i64 left = opts.capacity;
+  for (std::size_t i : order) {
+    if (objects[i].distinctElements <= left) {
+      pinned[i] = true;
+      left -= objects[i].distinctElements;
+    }
+  }
+  return pinned;
+}
+
+}  // namespace
+
+const char* modeName(Mode mode) {
+  switch (mode) {
+    case Mode::WayPartition:
+      return "way";
+    case Mode::Scratchpad:
+      return "scratchpad";
+  }
+  return "?";
+}
+
+i64 ObjectCurve::missesAt(i64 capacity) const {
+  // Largest step with size <= capacity; below the first step every read
+  // misses to the background memory.
+  i64 result = Ctot;
+  auto it = std::upper_bound(
+      steps.begin(), steps.end(), capacity,
+      [](i64 cap, const Step& s) { return cap < s.size; });
+  if (it != steps.begin()) result = std::prev(it)->misses;
+  return result;
+}
+
+i64 ObjectCurve::minMisses() const {
+  return steps.empty() ? Ctot : steps.back().misses;
+}
+
+support::Status validateObjectCurve(const ObjectCurve& curve) {
+  using support::Status;
+  using support::StatusCode;
+  if (curve.Ctot < 0)
+    return Status::error(StatusCode::InvalidInput, "negative Ctot");
+  if (curve.distinctElements < 0)
+    return Status::error(StatusCode::InvalidInput, "negative footprint");
+  i64 prevSize = 0, prevMisses = curve.Ctot;
+  for (const ObjectCurve::Step& s : curve.steps) {
+    if (s.size < 1)
+      return Status::error(StatusCode::InvalidInput, "step size < 1");
+    if (s.size <= prevSize)
+      return Status::error(StatusCode::InvalidInput,
+                           "step sizes not strictly ascending");
+    if (s.misses < 0 || s.misses > curve.Ctot)
+      return Status::error(StatusCode::InvalidInput,
+                           "step misses outside [0, Ctot]");
+    if (s.misses > prevMisses)
+      return Status::error(StatusCode::InvalidInput,
+                           "step misses increase with size");
+    prevSize = s.size;
+    prevMisses = s.misses;
+  }
+  return Status::ok();
+}
+
+support::Status validateSolveInputs(const std::vector<ObjectCurve>& objects,
+                                    const SolveOptions& opts) {
+  using support::Status;
+  using support::StatusCode;
+  if (opts.capacity < 0)
+    return Status::error(StatusCode::InvalidInput, "negative capacity");
+  if (opts.mode == Mode::WayPartition &&
+      (opts.ways < 1 || opts.ways > (i64{1} << 20)))
+    return Status::error(StatusCode::InvalidInput,
+                         "way count outside [1, 2^20]");
+  if (opts.exhaustiveCellLimit < 0 || opts.exhaustiveObjectLimit < 0)
+    return Status::error(StatusCode::InvalidInput, "negative limit");
+  if (objects.size() > 63)
+    return Status::error(StatusCode::InvalidInput, "more than 63 objects");
+  for (const ObjectCurve& c : objects) {
+    Status s = validateObjectCurve(c);
+    if (!s.isOk()) {
+      return Status::error(s.code(),
+                           "object \"" + c.name + "\": " + s.message());
+    }
+  }
+  return Status::ok();
+}
+
+PartitionResult solvePartition(const std::vector<ObjectCurve>& objects,
+                               const SolveOptions& opts) {
+  DR_REQUIRE(validateSolveInputs(objects, opts).isOk());
+  if (opts.mode == Mode::Scratchpad) {
+    const bool exact = static_cast<i64>(objects.size()) <=
+                       std::min<i64>(opts.exhaustiveObjectLimit, 24);
+    const std::vector<bool> pinned =
+        exact ? solveScratchpadExact(objects, opts)
+              : solveScratchpadGreedy(objects, opts);
+    return makeScratchpadResult(objects, opts, pinned, !exact, exact);
+  }
+  const i64 cells = static_cast<i64>(objects.size()) * (opts.ways + 1) *
+                    (opts.ways + 1);
+  const bool exact = cells <= opts.exhaustiveCellLimit;
+  std::vector<i64> ways =
+      exact ? solveWayDp(objects, opts) : solveWayGreedy(objects, opts);
+  PartitionResult r = makeWayResult(objects, opts, ways, !exact, exact);
+  if (!exact && r.partitionedMisses > r.baselineMisses) {
+    // Greedy lost to the equal split: serve the baseline itself, so
+    // "partitioned never predicts more misses than unpartitioned" is an
+    // invariant of every result (the fuzz harness asserts it).
+    r = makeWayResult(objects, opts,
+                      baselineWays(objects.size(), opts.ways),
+                      /*usedFallback=*/true, /*exact=*/false);
+  }
+  return r;
+}
+
+PartitionResult enumeratePartition(const std::vector<ObjectCurve>& objects,
+                                   const SolveOptions& opts) {
+  DR_REQUIRE(validateSolveInputs(objects, opts).isOk());
+  if (opts.mode == Mode::Scratchpad) {
+    DR_REQUIRE_MSG(objects.size() <= 20, "enumeration oracle is 2^n");
+    return makeScratchpadResult(objects, opts,
+                                solveScratchpadExact(objects, opts),
+                                /*usedFallback=*/false, /*exact=*/true);
+  }
+  DR_REQUIRE_MSG(objects.size() <= 8 && opts.ways <= 12,
+                 "enumeration oracle is combinatorial");
+  const std::size_t n = objects.size();
+  const i64 waySize = opts.capacity / opts.ways;
+  std::vector<i64> ways(n, 0), best(n, 0);
+  i64 bestMisses = kMaxI64;
+  // Lexicographic recursion over (k_0, ..., k_{n-1}), sum <= W; strict
+  // improvement keeps the first optimum in lex order.
+  auto recurse = [&](auto&& self, std::size_t j, i64 left,
+                     i64 misses) -> void {
+    if (j == n) {
+      if (misses < bestMisses) {
+        bestMisses = misses;
+        best = ways;
+      }
+      return;
+    }
+    for (i64 k = 0; k <= left; ++k) {
+      ways[j] = k;
+      self(self, j + 1, left - k,
+           satAdd(misses, objects[j].missesAt(k * waySize)));
+    }
+    ways[j] = 0;
+  };
+  recurse(recurse, 0, opts.ways, 0);
+  return makeWayResult(objects, opts, best, /*usedFallback=*/false,
+                       /*exact=*/true);
+}
+
+support::Status validateResult(const std::vector<ObjectCurve>& objects,
+                               const SolveOptions& opts,
+                               const PartitionResult& result) {
+  using support::Status;
+  using support::StatusCode;
+  if (result.allocations.size() != objects.size())
+    return Status::error(StatusCode::Internal, "allocation count mismatch");
+  if (result.mode != opts.mode || result.capacity != opts.capacity)
+    return Status::error(StatusCode::Internal, "result/options mismatch");
+  if (result.mode == Mode::WayPartition &&
+      (result.ways != opts.ways ||
+       result.waySizeElems != opts.capacity / opts.ways))
+    return Status::error(StatusCode::Internal, "result/options way mismatch");
+  i64 totalWays = 0, totalPinned = 0, totalMisses = 0, totalBaseline = 0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const Allocation& a = result.allocations[i];
+    if (a.object != static_cast<int>(i))
+      return Status::error(StatusCode::Internal, "allocation out of order");
+    if (a.ways < 0 || a.capacityElems < 0)
+      return Status::error(StatusCode::Internal, "negative allocation");
+    if (result.mode == Mode::WayPartition) {
+      totalWays += a.ways;
+      if (a.capacityElems != a.ways * result.waySizeElems)
+        return Status::error(StatusCode::Internal, "slice != ways * waySize");
+      if (a.misses != objects[i].missesAt(a.capacityElems))
+        return Status::error(StatusCode::Internal, "misses != curve value");
+    } else {
+      if (a.pinned) totalPinned = satAdd(totalPinned, a.capacityElems);
+      const i64 expect =
+          a.pinned ? objects[i].minMisses() : objects[i].Ctot;
+      if (a.misses != expect)
+        return Status::error(StatusCode::Internal, "misses != curve value");
+    }
+    totalMisses = satAdd(totalMisses, a.misses);
+    totalBaseline = satAdd(totalBaseline, a.baselineMisses);
+  }
+  if (result.mode == Mode::WayPartition && totalWays > result.ways)
+    return Status::error(StatusCode::Internal, "way grants exceed W");
+  if (result.mode == Mode::Scratchpad && totalPinned > result.capacity)
+    return Status::error(StatusCode::Internal,
+                         "pinned footprints exceed capacity");
+  if (totalMisses != result.partitionedMisses ||
+      totalBaseline != result.baselineMisses)
+    return Status::error(StatusCode::Internal, "totals inconsistent");
+  if (result.partitionedMisses > result.baselineMisses)
+    return Status::error(StatusCode::Internal,
+                         "partitioned worse than baseline");
+  return Status::ok();
+}
+
+}  // namespace dr::partition

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/reuse_curve.h"
+#include "support/status.h"
+
+/// \file partition.h
+/// Per-object cache-partitioning solver: given one reuse curve per data
+/// object (array signal) of a kernel, choose the best allocation of a
+/// *shared* capacity across all objects, minimizing total predicted
+/// misses. This is the whole-kernel counterpart of the paper's
+/// single-signal copy-candidate chains — the decision pincpt's sector
+/// cache and PIMProf's CostSolver make from per-object reuse histograms.
+///
+/// Two placement models:
+///
+///   - WayPartition: a W-way cache of `capacity` elements is statically
+///     partitioned; object i owns k_i of the W ways (sum k_i <= W) and
+///     behaves as a private buffer of k_i * (capacity / W) elements. Its
+///     predicted misses are the object's reuse curve evaluated at that
+///     slice. The unpartitioned baseline is the *equal static split*
+///     (floor(W/n) ways each, the first W mod n objects one extra).
+///   - Scratchpad: a scratchpad of `capacity` elements; each object is
+///     either pinned whole (its footprint must fit the remaining space;
+///     misses drop to the curve's compulsory floor) or bypasses to the
+///     next level (misses = Ctot). Baseline: everything bypasses.
+///
+/// Both solvers are deterministic and exact below a documented threshold
+/// (dynamic program over objects x ways; subset enumeration for the
+/// scratchpad), with a deterministic greedy marginal-gain fallback above
+/// it (`PartitionResult::usedFallback`). The exact paths return the
+/// lexicographically-smallest optimal allocation, so they are
+/// bit-reproducible against the brute-force `enumeratePartition` oracle
+/// (pinned by tests/test_partition.cpp).
+
+namespace dr::partition {
+
+using dr::support::i64;
+
+/// Placement model being solved.
+enum class Mode : std::uint8_t {
+  WayPartition = 0,
+  Scratchpad = 1,
+};
+
+/// Human-readable mode name ("way" / "scratchpad").
+const char* modeName(Mode mode);
+
+/// Miss curve of one data object: predicted misses as a non-increasing
+/// step function of the private capacity granted to the object. Built
+/// from an explorer reuse curve (advisor.h) or directly for tests: a
+/// ReusePoint's `writes` (transfers into the copy-candidate) are the
+/// misses served by the background memory at that size.
+struct ObjectCurve {
+  std::string name;          ///< signal name (report key)
+  i64 Ctot = 0;              ///< total reads: misses with zero capacity
+  i64 distinctElements = 0;  ///< footprint (scratchpad pin weight)
+  simcore::Fidelity fidelity = simcore::Fidelity::ExactStream;
+
+  struct Step {
+    i64 size = 0;    ///< capacity in elements, ascending, >= 1
+    i64 misses = 0;  ///< predicted misses at that capacity
+  };
+  /// Sorted ascending by size with non-increasing misses (the OPT/LRU
+  /// inclusion property; builders repair any wobble with a running min).
+  std::vector<Step> steps;
+
+  /// Predicted misses with a private capacity of `capacity` elements:
+  /// the step with the largest size <= capacity, or Ctot below the
+  /// first step (no room for a copy — every read goes to background).
+  i64 missesAt(i64 capacity) const;
+
+  /// Compulsory floor: misses with the whole footprint resident.
+  i64 minMisses() const;
+};
+
+/// Structural validation (solver precondition): Ctot >= 0, footprint
+/// >= 0, step sizes strictly ascending and >= 1, misses within
+/// [0, Ctot] and non-increasing. Solvers DR_REQUIRE this has passed;
+/// the fuzz harness uses it to discard invalid inputs.
+support::Status validateObjectCurve(const ObjectCurve& curve);
+
+struct SolveOptions {
+  Mode mode = Mode::WayPartition;
+  i64 capacity = 0;  ///< shared capacity, in elements (>= 0)
+  i64 ways = 8;      ///< way count W for Mode::WayPartition (>= 1)
+  /// Exact way-partition DP is used while n * (W+1)^2 stays at or under
+  /// this; above it the deterministic greedy marginal-gain fallback
+  /// runs instead (usedFallback = true).
+  i64 exhaustiveCellLimit = i64{1} << 22;
+  /// Exact scratchpad subset enumeration is used while the object count
+  /// stays at or under this (2^n subsets); above it the greedy
+  /// savings-density fallback runs instead.
+  i64 exhaustiveObjectLimit = 16;
+};
+
+/// Validation of options + curve set (solver precondition, see
+/// validateObjectCurve).
+support::Status validateSolveInputs(const std::vector<ObjectCurve>& objects,
+                                    const SolveOptions& opts);
+
+/// One object's share of the solved placement.
+struct Allocation {
+  int object = 0;        ///< index into the input curve vector
+  i64 ways = 0;          ///< ways granted (WayPartition mode)
+  bool pinned = false;   ///< resident in the scratchpad (Scratchpad mode)
+  i64 capacityElems = 0; ///< private slice / pinned footprint, in elements
+  i64 misses = 0;        ///< predicted misses under this placement
+  i64 baselineMisses = 0;///< predicted misses under the baseline split
+};
+
+struct PartitionResult {
+  Mode mode = Mode::WayPartition;
+  i64 capacity = 0;
+  i64 ways = 0;
+  i64 waySizeElems = 0;  ///< capacity / ways (WayPartition mode)
+  std::vector<Allocation> allocations;  ///< one per object, input order
+  i64 baselineMisses = 0;     ///< total misses, unpartitioned baseline
+  i64 partitionedMisses = 0;  ///< total misses, solved placement
+  /// 100 * (baseline - partitioned) / baseline; 0 when the baseline has
+  /// no misses. Never negative: the solver clamps to the baseline when
+  /// the greedy fallback cannot beat it.
+  double reductionPercent = 0.0;
+  bool usedFallback = false;  ///< greedy ran instead of the exact path
+  bool exact = true;          ///< result proven optimal (DP/enumeration)
+};
+
+/// Solve the placement. Preconditions: validateSolveInputs() passed.
+/// Deterministic: equal inputs give bit-equal results regardless of
+/// thread count or platform.
+PartitionResult solvePartition(const std::vector<ObjectCurve>& objects,
+                               const SolveOptions& opts);
+
+/// Brute-force reference: enumerate every feasible placement in
+/// lexicographic order, keep the first optimum. Exponential — test
+/// oracle only. Preconditions: validateSolveInputs() passed, and the
+/// instance is small (ways <= 16, objects <= 12).
+PartitionResult enumeratePartition(const std::vector<ObjectCurve>& objects,
+                                   const SolveOptions& opts);
+
+/// Post-condition check used by tests and the fuzz harness: allocations
+/// never exceed the shared capacity (sum of way grants <= W and sum of
+/// pinned footprints <= capacity), per-object misses match the curves,
+/// and totals are internally consistent.
+support::Status validateResult(const std::vector<ObjectCurve>& objects,
+                               const SolveOptions& opts,
+                               const PartitionResult& result);
+
+}  // namespace dr::partition

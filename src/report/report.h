@@ -1,8 +1,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "explorer/explorer.h"
+#include "partition/advisor.h"
 #include "service/metrics.h"
 
 /// \file report.h
@@ -37,5 +39,31 @@ std::string curveCsv(const std::string& signalName,
 /// daemon's `stats` verb. MetricsSnapshot is plain data, so report/ needs
 /// no link dependency on the service layer (which links report/ itself).
 std::string metricsReport(const service::MetricsSnapshot& snapshot);
+
+/// pincpt-style console table for an advisor report: the header block
+/// (kernel, placement, capacity, predicted misses partitioned vs
+/// shared, `reduction [%]`) followed by one "grant/pin object" line per
+/// object that received capacity.
+std::string advisorTable(const partition::AdvisorReport& report);
+
+/// The canonical CSV rendering of an advisor report — one row per
+/// object plus a TOTAL row. Like curveCsv, this is the byte-identity
+/// anchor: the service's Advise replies and datareuse_advise --csv-out
+/// produce identical bytes for the same advise config hash.
+std::string advisorCsv(const partition::AdvisorReport& report);
+
+/// JSON rendering of an advisor report (datareuse_advise --json-out,
+/// jq-assertable in CI).
+std::string advisorJson(const partition::AdvisorReport& report);
+
+/// Per-signal reuse-curve export over a whole kernel (explore_kernel
+/// --hist-out): every signal's simulated curve in one document, CSV
+/// (long format: signal column + curveCsv columns) or JSON. This is the
+/// advisor's input surface for external tools — curves captured once,
+/// consumed without re-simulation.
+std::string signalCurvesCsv(
+    const std::vector<explorer::SignalExploration>& explorations);
+std::string signalCurvesJson(
+    const std::vector<explorer::SignalExploration>& explorations);
 
 }  // namespace dr::report

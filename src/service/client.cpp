@@ -322,6 +322,16 @@ Expected<proto::Reply> Client::explore(const proto::ExploreRequest& req) {
              });
 }
 
+Expected<proto::Reply> Client::advise(const proto::AdviseRequest& req) {
+  proto::AdviseRequest attemptReq = req;
+  return run(proto::Verb::Advise, req.deadlineMs,
+             [&attemptReq, &req](i64 remainingMs) {
+               attemptReq.remainingBudgetMs =
+                   req.deadlineMs > 0 ? std::max<i64>(1, remainingMs) : 0;
+               return proto::encodeAdviseRequest(attemptReq);
+             });
+}
+
 Expected<proto::Reply> Client::call(proto::Verb verb,
                                     const std::string& payload) {
   return run(verb, 0, [&payload](i64) { return payload; });

@@ -171,6 +171,11 @@ class Client {
   /// call has no budget and only maxAttempts bounds it.
   support::Expected<proto::Reply> explore(const proto::ExploreRequest& req);
 
+  /// One partitioning-advisor query under the same stack as explore():
+  /// per-attempt remaining-budget stamping, fresh-connection retries,
+  /// breaker gating.
+  support::Expected<proto::Reply> advise(const proto::AdviseRequest& req);
+
   /// One non-explore exchange (Stats / Health / Shutdown) under retries
   /// and the breaker, with no deadline budget.
   support::Expected<proto::Reply> call(proto::Verb verb,

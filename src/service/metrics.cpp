@@ -1,5 +1,6 @@
 #include "service/metrics.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "simcore/reuse_curve.h"
@@ -33,19 +34,49 @@ void Metrics::recordEngine(std::uint8_t fidelity, bool runGranularity,
   add(runFallbackEvents_, simulatedEvents - runFastEvents);
 }
 
-void Metrics::recordExploreLatencyUs(i64 us) {
+void Metrics::Histogram::record(i64 us) {
   if (us < 0) us = 0;
   // Bucket i collects us with bit_width(us) == i, i.e. [2^(i-1), 2^i).
   int bucket = std::bit_width(static_cast<std::uint64_t>(us));
   if (bucket >= kBuckets) bucket = kBuckets - 1;
-  latencyBuckets_[static_cast<std::size_t>(bucket)].fetch_add(
+  buckets[static_cast<std::size_t>(bucket)].fetch_add(
       1, std::memory_order_relaxed);
-  latencyCount_.fetch_add(1, std::memory_order_relaxed);
-  latencyTotalUs_.fetch_add(us, std::memory_order_relaxed);
-  i64 prev = latencyMaxUs_.load(std::memory_order_relaxed);
-  while (prev < us && !latencyMaxUs_.compare_exchange_weak(
-                          prev, us, std::memory_order_relaxed)) {
+  count.fetch_add(1, std::memory_order_relaxed);
+  totalUs.fetch_add(us, std::memory_order_relaxed);
+  i64 prev = maxUs.load(std::memory_order_relaxed);
+  while (prev < us &&
+         !maxUs.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
   }
+}
+
+LatencySummary Metrics::Histogram::summarize() const {
+  LatencySummary lat;
+  lat.count = count.load(std::memory_order_relaxed);
+  lat.totalUs = totalUs.load(std::memory_order_relaxed);
+  lat.maxUs = maxUs.load(std::memory_order_relaxed);
+  if (lat.count <= 0) return lat;
+  // Percentile = upper bound of the bucket holding that rank. Snapshot
+  // under concurrent updates is a consistent-enough approximation: each
+  // bucket is read once, monotone counters only grow.
+  std::array<i64, kBuckets> copy;
+  i64 total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    copy[static_cast<std::size_t>(i)] =
+        buckets[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += copy[static_cast<std::size_t>(i)];
+  }
+  const auto percentile = [&](double q) -> i64 {
+    const i64 rank = static_cast<i64>(q * static_cast<double>(total - 1));
+    i64 seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += copy[static_cast<std::size_t>(i)];
+      if (seen > rank) return i == 0 ? 0 : (i64{1} << i) - 1;
+    }
+    return lat.maxUs;
+  };
+  lat.p50Us = std::min(percentile(0.50), lat.maxUs);
+  lat.p95Us = std::min(percentile(0.95), lat.maxUs);
+  return lat;
 }
 
 MetricsSnapshot Metrics::snapshot() const {
@@ -71,6 +102,10 @@ MetricsSnapshot Metrics::snapshot() const {
   s.deadlinesTightened = get(deadlinesTightened_);
   s.inflightJoins = get(inflightJoins_);
   s.simulations = get(simulations_);
+  s.adviseRequests = get(adviseRequests_);
+  s.adviseErrors = get(adviseErrors_);
+  s.adviseCacheHits = get(adviseCacheHits_);
+  s.adviseFallbacks = get(adviseFallbacks_);
   s.curvesSymbolic = get(curvesSymbolic_);
   s.curvesExactStream = get(curvesExactStream_);
   s.curvesExactFold = get(curvesExactFold_);
@@ -80,34 +115,8 @@ MetricsSnapshot Metrics::snapshot() const {
   s.runFastEvents = get(runFastEvents_);
   s.runFallbackEvents = get(runFallbackEvents_);
 
-  LatencySummary& lat = s.exploreLatency;
-  lat.count = get(latencyCount_);
-  lat.totalUs = get(latencyTotalUs_);
-  lat.maxUs = get(latencyMaxUs_);
-  if (lat.count > 0) {
-    // Percentile = upper bound of the bucket holding that rank. Snapshot
-    // under concurrent updates is a consistent-enough approximation: each
-    // bucket is read once, monotone counters only grow.
-    std::array<i64, kBuckets> buckets;
-    i64 total = 0;
-    for (int i = 0; i < kBuckets; ++i) {
-      buckets[static_cast<std::size_t>(i)] =
-          latencyBuckets_[static_cast<std::size_t>(i)].load(
-              std::memory_order_relaxed);
-      total += buckets[static_cast<std::size_t>(i)];
-    }
-    const auto percentile = [&](double q) -> i64 {
-      const i64 rank = static_cast<i64>(q * static_cast<double>(total - 1));
-      i64 seen = 0;
-      for (int i = 0; i < kBuckets; ++i) {
-        seen += buckets[static_cast<std::size_t>(i)];
-        if (seen > rank) return i == 0 ? 0 : (i64{1} << i) - 1;
-      }
-      return lat.maxUs;
-    };
-    lat.p50Us = std::min(percentile(0.50), lat.maxUs);
-    lat.p95Us = std::min(percentile(0.95), lat.maxUs);
-  }
+  s.exploreLatency = exploreLatency_.summarize();
+  s.adviseSolveLatency = adviseSolveLatency_.summarize();
   return s;
 }
 
@@ -159,11 +168,20 @@ std::string Metrics::render(const MetricsSnapshot& s) {
   line("runs_decoded", s.runsDecoded);
   line("run_fast_events", s.runFastEvents);
   line("run_fallback_events", s.runFallbackEvents);
+  line("advise_requests", s.adviseRequests);
+  line("advise_errors", s.adviseErrors);
+  line("advise_cache_hits", s.adviseCacheHits);
+  line("advise_fallbacks", s.adviseFallbacks);
   line("explore_latency_count", s.exploreLatency.count);
   line("explore_latency_p50_us", s.exploreLatency.p50Us);
   line("explore_latency_p95_us", s.exploreLatency.p95Us);
   line("explore_latency_max_us", s.exploreLatency.maxUs);
   line("explore_latency_total_us", s.exploreLatency.totalUs);
+  line("advise_solve_count", s.adviseSolveLatency.count);
+  line("advise_solve_p50_us", s.adviseSolveLatency.p50Us);
+  line("advise_solve_p95_us", s.adviseSolveLatency.p95Us);
+  line("advise_solve_max_us", s.adviseSolveLatency.maxUs);
+  line("advise_solve_total_us", s.adviseSolveLatency.totalUs);
   return out;
 }
 

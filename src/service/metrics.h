@@ -78,6 +78,12 @@ struct MetricsSnapshot {
   i64 inflightJoins = 0;  ///< waiters that shared a leader's computation
   i64 simulations = 0;    ///< leader computations that ran curve points
 
+  // Partitioning advisor (Advise verb, src/partition/).
+  i64 adviseRequests = 0;
+  i64 adviseErrors = 0;      ///< advise requests answered with an error
+  i64 adviseCacheHits = 0;   ///< whole reports served from the advise cache
+  i64 adviseFallbacks = 0;   ///< solver took the greedy path, not the DP
+
   /// Engine mix of leader computations, keyed by the fidelity rung of
   /// the curve each produced (simcore::Fidelity). Memory-cache hits and
   /// in-flight joins are not counted: no engine touched the request.
@@ -97,6 +103,7 @@ struct MetricsSnapshot {
   i64 runFallbackEvents = 0;
 
   LatencySummary exploreLatency;  ///< per explore request, end to end
+  LatencySummary adviseSolveLatency;  ///< partition solver time, per advise
 };
 
 /// The live counters. One instance per server; shared by every worker.
@@ -120,6 +127,10 @@ class Metrics {
   void countOverloadReply() { add(overloadReplies_); }
   void countExpiredRequest() { add(expiredRequests_); }
   void countDeadlineTightened() { add(deadlinesTightened_); }
+  void countAdvise() { add(adviseRequests_); }
+  void countAdviseError() { add(adviseErrors_); }
+  void countAdviseCacheHit() { add(adviseCacheHits_); }
+  void countAdviseFallback() { add(adviseFallbacks_); }
 
   /// Keep the queue-depth high-water mark (monotone CAS max).
   void recordQueueDepth(i64 depth) {
@@ -130,14 +141,17 @@ class Metrics {
   }
 
   /// Record one explore request's end-to-end latency.
-  void recordExploreLatencyUs(i64 us);
+  void recordExploreLatencyUs(i64 us) { exploreLatency_.record(us); }
+
+  /// Record one advise request's partition-solver time.
+  void recordAdviseSolveUs(i64 us) { adviseSolveLatency_.record(us); }
 
   /// Mean end-to-end explore latency so far (0 before the first request)
   /// — the live feed of the shed replies' retry-after hint.
   i64 meanExploreLatencyUs() const {
-    const i64 count = latencyCount_.load(std::memory_order_relaxed);
+    const i64 count = exploreLatency_.count.load(std::memory_order_relaxed);
     if (count <= 0) return 0;
-    return latencyTotalUs_.load(std::memory_order_relaxed) / count;
+    return exploreLatency_.totalUs.load(std::memory_order_relaxed) / count;
   }
 
   /// Record one leader computation's engine outcome: the fidelity rung
@@ -159,6 +173,18 @@ class Metrics {
 
  private:
   static constexpr int kBuckets = 48;  ///< bucket i: us < 2^i
+
+  /// One power-of-two latency histogram (relaxed atomics throughout);
+  /// summarize() reports percentiles as bucket upper bounds.
+  struct Histogram {
+    std::array<std::atomic<i64>, kBuckets> buckets{};
+    std::atomic<i64> count{0};
+    std::atomic<i64> totalUs{0};
+    std::atomic<i64> maxUs{0};
+
+    void record(i64 us);
+    LatencySummary summarize() const;
+  };
 
   void add(std::atomic<i64>& c, i64 n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);
@@ -182,6 +208,10 @@ class Metrics {
   std::atomic<i64> deadlinesTightened_{0};
   std::atomic<i64> inflightJoins_{0};
   std::atomic<i64> simulations_{0};
+  std::atomic<i64> adviseRequests_{0};
+  std::atomic<i64> adviseErrors_{0};
+  std::atomic<i64> adviseCacheHits_{0};
+  std::atomic<i64> adviseFallbacks_{0};
 
   std::atomic<i64> curvesSymbolic_{0};
   std::atomic<i64> curvesExactStream_{0};
@@ -192,10 +222,8 @@ class Metrics {
   std::atomic<i64> runFastEvents_{0};
   std::atomic<i64> runFallbackEvents_{0};
 
-  std::array<std::atomic<i64>, kBuckets> latencyBuckets_{};
-  std::atomic<i64> latencyCount_{0};
-  std::atomic<i64> latencyTotalUs_{0};
-  std::atomic<i64> latencyMaxUs_{0};
+  Histogram exploreLatency_;
+  Histogram adviseSolveLatency_;
 };
 
 }  // namespace dr::service

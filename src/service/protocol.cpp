@@ -106,7 +106,7 @@ std::uint32_t readU32(const char* p) {
 
 bool verbIsKnown(std::uint8_t verb) {
   return verb >= static_cast<std::uint8_t>(Verb::Explore) &&
-         verb <= static_cast<std::uint8_t>(Verb::Health);
+         verb <= static_cast<std::uint8_t>(Verb::Advise);
 }
 
 std::string encodeFrame(Verb verb, std::string_view payload) {
@@ -257,6 +257,61 @@ support::Expected<ExploreResult> decodeExploreResult(std::string_view body) {
     return truncated("explore result");
   if (!cursor.exhausted()) return trailing("explore result");
   result.cached = cached != 0;
+  return result;
+}
+
+std::string encodeAdviseRequest(const AdviseRequest& req) {
+  std::string out;
+  appendBytes(out, req.kernel);
+  appendI64(out, req.deadlineMs);
+  appendI64(out, req.remainingBudgetMs);
+  appendU8(out, req.flags);
+  appendU8(out, req.mode);
+  appendI64(out, req.capacity);
+  appendI64(out, req.ways);
+  return out;
+}
+
+support::Expected<AdviseRequest> decodeAdviseRequest(
+    std::string_view payload) {
+  AdviseRequest req;
+  Cursor cursor(payload);
+  if (!cursor.takeBytes(req.kernel) || !cursor.takeI64(req.deadlineMs) ||
+      !cursor.takeI64(req.remainingBudgetMs) || !cursor.takeU8(req.flags) ||
+      !cursor.takeU8(req.mode) || !cursor.takeI64(req.capacity) ||
+      !cursor.takeI64(req.ways))
+    return truncated("advise request");
+  if (!cursor.exhausted()) return trailing("advise request");
+  if (req.mode > 1)
+    return Status::error(StatusCode::InvalidInput,
+                         "advise request: unknown mode " +
+                             std::to_string(req.mode));
+  return req;
+}
+
+std::string encodeAdviseResult(const AdviseResult& result) {
+  std::string out;
+  appendU8(out, result.cached ? 1 : 0);
+  appendU8(out, result.fidelity);
+  appendU8(out, result.usedFallback ? 1 : 0);
+  appendI64(out, result.baselineMisses);
+  appendI64(out, result.partitionedMisses);
+  appendBytes(out, result.csv);
+  return out;
+}
+
+support::Expected<AdviseResult> decodeAdviseResult(std::string_view body) {
+  AdviseResult result;
+  Cursor cursor(body);
+  std::uint8_t cached = 0, fallback = 0;
+  if (!cursor.takeU8(cached) || !cursor.takeU8(result.fidelity) ||
+      !cursor.takeU8(fallback) || !cursor.takeI64(result.baselineMisses) ||
+      !cursor.takeI64(result.partitionedMisses) ||
+      !cursor.takeBytes(result.csv))
+    return truncated("advise result");
+  if (!cursor.exhausted()) return trailing("advise result");
+  result.cached = cached != 0;
+  result.usedFallback = fallback != 0;
   return result;
 }
 

@@ -49,6 +49,7 @@ enum class Verb : std::uint8_t {
   Shutdown = 3,  ///< reply, then drain and stop accepting
   Reply = 4,     ///< server -> client envelope (the only response verb)
   Health = 5,    ///< liveness probe: tiny fixed-size reply, no simulation
+  Advise = 6,    ///< co-explore all signals, solve the capacity partition
 };
 
 /// True for the verb values a frame may legally carry.
@@ -146,6 +147,53 @@ struct ExploreResult {
 
 std::string encodeExploreResult(const ExploreResult& result);
 support::Expected<ExploreResult> decodeExploreResult(std::string_view body);
+
+// ---- Advise request payload ---------------------------------------------
+
+/// Payload of an Advise frame:
+///   [u32 kernelLen][kernel][i64 deadlineMs][i64 remainingBudgetMs]
+///   [u8 flags][u8 mode][i64 capacity][i64 ways]
+/// The kernel is co-explored whole (every read signal), so there is no
+/// signal field; `mode` is partition::Mode (0 = way partition, 1 =
+/// scratchpad), `capacity` the shared capacity in elements, `ways` the
+/// way count W (ignored in scratchpad mode). Deadline/budget/flags
+/// semantics match ExploreRequest — the per-signal explorations degrade
+/// down the fidelity ladder under pressure, and kFlagNoCache bypasses
+/// both the per-signal curve cache and the advise report cache.
+struct AdviseRequest {
+  std::string kernel;  ///< kernel-language source text
+  i64 deadlineMs = 0;
+  i64 remainingBudgetMs = 0;  ///< retry budget left; 0 = full deadline
+  std::uint8_t flags = 0;
+  std::uint8_t mode = 0;  ///< partition::Mode
+  i64 capacity = 0;       ///< shared capacity, elements
+  i64 ways = 8;           ///< way count W (way-partition mode)
+};
+
+std::string encodeAdviseRequest(const AdviseRequest& req);
+support::Expected<AdviseRequest> decodeAdviseRequest(
+    std::string_view payload);
+
+// ---- Advise reply body --------------------------------------------------
+
+/// Body of an Ok Advise reply:
+///   [u8 cached][u8 fidelity][u8 usedFallback][i64 baselineMisses]
+///   [i64 partitionedMisses][u32 csvLen][csv]
+/// `fidelity` is the worst rung across the co-explored curves
+/// (simcore::Fidelity); `csv` is the canonical advisor table rendering
+/// (report::advisorCsv) — byte-identical to datareuse_advise's
+/// --csv-out for the same advise config hash, whichever door served it.
+struct AdviseResult {
+  bool cached = false;
+  std::uint8_t fidelity = 0;  ///< worst simcore::Fidelity across curves
+  bool usedFallback = false;  ///< solver used the greedy path
+  i64 baselineMisses = 0;
+  i64 partitionedMisses = 0;
+  std::string csv;
+};
+
+std::string encodeAdviseResult(const AdviseResult& result);
+support::Expected<AdviseResult> decodeAdviseResult(std::string_view body);
 
 // ---- Health reply body --------------------------------------------------
 

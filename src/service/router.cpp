@@ -411,6 +411,16 @@ std::string Router::handleFrame(const proto::Frame& frame, bool& closeAfter,
       }
       break;
     }
+    case proto::Verb::Advise: {
+      auto req = proto::decodeAdviseRequest(frame.payload);
+      if (!req.hasValue()) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        reply = errorReply(req.status());
+      } else {
+        reply = routeAdvise(*req, queueWaitMs);
+      }
+      break;
+    }
     case proto::Verb::Stats:
       statsRequests_.fetch_add(1, std::memory_order_relaxed);
       reply.body = render(stats());
@@ -539,6 +549,109 @@ proto::Reply Router::routeExplore(const proto::ExploreRequest& req,
   reply.message = "all " + std::to_string(candidates.size()) +
                   " shard replica(s) unavailable: " + lastFailure.str();
   reply.retryAfterMs = bestHintMs > 0 ? bestHintMs : kExhaustedRetryAfterMs;
+  return reply;
+}
+
+proto::Reply Router::routeAdvise(const proto::AdviseRequest& req,
+                                 i64 queueWaitMs) {
+  adviseRequests_.fetch_add(1, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  i64 budgetMs = 0;  // <= 0 = unlimited
+  if (req.deadlineMs > 0) {
+    const i64 remaining =
+        req.remainingBudgetMs > 0 ? req.remainingBudgetMs : req.deadlineMs;
+    budgetMs = remaining - queueWaitMs;
+    if (budgetMs <= 0) {
+      expiredRequests_.fetch_add(1, std::memory_order_relaxed);
+      return errorReply(Status::error(
+          StatusCode::BudgetExceeded,
+          "deadline expired before routing (queued " +
+              std::to_string(queueWaitMs) + "ms of " +
+              std::to_string(remaining) + "ms budget)"));
+    }
+  }
+  const auto remainingMs = [&]() -> i64 {
+    return budgetMs > 0 ? budgetMs - msSince(t0) : 0;
+  };
+
+  // Key the ring on the first read signal's explore hash: the shard that
+  // served that signal's Explore traffic holds the warmest curve caches
+  // for this kernel, and the advisor re-reads every signal's curve.
+  auto compiled = frontend::compileKernelChecked(req.kernel);
+  if (!compiled.hasValue()) return errorReply(compiled.status());
+  const int signal = resolveSignal(*compiled, "");
+  if (signal < 0)
+    return errorReply(Status::error(StatusCode::InvalidInput,
+                                    "kernel has no read signal"));
+  const std::uint64_t hash =
+      explorer::exploreConfigHash(*compiled, signal, {});
+
+  const std::vector<int> pref = ring_.preference(hash);
+  std::vector<int> candidates;
+  candidates.reserve(pref.size());
+  for (int idx : pref) {
+    if (shardUp(idx)) {
+      candidates.push_back(idx);
+    } else {
+      shardDownSkips_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (candidates.empty()) candidates = pref;
+
+  i64 bestHintMs = 0;
+  Status lastFailure = Status::error(StatusCode::Unavailable,
+                                     "no shard candidates");
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (budgetMs > 0 && remainingMs() <= 0) {
+      return errorReply(Status::error(
+          StatusCode::BudgetExceeded,
+          "deadline exhausted after " + std::to_string(msSince(t0)) +
+              "ms of routing; last failure: " + lastFailure.str()));
+    }
+    auto result = forwardAdviseOnce(req, candidates[i],
+                                    budgetMs > 0 ? remainingMs() : i64{0});
+    if (result.hasValue()) {
+      if (result->code != StatusCode::Unavailable) return *result;
+      bestHintMs = std::max(bestHintMs, result->retryAfterMs);
+      lastFailure = Status::error(StatusCode::Unavailable, result->message);
+      if (i + 1 < candidates.size())
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    lastFailure = result.status();
+    if (result.status().code() == StatusCode::BudgetExceeded)
+      return errorReply(lastFailure);
+    if (result.status().code() != StatusCode::IoError &&
+        result.status().code() != StatusCode::Unavailable)
+      return errorReply(lastFailure);
+    if (i + 1 < candidates.size())
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  proto::Reply reply;
+  reply.code = StatusCode::Unavailable;
+  reply.message = "all " + std::to_string(candidates.size()) +
+                  " shard replica(s) unavailable: " + lastFailure.str();
+  reply.retryAfterMs = bestHintMs > 0 ? bestHintMs : kExhaustedRetryAfterMs;
+  return reply;
+}
+
+Expected<proto::Reply> Router::forwardAdviseOnce(
+    const proto::AdviseRequest& req, int shardIdx, i64 budgetMs) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shardIdx)];
+  proto::AdviseRequest fwd = req;
+  fwd.deadlineMs = budgetMs > 0 ? budgetMs : req.deadlineMs;
+  fwd.remainingBudgetMs = 0;
+  auto reply = shard.client->advise(fwd);
+  if (reply.hasValue()) {
+    shard.forwards.fetch_add(1, std::memory_order_relaxed);
+    markShardUp(shardIdx);
+  } else if (reply.status().code() == StatusCode::IoError ||
+             reply.status().code() == StatusCode::Unavailable) {
+    markShardStrike(shardIdx);
+  }
   return reply;
 }
 
@@ -731,6 +844,7 @@ RouterStats Router::stats() const {
   };
   s.requests = get(requests_);
   s.exploreRequests = get(exploreRequests_);
+  s.adviseRequests = get(adviseRequests_);
   s.healthRequests = get(healthRequests_);
   s.statsRequests = get(statsRequests_);
   s.protocolErrors = get(protocolErrors_);
@@ -764,6 +878,7 @@ std::string Router::render(const RouterStats& s) {
   };
   line("router_requests", s.requests);
   line("router_explore_requests", s.exploreRequests);
+  line("router_advise_requests", s.adviseRequests);
   line("router_health_requests", s.healthRequests);
   line("router_stats_requests", s.statsRequests);
   line("router_protocol_errors", s.protocolErrors);

@@ -129,6 +129,7 @@ support::Status validateRouterOptions(const RouterOptions& opts);
 struct RouterStats {
   i64 requests = 0;
   i64 exploreRequests = 0;
+  i64 adviseRequests = 0;
   i64 healthRequests = 0;
   i64 statsRequests = 0;
   i64 protocolErrors = 0;
@@ -217,6 +218,14 @@ class Router {
                           i64 queueWaitMs);
   proto::Reply routeExplore(const proto::ExploreRequest& req, i64 queueWaitMs);
 
+  /// Route one advisor query. Placement keys the ring on the kernel's
+  /// first read signal's explore config hash, so an advise lands on the
+  /// shard whose curve caches its own explore traffic already warmed.
+  /// Failover walks the preference order like routeExplore; advises are
+  /// not hedged (they fan out to N signal explorations server-side, so a
+  /// speculative duplicate is much more expensive than a late reply).
+  proto::Reply routeAdvise(const proto::AdviseRequest& req, i64 queueWaitMs);
+
   /// Forward one request to `primaryIdx`, hedging to `hedgeIdx` (>= 0)
   /// after the live hedge delay when the primary has not answered.
   /// `budgetMs` <= 0 = unlimited.
@@ -225,6 +234,8 @@ class Router {
       i64 budgetMs);
   support::Expected<proto::Reply> forwardOnce(const proto::ExploreRequest& req,
                                               int shardIdx, i64 budgetMs);
+  support::Expected<proto::Reply> forwardAdviseOnce(
+      const proto::AdviseRequest& req, int shardIdx, i64 budgetMs);
 
   void probeLoop();
   void markShardUp(int idx);
@@ -255,6 +266,7 @@ class Router {
   // Counters (relaxed; the stats verb snapshots them).
   std::atomic<i64> requests_{0};
   std::atomic<i64> exploreRequests_{0};
+  std::atomic<i64> adviseRequests_{0};
   std::atomic<i64> healthRequests_{0};
   std::atomic<i64> statsRequests_{0};
   std::atomic<i64> protocolErrors_{0};

@@ -15,6 +15,7 @@
 
 #include "explorer/explorer.h"
 #include "frontend/frontend.h"
+#include "partition/advisor.h"
 #include "report/report.h"
 #include "simcore/reuse_curve.h"
 #include "support/contracts.h"
@@ -368,6 +369,16 @@ std::string Server::handleFrame(const proto::Frame& frame, bool& closeAfter,
       reply.body = proto::encodeHealthInfo(info);
       break;
     }
+    case proto::Verb::Advise: {
+      auto req = proto::decodeAdviseRequest(frame.payload);
+      if (!req.hasValue()) {
+        metrics_.countProtocolError();
+        reply = errorReply(req.status());
+      } else {
+        reply = handleAdvise(*req, queueWaitMs);
+      }
+      break;
+    }
     case proto::Verb::Reply:
       metrics_.countProtocolError();
       reply = errorReply(Status::error(
@@ -494,6 +505,201 @@ proto::Reply Server::handleExplore(const proto::ExploreRequest& req,
   reply.body = proto::encodeExploreResult(body);
   recordLatency();
   return reply;
+}
+
+proto::Reply Server::handleAdvise(const proto::AdviseRequest& req,
+                                  i64 queueWaitMs) {
+  metrics_.countAdvise();
+  const auto fail = [&](const Status& st) {
+    metrics_.countAdviseError();
+    return errorReply(st);
+  };
+
+  // Budget semantics are identical to handleExplore: queue wait charges
+  // the client's own budget; a server default only degrades.
+  i64 budgetMs = 0;  // <= 0 = unlimited
+  if (req.deadlineMs > 0) {
+    const i64 remaining =
+        req.remainingBudgetMs > 0 ? req.remainingBudgetMs : req.deadlineMs;
+    budgetMs = remaining - queueWaitMs;
+    if (budgetMs <= 0) {
+      metrics_.countExpiredRequest();
+      return fail(Status::error(
+          StatusCode::BudgetExceeded,
+          "deadline expired before service (queued " +
+              std::to_string(queueWaitMs) + "ms of " +
+              std::to_string(remaining) + "ms budget)"));
+    }
+  } else if (opts_.defaultDeadlineMs > 0) {
+    budgetMs = std::max<i64>(1, opts_.defaultDeadlineMs - queueWaitMs);
+  }
+
+  auto compiled = frontend::compileKernelChecked(req.kernel);
+  if (!compiled.hasValue()) return fail(compiled.status());
+  const loopir::Program& p = *compiled;
+
+  partition::AdvisorOptions aopts;
+  aopts.solve.mode = static_cast<partition::Mode>(req.mode);
+  aopts.solve.capacity = req.capacity;
+  aopts.solve.ways = req.ways;
+  if (Status st = partition::validateSolveInputs({}, aopts.solve);
+      !st.isOk())
+    return fail(st);
+  const std::vector<int> signals = partition::readSignals(p);
+  if (signals.empty())
+    return fail(Status::error(StatusCode::InvalidInput,
+                              "kernel has no read signal"));
+
+  // Explore options stay at their defaults (matching handleExplore and
+  // the CLI), so the per-signal curves share config hashes — and cache
+  // entries — with plain Explore traffic. The shared deadline budget
+  // covers the *whole* co-exploration: every signal sweep draws from the
+  // same RunBudget, so a slow kernel degrades rather than overruns.
+  support::RunBudget budget;
+  const i64 effectiveMs =
+      tightenedDeadlineMs(budgetMs, admission_.pressure(), opts_.admission);
+  if (effectiveMs > 0 && (budgetMs <= 0 || effectiveMs < budgetMs))
+    metrics_.countDeadlineTightened();
+  if (effectiveMs > 0) {
+    budget.setDeadline(std::chrono::milliseconds(effectiveMs));
+    aopts.explore.budget = &budget;  // excluded from the hash by design
+  }
+
+  const std::uint64_t ahash = partition::adviseConfigHash(p, aopts);
+  const bool noCache = (req.flags & proto::kFlagNoCache) != 0;
+  if (!noCache) {
+    if (std::optional<AdviseEntry> hit = adviseCacheGet(ahash)) {
+      metrics_.countAdviseCacheHit();
+      proto::AdviseResult body;
+      body.cached = true;
+      body.fidelity = hit->fidelity;
+      body.usedFallback = hit->usedFallback;
+      body.baselineMisses = hit->baselineMisses;
+      body.partitionedMisses = hit->partitionedMisses;
+      body.csv = std::move(hit->csv);
+      proto::Reply reply;
+      reply.body = proto::encodeAdviseResult(body);
+      return reply;
+    }
+  }
+
+  // One ObjectCurve per read signal, served through the same layered
+  // curve cache (and single-flight) as Explore — an advise for a kernel
+  // whose signals are already warm simulates nothing.
+  std::vector<partition::ObjectCurve> objects;
+  bool anyComputed = false;
+  for (int signal : signals) {
+    const std::uint64_t hash =
+        explorer::exploreConfigHash(p, signal, aopts.explore);
+    i64 simulated = 0;
+    bool leader = true;
+    ComputeInfo info;
+    support::Expected<CachedCurve> result =
+        [&]() -> support::Expected<CachedCurve> {
+      if (noCache) {
+        auto ex = explorer::exploreSignalChecked(p, signal, aopts.explore);
+        if (!ex.hasValue()) return ex.status();
+        simulated = static_cast<i64>(ex->simulatedCurve.points.size());
+        info.ran = true;
+        info.fidelity = static_cast<std::uint8_t>(ex->curveFidelity);
+        info.runGranularity = ex->simulationStats.runGranularity;
+        info.runsDecoded = ex->simulationStats.runsDecoded;
+        info.runFastEvents = ex->simulationStats.runFastEvents;
+        info.simulatedEvents = ex->simulationStats.simulatedEvents;
+        CachedCurve fresh;
+        fresh.configHash = hash;
+        fresh.signalName = ex->signalName;
+        fresh.Ctot = ex->Ctot;
+        fresh.distinctElements = ex->distinctElements;
+        fresh.fidelity = static_cast<std::uint8_t>(ex->curveFidelity);
+        fresh.csv = report::curveCsv(ex->signalName, ex->simulatedCurve);
+        return fresh;
+      }
+      return flight_.run(
+          hash,
+          [&] {
+            return cache_.getOrCompute(hash, p, signal, aopts.explore,
+                                       &simulated, &info);
+          },
+          &leader);
+    }();
+    if (!leader) metrics_.countJoin();
+    if (!result.hasValue()) {
+      Status s = result.status();
+      return fail(Status::error(s.code(), "signal \"" +
+                                              p.signals[signal].name +
+                                              "\": " + s.message()));
+    }
+    if (leader && simulated > 0) metrics_.countSimulation();
+    if (simulated > 0) anyComputed = true;
+    if (info.ran)
+      metrics_.recordEngine(info.fidelity, info.runGranularity,
+                            info.runsDecoded, info.runFastEvents,
+                            info.simulatedEvents);
+    auto curve = partition::objectCurveFromCsv(
+        result->signalName, result->Ctot, result->distinctElements,
+        static_cast<simcore::Fidelity>(result->fidelity), result->csv);
+    if (!curve.hasValue()) {
+      Status s = curve.status();
+      return fail(Status::error(StatusCode::Internal,
+                                "cached curve for \"" + result->signalName +
+                                    "\" unusable: " + s.message()));
+    }
+    objects.push_back(std::move(*curve));
+  }
+
+  partition::AdvisorReport report =
+      partition::adviseFromCurves(p.name, std::move(objects), aopts.solve);
+  metrics_.recordAdviseSolveUs(report.solveMicros);
+  if (report.result.usedFallback) metrics_.countAdviseFallback();
+  const auto worst = static_cast<std::uint8_t>(report.worstFidelity);
+  if (!fidelityIsExact(worst)) metrics_.countDegradedReply();
+
+  proto::AdviseResult body;
+  body.cached = !anyComputed && !noCache;
+  body.fidelity = worst;
+  body.usedFallback = report.result.usedFallback;
+  body.baselineMisses = report.result.baselineMisses;
+  body.partitionedMisses = report.result.partitionedMisses;
+  body.csv = report::advisorCsv(report);
+  if (!noCache && fidelityIsExact(worst)) {
+    AdviseEntry entry;
+    entry.hash = ahash;
+    entry.fidelity = body.fidelity;
+    entry.usedFallback = body.usedFallback;
+    entry.baselineMisses = body.baselineMisses;
+    entry.partitionedMisses = body.partitionedMisses;
+    entry.csv = body.csv;
+    adviseCachePut(std::move(entry));
+  }
+  proto::Reply reply;
+  reply.body = proto::encodeAdviseResult(body);
+  return reply;
+}
+
+std::optional<Server::AdviseEntry> Server::adviseCacheGet(
+    std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(adviseMutex_);
+  auto it = adviseIndex_.find(hash);
+  if (it == adviseIndex_.end()) return std::nullopt;
+  adviseLru_.splice(adviseLru_.begin(), adviseLru_, it->second);
+  return *it->second;
+}
+
+void Server::adviseCachePut(AdviseEntry entry) {
+  std::lock_guard<std::mutex> lock(adviseMutex_);
+  auto it = adviseIndex_.find(entry.hash);
+  if (it != adviseIndex_.end()) {
+    *it->second = std::move(entry);
+    adviseLru_.splice(adviseLru_.begin(), adviseLru_, it->second);
+    return;
+  }
+  adviseLru_.push_front(std::move(entry));
+  adviseIndex_[adviseLru_.front().hash] = adviseLru_.begin();
+  while (adviseLru_.size() > kAdviseCacheEntries) {
+    adviseIndex_.erase(adviseLru_.back().hash);
+    adviseLru_.pop_back();
+  }
 }
 
 MetricsSnapshot Server::metricsSnapshot() const {

@@ -1,8 +1,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "service/admission.h"
@@ -120,12 +124,38 @@ class Server {
                           support::i64 queueWaitMs);
   proto::Reply handleExplore(const proto::ExploreRequest& req,
                              support::i64 queueWaitMs);
+  proto::Reply handleAdvise(const proto::AdviseRequest& req,
+                            support::i64 queueWaitMs);
+
+  /// One cached advisor answer — everything an AdviseResult body needs.
+  /// Keyed by partition::adviseConfigHash; only reports whose curves all
+  /// came from exact fidelity rungs enter (mirroring ResultCache: a
+  /// deadline-degraded placement can never poison a later idle query).
+  struct AdviseEntry {
+    std::uint64_t hash = 0;
+    std::uint8_t fidelity = 0;
+    bool usedFallback = false;
+    support::i64 baselineMisses = 0;
+    support::i64 partitionedMisses = 0;
+    std::string csv;
+  };
+  std::optional<AdviseEntry> adviseCacheGet(std::uint64_t hash);
+  void adviseCachePut(AdviseEntry entry);
 
   ServerOptions opts_;
   Metrics metrics_;
   ResultCache cache_;
   SingleFlight flight_;
   AdmissionQueue admission_;  ///< bounded accept queue (admission.h)
+
+  /// Whole-report advise cache (the per-signal curves already live in
+  /// cache_; this avoids re-solving and re-rendering on repeat advise
+  /// queries). Small and entry-capped: reports are a few hundred bytes.
+  static constexpr std::size_t kAdviseCacheEntries = 256;
+  std::mutex adviseMutex_;
+  std::list<AdviseEntry> adviseLru_;  ///< most recent first
+  std::unordered_map<std::uint64_t, std::list<AdviseEntry>::iterator>
+      adviseIndex_;
 
   int listenFd_ = -1;
   transport::Endpoint bound_;     ///< resolved listen endpoint

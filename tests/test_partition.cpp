@@ -1,0 +1,513 @@
+// Tests for the per-object cache-partitioning advisor (src/partition/):
+// the solver against the brute-force enumeration oracle on every
+// small-capacity instance (exact paths must match the lexicographically
+// smallest optimum bit-for-bit), determinism across thread counts,
+// degenerate inputs, the curve CSV round trip, and the acceptance gates:
+// a nonzero predicted miss reduction on the motion-estimation and conv2d
+// zoo kernels, and an Advise served by a live daemon byte-identical to
+// the cold CLI path.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "explorer/explorer.h"
+#include "frontend/frontend.h"
+#include "kernels/conv2d.h"
+#include "kernels/motion_estimation.h"
+#include "partition/advisor.h"
+#include "partition/partition.h"
+#include "report/report.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "support/rng.h"
+
+namespace {
+
+namespace proto = dr::service::proto;
+using dr::partition::Allocation;
+using dr::partition::Mode;
+using dr::partition::ObjectCurve;
+using dr::partition::PartitionResult;
+using dr::partition::SolveOptions;
+using dr::support::i64;
+using dr::support::StatusCode;
+
+std::string uniqueName(const char* stem) {
+  static std::atomic<int> counter{0};
+  return std::string(stem) + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+std::string socketPath() { return "/tmp/" + uniqueName("drpart") + ".sock"; }
+
+ObjectCurve makeCurve(std::string name, i64 ctot, i64 distinct,
+                      std::vector<ObjectCurve::Step> steps) {
+  ObjectCurve c;
+  c.name = std::move(name);
+  c.Ctot = ctot;
+  c.distinctElements = distinct;
+  c.steps = std::move(steps);
+  return c;
+}
+
+/// Allocation-level equality: the exact solver promises the
+/// lexicographically smallest optimum, so it must match the oracle's
+/// choice exactly, not just its total.
+void expectSameResult(const PartitionResult& got,
+                      const PartitionResult& want) {
+  EXPECT_EQ(got.partitionedMisses, want.partitionedMisses);
+  EXPECT_EQ(got.baselineMisses, want.baselineMisses);
+  ASSERT_EQ(got.allocations.size(), want.allocations.size());
+  for (std::size_t i = 0; i < got.allocations.size(); ++i) {
+    EXPECT_EQ(got.allocations[i].ways, want.allocations[i].ways)
+        << "object " << i;
+    EXPECT_EQ(got.allocations[i].pinned, want.allocations[i].pinned)
+        << "object " << i;
+    EXPECT_EQ(got.allocations[i].misses, want.allocations[i].misses)
+        << "object " << i;
+  }
+}
+
+/// A random valid miss curve: non-increasing misses over ascending sizes.
+ObjectCurve randomCurve(dr::support::Rng& rng, int index) {
+  const i64 ctot = rng.uniform(0, 1000);
+  ObjectCurve c;
+  c.name = "obj" + std::to_string(index);
+  c.Ctot = ctot;
+  c.distinctElements = rng.uniform(0, 64);
+  i64 size = 0;
+  i64 misses = ctot;
+  const int steps = static_cast<int>(rng.uniform(0, 5));
+  for (int s = 0; s < steps; ++s) {
+    size += rng.uniform(1, 40);
+    misses = rng.uniform(0, misses);
+    c.steps.push_back({size, misses});
+  }
+  return c;
+}
+
+// ---- curve mechanics ----------------------------------------------------
+
+TEST(ObjectCurve, MissesAtStepsThroughTheCurve) {
+  ObjectCurve c = makeCurve("x", 100, 50, {{10, 60}, {20, 30}, {40, 5}});
+  EXPECT_TRUE(dr::partition::validateObjectCurve(c).isOk());
+  EXPECT_EQ(c.missesAt(0), 100);   // below the first step: everything cold
+  EXPECT_EQ(c.missesAt(9), 100);
+  EXPECT_EQ(c.missesAt(10), 60);
+  EXPECT_EQ(c.missesAt(25), 30);
+  EXPECT_EQ(c.missesAt(1000), 5);
+  EXPECT_EQ(c.minMisses(), 5);
+}
+
+TEST(ObjectCurve, ValidationRejectsBrokenCurves) {
+  // Misses above Ctot.
+  ObjectCurve high = makeCurve("x", 10, 0, {{1, 20}});
+  EXPECT_FALSE(dr::partition::validateObjectCurve(high).isOk());
+  // Non-ascending sizes.
+  ObjectCurve order = makeCurve("x", 10, 0, {{5, 8}, {5, 7}});
+  EXPECT_FALSE(dr::partition::validateObjectCurve(order).isOk());
+  // Increasing misses (inclusion violation).
+  ObjectCurve incr = makeCurve("x", 10, 0, {{1, 3}, {2, 7}});
+  EXPECT_FALSE(dr::partition::validateObjectCurve(incr).isOk());
+}
+
+// ---- exact solver vs the enumeration oracle -----------------------------
+
+TEST(WayPartition, MatchesEnumerationHandBuilt) {
+  // Two objects with sharply different marginal gains: the equal split
+  // wastes half the cache on the flat object.
+  std::vector<ObjectCurve> objects = {
+      makeCurve("hot", 1000, 64, {{32, 500}, {64, 100}, {96, 10}}),
+      makeCurve("flat", 500, 64, {{32, 450}}),
+  };
+  SolveOptions opts;
+  opts.mode = Mode::WayPartition;
+  opts.capacity = 128;
+  opts.ways = 4;  // way size 32
+  ASSERT_TRUE(dr::partition::validateSolveInputs(objects, opts).isOk());
+  PartitionResult solved = dr::partition::solvePartition(objects, opts);
+  PartitionResult oracle = dr::partition::enumeratePartition(objects, opts);
+  EXPECT_TRUE(solved.exact);
+  EXPECT_FALSE(solved.usedFallback);
+  expectSameResult(solved, oracle);
+  EXPECT_TRUE(
+      dr::partition::validateResult(objects, opts, solved).isOk());
+  // The hot object deserves 3 of the 4 ways (96 elems -> 10 misses).
+  EXPECT_EQ(solved.allocations[0].ways, 3);
+  EXPECT_GT(solved.reductionPercent, 0.0);
+}
+
+TEST(WayPartition, MatchesEnumerationRandomized) {
+  dr::support::Rng rng(0xC0FFEEULL);
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.uniform(1, 4));
+    std::vector<ObjectCurve> objects;
+    for (int i = 0; i < n; ++i) objects.push_back(randomCurve(rng, i));
+    SolveOptions opts;
+    opts.mode = Mode::WayPartition;
+    opts.ways = rng.uniform(1, 8);
+    opts.capacity = opts.ways * rng.uniform(0, 50);
+    ASSERT_TRUE(dr::partition::validateSolveInputs(objects, opts).isOk());
+    PartitionResult solved = dr::partition::solvePartition(objects, opts);
+    PartitionResult oracle =
+        dr::partition::enumeratePartition(objects, opts);
+    ASSERT_TRUE(solved.exact) << "round " << round;
+    expectSameResult(solved, oracle);
+    ASSERT_TRUE(
+        dr::partition::validateResult(objects, opts, solved).isOk())
+        << "round " << round;
+  }
+}
+
+TEST(Scratchpad, MatchesEnumerationRandomized) {
+  dr::support::Rng rng(0xBEEFULL);
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.uniform(1, 6));
+    std::vector<ObjectCurve> objects;
+    for (int i = 0; i < n; ++i) objects.push_back(randomCurve(rng, i));
+    SolveOptions opts;
+    opts.mode = Mode::Scratchpad;
+    opts.capacity = rng.uniform(0, 200);
+    ASSERT_TRUE(dr::partition::validateSolveInputs(objects, opts).isOk());
+    PartitionResult solved = dr::partition::solvePartition(objects, opts);
+    PartitionResult oracle =
+        dr::partition::enumeratePartition(objects, opts);
+    ASSERT_TRUE(solved.exact) << "round " << round;
+    expectSameResult(solved, oracle);
+    ASSERT_TRUE(
+        dr::partition::validateResult(objects, opts, solved).isOk())
+        << "round " << round;
+  }
+}
+
+// ---- greedy fallbacks ---------------------------------------------------
+
+TEST(WayPartition, GreedyFallbackNeverWorseThanBaseline) {
+  dr::support::Rng rng(0xFA11ULL);
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.uniform(1, 5));
+    std::vector<ObjectCurve> objects;
+    for (int i = 0; i < n; ++i) objects.push_back(randomCurve(rng, i));
+    SolveOptions opts;
+    opts.mode = Mode::WayPartition;
+    opts.ways = rng.uniform(1, 10);
+    opts.capacity = opts.ways * rng.uniform(0, 50);
+    opts.exhaustiveCellLimit = 0;  // force the greedy path
+    PartitionResult greedy = dr::partition::solvePartition(objects, opts);
+    EXPECT_TRUE(greedy.usedFallback);
+    EXPECT_FALSE(greedy.exact);
+    EXPECT_LE(greedy.partitionedMisses, greedy.baselineMisses);
+    ASSERT_TRUE(
+        dr::partition::validateResult(objects, opts, greedy).isOk())
+        << "round " << round;
+    // The greedy answer can be suboptimal but never beats the oracle.
+    PartitionResult oracle =
+        dr::partition::enumeratePartition(objects, opts);
+    EXPECT_GE(greedy.partitionedMisses, oracle.partitionedMisses);
+  }
+}
+
+TEST(Scratchpad, GreedyFallbackNeverWorseThanBaseline) {
+  dr::support::Rng rng(0x5CADULL);
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.uniform(1, 6));
+    std::vector<ObjectCurve> objects;
+    for (int i = 0; i < n; ++i) objects.push_back(randomCurve(rng, i));
+    SolveOptions opts;
+    opts.mode = Mode::Scratchpad;
+    opts.capacity = rng.uniform(0, 200);
+    opts.exhaustiveObjectLimit = 0;  // force the greedy path
+    PartitionResult greedy = dr::partition::solvePartition(objects, opts);
+    EXPECT_TRUE(greedy.usedFallback);
+    EXPECT_LE(greedy.partitionedMisses, greedy.baselineMisses);
+    ASSERT_TRUE(
+        dr::partition::validateResult(objects, opts, greedy).isOk())
+        << "round " << round;
+    PartitionResult oracle =
+        dr::partition::enumeratePartition(objects, opts);
+    EXPECT_GE(greedy.partitionedMisses, oracle.partitionedMisses);
+  }
+}
+
+// ---- degenerate inputs --------------------------------------------------
+
+TEST(Partition, DegenerateInstances) {
+  SolveOptions way;
+  way.mode = Mode::WayPartition;
+  way.capacity = 64;
+  way.ways = 4;
+
+  // One object: gets everything useful; matches the oracle.
+  std::vector<ObjectCurve> one = {
+      makeCurve("solo", 100, 32, {{16, 40}, {32, 0}})};
+  expectSameResult(dr::partition::solvePartition(one, way),
+                   dr::partition::enumeratePartition(one, way));
+
+  // Zero capacity: every object stays cold, reduction is zero.
+  SolveOptions zero = way;
+  zero.capacity = 0;
+  PartitionResult z = dr::partition::solvePartition(one, zero);
+  EXPECT_EQ(z.partitionedMisses, 100);
+  EXPECT_EQ(z.baselineMisses, 100);
+  EXPECT_EQ(z.reductionPercent, 0.0);
+  EXPECT_TRUE(dr::partition::validateResult(one, zero, z).isOk());
+
+  // All-cold curves (no steps): nothing to win, nothing breaks.
+  std::vector<ObjectCurve> cold = {makeCurve("a", 50, 8, {}),
+                                   makeCurve("b", 70, 8, {})};
+  PartitionResult c = dr::partition::solvePartition(cold, way);
+  EXPECT_EQ(c.partitionedMisses, 120);
+  EXPECT_EQ(c.reductionPercent, 0.0);
+  EXPECT_TRUE(dr::partition::validateResult(cold, way, c).isOk());
+
+  // Capacity smaller than the way count: way size 0, everything cold.
+  SolveOptions tiny = way;
+  tiny.capacity = 3;
+  tiny.ways = 4;
+  PartitionResult t = dr::partition::solvePartition(one, tiny);
+  EXPECT_EQ(t.waySizeElems, 0);
+  EXPECT_EQ(t.partitionedMisses, 100);
+  EXPECT_TRUE(dr::partition::validateResult(one, tiny, t).isOk());
+
+  // Scratchpad with zero capacity: nothing pins.
+  SolveOptions spz;
+  spz.mode = Mode::Scratchpad;
+  spz.capacity = 0;
+  PartitionResult s = dr::partition::solvePartition(one, spz);
+  EXPECT_FALSE(s.allocations[0].pinned);
+  EXPECT_EQ(s.partitionedMisses, 100);
+  EXPECT_TRUE(dr::partition::validateResult(one, spz, s).isOk());
+
+  // Empty object set.
+  std::vector<ObjectCurve> none;
+  PartitionResult e = dr::partition::solvePartition(none, way);
+  EXPECT_EQ(e.partitionedMisses, 0);
+  EXPECT_EQ(e.baselineMisses, 0);
+  EXPECT_TRUE(dr::partition::validateResult(none, way, e).isOk());
+}
+
+TEST(Partition, InvalidOptionsAreRejected) {
+  std::vector<ObjectCurve> objects = {makeCurve("x", 10, 4, {})};
+  SolveOptions negCap;
+  negCap.capacity = -1;
+  EXPECT_FALSE(
+      dr::partition::validateSolveInputs(objects, negCap).isOk());
+  SolveOptions zeroWays;
+  zeroWays.capacity = 64;
+  zeroWays.ways = 0;
+  EXPECT_FALSE(
+      dr::partition::validateSolveInputs(objects, zeroWays).isOk());
+}
+
+// ---- the advisor over real kernels --------------------------------------
+
+TEST(Advisor, NonzeroReductionOnMotionEstimation) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::partition::AdvisorOptions opts;
+  opts.solve.mode = Mode::WayPartition;
+  opts.solve.capacity = 256;
+  opts.solve.ways = 8;
+  auto report = dr::partition::adviseKernelChecked(p, opts);
+  ASSERT_TRUE(report.hasValue()) << report.status().str();
+  ASSERT_EQ(report->objects.size(), 2u);  // New and Old
+  EXPECT_TRUE(report->result.exact);
+  EXPECT_GT(report->result.reductionPercent, 0.0);
+  EXPECT_LT(report->result.partitionedMisses,
+            report->result.baselineMisses);
+}
+
+TEST(Advisor, NonzeroReductionOnConv2d) {
+  auto p = dr::kernels::conv2d({});
+  dr::partition::AdvisorOptions opts;
+  opts.solve.mode = Mode::WayPartition;
+  opts.solve.capacity = 128;
+  opts.solve.ways = 8;
+  auto report = dr::partition::adviseKernelChecked(p, opts);
+  ASSERT_TRUE(report.hasValue()) << report.status().str();
+  EXPECT_GT(report->result.reductionPercent, 0.0);
+
+  // And the scratchpad placement pins the tiny coefficient array.
+  opts.solve.mode = Mode::Scratchpad;
+  opts.solve.capacity = 1024;
+  auto sp = dr::partition::adviseKernelChecked(p, opts);
+  ASSERT_TRUE(sp.hasValue()) << sp.status().str();
+  EXPECT_GT(sp->result.reductionPercent, 0.0);
+  bool wPinned = false;
+  for (const auto& a : sp->result.allocations)
+    if (sp->objects[static_cast<std::size_t>(a.object)].name == "w")
+      wPinned = a.pinned;
+  EXPECT_TRUE(wPinned);
+}
+
+TEST(Advisor, RejectsKernelWithoutReads) {
+  dr::loopir::Program p;
+  p.name = "empty";
+  dr::partition::AdvisorOptions opts;
+  opts.solve.capacity = 64;
+  auto report = dr::partition::adviseKernelChecked(p, opts);
+  ASSERT_FALSE(report.hasValue());
+  EXPECT_EQ(report.status().code(), StatusCode::InvalidInput);
+}
+
+TEST(Advisor, DeterministicAcrossThreadCounts) {
+  auto p = dr::kernels::motionEstimation({32, 32, 4, 4});
+  dr::partition::AdvisorOptions opts;
+  opts.solve.capacity = 256;
+  opts.solve.ways = 8;
+
+  ::setenv("DR_THREADS", "1", 1);
+  auto one = dr::partition::adviseKernelChecked(p, opts);
+  ::setenv("DR_THREADS", "4", 1);
+  auto four = dr::partition::adviseKernelChecked(p, opts);
+  ::unsetenv("DR_THREADS");
+  ASSERT_TRUE(one.hasValue()) << one.status().str();
+  ASSERT_TRUE(four.hasValue()) << four.status().str();
+  EXPECT_EQ(dr::report::advisorCsv(*one), dr::report::advisorCsv(*four));
+}
+
+TEST(Advisor, CurveCsvRoundTripMatchesExploration) {
+  auto p = dr::kernels::conv2d({});
+  const std::vector<int> signals = dr::partition::readSignals(p);
+  ASSERT_FALSE(signals.empty());
+  for (int s : signals) {
+    auto ex = dr::explorer::exploreSignalChecked(p, s, {});
+    ASSERT_TRUE(ex.hasValue()) << ex.status().str();
+    ObjectCurve direct = dr::partition::objectCurveFromExploration(*ex);
+    auto viaCsv = dr::partition::objectCurveFromCsv(
+        ex->signalName, ex->Ctot, ex->distinctElements, ex->curveFidelity,
+        dr::report::curveCsv(ex->signalName, ex->simulatedCurve));
+    ASSERT_TRUE(viaCsv.hasValue()) << viaCsv.status().str();
+    EXPECT_EQ(direct.Ctot, viaCsv->Ctot);
+    ASSERT_EQ(direct.steps.size(), viaCsv->steps.size());
+    for (std::size_t i = 0; i < direct.steps.size(); ++i) {
+      EXPECT_EQ(direct.steps[i].size, viaCsv->steps[i].size);
+      EXPECT_EQ(direct.steps[i].misses, viaCsv->steps[i].misses);
+    }
+  }
+}
+
+TEST(Advisor, CsvRejectsGarbage) {
+  auto bad = dr::partition::objectCurveFromCsv(
+      "x", 10, 4, dr::simcore::Fidelity::ExactStream, "not,a,curve\n1,2\n");
+  EXPECT_FALSE(bad.hasValue());
+}
+
+// ---- the Advise verb end to end -----------------------------------------
+
+TEST(AdviseService, ByteIdenticalToColdCli) {
+  const std::string sock = socketPath();
+  dr::service::ServerOptions sopts;
+  sopts.endpoint = sock;
+  sopts.workers = 2;
+  dr::service::Server server(sopts);
+  ASSERT_TRUE(server.start().isOk());
+
+  const std::string kernelText =
+      dr::kernels::motionEstimationSource({32, 32, 4, 4});
+
+  proto::AdviseRequest req;
+  req.kernel = kernelText;
+  req.mode = static_cast<std::uint8_t>(Mode::WayPartition);
+  req.capacity = 256;
+  req.ways = 8;
+
+  dr::service::ClientOptions copts;
+  copts.endpoint = sock;
+  dr::service::Client client(copts);
+  auto reply = client.advise(req);
+  ASSERT_TRUE(reply.hasValue()) << reply.status().str();
+  ASSERT_EQ(reply->code, StatusCode::Ok) << reply->message;
+  auto result = proto::decodeAdviseResult(reply->body);
+  ASSERT_TRUE(result.hasValue()) << result.status().str();
+  EXPECT_FALSE(result->usedFallback);
+
+  // The cold CLI path: compile the same text, advise directly.
+  auto compiled = dr::frontend::compileKernelChecked(kernelText);
+  ASSERT_TRUE(compiled.hasValue()) << compiled.status().str();
+  dr::partition::AdvisorOptions opts;
+  opts.solve.mode = Mode::WayPartition;
+  opts.solve.capacity = 256;
+  opts.solve.ways = 8;
+  auto direct = dr::partition::adviseKernelChecked(*compiled, opts);
+  ASSERT_TRUE(direct.hasValue()) << direct.status().str();
+  EXPECT_EQ(result->csv, dr::report::advisorCsv(*direct));
+  EXPECT_EQ(result->baselineMisses, direct->result.baselineMisses);
+  EXPECT_EQ(result->partitionedMisses, direct->result.partitionedMisses);
+
+  // A repeat advise hits the report cache and stays byte-identical.
+  auto again = client.advise(req);
+  ASSERT_TRUE(again.hasValue()) << again.status().str();
+  ASSERT_EQ(again->code, StatusCode::Ok) << again->message;
+  auto cachedResult = proto::decodeAdviseResult(again->body);
+  ASSERT_TRUE(cachedResult.hasValue());
+  EXPECT_TRUE(cachedResult->cached);
+  EXPECT_EQ(cachedResult->csv, result->csv);
+
+  // The metrics snapshot saw both advises and the cache hit.
+  auto snapshot = server.metricsSnapshot();
+  EXPECT_EQ(snapshot.adviseRequests, 2);
+  EXPECT_EQ(snapshot.adviseCacheHits, 1);
+  EXPECT_EQ(snapshot.adviseErrors, 0);
+  EXPECT_GE(snapshot.adviseSolveLatency.count, 1);
+
+  server.requestShutdown();
+  server.wait();
+  ::unlink(sock.c_str());
+}
+
+TEST(AdviseService, RejectsUnknownMode) {
+  proto::AdviseRequest req;
+  req.kernel = "k";
+  req.mode = 7;
+  const std::string payload = proto::encodeAdviseRequest(req);
+  auto decoded = proto::decodeAdviseRequest(payload);
+  ASSERT_FALSE(decoded.hasValue());
+  EXPECT_EQ(decoded.status().code(), StatusCode::InvalidInput);
+}
+
+TEST(AdviseProtocol, RequestAndResultRoundTrip) {
+  proto::AdviseRequest req;
+  req.kernel = "some kernel text";
+  req.deadlineMs = 1500;
+  req.remainingBudgetMs = 900;
+  req.flags = proto::kFlagNoCache;
+  req.mode = static_cast<std::uint8_t>(Mode::Scratchpad);
+  req.capacity = 4096;
+  req.ways = 16;
+  auto reqBack = proto::decodeAdviseRequest(proto::encodeAdviseRequest(req));
+  ASSERT_TRUE(reqBack.hasValue()) << reqBack.status().str();
+  EXPECT_EQ(reqBack->kernel, req.kernel);
+  EXPECT_EQ(reqBack->deadlineMs, req.deadlineMs);
+  EXPECT_EQ(reqBack->remainingBudgetMs, req.remainingBudgetMs);
+  EXPECT_EQ(reqBack->flags, req.flags);
+  EXPECT_EQ(reqBack->mode, req.mode);
+  EXPECT_EQ(reqBack->capacity, req.capacity);
+  EXPECT_EQ(reqBack->ways, req.ways);
+
+  proto::AdviseResult res;
+  res.cached = true;
+  res.fidelity = 2;
+  res.usedFallback = true;
+  res.baselineMisses = 123456;
+  res.partitionedMisses = 98765;
+  res.csv = "object,misses\nTOTAL,98765\n";
+  auto resBack = proto::decodeAdviseResult(proto::encodeAdviseResult(res));
+  ASSERT_TRUE(resBack.hasValue()) << resBack.status().str();
+  EXPECT_EQ(resBack->cached, res.cached);
+  EXPECT_EQ(resBack->fidelity, res.fidelity);
+  EXPECT_EQ(resBack->usedFallback, res.usedFallback);
+  EXPECT_EQ(resBack->baselineMisses, res.baselineMisses);
+  EXPECT_EQ(resBack->partitionedMisses, res.partitionedMisses);
+  EXPECT_EQ(resBack->csv, res.csv);
+}
+
+}  // namespace
